@@ -1,0 +1,377 @@
+//! Signed arbitrary-precision integers.
+
+use crate::Natural;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Sign of an [`Int`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// A signed arbitrary-precision integer: a sign and a [`Natural`] magnitude.
+///
+/// Banzhaf values of variables in general (non-positive) Boolean functions can
+/// be negative (see Example 2 of the paper), and intermediate bound
+/// computations subtract counts, so the algorithm layer works with `Int`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Int {
+    sign: Sign,
+    mag: Natural,
+}
+
+impl Int {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Int { sign: Sign::Zero, mag: Natural::zero() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Int { sign: Sign::Positive, mag: Natural::one() }
+    }
+
+    /// The value -1.
+    pub fn minus_one() -> Self {
+        Int { sign: Sign::Negative, mag: Natural::one() }
+    }
+
+    /// Builds an integer from a sign and magnitude (normalizing zero).
+    pub fn from_sign_mag(sign: Sign, mag: Natural) -> Self {
+        if mag.is_zero() {
+            Int::zero()
+        } else {
+            match sign {
+                Sign::Zero => Int::zero(),
+                s => Int { sign: s, mag },
+            }
+        }
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude (absolute value).
+    pub fn magnitude(&self) -> &Natural {
+        &self.mag
+    }
+
+    /// Consumes the integer and returns its magnitude.
+    pub fn into_magnitude(self) -> Natural {
+        self.mag
+    }
+
+    /// `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Difference of two naturals as a signed integer (`a - b`).
+    pub fn sub_naturals(a: &Natural, b: &Natural) -> Int {
+        match a.cmp(b) {
+            Ordering::Greater => Int::from_sign_mag(Sign::Positive, a - b),
+            Ordering::Equal => Int::zero(),
+            Ordering::Less => Int::from_sign_mag(Sign::Negative, b - a),
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        match self.sign {
+            Sign::Zero => 0.0,
+            Sign::Positive => self.mag.to_f64(),
+            Sign::Negative => -self.mag.to_f64(),
+        }
+    }
+
+    /// Conversion to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i128::try_from(m).ok(),
+            Sign::Negative => {
+                if m == (i128::MAX as u128) + 1 {
+                    Some(i128::MIN)
+                } else {
+                    i128::try_from(m).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        Int::from_sign_mag(Sign::Positive, self.mag.clone())
+    }
+
+    /// Multiplies by a natural number.
+    pub fn mul_natural(&self, n: &Natural) -> Int {
+        Int::from_sign_mag(self.sign, self.mag.mul_ref(n))
+    }
+}
+
+impl Default for Int {
+    fn default() -> Self {
+        Int::zero()
+    }
+}
+
+impl From<&Natural> for Int {
+    fn from(n: &Natural) -> Self {
+        Int::from_sign_mag(Sign::Positive, n.clone())
+    }
+}
+
+impl From<Natural> for Int {
+    fn from(n: Natural) -> Self {
+        Int::from_sign_mag(Sign::Positive, n)
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            Int::from_sign_mag(Sign::Negative, Natural::from(v.unsigned_abs()))
+        } else {
+            Int::from_sign_mag(Sign::Positive, Natural::from(v as u64))
+        }
+    }
+}
+
+impl From<u64> for Int {
+    fn from(v: u64) -> Self {
+        Int::from_sign_mag(Sign::Positive, Natural::from(v))
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        Int { sign, mag: self.mag }
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        -self.clone()
+    }
+}
+
+impl Add<&Int> for &Int {
+    type Output = Int;
+    fn add(self, rhs: &Int) -> Int {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => Int::from_sign_mag(a, &self.mag + &rhs.mag),
+            (a, _) => {
+                // Opposite signs: subtract magnitudes.
+                match self.mag.cmp(&rhs.mag) {
+                    Ordering::Equal => Int::zero(),
+                    Ordering::Greater => Int::from_sign_mag(a, &self.mag - &rhs.mag),
+                    Ordering::Less => {
+                        Int::from_sign_mag(rhs.sign, &rhs.mag - &self.mag)
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Add for Int {
+    type Output = Int;
+    fn add(self, rhs: Int) -> Int {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub<&Int> for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &Int) -> Int {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for Int {
+    type Output = Int;
+    fn sub(self, rhs: Int) -> Int {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, rhs: &Int) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul<&Int> for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &Int) -> Int {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        Int::from_sign_mag(sign, self.mag.mul_ref(&rhs.mag))
+    }
+}
+
+impl Mul for Int {
+    type Output = Int;
+    fn mul(self, rhs: Int) -> Int {
+        &self * &rhs
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Negative, Sign::Negative) => other.mag.cmp(&self.mag),
+            (Sign::Negative, _) => Ordering::Less,
+            (Sign::Zero, Sign::Negative) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => self.mag.cmp(&other.mag),
+            (Sign::Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.mag)
+        } else {
+            write!(f, "{}", self.mag)
+        }
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Int({})", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> Int {
+        Int::from(v)
+    }
+
+    #[test]
+    fn construction_and_signs() {
+        assert!(int(0).is_zero());
+        assert!(int(5).is_positive());
+        assert!(int(-5).is_negative());
+        assert_eq!(Int::from_sign_mag(Sign::Negative, Natural::zero()), Int::zero());
+        assert_eq!(Int::minus_one().to_i128(), Some(-1));
+    }
+
+    #[test]
+    fn addition_all_sign_combinations() {
+        for a in -5i64..=5 {
+            for b in -5i64..=5 {
+                assert_eq!((&int(a) + &int(b)).to_i128(), Some((a + b) as i128), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_all_sign_combinations() {
+        for a in -5i64..=5 {
+            for b in -5i64..=5 {
+                assert_eq!((&int(a) - &int(b)).to_i128(), Some((a - b) as i128), "{a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_all_sign_combinations() {
+        for a in -5i64..=5 {
+            for b in -5i64..=5 {
+                assert_eq!((&int(a) * &int(b)).to_i128(), Some((a * b) as i128), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_i64() {
+        let values = [-7i64, -1, 0, 1, 3, 9];
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(int(a).cmp(&int(b)), a.cmp(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn sub_naturals() {
+        let a = Natural::from(10u64);
+        let b = Natural::from(17u64);
+        assert_eq!(Int::sub_naturals(&a, &b).to_i128(), Some(-7));
+        assert_eq!(Int::sub_naturals(&b, &a).to_i128(), Some(7));
+        assert!(Int::sub_naturals(&a, &a).is_zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(int(-42).to_string(), "-42");
+        assert_eq!(int(42).to_string(), "42");
+        assert_eq!(int(0).to_string(), "0");
+    }
+
+    #[test]
+    fn to_f64_sign() {
+        assert_eq!(int(-3).to_f64(), -3.0);
+        assert_eq!(int(3).to_f64(), 3.0);
+        assert_eq!(int(0).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn mul_natural() {
+        let v = int(-7).mul_natural(&Natural::from(6u64));
+        assert_eq!(v.to_i128(), Some(-42));
+    }
+}

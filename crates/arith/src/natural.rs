@@ -1,0 +1,772 @@
+//! Unsigned arbitrary-precision integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub, SubAssign};
+
+/// Number of bits per limb.
+const LIMB_BITS: usize = 64;
+
+/// Operand size (in limbs) above which multiplication switches to Karatsuba.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// An unsigned arbitrary-precision integer.
+///
+/// The value is stored as little-endian base-2^64 limbs with no trailing zero
+/// limbs (the canonical representation of zero is an empty limb vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Natural {
+    /// Little-endian limbs; invariant: the last limb (if any) is non-zero.
+    limbs: Vec<u64>,
+}
+
+impl Natural {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Natural { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Natural { limbs: vec![1] }
+    }
+
+    /// `2^exp`.
+    pub fn pow2(exp: usize) -> Self {
+        let limb = exp / LIMB_BITS;
+        let bit = exp % LIMB_BITS;
+        let mut limbs = vec![0u64; limb + 1];
+        limbs[limb] = 1u64 << bit;
+        Natural { limbs }
+    }
+
+    /// Returns `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` iff the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => (self.limbs.len() - 1) * LIMB_BITS + (64 - hi.leading_zeros() as usize),
+        }
+    }
+
+    /// Number of limbs in the canonical representation.
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Builds a natural from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Natural { limbs }
+    }
+
+    /// Returns the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    ///
+    /// Values larger than `f64::MAX` saturate to `f64::INFINITY`; precision is
+    /// the usual 53-bit mantissa. This is only used for reporting.
+    pub fn to_f64(&self) -> f64 {
+        match self.limbs.len() {
+            0 => 0.0,
+            1 => self.limbs[0] as f64,
+            2 => (self.limbs[1] as f64) * 2f64.powi(64) + self.limbs[0] as f64,
+            n => {
+                // Take the top 128 bits and scale by the remaining bit count.
+                let hi = self.limbs[n - 1];
+                let lo = self.limbs[n - 2];
+                let top = (hi as f64) * 2f64.powi(64) + lo as f64;
+                let shift = (n - 2) * LIMB_BITS;
+                top * 2f64.powi(shift as i32)
+            }
+        }
+    }
+
+    /// Compares two naturals.
+    fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Adds `other` into `self`.
+    pub fn add_assign_ref(&mut self, other: &Natural) {
+        let mut carry = 0u64;
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        for i in 0..n {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Subtracts `other` from `self`.
+    ///
+    /// # Panics
+    /// Panics if `other > self`; the algorithms in this workspace only ever
+    /// subtract quantities that are provably smaller (e.g. model counts of
+    /// sub-functions), so an underflow indicates a logic error.
+    pub fn sub_assign_ref(&mut self, other: &Natural) {
+        debug_assert!(
+            Natural::cmp_limbs(&self.limbs, &other.limbs) != Ordering::Less,
+            "Natural subtraction underflow"
+        );
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        assert_eq!(borrow, 0, "Natural subtraction underflow");
+        self.normalize();
+    }
+
+    /// Checked subtraction: returns `None` when `other > self`.
+    pub fn checked_sub(&self, other: &Natural) -> Option<Natural> {
+        if Natural::cmp_limbs(&self.limbs, &other.limbs) == Ordering::Less {
+            None
+        } else {
+            let mut r = self.clone();
+            r.sub_assign_ref(other);
+            Some(r)
+        }
+    }
+
+    /// Saturating subtraction (`max(self - other, 0)`).
+    pub fn saturating_sub(&self, other: &Natural) -> Natural {
+        self.checked_sub(other).unwrap_or_else(Natural::zero)
+    }
+
+    /// Schoolbook multiplication of raw limb slices.
+    fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Adds `b` shifted left by `shift` limbs into `acc`.
+    fn add_shifted(acc: &mut Vec<u64>, b: &[u64], shift: usize) {
+        if b.is_empty() {
+            return;
+        }
+        if acc.len() < b.len() + shift + 1 {
+            acc.resize(b.len() + shift + 1, 0);
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let i = j + shift;
+            let (s1, c1) = acc[i].overflowing_add(bj);
+            let (s2, c2) = s1.overflowing_add(carry);
+            acc[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        let mut i = b.len() + shift;
+        while carry != 0 {
+            if i >= acc.len() {
+                acc.push(0);
+            }
+            let (s, c) = acc[i].overflowing_add(carry);
+            acc[i] = s;
+            carry = c as u64;
+            i += 1;
+        }
+    }
+
+    /// Subtracts `b` (not shifted) from `acc`; `acc >= b` must hold.
+    fn sub_in_place(acc: &mut [u64], b: &[u64]) {
+        let mut borrow = 0u64;
+        for i in 0..acc.len() {
+            let bi = b.get(i).copied().unwrap_or(0);
+            let (d1, b1) = acc[i].overflowing_sub(bi);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            acc[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+    }
+
+    /// Karatsuba multiplication of raw limb slices.
+    fn mul_karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.len() < KARATSUBA_THRESHOLD || b.len() < KARATSUBA_THRESHOLD {
+            return Natural::mul_schoolbook(a, b);
+        }
+        let half = a.len().max(b.len()) / 2;
+        let (a_lo, a_hi) = a.split_at(half.min(a.len()));
+        let (b_lo, b_hi) = b.split_at(half.min(b.len()));
+
+        let z0 = Natural::mul_karatsuba(a_lo, b_lo);
+        let z2 = Natural::mul_karatsuba(a_hi, b_hi);
+
+        // (a_lo + a_hi) * (b_lo + b_hi)
+        let a_sum = {
+            let mut s = Natural::from_limbs(a_lo.to_vec());
+            s.add_assign_ref(&Natural::from_limbs(a_hi.to_vec()));
+            s
+        };
+        let b_sum = {
+            let mut s = Natural::from_limbs(b_lo.to_vec());
+            s.add_assign_ref(&Natural::from_limbs(b_hi.to_vec()));
+            s
+        };
+        let mut z1 = Natural::mul_karatsuba(&a_sum.limbs, &b_sum.limbs);
+        // z1 = z1 - z0 - z2
+        while z1.len() < z0.len().max(z2.len()) {
+            z1.push(0);
+        }
+        Natural::sub_in_place(&mut z1, &z0);
+        Natural::sub_in_place(&mut z1, &z2);
+
+        let mut out = z0;
+        Natural::add_shifted(&mut out, &z1, half);
+        Natural::add_shifted(&mut out, &z2, 2 * half);
+        out
+    }
+
+    /// Multiplies two naturals.
+    pub fn mul_ref(&self, other: &Natural) -> Natural {
+        Natural::from_limbs(Natural::mul_karatsuba(&self.limbs, &other.limbs))
+    }
+
+    /// Multiplies by a `u64`.
+    pub fn mul_u64(&self, m: u64) -> Natural {
+        if m == 0 || self.is_zero() {
+            return Natural::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let cur = (l as u128) * (m as u128) + carry;
+            out.push(cur as u64);
+            carry = cur >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// Shifts left by `bits` bits (multiplies by 2^bits).
+    pub fn shl_bits(&self, bits: usize) -> Natural {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / LIMB_BITS;
+        let bit_shift = bits % LIMB_BITS;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if bit_shift == 0 {
+                out[i + limb_shift] |= l;
+            } else {
+                out[i + limb_shift] |= l << bit_shift;
+                out[i + limb_shift + 1] |= l >> (LIMB_BITS - bit_shift);
+            }
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// Shifts right by `bits` bits (divides by 2^bits, truncating).
+    pub fn shr_bits(&self, bits: usize) -> Natural {
+        let limb_shift = bits / LIMB_BITS;
+        let bit_shift = bits % LIMB_BITS;
+        if limb_shift >= self.limbs.len() {
+            return Natural::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut v = self.limbs[i] >> bit_shift;
+            if bit_shift != 0 {
+                if let Some(&next) = self.limbs.get(i + 1) {
+                    v |= next << (LIMB_BITS - bit_shift);
+                }
+            }
+            out.push(v);
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// Divides by a `u64`, returning the quotient and remainder.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn div_rem_u64(&self, d: u64) -> (Natural, u64) {
+        assert!(d != 0, "division by zero");
+        let mut quo = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quo[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (Natural::from_limbs(quo), rem as u64)
+    }
+
+    /// Long division: returns `(self / other, self % other)`.
+    ///
+    /// Uses simple bit-by-bit long division; adequate for the reporting and
+    /// normalization paths where it is used (divisions are rare compared to
+    /// additions/multiplications in the hot loops).
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &Natural) -> (Natural, Natural) {
+        assert!(!other.is_zero(), "division by zero");
+        if let (Some(a), Some(b)) = (self.to_u128(), other.to_u128()) {
+            return (Natural::from_u128(a / b), Natural::from_u128(a % b));
+        }
+        match self.cmp(other) {
+            Ordering::Less => return (Natural::zero(), self.clone()),
+            Ordering::Equal => return (Natural::one(), Natural::zero()),
+            Ordering::Greater => {}
+        }
+        let shift = self.bit_len() - other.bit_len();
+        let mut remainder = self.clone();
+        let mut quotient = Natural::zero();
+        let mut divisor = other.shl_bits(shift);
+        for s in (0..=shift).rev() {
+            if remainder >= divisor {
+                remainder.sub_assign_ref(&divisor);
+                quotient.add_assign_ref(&Natural::pow2(s));
+            }
+            divisor = divisor.shr_bits(1);
+        }
+        (quotient, remainder)
+    }
+
+    /// Builds from a `u128`.
+    pub fn from_u128(v: u128) -> Natural {
+        Natural::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u32) -> Natural {
+        let mut base = self.clone();
+        let mut acc = Natural::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        acc
+    }
+
+    /// `n!` (factorial).
+    pub fn factorial(n: u64) -> Natural {
+        let mut acc = Natural::one();
+        for k in 2..=n {
+            acc = acc.mul_u64(k);
+        }
+        acc
+    }
+
+    /// Binomial coefficient `C(n, k)`.
+    pub fn binomial(n: u64, k: u64) -> Natural {
+        if k > n {
+            return Natural::zero();
+        }
+        let k = k.min(n - k);
+        let mut acc = Natural::one();
+        for i in 0..k {
+            acc = acc.mul_u64(n - i);
+            let (q, r) = acc.div_rem_u64(i + 1);
+            debug_assert_eq!(r, 0);
+            acc = q;
+        }
+        acc
+    }
+
+    /// Parses a decimal string.
+    pub fn from_decimal(s: &str) -> Option<Natural> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut acc = Natural::zero();
+        for chunk in s.as_bytes().chunks(18) {
+            let part: u64 = std::str::from_utf8(chunk).ok()?.parse().ok()?;
+            acc = acc.mul_u64(10u64.pow(chunk.len() as u32));
+            acc.add_assign_ref(&Natural::from(part));
+        }
+        Some(acc)
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^19 (largest power of ten fitting in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut parts = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            parts.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        s.push_str(&parts.last().unwrap().to_string());
+        for p in parts.iter().rev().skip(1) {
+            s.push_str(&format!("{:019}", p));
+        }
+        write!(f, "{}", s)
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Natural({})", self)
+    }
+}
+
+impl PartialOrd for Natural {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Natural {
+    fn cmp(&self, other: &Self) -> Ordering {
+        Natural::cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Natural {
+            fn from(v: $t) -> Self {
+                Natural::from_limbs(vec![v as u64])
+            }
+        })*
+    };
+}
+impl_from_uint!(u8, u16, u32, u64, usize);
+
+impl From<u128> for Natural {
+    fn from(v: u128) -> Self {
+        Natural::from_u128(v)
+    }
+}
+
+impl Add<&Natural> for &Natural {
+    type Output = Natural;
+    fn add(self, rhs: &Natural) -> Natural {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl Add for Natural {
+    type Output = Natural;
+    fn add(mut self, rhs: Natural) -> Natural {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl AddAssign<&Natural> for Natural {
+    fn add_assign(&mut self, rhs: &Natural) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Sub<&Natural> for &Natural {
+    type Output = Natural;
+    fn sub(self, rhs: &Natural) -> Natural {
+        let mut out = self.clone();
+        out.sub_assign_ref(rhs);
+        out
+    }
+}
+
+impl Sub for Natural {
+    type Output = Natural;
+    fn sub(mut self, rhs: Natural) -> Natural {
+        self.sub_assign_ref(&rhs);
+        self
+    }
+}
+
+impl SubAssign<&Natural> for Natural {
+    fn sub_assign(&mut self, rhs: &Natural) {
+        self.sub_assign_ref(rhs);
+    }
+}
+
+impl Mul<&Natural> for &Natural {
+    type Output = Natural;
+    fn mul(self, rhs: &Natural) -> Natural {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Mul for Natural {
+    type Output = Natural;
+    fn mul(self, rhs: Natural) -> Natural {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl MulAssign<&Natural> for Natural {
+    fn mul_assign(&mut self, rhs: &Natural) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Shl<usize> for &Natural {
+    type Output = Natural;
+    fn shl(self, bits: usize) -> Natural {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &Natural {
+    type Output = Natural;
+    fn shr(self, bits: usize) -> Natural {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Natural::zero().is_zero());
+        assert!(Natural::one().is_one());
+        assert_eq!(Natural::zero().to_string(), "0");
+        assert_eq!(Natural::one().to_string(), "1");
+        assert_eq!(Natural::zero().bit_len(), 0);
+        assert_eq!(Natural::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn pow2_values() {
+        assert_eq!(Natural::pow2(0), Natural::one());
+        assert_eq!(Natural::pow2(10).to_u64(), Some(1024));
+        assert_eq!(Natural::pow2(64).to_u128(), Some(1u128 << 64));
+        assert_eq!(Natural::pow2(127).to_u128(), Some(1u128 << 127));
+        assert_eq!(Natural::pow2(200).bit_len(), 201);
+    }
+
+    #[test]
+    fn addition_with_carries() {
+        let a = Natural::from(u64::MAX);
+        let b = Natural::from(1u64);
+        let s = &a + &b;
+        assert_eq!(s.to_u128(), Some(u64::MAX as u128 + 1));
+        let big = Natural::pow2(128) + Natural::pow2(128);
+        assert_eq!(big, Natural::pow2(129));
+    }
+
+    #[test]
+    fn subtraction() {
+        let a = Natural::pow2(128);
+        let b = Natural::one();
+        let d = &a - &b;
+        assert_eq!(d.bit_len(), 128);
+        assert_eq!(&d + &b, a);
+        assert_eq!(Natural::from(5u64).checked_sub(&Natural::from(7u64)), None);
+        assert_eq!(
+            Natural::from(5u64).saturating_sub(&Natural::from(7u64)),
+            Natural::zero()
+        );
+    }
+
+    #[test]
+    fn multiplication_small() {
+        let a = Natural::from(123456789u64);
+        let b = Natural::from(987654321u64);
+        assert_eq!((&a * &b).to_u128(), Some(123456789u128 * 987654321u128));
+        assert_eq!((&a * &Natural::zero()), Natural::zero());
+        assert_eq!((&a * &Natural::one()), a);
+    }
+
+    #[test]
+    fn multiplication_large_matches_pow() {
+        let a = Natural::pow2(1000);
+        let b = Natural::pow2(2000);
+        assert_eq!(&a * &b, Natural::pow2(3000));
+        let three = Natural::from(3u64);
+        assert_eq!(three.pow(200), three.pow(100) * three.pow(100));
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build operands large enough to trigger the Karatsuba path.
+        let mut a = Natural::one();
+        let mut b = Natural::one();
+        for i in 0..80u64 {
+            a = a.mul_u64(1_000_000_007 + i);
+            b = b.mul_u64(998_244_353 + i);
+        }
+        let k = Natural::from_limbs(Natural::mul_karatsuba(a.limbs(), b.limbs()));
+        let s = Natural::from_limbs(Natural::mul_schoolbook(a.limbs(), b.limbs()));
+        assert_eq!(k, s);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Natural::from(0b1011u64);
+        assert_eq!(a.shl_bits(3).to_u64(), Some(0b1011000));
+        assert_eq!(a.shl_bits(200).shr_bits(200), a);
+        assert_eq!(a.shr_bits(2).to_u64(), Some(0b10));
+        assert_eq!(a.shr_bits(64), Natural::zero());
+    }
+
+    #[test]
+    fn div_rem_u64_roundtrip() {
+        let a = Natural::from_decimal("123456789012345678901234567890").unwrap();
+        let (q, r) = a.div_rem_u64(97);
+        assert_eq!(&q.mul_u64(97) + &Natural::from(r), a);
+    }
+
+    #[test]
+    fn div_rem_general() {
+        let a = Natural::pow2(200) + Natural::from(12345u64);
+        let b = Natural::pow2(64) + Natural::from(7u64);
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+        // Division by larger number.
+        let (q2, r2) = b.div_rem(&a);
+        assert!(q2.is_zero());
+        assert_eq!(r2, b);
+        // Exact division.
+        let (q3, r3) = Natural::pow2(100).div_rem(&Natural::pow2(40));
+        assert_eq!(q3, Natural::pow2(60));
+        assert!(r3.is_zero());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let cases = [
+            "0",
+            "1",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+            "999999999999999999999999999999999999999",
+        ];
+        for c in cases {
+            let n = Natural::from_decimal(c).unwrap();
+            assert_eq!(n.to_string(), c);
+        }
+        assert!(Natural::from_decimal("12a").is_none());
+        assert!(Natural::from_decimal("").is_none());
+    }
+
+    #[test]
+    fn factorial_and_binomial() {
+        assert_eq!(Natural::factorial(0), Natural::one());
+        assert_eq!(Natural::factorial(5).to_u64(), Some(120));
+        assert_eq!(Natural::factorial(20).to_u64(), Some(2_432_902_008_176_640_000));
+        assert_eq!(Natural::binomial(10, 3).to_u64(), Some(120));
+        assert_eq!(Natural::binomial(5, 7), Natural::zero());
+        assert_eq!(Natural::binomial(52, 26).to_string(), "495918532948104");
+        // Pascal identity on a larger case.
+        let lhs = Natural::binomial(100, 50);
+        let rhs = &Natural::binomial(99, 49) + &Natural::binomial(99, 50);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(Natural::from(12345u64).to_f64(), 12345.0);
+        let big = Natural::pow2(300);
+        let rel = (big.to_f64() - 2f64.powi(300)).abs() / 2f64.powi(300);
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Natural::pow2(65) > Natural::pow2(64));
+        assert!(Natural::from(5u64) < Natural::from(6u64));
+        assert_eq!(Natural::pow2(64).cmp(&Natural::pow2(64)), Ordering::Equal);
+    }
+
+    #[test]
+    fn mul_u64_carries() {
+        let a = Natural::from(u64::MAX);
+        let p = a.mul_u64(u64::MAX);
+        assert_eq!(p.to_u128(), Some(u64::MAX as u128 * u64::MAX as u128));
+    }
+}

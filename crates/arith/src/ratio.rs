@@ -1,0 +1,246 @@
+//! Exact non-negative rationals used for ε-threshold comparisons.
+
+use crate::Natural;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A non-negative rational number `numer / denom` with `denom > 0`.
+///
+/// `AdaBan` needs to decide conditions such as `(1-ε)·U ≤ (1+ε)·L` and the
+/// harness compares observed error ratios; doing this with exact cross
+/// multiplication avoids any floating-point rounding subtleties near the
+/// decision boundary.
+#[derive(Clone, Debug)]
+pub struct Ratio {
+    numer: Natural,
+    denom: Natural,
+}
+
+impl PartialEq for Ratio {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Ratio {}
+
+impl Ratio {
+    /// Builds `numer / denom`.
+    ///
+    /// # Panics
+    /// Panics if `denom` is zero.
+    pub fn new(numer: Natural, denom: Natural) -> Self {
+        assert!(!denom.is_zero(), "Ratio denominator must be non-zero");
+        Ratio { numer, denom }
+    }
+
+    /// Builds the ratio `n / d` from machine integers.
+    pub fn from_u64(n: u64, d: u64) -> Self {
+        Ratio::new(Natural::from(n), Natural::from(d))
+    }
+
+    /// The rational 0.
+    pub fn zero() -> Self {
+        Ratio::new(Natural::zero(), Natural::one())
+    }
+
+    /// The rational 1.
+    pub fn one() -> Self {
+        Ratio::new(Natural::one(), Natural::one())
+    }
+
+    /// Converts a small decimal like `0.1` or `0.05` into an exact ratio.
+    ///
+    /// Accepts strings of the form `I`, `I.F`, or `.F` where `I` and `F` are
+    /// decimal digit strings. Returns `None` on malformed input.
+    pub fn from_decimal_str(s: &str) -> Option<Self> {
+        let (int_part, frac_part) = match s.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (s, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return None;
+        }
+        let int_digits = if int_part.is_empty() { "0" } else { int_part };
+        let int_n = Natural::from_decimal(int_digits)?;
+        let frac_n = if frac_part.is_empty() {
+            Natural::zero()
+        } else {
+            Natural::from_decimal(frac_part)?
+        };
+        let denom = Natural::from(10u64).pow(frac_part.len() as u32);
+        let numer = &int_n.mul_ref(&denom) + &frac_n;
+        Some(Ratio::new(numer, denom))
+    }
+
+    /// Converts an `f64` in `[0, 1]` into an exact ratio with denominator
+    /// 10^9, which is more than enough resolution for an error parameter.
+    pub fn from_f64_approx(v: f64) -> Self {
+        let v = v.clamp(0.0, 1.0e9);
+        let denom = 1_000_000_000u64;
+        let numer = (v * denom as f64).round() as u64;
+        Ratio::from_u64(numer, denom)
+    }
+
+    /// Numerator.
+    pub fn numer(&self) -> &Natural {
+        &self.numer
+    }
+
+    /// Denominator.
+    pub fn denom(&self) -> &Natural {
+        &self.denom
+    }
+
+    /// `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.numer.is_zero()
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.numer.to_f64() / self.denom.to_f64()
+    }
+
+    /// Exact product of two ratios (not reduced; fine for comparisons).
+    pub fn mul(&self, other: &Ratio) -> Ratio {
+        Ratio::new(self.numer.mul_ref(&other.numer), self.denom.mul_ref(&other.denom))
+    }
+
+    /// Exact sum of two ratios.
+    pub fn add(&self, other: &Ratio) -> Ratio {
+        let numer = &self.numer.mul_ref(&other.denom) + &other.numer.mul_ref(&self.denom);
+        Ratio::new(numer, self.denom.mul_ref(&other.denom))
+    }
+
+    /// Multiplies the ratio by a natural number, yielding a new ratio.
+    pub fn mul_natural(&self, n: &Natural) -> Ratio {
+        Ratio::new(self.numer.mul_ref(n), self.denom.clone())
+    }
+
+    /// Decides `(1 - eps) * upper <= (1 + eps) * lower` exactly, where
+    /// `lower` and `upper` are naturals and `eps` is this ratio.
+    ///
+    /// This is the stopping condition of `AdaBan` (Sec. 3.2.3 of the paper).
+    /// Cross-multiplying by the (positive) denominator keeps everything in
+    /// natural arithmetic: the condition is
+    /// `(denom - numer) * upper <= (denom + numer) * lower`.
+    /// If `eps >= 1` the left factor saturates at zero and the condition
+    /// always holds.
+    pub fn error_condition_met(&self, lower: &Natural, upper: &Natural) -> bool {
+        let left_factor = self.denom.saturating_sub(&self.numer);
+        let lhs = left_factor.mul_ref(upper);
+        let rhs = (&self.denom + &self.numer).mul_ref(lower);
+        lhs <= rhs
+    }
+
+    /// `(1 - eps) * value`, rounded down, as a natural.
+    pub fn one_minus_times(&self, value: &Natural) -> Natural {
+        let factor = self.denom.saturating_sub(&self.numer);
+        let (q, _r) = factor.mul_ref(value).div_rem(&self.denom);
+        q
+    }
+
+    /// `(1 + eps) * value`, rounded up, as a natural.
+    pub fn one_plus_times(&self, value: &Natural) -> Natural {
+        let factor = &self.denom + &self.numer;
+        let prod = factor.mul_ref(value);
+        let (q, r) = prod.div_rem(&self.denom);
+        if r.is_zero() {
+            q
+        } else {
+            &q + &Natural::one()
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b  (denominators are positive)
+        self.numer
+            .mul_ref(&other.denom)
+            .cmp(&other.numer.mul_ref(&self.denom))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.numer, self.denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_parsing() {
+        let r = Ratio::from_decimal_str("0.1").unwrap();
+        assert_eq!(r, Ratio::from_u64(1, 10));
+        let r = Ratio::from_decimal_str("2.5").unwrap();
+        assert_eq!(r, Ratio::from_u64(25, 10));
+        let r = Ratio::from_decimal_str(".25").unwrap();
+        assert_eq!(r, Ratio::from_u64(25, 100));
+        let r = Ratio::from_decimal_str("3").unwrap();
+        assert_eq!(r, Ratio::from_u64(3, 1));
+        assert!(Ratio::from_decimal_str("").is_none());
+        assert!(Ratio::from_decimal_str("a.b").is_none());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::from_u64(1, 3) < Ratio::from_u64(1, 2));
+        assert!(Ratio::from_u64(2, 4) == Ratio::from_u64(1, 2));
+        assert!(Ratio::from_u64(7, 3) > Ratio::one());
+        assert!(Ratio::zero() < Ratio::from_u64(1, 1_000_000));
+    }
+
+    #[test]
+    fn error_condition_examples_from_paper() {
+        // Example 14: Lb = 43, Ub = 136. eps = 0.5 is not sufficient,
+        // eps = 0.6 is sufficient.
+        let lower = Natural::from(43u64);
+        let upper = Natural::from(136u64);
+        assert!(!Ratio::from_decimal_str("0.5").unwrap().error_condition_met(&lower, &upper));
+        assert!(Ratio::from_decimal_str("0.6").unwrap().error_condition_met(&lower, &upper));
+        // With eps = 0 the condition only holds when lower == upper.
+        let eps0 = Ratio::zero();
+        assert!(!eps0.error_condition_met(&lower, &upper));
+        assert!(eps0.error_condition_met(&upper, &upper));
+        // eps >= 1 always satisfies the condition.
+        let eps1 = Ratio::one();
+        assert!(eps1.error_condition_met(&Natural::zero(), &Natural::from(100u64)));
+    }
+
+    #[test]
+    fn one_plus_minus_times() {
+        let eps = Ratio::from_decimal_str("0.5").unwrap();
+        assert_eq!(eps.one_minus_times(&Natural::from(100u64)).to_u64(), Some(50));
+        assert_eq!(eps.one_plus_times(&Natural::from(100u64)).to_u64(), Some(150));
+        // Rounding: (1 - 0.6) * 7 = 2.8 -> 2 (down);  (1 + 0.6) * 7 = 11.2 -> 12 (up).
+        let eps = Ratio::from_decimal_str("0.6").unwrap();
+        assert_eq!(eps.one_minus_times(&Natural::from(7u64)).to_u64(), Some(2));
+        assert_eq!(eps.one_plus_times(&Natural::from(7u64)).to_u64(), Some(12));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::from_u64(1, 3);
+        let b = Ratio::from_u64(1, 6);
+        assert_eq!(a.add(&b), Ratio::from_u64(9, 18));
+        assert_eq!(a.mul(&b), Ratio::from_u64(1, 18));
+        assert_eq!(a.mul_natural(&Natural::from(6u64)), Ratio::from_u64(6, 3));
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let r = Ratio::from_f64_approx(0.1);
+        assert!((r.to_f64() - 0.1).abs() < 1e-9);
+    }
+}

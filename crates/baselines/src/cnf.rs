@@ -1,0 +1,162 @@
+//! CNF encoding of positive DNF lineage (the Sig22 pipeline's first step).
+//!
+//! A monotone DNF `φ = C₁ ∨ … ∨ Cₘ` over variables `X` is encoded into CNF
+//! over `X ∪ {a₁, …, aₘ}` with one auxiliary variable per clause:
+//!
+//! ```text
+//!   aᵢ → x        for every x ∈ Cᵢ          (¬aᵢ ∨ x)
+//!   Cᵢ → aᵢ                                  (aᵢ ∨ ⋁_{x∈Cᵢ} ¬x)
+//!   a₁ ∨ … ∨ aₘ                              (the function must hold)
+//! ```
+//!
+//! The encoding is *parsimonious*: every model of `φ` over `X` extends
+//! uniquely to a model of the CNF (the `aᵢ` are determined), so model counts
+//! and per-variable conditioned counts — and therefore Banzhaf values of the
+//! original variables — are preserved.
+
+use banzhaf_boolean::{Dnf, Var};
+
+/// A literal in the CNF encoding: a variable index (into the encoding's own
+/// dense variable space) and a polarity.
+pub(crate) type Lit = (u32, bool);
+
+/// A CNF formula produced by encoding a lineage DNF.
+#[derive(Clone, Debug)]
+pub struct CnfFormula {
+    /// Clauses as vectors of literals.
+    pub(crate) clauses: Vec<Vec<Lit>>,
+    /// Total number of variables (original + auxiliary).
+    pub(crate) num_vars: u32,
+    /// For each encoding variable index `< original.len()`, the original
+    /// lineage variable it represents; indices `>= original.len()` are
+    /// auxiliary clause variables.
+    pub(crate) original: Vec<Var>,
+}
+
+impl CnfFormula {
+    /// Encodes a positive DNF into CNF with auxiliary clause variables.
+    ///
+    /// Constant functions are encoded with zero or one trivial clause so that
+    /// the compiler downstream handles them uniformly.
+    pub fn encode(phi: &Dnf) -> CnfFormula {
+        let original: Vec<Var> = phi.universe().iter().collect();
+        let index_of = |v: Var| -> u32 {
+            original.binary_search(&v).expect("clause variable is in the universe") as u32
+        };
+        let m = phi.num_clauses() as u32;
+        let n = original.len() as u32;
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        if phi.is_true() {
+            // No constraints: every assignment of the universe is a model.
+            return CnfFormula { clauses, num_vars: n, original };
+        }
+        if phi.is_false() {
+            // A single empty clause: unsatisfiable.
+            clauses.push(Vec::new());
+            return CnfFormula { clauses, num_vars: n, original };
+        }
+        for (i, clause) in phi.clauses().iter().enumerate() {
+            let aux = n + i as u32;
+            // aᵢ → x for each x in the clause.
+            for v in clause.iter() {
+                clauses.push(vec![(aux, false), (index_of(v), true)]);
+            }
+            // (⋀ clause) → aᵢ.
+            let mut back: Vec<Lit> = clause.iter().map(|v| (index_of(v), false)).collect();
+            back.push((aux, true));
+            clauses.push(back);
+        }
+        // At least one clause of the DNF holds.
+        clauses.push((0..m).map(|i| (n + i, true)).collect());
+        CnfFormula { clauses, num_vars: n + m, original }
+    }
+
+    /// Number of CNF clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of variables (original + auxiliary).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Number of original (lineage) variables.
+    pub fn num_original_vars(&self) -> usize {
+        self.original.len()
+    }
+
+    /// The original lineage variable for encoding index `idx`, if `idx` is not
+    /// an auxiliary variable.
+    pub fn original_var(&self, idx: u32) -> Option<Var> {
+        self.original.get(idx as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    /// Brute-force model count of the CNF restricted over all its variables.
+    fn cnf_model_count(cnf: &CnfFormula) -> u64 {
+        let n = cnf.num_vars();
+        assert!(n <= 22);
+        let mut count = 0;
+        'outer: for mask in 0u64..(1 << n) {
+            for clause in &cnf.clauses {
+                let satisfied = clause.iter().any(|&(var, pos)| {
+                    let value = mask & (1 << var) != 0;
+                    value == pos
+                });
+                if !satisfied {
+                    continue 'outer;
+                }
+            }
+            count += 1;
+        }
+        count
+    }
+
+    #[test]
+    fn encoding_preserves_model_count() {
+        let functions = vec![
+            Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]),
+            Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)], vec![v(2), v(3)]]),
+            Dnf::from_clauses(vec![vec![v(0)], vec![v(1), v(2)]]),
+        ];
+        for phi in functions {
+            let cnf = CnfFormula::encode(&phi);
+            assert_eq!(
+                cnf_model_count(&cnf),
+                phi.brute_force_model_count().to_u64().unwrap(),
+                "{phi}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_shape() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        let cnf = CnfFormula::encode(&phi);
+        assert_eq!(cnf.num_original_vars(), 3);
+        assert_eq!(cnf.num_vars(), 5); // 3 original + 2 auxiliary.
+        // 2 clauses × (2 implications + 1 back implication) + 1 top clause.
+        assert_eq!(cnf.num_clauses(), 2 * 3 + 1);
+        assert_eq!(cnf.original_var(0), Some(v(0)));
+        assert_eq!(cnf.original_var(4), None);
+    }
+
+    #[test]
+    fn constants() {
+        let t = Dnf::constant_true(banzhaf_boolean::VarSet::from_iter([v(0), v(1)]));
+        let cnf = CnfFormula::encode(&t);
+        assert_eq!(cnf_model_count(&cnf), 4);
+        let f = Dnf::constant_false(banzhaf_boolean::VarSet::from_iter([v(0), v(1)]));
+        let cnf = CnfFormula::encode(&f);
+        assert_eq!(cnf_model_count(&cnf), 0);
+    }
+}

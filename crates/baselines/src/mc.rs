@@ -1,0 +1,143 @@
+//! Monte Carlo approximation of Banzhaf values (the `MC` baseline).
+//!
+//! For each variable `x`, sample uniformly random subsets `Y ⊆ X∖{x}` and
+//! average the marginal contribution `φ[Y ∪ {x}] − φ[Y]`; the Banzhaf value is
+//! `2^{n−1}` times that expectation. This is the randomized
+//! absolute-error scheme of Livshits et al. adapted from Shapley to Banzhaf
+//! (Sec. 5.1 and Sec. 6 of the paper): it gives only probabilistic guarantees,
+//! one more sample may make the estimate worse, and it treats the lineage as a
+//! black box.
+
+use banzhaf_arith::Natural;
+use banzhaf_boolean::{Assignment, Dnf, Var};
+use banzhaf_dtree::{Budget, Interrupted};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Configuration of the Monte Carlo estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct McOptions {
+    /// Number of samples drawn *per variable*. The paper's `MC50#vars`
+    /// configuration corresponds to 50 samples per variable.
+    pub samples_per_var: u64,
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        McOptions { samples_per_var: 50 }
+    }
+}
+
+/// Estimates the Banzhaf value of every variable of `phi` by Monte Carlo
+/// sampling. Returns point estimates (possibly non-integral) per variable.
+pub fn mc_banzhaf<R: Rng>(
+    phi: &Dnf,
+    options: &McOptions,
+    rng: &mut R,
+    budget: &Budget,
+) -> Result<HashMap<Var, f64>, Interrupted> {
+    let vars: Vec<Var> = phi.universe().iter().collect();
+    let n = vars.len();
+    let scale = Natural::pow2(n.saturating_sub(1)).to_f64();
+    let mut estimates = HashMap::with_capacity(n);
+    for &x in &vars {
+        let mut positive_flips = 0u64;
+        for _ in 0..options.samples_per_var {
+            budget.step()?;
+            // Sample Y ⊆ X∖{x} uniformly.
+            let mut assignment = Assignment::empty();
+            for &y in &vars {
+                if y != x && rng.gen_bool(0.5) {
+                    assignment.set(y, true);
+                }
+            }
+            let without = phi.evaluate(&assignment);
+            if without {
+                // Monotone lineage: adding x cannot turn the query false, so
+                // the marginal contribution is 0.
+                continue;
+            }
+            assignment.set(x, true);
+            if phi.evaluate(&assignment) {
+                positive_flips += 1;
+            }
+        }
+        let mean = positive_flips as f64 / options.samples_per_var.max(1) as f64;
+        estimates.insert(x, mean * scale);
+    }
+    Ok(estimates)
+}
+
+/// Ranks variables by decreasing Monte Carlo estimate (ties by index).
+pub fn rank_estimates(estimates: &HashMap<Var, f64>) -> Vec<Var> {
+    let mut vars: Vec<Var> = estimates.keys().copied().collect();
+    vars.sort_by(|a, b| {
+        estimates[b]
+            .partial_cmp(&estimates[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
+    });
+    vars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn converges_to_exact_values_on_small_functions() {
+        // φ = (x ∧ y) ∨ (x ∧ z) ∨ u: exact values x:3, y:1, z:1, u:5.
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)], vec![v(3)]]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let options = McOptions { samples_per_var: 20_000 };
+        let estimates = mc_banzhaf(&phi, &options, &mut rng, &Budget::unlimited()).unwrap();
+        let exact = [(v(0), 3.0), (v(1), 1.0), (v(2), 1.0), (v(3), 5.0)];
+        for (x, expected) in exact {
+            let got = estimates[&x];
+            assert!(
+                (got - expected).abs() < 0.35,
+                "estimate for {x} too far off: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_recovers_clear_winner() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)], vec![v(3)]]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let options = McOptions { samples_per_var: 5_000 };
+        let estimates = mc_banzhaf(&phi, &options, &mut rng, &Budget::unlimited()).unwrap();
+        let ranking = rank_estimates(&estimates);
+        assert_eq!(ranking[0], v(3));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
+        let options = McOptions { samples_per_var: 100 };
+        let a = mc_banzhaf(&phi, &options, &mut StdRng::seed_from_u64(1), &Budget::unlimited())
+            .unwrap();
+        let b = mc_banzhaf(&phi, &options, &mut StdRng::seed_from_u64(1), &Budget::unlimited())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
+        let options = McOptions { samples_per_var: 1_000 };
+        let result = mc_banzhaf(
+            &phi,
+            &options,
+            &mut StdRng::seed_from_u64(1),
+            &Budget::with_max_steps(10),
+        );
+        assert_eq!(result.unwrap_err(), Interrupted);
+    }
+}

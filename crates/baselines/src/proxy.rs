@@ -1,0 +1,88 @@
+//! The CNF Proxy ranking heuristic.
+//!
+//! Deutch et al. rank facts by a cheap proxy score computed on the CNF
+//! representation of the lineage, without any approximation guarantee; the
+//! proxy values are typically *not* close to the true attribution values but
+//! the induced ranking often is (Sec. 6 of the paper). Our reproduction scores
+//! a fact by the probability mass of the lineage clauses it participates in
+//! under independent fair coin flips: each DNF clause `C ∋ x` contributes
+//! `2^{-(|C|-1)}` — the probability that the rest of the clause is satisfied,
+//! i.e. the chance that `x` is pivotal for that clause in isolation. This
+//! keeps the defining characteristics of the heuristic: linear time, no
+//! guarantees, good-but-not-perfect rankings.
+
+use banzhaf_boolean::{Dnf, Var};
+use std::collections::HashMap;
+
+/// Computes the CNF-proxy score of every variable of `phi`.
+pub fn cnf_proxy(phi: &Dnf) -> HashMap<Var, f64> {
+    let mut scores: HashMap<Var, f64> = phi.universe().iter().map(|v| (v, 0.0)).collect();
+    for clause in phi.clauses() {
+        if clause.is_empty() {
+            continue;
+        }
+        let weight = 2f64.powi(-(clause.len() as i32 - 1));
+        for v in clause.iter() {
+            *scores.entry(v).or_insert(0.0) += weight;
+        }
+    }
+    scores
+}
+
+/// Ranks variables by decreasing proxy score (ties by index).
+pub fn rank_proxy(scores: &HashMap<Var, f64>) -> Vec<Var> {
+    let mut vars: Vec<Var> = scores.keys().copied().collect();
+    vars.sort_by(|a, b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
+    });
+    vars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn scores_reflect_occurrences_and_clause_sizes() {
+        // φ = (x ∧ y) ∨ (x ∧ z) ∨ u.
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)], vec![v(3)]]);
+        let scores = cnf_proxy(&phi);
+        assert_eq!(scores[&v(0)], 1.0); // Two clauses of size 2.
+        assert_eq!(scores[&v(1)], 0.5);
+        assert_eq!(scores[&v(3)], 1.0); // One clause of size 1.
+        // Unused universe variables get score 0.
+        let phi = Dnf::from_clauses_with_universe(
+            vec![vec![v(0)]],
+            banzhaf_boolean::VarSet::from_iter([v(0), v(1)]),
+        );
+        assert_eq!(cnf_proxy(&phi)[&v(1)], 0.0);
+    }
+
+    #[test]
+    fn proxy_ranking_often_matches_exact_ranking() {
+        // On this simple lineage the proxy agrees with the exact top-1.
+        let phi = Dnf::from_clauses(vec![
+            vec![v(0), v(1)],
+            vec![v(0), v(2)],
+            vec![v(0), v(3)],
+            vec![v(4), v(5)],
+        ]);
+        let ranking = rank_proxy(&cnf_proxy(&phi));
+        assert_eq!(ranking[0], v(0));
+    }
+
+    #[test]
+    fn constant_functions_have_zero_scores() {
+        let t = Dnf::constant_true(banzhaf_boolean::VarSet::from_iter([v(0)]));
+        assert_eq!(cnf_proxy(&t)[&v(0)], 0.0);
+        let f = Dnf::constant_false(banzhaf_boolean::VarSet::from_iter([v(0)]));
+        assert_eq!(cnf_proxy(&f)[&v(0)], 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Criterion benchmarks of the end-to-end algorithms on random lineages of
+//! increasing size: ExaBan vs the Sig22 baseline (exact computation), AdaBan
+//! at ε = 0.1, and IchiBan top-k — the micro-scale analogue of Tables 3, 5
+//! and 9.
+
+use banzhaf::{
+    adaban_all, exaban_all, ichiban_topk, AdaBanOptions, Budget, DTree, IchiBanOptions,
+    PivotHeuristic, Var,
+};
+use banzhaf_baselines::sig22_exact;
+use banzhaf_workloads::{LineageGenerator, LineageShape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn lineages(sizes: &[usize]) -> Vec<(usize, banzhaf_boolean::Dnf)> {
+    let mut rng = StdRng::seed_from_u64(2024);
+    sizes
+        .iter()
+        .map(|&n| {
+            let shape = LineageShape {
+                num_vars: n,
+                num_clauses: n,
+                min_width: 2,
+                max_width: 3,
+                skew: 0.8,
+            };
+            (n, LineageGenerator::new(shape).generate(&mut rng))
+        })
+        .collect()
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact");
+    group.sample_size(15);
+    for (n, phi) in lineages(&[12, 18, 24]) {
+        group.bench_with_input(BenchmarkId::new("exaban", n), &phi, |bench, phi| {
+            bench.iter(|| {
+                let tree = DTree::compile_full(
+                    phi.clone(),
+                    PivotHeuristic::MostFrequent,
+                    &Budget::unlimited(),
+                )
+                .unwrap();
+                exaban_all(&tree)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sig22", n), &phi, |bench, phi| {
+            bench.iter(|| sig22_exact(phi, &Budget::unlimited()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_approximate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approximate");
+    group.sample_size(15);
+    for (n, phi) in lineages(&[18, 24, 30]) {
+        let vars: Vec<Var> = phi.universe().iter().collect();
+        group.bench_with_input(BenchmarkId::new("adaban_0.1", n), &phi, |bench, phi| {
+            bench.iter(|| {
+                let mut tree = DTree::from_leaf(phi.clone());
+                adaban_all(
+                    &mut tree,
+                    &vars,
+                    &AdaBanOptions::with_epsilon_str("0.1"),
+                    &Budget::unlimited(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    group.sample_size(15);
+    for (n, phi) in lineages(&[18, 24]) {
+        group.bench_with_input(BenchmarkId::new("ichiban_eps0.1_top5", n), &phi, |bench, phi| {
+            bench.iter(|| {
+                let mut tree = DTree::from_leaf(phi.clone());
+                ichiban_topk(
+                    &mut tree,
+                    5,
+                    &IchiBanOptions::with_epsilon_str("0.1"),
+                    &Budget::unlimited(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_approximate, bench_topk);
+criterion_main!(benches);

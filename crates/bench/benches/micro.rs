@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the building blocks: bigint arithmetic,
+//! iDNF bound construction and counting, d-tree compilation, and Monte Carlo
+//! sampling throughput.
+
+use banzhaf::{Budget, DTree, PivotHeuristic};
+use banzhaf_arith::Natural;
+use banzhaf_baselines::{mc_banzhaf, McOptions};
+use banzhaf_boolean::{lower_bound_fn, upper_bound_fn};
+use banzhaf_workloads::{LineageGenerator, LineageShape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn shape(num_vars: usize, num_clauses: usize) -> LineageShape {
+    LineageShape { num_vars, num_clauses, min_width: 2, max_width: 4, skew: 0.6 }
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint");
+    for bits in [256usize, 2048, 16384] {
+        let a = &Natural::pow2(bits) - &Natural::from(12345u64);
+        let b = &Natural::pow2(bits / 2) + &Natural::from(6789u64);
+        group.bench_with_input(BenchmarkId::new("mul", bits), &bits, |bench, _| {
+            bench.iter(|| a.mul_ref(&b));
+        });
+        group.bench_with_input(BenchmarkId::new("add", bits), &bits, |bench, _| {
+            bench.iter(|| &a + &b);
+        });
+    }
+    group.finish();
+}
+
+fn bench_idnf_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("idnf_bounds");
+    let mut rng = StdRng::seed_from_u64(11);
+    for clauses in [20usize, 100, 400] {
+        let phi = LineageGenerator::new(shape(clauses, clauses)).generate(&mut rng);
+        group.bench_with_input(BenchmarkId::new("L_and_U_counts", clauses), &clauses, |bench, _| {
+            bench.iter(|| {
+                let l = lower_bound_fn(&phi).idnf_model_count();
+                let u = upper_bound_fn(&phi).idnf_model_count();
+                (l, u)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtree_compile");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(12);
+    for vars in [15usize, 25, 35] {
+        let phi = LineageGenerator::new(shape(vars, vars)).generate(&mut rng);
+        group.bench_with_input(BenchmarkId::new("compile_full", vars), &vars, |bench, _| {
+            bench.iter(|| {
+                DTree::compile_full(phi.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mc_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_sampling");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(13);
+    let phi = LineageGenerator::new(shape(40, 30)).generate(&mut rng);
+    for samples in [10u64, 50] {
+        group.bench_with_input(BenchmarkId::new("samples_per_var", samples), &samples, |bench, &s| {
+            bench.iter(|| {
+                let mut sample_rng = StdRng::seed_from_u64(7);
+                mc_banzhaf(
+                    &phi,
+                    &McOptions { samples_per_var: s },
+                    &mut sample_rng,
+                    &Budget::unlimited(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bigint, bench_idnf_bounds, bench_compile, bench_mc_sampling);
+criterion_main!(benches);

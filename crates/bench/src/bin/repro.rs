@@ -1,0 +1,94 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] <experiment>...
+//! repro --all
+//! ```
+//!
+//! Experiments: `table1 table2 table3 table4 fig4 table5 table6 table7 fig5
+//! table8 table9 app_d ablation_heuristic ablation_adaban`.
+//! Sweep-based experiments share one sweep per invocation.
+
+use banzhaf_bench::experiments;
+use banzhaf_bench::runner::{run_sweep, HarnessConfig};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] <experiment>... | --all");
+        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban");
+        std::process::exit(1);
+    }
+
+    let mut config = HarnessConfig::default();
+    let mut experiments_requested: Vec<String> = Vec::new();
+    let mut run_everything = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--all" => run_everything = true,
+            "--timeout-ms" => {
+                let value = iter.next().expect("--timeout-ms needs a value");
+                config.timeout = Duration::from_millis(value.parse().expect("numeric timeout"));
+            }
+            "--scale" => {
+                let value = iter.next().expect("--scale needs a value");
+                config.scale = value.parse().expect("numeric scale");
+            }
+            "--epsilon" => {
+                config.epsilon = iter.next().expect("--epsilon needs a value");
+            }
+            "--topk" => {
+                let value = iter.next().expect("--topk needs a value");
+                config.topk = value.parse().expect("numeric k");
+            }
+            "--seed" => {
+                let value = iter.next().expect("--seed needs a value");
+                config.seed = value.parse().expect("numeric seed");
+            }
+            other => experiments_requested.push(other.to_owned()),
+        }
+    }
+
+    if run_everything {
+        println!("{}", experiments::run_all(&config));
+        return;
+    }
+
+    // Run the sweep lazily: only if some requested experiment needs it.
+    let needs_sweep = experiments_requested.iter().any(|e| {
+        matches!(
+            e.as_str(),
+            "table2" | "table3" | "table4" | "fig4" | "table5" | "table6" | "table7" | "fig5"
+                | "table8"
+        )
+    });
+    let records = if needs_sweep { run_sweep(&config) } else { Vec::new() };
+
+    for experiment in &experiments_requested {
+        let report = match experiment.as_str() {
+            "table1" => experiments::table1(&config),
+            "table2" => experiments::table2(&records, &config),
+            "table3" => experiments::table3(&records),
+            "table4" => experiments::table4(&records),
+            "fig4" => experiments::fig4(&records),
+            "table5" => experiments::table5(&records),
+            "table6" => experiments::table6(&records),
+            "table7" => experiments::table7(&records),
+            "fig5" => experiments::fig5(&records, &config),
+            "table8" => experiments::table8(&records, &config),
+            "table9" => experiments::table9(&config),
+            "app_d" => experiments::app_d(),
+            "ablation_heuristic" => experiments::ablation_heuristic(&config),
+            "ablation_adaban" => experiments::ablation_adaban(&config),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                continue;
+            }
+        };
+        println!("{report}");
+    }
+}

@@ -1,0 +1,659 @@
+//! One driver per table/figure of the paper's evaluation.
+//!
+//! Every function returns a plain-text report; the `repro` binary prints them.
+//! The experiment identifiers match the per-experiment index in DESIGN.md and
+//! the paper-vs-measured record in EXPERIMENTS.md.
+
+use crate::report::{percent, RuntimeSummary, TextTable, PERCENTILES};
+use crate::runner::{by_corpus, run_sweep, HarnessConfig, InstanceRecord};
+use banzhaf::{
+    adaban, critical_counts_all, exaban_all, l1_distance_normalized, shapley_all, AdaBanOptions,
+    Budget, DTree, PivotHeuristic, Var,
+};
+use banzhaf_baselines::{mc_banzhaf, rank_estimates, rank_proxy, McOptions};
+use banzhaf_boolean::Dnf;
+use banzhaf_db::Database;
+use banzhaf_query::{evaluate, parse_program};
+use banzhaf_workloads::Corpus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn runtime_header(first: &str) -> Vec<String> {
+    let mut header = vec![first.to_owned(), "Mean".to_owned()];
+    header.extend(PERCENTILES.iter().map(|&(name, _)| name.to_owned()));
+    header.push("Max".to_owned());
+    header
+}
+
+/// Table 1: statistics of the three corpora.
+pub fn table1(config: &HarnessConfig) -> String {
+    let mut table = TextTable::new([
+        "Dataset",
+        "#Queries",
+        "#Lineages",
+        "#Vars (avg/max)",
+        "#Clauses (avg/max)",
+    ]);
+    for corpus in config.corpora() {
+        let stats = corpus.stats();
+        table.push_row([
+            corpus.name.clone(),
+            stats.num_queries.to_string(),
+            stats.num_lineages.to_string(),
+            format!("{:.0} / {}", stats.avg_vars, stats.max_vars),
+            format!("{:.0} / {}", stats.avg_clauses, stats.max_clauses),
+        ]);
+    }
+    format!("Table 1 — dataset statistics (synthetic stand-ins)\n{}", table.render())
+}
+
+/// Table 2: query and lineage success rates for ExaBan, Sig22, AdaBan, MC.
+pub fn table2(records: &[InstanceRecord], config: &HarnessConfig) -> String {
+    let mut table = TextTable::new(["Dataset", "Algorithm", "Query success", "Lineage success"]);
+    for (corpus, group) in by_corpus(records) {
+        let algos: [(&str, Box<dyn Fn(&InstanceRecord) -> bool>); 4] = [
+            ("ExaBan", Box::new(|r: &InstanceRecord| r.exaban.success)),
+            ("Sig22", Box::new(|r: &InstanceRecord| r.sig22.success)),
+            (
+                "AdaBan0.1",
+                Box::new(|r: &InstanceRecord| r.adaban.success),
+            ),
+            ("MC50#vars", Box::new(|r: &InstanceRecord| r.mc.success)),
+        ];
+        for (name, pred) in algos {
+            let (q_ok, q_total) = crate::runner::query_success_rate(&group, &pred);
+            let l_ok = group.iter().filter(|r| pred(r)).count();
+            table.push_row([
+                corpus.clone(),
+                name.to_owned(),
+                percent(q_ok, q_total),
+                percent(l_ok, group.len()),
+            ]);
+        }
+    }
+    format!(
+        "Table 2 — success rates (per-instance timeout {:?}, ε = {})\n{}",
+        config.timeout,
+        config.epsilon,
+        table.render()
+    )
+}
+
+/// Table 3: runtime percentiles of ExaBan vs Sig22 on instances where Sig22
+/// succeeds.
+pub fn table3(records: &[InstanceRecord]) -> String {
+    let mut table = TextTable::new(runtime_header("Dataset / Algorithm"));
+    for (corpus, group) in by_corpus(records) {
+        let both: Vec<&&InstanceRecord> =
+            group.iter().filter(|r| r.sig22.success && r.exaban.success).collect();
+        let exa = RuntimeSummary::of(both.iter().map(|r| r.exaban.seconds).collect());
+        let sig = RuntimeSummary::of(both.iter().map(|r| r.sig22.seconds).collect());
+        let mut exa_row = vec![format!("{corpus} / ExaBan ({} inst.)", exa.count)];
+        exa_row.extend(exa.row());
+        table.push_row(exa_row);
+        let mut sig_row = vec![format!("{corpus} / Sig22")];
+        sig_row.extend(sig.row());
+        table.push_row(sig_row);
+    }
+    format!("Table 3 — exact computation where Sig22 succeeds\n{}", table.render())
+}
+
+/// Table 4: ExaBan success rate and runtimes on instances where Sig22 fails.
+pub fn table4(records: &[InstanceRecord]) -> String {
+    let mut table = TextTable::new(runtime_header("Dataset (success rate)"));
+    for (corpus, group) in by_corpus(records) {
+        let sig_failed: Vec<&&InstanceRecord> = group.iter().filter(|r| !r.sig22.success).collect();
+        let exa_ok: Vec<&&&InstanceRecord> =
+            sig_failed.iter().filter(|r| r.exaban.success).collect();
+        let summary = RuntimeSummary::of(exa_ok.iter().map(|r| r.exaban.seconds).collect());
+        let mut row = vec![format!(
+            "{corpus} ({} of {} Sig22 failures)",
+            percent(exa_ok.len(), sig_failed.len()),
+            sig_failed.len()
+        )];
+        row.extend(summary.row());
+        table.push_row(row);
+    }
+    format!("Table 4 — ExaBan on instances where Sig22 fails\n{}", table.render())
+}
+
+/// Figure 4: ExaBan success rate and runtime grouped by lineage size.
+pub fn fig4(records: &[InstanceRecord]) -> String {
+    let buckets: [(usize, usize); 6] =
+        [(0, 10), (10, 20), (20, 40), (40, 80), (80, 160), (160, usize::MAX)];
+    let mut out = String::from("Figure 4 — ExaBan success and runtime by lineage size\n");
+    for (label, key) in [("#Variables", 0usize), ("#Clauses", 1usize)] {
+        let mut table =
+            TextTable::new([label, "Instances", "Success rate", "Mean time", "Max time"]);
+        for &(lo, hi) in &buckets {
+            let in_bucket: Vec<&InstanceRecord> = records
+                .iter()
+                .filter(|r| {
+                    let size = if key == 0 { r.num_vars } else { r.num_clauses };
+                    size > lo && size <= hi
+                })
+                .collect();
+            if in_bucket.is_empty() {
+                continue;
+            }
+            let ok: Vec<&&InstanceRecord> =
+                in_bucket.iter().filter(|r| r.exaban.success).collect();
+            let summary = RuntimeSummary::of(ok.iter().map(|r| r.exaban.seconds).collect());
+            let hi_label = if hi == usize::MAX { "∞".to_owned() } else { hi.to_string() };
+            table.push_row([
+                format!("({lo},{hi_label}]"),
+                in_bucket.len().to_string(),
+                percent(ok.len(), in_bucket.len()),
+                crate::report::format_secs(summary.mean),
+                crate::report::format_secs(summary.max),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 5: AdaBan vs ExaBan vs MC runtimes where ExaBan succeeds.
+pub fn table5(records: &[InstanceRecord]) -> String {
+    let mut table = TextTable::new(runtime_header("Dataset / Algorithm"));
+    for (corpus, group) in by_corpus(records) {
+        let ok: Vec<&&InstanceRecord> = group.iter().filter(|r| r.exaban.success).collect();
+        for (name, extract) in [
+            ("AdaBan0.1", Box::new(|r: &InstanceRecord| (r.adaban.success, r.adaban.seconds))
+                as Box<dyn Fn(&InstanceRecord) -> (bool, f64)>),
+            ("ExaBan", Box::new(|r: &InstanceRecord| (r.exaban.success, r.exaban.seconds))),
+            ("MC50#vars", Box::new(|r: &InstanceRecord| (r.mc.success, r.mc.seconds))),
+        ] {
+            let samples: Vec<f64> =
+                ok.iter().filter(|r| extract(r).0).map(|r| extract(r).1).collect();
+            let summary = RuntimeSummary::of(samples);
+            let mut row = vec![format!("{corpus} / {name}")];
+            row.extend(summary.row());
+            table.push_row(row);
+        }
+    }
+    format!("Table 5 — approximate vs exact computation where ExaBan succeeds\n{}", table.render())
+}
+
+/// Table 6: AdaBan success rate and runtime where ExaBan fails.
+pub fn table6(records: &[InstanceRecord]) -> String {
+    let mut table = TextTable::new(runtime_header("Dataset (success rate)"));
+    for (corpus, group) in by_corpus(records) {
+        let exa_failed: Vec<&&InstanceRecord> =
+            group.iter().filter(|r| !r.exaban.success).collect();
+        if exa_failed.is_empty() {
+            table.push_row([format!("{corpus} (no ExaBan failures)")]);
+            continue;
+        }
+        let ada_ok: Vec<&&&InstanceRecord> =
+            exa_failed.iter().filter(|r| r.adaban.success).collect();
+        let summary = RuntimeSummary::of(ada_ok.iter().map(|r| r.adaban.seconds).collect());
+        let mut row = vec![format!(
+            "{corpus} ({} of {} ExaBan failures)",
+            percent(ada_ok.len(), exa_failed.len()),
+            exa_failed.len()
+        )];
+        row.extend(summary.row());
+        table.push_row(row);
+    }
+    format!("Table 6 — AdaBan0.1 on instances where ExaBan fails\n{}", table.render())
+}
+
+/// Table 7: observed ℓ1 error (on normalized Banzhaf vectors) of AdaBan vs MC.
+pub fn table7(records: &[InstanceRecord]) -> String {
+    let mut table =
+        TextTable::new(["Dataset / Algorithm", "Mean", "p50", "p90", "p99", "Max", "Instances"]);
+    let mut groups = by_corpus(records);
+    // Extra "Hard" slice: instances on which ExaBan needed the most time.
+    let mut hard: Vec<&InstanceRecord> =
+        records.iter().filter(|r| r.exaban.success).collect();
+    hard.sort_by(|a, b| b.exaban.seconds.partial_cmp(&a.exaban.seconds).unwrap());
+    hard.truncate((hard.len() / 10).max(5).min(hard.len()));
+    groups.push(("Hard".to_owned(), hard));
+
+    for (corpus, group) in groups {
+        for (name, estimates) in [
+            ("AdaBan0.1", Box::new(|r: &InstanceRecord| r.adaban_estimates.clone())
+                as Box<dyn Fn(&InstanceRecord) -> Option<HashMap<Var, f64>>>),
+            ("MC50#vars", Box::new(|r: &InstanceRecord| r.mc_estimates.clone())),
+        ] {
+            let mut errors: Vec<f64> = Vec::new();
+            for r in &group {
+                let (Some(exact), Some(est)) = (r.exact.as_ref(), estimates(r)) else {
+                    continue;
+                };
+                errors.push(l1_distance_normalized(&est, exact));
+            }
+            errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let count = errors.len();
+            if count == 0 {
+                table.push_row([format!("{corpus} / {name}"), "n/a".into()]);
+                continue;
+            }
+            let mean = errors.iter().sum::<f64>() / count as f64;
+            let pick = |p: f64| errors[((count as f64 - 1.0) * p).round() as usize];
+            table.push_row([
+                format!("{corpus} / {name}"),
+                format!("{mean:.2e}"),
+                format!("{:.2e}", pick(0.5)),
+                format!("{:.2e}", pick(0.9)),
+                format!("{:.2e}", pick(0.99)),
+                format!("{:.2e}", errors[count - 1]),
+                count.to_string(),
+            ]);
+        }
+    }
+    format!("Table 7 — observed ℓ1 error vs exact normalized Banzhaf values\n{}", table.render())
+}
+
+/// Figure 5: error as a function of time for representative hard instances.
+pub fn fig5(records: &[InstanceRecord], config: &HarnessConfig) -> String {
+    // Pick the three instances with the largest ExaBan runtime among successes.
+    let mut candidates: Vec<&InstanceRecord> =
+        records.iter().filter(|r| r.exaban.success && r.num_vars >= 8).collect();
+    candidates.sort_by(|a, b| b.exaban.seconds.partial_cmp(&a.exaban.seconds).unwrap());
+    candidates.truncate(3);
+    let corpora = config.corpora();
+    let mut out = String::from(
+        "Figure 5 — observed error |v̂−v|/v of the largest-value fact as a function of time\n",
+    );
+    for (idx, record) in candidates.iter().enumerate() {
+        let lineage = find_lineage(&corpora, record);
+        let Some(lineage) = lineage else { continue };
+        let exact = record.exact.as_ref().expect("candidate filtered on success");
+        // Track the variable with the largest exact value.
+        let (&target, target_value) = exact
+            .iter()
+            .max_by(|(va, ba), (vb, bb)| ba.cmp(bb).then(vb.cmp(va)))
+            .expect("non-empty lineage");
+        let target_value = target_value.to_f64().max(1e-12);
+
+        let mut table = TextTable::new(["Algorithm", "Setting", "Time", "Observed error"]);
+        // AdaBan with a decreasing error schedule, reusing the same d-tree.
+        let mut tree = DTree::from_leaf(lineage.clone());
+        let mut elapsed = 0.0;
+        for eps in ["0.5", "0.25", "0.1", "0.05", "0.01", "0"] {
+            let start = Instant::now();
+            let options = AdaBanOptions::with_epsilon_str(eps);
+            let interval = adaban(&mut tree, target, &options, &Budget::unlimited())
+                .expect("unbounded budget");
+            elapsed += start.elapsed().as_secs_f64();
+            let err = (interval.midpoint() - target_value).abs() / target_value;
+            table.push_row([
+                "AdaBan".to_owned(),
+                format!("ε={eps}"),
+                crate::report::format_secs(elapsed),
+                format!("{err:.3e}"),
+            ]);
+        }
+        // Monte Carlo with a growing sample schedule.
+        let mut rng = StdRng::seed_from_u64(config.seed + idx as u64);
+        for samples in [10u64, 50, 250, 1000, 4000] {
+            let start = Instant::now();
+            let estimates = mc_banzhaf(
+                lineage,
+                &McOptions { samples_per_var: samples },
+                &mut rng,
+                &Budget::unlimited(),
+            )
+            .expect("unbounded budget");
+            let secs = start.elapsed().as_secs_f64();
+            let err = (estimates[&target] - target_value).abs() / target_value;
+            table.push_row([
+                "MC".to_owned(),
+                format!("{samples}·#vars samples"),
+                crate::report::format_secs(secs),
+                format!("{err:.3e}"),
+            ]);
+        }
+        out.push_str(&format!(
+            "\nInstance {} ({}, query {}, {} vars, {} clauses):\n{}",
+            idx + 1,
+            record.corpus,
+            record.query,
+            record.num_vars,
+            record.num_clauses,
+            table.render()
+        ));
+    }
+    out
+}
+
+fn find_lineage<'a>(corpora: &'a [Corpus], record: &InstanceRecord) -> Option<&'a Dnf> {
+    corpora
+        .iter()
+        .find(|c| c.name == record.corpus)?
+        .instances
+        .iter()
+        .find(|i| {
+            i.query == record.query
+                && i.lineage.num_vars() == record.num_vars
+                && i.lineage.num_clauses() == record.num_clauses
+        })
+        .map(|i| &i.lineage)
+}
+
+/// Table 8: precision@k of IchiBan-ε, MC and CNF Proxy against the exact
+/// top-k, on instances where ExaBan succeeds and has at least k variables.
+pub fn table8(records: &[InstanceRecord], config: &HarnessConfig) -> String {
+    let mut out = String::from("Table 8 — observed precision@k against the exact top-k\n");
+    for k in [config.topk, config.topk / 2] {
+        let mut table =
+            TextTable::new(["Dataset / Algorithm", "Mean", "p50", "p90", "Min", "Instances"]);
+        for (corpus, group) in by_corpus(records) {
+            let eligible: Vec<&&InstanceRecord> = group
+                .iter()
+                .filter(|r| r.exaban.success && r.num_vars >= k && k > 0)
+                .collect();
+            for (name, ranking) in [
+                ("IchiBan0.1", Box::new(|r: &InstanceRecord| r.ichiban_topk.clone())
+                    as Box<dyn Fn(&InstanceRecord) -> Option<Vec<Var>>>),
+                (
+                    "MC50#vars",
+                    Box::new(|r: &InstanceRecord| r.mc_estimates.as_ref().map(rank_estimates)),
+                ),
+                ("CNF Proxy", Box::new(|r: &InstanceRecord| Some(rank_proxy(&r.proxy_scores)))),
+            ] {
+                let mut precisions: Vec<f64> = Vec::new();
+                for r in &eligible {
+                    let (Some(truth), Some(candidate)) = (r.exact_topk(k), ranking(r)) else {
+                        continue;
+                    };
+                    let candidate: Vec<Var> = candidate.into_iter().take(k).collect();
+                    let hits = candidate.iter().filter(|v| truth.contains(v)).count();
+                    precisions.push(hits as f64 / k as f64);
+                }
+                precisions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let count = precisions.len();
+                if count == 0 {
+                    table.push_row([format!("{corpus} / {name}"), "n/a".into()]);
+                    continue;
+                }
+                let mean = precisions.iter().sum::<f64>() / count as f64;
+                let pick = |p: f64| precisions[((count as f64 - 1.0) * p).round() as usize];
+                table.push_row([
+                    format!("{corpus} / {name}"),
+                    format!("{mean:.2}"),
+                    format!("{:.2}", pick(0.5)),
+                    format!("{:.2}", pick(0.1)), // Lower tail, like the paper's p90-of-badness.
+                    format!("{:.2}", precisions[0]),
+                    count.to_string(),
+                ]);
+            }
+        }
+        out.push_str(&format!("\nprecision@{k}:\n{}", table.render()));
+    }
+    out
+}
+
+/// Table 9 (App. E): the certain top-k variant of IchiBan.
+pub fn table9(config: &HarnessConfig) -> String {
+    use banzhaf::{ichiban_topk, IchiBanOptions};
+    let mut out = String::from("Table 9 — certain top-k (IchiBan without ε)\n");
+    let mut table = TextTable::new([
+        "Dataset",
+        "k",
+        "Success rate",
+        "Mean",
+        "p50",
+        "p90",
+        "Max",
+    ]);
+    for corpus in config.corpora() {
+        for k in [1usize, 3, 5, 10] {
+            let mut times = Vec::new();
+            let mut successes = 0usize;
+            let mut total = 0usize;
+            for instance in &corpus.instances {
+                if instance.lineage.num_vars() < k {
+                    continue;
+                }
+                total += 1;
+                let budget = Budget::with_timeout(config.timeout);
+                let mut tree = DTree::from_leaf(instance.lineage.clone());
+                let start = Instant::now();
+                let result = ichiban_topk(&mut tree, k, &IchiBanOptions::certain(), &budget);
+                let secs = start.elapsed().as_secs_f64();
+                if result.is_ok() {
+                    successes += 1;
+                    times.push(secs);
+                }
+            }
+            let summary = RuntimeSummary::of(times);
+            table.push_row([
+                corpus.name.clone(),
+                format!("Top{k}"),
+                percent(successes, total),
+                crate::report::format_secs(summary.mean),
+                crate::report::format_secs(summary.percentiles[0]),
+                crate::report::format_secs(summary.percentiles[3]),
+                crate::report::format_secs(summary.max),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// App. D: the Banzhaf-vs-Shapley ranking disagreement on the 18-fact example.
+pub fn app_d() -> String {
+    // Build the exact database of App. D: R(a1), R(a2); S has 3 tuples for a1
+    // and 2 for a2; T has 3 tuples for a1 and 8 for a2. All facts endogenous.
+    let mut db = Database::new();
+    db.add_relation("R", 1);
+    db.add_relation("S", 2);
+    db.add_relation("T", 2);
+    let a1 = 1i64;
+    let a2 = 2i64;
+    let r1 = db.insert_endogenous("R", vec![a1.into()]).unwrap();
+    let r2 = db.insert_endogenous("R", vec![a2.into()]).unwrap();
+    for b in 1..=3i64 {
+        db.insert_endogenous("S", vec![a1.into(), b.into()]).unwrap();
+    }
+    for b in 1..=2i64 {
+        db.insert_endogenous("S", vec![a2.into(), b.into()]).unwrap();
+    }
+    for b in 1..=3i64 {
+        db.insert_endogenous("T", vec![a1.into(), b.into()]).unwrap();
+    }
+    for b in 1..=8i64 {
+        db.insert_endogenous("T", vec![a2.into(), b.into()]).unwrap();
+    }
+    let query = parse_program("Q() :- R(X), S(X, Y), T(X, Z).").unwrap();
+    let result = evaluate(&query, &db);
+    let lineage = &result.answers()[0].lineage;
+    let tree = DTree::compile_full(
+        lineage.clone(),
+        PivotHeuristic::MostFrequent,
+        &Budget::unlimited(),
+    )
+    .expect("unbounded budget");
+    let banzhaf = exaban_all(&tree);
+    let shapley = shapley_all(&tree);
+    let critical = critical_counts_all(&tree);
+
+    let var_r1 = Var(r1.0);
+    let var_r2 = Var(r2.0);
+    let mut table = TextTable::new(["k", "#kC(R(a1))", "#kC(R(a2))"]);
+    let n = lineage.num_vars();
+    for k in 0..n {
+        let c1 = critical[&var_r1].get(k).cloned().unwrap_or_default();
+        let c2 = critical[&var_r2].get(k).cloned().unwrap_or_default();
+        if c1.is_zero() && c2.is_zero() {
+            continue;
+        }
+        table.push_row([k.to_string(), c1.to_string(), c2.to_string()]);
+    }
+    let mut out = String::from(
+        "App. D — Banzhaf vs Shapley ranking on Q() :- R(X), S(X,Y), T(X,Z) (18 facts)\n",
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nBanzhaf(R(a1)) = {}   Banzhaf(R(a2)) = {}\n",
+        banzhaf.value(var_r1).unwrap(),
+        banzhaf.value(var_r2).unwrap()
+    ));
+    out.push_str(&format!(
+        "Shapley(R(a1)) = {:.4}   Shapley(R(a2)) = {:.4}\n",
+        shapley[&var_r1].to_f64(),
+        shapley[&var_r2].to_f64()
+    ));
+    let banzhaf_prefers_a1 = banzhaf.value(var_r1) > banzhaf.value(var_r2);
+    let shapley_prefers_a1 = shapley[&var_r1] > shapley[&var_r2];
+    out.push_str(&format!(
+        "Banzhaf ranks R(a1) {} R(a2); Shapley ranks R(a1) {} R(a2) — the rankings {}.\n",
+        if banzhaf_prefers_a1 { "above" } else { "below" },
+        if shapley_prefers_a1 { "above" } else { "below" },
+        if banzhaf_prefers_a1 != shapley_prefers_a1 { "disagree" } else { "agree" }
+    ));
+    out
+}
+
+/// Ablation: Shannon pivot heuristic (most-frequent vs first-variable).
+pub fn ablation_heuristic(config: &HarnessConfig) -> String {
+    let mut table = TextTable::new([
+        "Dataset",
+        "Heuristic",
+        "Success rate",
+        "Mean time",
+        "Mean expansions",
+    ]);
+    for corpus in config.corpora() {
+        for (name, heuristic) in [
+            ("most-frequent", PivotHeuristic::MostFrequent),
+            ("first-variable", PivotHeuristic::FirstVariable),
+        ] {
+            let mut times = Vec::new();
+            let mut expansions = Vec::new();
+            let mut successes = 0usize;
+            for instance in &corpus.instances {
+                let budget = Budget::with_timeout(config.timeout);
+                let start = Instant::now();
+                match DTree::compile_full(instance.lineage.clone(), heuristic, &budget) {
+                    Ok(tree) => {
+                        successes += 1;
+                        times.push(start.elapsed().as_secs_f64());
+                        expansions.push(tree.expansions() as f64);
+                    }
+                    Err(_) => {}
+                }
+            }
+            let mean_time = if times.is_empty() { 0.0 } else { times.iter().sum::<f64>() / times.len() as f64 };
+            let mean_exp = if expansions.is_empty() {
+                0.0
+            } else {
+                expansions.iter().sum::<f64>() / expansions.len() as f64
+            };
+            table.push_row([
+                corpus.name.clone(),
+                name.to_owned(),
+                percent(successes, corpus.instances.len()),
+                crate::report::format_secs(mean_time),
+                format!("{mean_exp:.0}"),
+            ]);
+        }
+    }
+    format!("Ablation — Shannon pivot selection heuristic (full compilation)\n{}", table.render())
+}
+
+/// Ablation: AdaBan lazy vs eager bound recomputation, and optimization (4).
+pub fn ablation_adaban(config: &HarnessConfig) -> String {
+    use banzhaf::adaban_all;
+    let mut table = TextTable::new(["Dataset", "Variant", "Success rate", "Mean time"]);
+    let variants: [(&str, bool, bool); 3] =
+        [("lazy + opt4 (default)", true, true), ("eager bounds", false, true), ("without opt4", true, false)];
+    for corpus in config.corpora() {
+        for (name, lazy, use_opt4) in variants {
+            let mut times = Vec::new();
+            let mut successes = 0usize;
+            for instance in &corpus.instances {
+                let vars: Vec<Var> = instance.lineage.universe().iter().collect();
+                let mut options = AdaBanOptions::with_epsilon_str(&config.epsilon);
+                options.lazy = lazy;
+                options.use_opt4 = use_opt4;
+                let budget = Budget::with_timeout(config.timeout);
+                let mut tree = DTree::from_leaf(instance.lineage.clone());
+                let start = Instant::now();
+                if adaban_all(&mut tree, &vars, &options, &budget).is_ok() {
+                    successes += 1;
+                    times.push(start.elapsed().as_secs_f64());
+                }
+            }
+            let mean = if times.is_empty() { 0.0 } else { times.iter().sum::<f64>() / times.len() as f64 };
+            table.push_row([
+                corpus.name.clone(),
+                name.to_owned(),
+                percent(successes, corpus.instances.len()),
+                crate::report::format_secs(mean),
+            ]);
+        }
+    }
+    format!("Ablation — AdaBan optimizations (Sec. 3.2.4)\n{}", table.render())
+}
+
+/// Runs the full sweep once and renders all sweep-based tables.
+pub fn run_all(config: &HarnessConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&table1(config));
+    out.push('\n');
+    let records = run_sweep(config);
+    out.push_str(&table2(&records, config));
+    out.push('\n');
+    out.push_str(&table3(&records));
+    out.push('\n');
+    out.push_str(&table4(&records));
+    out.push('\n');
+    out.push_str(&fig4(&records));
+    out.push('\n');
+    out.push_str(&table5(&records));
+    out.push('\n');
+    out.push_str(&table6(&records));
+    out.push('\n');
+    out.push_str(&table7(&records));
+    out.push('\n');
+    out.push_str(&fig5(&records, config));
+    out.push('\n');
+    out.push_str(&table8(&records, config));
+    out.push('\n');
+    out.push_str(&table9(config));
+    out.push('\n');
+    out.push_str(&app_d());
+    out.push('\n');
+    out.push_str(&ablation_heuristic(config));
+    out.push('\n');
+    out.push_str(&ablation_adaban(config));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny_config() -> HarnessConfig {
+        HarnessConfig {
+            timeout: Duration::from_millis(50),
+            scale: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn table1_renders_three_corpora() {
+        let report = table1(&tiny_config());
+        assert!(report.contains("Academic-like"));
+        assert!(report.contains("IMDB-like"));
+        assert!(report.contains("TPC-H-like"));
+    }
+
+    #[test]
+    fn app_d_reports_disagreement() {
+        let report = app_d();
+        assert!(report.contains("Banzhaf(R(a1)) = 62867"));
+        assert!(report.contains("Banzhaf(R(a2)) = 60435"));
+        assert!(report.contains("disagree"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Benchmark harness regenerating the paper's evaluation (Sec. 5, App. D/E).
+//!
+//! The library half of the crate contains the shared instrumentation
+//! ([`runner`]) and the per-experiment drivers ([`experiments`]); the `repro`
+//! binary dispatches on experiment names and prints each table/figure in a
+//! plain-text layout mirroring the paper. Criterion micro-benchmarks live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;

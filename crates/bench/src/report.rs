@@ -1,0 +1,170 @@
+//! Plain-text table rendering and summary statistics.
+
+/// Percentile labels used throughout the paper's runtime tables.
+pub const PERCENTILES: &[(&str, f64)] = &[
+    ("p50", 0.50),
+    ("p75", 0.75),
+    ("p90", 0.90),
+    ("p95", 0.95),
+    ("p99", 0.99),
+];
+
+/// Summary statistics of a sample of runtimes (in seconds).
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Percentiles in the order of [`PERCENTILES`].
+    pub percentiles: Vec<f64>,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl RuntimeSummary {
+    /// Computes the summary of a sample (empty samples yield zeros).
+    pub fn of(mut samples: Vec<f64>) -> RuntimeSummary {
+        if samples.is_empty() {
+            return RuntimeSummary { percentiles: vec![0.0; PERCENTILES.len()], ..Default::default() };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let percentile = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            samples[idx.min(count - 1)]
+        };
+        RuntimeSummary {
+            count,
+            mean,
+            percentiles: PERCENTILES.iter().map(|&(_, p)| percentile(p)).collect(),
+            max: samples[count - 1],
+        }
+    }
+
+    /// Renders the summary as a row of the paper's runtime tables.
+    pub fn row(&self) -> Vec<String> {
+        let mut cells = vec![format_secs(self.mean)];
+        cells.extend(self.percentiles.iter().map(|&v| format_secs(v)));
+        cells.push(format_secs(self.max));
+        cells
+    }
+}
+
+/// Formats a duration in seconds with adaptive precision.
+pub fn format_secs(secs: f64) -> String {
+    if secs == 0.0 {
+        "0".to_owned()
+    } else if secs < 0.001 {
+        format!("{:.2}ms", secs * 1000.0)
+    } else if secs < 1.0 {
+        format!("{:.1}ms", secs * 1000.0)
+    } else {
+        format!("{secs:.2}s")
+    }
+}
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(header: I) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn push_row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, row: I) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn percent(numerator: usize, denominator: usize) -> String {
+    if denominator == 0 {
+        "n/a".to_owned()
+    } else {
+        format!("{:.1}%", 100.0 * numerator as f64 / denominator as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let s = RuntimeSummary::of(vec![1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 22.0).abs() < 1e-12);
+        assert_eq!(s.max, 100.0);
+        // p50 of five samples is the middle one.
+        assert_eq!(s.percentiles[0], 3.0);
+        let empty = RuntimeSummary::of(vec![]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.percentiles.len(), PERCENTILES.len());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_secs(0.0), "0");
+        assert_eq!(format_secs(0.0005), "0.50ms");
+        assert_eq!(format_secs(0.25), "250.0ms");
+        assert_eq!(format_secs(3.2), "3.20s");
+        assert_eq!(percent(1, 4), "25.0%");
+        assert_eq!(percent(0, 0), "n/a");
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.push_row(["alpha", "1"]);
+        t.push_row(["b", "12345"]);
+        let rendered = t.render();
+        assert!(rendered.contains("name"));
+        assert!(rendered.lines().count() >= 4);
+        // Columns aligned: every line has the same position for the second column.
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].starts_with("name "));
+        assert!(lines[2].starts_with("alpha"));
+    }
+}

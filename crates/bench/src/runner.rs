@@ -1,0 +1,303 @@
+//! Shared instrumentation: run every algorithm on every instance of a corpus
+//! under a per-instance budget and record runtimes, successes and outputs.
+
+use banzhaf::{
+    adaban_all, exaban_all, ichiban_topk, AdaBanOptions, Budget, DTree, IchiBanOptions,
+    PivotHeuristic, Var,
+};
+use banzhaf_arith::Natural;
+use banzhaf_baselines::{cnf_proxy, mc_banzhaf, sig22_exact, McOptions};
+use banzhaf_workloads::{academic_like, imdb_like, tpch_like, Corpus, DatasetSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Harness configuration shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Per-instance, per-algorithm timeout (the paper uses one hour on a
+    /// server; the laptop-scale default here is one second).
+    pub timeout: Duration,
+    /// Scale factor passed to the synthetic dataset generators.
+    pub scale: usize,
+    /// Relative error used for AdaBan / IchiBan (the paper's headline setting
+    /// is 0.1).
+    pub epsilon: String,
+    /// Monte Carlo samples per variable (the paper's `MC50#vars`).
+    pub mc_samples_per_var: u64,
+    /// RNG seed for dataset generation and sampling.
+    pub seed: u64,
+    /// Top-k size used for the ranking experiments.
+    pub topk: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            timeout: Duration::from_millis(500),
+            scale: 1,
+            epsilon: "0.1".to_owned(),
+            mc_samples_per_var: 50,
+            seed: 0xBA27AF,
+            topk: 10,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// The dataset spec corresponding to this configuration.
+    pub fn dataset_spec(&self) -> DatasetSpec {
+        DatasetSpec { scale: self.scale, seed: self.seed }
+    }
+
+    /// Builds the three corpora.
+    pub fn corpora(&self) -> Vec<Corpus> {
+        let spec = self.dataset_spec();
+        vec![academic_like(&spec), imdb_like(&spec), tpch_like(&spec)]
+    }
+}
+
+/// Outcome of one algorithm on one instance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlgoRun {
+    /// Wall-clock seconds spent (up to the timeout).
+    pub seconds: f64,
+    /// Whether the algorithm finished within the budget.
+    pub success: bool,
+}
+
+/// Everything recorded about one lineage instance.
+#[derive(Clone, Debug)]
+pub struct InstanceRecord {
+    /// Corpus (dataset family) name.
+    pub corpus: String,
+    /// Query name within the corpus.
+    pub query: String,
+    /// Number of lineage variables.
+    pub num_vars: usize,
+    /// Number of lineage clauses.
+    pub num_clauses: usize,
+    /// ExaBan outcome (full compilation + all-variables exact values).
+    pub exaban: AlgoRun,
+    /// Sig22 baseline outcome.
+    pub sig22: AlgoRun,
+    /// AdaBan outcome (all variables, relative error ε).
+    pub adaban: AlgoRun,
+    /// Monte Carlo outcome.
+    pub mc: AlgoRun,
+    /// IchiBan-ε top-k outcome.
+    pub ichiban: AlgoRun,
+    /// Exact Banzhaf values (when ExaBan succeeded).
+    pub exact: Option<HashMap<Var, Natural>>,
+    /// AdaBan interval midpoints (when AdaBan succeeded).
+    pub adaban_estimates: Option<HashMap<Var, f64>>,
+    /// Monte Carlo estimates (when MC succeeded).
+    pub mc_estimates: Option<HashMap<Var, f64>>,
+    /// CNF-proxy scores (always available; linear time).
+    pub proxy_scores: HashMap<Var, f64>,
+    /// IchiBan-ε top-k members (when it succeeded).
+    pub ichiban_topk: Option<Vec<Var>>,
+}
+
+impl InstanceRecord {
+    /// Ground-truth top-k variables by exact Banzhaf value, if available.
+    pub fn exact_topk(&self, k: usize) -> Option<Vec<Var>> {
+        let exact = self.exact.as_ref()?;
+        let mut vars: Vec<(&Var, &Natural)> = exact.iter().collect();
+        vars.sort_by(|(va, ba), (vb, bb)| bb.cmp(ba).then(va.cmp(vb)));
+        Some(vars.into_iter().take(k).map(|(v, _)| *v).collect())
+    }
+}
+
+fn timed<T>(f: impl FnOnce() -> Option<T>) -> (AlgoRun, Option<T>) {
+    let start = Instant::now();
+    let out = f();
+    let seconds = start.elapsed().as_secs_f64();
+    (AlgoRun { seconds, success: out.is_some() }, out)
+}
+
+/// Runs every algorithm on one lineage and records the outcomes.
+pub fn run_instance(
+    corpus: &str,
+    query: &str,
+    lineage: &banzhaf_boolean::Dnf,
+    config: &HarnessConfig,
+    rng: &mut StdRng,
+) -> InstanceRecord {
+    let vars: Vec<Var> = lineage.universe().iter().collect();
+
+    // ExaBan: full compilation + all-variables pass.
+    let (exaban, exact) = timed(|| {
+        let budget = Budget::with_timeout(config.timeout);
+        let tree =
+            DTree::compile_full(lineage.clone(), PivotHeuristic::MostFrequent, &budget).ok()?;
+        Some(exaban_all(&tree).values)
+    });
+
+    // Sig22 baseline.
+    let (sig22, _) = timed(|| {
+        let budget = Budget::with_timeout(config.timeout);
+        sig22_exact(lineage, &budget).ok()
+    });
+
+    // AdaBan with relative error ε over all variables.
+    let (adaban, adaban_estimates) = timed(|| {
+        let budget = Budget::with_timeout(config.timeout);
+        let options = AdaBanOptions::with_epsilon_str(&config.epsilon);
+        let mut tree = DTree::from_leaf(lineage.clone());
+        let intervals = adaban_all(&mut tree, &vars, &options, &budget).ok()?;
+        Some(
+            intervals
+                .into_iter()
+                .map(|(v, interval)| (v, interval.midpoint()))
+                .collect::<HashMap<Var, f64>>(),
+        )
+    });
+
+    // Monte Carlo with 50·#vars samples in total (50 per variable).
+    let (mc, mc_estimates) = timed(|| {
+        let budget = Budget::with_timeout(config.timeout);
+        let options = McOptions { samples_per_var: config.mc_samples_per_var };
+        mc_banzhaf(lineage, &options, rng, &budget).ok()
+    });
+
+    // IchiBan-ε top-k.
+    let (ichiban, ichiban_topk) = timed(|| {
+        let budget = Budget::with_timeout(config.timeout);
+        let options = IchiBanOptions::with_epsilon_str(&config.epsilon);
+        let mut tree = DTree::from_leaf(lineage.clone());
+        let topk = ichiban_topk(&mut tree, config.topk, &options, &budget).ok()?;
+        Some(topk.members)
+    });
+
+    InstanceRecord {
+        corpus: corpus.to_owned(),
+        query: query.to_owned(),
+        num_vars: lineage.num_vars(),
+        num_clauses: lineage.num_clauses(),
+        exaban,
+        sig22,
+        adaban,
+        mc,
+        ichiban,
+        exact,
+        adaban_estimates,
+        mc_estimates,
+        proxy_scores: cnf_proxy(lineage),
+        ichiban_topk,
+    }
+}
+
+/// Runs the full sweep over all corpora and returns one record per instance.
+pub fn run_sweep(config: &HarnessConfig) -> Vec<InstanceRecord> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED);
+    let mut records = Vec::new();
+    for corpus in config.corpora() {
+        for instance in &corpus.instances {
+            records.push(run_instance(
+                &corpus.name,
+                &instance.query,
+                &instance.lineage,
+                config,
+                &mut rng,
+            ));
+        }
+    }
+    records
+}
+
+/// Groups records by corpus name (preserving first-seen corpus order).
+pub fn by_corpus(records: &[InstanceRecord]) -> Vec<(String, Vec<&InstanceRecord>)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<&InstanceRecord>> = HashMap::new();
+    for r in records {
+        if !order.contains(&r.corpus) {
+            order.push(r.corpus.clone());
+        }
+        groups.entry(r.corpus.clone()).or_default().push(r);
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let group = groups.remove(&name).unwrap_or_default();
+            (name, group)
+        })
+        .collect()
+}
+
+/// Query-level success rate: the fraction of queries for which *every*
+/// instance of that query succeeded for the given algorithm.
+pub fn query_success_rate(
+    records: &[&InstanceRecord],
+    succeeded: impl Fn(&InstanceRecord) -> bool,
+) -> (usize, usize) {
+    let mut per_query: HashMap<&str, bool> = HashMap::new();
+    for r in records {
+        let entry = per_query.entry(r.query.as_str()).or_insert(true);
+        *entry = *entry && succeeded(r);
+    }
+    let total = per_query.len();
+    let ok = per_query.values().filter(|&&v| v).count();
+    (ok, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banzhaf_boolean::Dnf;
+
+    fn small_config() -> HarnessConfig {
+        HarnessConfig { timeout: Duration::from_millis(200), ..Default::default() }
+    }
+
+    #[test]
+    fn run_instance_records_everything_on_small_lineage() {
+        let lineage = Dnf::from_clauses(vec![
+            vec![Var(0), Var(1)],
+            vec![Var(0), Var(2)],
+            vec![Var(3)],
+        ]);
+        let config = small_config();
+        let mut rng = StdRng::seed_from_u64(1);
+        let record = run_instance("test", "q", &lineage, &config, &mut rng);
+        assert!(record.exaban.success);
+        assert!(record.sig22.success);
+        assert!(record.adaban.success);
+        assert!(record.mc.success);
+        assert!(record.ichiban.success);
+        let exact = record.exact.as_ref().unwrap();
+        assert_eq!(exact[&Var(3)].to_u64(), Some(5));
+        assert_eq!(record.exact_topk(1).unwrap(), vec![Var(3)]);
+        assert_eq!(record.num_vars, 4);
+        assert!(!record.proxy_scores.is_empty());
+    }
+
+    #[test]
+    fn query_success_rate_requires_all_instances() {
+        let lineage = Dnf::from_clauses(vec![vec![Var(0)]]);
+        let config = small_config();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = run_instance("c", "q1", &lineage, &config, &mut rng);
+        let b = run_instance("c", "q1", &lineage, &config, &mut rng);
+        let c = run_instance("c", "q2", &lineage, &config, &mut rng);
+        a.exaban.success = false;
+        let records = vec![&a, &b, &c];
+        let (ok, total) = query_success_rate(&records, |r| r.exaban.success);
+        assert_eq!((ok, total), (1, 2));
+    }
+
+    #[test]
+    fn grouping_by_corpus() {
+        let lineage = Dnf::from_clauses(vec![vec![Var(0)]]);
+        let config = small_config();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = run_instance("c1", "q", &lineage, &config, &mut rng);
+        let b = run_instance("c2", "q", &lineage, &config, &mut rng);
+        let records = vec![a, b];
+        let grouped = by_corpus(&records);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].0, "c1");
+        assert_eq!(grouped[0].1.len(), 1);
+    }
+}

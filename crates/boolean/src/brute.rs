@@ -1,0 +1,192 @@
+//! Brute-force model counting and Banzhaf evaluation.
+//!
+//! These exponential-time routines serve as the ground-truth oracle in tests
+//! and property tests; they enumerate all `2^n` assignments over the
+//! function's universe and therefore refuse to run beyond a small number of
+//! variables.
+
+use crate::{Assignment, Dnf, Var};
+use banzhaf_arith::{Int, Natural};
+
+/// Maximum universe size the brute-force routines accept.
+const MAX_BRUTE_VARS: usize = 26;
+
+impl Dnf {
+    /// Exact model count `#φ` over the universe, by exhaustive enumeration.
+    ///
+    /// # Panics
+    /// Panics if the universe has more than 26 variables.
+    pub fn brute_force_model_count(&self) -> Natural {
+        let vars: Vec<Var> = self.universe().iter().collect();
+        assert!(
+            vars.len() <= MAX_BRUTE_VARS,
+            "brute-force counting limited to {MAX_BRUTE_VARS} variables"
+        );
+        let mut count = 0u64;
+        for mask in 0u64..(1u64 << vars.len()) {
+            let assignment = assignment_from_mask(&vars, mask);
+            if self.evaluate(&assignment) {
+                count += 1;
+            }
+        }
+        Natural::from(count)
+    }
+
+    /// Exact Banzhaf value of `v` by the definition (Eq. (1) of the paper):
+    /// the sum over all `Y ⊆ X∖{v}` of `φ[Y ∪ {v}] − φ[Y]`.
+    ///
+    /// # Panics
+    /// Panics if the universe has more than 26 variables or `v` is not in it.
+    pub fn brute_force_banzhaf(&self, v: Var) -> Int {
+        assert!(self.universe().contains(v), "variable not in the universe");
+        let others: Vec<Var> = self.universe().iter().filter(|&u| u != v).collect();
+        assert!(
+            others.len() < MAX_BRUTE_VARS,
+            "brute-force Banzhaf limited to {MAX_BRUTE_VARS} variables"
+        );
+        let mut value = Int::zero();
+        for mask in 0u64..(1u64 << others.len()) {
+            let without = assignment_from_mask(&others, mask);
+            let with = without.with(v);
+            let delta = (self.evaluate(&with) as i64) - (self.evaluate(&without) as i64);
+            value += &Int::from(delta);
+        }
+        value
+    }
+
+    /// Exact Banzhaf values of all universe variables, brute force.
+    pub fn brute_force_all_banzhaf(&self) -> Vec<(Var, Int)> {
+        self.universe()
+            .iter()
+            .map(|v| (v, self.brute_force_banzhaf(v)))
+            .collect()
+    }
+
+    /// Number of models of each cardinality `k` (used to cross-check the
+    /// size-stratified counts that the Shapley computation relies on).
+    pub fn brute_force_model_counts_by_size(&self) -> Vec<Natural> {
+        let vars: Vec<Var> = self.universe().iter().collect();
+        assert!(
+            vars.len() <= MAX_BRUTE_VARS,
+            "brute-force counting limited to {MAX_BRUTE_VARS} variables"
+        );
+        let mut counts = vec![0u64; vars.len() + 1];
+        for mask in 0u64..(1u64 << vars.len()) {
+            let assignment = assignment_from_mask(&vars, mask);
+            if self.evaluate(&assignment) {
+                counts[mask.count_ones() as usize] += 1;
+            }
+        }
+        counts.into_iter().map(Natural::from).collect()
+    }
+}
+
+fn assignment_from_mask(vars: &[Var], mask: u64) -> Assignment {
+    Assignment::from_true_vars(
+        vars.iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &v)| v),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarSet;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn example_2_and_4_from_paper_positive_part() {
+        // The paper's Example 2 uses a negated literal; the positive analogue
+        // φ = x1 ∨ x2 has Banzhaf(x1) = #φ[x1:=1] − #φ[x1:=0] = 2 − 1 = 1.
+        let phi = Dnf::from_clauses(vec![vec![v(1)], vec![v(2)]]);
+        assert_eq!(phi.brute_force_model_count().to_u64(), Some(3));
+        assert_eq!(phi.brute_force_banzhaf(v(1)).to_i128(), Some(1));
+    }
+
+    #[test]
+    fn example_6_and_7_from_paper() {
+        // Lineage of Example 6: (r ∧ s1 ∧ t) ∨ (r ∧ s2 ∧ t) over 4 facts.
+        let r = v(0);
+        let s1 = v(1);
+        let s2 = v(2);
+        let t = v(3);
+        let phi = Dnf::from_clauses(vec![vec![r, s1, t], vec![r, s2, t]]);
+        // Example 7 of the paper reports Banzhaf(R(1,2,3)) = 2, but by
+        // Eq. (2) #φ[v(R):=1] = #((S4∧T)∨(S5∧T)) = 3 and #φ[v(R):=0] = 0,
+        // so the value is 3 (the example in the paper miscounts the models of
+        // the conditioned function). Banzhaf(S(1,2,4)) = 2 − 1 = 1 as stated.
+        assert_eq!(phi.brute_force_banzhaf(r).to_i128(), Some(3));
+        assert_eq!(phi.brute_force_banzhaf(s1).to_i128(), Some(1));
+        assert_eq!(phi.brute_force_banzhaf(s2).to_i128(), Some(1));
+        assert_eq!(phi.brute_force_banzhaf(t).to_i128(), Some(3));
+        assert_eq!(phi.brute_force_model_count().to_u64(), Some(3));
+    }
+
+    #[test]
+    fn example_11_from_paper() {
+        // φ1 = x ∧ (y ∨ z): 3 models, Banzhaf(x) = 3.
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        assert_eq!(phi.brute_force_model_count().to_u64(), Some(3));
+        assert_eq!(phi.brute_force_banzhaf(v(0)).to_i128(), Some(3));
+        assert_eq!(phi.brute_force_banzhaf(v(1)).to_i128(), Some(1));
+    }
+
+    #[test]
+    fn example_13_from_paper() {
+        // φ = (x ∧ y) ∨ (x ∧ z) ∨ u: #φ = 11, Banzhaf(x) = 3.
+        let x = v(0);
+        let phi = Dnf::from_clauses(vec![vec![x, v(1)], vec![x, v(2)], vec![v(3)]]);
+        assert_eq!(phi.brute_force_model_count().to_u64(), Some(11));
+        assert_eq!(phi.brute_force_banzhaf(x).to_i128(), Some(3));
+        // φ[x := 0] has 4 models over three variables, φ[x := 1] has 7.
+        assert_eq!(phi.condition(x, false).brute_force_model_count().to_u64(), Some(4));
+        assert_eq!(phi.condition(x, true).brute_force_model_count().to_u64(), Some(7));
+    }
+
+    #[test]
+    fn constants_and_unused_universe_vars() {
+        let u = VarSet::from_iter([v(0), v(1), v(2)]);
+        assert_eq!(Dnf::constant_true(u.clone()).brute_force_model_count().to_u64(), Some(8));
+        assert_eq!(Dnf::constant_false(u.clone()).brute_force_model_count().to_u64(), Some(0));
+        // x over universe {x, y, z}: 4 models; Banzhaf(y) = 0.
+        let phi = Dnf::from_clauses_with_universe(vec![vec![v(0)]], u);
+        assert_eq!(phi.brute_force_model_count().to_u64(), Some(4));
+        assert_eq!(phi.brute_force_banzhaf(v(1)).to_i128(), Some(0));
+        assert_eq!(phi.brute_force_banzhaf(v(0)).to_i128(), Some(4));
+    }
+
+    #[test]
+    fn proposition_3_characterization() {
+        // Banzhaf(φ, x) = #φ[x:=1] − #φ[x:=0] for a handful of functions.
+        let functions = vec![
+            Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(2), v(3)], vec![v(0), v(3)]]),
+            Dnf::from_clauses(vec![vec![v(0)], vec![v(1), v(2)], vec![v(3), v(4)]]),
+            Dnf::from_clauses(vec![vec![v(0), v(1), v(2), v(3)]]),
+        ];
+        for phi in functions {
+            for x in phi.universe().iter() {
+                let direct = phi.brute_force_banzhaf(x);
+                let by_counts = Int::sub_naturals(
+                    &phi.condition(x, true).brute_force_model_count(),
+                    &phi.condition(x, false).brute_force_model_count(),
+                );
+                assert_eq!(direct, by_counts);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_by_size_sum_to_total() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(2)], vec![v(1), v(3)]]);
+        let by_size = phi.brute_force_model_counts_by_size();
+        let total: u64 = by_size.iter().map(|c| c.to_u64().unwrap()).sum();
+        assert_eq!(Natural::from(total), phi.brute_force_model_count());
+        assert_eq!(by_size.len(), phi.num_vars() + 1);
+        assert_eq!(by_size[0].to_u64(), Some(0)); // Empty set satisfies nothing.
+    }
+}

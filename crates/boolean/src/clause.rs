@@ -1,0 +1,149 @@
+//! Conjunctive clauses of a positive DNF.
+
+use crate::Var;
+use std::fmt;
+
+/// A clause: a conjunction of (positive) variables.
+///
+/// Clauses are kept sorted and deduplicated. The *empty* clause is the
+/// constant `true` conjunction; a DNF containing it is a tautology.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Clause {
+    vars: Vec<Var>,
+}
+
+impl Clause {
+    /// Builds a clause from an arbitrary iterator of variables.
+    pub fn new<I: IntoIterator<Item = Var>>(vars: I) -> Self {
+        let mut vars: Vec<Var> = vars.into_iter().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        Clause { vars }
+    }
+
+    /// The empty (always-true) clause.
+    pub fn empty() -> Self {
+        Clause { vars: Vec::new() }
+    }
+
+    /// Number of variables in the clause.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` iff the clause is the empty conjunction (constant true).
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: Var) -> bool {
+        self.vars.binary_search(&v).is_ok()
+    }
+
+    /// Iterates over the clause's variables in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        self.vars.iter().copied()
+    }
+
+    /// The sorted variable slice.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Returns a copy of the clause with `v` removed (used when conditioning
+    /// on `v := 1` or when factoring out a common variable).
+    pub fn without(&self, v: Var) -> Clause {
+        Clause {
+            vars: self.vars.iter().copied().filter(|&u| u != v).collect(),
+        }
+    }
+
+    /// `true` iff every variable of `self` is contained in `other`
+    /// (i.e. `other` implies `self`, so `other` is absorbed by `self`).
+    pub fn subsumes(&self, other: &Clause) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        self.iter().all(|v| other.contains(v))
+    }
+
+    /// `true` iff the clause shares no variable with `other`.
+    pub fn is_disjoint(&self, other: &Clause) -> bool {
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        small.iter().all(|v| !large.contains(v))
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "⊤");
+        }
+        let parts: Vec<String> = self.vars.iter().map(|v| v.to_string()).collect();
+        write!(f, "{}", parts.join("∧"))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Var> for Clause {
+    fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
+        Clause::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let c = Clause::new([Var(3), Var(1), Var(3)]);
+        assert_eq!(c.vars(), &[Var(1), Var(3)]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert!(Clause::empty().is_empty());
+    }
+
+    #[test]
+    fn without_and_contains() {
+        let c = Clause::new([Var(1), Var(2), Var(3)]);
+        assert!(c.contains(Var(2)));
+        let d = c.without(Var(2));
+        assert_eq!(d.vars(), &[Var(1), Var(3)]);
+        assert!(!d.contains(Var(2)));
+        // Removing an absent variable is a no-op copy.
+        assert_eq!(c.without(Var(9)), c);
+    }
+
+    #[test]
+    fn subsumption() {
+        let small = Clause::new([Var(1)]);
+        let big = Clause::new([Var(1), Var(2)]);
+        assert!(small.subsumes(&big));
+        assert!(!big.subsumes(&small));
+        assert!(Clause::empty().subsumes(&big));
+        assert!(big.subsumes(&big));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = Clause::new([Var(1), Var(2)]);
+        let b = Clause::new([Var(3)]);
+        let c = Clause::new([Var(2), Var(3)]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&c));
+        assert!(Clause::empty().is_disjoint(&a));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Clause::new([Var(2), Var(1)]).to_string(), "x1∧x2");
+        assert_eq!(Clause::empty().to_string(), "⊤");
+    }
+}

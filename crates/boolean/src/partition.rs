@@ -1,0 +1,257 @@
+//! Independence partitioning and common-variable factoring.
+//!
+//! These are the two "cheap" decomposition steps used during d-tree
+//! compilation (Sec. 3.1 of the paper):
+//!
+//! * If the clause/variable incidence graph of `φ` has several connected
+//!   components, `φ` is the disjunction of *independent* functions — an ⊗
+//!   node.
+//! * If some variable occurs in *every* clause, it can be factored out:
+//!   `φ = x ∧ φ'` — an ⊙ node ("Our algorithm computing d-trees does this
+//!   whenever a variable occurs in all clauses", Example 9).
+
+use crate::{Dnf, Var, VarSet};
+use std::collections::HashMap;
+
+/// Union-find over dense indices.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Splits `φ` into independent components (functions over pairwise disjoint
+/// variable sets whose disjunction is `φ`).
+///
+/// Returns `None` if no split is possible (a single connected component that
+/// covers the whole universe). Otherwise returns at least two components:
+/// one per connected component of the clause graph, plus — if some universe
+/// variables occur in no clause — one constant-`false` component over those
+/// unused variables (`φ ∨ ⊥ = φ`, and the unused variables only contribute a
+/// `2^k` factor to the model count, which this encoding captures exactly).
+pub fn independent_components(phi: &Dnf) -> Option<Vec<Dnf>> {
+    if phi.is_constant() {
+        return None;
+    }
+    let used = phi.used_vars();
+    // Map used variables to dense indices for the union-find.
+    let index: HashMap<Var, u32> = used.iter().zip(0u32..).collect();
+    let mut uf = UnionFind::new(used.len());
+    for c in phi.clauses() {
+        let mut it = c.iter();
+        if let Some(first) = it.next() {
+            let fi = index[&first];
+            for v in it {
+                uf.union(fi, index[&v]);
+            }
+        }
+    }
+    // Group used variables by component root.
+    let mut groups: HashMap<u32, VarSet> = HashMap::new();
+    for v in used.iter() {
+        let root = uf.find(index[&v]);
+        groups.entry(root).or_default().insert(v);
+    }
+    let unused = phi.universe().difference(&used);
+    if groups.len() <= 1 && unused.is_empty() {
+        return None;
+    }
+    // Assign each clause to the component of its first variable.
+    let mut components: Vec<(VarSet, Vec<crate::Clause>)> =
+        groups.into_values().map(|vs| (vs, Vec::new())).collect();
+    // Sort for determinism (by smallest variable in the component).
+    components.sort_by_key(|(vs, _)| vs.iter().next());
+    for c in phi.clauses() {
+        let first = c.iter().next().expect("non-constant DNF has non-empty clauses");
+        let pos = components
+            .iter()
+            .position(|(vs, _)| vs.contains(first))
+            .expect("clause variable must belong to some component");
+        components[pos].1.push(c.clone());
+    }
+    let mut out: Vec<Dnf> = components
+        .into_iter()
+        .map(|(vs, clauses)| Dnf::from_parts(vs, clauses))
+        .collect();
+    if !unused.is_empty() {
+        out.push(Dnf::constant_false(unused));
+    }
+    Some(out)
+}
+
+/// The set of variables that occur in *every* clause of `φ` (empty for
+/// constants).
+pub fn common_variables(phi: &Dnf) -> VarSet {
+    if phi.is_constant() || phi.num_clauses() == 0 {
+        return VarSet::empty();
+    }
+    let mut common: VarSet = phi.clauses()[0].iter().collect();
+    for c in &phi.clauses()[1..] {
+        let clause_vars: VarSet = c.iter().collect();
+        common = common.intersection(&clause_vars);
+        if common.is_empty() {
+            break;
+        }
+    }
+    common
+}
+
+/// Result of factoring out the variables common to all clauses:
+/// `φ = (⋀ common) ∧ rest`, with `rest` over the remaining universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Factored {
+    /// Variables occurring in every clause of the original function.
+    pub common: VarSet,
+    /// The residual function with the common variables removed from every
+    /// clause; its universe is the original universe minus `common`.
+    pub rest: Dnf,
+}
+
+impl Factored {
+    /// Attempts to factor `φ`; returns `None` if no variable occurs in all
+    /// clauses (or `φ` is constant).
+    pub fn factor(phi: &Dnf) -> Option<Factored> {
+        let common = common_variables(phi);
+        if common.is_empty() {
+            return None;
+        }
+        let mut rest_universe = phi.universe().clone();
+        for v in common.iter() {
+            rest_universe.remove(v);
+        }
+        let clauses: Vec<Vec<Var>> = phi
+            .clauses()
+            .iter()
+            .map(|c| c.iter().filter(|v| !common.contains(*v)).collect())
+            .collect();
+        let rest = Dnf::from_clauses_with_universe(clauses, rest_universe);
+        Some(Factored { common, rest })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assignment;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn no_split_for_connected_function() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
+        assert!(independent_components(&phi).is_none());
+        assert!(independent_components(&Dnf::constant_true(VarSet::empty())).is_none());
+    }
+
+    #[test]
+    fn splits_disconnected_clauses() {
+        // (x0 ∧ x1) ∨ (x2 ∧ x3) ∨ x4  → three components.
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(2), v(3)], vec![v(4)]]);
+        let comps = independent_components(&phi).unwrap();
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(Dnf::num_vars).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+        // Universes are pairwise disjoint and cover the original universe.
+        let mut union = VarSet::empty();
+        for c in &comps {
+            assert!(union.is_disjoint(c.universe()));
+            union = union.union(c.universe());
+        }
+        assert_eq!(&union, phi.universe());
+    }
+
+    #[test]
+    fn unused_universe_vars_become_false_component() {
+        let phi = Dnf::from_clauses_with_universe(
+            vec![vec![v(0), v(1)]],
+            VarSet::from_iter([v(0), v(1), v(2), v(3)]),
+        );
+        let comps = independent_components(&phi).unwrap();
+        assert_eq!(comps.len(), 2);
+        assert!(comps[1].is_false());
+        assert_eq!(comps[1].num_vars(), 2);
+        // Semantics preserved: disjunction of components equals the original.
+        let rebuilt = comps.iter().fold(
+            Dnf::constant_false(VarSet::empty()),
+            |acc, c| acc.or(c),
+        );
+        for mask in 0u32..16 {
+            let assignment = Assignment::from_true_vars(
+                (0..4).filter(|i| mask & (1 << i) != 0).map(v),
+            );
+            assert_eq!(phi.evaluate(&assignment), rebuilt.evaluate(&assignment));
+        }
+    }
+
+    #[test]
+    fn component_model_counts_multiply_correctly() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(2)], vec![v(3), v(4)]]);
+        let comps = independent_components(&phi).unwrap();
+        // #non-models multiply across independent disjuncts.
+        let total_vars: usize = comps.iter().map(Dnf::num_vars).sum();
+        assert_eq!(total_vars, phi.num_vars());
+        let brute = phi.brute_force_model_count();
+        let mut non_models = banzhaf_arith::Natural::one();
+        for c in &comps {
+            let nm = &banzhaf_arith::Natural::pow2(c.num_vars()) - &c.brute_force_model_count();
+            non_models = non_models.mul_ref(&nm);
+        }
+        let rebuilt = &banzhaf_arith::Natural::pow2(phi.num_vars()) - &non_models;
+        assert_eq!(brute, rebuilt);
+    }
+
+    #[test]
+    fn common_variable_detection() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        assert_eq!(common_variables(&phi).as_slice(), &[v(0)]);
+        let none = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(2)]]);
+        assert!(common_variables(&none).is_empty());
+        assert!(common_variables(&Dnf::constant_true(VarSet::empty())).is_empty());
+    }
+
+    #[test]
+    fn factoring_example9() {
+        // (x ∧ y) ∨ (x ∧ z) = x ∧ (y ∨ z).
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        let f = Factored::factor(&phi).unwrap();
+        assert_eq!(f.common.as_slice(), &[v(0)]);
+        assert_eq!(f.rest.num_clauses(), 2);
+        assert_eq!(f.rest.num_vars(), 2);
+        assert!(!f.rest.universe().contains(v(0)));
+        // Factoring a function with no common variable fails.
+        assert!(Factored::factor(&Dnf::from_clauses(vec![vec![v(0)], vec![v(1)]])).is_none());
+    }
+
+    #[test]
+    fn factoring_clause_equal_to_common_set_gives_true_rest() {
+        // x ∨ (x ∧ y) : common = {x}, rest = ⊤ ∨ y = ⊤ over {y}.
+        let phi = Dnf::from_clauses(vec![vec![v(0)], vec![v(0), v(1)]]);
+        let f = Factored::factor(&phi).unwrap();
+        assert_eq!(f.common.as_slice(), &[v(0)]);
+        assert!(f.rest.is_true());
+        assert_eq!(f.rest.num_vars(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Propositional variables and sorted variable sets.
+
+use std::fmt;
+
+/// A propositional variable identifying an endogenous database fact.
+///
+/// Variables are small integers; the mapping between facts and variables is
+/// maintained by the database layer (`banzhaf-db`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The numeric index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u32> for Var {
+    fn from(v: u32) -> Self {
+        Var(v)
+    }
+}
+
+/// A sorted, deduplicated set of variables.
+///
+/// Lineages routinely contain thousands of variables; a sorted vector gives
+/// cache-friendly iteration and `O(log n)` membership, which is all the
+/// algorithms need.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+pub struct VarSet {
+    vars: Vec<Var>,
+}
+
+impl VarSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        VarSet { vars: Vec::new() }
+    }
+
+    /// Builds a set from arbitrary (possibly unsorted, duplicated) variables.
+    pub fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
+        let mut vars: Vec<Var> = iter.into_iter().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        VarSet { vars }
+    }
+
+    /// Builds a set from a vector that is already sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Debug-panics if the input is not sorted/deduplicated.
+    pub fn from_sorted(vars: Vec<Var>) -> Self {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "VarSet input not sorted");
+        VarSet { vars }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: Var) -> bool {
+        self.vars.binary_search(&v).is_ok()
+    }
+
+    /// Iterates over the variables in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        self.vars.iter().copied()
+    }
+
+    /// The underlying sorted slice.
+    pub fn as_slice(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Inserts a variable, keeping the set sorted.
+    pub fn insert(&mut self, v: Var) {
+        if let Err(pos) = self.vars.binary_search(&v) {
+            self.vars.insert(pos, v);
+        }
+    }
+
+    /// Removes a variable if present; returns whether it was present.
+    pub fn remove(&mut self, v: Var) -> bool {
+        match self.vars.binary_search(&v) {
+            Ok(pos) => {
+                self.vars.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() && j < other.vars.len() {
+            match self.vars[i].cmp(&other.vars[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.vars[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.vars[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.vars[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.vars[i..]);
+        out.extend_from_slice(&other.vars[j..]);
+        VarSet { vars: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        VarSet {
+            vars: self.vars.iter().copied().filter(|v| !other.contains(*v)).collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        VarSet {
+            vars: self.vars.iter().copied().filter(|v| other.contains(*v)).collect(),
+        }
+    }
+
+    /// `true` iff the two sets share no variable.
+    pub fn is_disjoint(&self, other: &VarSet) -> bool {
+        // Walk the smaller set and probe the larger.
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        small.iter().all(|v| !large.contains(v))
+    }
+
+    /// `true` iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        self.iter().all(|v| other.contains(v))
+    }
+}
+
+impl FromIterator<Var> for VarSet {
+    fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
+        VarSet::from_iter(iter)
+    }
+}
+
+impl IntoIterator for VarSet {
+    type Item = Var;
+    type IntoIter = std::vec::IntoIter<Var>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.vars.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(ids: &[u32]) -> VarSet {
+        VarSet::from_iter(ids.iter().map(|&i| Var(i)))
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = vs(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.as_slice(), &[Var(1), Var(3), Var(5)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn membership_and_mutation() {
+        let mut s = vs(&[1, 3]);
+        assert!(s.contains(Var(3)));
+        assert!(!s.contains(Var(2)));
+        s.insert(Var(2));
+        assert_eq!(s.as_slice(), &[Var(1), Var(2), Var(3)]);
+        s.insert(Var(2));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(Var(1)));
+        assert!(!s.remove(Var(1)));
+        assert_eq!(s.as_slice(), &[Var(2), Var(3)]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = vs(&[1, 2, 3, 4]);
+        let b = vs(&[3, 4, 5]);
+        assert_eq!(a.union(&b), vs(&[1, 2, 3, 4, 5]));
+        assert_eq!(a.difference(&b), vs(&[1, 2]));
+        assert_eq!(a.intersection(&b), vs(&[3, 4]));
+        assert!(!a.is_disjoint(&b));
+        assert!(vs(&[1, 2]).is_disjoint(&vs(&[3, 4])));
+        assert!(vs(&[2, 3]).is_subset(&a));
+        assert!(!vs(&[2, 9]).is_subset(&a));
+        assert!(VarSet::empty().is_subset(&a));
+        assert!(VarSet::empty().is_disjoint(&VarSet::empty()));
+    }
+}

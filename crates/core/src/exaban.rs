@@ -1,0 +1,429 @@
+//! ExaBan: exact Banzhaf values and model counts over complete d-trees.
+//!
+//! The algorithm of Fig. 1 in the paper computes, for a complete d-tree `Tφ`
+//! and a variable `x`, the pair `(Banzhaf(φ, x), #φ)` bottom-up using the
+//! combination rules Eq. (4)–(9):
+//!
+//! * `⊙` (independent AND): `# = #₁·#₂`, `B = B₁·#₂` (with `x` in child 1);
+//! * `⊗` (independent OR): `# = #₁·2^{n₂} + 2^{n₁}·#₂ − #₁·#₂`,
+//!   `B = B₁·(2^{n₂} − #₂)`;
+//! * `⊕` (mutual exclusion): `# = #₁+#₂`, `B = B₁+B₂`.
+//!
+//! [`exaban_single`] is the literal transcription of Fig. 1. [`exaban_all`]
+//! computes the Banzhaf values of *all* variables in two passes — one
+//! bottom-up pass for the model counts and one top-down pass propagating a
+//! "context factor" to each leaf — which shares the count computation across
+//! variables exactly as the paper suggests ("For all variables, it uses the
+//! same d-tree and shares the computation of the counts").
+
+use banzhaf_arith::{Int, Natural};
+use banzhaf_boolean::Var;
+use banzhaf_dtree::{DTree, Node, NodeId, OpKind};
+use std::collections::HashMap;
+
+/// Exact Banzhaf values of every variable of a function, plus its model count.
+#[derive(Clone, Debug)]
+pub struct BanzhafResult {
+    /// The Banzhaf value of each variable of the function's universe.
+    /// For positive lineage these are non-negative.
+    pub values: HashMap<Var, Natural>,
+    /// The exact model count `#φ`.
+    pub model_count: Natural,
+}
+
+impl BanzhafResult {
+    /// The Banzhaf value of `v`, if `v` is a variable of the function.
+    pub fn value(&self, v: Var) -> Option<&Natural> {
+        self.values.get(&v)
+    }
+
+    /// Variables sorted by decreasing Banzhaf value (ties by variable index).
+    pub fn ranking(&self) -> Vec<(Var, Natural)> {
+        let mut items: Vec<(Var, Natural)> = self
+            .values
+            .iter()
+            .map(|(v, b)| (*v, b.clone()))
+            .collect();
+        items.sort_by(|(va, ba), (vb, bb)| bb.cmp(ba).then(va.cmp(vb)));
+        items
+    }
+
+    /// The `k` variables with the largest Banzhaf values.
+    pub fn top_k(&self, k: usize) -> Vec<(Var, Natural)> {
+        self.ranking().into_iter().take(k).collect()
+    }
+}
+
+/// Computes the exact model count of every node of a complete d-tree,
+/// bottom-up. Shared by [`exaban_single`], [`exaban_all`] and the Shapley
+/// computation.
+pub(crate) fn model_counts(tree: &DTree) -> Vec<Natural> {
+    let mut counts: Vec<Natural> = vec![Natural::zero(); tree.num_nodes()];
+    for id in tree.postorder() {
+        let count = match tree.node(id) {
+            Node::Leaf(dnf) => {
+                debug_assert!(
+                    dnf.is_constant() || dnf.is_single_literal().is_some(),
+                    "ExaBan requires a complete d-tree"
+                );
+                if dnf.is_false() {
+                    Natural::zero()
+                } else if dnf.is_true() {
+                    Natural::pow2(dnf.num_vars())
+                } else {
+                    // Single positive literal over a singleton universe.
+                    Natural::one()
+                }
+            }
+            Node::PosLit(_) | Node::NegLit(_) => Natural::one(),
+            Node::Op { op, children, num_vars } => {
+                combine_counts(*op, children, *num_vars, &counts, tree)
+            }
+        };
+        counts[id.index()] = count;
+    }
+    counts
+}
+
+/// Combines children model counts at an inner node.
+fn combine_counts(
+    op: OpKind,
+    children: &[NodeId],
+    num_vars: usize,
+    counts: &[Natural],
+    tree: &DTree,
+) -> Natural {
+    match op {
+        OpKind::IndependentAnd => {
+            let mut acc = Natural::one();
+            for &c in children {
+                acc = acc.mul_ref(&counts[c.index()]);
+            }
+            acc
+        }
+        OpKind::IndependentOr => {
+            // #φ = 2^n − Π (2^{n_i} − #φ_i): multiply the non-model counts.
+            let mut non_models = Natural::one();
+            for &c in children {
+                let child_vars = tree.node(c).num_vars();
+                let nm = &Natural::pow2(child_vars) - &counts[c.index()];
+                non_models = non_models.mul_ref(&nm);
+            }
+            &Natural::pow2(num_vars) - &non_models
+        }
+        OpKind::Exclusive => {
+            let mut acc = Natural::zero();
+            for &c in children {
+                acc += &counts[c.index()];
+            }
+            acc
+        }
+    }
+}
+
+/// ExaBan for a single variable (Fig. 1 of the paper): returns
+/// `(Banzhaf(φ, x), #φ)` for the function represented by the complete d-tree.
+///
+/// The Banzhaf value is returned as a signed integer because the generic
+/// recursion also covers negated literals introduced by Shannon expansion;
+/// for positive lineage the root value is always non-negative.
+///
+/// # Panics
+/// Panics (in debug builds) if the d-tree is not complete.
+pub fn exaban_single(tree: &DTree, x: Var) -> (Int, Natural) {
+    let counts = model_counts(tree);
+    // Per-node Banzhaf value of `x` in the subtree function.
+    let mut banzhaf: Vec<Int> = vec![Int::zero(); tree.num_nodes()];
+    // Whether the subtree mentions `x` (computed bottom-up to avoid repeated
+    // subtree scans).
+    let mut contains: Vec<bool> = vec![false; tree.num_nodes()];
+    for id in tree.postorder() {
+        let (b, has) = match tree.node(id) {
+            Node::Leaf(dnf) => {
+                let has = dnf.universe().contains(x);
+                let b = if dnf.is_constant() {
+                    Int::zero()
+                } else if dnf.is_single_literal() == Some(x) {
+                    Int::one()
+                } else {
+                    Int::zero()
+                };
+                (b, has)
+            }
+            Node::PosLit(v) => (if *v == x { Int::one() } else { Int::zero() }, *v == x),
+            Node::NegLit(v) => (if *v == x { Int::minus_one() } else { Int::zero() }, *v == x),
+            Node::Op { op, children, .. } => {
+                let has = children.iter().any(|&c| contains[c.index()]);
+                let b = match op {
+                    OpKind::IndependentAnd => {
+                        // B = B_i · Π_{j≠i} #_j where x is in child i.
+                        let mut acc = Int::zero();
+                        if has {
+                            let i = children
+                                .iter()
+                                .position(|&c| contains[c.index()])
+                                .expect("has implies a child containing x");
+                            acc = banzhaf[children[i].index()].clone();
+                            for (j, &c) in children.iter().enumerate() {
+                                if j != i {
+                                    acc = acc.mul_natural(&counts[c.index()]);
+                                }
+                            }
+                        }
+                        acc
+                    }
+                    OpKind::IndependentOr => {
+                        let mut acc = Int::zero();
+                        if has {
+                            let i = children
+                                .iter()
+                                .position(|&c| contains[c.index()])
+                                .expect("has implies a child containing x");
+                            acc = banzhaf[children[i].index()].clone();
+                            for (j, &c) in children.iter().enumerate() {
+                                if j != i {
+                                    let nj = tree.node(c).num_vars();
+                                    let factor = &Natural::pow2(nj) - &counts[c.index()];
+                                    acc = acc.mul_natural(&factor);
+                                }
+                            }
+                        }
+                        acc
+                    }
+                    OpKind::Exclusive => {
+                        let mut acc = Int::zero();
+                        for &c in children {
+                            acc += &banzhaf[c.index()];
+                        }
+                        acc
+                    }
+                };
+                (b, has)
+            }
+        };
+        banzhaf[id.index()] = b;
+        contains[id.index()] = has;
+    }
+    (
+        banzhaf[tree.root().index()].clone(),
+        counts[tree.root().index()].clone(),
+    )
+}
+
+/// ExaBan for all variables: one bottom-up model-count pass and one top-down
+/// context-propagation pass.
+///
+/// The *context* of a node is the factor by which the Banzhaf value of a
+/// variable inside that subtree is multiplied when lifted to the root:
+/// crossing a `⊙` node multiplies by the siblings' model counts, crossing a
+/// `⊗` node multiplies by the siblings' non-model counts `2^{n_j} − #_j`, and
+/// `⊕` nodes pass the context through unchanged (Eq. (5), (7), (9)).
+///
+/// # Panics
+/// Panics (in debug builds) if the d-tree is not complete.
+pub fn exaban_all(tree: &DTree) -> BanzhafResult {
+    let counts = model_counts(tree);
+    let mut contexts: Vec<Natural> = vec![Natural::zero(); tree.num_nodes()];
+    contexts[tree.root().index()] = Natural::one();
+
+    // Accumulate signed contributions per variable (negated literals from
+    // Shannon expansion contribute negatively).
+    let mut acc: HashMap<Var, Int> = HashMap::new();
+
+    for id in tree.preorder() {
+        let ctx = contexts[id.index()].clone();
+        match tree.node(id) {
+            Node::Leaf(dnf) => {
+                if let Some(v) = dnf.is_single_literal() {
+                    *acc.entry(v).or_default() += &Int::from(ctx);
+                } else {
+                    // Constant leaf: its universe variables have zero
+                    // contribution through this subtree but must still appear
+                    // in the result with value 0.
+                    for v in dnf.universe().iter() {
+                        acc.entry(v).or_default();
+                    }
+                }
+            }
+            Node::PosLit(v) => {
+                *acc.entry(*v).or_default() += &Int::from(ctx);
+            }
+            Node::NegLit(v) => {
+                *acc.entry(*v).or_default() -= &Int::from(ctx);
+            }
+            Node::Op { op, children, .. } => match op {
+                OpKind::Exclusive => {
+                    for &c in children {
+                        contexts[c.index()] = ctx.clone();
+                    }
+                }
+                OpKind::IndependentAnd | OpKind::IndependentOr => {
+                    // Child i's context is ctx · Π_{j≠i} factor_j where
+                    // factor_j is #_j (⊙) or 2^{n_j} − #_j (⊗). Computed with
+                    // prefix/suffix products to stay linear in the fan-out.
+                    let factors: Vec<Natural> = children
+                        .iter()
+                        .map(|&c| match op {
+                            OpKind::IndependentAnd => counts[c.index()].clone(),
+                            _ => {
+                                let nj = tree.node(c).num_vars();
+                                &Natural::pow2(nj) - &counts[c.index()]
+                            }
+                        })
+                        .collect();
+                    let k = children.len();
+                    let mut prefix = vec![Natural::one(); k + 1];
+                    for i in 0..k {
+                        prefix[i + 1] = prefix[i].mul_ref(&factors[i]);
+                    }
+                    let mut suffix = vec![Natural::one(); k + 1];
+                    for i in (0..k).rev() {
+                        suffix[i] = suffix[i + 1].mul_ref(&factors[i]);
+                    }
+                    for (i, &c) in children.iter().enumerate() {
+                        let sibling_product = prefix[i].mul_ref(&suffix[i + 1]);
+                        contexts[c.index()] = ctx.mul_ref(&sibling_product);
+                    }
+                }
+            },
+        }
+    }
+
+    let values = acc
+        .into_iter()
+        .map(|(v, b)| {
+            debug_assert!(!b.is_negative(), "positive lineage has non-negative Banzhaf values");
+            (v, b.into_magnitude())
+        })
+        .collect();
+    BanzhafResult { values, model_count: counts[tree.root().index()].clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banzhaf_dtree::{Budget, PivotHeuristic};
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn compile(phi: banzhaf_boolean::Dnf) -> DTree {
+        DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap()
+    }
+
+    #[test]
+    fn example_11_trace() {
+        // φ = (x ∧ y) ∨ (x ∧ z): Banzhaf(x) = 3, #φ = 3 (Example 11).
+        let phi = banzhaf_boolean::Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        let tree = compile(phi);
+        let (b, count) = exaban_single(&tree, v(0));
+        assert_eq!(b.to_i128(), Some(3));
+        assert_eq!(count.to_u64(), Some(3));
+        let (by, _) = exaban_single(&tree, v(1));
+        assert_eq!(by.to_i128(), Some(1));
+        let all = exaban_all(&tree);
+        assert_eq!(all.model_count.to_u64(), Some(3));
+        assert_eq!(all.value(v(0)).unwrap().to_u64(), Some(3));
+        assert_eq!(all.value(v(1)).unwrap().to_u64(), Some(1));
+        assert_eq!(all.value(v(2)).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn example_13_function() {
+        // φ = (x ∧ y) ∨ (x ∧ z) ∨ u: Banzhaf(x) = 3, #φ = 11 (Example 13).
+        let phi = banzhaf_boolean::Dnf::from_clauses(vec![
+            vec![v(0), v(1)],
+            vec![v(0), v(2)],
+            vec![v(3)],
+        ]);
+        let tree = compile(phi);
+        let all = exaban_all(&tree);
+        assert_eq!(all.model_count.to_u64(), Some(11));
+        assert_eq!(all.value(v(0)).unwrap().to_u64(), Some(3));
+        assert_eq!(all.value(v(3)).unwrap().to_u64(), Some(5));
+    }
+
+    #[test]
+    fn matches_brute_force_on_assorted_functions() {
+        let functions = vec![
+            banzhaf_boolean::Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)], vec![v(2), v(3)]]),
+            banzhaf_boolean::Dnf::from_clauses(vec![
+                vec![v(0), v(1)],
+                vec![v(2), v(3)],
+                vec![v(0), v(3)],
+                vec![v(4)],
+            ]),
+            banzhaf_boolean::Dnf::from_clauses(vec![
+                vec![v(0), v(1), v(2)],
+                vec![v(1), v(3)],
+                vec![v(3), v(4), v(5)],
+                vec![v(0), v(5)],
+            ]),
+            banzhaf_boolean::Dnf::from_clauses_with_universe(
+                vec![vec![v(0), v(1)], vec![v(1), v(2)]],
+                banzhaf_boolean::VarSet::from_iter([v(0), v(1), v(2), v(3)]),
+            ),
+        ];
+        for phi in functions {
+            let tree = compile(phi.clone());
+            let all = exaban_all(&tree);
+            assert_eq!(all.model_count, phi.brute_force_model_count(), "{phi}");
+            for x in phi.universe().iter() {
+                let expected = phi.brute_force_banzhaf(x);
+                let (single, _) = exaban_single(&tree, x);
+                assert_eq!(single, expected, "single {phi} {x}");
+                assert_eq!(
+                    Int::from(all.value(x).unwrap().clone()),
+                    expected,
+                    "all {phi} {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_and_topk() {
+        let phi = banzhaf_boolean::Dnf::from_clauses(vec![
+            vec![v(0), v(1)],
+            vec![v(0), v(2)],
+            vec![v(3)],
+        ]);
+        let tree = compile(phi);
+        let all = exaban_all(&tree);
+        let ranking = all.ranking();
+        assert_eq!(ranking[0].0, v(3)); // u has the largest value (5).
+        assert_eq!(ranking[1].0, v(0)); // then x (3).
+        let top2 = all.top_k(2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].0, v(3));
+        // Asking for more than there are variables returns all of them.
+        assert_eq!(all.top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn constant_functions() {
+        let t = compile(banzhaf_boolean::Dnf::constant_true(
+            banzhaf_boolean::VarSet::from_iter([v(0), v(1)]),
+        ));
+        let all = exaban_all(&t);
+        assert_eq!(all.model_count.to_u64(), Some(4));
+        assert_eq!(all.value(v(0)).unwrap().to_u64(), Some(0));
+        let f = compile(banzhaf_boolean::Dnf::constant_false(
+            banzhaf_boolean::VarSet::from_iter([v(0)]),
+        ));
+        let all = exaban_all(&f);
+        assert_eq!(all.model_count.to_u64(), Some(0));
+        assert_eq!(all.value(v(0)).unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn single_variable_function() {
+        let tree = compile(banzhaf_boolean::Dnf::variable(v(7)));
+        let (b, c) = exaban_single(&tree, v(7));
+        assert_eq!(b.to_i128(), Some(1));
+        assert_eq!(c.to_u64(), Some(1));
+        let all = exaban_all(&tree);
+        assert_eq!(all.value(v(7)).unwrap().to_u64(), Some(1));
+    }
+}

@@ -1,0 +1,114 @@
+//! Normalizations of Banzhaf values and error measures used in the evaluation.
+
+use banzhaf_arith::Natural;
+use banzhaf_boolean::Var;
+use std::collections::HashMap;
+
+/// The Penrose–Banzhaf *power* of each variable: the raw Banzhaf value divided
+/// by `2^{n-1}`, the number of possible assignments of the other variables
+/// (Sec. 2 of the paper). Returned as `f64` since it is a reporting quantity.
+pub fn normalized_power(values: &HashMap<Var, Natural>, num_vars: usize) -> HashMap<Var, f64> {
+    let denom = Natural::pow2(num_vars.saturating_sub(1)).to_f64();
+    values
+        .iter()
+        .map(|(v, b)| (*v, if denom == 0.0 { 0.0 } else { b.to_f64() / denom }))
+        .collect()
+}
+
+/// The Penrose–Banzhaf *index* of each variable: the raw Banzhaf value divided
+/// by the sum of all Banzhaf values. If all values are zero the index is zero.
+pub fn normalized_index(values: &HashMap<Var, Natural>) -> HashMap<Var, f64> {
+    let total: f64 = values.values().map(Natural::to_f64).sum();
+    values
+        .iter()
+        .map(|(v, b)| (*v, if total == 0.0 { 0.0 } else { b.to_f64() / total }))
+        .collect()
+}
+
+/// ℓ1 distance between two normalized Banzhaf vectors, the accuracy measure of
+/// Table 7 in the paper: both inputs are normalized (to the Penrose–Banzhaf
+/// index) and the absolute differences are summed over the union of their
+/// variables.
+pub fn l1_distance_normalized(
+    estimate: &HashMap<Var, f64>,
+    exact: &HashMap<Var, Natural>,
+) -> f64 {
+    let exact_total: f64 = exact.values().map(Natural::to_f64).sum();
+    let est_total: f64 = estimate.values().map(|v| v.max(0.0)).sum();
+    let mut distance = 0.0;
+    let mut vars: Vec<Var> = exact.keys().copied().collect();
+    for v in estimate.keys() {
+        if !exact.contains_key(v) {
+            vars.push(*v);
+        }
+    }
+    for v in vars {
+        let e = if exact_total == 0.0 {
+            0.0
+        } else {
+            exact.get(&v).map(Natural::to_f64).unwrap_or(0.0) / exact_total
+        };
+        let a = if est_total == 0.0 {
+            0.0
+        } else {
+            estimate.get(&v).copied().unwrap_or(0.0).max(0.0) / est_total
+        };
+        distance += (e - a).abs();
+    }
+    distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values(pairs: &[(u32, u64)]) -> HashMap<Var, Natural> {
+        pairs.iter().map(|&(v, b)| (Var(v), Natural::from(b))).collect()
+    }
+
+    #[test]
+    fn power_normalization() {
+        let vals = values(&[(0, 3), (1, 1), (2, 1)]);
+        let power = normalized_power(&vals, 3);
+        assert_eq!(power[&Var(0)], 0.75);
+        assert_eq!(power[&Var(1)], 0.25);
+    }
+
+    #[test]
+    fn index_normalization_sums_to_one() {
+        let vals = values(&[(0, 3), (1, 1), (2, 1)]);
+        let index = normalized_index(&vals);
+        let total: f64 = index.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((index[&Var(0)] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_normalizes_to_zero() {
+        let vals = values(&[(0, 0), (1, 0)]);
+        assert!(normalized_index(&vals).values().all(|&v| v == 0.0));
+        assert!(normalized_power(&vals, 2).values().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn l1_distance_zero_for_exact_estimate() {
+        let exact = values(&[(0, 3), (1, 1)]);
+        let estimate: HashMap<Var, f64> = [(Var(0), 3.0), (Var(1), 1.0)].into_iter().collect();
+        assert!(l1_distance_normalized(&estimate, &exact) < 1e-12);
+        // Scaling the estimate uniformly does not change the normalized distance.
+        let scaled: HashMap<Var, f64> = [(Var(0), 30.0), (Var(1), 10.0)].into_iter().collect();
+        assert!(l1_distance_normalized(&scaled, &exact) < 1e-12);
+    }
+
+    #[test]
+    fn l1_distance_detects_wrong_estimates() {
+        let exact = values(&[(0, 3), (1, 1)]);
+        let estimate: HashMap<Var, f64> = [(Var(0), 1.0), (Var(1), 3.0)].into_iter().collect();
+        let d = l1_distance_normalized(&estimate, &exact);
+        assert!((d - 1.0).abs() < 1e-12); // |0.75-0.25| + |0.25-0.75| = 1.
+        // A missing variable counts as estimate zero.
+        let partial: HashMap<Var, f64> = [(Var(0), 1.0)].into_iter().collect();
+        let d = l1_distance_normalized(&partial, &exact);
+        assert!(d > 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The database: relations, fact storage, endogenous/exogenous partitioning.
+
+use crate::{Fact, FactId, Provenance, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised by database mutation and lookup.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DbError {
+    /// The referenced relation does not exist.
+    UnknownRelation(String),
+    /// A tuple's arity does not match the relation schema.
+    ArityMismatch {
+        /// The relation name.
+        relation: String,
+        /// The declared arity.
+        expected: usize,
+        /// The arity of the offending tuple.
+        got: usize,
+    },
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            DbError::ArityMismatch { relation, expected, got } => {
+                write!(f, "arity mismatch for {relation}: expected {expected}, got {got}")
+            }
+            DbError::DuplicateRelation(r) => write!(f, "relation {r} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// A stored relation: its arity and its tuples with provenance tags.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<(Vec<Value>, Provenance)>,
+}
+
+impl Relation {
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over `(values, provenance)` pairs.
+    pub fn tuples(&self) -> impl Iterator<Item = (&[Value], Provenance)> + '_ {
+        self.tuples.iter().map(|(vals, prov)| (vals.as_slice(), *prov))
+    }
+}
+
+/// An in-memory database: named relations over typed values, with each fact
+/// tagged endogenous or exogenous.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+    /// Endogenous facts indexed by their [`FactId`].
+    endogenous: Vec<Fact>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Declares a relation with the given arity.
+    ///
+    /// # Panics
+    /// Panics if the relation already exists (schema setup is programmer
+    /// controlled; a duplicate indicates a bug in workload construction).
+    pub fn add_relation(&mut self, name: impl Into<String>, arity: usize) {
+        let name = name.into();
+        let previous = self
+            .relations
+            .insert(name.clone(), Relation { arity, tuples: Vec::new() });
+        assert!(previous.is_none(), "{}", DbError::DuplicateRelation(name));
+    }
+
+    /// Inserts an endogenous fact and returns its id (= provenance variable).
+    pub fn insert_endogenous(
+        &mut self,
+        relation: &str,
+        values: Vec<Value>,
+    ) -> Result<FactId, DbError> {
+        self.check(relation, &values)?;
+        let id = FactId(self.endogenous.len() as u32);
+        self.endogenous.push(Fact::new(relation, values.clone()));
+        self.relations
+            .get_mut(relation)
+            .expect("checked above")
+            .tuples
+            .push((values, Provenance::Endogenous(id)));
+        Ok(id)
+    }
+
+    /// Inserts an exogenous fact.
+    pub fn insert_exogenous(&mut self, relation: &str, values: Vec<Value>) -> Result<(), DbError> {
+        self.check(relation, &values)?;
+        self.relations
+            .get_mut(relation)
+            .expect("checked above")
+            .tuples
+            .push((values, Provenance::Exogenous));
+        Ok(())
+    }
+
+    fn check(&self, relation: &str, values: &[Value]) -> Result<(), DbError> {
+        let rel = self
+            .relations
+            .get(relation)
+            .ok_or_else(|| DbError::UnknownRelation(relation.to_owned()))?;
+        if rel.arity != values.len() {
+            return Err(DbError::ArityMismatch {
+                relation: relation.to_owned(),
+                expected: rel.arity,
+                got: values.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Names of all relations (sorted for determinism).
+    pub fn relation_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Looks up an endogenous fact by id.
+    pub fn fact(&self, id: FactId) -> Option<&Fact> {
+        self.endogenous.get(id.index())
+    }
+
+    /// Number of endogenous facts.
+    pub fn num_endogenous(&self) -> usize {
+        self.endogenous.len()
+    }
+
+    /// Total number of stored tuples (endogenous and exogenous).
+    pub fn num_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Iterates over all endogenous facts with their ids.
+    pub fn endogenous_facts(&self) -> impl Iterator<Item = (FactId, &Fact)> + '_ {
+        self.endogenous
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FactId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation("R", 1);
+        db.add_relation("S", 2);
+        db.insert_endogenous("R", vec![Value::from(1)]).unwrap();
+        db.insert_endogenous("R", vec![Value::from(2)]).unwrap();
+        db.insert_endogenous("S", vec![Value::from(1), Value::from(10)]).unwrap();
+        db.insert_exogenous("S", vec![Value::from(2), Value::from(20)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn insertion_and_lookup() {
+        let db = sample_db();
+        assert_eq!(db.num_endogenous(), 3);
+        assert_eq!(db.num_tuples(), 4);
+        assert_eq!(db.relation("R").unwrap().len(), 2);
+        assert_eq!(db.relation("S").unwrap().arity(), 2);
+        assert!(db.relation("T").is_none());
+        assert_eq!(db.relation_names(), vec!["R", "S"]);
+        let fact = db.fact(FactId(0)).unwrap();
+        assert_eq!(fact.relation(), "R");
+        assert_eq!(db.fact(FactId(99)), None);
+    }
+
+    #[test]
+    fn fact_ids_are_dense_and_stable() {
+        let db = sample_db();
+        let ids: Vec<FactId> = db.endogenous_facts().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![FactId(0), FactId(1), FactId(2)]);
+    }
+
+    #[test]
+    fn provenance_tags_on_tuples() {
+        let db = sample_db();
+        let s = db.relation("S").unwrap();
+        let provs: Vec<bool> = s.tuples().map(|(_, p)| p.is_endogenous()).collect();
+        assert_eq!(provs, vec![true, false]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut db = sample_db();
+        assert_eq!(
+            db.insert_endogenous("T", vec![]).unwrap_err(),
+            DbError::UnknownRelation("T".into())
+        );
+        let err = db.insert_exogenous("R", vec![Value::from(1), Value::from(2)]).unwrap_err();
+        assert!(matches!(err, DbError::ArityMismatch { expected: 1, got: 2, .. }));
+        assert!(err.to_string().contains("arity mismatch"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_relation_panics() {
+        let mut db = sample_db();
+        db.add_relation("R", 1);
+    }
+}

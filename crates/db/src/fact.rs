@@ -1,0 +1,106 @@
+//! Facts and their provenance tags.
+
+use crate::Value;
+use std::fmt;
+
+/// Identifier of an *endogenous* fact; doubles as the index of the
+/// propositional provenance variable the query layer associates with it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// The numeric index of the fact.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Whether a fact is endogenous (carries a provenance variable) or exogenous
+/// (taken for granted, never appears in lineage).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Provenance {
+    /// Endogenous fact with its provenance variable id.
+    Endogenous(FactId),
+    /// Exogenous fact.
+    Exogenous,
+}
+
+impl Provenance {
+    /// The fact id, if endogenous.
+    pub fn fact_id(self) -> Option<FactId> {
+        match self {
+            Provenance::Endogenous(id) => Some(id),
+            Provenance::Exogenous => None,
+        }
+    }
+
+    /// `true` iff endogenous.
+    pub fn is_endogenous(self) -> bool {
+        matches!(self, Provenance::Endogenous(_))
+    }
+}
+
+/// A stored fact: relation name plus attribute values.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct Fact {
+    relation: String,
+    values: Vec<Value>,
+}
+
+impl Fact {
+    /// Creates a fact.
+    pub fn new(relation: impl Into<String>, values: Vec<Value>) -> Self {
+        Fact { relation: relation.into(), values }
+    }
+
+    /// The relation the fact belongs to.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The attribute values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vals: Vec<String> = self.values.iter().map(Value::to_string).collect();
+        write!(f, "{}({})", self.relation, vals.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_accessors() {
+        let p = Provenance::Endogenous(FactId(3));
+        assert!(p.is_endogenous());
+        assert_eq!(p.fact_id(), Some(FactId(3)));
+        assert!(!Provenance::Exogenous.is_endogenous());
+        assert_eq!(Provenance::Exogenous.fact_id(), None);
+    }
+
+    #[test]
+    fn fact_display() {
+        let f = Fact::new("R", vec![Value::from(1), Value::from("a")]);
+        assert_eq!(f.to_string(), "R(1, 'a')");
+        assert_eq!(f.relation(), "R");
+        assert_eq!(f.values().len(), 2);
+    }
+}

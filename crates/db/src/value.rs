@@ -1,0 +1,91 @@
+//! Typed attribute values.
+
+use std::fmt;
+
+/// A database value: an integer or a string constant.
+///
+/// Two variants suffice for the paper's workloads (keys, foreign keys, names);
+/// the query layer's selection predicates compare values of the same variant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A string value.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the integer if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::from(5).as_int(), Some(5));
+        assert_eq!(Value::from(5).as_str(), None);
+        assert_eq!(Value::from("abc").as_str(), Some("abc"));
+        assert_eq!(Value::from("abc").as_int(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::from(42).to_string(), "42");
+        assert_eq!(Value::from("x").to_string(), "'x'");
+    }
+
+    #[test]
+    fn ordering_within_variants() {
+        assert!(Value::from(1) < Value::from(2));
+        assert!(Value::from("a") < Value::from("b"));
+    }
+}

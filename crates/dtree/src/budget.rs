@@ -1,0 +1,182 @@
+//! Cooperative computation budgets (deadlines and step limits).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Error returned when a computation exceeds its [`Budget`].
+///
+/// The paper's experiments impose a one-hour timeout per instance; this
+/// reproduction enforces timeouts cooperatively — every potentially
+/// exponential loop checks its budget and bails out with `Interrupted`,
+/// which the benchmark harness records as a failed instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interrupted;
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "computation exceeded its budget (deadline or step limit)")
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// A cooperative budget: an optional wall-clock deadline and an optional cap
+/// on the number of "steps" (decomposition/expansion operations).
+///
+/// Budgets are cheap to clone and are checked at the granularity of
+/// decomposition steps, so a `check` call costs an `Instant::now` only every
+/// few hundred steps.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_steps: Option<u64>,
+    steps: std::cell::Cell<u64>,
+    /// Check the clock only every `CLOCK_PERIOD` steps to keep overhead low.
+    since_clock: std::cell::Cell<u32>,
+}
+
+const CLOCK_PERIOD: u32 = 64;
+
+impl Budget {
+    /// A budget that never interrupts.
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            max_steps: None,
+            steps: std::cell::Cell::new(0),
+            since_clock: std::cell::Cell::new(0),
+        }
+    }
+
+    /// A budget limited by wall-clock time from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Budget {
+            deadline: Some(Instant::now() + timeout),
+            max_steps: None,
+            steps: std::cell::Cell::new(0),
+            since_clock: std::cell::Cell::new(0),
+        }
+    }
+
+    /// A budget limited by a number of decomposition steps.
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        Budget {
+            deadline: None,
+            max_steps: Some(max_steps),
+            steps: std::cell::Cell::new(0),
+            since_clock: std::cell::Cell::new(0),
+        }
+    }
+
+    /// A budget with both a deadline and a step cap.
+    pub fn new(timeout: Option<Duration>, max_steps: Option<u64>) -> Self {
+        Budget {
+            deadline: timeout.map(|t| Instant::now() + t),
+            max_steps,
+            steps: std::cell::Cell::new(0),
+            since_clock: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of steps consumed so far.
+    pub fn steps_used(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Records one step and returns `Err(Interrupted)` if the budget is
+    /// exhausted.
+    pub fn step(&self) -> Result<(), Interrupted> {
+        let s = self.steps.get() + 1;
+        self.steps.set(s);
+        if let Some(max) = self.max_steps {
+            if s > max {
+                return Err(Interrupted);
+            }
+        }
+        if self.deadline.is_some() {
+            let since = self.since_clock.get() + 1;
+            if since >= CLOCK_PERIOD {
+                self.since_clock.set(0);
+                self.check_deadline()?;
+            } else {
+                self.since_clock.set(since);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks only the wall-clock deadline (unconditionally).
+    pub fn check_deadline(&self) -> Result<(), Interrupted> {
+        match self.deadline {
+            Some(d) if Instant::now() > d => Err(Interrupted),
+            _ => Ok(()),
+        }
+    }
+
+    /// `true` iff the budget is already exhausted.
+    pub fn exhausted(&self) -> bool {
+        if let Some(max) = self.max_steps {
+            if self.steps.get() >= max {
+                return true;
+            }
+        }
+        self.check_deadline().is_err()
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_interrupts() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.step().is_ok());
+        }
+        assert_eq!(b.steps_used(), 10_000);
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn step_cap_interrupts() {
+        let b = Budget::with_max_steps(5);
+        for _ in 0..5 {
+            assert!(b.step().is_ok());
+        }
+        assert_eq!(b.step(), Err(Interrupted));
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn elapsed_deadline_interrupts() {
+        let b = Budget::with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.check_deadline().is_err());
+        assert!(b.exhausted());
+        // step() notices the deadline within one clock period.
+        let mut interrupted = false;
+        for _ in 0..200 {
+            if b.step().is_err() {
+                interrupted = true;
+                break;
+            }
+        }
+        assert!(interrupted);
+    }
+
+    #[test]
+    fn combined_budget() {
+        let b = Budget::new(Some(Duration::from_secs(3600)), Some(3));
+        assert!(b.step().is_ok());
+        assert!(b.step().is_ok());
+        assert!(b.step().is_ok());
+        assert!(b.step().is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Leaf expansion and full compilation.
+
+use crate::{Budget, DTree, Interrupted, Node, NodeId, OpKind};
+use banzhaf_boolean::{independent_components, Dnf, Factored, Var};
+
+/// Heuristic for choosing the Shannon-expansion pivot variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PivotHeuristic {
+    /// Pick the variable occurring in the most clauses (the paper's default,
+    /// Sec. 3.1). Ties are broken by the smallest variable index.
+    MostFrequent,
+    /// Pick the used variable with the smallest index. Only sensible as an
+    /// ablation baseline showing the value of the frequency heuristic.
+    FirstVariable,
+}
+
+impl PivotHeuristic {
+    fn pick(self, phi: &Dnf) -> Option<Var> {
+        match self {
+            PivotHeuristic::MostFrequent => phi.most_frequent_var(),
+            PivotHeuristic::FirstVariable => phi.first_var(),
+        }
+    }
+}
+
+impl DTree {
+    /// Compiles a function into a *complete* d-tree (every leaf a constant or
+    /// literal) by repeatedly expanding non-trivial leaves.
+    ///
+    /// One budget step is consumed per expansion; compilation of
+    /// non-hierarchical lineage can take exponentially many Shannon steps, so
+    /// callers that need a timeout must pass a bounded budget.
+    pub fn compile_full(
+        phi: Dnf,
+        heuristic: PivotHeuristic,
+        budget: &Budget,
+    ) -> Result<DTree, Interrupted> {
+        let mut tree = DTree::from_leaf(phi);
+        tree.expand_to_completion(heuristic, budget)?;
+        Ok(tree)
+    }
+
+    /// Expands non-trivial leaves until the tree is complete or the budget is
+    /// exhausted.
+    pub fn expand_to_completion(
+        &mut self,
+        heuristic: PivotHeuristic,
+        budget: &Budget,
+    ) -> Result<(), Interrupted> {
+        // Maintain an explicit worklist of candidate leaves; expansion only
+        // appends nodes, so newly created leaves are pushed as they appear.
+        let mut worklist = self.non_trivial_leaves();
+        while let Some(id) = worklist.pop() {
+            if !self.node(id).is_non_trivial_leaf() {
+                continue;
+            }
+            budget.step()?;
+            let created = self.expand_leaf(id, heuristic);
+            for c in created {
+                if self.node(c).is_non_trivial_leaf() {
+                    worklist.push(c);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the largest non-trivial leaf by one decomposition step.
+    /// Returns `false` if the tree is already complete.
+    ///
+    /// This is the incremental entry point used by `AdaBan` (Fig. 3): one call
+    /// corresponds to one "pick a non-trivial leaf ψ ... replace ψ" step.
+    pub fn expand_largest_leaf(&mut self, heuristic: PivotHeuristic) -> bool {
+        match self.largest_non_trivial_leaf() {
+            Some(id) => {
+                self.expand_leaf(id, heuristic);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Expands the given non-trivial leaf by exactly one decomposition step
+    /// and returns the ids of the newly created child leaves.
+    ///
+    /// The decomposition order follows Sec. 3.1 of the paper:
+    /// 1. if some variable occurs in every clause, factor it out (⊙);
+    /// 2. otherwise, if the clause graph is disconnected, split into
+    ///    independent components (⊗);
+    /// 3. otherwise, Shannon-expand on the pivot chosen by `heuristic` (⊕).
+    ///
+    /// # Panics
+    /// Panics if `id` is not a non-trivial leaf.
+    pub fn expand_leaf(&mut self, id: NodeId, heuristic: PivotHeuristic) -> Vec<NodeId> {
+        let phi = match self.node(id) {
+            Node::Leaf(dnf) => dnf.clone(),
+            other => panic!("expand_leaf called on a non-leaf node {other:?}"),
+        };
+        assert!(
+            !phi.is_constant() && phi.is_single_literal().is_none(),
+            "expand_leaf called on a trivial leaf"
+        );
+        self.bump_expansions();
+        let num_vars = phi.num_vars();
+
+        // Step 1: factor out variables common to all clauses: φ = (⋀ common) ∧ rest.
+        if let Some(Factored { common, rest }) = Factored::factor(&phi) {
+            let mut children = Vec::with_capacity(common.len() + 1);
+            for v in common.iter() {
+                children.push(self.push(Node::PosLit(v)));
+            }
+            // A rest of `true` over an empty universe is the neutral element
+            // of ⊙ and can be dropped entirely.
+            if !(rest.is_true() && rest.num_vars() == 0) {
+                children.push(self.push(Node::Leaf(rest)));
+            }
+            let created = children.clone();
+            if children.len() == 1 {
+                // Single child: splice it directly into place of the leaf.
+                let only = self.node(children[0]).clone();
+                self.replace(id, only);
+            } else {
+                self.replace(id, Node::Op { op: OpKind::IndependentAnd, children, num_vars });
+            }
+            return created;
+        }
+
+        // Step 2: independence partitioning (⊗ over connected components).
+        if let Some(components) = independent_components(&phi) {
+            let children: Vec<NodeId> =
+                components.into_iter().map(|c| self.push(Node::Leaf(c))).collect();
+            let created = children.clone();
+            self.replace(id, Node::Op { op: OpKind::IndependentOr, children, num_vars });
+            return created;
+        }
+
+        // Step 3: Shannon expansion φ = (y ⊙ φ[y:=1]) ⊕ (¬y ⊙ φ[y:=0]).
+        let pivot = heuristic
+            .pick(&phi)
+            .expect("a non-trivial leaf has at least one used variable");
+        let pos_cof = phi.condition(pivot, true);
+        let neg_cof = phi.condition(pivot, false);
+
+        let pos_lit = self.push(Node::PosLit(pivot));
+        let pos_leaf = self.push(Node::Leaf(pos_cof));
+        let pos_branch = self.push(Node::Op {
+            op: OpKind::IndependentAnd,
+            children: vec![pos_lit, pos_leaf],
+            num_vars,
+        });
+
+        let neg_lit = self.push(Node::NegLit(pivot));
+        let neg_leaf = self.push(Node::Leaf(neg_cof));
+        let neg_branch = self.push(Node::Op {
+            op: OpKind::IndependentAnd,
+            children: vec![neg_lit, neg_leaf],
+            num_vars,
+        });
+
+        self.replace(id, Node::Op {
+            op: OpKind::Exclusive,
+            children: vec![pos_branch, neg_branch],
+            num_vars,
+        });
+        vec![pos_leaf, neg_leaf]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banzhaf_boolean::VarSet;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn assert_structure_sound(tree: &DTree) {
+        // Every ⊙/⊗ node's num_vars is the sum of its children's; every ⊕
+        // node's children have the same num_vars as the node itself.
+        for id in tree.preorder() {
+            if let Node::Op { op, children, num_vars } = tree.node(id) {
+                assert!(!children.is_empty());
+                match op {
+                    OpKind::IndependentAnd | OpKind::IndependentOr => {
+                        let sum: usize = children.iter().map(|&c| tree.node(c).num_vars()).sum();
+                        assert_eq!(sum, *num_vars, "independent node var count mismatch");
+                    }
+                    OpKind::Exclusive => {
+                        for &c in children {
+                            assert_eq!(tree.node(c).num_vars(), *num_vars);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example9_compiles_by_factoring() {
+        // (x ∧ y) ∨ (x ∧ z) = x ⊙ (y ⊗ z): no Shannon expansion needed.
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        assert!(t.is_complete());
+        let s = t.stats();
+        assert_eq!(s.exclusive, 0, "hierarchical-style lineage needs no Shannon step");
+        assert!(s.independent_and >= 1);
+        assert!(s.independent_or >= 1);
+        assert_structure_sound(&t);
+    }
+
+    #[test]
+    fn non_hierarchical_lineage_needs_shannon() {
+        // (x0 ∧ x1) ∨ (x1 ∧ x2) ∨ (x2 ∧ x3): connected, no common variable.
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)], vec![v(2), v(3)]]);
+        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        assert!(t.is_complete());
+        assert!(t.stats().exclusive >= 1);
+        assert_structure_sound(&t);
+    }
+
+    #[test]
+    fn single_clause_factors_to_literals() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1), v(2)]]);
+        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        assert!(t.is_complete());
+        let s = t.stats();
+        assert_eq!(s.exclusive, 0);
+        assert_eq!(s.independent_and, 1);
+        assert_eq!(s.trivial_leaves, 3);
+        assert_structure_sound(&t);
+    }
+
+    #[test]
+    fn unused_universe_variables_survive_compilation() {
+        let phi = Dnf::from_clauses_with_universe(
+            vec![vec![v(0), v(1)], vec![v(1), v(2)]],
+            VarSet::from_iter([v(0), v(1), v(2), v(3), v(4)]),
+        );
+        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        assert!(t.is_complete());
+        assert_eq!(t.num_vars(), 5);
+        assert_structure_sound(&t);
+    }
+
+    #[test]
+    fn budget_interrupts_compilation() {
+        // A function whose compilation requires several Shannon expansions.
+        let clauses: Vec<Vec<Var>> = (0..12)
+            .map(|i| vec![v(i), v((i + 1) % 12), v((i + 5) % 12)])
+            .collect();
+        let phi = Dnf::from_clauses(clauses);
+        let err = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::with_max_steps(2));
+        assert_eq!(err.unwrap_err(), Interrupted);
+    }
+
+    #[test]
+    fn incremental_expansion_reaches_completion() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)], vec![v(0), v(2)]]);
+        let mut t = DTree::from_leaf(phi);
+        let mut steps = 0;
+        while t.expand_largest_leaf(PivotHeuristic::MostFrequent) {
+            steps += 1;
+            assert!(steps < 1000, "expansion must terminate");
+        }
+        assert!(t.is_complete());
+        assert_eq!(t.expansions(), steps);
+        assert_structure_sound(&t);
+    }
+
+    #[test]
+    fn both_heuristics_produce_complete_trees() {
+        let phi = Dnf::from_clauses(vec![
+            vec![v(0), v(1)],
+            vec![v(1), v(2)],
+            vec![v(2), v(3)],
+            vec![v(3), v(0)],
+        ]);
+        for h in [PivotHeuristic::MostFrequent, PivotHeuristic::FirstVariable] {
+            let t = DTree::compile_full(phi.clone(), h, &Budget::unlimited()).unwrap();
+            assert!(t.is_complete());
+            assert_structure_sound(&t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trivial leaf")]
+    fn expanding_trivial_leaf_panics() {
+        let mut t = DTree::from_leaf(Dnf::variable(v(0)));
+        t.expand_leaf(NodeId(0), PivotHeuristic::MostFrequent);
+    }
+}

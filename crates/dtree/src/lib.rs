@@ -1,0 +1,42 @@
+//! Decomposition trees (d-trees) for positive DNF lineage.
+//!
+//! A *d-tree* (Def. 8 of the paper, originally from the anytime approximation
+//! framework for probabilistic databases) represents a Boolean function as a
+//! tree whose inner nodes are logical connectives annotated with structural
+//! information:
+//!
+//! * `⊗` — disjunction of *independent* children (disjoint variable sets),
+//! * `⊙` — conjunction of *independent* children,
+//! * `⊕` — disjunction of *mutually exclusive* children over the same
+//!   variables (produced by Shannon expansion).
+//!
+//! Leaves are positive DNF functions; a d-tree is *complete* when every leaf
+//! is a constant or a literal. `ExaBan` requires a complete d-tree, while
+//! `AdaBan` interleaves partial compilation with bound computation, so the
+//! compiler here exposes both a one-shot [`DTree::compile_full`] and an
+//! incremental [`DTree::expand_leaf`] / [`DTree::expand_largest_leaf`] API.
+//!
+//! # Example
+//!
+//! ```
+//! use banzhaf_boolean::{Dnf, Var};
+//! use banzhaf_dtree::{Budget, DTree, PivotHeuristic};
+//!
+//! // Example 9 of the paper: (x ∧ y) ∨ (x ∧ z).
+//! let phi = Dnf::from_clauses(vec![vec![Var(0), Var(1)], vec![Var(0), Var(2)]]);
+//! let tree = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+//! assert!(tree.is_complete());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod compile;
+mod node;
+mod tree;
+
+pub use budget::{Budget, Interrupted};
+pub use compile::PivotHeuristic;
+pub use node::{Node, NodeId, OpKind};
+pub use tree::DTree;

@@ -1,0 +1,119 @@
+//! D-tree nodes.
+
+use banzhaf_boolean::{Dnf, Var};
+use std::fmt;
+
+/// Index of a node within a [`crate::DTree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The connective of an inner d-tree node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum OpKind {
+    /// `⊗` — disjunction of independent children.
+    IndependentOr,
+    /// `⊙` — conjunction of independent children.
+    IndependentAnd,
+    /// `⊕` — disjunction of mutually exclusive children over the same
+    /// variables (Shannon expansion).
+    Exclusive,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::IndependentOr => "⊗",
+            OpKind::IndependentAnd => "⊙",
+            OpKind::Exclusive => "⊕",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A node of a d-tree.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// A leaf holding an arbitrary positive DNF over its own universe.
+    /// Constants are represented by constant DNFs (possibly over a non-empty
+    /// universe, e.g. the unused-variable component).
+    Leaf(Dnf),
+    /// A positive literal `x` (a function over the single variable `x`).
+    PosLit(Var),
+    /// A negated literal `¬x`, introduced by Shannon expansion.
+    NegLit(Var),
+    /// An inner node: a connective applied to children with the stated total
+    /// number of variables.
+    Op {
+        /// The connective.
+        op: OpKind,
+        /// Children node ids.
+        children: Vec<NodeId>,
+        /// Number of variables of the function represented by this subtree.
+        num_vars: usize,
+    },
+}
+
+impl Node {
+    /// Number of variables of the function represented by this node.
+    pub fn num_vars(&self) -> usize {
+        match self {
+            Node::Leaf(dnf) => dnf.num_vars(),
+            Node::PosLit(_) | Node::NegLit(_) => 1,
+            Node::Op { num_vars, .. } => *num_vars,
+        }
+    }
+
+    /// `true` iff this is a leaf that still needs decomposition before the
+    /// d-tree is complete (neither a constant nor a single literal).
+    pub fn is_non_trivial_leaf(&self) -> bool {
+        match self {
+            Node::Leaf(dnf) => !dnf.is_constant() && dnf.is_single_literal().is_none(),
+            _ => false,
+        }
+    }
+
+    /// `true` iff this node is any kind of leaf (no children).
+    pub fn is_leaf(&self) -> bool {
+        !matches!(self, Node::Op { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banzhaf_boolean::VarSet;
+
+    #[test]
+    fn num_vars_per_kind() {
+        assert_eq!(Node::PosLit(Var(3)).num_vars(), 1);
+        assert_eq!(Node::NegLit(Var(3)).num_vars(), 1);
+        let leaf = Node::Leaf(Dnf::from_clauses(vec![vec![Var(0), Var(1)]]));
+        assert_eq!(leaf.num_vars(), 2);
+        let op = Node::Op { op: OpKind::IndependentOr, children: vec![], num_vars: 7 };
+        assert_eq!(op.num_vars(), 7);
+    }
+
+    #[test]
+    fn triviality() {
+        assert!(!Node::PosLit(Var(0)).is_non_trivial_leaf());
+        assert!(!Node::Leaf(Dnf::variable(Var(0))).is_non_trivial_leaf());
+        assert!(!Node::Leaf(Dnf::constant_true(VarSet::empty())).is_non_trivial_leaf());
+        assert!(Node::Leaf(Dnf::from_clauses(vec![vec![Var(0), Var(1)]])).is_non_trivial_leaf());
+        assert!(Node::PosLit(Var(0)).is_leaf());
+        let op = Node::Op { op: OpKind::Exclusive, children: vec![], num_vars: 0 };
+        assert!(!op.is_leaf());
+    }
+}

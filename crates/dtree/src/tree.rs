@@ -1,0 +1,298 @@
+//! The d-tree arena.
+
+use crate::{Node, NodeId, OpKind};
+use banzhaf_boolean::{Dnf, Var};
+
+/// A (possibly partial) decomposition tree for a positive DNF function.
+///
+/// Nodes live in an arena indexed by [`NodeId`]; incremental expansion
+/// replaces a leaf node in place with an inner node whose children are
+/// appended to the arena, so node ids stay stable across expansions — which is
+/// what lets `AdaBan` reuse the partial d-tree built while approximating one
+/// variable when it moves on to the next variable (optimization (3) of
+/// Sec. 3.2.4).
+#[derive(Clone, Debug)]
+pub struct DTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    expansions: u64,
+}
+
+impl DTree {
+    /// Creates the trivial d-tree whose single leaf is the whole function.
+    pub fn from_leaf(phi: Dnf) -> Self {
+        DTree { nodes: vec![Node::Leaf(phi)], root: NodeId(0), expansions: 0 }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes in the arena.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf-expansion steps performed so far.
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
+
+    pub(crate) fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    pub(crate) fn replace(&mut self, id: NodeId, node: Node) {
+        self.nodes[id.index()] = node;
+    }
+
+    pub(crate) fn bump_expansions(&mut self) {
+        self.expansions += 1;
+    }
+
+    /// Ids of all leaves that are neither constants nor literals; these are
+    /// the candidates for further decomposition.
+    pub fn non_trivial_leaves(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|id| self.node(*id).is_non_trivial_leaf() && self.is_reachable(*id))
+            .collect()
+    }
+
+    /// The non-trivial leaf whose DNF has the largest size, if any.
+    ///
+    /// `AdaBan` expands this leaf next: the largest leaf is the one whose
+    /// iDNF bounds are typically loosest, so decomposing it tightens the
+    /// overall approximation interval the most.
+    pub fn largest_non_trivial_leaf(&self) -> Option<NodeId> {
+        self.non_trivial_leaves()
+            .into_iter()
+            .max_by_key(|id| match self.node(*id) {
+                Node::Leaf(dnf) => (dnf.size(), dnf.num_clauses()),
+                _ => (0, 0),
+            })
+    }
+
+    /// `true` iff the d-tree is complete: every reachable leaf is a constant
+    /// or a literal.
+    pub fn is_complete(&self) -> bool {
+        self.non_trivial_leaves().is_empty()
+    }
+
+    /// `true` iff `id` is reachable from the root. Replaced leaves leave no
+    /// orphans behind (we replace in place), but defensive filtering keeps the
+    /// invariant obvious.
+    fn is_reachable(&self, id: NodeId) -> bool {
+        // All nodes in the arena are reachable by construction: expansion
+        // replaces a node in place and only appends children.
+        let _ = id;
+        true
+    }
+
+    /// Nodes in post-order (children before parents), computed iteratively so
+    /// that very deep trees (Shannon chains over thousands of variables) do
+    /// not overflow the stack.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<(NodeId, bool)> = vec![(self.root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                order.push(id);
+                continue;
+            }
+            stack.push((id, true));
+            if let Node::Op { children, .. } = self.node(id) {
+                for &c in children.iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Nodes in pre-order (parents before children), computed iteratively.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<NodeId> = vec![self.root];
+        while let Some(id) = stack.pop() {
+            order.push(id);
+            if let Node::Op { children, .. } = self.node(id) {
+                for &c in children.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        order
+    }
+
+    /// `true` iff the subtree rooted at `id` mentions variable `x`.
+    pub fn subtree_contains_var(&self, id: NodeId, x: Var) -> bool {
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            match self.node(n) {
+                Node::Leaf(dnf) => {
+                    if dnf.universe().contains(x) {
+                        return true;
+                    }
+                }
+                Node::PosLit(v) | Node::NegLit(v) => {
+                    if *v == x {
+                        return true;
+                    }
+                }
+                Node::Op { children, .. } => stack.extend(children.iter().copied()),
+            }
+        }
+        false
+    }
+
+    /// Renders the tree as an indented multi-line string (for debugging and
+    /// the examples).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
+        while let Some((id, depth)) = stack.pop() {
+            let indent = "  ".repeat(depth);
+            match self.node(id) {
+                Node::Leaf(dnf) => out.push_str(&format!("{indent}leaf {dnf}\n")),
+                Node::PosLit(v) => out.push_str(&format!("{indent}{v}\n")),
+                Node::NegLit(v) => out.push_str(&format!("{indent}¬{v}\n")),
+                Node::Op { op, children, num_vars } => {
+                    out.push_str(&format!("{indent}{op} [{num_vars} vars]\n"));
+                    for &c in children.iter().rev() {
+                        stack.push((c, depth + 1));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of variables of the represented function.
+    pub fn num_vars(&self) -> usize {
+        self.node(self.root).num_vars()
+    }
+
+    /// Statistics about the current shape of the tree.
+    pub fn stats(&self) -> DTreeStats {
+        let mut stats = DTreeStats::default();
+        for id in self.preorder() {
+            match self.node(id) {
+                Node::Leaf(dnf) => {
+                    stats.leaves += 1;
+                    if dnf.is_constant() || dnf.is_single_literal().is_some() {
+                        stats.trivial_leaves += 1;
+                    } else {
+                        stats.pending_leaf_size += dnf.size();
+                    }
+                }
+                Node::PosLit(_) | Node::NegLit(_) => {
+                    stats.leaves += 1;
+                    stats.trivial_leaves += 1;
+                }
+                Node::Op { op, .. } => match op {
+                    OpKind::IndependentOr => stats.independent_or += 1,
+                    OpKind::IndependentAnd => stats.independent_and += 1,
+                    OpKind::Exclusive => stats.exclusive += 1,
+                },
+            }
+        }
+        stats.expansions = self.expansions;
+        stats
+    }
+}
+
+/// Shape statistics of a d-tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DTreeStats {
+    /// Number of leaf nodes (trivial or not).
+    pub leaves: usize,
+    /// Number of leaves that are constants or literals.
+    pub trivial_leaves: usize,
+    /// Total DNF size of the leaves still awaiting decomposition.
+    pub pending_leaf_size: usize,
+    /// Number of `⊗` nodes.
+    pub independent_or: usize,
+    /// Number of `⊙` nodes.
+    pub independent_and: usize,
+    /// Number of `⊕` (Shannon) nodes.
+    pub exclusive: usize,
+    /// Number of expansion steps performed.
+    pub expansions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Budget, PivotHeuristic};
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn from_leaf_basics() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        let t = DTree::from_leaf(phi);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_vars(), 3);
+        assert!(!t.is_complete());
+        assert_eq!(t.non_trivial_leaves(), vec![NodeId(0)]);
+        assert!(t.subtree_contains_var(t.root(), v(2)));
+        assert!(!t.subtree_contains_var(t.root(), v(9)));
+    }
+
+    #[test]
+    fn trivial_leaf_is_complete() {
+        assert!(DTree::from_leaf(Dnf::variable(v(0))).is_complete());
+        assert!(DTree::from_leaf(Dnf::constant_false(Default::default())).is_complete());
+    }
+
+    #[test]
+    fn traversal_orders_cover_all_nodes() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(2), v(3)], vec![v(4), v(5)]]);
+        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        let post = t.postorder();
+        let pre = t.preorder();
+        assert_eq!(post.len(), t.num_nodes());
+        assert_eq!(pre.len(), t.num_nodes());
+        // Post-order places children before parents.
+        let pos_of = |id: NodeId| post.iter().position(|&x| x == id).unwrap();
+        for id in t.preorder() {
+            if let Node::Op { children, .. } = t.node(id) {
+                for &c in children {
+                    assert!(pos_of(c) < pos_of(id));
+                }
+            }
+        }
+        // Pre-order places parents before children.
+        let pre_pos = |id: NodeId| pre.iter().position(|&x| x == id).unwrap();
+        for id in t.preorder() {
+            if let Node::Op { children, .. } = t.node(id) {
+                for &c in children {
+                    assert!(pre_pos(c) > pre_pos(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_and_render() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        let s = t.stats();
+        assert!(s.leaves >= 2);
+        assert_eq!(s.leaves, s.trivial_leaves);
+        assert!(s.independent_and >= 1);
+        let rendered = t.render();
+        assert!(rendered.contains("⊙") || rendered.contains("⊗"));
+    }
+}

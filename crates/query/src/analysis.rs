@@ -1,0 +1,104 @@
+//! Structural query analyses: self-join-freeness and the hierarchical
+//! property (Sec. 2 and the dichotomy of Sec. 4.2).
+
+use crate::ConjunctiveQuery;
+use std::collections::{BTreeSet, HashMap};
+
+/// `true` iff the CQ is self-join free: no two atoms use the same relation
+/// symbol.
+pub fn is_self_join_free(cq: &ConjunctiveQuery) -> bool {
+    let mut seen = BTreeSet::new();
+    cq.atoms.iter().all(|a| seen.insert(a.relation.as_str()))
+}
+
+/// `true` iff the CQ is hierarchical with respect to its existential
+/// variables: for any two variables `X`, `Y`, the atom sets `at(X)` and
+/// `at(Y)` are comparable by inclusion or disjoint.
+///
+/// For a Boolean query this is exactly the paper's definition; for a
+/// non-Boolean query we follow the standard convention of checking the
+/// property over the existential (bound) variables only, which is the notion
+/// relevant to per-answer lineage (each answer fixes the free variables to
+/// constants).
+///
+/// The dichotomy of Theorem 17 states that Banzhaf-based ranking (like exact
+/// Banzhaf computation) is tractable for hierarchical self-join-free CQs and
+/// intractable otherwise; operationally, lineages of hierarchical queries
+/// compile into d-trees without Shannon expansion.
+pub fn is_hierarchical(cq: &ConjunctiveQuery) -> bool {
+    let bound = cq.bound_variables();
+    let mut at: HashMap<&str, BTreeSet<usize>> = HashMap::new();
+    for v in &bound {
+        at.insert(v.as_str(), BTreeSet::new());
+    }
+    for (idx, atom) in cq.atoms.iter().enumerate() {
+        for v in atom.variables() {
+            if let Some(set) = at.get_mut(v) {
+                set.insert(idx);
+            }
+        }
+    }
+    let sets: Vec<&BTreeSet<usize>> = at.values().collect();
+    for (i, a) in sets.iter().enumerate() {
+        for b in sets.iter().skip(i + 1) {
+            let disjoint = a.is_disjoint(b);
+            let a_in_b = a.is_subset(b);
+            let b_in_a = b.is_subset(a);
+            if !(disjoint || a_in_b || b_in_a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn cq(text: &str) -> ConjunctiveQuery {
+        parse_program(text).unwrap().disjuncts.remove(0)
+    }
+
+    #[test]
+    fn example_5_hierarchical_query() {
+        // Q = ∃X,Y,Z,V,U R(X,Y,Z) ∧ S(X,Y,V) ∧ T(X,U) is hierarchical.
+        let q = cq("Q() :- R(X, Y, Z), S(X, Y, V), T(X, U).");
+        assert!(is_hierarchical(&q));
+        assert!(is_self_join_free(&q));
+    }
+
+    #[test]
+    fn example_5_non_hierarchical_query() {
+        // Q = ∃X,Y R(X) ∧ S(X,Y) ∧ T(Y) is not hierarchical.
+        let q = cq("Q() :- R(X), S(X, Y), T(Y).");
+        assert!(!is_hierarchical(&q));
+        assert!(is_self_join_free(&q));
+    }
+
+    #[test]
+    fn self_joins_detected() {
+        let q = cq("Q() :- R(X, Y), R(Y, Z).");
+        assert!(!is_self_join_free(&q));
+    }
+
+    #[test]
+    fn free_variables_do_not_break_hierarchy() {
+        // The non-Boolean variant of the hierarchical query from App. D:
+        // Q(X) :- R(X), S(X, Y), T(X, Z). The bound variables Y and Z each
+        // occur in a single atom, so the query is hierarchical.
+        let q = cq("Q(X) :- R(X), S(X, Y), T(X, Z).");
+        assert!(is_hierarchical(&q));
+        // Whereas treating the join variable as bound makes R(X),S(X,Y),T(Y)
+        // non-hierarchical even with a free head variable elsewhere.
+        let q = cq("Q(Z) :- R(X), S(X, Y), T(Y), U(Z, X).");
+        assert!(!is_hierarchical(&q));
+    }
+
+    #[test]
+    fn single_atom_queries_are_hierarchical() {
+        assert!(is_hierarchical(&cq("Q() :- R(X, Y, Z).")));
+        assert!(is_hierarchical(&cq("Q(X) :- R(X).")));
+    }
+}

@@ -1,0 +1,279 @@
+//! Abstract syntax of conjunctive queries and unions thereof.
+
+use banzhaf_db::Value;
+use std::fmt;
+
+/// A term in an atom: a query variable or a constant.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A query variable (by name, conventionally upper-case).
+    Variable(String),
+    /// A constant value.
+    Constant(Value),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Variable(name.into())
+    }
+
+    /// Convenience constructor for a constant term.
+    pub fn constant(value: impl Into<Value>) -> Term {
+        Term::Constant(value.into())
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_variable(&self) -> Option<&str> {
+        match self {
+            Term::Variable(v) => Some(v),
+            Term::Constant(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Variable(v) => write!(f, "{v}"),
+            Term::Constant(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A relational atom `R(t1, ..., tk)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// The relation symbol.
+    pub relation: String,
+    /// The terms, one per attribute.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom { relation: relation.into(), terms }
+    }
+
+    /// The names of the variables occurring in the atom.
+    pub fn variables(&self) -> impl Iterator<Item = &str> + '_ {
+        self.terms.iter().filter_map(Term::as_variable)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let terms: Vec<String> = self.terms.iter().map(Term::to_string).collect();
+        write!(f, "{}({})", self.relation, terms.join(", "))
+    }
+}
+
+/// Comparison operators of selection predicates (`X θ const`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Comparison {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl Comparison {
+    /// Evaluates `lhs θ rhs`.
+    pub fn evaluate(self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            Comparison::Lt => lhs < rhs,
+            Comparison::Le => lhs <= rhs,
+            Comparison::Eq => lhs == rhs,
+            Comparison::Ne => lhs != rhs,
+            Comparison::Ge => lhs >= rhs,
+            Comparison::Gt => lhs > rhs,
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Comparison::Lt => "<",
+            Comparison::Le => "<=",
+            Comparison::Eq => "=",
+            Comparison::Ne => "!=",
+            Comparison::Ge => ">=",
+            Comparison::Gt => ">",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A selection predicate `X θ const`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Selection {
+    /// The constrained query variable.
+    pub variable: String,
+    /// The comparison operator.
+    pub comparison: Comparison,
+    /// The constant compared against.
+    pub constant: Value,
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.variable, self.comparison, self.constant)
+    }
+}
+
+/// A conjunctive query with selection predicates.
+///
+/// `head` lists the free (output) variables; every other variable is
+/// existentially quantified. A query with an empty head is Boolean.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    /// Name of the query (the head predicate in the textual syntax).
+    pub name: String,
+    /// The free variables, in output order.
+    pub head: Vec<String>,
+    /// The relational atoms.
+    pub atoms: Vec<Atom>,
+    /// The selection predicates.
+    pub selections: Vec<Selection>,
+}
+
+impl ConjunctiveQuery {
+    /// `true` iff the query has no free variables.
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// All variable names occurring in atoms, deduplicated, in first-seen
+    /// order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for atom in &self.atoms {
+            for v in atom.variables() {
+                if !seen.iter().any(|s: &String| s == v) {
+                    seen.push(v.to_owned());
+                }
+            }
+        }
+        seen
+    }
+
+    /// The existential (bound) variables: those not in the head.
+    pub fn bound_variables(&self) -> Vec<String> {
+        self.variables()
+            .into_iter()
+            .filter(|v| !self.head.contains(v))
+            .collect()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let atoms: Vec<String> = self.atoms.iter().map(Atom::to_string).collect();
+        let mut body = atoms.join(", ");
+        if !self.selections.is_empty() {
+            let sels: Vec<String> = self.selections.iter().map(Selection::to_string).collect();
+            body = format!("{}, {}", body, sels.join(", "));
+        }
+        write!(f, "{}({}) :- {}.", self.name, self.head.join(", "), body)
+    }
+}
+
+/// A union of conjunctive queries. All disjuncts share the same head arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnionQuery {
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Wraps a single CQ.
+    pub fn single(cq: ConjunctiveQuery) -> Self {
+        UnionQuery { disjuncts: vec![cq] }
+    }
+
+    /// `true` iff all disjuncts are Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.disjuncts.iter().all(ConjunctiveQuery::is_boolean)
+    }
+
+    /// The common head arity.
+    pub fn head_arity(&self) -> usize {
+        self.disjuncts.first().map_or(0, |cq| cq.head.len())
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for cq in &self.disjuncts {
+            writeln!(f, "{cq}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cq() -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            name: "Q".into(),
+            head: vec!["X".into()],
+            atoms: vec![
+                Atom::new("R", vec![Term::var("X"), Term::var("Y")]),
+                Atom::new("S", vec![Term::var("Y"), Term::constant(5)]),
+            ],
+            selections: vec![Selection {
+                variable: "Y".into(),
+                comparison: Comparison::Gt,
+                constant: Value::from(3),
+            }],
+        }
+    }
+
+    #[test]
+    fn variable_collection() {
+        let cq = sample_cq();
+        assert_eq!(cq.variables(), vec!["X".to_owned(), "Y".to_owned()]);
+        assert_eq!(cq.bound_variables(), vec!["Y".to_owned()]);
+        assert!(!cq.is_boolean());
+    }
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let cq = sample_cq();
+        let s = cq.to_string();
+        assert!(s.contains("Q(X) :- R(X, Y), S(Y, 5), Y > 3."));
+    }
+
+    #[test]
+    fn comparisons() {
+        use Comparison::*;
+        let three = Value::from(3);
+        let five = Value::from(5);
+        assert!(Lt.evaluate(&three, &five));
+        assert!(Le.evaluate(&three, &three));
+        assert!(Eq.evaluate(&three, &three));
+        assert!(Ne.evaluate(&three, &five));
+        assert!(Ge.evaluate(&five, &five));
+        assert!(Gt.evaluate(&five, &three));
+        assert!(!Gt.evaluate(&three, &five));
+    }
+
+    #[test]
+    fn union_query_helpers() {
+        let q = UnionQuery::single(sample_cq());
+        assert_eq!(q.head_arity(), 1);
+        assert!(!q.is_boolean());
+    }
+}

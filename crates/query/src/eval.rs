@@ -1,0 +1,358 @@
+//! Provenance-aware query evaluation: computing per-answer lineage.
+//!
+//! The evaluator enumerates homomorphisms from each conjunctive query into the
+//! database by backtracking over atoms (most-bound-first ordering), applying
+//! selection predicates as soon as their variable is bound. Every homomorphism
+//! (grounding) contributes one clause to the lineage of the answer tuple it
+//! produces: the conjunction of the provenance variables of the *endogenous*
+//! facts it uses (exogenous facts contribute nothing, missing facts prune the
+//! grounding), exactly as defined in Sec. 2 of the paper.
+
+use crate::{ConjunctiveQuery, Term, UnionQuery};
+use banzhaf_boolean::{Dnf, Var, VarSet};
+use banzhaf_db::{Database, Provenance, Value};
+use std::collections::HashMap;
+
+/// One answer tuple with its lineage.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// The values of the free variables, in head order (empty for Boolean
+    /// queries).
+    pub tuple: Vec<Value>,
+    /// The lineage: a positive DNF over the provenance variables of the
+    /// endogenous facts.
+    pub lineage: Dnf,
+}
+
+/// The result of evaluating a UCQ over a database.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    answers: Vec<Answer>,
+}
+
+impl QueryResult {
+    /// The answers, sorted by tuple for determinism.
+    pub fn answers(&self) -> &[Answer] {
+        &self.answers
+    }
+
+    /// Looks up the lineage of a particular answer tuple.
+    pub fn lineage_of(&self, tuple: &[Value]) -> Option<&Dnf> {
+        self.answers.iter().find(|a| a.tuple == tuple).map(|a| &a.lineage)
+    }
+
+    /// `true` iff the (Boolean) query is satisfied, i.e. there is at least one
+    /// answer with at least one grounding.
+    pub fn is_satisfied(&self) -> bool {
+        self.answers.iter().any(|a| !a.lineage.is_false())
+    }
+}
+
+/// Evaluates a UCQ over a database, producing one lineage per answer tuple.
+///
+/// The propositional variable of an endogenous fact with id `f` is `Var(f.0)`,
+/// so callers can map lineage variables back to facts via
+/// [`Database::fact`](banzhaf_db::Database::fact).
+pub fn evaluate(query: &UnionQuery, db: &Database) -> QueryResult {
+    // Collect clauses per answer tuple across all disjuncts.
+    let mut clauses: HashMap<Vec<Value>, Vec<Vec<Var>>> = HashMap::new();
+    for cq in &query.disjuncts {
+        let groundings = enumerate_groundings(cq, db);
+        for (tuple, clause) in groundings {
+            clauses.entry(tuple).or_default().push(clause);
+        }
+    }
+    let mut answers: Vec<Answer> = clauses
+        .into_iter()
+        .map(|(tuple, clause_list)| {
+            let universe = VarSet::from_iter(clause_list.iter().flatten().copied());
+            let lineage = Dnf::from_clauses_with_universe(clause_list, universe);
+            Answer { tuple, lineage }
+        })
+        .collect();
+    answers.sort_by(|a, b| a.tuple.cmp(&b.tuple));
+    QueryResult { answers }
+}
+
+/// Enumerates all groundings of a CQ, returning for each the answer tuple and
+/// the clause of endogenous provenance variables it uses.
+fn enumerate_groundings(cq: &ConjunctiveQuery, db: &Database) -> Vec<(Vec<Value>, Vec<Var>)> {
+    // Order atoms greedily so that atoms sharing variables with already
+    // processed atoms come early (reduces the branching of the backtracking
+    // join).
+    let order = atom_order(cq);
+    let mut results = Vec::new();
+    let mut bindings: HashMap<&str, Value> = HashMap::new();
+    let mut clause: Vec<Var> = Vec::new();
+    ground_atom(cq, db, &order, 0, &mut bindings, &mut clause, &mut results);
+    results
+}
+
+fn atom_order(cq: &ConjunctiveQuery) -> Vec<usize> {
+    let n = cq.atoms.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut chosen: Vec<usize> = Vec::with_capacity(n);
+    let mut bound_vars: Vec<&str> = Vec::new();
+    while !remaining.is_empty() {
+        // Pick the remaining atom with the most variables already bound
+        // (ties: fewest unbound variables, then original order).
+        let (pos, &idx) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &idx)| {
+                let atom = &cq.atoms[idx];
+                let bound = atom.variables().filter(|v| bound_vars.contains(v)).count();
+                let unbound = atom.variables().count() - bound;
+                (bound, usize::MAX - unbound)
+            })
+            .expect("remaining is non-empty");
+        chosen.push(idx);
+        for v in cq.atoms[idx].variables() {
+            if !bound_vars.contains(&v) {
+                bound_vars.push(v);
+            }
+        }
+        remaining.remove(pos);
+    }
+    chosen
+}
+
+fn ground_atom<'q>(
+    cq: &'q ConjunctiveQuery,
+    db: &Database,
+    order: &[usize],
+    depth: usize,
+    bindings: &mut HashMap<&'q str, Value>,
+    clause: &mut Vec<Var>,
+    results: &mut Vec<(Vec<Value>, Vec<Var>)>,
+) {
+    if depth == order.len() {
+        // All atoms grounded; check any selection that might involve
+        // variables bound only now (they were checked eagerly, but re-check
+        // defensively) and emit the answer.
+        if !selections_hold(cq, bindings, true) {
+            return;
+        }
+        let tuple: Vec<Value> = cq
+            .head
+            .iter()
+            .map(|v| bindings.get(v.as_str()).expect("head variable bound by parser check").clone())
+            .collect();
+        results.push((tuple, clause.clone()));
+        return;
+    }
+    let atom = &cq.atoms[order[depth]];
+    let Some(relation) = db.relation(&atom.relation) else {
+        return; // Unknown relation: no groundings.
+    };
+    'tuples: for (values, provenance) in relation.tuples() {
+        if values.len() != atom.terms.len() {
+            continue;
+        }
+        // Try to unify the atom's terms with the tuple.
+        let mut new_bindings: Vec<&'q str> = Vec::new();
+        for (term, value) in atom.terms.iter().zip(values.iter()) {
+            match term {
+                Term::Constant(c) => {
+                    if c != value {
+                        undo(bindings, &new_bindings);
+                        continue 'tuples;
+                    }
+                }
+                Term::Variable(name) => match bindings.get(name.as_str()) {
+                    Some(bound) if bound != value => {
+                        undo(bindings, &new_bindings);
+                        continue 'tuples;
+                    }
+                    Some(_) => {}
+                    None => {
+                        bindings.insert(name.as_str(), value.clone());
+                        new_bindings.push(name.as_str());
+                    }
+                },
+            }
+        }
+        // Apply selections whose variables are bound.
+        if !selections_hold(cq, bindings, false) {
+            undo(bindings, &new_bindings);
+            continue 'tuples;
+        }
+        let pushed_var = match provenance {
+            Provenance::Endogenous(id) => {
+                clause.push(Var(id.0));
+                true
+            }
+            Provenance::Exogenous => false,
+        };
+        ground_atom(cq, db, order, depth + 1, bindings, clause, results);
+        if pushed_var {
+            clause.pop();
+        }
+        undo(bindings, &new_bindings);
+    }
+}
+
+fn undo<'q>(bindings: &mut HashMap<&'q str, Value>, added: &[&'q str]) {
+    for name in added {
+        bindings.remove(name);
+    }
+}
+
+/// Checks the selection predicates. When `require_all_bound` is false,
+/// selections over still-unbound variables are treated as satisfied (they will
+/// be re-checked once bound).
+fn selections_hold(
+    cq: &ConjunctiveQuery,
+    bindings: &HashMap<&str, Value>,
+    require_all_bound: bool,
+) -> bool {
+    cq.selections.iter().all(|sel| match bindings.get(sel.variable.as_str()) {
+        Some(value) => sel.comparison.evaluate(value, &sel.constant),
+        None => !require_all_bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    /// The database of Example 6 of the paper.
+    fn example6_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation("R", 3);
+        db.add_relation("S", 3);
+        db.add_relation("T", 2);
+        db.insert_endogenous("R", vec![1.into(), 2.into(), 3.into()]).unwrap();
+        db.insert_endogenous("S", vec![1.into(), 2.into(), 4.into()]).unwrap();
+        db.insert_endogenous("S", vec![1.into(), 2.into(), 5.into()]).unwrap();
+        db.insert_endogenous("T", vec![1.into(), 6.into()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn example_6_lineage() {
+        let db = example6_db();
+        let q = parse_program("Q() :- R(X, Y, Z), S(X, Y, V), T(X, U).").unwrap();
+        let result = evaluate(&q, &db);
+        assert_eq!(result.answers().len(), 1);
+        assert!(result.is_satisfied());
+        let lineage = &result.answers()[0].lineage;
+        // Two groundings → two clauses of three facts each, 4 variables total.
+        assert_eq!(lineage.num_clauses(), 2);
+        assert_eq!(lineage.num_vars(), 4);
+        assert_eq!(lineage.brute_force_model_count().to_u64(), Some(3));
+    }
+
+    #[test]
+    fn exogenous_facts_do_not_appear_in_lineage() {
+        let mut db = Database::new();
+        db.add_relation("R", 1);
+        db.add_relation("S", 2);
+        db.insert_endogenous("R", vec![1.into()]).unwrap();
+        db.insert_exogenous("S", vec![1.into(), 2.into()]).unwrap();
+        let q = parse_program("Q() :- R(X), S(X, Y).").unwrap();
+        let result = evaluate(&q, &db);
+        assert_eq!(result.answers().len(), 1);
+        let lineage = &result.answers()[0].lineage;
+        assert_eq!(lineage.num_vars(), 1);
+        assert_eq!(lineage.num_clauses(), 1);
+    }
+
+    #[test]
+    fn unsatisfied_boolean_query_has_no_answers() {
+        let mut db = Database::new();
+        db.add_relation("R", 1);
+        db.add_relation("S", 2);
+        db.insert_endogenous("R", vec![1.into()]).unwrap();
+        // No S facts join with R(1).
+        db.insert_endogenous("S", vec![7.into(), 2.into()]).unwrap();
+        let q = parse_program("Q() :- R(X), S(X, Y).").unwrap();
+        let result = evaluate(&q, &db);
+        assert!(result.answers().is_empty());
+        assert!(!result.is_satisfied());
+    }
+
+    #[test]
+    fn free_variables_group_lineage_per_answer() {
+        let mut db = Database::new();
+        db.add_relation("R", 2);
+        db.add_relation("S", 2);
+        db.insert_endogenous("R", vec![1.into(), 10.into()]).unwrap();
+        db.insert_endogenous("R", vec![1.into(), 20.into()]).unwrap();
+        db.insert_endogenous("R", vec![2.into(), 30.into()]).unwrap();
+        db.insert_endogenous("S", vec![10.into(), 1.into()]).unwrap();
+        db.insert_endogenous("S", vec![20.into(), 1.into()]).unwrap();
+        db.insert_endogenous("S", vec![30.into(), 1.into()]).unwrap();
+        let q = parse_program("Q(X) :- R(X, Y), S(Y, Z).").unwrap();
+        let result = evaluate(&q, &db);
+        assert_eq!(result.answers().len(), 2);
+        let lineage1 = result.lineage_of(&[Value::from(1)]).unwrap();
+        let lineage2 = result.lineage_of(&[Value::from(2)]).unwrap();
+        assert_eq!(lineage1.num_clauses(), 2);
+        assert_eq!(lineage2.num_clauses(), 1);
+        assert!(result.lineage_of(&[Value::from(3)]).is_none());
+    }
+
+    #[test]
+    fn selections_filter_groundings() {
+        let mut db = Database::new();
+        db.add_relation("R", 2);
+        for (a, b) in [(1, 5), (1, 15), (2, 25)] {
+            db.insert_endogenous("R", vec![a.into(), b.into()]).unwrap();
+        }
+        let q = parse_program("Q(X) :- R(X, Y), Y > 10.").unwrap();
+        let result = evaluate(&q, &db);
+        assert_eq!(result.answers().len(), 2);
+        assert_eq!(result.lineage_of(&[Value::from(1)]).unwrap().num_clauses(), 1);
+        // String selections work too.
+        let mut db2 = Database::new();
+        db2.add_relation("P", 2);
+        db2.insert_endogenous("P", vec![1.into(), "alice".into()]).unwrap();
+        db2.insert_endogenous("P", vec![2.into(), "bob".into()]).unwrap();
+        let q2 = parse_program("Q(X) :- P(X, N), N = 'alice'.").unwrap();
+        assert_eq!(evaluate(&q2, &db2).answers().len(), 1);
+    }
+
+    #[test]
+    fn constants_in_atoms_restrict_matches() {
+        let mut db = Database::new();
+        db.add_relation("R", 2);
+        db.insert_endogenous("R", vec![1.into(), 2.into()]).unwrap();
+        db.insert_endogenous("R", vec![3.into(), 4.into()]).unwrap();
+        let q = parse_program("Q(Y) :- R(1, Y).").unwrap();
+        let result = evaluate(&q, &db);
+        assert_eq!(result.answers().len(), 1);
+        assert_eq!(result.answers()[0].tuple, vec![Value::from(2)]);
+    }
+
+    #[test]
+    fn union_queries_merge_clauses() {
+        let mut db = Database::new();
+        db.add_relation("R", 1);
+        db.add_relation("S", 1);
+        db.insert_endogenous("R", vec![1.into()]).unwrap();
+        db.insert_endogenous("S", vec![1.into()]).unwrap();
+        let q = parse_program("Q(X) :- R(X). Q(X) :- S(X).").unwrap();
+        let result = evaluate(&q, &db);
+        assert_eq!(result.answers().len(), 1);
+        let lineage = result.lineage_of(&[Value::from(1)]).unwrap();
+        assert_eq!(lineage.num_clauses(), 2);
+        assert_eq!(lineage.num_vars(), 2);
+    }
+
+    #[test]
+    fn self_join_uses_distinct_variables_per_atom() {
+        let mut db = Database::new();
+        db.add_relation("E", 2);
+        db.insert_endogenous("E", vec![1.into(), 2.into()]).unwrap();
+        db.insert_endogenous("E", vec![2.into(), 3.into()]).unwrap();
+        // Path of length 2: E(X,Y), E(Y,Z).
+        let q = parse_program("Q(X, Z) :- E(X, Y), E(Y, Z).").unwrap();
+        let result = evaluate(&q, &db);
+        assert_eq!(result.answers().len(), 1);
+        let lineage = &result.answers()[0].lineage;
+        assert_eq!(lineage.num_vars(), 2);
+        assert_eq!(lineage.clauses()[0].len(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Conjunctive queries, unions of conjunctive queries, and provenance-aware
+//! evaluation producing per-answer lineage.
+//!
+//! This crate is the stand-in for the paper's use of ProvSQL: it evaluates
+//! select-project-join-union queries (UCQs with selection predicates) over a
+//! [`banzhaf_db::Database`] and constructs, for every answer tuple, the
+//! *lineage* — a positive DNF over the provenance variables of the endogenous
+//! facts (Sec. 2 of the paper). It also implements the structural analyses the
+//! dichotomy of Sec. 4.2 relies on: self-join-freeness and the hierarchical
+//! property.
+//!
+//! ```
+//! use banzhaf_db::{Database, Value};
+//! use banzhaf_query::{parse_program, evaluate};
+//!
+//! let mut db = Database::new();
+//! db.add_relation("R", 3);
+//! db.add_relation("S", 3);
+//! db.add_relation("T", 2);
+//! // The database of Example 6 in the paper.
+//! db.insert_endogenous("R", vec![1.into(), 2.into(), 3.into()]).unwrap();
+//! db.insert_endogenous("S", vec![1.into(), 2.into(), 4.into()]).unwrap();
+//! db.insert_endogenous("S", vec![1.into(), 2.into(), 5.into()]).unwrap();
+//! db.insert_endogenous("T", vec![1.into(), 6.into()]).unwrap();
+//!
+//! let query = parse_program("Q() :- R(X, Y, Z), S(X, Y, V), T(X, U).").unwrap();
+//! let result = evaluate(&query, &db);
+//! assert_eq!(result.answers().len(), 1);
+//! let lineage = &result.answers()[0].lineage;
+//! assert_eq!(lineage.num_clauses(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod ast;
+mod eval;
+mod parser;
+
+pub use analysis::{is_hierarchical, is_self_join_free};
+pub use ast::{Atom, Comparison, ConjunctiveQuery, Selection, Term, UnionQuery};
+pub use eval::{evaluate, Answer, QueryResult};
+pub use parser::{parse_program, ParseError};

@@ -1,0 +1,318 @@
+//! A small Datalog-style textual syntax for UCQs with selections.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! program   := rule+
+//! rule      := HEAD "(" vars? ")" ":-" body "."
+//! body      := item ("," item)*
+//! item      := atom | selection
+//! atom      := NAME "(" term ("," term)* ")"
+//! term      := VARIABLE | INTEGER | "'" chars "'"
+//! selection := VARIABLE op (INTEGER | "'" chars "'")
+//! op        := "<" | "<=" | "=" | "!=" | ">=" | ">"
+//! ```
+//!
+//! Variables start with an upper-case letter; relation names with any letter.
+//! Rules with the same head predicate form a union of conjunctive queries.
+
+use crate::{Atom, Comparison, ConjunctiveQuery, Selection, Term, UnionQuery};
+use banzhaf_db::Value;
+use std::fmt;
+
+/// A parse error with a human-readable message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a program (one or more rules) into a [`UnionQuery`].
+///
+/// All rules must share the same head predicate and arity; they become the
+/// disjuncts of the union.
+pub fn parse_program(input: &str) -> Result<UnionQuery, ParseError> {
+    // Drop comment lines (starting with '%') before splitting into rules.
+    let stripped: String = input
+        .lines()
+        .filter(|line| !line.trim_start().starts_with('%'))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let rules: Vec<&str> = stripped
+        .split('.')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err(ParseError::new("empty program"));
+    }
+    let mut disjuncts = Vec::with_capacity(rules.len());
+    for rule in rules {
+        disjuncts.push(parse_rule(rule)?);
+    }
+    let name = disjuncts[0].name.clone();
+    let arity = disjuncts[0].head.len();
+    for cq in &disjuncts {
+        if cq.name != name {
+            return Err(ParseError::new(format!(
+                "all rules must define the same head predicate ({} vs {})",
+                name, cq.name
+            )));
+        }
+        if cq.head.len() != arity {
+            return Err(ParseError::new("all rules must have the same head arity"));
+        }
+    }
+    Ok(UnionQuery { disjuncts })
+}
+
+fn parse_rule(rule: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let (head, body) = rule
+        .split_once(":-")
+        .ok_or_else(|| ParseError::new(format!("missing ':-' in rule: {rule}")))?;
+    let (name, head_vars) = parse_head(head.trim())?;
+    let items = split_top_level(body.trim());
+    let mut atoms = Vec::new();
+    let mut selections = Vec::new();
+    for item in items {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        if item.contains('(') {
+            atoms.push(parse_atom(item)?);
+        } else {
+            selections.push(parse_selection(item)?);
+        }
+    }
+    if atoms.is_empty() {
+        return Err(ParseError::new("a rule needs at least one relational atom"));
+    }
+    // Head variables must occur in the body.
+    for hv in &head_vars {
+        let occurs = atoms.iter().any(|a| a.variables().any(|v| v == hv));
+        if !occurs {
+            return Err(ParseError::new(format!("head variable {hv} does not occur in the body")));
+        }
+    }
+    Ok(ConjunctiveQuery { name, head: head_vars, atoms, selections })
+}
+
+fn parse_head(head: &str) -> Result<(String, Vec<String>), ParseError> {
+    let open = head
+        .find('(')
+        .ok_or_else(|| ParseError::new(format!("malformed head: {head}")))?;
+    let close = head
+        .rfind(')')
+        .ok_or_else(|| ParseError::new(format!("malformed head: {head}")))?;
+    let name = head[..open].trim();
+    if name.is_empty() {
+        return Err(ParseError::new("head predicate name is empty"));
+    }
+    let inner = head[open + 1..close].trim();
+    let vars = if inner.is_empty() {
+        Vec::new()
+    } else {
+        inner
+            .split(',')
+            .map(|v| {
+                let v = v.trim();
+                if is_variable(v) {
+                    Ok(v.to_owned())
+                } else {
+                    Err(ParseError::new(format!("head term {v} must be a variable")))
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    Ok((name.to_owned(), vars))
+}
+
+/// Splits a rule body on commas that are not nested inside parentheses or
+/// quotes.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut in_quote = false;
+    let mut current = String::new();
+    for c in body.chars() {
+        match c {
+            '\'' => {
+                in_quote = !in_quote;
+                current.push(c);
+            }
+            '(' if !in_quote => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' if !in_quote => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 && !in_quote => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_atom(item: &str) -> Result<Atom, ParseError> {
+    let open = item.find('(').expect("caller checked");
+    let close = item
+        .rfind(')')
+        .ok_or_else(|| ParseError::new(format!("missing ')' in atom: {item}")))?;
+    let relation = item[..open].trim();
+    if relation.is_empty() {
+        return Err(ParseError::new(format!("missing relation name in atom: {item}")));
+    }
+    let inner = &item[open + 1..close];
+    let terms = split_top_level(inner)
+        .into_iter()
+        .map(|t| parse_term(t.trim()))
+        .collect::<Result<Vec<_>, _>>()?;
+    if terms.is_empty() {
+        return Err(ParseError::new(format!("atom {relation} has no terms")));
+    }
+    Ok(Atom::new(relation, terms))
+}
+
+fn parse_term(term: &str) -> Result<Term, ParseError> {
+    if term.is_empty() {
+        return Err(ParseError::new("empty term"));
+    }
+    if is_variable(term) {
+        return Ok(Term::var(term));
+    }
+    Ok(Term::Constant(parse_value(term)?))
+}
+
+fn parse_value(text: &str) -> Result<Value, ParseError> {
+    if let Some(stripped) = text.strip_prefix('\'') {
+        let inner = stripped
+            .strip_suffix('\'')
+            .ok_or_else(|| ParseError::new(format!("unterminated string constant: {text}")))?;
+        return Ok(Value::from(inner));
+    }
+    text.parse::<i64>()
+        .map(Value::from)
+        .map_err(|_| ParseError::new(format!("invalid constant: {text}")))
+}
+
+fn parse_selection(item: &str) -> Result<Selection, ParseError> {
+    // Two-character operators first so that ">=" is not parsed as ">".
+    for (symbol, op) in [
+        ("<=", Comparison::Le),
+        (">=", Comparison::Ge),
+        ("!=", Comparison::Ne),
+        ("<", Comparison::Lt),
+        (">", Comparison::Gt),
+        ("=", Comparison::Eq),
+    ] {
+        if let Some((lhs, rhs)) = item.split_once(symbol) {
+            let variable = lhs.trim();
+            if !is_variable(variable) {
+                return Err(ParseError::new(format!(
+                    "selection left-hand side {variable} must be a variable"
+                )));
+            }
+            let constant = parse_value(rhs.trim())?;
+            return Ok(Selection { variable: variable.to_owned(), comparison: op, constant });
+        }
+    }
+    Err(ParseError::new(format!("unrecognized body item: {item}")))
+}
+
+fn is_variable(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_boolean_query() {
+        let q = parse_program("Q() :- R(X), S(X, Y), T(Y).").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.disjuncts.len(), 1);
+        assert_eq!(q.disjuncts[0].atoms.len(), 3);
+        assert_eq!(q.disjuncts[0].variables(), vec!["X".to_owned(), "Y".to_owned()]);
+    }
+
+    #[test]
+    fn parses_free_variables_and_constants() {
+        let q = parse_program("Q(X, Y) :- R(X, 3), S(X, Y, 'abc').").unwrap();
+        let cq = &q.disjuncts[0];
+        assert_eq!(cq.head, vec!["X".to_owned(), "Y".to_owned()]);
+        assert_eq!(cq.atoms[0].terms[1], Term::Constant(Value::from(3)));
+        assert_eq!(cq.atoms[1].terms[2], Term::Constant(Value::from("abc")));
+    }
+
+    #[test]
+    fn parses_selections() {
+        let q = parse_program("Q(X) :- R(X, Y), Y >= 10, X != 'x', Y < 20.").unwrap();
+        let cq = &q.disjuncts[0];
+        assert_eq!(cq.selections.len(), 3);
+        assert_eq!(cq.selections[0].comparison, Comparison::Ge);
+        assert_eq!(cq.selections[1].comparison, Comparison::Ne);
+        assert_eq!(cq.selections[2].comparison, Comparison::Lt);
+    }
+
+    #[test]
+    fn parses_unions() {
+        let q = parse_program(
+            "Q(X) :- R(X, Y), S(Y).
+             Q(X) :- T(X).",
+        )
+        .unwrap();
+        assert_eq!(q.disjuncts.len(), 2);
+        assert_eq!(q.head_arity(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_programs() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("Q(X) : R(X).").is_err());
+        assert!(parse_program("Q(X) :- .").is_err());
+        assert!(parse_program("Q(X) :- R(Y).").is_err()); // head var not in body
+        assert!(parse_program("Q(x) :- R(x).").is_err()); // lower-case head term
+        assert!(parse_program("Q(X) :- R(X, 'oops).").is_err()); // unterminated string
+        assert!(parse_program("Q(X) :- R(X).\nP(X) :- S(X).").is_err()); // two predicates
+        assert!(parse_program("Q(X) :- R(X).\nQ(X, Y) :- S(X, Y).").is_err()); // arity clash
+    }
+
+    #[test]
+    fn display_then_reparse() {
+        let text = "Q(X) :- R(X, Y), S(Y, 7), Y > 3.";
+        let q = parse_program(text).unwrap();
+        let printed = q.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let q = parse_program("% the basic non-hierarchical query\nQ() :- R(X), S(X, Y), T(Y).");
+        assert!(q.is_ok());
+    }
+}

@@ -1,0 +1,133 @@
+//! Corpora of lineage instances and their statistics (Table 1 of the paper).
+
+use banzhaf_boolean::Dnf;
+
+/// One problem instance: the lineage of one answer tuple of one query, the
+/// unit over which the paper reports success rates and runtimes ("We define an
+/// instance as the computation of the Banzhaf values for all variables in a
+/// lineage of an output tuple of a query", Sec. 5.1).
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The query the instance belongs to.
+    pub query: String,
+    /// A rendering of the answer tuple (empty for Boolean queries).
+    pub answer: String,
+    /// The lineage DNF.
+    pub lineage: Dnf,
+}
+
+/// A named collection of instances grouped by query — the unit the benchmark
+/// harness sweeps over (one corpus per dataset family).
+#[derive(Clone, Debug, Default)]
+pub struct Corpus {
+    /// Corpus name (e.g. `"Academic-like"`).
+    pub name: String,
+    /// All instances.
+    pub instances: Vec<Instance>,
+}
+
+/// Aggregate statistics of a corpus, mirroring Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusStats {
+    /// Number of distinct queries.
+    pub num_queries: usize,
+    /// Number of lineage instances.
+    pub num_lineages: usize,
+    /// Average number of variables per lineage.
+    pub avg_vars: f64,
+    /// Maximum number of variables over all lineages.
+    pub max_vars: usize,
+    /// Average number of clauses per lineage.
+    pub avg_clauses: f64,
+    /// Maximum number of clauses over all lineages.
+    pub max_clauses: usize,
+}
+
+impl Corpus {
+    /// Creates an empty corpus with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Corpus { name: name.into(), instances: Vec::new() }
+    }
+
+    /// Adds an instance.
+    pub fn push(&mut self, query: impl Into<String>, answer: impl Into<String>, lineage: Dnf) {
+        self.instances.push(Instance {
+            query: query.into(),
+            answer: answer.into(),
+            lineage,
+        });
+    }
+
+    /// The distinct query names, in first-seen order.
+    pub fn query_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for instance in &self.instances {
+            if !names.contains(&instance.query.as_str()) {
+                names.push(&instance.query);
+            }
+        }
+        names
+    }
+
+    /// Instances belonging to a given query.
+    pub fn instances_of(&self, query: &str) -> impl Iterator<Item = &Instance> + '_ {
+        let query = query.to_owned();
+        self.instances.iter().filter(move |i| i.query == query)
+    }
+
+    /// Computes the Table-1-style statistics of the corpus.
+    pub fn stats(&self) -> CorpusStats {
+        let num_lineages = self.instances.len();
+        let mut total_vars = 0usize;
+        let mut total_clauses = 0usize;
+        let mut max_vars = 0usize;
+        let mut max_clauses = 0usize;
+        for instance in &self.instances {
+            let vars = instance.lineage.num_vars();
+            let clauses = instance.lineage.num_clauses();
+            total_vars += vars;
+            total_clauses += clauses;
+            max_vars = max_vars.max(vars);
+            max_clauses = max_clauses.max(clauses);
+        }
+        let denom = num_lineages.max(1) as f64;
+        CorpusStats {
+            num_queries: self.query_names().len(),
+            num_lineages,
+            avg_vars: total_vars as f64 / denom,
+            max_vars,
+            avg_clauses: total_clauses as f64 / denom,
+            max_clauses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banzhaf_boolean::Var;
+
+    #[test]
+    fn stats_over_instances() {
+        let mut corpus = Corpus::new("test");
+        corpus.push("q1", "t1", Dnf::from_clauses(vec![vec![Var(0), Var(1)]]));
+        corpus.push("q1", "t2", Dnf::from_clauses(vec![vec![Var(0)], vec![Var(1)], vec![Var(2)]]));
+        corpus.push("q2", "", Dnf::from_clauses(vec![vec![Var(5), Var(6), Var(7)]]));
+        let stats = corpus.stats();
+        assert_eq!(stats.num_queries, 2);
+        assert_eq!(stats.num_lineages, 3);
+        assert_eq!(stats.max_vars, 3);
+        assert_eq!(stats.max_clauses, 3);
+        assert!((stats.avg_vars - (2.0 + 3.0 + 3.0) / 3.0).abs() < 1e-12);
+        assert_eq!(corpus.instances_of("q1").count(), 2);
+        assert_eq!(corpus.query_names(), vec!["q1", "q2"]);
+    }
+
+    #[test]
+    fn empty_corpus_stats() {
+        let corpus = Corpus::new("empty");
+        let stats = corpus.stats();
+        assert_eq!(stats.num_lineages, 0);
+        assert_eq!(stats.avg_vars, 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload generators standing in for the paper's evaluation corpora.
+//!
+//! The paper evaluates on lineage extracted (via ProvSQL) from three datasets:
+//! Academic, IMDB and TPC-H SF1, with 301 queries producing nearly one million
+//! lineage expressions (Table 1). Those datasets are not redistributable and
+//! the absolute scale is a server-class workload, so this crate generates
+//! *synthetic* workloads whose lineage statistics land in the same regimes
+//! (see DESIGN.md for the substitution rationale):
+//!
+//! * [`academic_like`], [`imdb_like`], [`tpch_like`] — databases plus query
+//!   workloads evaluated through `banzhaf-query`, producing per-answer
+//!   lineages with dataset-family-specific size/shape distributions (Academic:
+//!   many small lineages; IMDB: many lineages with a heavy tail; TPC-H: few
+//!   but large and symmetric lineages);
+//! * [`LineageGenerator`] — direct random positive-DNF generation with
+//!   controlled number of variables, clauses, clause width and skew, used by
+//!   the micro-benchmarks and the scaling experiments (Fig. 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod lineage;
+mod synthetic;
+
+pub use corpus::{Corpus, CorpusStats, Instance};
+pub use lineage::{LineageGenerator, LineageShape};
+pub use synthetic::{academic_like, imdb_like, tpch_like, DatasetSpec};

@@ -1,0 +1,268 @@
+//! Synthetic database + query workloads standing in for Academic, IMDB and
+//! TPC-H.
+//!
+//! Each generator builds a random database with the schema flavour of the
+//! original dataset, runs a fixed query workload through the provenance-aware
+//! evaluator of `banzhaf-query`, and collects one [`Instance`](crate::Instance)
+//! per answer tuple. The shapes are tuned so that the three corpora differ in
+//! the same qualitative way as in Table 1 of the paper:
+//!
+//! * **Academic-like** — many queries, small lineages (few variables/clauses);
+//! * **IMDB-like** — many lineages with a skewed, heavy-tailed size
+//!   distribution (a few answers join with very popular entities);
+//! * **TPC-H-like** — few queries and answers, but large, symmetric lineages
+//!   (Boolean-style aggregation queries over a star schema).
+
+use crate::Corpus;
+use banzhaf_db::{Database, Value};
+use banzhaf_query::{evaluate, parse_program, UnionQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs of a synthetic dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Relative size factor (1 = the default laptop-scale corpus).
+    pub scale: usize,
+    /// RNG seed, so corpora are reproducible across runs.
+    pub seed: u64,
+}
+
+impl Default for DatasetSpec {
+    fn default() -> Self {
+        DatasetSpec { scale: 1, seed: 0xBA27AF }
+    }
+}
+
+fn run_workload(name: &str, db: &Database, queries: &[(&str, UnionQuery)]) -> Corpus {
+    let mut corpus = Corpus::new(name);
+    for (qname, query) in queries {
+        let result = evaluate(query, db);
+        for answer in result.answers() {
+            let tuple: Vec<String> = answer.tuple.iter().map(Value::to_string).collect();
+            corpus.push(*qname, tuple.join(","), answer.lineage.clone());
+        }
+    }
+    corpus
+}
+
+fn q(text: &str) -> UnionQuery {
+    parse_program(text).expect("workload query parses")
+}
+
+/// Builds the Academic-like corpus: authors, papers, authorship, citations,
+/// venues; queries about co-authorship and publication activity.
+pub fn academic_like(spec: &DatasetSpec) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let authors = 30 * spec.scale;
+    let papers = 40 * spec.scale;
+    let venues = 6;
+
+    let mut db = Database::new();
+    db.add_relation("Author", 1);
+    db.add_relation("Paper", 2); // (pid, venue)
+    db.add_relation("Writes", 2); // (aid, pid)
+    db.add_relation("Cites", 2); // (pid, pid)
+    db.add_relation("Venue", 1);
+
+    for a in 0..authors {
+        db.insert_endogenous("Author", vec![Value::from(a as i64)]).unwrap();
+    }
+    for p in 0..papers {
+        let venue = rng.gen_range(0..venues) as i64;
+        db.insert_endogenous("Paper", vec![Value::from(p as i64), Value::from(venue)]).unwrap();
+        // 1–3 authors per paper.
+        let nauthors = rng.gen_range(1..=3);
+        for _ in 0..nauthors {
+            let a = rng.gen_range(0..authors) as i64;
+            db.insert_endogenous("Writes", vec![Value::from(a), Value::from(p as i64)]).unwrap();
+        }
+        // 0–2 citations per paper.
+        for _ in 0..rng.gen_range(0..=2) {
+            let cited = rng.gen_range(0..papers) as i64;
+            db.insert_endogenous("Cites", vec![Value::from(p as i64), Value::from(cited)]).unwrap();
+        }
+    }
+    for v in 0..venues {
+        db.insert_exogenous("Venue", vec![Value::from(v as i64)]).unwrap();
+    }
+
+    let queries = vec![
+        // Which venues does each author publish in? (hierarchical per answer)
+        ("academic_q1", q("Q(A, V) :- Writes(A, P), Paper(P, V).")),
+        // Authors of cited papers (non-hierarchical joins).
+        ("academic_q2", q("Q(A) :- Writes(A, P), Cites(P, P2), Paper(P2, V).")),
+        // Co-authors.
+        ("academic_q3", q("Q(A, B) :- Writes(A, P), Writes(B, P), A != 0.")),
+        // Papers by prolific venue 0 or venue 1 (a union).
+        ("academic_q4", q("Q(P) :- Paper(P, 0). Q(P) :- Paper(P, 1).")),
+        // Authors publishing in venue 2 together with the author relation.
+        ("academic_q5", q("Q(A) :- Author(A), Writes(A, P), Paper(P, 2).")),
+        // Boolean: is there a citation chain of length 2 out of venue 3?
+        ("academic_q6", q("Q() :- Paper(P, 3), Cites(P, P2), Cites(P2, P3).")),
+    ];
+    run_workload("Academic-like", &db, &queries)
+}
+
+/// Builds the IMDB-like corpus: movies, actors, directors; the popularity of
+/// movies and actors is Zipf-skewed so a few answers have very large lineages.
+pub fn imdb_like(spec: &DatasetSpec) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(1));
+    let movies = 50 * spec.scale;
+    let actors = 60 * spec.scale;
+    let directors = 15 * spec.scale;
+
+    let mut db = Database::new();
+    db.add_relation("Movie", 2); // (mid, year)
+    db.add_relation("ActsIn", 2); // (aid, mid)
+    db.add_relation("Actor", 1);
+    db.add_relation("Directs", 2); // (did, mid)
+    db.add_relation("Genre", 2); // (mid, genre-id)
+
+    // Skewed popularity: low-index movies/actors participate in more facts.
+    let skewed = |rng: &mut StdRng, n: usize| -> i64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        ((u * u * n as f64) as usize).min(n - 1) as i64
+    };
+
+    for m in 0..movies {
+        let year = 1990 + rng.gen_range(0..30) as i64;
+        db.insert_endogenous("Movie", vec![Value::from(m as i64), Value::from(year)]).unwrap();
+        db.insert_exogenous("Genre", vec![Value::from(m as i64), Value::from(rng.gen_range(0..5) as i64)])
+            .unwrap();
+    }
+    for a in 0..actors {
+        db.insert_endogenous("Actor", vec![Value::from(a as i64)]).unwrap();
+    }
+    // Casting: popular movies get many actors.
+    for _ in 0..movies * 4 {
+        let m = skewed(&mut rng, movies);
+        let a = skewed(&mut rng, actors);
+        db.insert_endogenous("ActsIn", vec![Value::from(a), Value::from(m)]).unwrap();
+    }
+    for _ in 0..movies {
+        let d = rng.gen_range(0..directors) as i64;
+        let m = skewed(&mut rng, movies);
+        db.insert_endogenous("Directs", vec![Value::from(d), Value::from(m)]).unwrap();
+    }
+
+    let queries = vec![
+        // Movies with their cast (per-movie lineage; popular movies are big).
+        ("imdb_q1", q("Q(M) :- Movie(M, Y), ActsIn(A, M), Actor(A).")),
+        // Actors in recent movies.
+        ("imdb_q2", q("Q(A) :- Actor(A), ActsIn(A, M), Movie(M, Y), Y >= 2010.")),
+        // Director–actor collaborations (non-hierarchical).
+        ("imdb_q3", q("Q(D, A) :- Directs(D, M), ActsIn(A, M).")),
+        // Co-star pairs on the same movie.
+        ("imdb_q4", q("Q(A, B) :- ActsIn(A, M), ActsIn(B, M), A != 0.")),
+        // Boolean: does some director work with some actor on an old movie?
+        ("imdb_q5", q("Q() :- Directs(D, M), ActsIn(A, M), Movie(M, Y), Y < 1995.")),
+        // Union: movies that are either recent or directed by director 0.
+        ("imdb_q6", q("Q(M) :- Movie(M, Y), Y >= 2015. Q(M) :- Directs(0, M), Movie(M, Y).")),
+    ];
+    run_workload("IMDB-like", &db, &queries)
+}
+
+/// Builds the TPC-H-like corpus: a small star schema (suppliers, customers,
+/// orders, line items, nations); queries are Boolean or low-cardinality, so
+/// each answer accumulates a large, fairly symmetric lineage.
+pub fn tpch_like(spec: &DatasetSpec) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(2));
+    let nations = 5;
+    let suppliers = 10 * spec.scale;
+    let customers = 15 * spec.scale;
+    let orders = 30 * spec.scale;
+    let lineitems = 60 * spec.scale;
+
+    let mut db = Database::new();
+    db.add_relation("Nation", 1);
+    db.add_relation("Supplier", 2); // (sk, nation)
+    db.add_relation("Customer", 2); // (ck, nation)
+    db.add_relation("Orders", 2); // (ok, ck)
+    db.add_relation("Lineitem", 3); // (ok, sk, qty)
+
+    for n in 0..nations {
+        db.insert_exogenous("Nation", vec![Value::from(n as i64)]).unwrap();
+    }
+    for s in 0..suppliers {
+        db.insert_endogenous("Supplier", vec![Value::from(s as i64), Value::from(rng.gen_range(0..nations) as i64)])
+            .unwrap();
+    }
+    for c in 0..customers {
+        db.insert_endogenous("Customer", vec![Value::from(c as i64), Value::from(rng.gen_range(0..nations) as i64)])
+            .unwrap();
+    }
+    for o in 0..orders {
+        let c = rng.gen_range(0..customers) as i64;
+        db.insert_endogenous("Orders", vec![Value::from(o as i64), Value::from(c)]).unwrap();
+    }
+    for _ in 0..lineitems {
+        let o = rng.gen_range(0..orders) as i64;
+        let s = rng.gen_range(0..suppliers) as i64;
+        let qty = rng.gen_range(1..50) as i64;
+        db.insert_endogenous("Lineitem", vec![Value::from(o), Value::from(s), Value::from(qty)])
+            .unwrap();
+    }
+
+    let queries = vec![
+        // Per-nation supplier/customer trade (few answers, large lineage).
+        (
+            "tpch_q1",
+            q("Q(N) :- Supplier(S, N), Lineitem(O, S, Qty), Orders(O, C), Customer(C, N)."),
+        ),
+        // Boolean: is there a large line item shipped by nation 0?
+        ("tpch_q2", q("Q() :- Supplier(S, 0), Lineitem(O, S, Qty), Qty >= 40.")),
+        // Customers with pending large orders (per-customer lineage).
+        ("tpch_q3", q("Q(C) :- Customer(C, N), Orders(O, C), Lineitem(O, S, Qty), Qty >= 25.")),
+        // Boolean: any same-nation customer/supplier pair at all?
+        ("tpch_q4", q("Q() :- Customer(C, N), Supplier(S, N), Orders(O, C), Lineitem(O, S, Qty).")),
+    ];
+    run_workload("TPC-H-like", &db, &queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_nonempty_and_deterministic() {
+        let spec = DatasetSpec::default();
+        for build in [academic_like, imdb_like, tpch_like] {
+            let a = build(&spec);
+            let b = build(&spec);
+            assert!(!a.instances.is_empty(), "{} corpus is empty", a.name);
+            assert_eq!(a.instances.len(), b.instances.len());
+            assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    #[test]
+    fn corpora_have_distinct_size_profiles() {
+        let spec = DatasetSpec::default();
+        let academic = academic_like(&spec).stats();
+        let tpch = tpch_like(&spec).stats();
+        // TPC-H-style lineages are on average much larger than Academic ones.
+        assert!(tpch.avg_clauses > academic.avg_clauses);
+        assert!(tpch.max_vars >= academic.max_vars);
+        // Academic produces more distinct queries' worth of small instances.
+        assert!(academic.num_lineages > 0 && tpch.num_lineages > 0);
+    }
+
+    #[test]
+    fn scale_increases_corpus_size() {
+        let small = academic_like(&DatasetSpec { scale: 1, seed: 3 }).stats();
+        let large = academic_like(&DatasetSpec { scale: 2, seed: 3 }).stats();
+        assert!(large.num_lineages >= small.num_lineages);
+    }
+
+    #[test]
+    fn lineages_are_positive_dnfs_over_endogenous_facts() {
+        let corpus = imdb_like(&DatasetSpec::default());
+        for instance in corpus.instances.iter().take(50) {
+            assert!(!instance.lineage.is_false() || instance.lineage.num_clauses() == 0);
+            for clause in instance.lineage.clauses() {
+                assert!(!clause.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Auditing supplier influence in a TPC-H-like order database.
+//!
+//! A procurement analyst asks which nations have customers buying from
+//! same-nation suppliers (a classic TPC-H-style join) and then wants to know,
+//! for a given nation, which individual orders and line items drive that
+//! answer — ranked by Banzhaf value, with an anytime approximation so the
+//! analysis stays interactive even when the lineage is large.
+//!
+//! Run with `cargo run --release --example supplier_audit`.
+
+use banzhaf_repro::prelude::*;
+
+fn main() {
+    // Build a synthetic TPC-H-like corpus; dimension data (nations) is
+    // exogenous, transactional data (suppliers, customers, orders, line
+    // items) is endogenous.
+    let corpus = tpch_like(&DatasetSpec::default());
+    let stats = corpus.stats();
+    println!(
+        "TPC-H-like corpus: {} queries, {} answer lineages, up to {} variables / {} clauses",
+        stats.num_queries, stats.num_lineages, stats.max_vars, stats.max_clauses
+    );
+
+    // Focus on the per-nation trade query (the corpus's tpch_q1) and pick its
+    // largest answer lineage.
+    let instance = corpus
+        .instances_of("tpch_q1")
+        .max_by_key(|i| i.lineage.size())
+        .expect("corpus contains the trade query");
+    println!(
+        "\nauditing answer nation={} ({} supporting facts, {} join combinations)",
+        instance.answer,
+        instance.lineage.num_vars(),
+        instance.lineage.num_clauses()
+    );
+
+    // Anytime approximation: certified intervals at ε = 0.1 within a budget.
+    let vars: Vec<Var> = instance.lineage.universe().iter().collect();
+    let mut tree = DTree::from_leaf(instance.lineage.clone());
+    let budget = Budget::with_timeout(std::time::Duration::from_secs(5));
+    match adaban_all(&mut tree, &vars, &AdaBanOptions::with_epsilon_str("0.1"), &budget) {
+        Ok(intervals) => {
+            let mut ranked = intervals;
+            ranked.sort_by(|a, b| b.1.midpoint().partial_cmp(&a.1.midpoint()).unwrap());
+            println!("\ntop 10 facts by approximate Banzhaf value (ε = 0.1):");
+            for (var, interval) in ranked.into_iter().take(10) {
+                println!(
+                    "  fact f{:<4} Banzhaf ∈ [{}, {}]",
+                    var.0, interval.lower, interval.upper
+                );
+            }
+        }
+        Err(Interrupted) => {
+            println!("approximation did not finish within the 5s budget");
+        }
+    }
+
+    // Certified top-3 facts (interval separation, no ε), under a budget.
+    let mut tree = DTree::from_leaf(instance.lineage.clone());
+    let budget = Budget::with_timeout(std::time::Duration::from_secs(5));
+    match ichiban_topk(&mut tree, 3, &IchiBanOptions::certain(), &budget) {
+        Ok(topk) => {
+            println!(
+                "\ncertified top-3 facts: {:?} (certified = {})",
+                topk.members.iter().map(|v| format!("f{}", v.0)).collect::<Vec<_>>(),
+                topk.certified
+            );
+        }
+        Err(Interrupted) => {
+            println!("\ncertified top-3 needs more than the 5s budget; falling back to ε-relaxed");
+            let mut tree = DTree::from_leaf(instance.lineage.clone());
+            let topk = ichiban_topk(
+                &mut tree,
+                3,
+                &IchiBanOptions::with_epsilon_str("0.1"),
+                &Budget::with_timeout(std::time::Duration::from_secs(5)),
+            );
+            if let Ok(topk) = topk {
+                println!(
+                    "ε-relaxed top-3 facts: {:?}",
+                    topk.members.iter().map(|v| format!("f{}", v.0)).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    // Compare against the cheap CNF-proxy heuristic ranking.
+    let proxy = cnf_proxy(&instance.lineage);
+    let mut proxy_ranked: Vec<(Var, f64)> = proxy.into_iter().collect();
+    proxy_ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!(
+        "\nCNF-proxy top-3 (no guarantees): {:?}",
+        proxy_ranked.iter().take(3).map(|(v, _)| format!("f{}", v.0)).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,74 @@
+//! The Banzhaf value as voting power: the classic weighted-voting example.
+//!
+//! The Banzhaf value originates in the analysis of voting power (Penrose 1946,
+//! Banzhaf 1965) — the paper's introduction cites its use for the Council of
+//! the EU. This example uses the library's Boolean-function layer directly
+//! (no database): a weighted voting game is encoded as a positive DNF whose
+//! clauses are the minimal winning coalitions, and the Banzhaf/Shapley values
+//! of the voters are computed over its d-tree.
+//!
+//! Run with `cargo run --example voting_power`.
+
+use banzhaf_repro::prelude::*;
+
+/// Enumerates the minimal winning coalitions of a weighted voting game.
+fn minimal_winning_coalitions(weights: &[u64], quota: u64) -> Vec<Vec<Var>> {
+    let n = weights.len();
+    let mut winning: Vec<Vec<Var>> = Vec::new();
+    for mask in 1u64..(1 << n) {
+        let total: u64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+        if total < quota {
+            continue;
+        }
+        // Minimal: removing any single member drops below the quota.
+        let minimal = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .all(|i| total - weights[i] < quota);
+        if minimal {
+            winning.push((0..n).filter(|i| mask & (1 << i) != 0).map(|i| Var(i as u32)).collect());
+        }
+    }
+    winning
+}
+
+fn main() {
+    // A council with one large member, two medium members and three small
+    // members; motions pass with 8 of 12 votes.
+    let members = ["Alba", "Brivia", "Cadria", "Dole", "Elm", "Faro"];
+    let weights = [5u64, 3, 3, 1, 1, 1];
+    let quota = 8u64;
+
+    let coalitions = minimal_winning_coalitions(&weights, quota);
+    println!("quota {quota} of {} total votes", weights.iter().sum::<u64>());
+    println!("{} minimal winning coalitions", coalitions.len());
+
+    // The game as a positive DNF: one clause per minimal winning coalition.
+    let game = Dnf::from_clauses(coalitions);
+    let tree = DTree::compile_full(game.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
+        .expect("unbounded budget");
+    let banzhaf = exaban_all(&tree);
+    let shapley = shapley_all(&tree);
+    let power = normalized_power(&banzhaf.values, game.num_vars());
+    let index = normalized_index(&banzhaf.values);
+
+    println!(
+        "\n{:<8} {:>6} {:>10} {:>16} {:>16} {:>10}",
+        "member", "votes", "Banzhaf", "Penrose power", "Banzhaf index", "Shapley"
+    );
+    for (i, name) in members.iter().enumerate() {
+        let v = Var(i as u32);
+        println!(
+            "{:<8} {:>6} {:>10} {:>16.4} {:>16.4} {:>10.4}",
+            name,
+            weights[i],
+            banzhaf.value(v).map(|b| b.to_string()).unwrap_or_else(|| "0".into()),
+            power.get(&v).copied().unwrap_or(0.0),
+            index.get(&v).copied().unwrap_or(0.0),
+            shapley.get(&v).map(ShapleyValue::to_f64).unwrap_or(0.0),
+        );
+    }
+    println!(
+        "\nNote how voting weight and voting power diverge: members with equal \
+         weight always get equal power, but doubling weight does not double power."
+    );
+}

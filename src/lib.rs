@@ -1,0 +1,62 @@
+//! Umbrella crate for the reproduction of *Banzhaf Values for Facts in Query
+//! Answering* (SIGMOD 2024).
+//!
+//! This crate simply re-exports the public API of the workspace members so
+//! that downstream users (and the examples and integration tests in this
+//! repository) can depend on a single crate:
+//!
+//! * [`arith`] — arbitrary-precision integers and rationals;
+//! * [`boolean`] — positive DNF lineage functions;
+//! * [`dtree`] — decomposition-tree knowledge compilation;
+//! * [`core`] — ExaBan / AdaBan / IchiBan / Shapley (the paper's algorithms);
+//! * [`db`] — the in-memory relational database substrate;
+//! * [`query`] — UCQ parsing, analysis and provenance-aware evaluation;
+//! * [`baselines`] — the Sig22, Monte Carlo and CNF-proxy competitors;
+//! * [`workloads`] — synthetic corpora standing in for Academic/IMDB/TPC-H.
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ```
+//! use banzhaf_repro::prelude::*;
+//!
+//! let mut db = Database::new();
+//! db.add_relation("R", 1);
+//! db.add_relation("S", 2);
+//! db.insert_endogenous("R", vec![1.into()]).unwrap();
+//! db.insert_endogenous("S", vec![1.into(), 2.into()]).unwrap();
+//! let query = parse_program("Q() :- R(X), S(X, Y).").unwrap();
+//! let lineage = evaluate(&query, &db).answers()[0].lineage.clone();
+//! let tree = DTree::compile_full(lineage, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+//! let values = exaban_all(&tree);
+//! assert_eq!(values.model_count.to_u64(), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use banzhaf as core;
+pub use banzhaf_arith as arith;
+pub use banzhaf_baselines as baselines;
+pub use banzhaf_boolean as boolean;
+pub use banzhaf_db as db;
+pub use banzhaf_dtree as dtree;
+pub use banzhaf_query as query;
+pub use banzhaf_workloads as workloads;
+
+/// Convenient glob-import of the most frequently used items.
+pub mod prelude {
+    pub use banzhaf::{
+        adaban, adaban_all, bounds_for_var, critical_counts_all, exaban_all, exaban_single,
+        ichiban_rank, ichiban_topk, l1_distance_normalized, normalized_index, normalized_power,
+        shapley_all, AdaBanOptions, ApproxInterval, BanzhafResult, Budget, DTree, IchiBanOptions,
+        Interrupted, PivotHeuristic, Ranking, ShapleyValue, TopK,
+    };
+    pub use banzhaf_arith::{Int, Natural, Ratio};
+    pub use banzhaf_baselines::{cnf_proxy, mc_banzhaf, sig22_exact, McOptions};
+    pub use banzhaf_boolean::{Assignment, Clause, Dnf, Var, VarSet};
+    pub use banzhaf_db::{Database, Fact, FactId, Provenance, Value};
+    pub use banzhaf_query::{evaluate, is_hierarchical, is_self_join_free, parse_program};
+    pub use banzhaf_workloads::{
+        academic_like, imdb_like, tpch_like, Corpus, DatasetSpec, LineageGenerator, LineageShape,
+    };
+}
