@@ -195,9 +195,7 @@ impl Add<&Int> for &Int {
                 match self.mag.cmp(&rhs.mag) {
                     Ordering::Equal => Int::zero(),
                     Ordering::Greater => Int::from_sign_mag(a, &self.mag - &rhs.mag),
-                    Ordering::Less => {
-                        Int::from_sign_mag(rhs.sign, &rhs.mag - &self.mag)
-                    }
+                    Ordering::Less => Int::from_sign_mag(rhs.sign, &rhs.mag - &self.mag),
                 }
             }
         }

@@ -249,11 +249,11 @@ impl Natural {
     /// Subtracts `b` (not shifted) from `acc`; `acc >= b` must hold.
     fn sub_in_place(acc: &mut [u64], b: &[u64]) {
         let mut borrow = 0u64;
-        for i in 0..acc.len() {
+        for (i, limb) in acc.iter_mut().enumerate() {
             let bi = b.get(i).copied().unwrap_or(0);
-            let (d1, b1) = acc[i].overflowing_sub(bi);
+            let (d1, b1) = limb.overflowing_sub(bi);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            acc[i] = d2;
+            *limb = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         debug_assert_eq!(borrow, 0);
@@ -646,10 +646,7 @@ mod tests {
         assert_eq!(d.bit_len(), 128);
         assert_eq!(&d + &b, a);
         assert_eq!(Natural::from(5u64).checked_sub(&Natural::from(7u64)), None);
-        assert_eq!(
-            Natural::from(5u64).saturating_sub(&Natural::from(7u64)),
-            Natural::zero()
-        );
+        assert_eq!(Natural::from(5u64).saturating_sub(&Natural::from(7u64)), Natural::zero());
     }
 
     #[test]

@@ -63,11 +63,8 @@ impl Ratio {
         }
         let int_digits = if int_part.is_empty() { "0" } else { int_part };
         let int_n = Natural::from_decimal(int_digits)?;
-        let frac_n = if frac_part.is_empty() {
-            Natural::zero()
-        } else {
-            Natural::from_decimal(frac_part)?
-        };
+        let frac_n =
+            if frac_part.is_empty() { Natural::zero() } else { Natural::from_decimal(frac_part)? };
         let denom = Natural::from(10u64).pow(frac_part.len() as u32);
         let numer = &int_n.mul_ref(&denom) + &frac_n;
         Some(Ratio::new(numer, denom))
@@ -163,9 +160,7 @@ impl PartialOrd for Ratio {
 impl Ord for Ratio {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b vs c/d  <=>  a*d vs c*b  (denominators are positive)
-        self.numer
-            .mul_ref(&other.denom)
-            .cmp(&other.numer.mul_ref(&self.denom))
+        self.numer.mul_ref(&other.denom).cmp(&other.numer.mul_ref(&self.denom))
     }
 }
 

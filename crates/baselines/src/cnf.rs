@@ -144,7 +144,7 @@ mod tests {
         let cnf = CnfFormula::encode(&phi);
         assert_eq!(cnf.num_original_vars(), 3);
         assert_eq!(cnf.num_vars(), 5); // 3 original + 2 auxiliary.
-        // 2 clauses × (2 implications + 1 back implication) + 1 top clause.
+                                       // 2 clauses × (2 implications + 1 back implication) + 1 top clause.
         assert_eq!(cnf.num_clauses(), 2 * 3 + 1);
         assert_eq!(cnf.original_var(0), Some(v(0)));
         assert_eq!(cnf.original_var(4), None);

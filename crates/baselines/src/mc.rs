@@ -72,10 +72,7 @@ pub fn mc_banzhaf<R: Rng>(
 pub fn rank_estimates(estimates: &HashMap<Var, f64>) -> Vec<Var> {
     let mut vars: Vec<Var> = estimates.keys().copied().collect();
     vars.sort_by(|a, b| {
-        estimates[b]
-            .partial_cmp(&estimates[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(b))
+        estimates[b].partial_cmp(&estimates[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
     });
     vars
 }
@@ -132,12 +129,8 @@ mod tests {
     fn budget_exhaustion() {
         let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
         let options = McOptions { samples_per_var: 1_000 };
-        let result = mc_banzhaf(
-            &phi,
-            &options,
-            &mut StdRng::seed_from_u64(1),
-            &Budget::with_max_steps(10),
-        );
+        let result =
+            mc_banzhaf(&phi, &options, &mut StdRng::seed_from_u64(1), &Budget::with_max_steps(10));
         assert_eq!(result.unwrap_err(), Interrupted);
     }
 }

@@ -33,10 +33,7 @@ pub fn cnf_proxy(phi: &Dnf) -> HashMap<Var, f64> {
 pub fn rank_proxy(scores: &HashMap<Var, f64>) -> Vec<Var> {
     let mut vars: Vec<Var> = scores.keys().copied().collect();
     vars.sort_by(|a, b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(b))
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
     });
     vars
 }
@@ -57,7 +54,7 @@ mod tests {
         assert_eq!(scores[&v(0)], 1.0); // Two clauses of size 2.
         assert_eq!(scores[&v(1)], 0.5);
         assert_eq!(scores[&v(3)], 1.0); // One clause of size 1.
-        // Unused universe variables get score 0.
+                                        // Unused universe variables get score 0.
         let phi = Dnf::from_clauses_with_universe(
             vec![vec![v(0)]],
             banzhaf_boolean::VarSet::from_iter([v(0), v(1)]),

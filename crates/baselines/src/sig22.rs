@@ -74,10 +74,7 @@ pub fn sig22_exact(
     budget: &Budget,
 ) -> Result<Sig22Result, Interrupted> {
     let cnf = CnfFormula::encode(phi);
-    let problem = SubProblem {
-        clauses: cnf.clauses.clone(),
-        vars: (0..cnf.num_vars).collect(),
-    };
+    let problem = SubProblem { clauses: cnf.clauses.clone(), vars: (0..cnf.num_vars).collect() };
     let mut nodes = 0u64;
     let counts = count(problem, budget, &mut nodes)?;
     let mut values = HashMap::with_capacity(cnf.num_original_vars());
@@ -87,7 +84,8 @@ pub fn sig22_exact(
         // Banzhaf = marginal − (total − marginal).
         let banzhaf = Int::sub_naturals(&marginal, &(&counts.total - &marginal));
         debug_assert!(!banzhaf.is_negative(), "positive lineage has non-negative Banzhaf values");
-        let banzhaf = if banzhaf.is_negative() { Natural::zero() } else { banzhaf.into_magnitude() };
+        let banzhaf =
+            if banzhaf.is_negative() { Natural::zero() } else { banzhaf.into_magnitude() };
         values.insert(original, banzhaf);
     }
     Ok(Sig22Result { values, model_count: counts.total, nodes_explored: nodes })
@@ -165,9 +163,10 @@ fn count(problem: SubProblem, budget: &Budget, nodes: &mut u64) -> Result<Counts
 /// variables.
 fn split_components(problem: &SubProblem) -> Option<Vec<SubProblem>> {
     // Union-find over variables.
-    let index: HashMap<u32, usize> = problem.vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: HashMap<u32, usize> =
+        problem.vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut parent: Vec<usize> = (0..problem.vars.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -199,12 +198,8 @@ fn split_components(problem: &SubProblem) -> Option<Vec<SubProblem>> {
         .values()
         .filter(|g| g.iter().any(|v| clause_vars.binary_search(v).is_ok()))
         .collect();
-    let unconstrained: Vec<u32> = problem
-        .vars
-        .iter()
-        .copied()
-        .filter(|v| clause_vars.binary_search(v).is_err())
-        .collect();
+    let unconstrained: Vec<u32> =
+        problem.vars.iter().copied().filter(|v| clause_vars.binary_search(v).is_err()).collect();
     if constrained_groups.len() <= 1 && unconstrained.is_empty() {
         return None;
     }

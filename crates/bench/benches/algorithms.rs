@@ -18,13 +18,8 @@ fn lineages(sizes: &[usize]) -> Vec<(usize, banzhaf_boolean::Dnf)> {
     sizes
         .iter()
         .map(|&n| {
-            let shape = LineageShape {
-                num_vars: n,
-                num_clauses: n,
-                min_width: 2,
-                max_width: 3,
-                skew: 0.8,
-            };
+            let shape =
+                LineageShape { num_vars: n, num_clauses: n, min_width: 2, max_width: 3, skew: 0.8 };
             (n, LineageGenerator::new(shape).generate(&mut rng))
         })
         .collect()

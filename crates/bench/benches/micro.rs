@@ -35,13 +35,17 @@ fn bench_idnf_bounds(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     for clauses in [20usize, 100, 400] {
         let phi = LineageGenerator::new(shape(clauses, clauses)).generate(&mut rng);
-        group.bench_with_input(BenchmarkId::new("L_and_U_counts", clauses), &clauses, |bench, _| {
-            bench.iter(|| {
-                let l = lower_bound_fn(&phi).idnf_model_count();
-                let u = upper_bound_fn(&phi).idnf_model_count();
-                (l, u)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("L_and_U_counts", clauses),
+            &clauses,
+            |bench, _| {
+                bench.iter(|| {
+                    let l = lower_bound_fn(&phi).idnf_model_count();
+                    let u = upper_bound_fn(&phi).idnf_model_count();
+                    (l, u)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -68,18 +72,22 @@ fn bench_mc_sampling(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(13);
     let phi = LineageGenerator::new(shape(40, 30)).generate(&mut rng);
     for samples in [10u64, 50] {
-        group.bench_with_input(BenchmarkId::new("samples_per_var", samples), &samples, |bench, &s| {
-            bench.iter(|| {
-                let mut sample_rng = StdRng::seed_from_u64(7);
-                mc_banzhaf(
-                    &phi,
-                    &McOptions { samples_per_var: s },
-                    &mut sample_rng,
-                    &Budget::unlimited(),
-                )
-                .unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("samples_per_var", samples),
+            &samples,
+            |bench, &s| {
+                bench.iter(|| {
+                    let mut sample_rng = StdRng::seed_from_u64(7);
+                    mc_banzhaf(
+                        &phi,
+                        &McOptions { samples_per_var: s },
+                        &mut sample_rng,
+                        &Budget::unlimited(),
+                    )
+                    .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -15,6 +15,24 @@ use banzhaf_bench::experiments;
 use banzhaf_bench::runner::{run_sweep, HarnessConfig};
 use std::time::Duration;
 
+/// All experiment names the driver knows, as printed in the usage text.
+const KNOWN_EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig4",
+    "table5",
+    "table6",
+    "table7",
+    "fig5",
+    "table8",
+    "table9",
+    "app_d",
+    "ablation_heuristic",
+    "ablation_adaban",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -53,6 +71,19 @@ fn main() {
         }
     }
 
+    // Reject typos up front (also on the --all path, which would otherwise
+    // silently ignore positional arguments).
+    let mut unknown = false;
+    for experiment in &experiments_requested {
+        if !KNOWN_EXPERIMENTS.contains(&experiment.as_str()) {
+            eprintln!("unknown experiment: {experiment}");
+            unknown = true;
+        }
+    }
+    if unknown {
+        std::process::exit(2);
+    }
+
     if run_everything {
         println!("{}", experiments::run_all(&config));
         return;
@@ -62,7 +93,14 @@ fn main() {
     let needs_sweep = experiments_requested.iter().any(|e| {
         matches!(
             e.as_str(),
-            "table2" | "table3" | "table4" | "fig4" | "table5" | "table6" | "table7" | "fig5"
+            "table2"
+                | "table3"
+                | "table4"
+                | "fig4"
+                | "table5"
+                | "table6"
+                | "table7"
+                | "fig5"
                 | "table8"
         )
     });
@@ -84,10 +122,7 @@ fn main() {
             "app_d" => experiments::app_d(),
             "ablation_heuristic" => experiments::ablation_heuristic(&config),
             "ablation_adaban" => experiments::ablation_adaban(&config),
-            other => {
-                eprintln!("unknown experiment: {other}");
-                continue;
-            }
+            other => unreachable!("experiment {other} was validated against KNOWN_EXPERIMENTS"),
         };
         println!("{report}");
     }

@@ -20,6 +20,9 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// A per-instance success predicate, used to slice sweep records by algorithm.
+type InstancePredicate = Box<dyn Fn(&InstanceRecord) -> bool>;
+
 fn runtime_header(first: &str) -> Vec<String> {
     let mut header = vec![first.to_owned(), "Mean".to_owned()];
     header.extend(PERCENTILES.iter().map(|&(name, _)| name.to_owned()));
@@ -53,13 +56,10 @@ pub fn table1(config: &HarnessConfig) -> String {
 pub fn table2(records: &[InstanceRecord], config: &HarnessConfig) -> String {
     let mut table = TextTable::new(["Dataset", "Algorithm", "Query success", "Lineage success"]);
     for (corpus, group) in by_corpus(records) {
-        let algos: [(&str, Box<dyn Fn(&InstanceRecord) -> bool>); 4] = [
+        let algos: [(&str, InstancePredicate); 4] = [
             ("ExaBan", Box::new(|r: &InstanceRecord| r.exaban.success)),
             ("Sig22", Box::new(|r: &InstanceRecord| r.sig22.success)),
-            (
-                "AdaBan0.1",
-                Box::new(|r: &InstanceRecord| r.adaban.success),
-            ),
+            ("AdaBan0.1", Box::new(|r: &InstanceRecord| r.adaban.success)),
             ("MC50#vars", Box::new(|r: &InstanceRecord| r.mc.success)),
         ];
         for (name, pred) in algos {
@@ -138,8 +138,7 @@ pub fn fig4(records: &[InstanceRecord]) -> String {
             if in_bucket.is_empty() {
                 continue;
             }
-            let ok: Vec<&&InstanceRecord> =
-                in_bucket.iter().filter(|r| r.exaban.success).collect();
+            let ok: Vec<&&InstanceRecord> = in_bucket.iter().filter(|r| r.exaban.success).collect();
             let summary = RuntimeSummary::of(ok.iter().map(|r| r.exaban.seconds).collect());
             let hi_label = if hi == usize::MAX { "∞".to_owned() } else { hi.to_string() };
             table.push_row([
@@ -162,8 +161,11 @@ pub fn table5(records: &[InstanceRecord]) -> String {
     for (corpus, group) in by_corpus(records) {
         let ok: Vec<&&InstanceRecord> = group.iter().filter(|r| r.exaban.success).collect();
         for (name, extract) in [
-            ("AdaBan0.1", Box::new(|r: &InstanceRecord| (r.adaban.success, r.adaban.seconds))
-                as Box<dyn Fn(&InstanceRecord) -> (bool, f64)>),
+            (
+                "AdaBan0.1",
+                Box::new(|r: &InstanceRecord| (r.adaban.success, r.adaban.seconds))
+                    as Box<dyn Fn(&InstanceRecord) -> (bool, f64)>,
+            ),
             ("ExaBan", Box::new(|r: &InstanceRecord| (r.exaban.success, r.exaban.seconds))),
             ("MC50#vars", Box::new(|r: &InstanceRecord| (r.mc.success, r.mc.seconds))),
         ] {
@@ -208,16 +210,18 @@ pub fn table7(records: &[InstanceRecord]) -> String {
         TextTable::new(["Dataset / Algorithm", "Mean", "p50", "p90", "p99", "Max", "Instances"]);
     let mut groups = by_corpus(records);
     // Extra "Hard" slice: instances on which ExaBan needed the most time.
-    let mut hard: Vec<&InstanceRecord> =
-        records.iter().filter(|r| r.exaban.success).collect();
+    let mut hard: Vec<&InstanceRecord> = records.iter().filter(|r| r.exaban.success).collect();
     hard.sort_by(|a, b| b.exaban.seconds.partial_cmp(&a.exaban.seconds).unwrap());
     hard.truncate((hard.len() / 10).max(5).min(hard.len()));
     groups.push(("Hard".to_owned(), hard));
 
     for (corpus, group) in groups {
         for (name, estimates) in [
-            ("AdaBan0.1", Box::new(|r: &InstanceRecord| r.adaban_estimates.clone())
-                as Box<dyn Fn(&InstanceRecord) -> Option<HashMap<Var, f64>>>),
+            (
+                "AdaBan0.1",
+                Box::new(|r: &InstanceRecord| r.adaban_estimates.clone())
+                    as Box<dyn Fn(&InstanceRecord) -> Option<HashMap<Var, f64>>>,
+            ),
             ("MC50#vars", Box::new(|r: &InstanceRecord| r.mc_estimates.clone())),
         ] {
             let mut errors: Vec<f64> = Vec::new();
@@ -344,13 +348,14 @@ pub fn table8(records: &[InstanceRecord], config: &HarnessConfig) -> String {
         let mut table =
             TextTable::new(["Dataset / Algorithm", "Mean", "p50", "p90", "Min", "Instances"]);
         for (corpus, group) in by_corpus(records) {
-            let eligible: Vec<&&InstanceRecord> = group
-                .iter()
-                .filter(|r| r.exaban.success && r.num_vars >= k && k > 0)
-                .collect();
+            let eligible: Vec<&&InstanceRecord> =
+                group.iter().filter(|r| r.exaban.success && r.num_vars >= k && k > 0).collect();
             for (name, ranking) in [
-                ("IchiBan0.1", Box::new(|r: &InstanceRecord| r.ichiban_topk.clone())
-                    as Box<dyn Fn(&InstanceRecord) -> Option<Vec<Var>>>),
+                (
+                    "IchiBan0.1",
+                    Box::new(|r: &InstanceRecord| r.ichiban_topk.clone())
+                        as Box<dyn Fn(&InstanceRecord) -> Option<Vec<Var>>>,
+                ),
                 (
                     "MC50#vars",
                     Box::new(|r: &InstanceRecord| r.mc_estimates.as_ref().map(rank_estimates)),
@@ -393,15 +398,7 @@ pub fn table8(records: &[InstanceRecord], config: &HarnessConfig) -> String {
 pub fn table9(config: &HarnessConfig) -> String {
     use banzhaf::{ichiban_topk, IchiBanOptions};
     let mut out = String::from("Table 9 — certain top-k (IchiBan without ε)\n");
-    let mut table = TextTable::new([
-        "Dataset",
-        "k",
-        "Success rate",
-        "Mean",
-        "p50",
-        "p90",
-        "Max",
-    ]);
+    let mut table = TextTable::new(["Dataset", "k", "Success rate", "Mean", "p50", "p90", "Max"]);
     for corpus in config.corpora() {
         for k in [1usize, 3, 5, 10] {
             let mut times = Vec::new();
@@ -465,12 +462,9 @@ pub fn app_d() -> String {
     let query = parse_program("Q() :- R(X), S(X, Y), T(X, Z).").unwrap();
     let result = evaluate(&query, &db);
     let lineage = &result.answers()[0].lineage;
-    let tree = DTree::compile_full(
-        lineage.clone(),
-        PivotHeuristic::MostFrequent,
-        &Budget::unlimited(),
-    )
-    .expect("unbounded budget");
+    let tree =
+        DTree::compile_full(lineage.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
+            .expect("unbounded budget");
     let banzhaf = exaban_all(&tree);
     let shapley = shapley_all(&tree);
     let critical = critical_counts_all(&tree);
@@ -514,13 +508,8 @@ pub fn app_d() -> String {
 
 /// Ablation: Shannon pivot heuristic (most-frequent vs first-variable).
 pub fn ablation_heuristic(config: &HarnessConfig) -> String {
-    let mut table = TextTable::new([
-        "Dataset",
-        "Heuristic",
-        "Success rate",
-        "Mean time",
-        "Mean expansions",
-    ]);
+    let mut table =
+        TextTable::new(["Dataset", "Heuristic", "Success rate", "Mean time", "Mean expansions"]);
     for corpus in config.corpora() {
         for (name, heuristic) in [
             ("most-frequent", PivotHeuristic::MostFrequent),
@@ -532,16 +521,15 @@ pub fn ablation_heuristic(config: &HarnessConfig) -> String {
             for instance in &corpus.instances {
                 let budget = Budget::with_timeout(config.timeout);
                 let start = Instant::now();
-                match DTree::compile_full(instance.lineage.clone(), heuristic, &budget) {
-                    Ok(tree) => {
-                        successes += 1;
-                        times.push(start.elapsed().as_secs_f64());
-                        expansions.push(tree.expansions() as f64);
-                    }
-                    Err(_) => {}
+                if let Ok(tree) = DTree::compile_full(instance.lineage.clone(), heuristic, &budget)
+                {
+                    successes += 1;
+                    times.push(start.elapsed().as_secs_f64());
+                    expansions.push(tree.expansions() as f64);
                 }
             }
-            let mean_time = if times.is_empty() { 0.0 } else { times.iter().sum::<f64>() / times.len() as f64 };
+            let mean_time =
+                if times.is_empty() { 0.0 } else { times.iter().sum::<f64>() / times.len() as f64 };
             let mean_exp = if expansions.is_empty() {
                 0.0
             } else {
@@ -563,8 +551,11 @@ pub fn ablation_heuristic(config: &HarnessConfig) -> String {
 pub fn ablation_adaban(config: &HarnessConfig) -> String {
     use banzhaf::adaban_all;
     let mut table = TextTable::new(["Dataset", "Variant", "Success rate", "Mean time"]);
-    let variants: [(&str, bool, bool); 3] =
-        [("lazy + opt4 (default)", true, true), ("eager bounds", false, true), ("without opt4", true, false)];
+    let variants: [(&str, bool, bool); 3] = [
+        ("lazy + opt4 (default)", true, true),
+        ("eager bounds", false, true),
+        ("without opt4", true, false),
+    ];
     for corpus in config.corpora() {
         for (name, lazy, use_opt4) in variants {
             let mut times = Vec::new();
@@ -582,7 +573,8 @@ pub fn ablation_adaban(config: &HarnessConfig) -> String {
                     times.push(start.elapsed().as_secs_f64());
                 }
             }
-            let mean = if times.is_empty() { 0.0 } else { times.iter().sum::<f64>() / times.len() as f64 };
+            let mean =
+                if times.is_empty() { 0.0 } else { times.iter().sum::<f64>() / times.len() as f64 };
             table.push_row([
                 corpus.name.clone(),
                 name.to_owned(),
@@ -634,11 +626,7 @@ mod tests {
     use std::time::Duration;
 
     fn tiny_config() -> HarnessConfig {
-        HarnessConfig {
-            timeout: Duration::from_millis(50),
-            scale: 1,
-            ..Default::default()
-        }
+        HarnessConfig { timeout: Duration::from_millis(50), scale: 1, ..Default::default() }
     }
 
     #[test]

@@ -1,13 +1,8 @@
 //! Plain-text table rendering and summary statistics.
 
 /// Percentile labels used throughout the paper's runtime tables.
-pub const PERCENTILES: &[(&str, f64)] = &[
-    ("p50", 0.50),
-    ("p75", 0.75),
-    ("p90", 0.90),
-    ("p95", 0.95),
-    ("p99", 0.99),
-];
+pub const PERCENTILES: &[(&str, f64)] =
+    &[("p50", 0.50), ("p75", 0.75), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99)];
 
 /// Summary statistics of a sample of runtimes (in seconds).
 #[derive(Clone, Debug, Default)]
@@ -26,7 +21,10 @@ impl RuntimeSummary {
     /// Computes the summary of a sample (empty samples yield zeros).
     pub fn of(mut samples: Vec<f64>) -> RuntimeSummary {
         if samples.is_empty() {
-            return RuntimeSummary { percentiles: vec![0.0; PERCENTILES.len()], ..Default::default() };
+            return RuntimeSummary {
+                percentiles: vec![0.0; PERCENTILES.len()],
+                ..Default::default()
+            };
         }
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let count = samples.len();

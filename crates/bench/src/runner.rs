@@ -253,11 +253,8 @@ mod tests {
 
     #[test]
     fn run_instance_records_everything_on_small_lineage() {
-        let lineage = Dnf::from_clauses(vec![
-            vec![Var(0), Var(1)],
-            vec![Var(0), Var(2)],
-            vec![Var(3)],
-        ]);
+        let lineage =
+            Dnf::from_clauses(vec![vec![Var(0), Var(1)], vec![Var(0), Var(2)], vec![Var(3)]]);
         let config = small_config();
         let mut rng = StdRng::seed_from_u64(1);
         let record = run_instance("test", "q", &lineage, &config, &mut rng);

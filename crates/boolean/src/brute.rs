@@ -56,10 +56,7 @@ impl Dnf {
 
     /// Exact Banzhaf values of all universe variables, brute force.
     pub fn brute_force_all_banzhaf(&self) -> Vec<(Var, Int)> {
-        self.universe()
-            .iter()
-            .map(|v| (v, self.brute_force_banzhaf(v)))
-            .collect()
+        self.universe().iter().map(|v| (v, self.brute_force_banzhaf(v))).collect()
     }
 
     /// Number of models of each cardinality `k` (used to cross-check the
@@ -83,10 +80,7 @@ impl Dnf {
 
 fn assignment_from_mask(vars: &[Var], mask: u64) -> Assignment {
     Assignment::from_true_vars(
-        vars.iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, &v)| v),
+        vars.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &v)| v),
     )
 }
 

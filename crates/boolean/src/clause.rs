@@ -54,9 +54,7 @@ impl Clause {
     /// Returns a copy of the clause with `v` removed (used when conditioning
     /// on `v := 1` or when factoring out a common variable).
     pub fn without(&self, v: Var) -> Clause {
-        Clause {
-            vars: self.vars.iter().copied().filter(|&u| u != v).collect(),
-        }
+        Clause { vars: self.vars.iter().copied().filter(|&u| u != v).collect() }
     }
 
     /// `true` iff every variable of `self` is contained in `other`

@@ -75,10 +75,7 @@ impl Dnf {
 
     /// The single-variable function `v`.
     pub fn variable(v: Var) -> Self {
-        Dnf {
-            universe: VarSet::from_iter([v]),
-            clauses: vec![Clause::new([v])],
-        }
+        Dnf { universe: VarSet::from_iter([v]), clauses: vec![Clause::new([v])] }
     }
 
     /// The universe the function is defined over.
@@ -169,10 +166,7 @@ impl Dnf {
     /// the choice is deterministic.
     pub fn most_frequent_var(&self) -> Option<Var> {
         let counts = self.occurrence_counts();
-        counts
-            .into_iter()
-            .max_by(|(v1, c1), (v2, c2)| c1.cmp(c2).then(v2.cmp(v1)))
-            .map(|(v, _)| v)
+        counts.into_iter().max_by(|(v1, c1), (v2, c2)| c1.cmp(c2).then(v2.cmp(v1))).map(|(v, _)| v)
     }
 
     /// The first used variable (lowest index), if any. Used by the ablation
@@ -387,7 +381,7 @@ mod tests {
         assert_eq!(a.num_clauses(), 1);
         assert_eq!(a.clauses()[0].vars(), &[v(0)]);
         assert_eq!(a.num_vars(), 2); // Universe is unchanged.
-        // Model counts agree.
+                                     // Model counts agree.
         assert_eq!(phi.brute_force_model_count(), a.brute_force_model_count());
     }
 
@@ -417,7 +411,8 @@ mod tests {
         assert_eq!(Dnf::variable(v(3)).is_single_literal(), Some(v(3)));
         assert_eq!(example9().is_single_literal(), None);
         // A single-clause function over a wider universe is not a literal leaf.
-        let phi = Dnf::from_clauses_with_universe(vec![vec![v(0)]], VarSet::from_iter([v(0), v(1)]));
+        let phi =
+            Dnf::from_clauses_with_universe(vec![vec![v(0)]], VarSet::from_iter([v(0), v(1)]));
         assert_eq!(phi.is_single_literal(), None);
     }
 

@@ -90,10 +90,8 @@ pub fn independent_components(phi: &Dnf) -> Option<Vec<Dnf>> {
             .expect("clause variable must belong to some component");
         components[pos].1.push(c.clone());
     }
-    let mut out: Vec<Dnf> = components
-        .into_iter()
-        .map(|(vs, clauses)| Dnf::from_parts(vs, clauses))
-        .collect();
+    let mut out: Vec<Dnf> =
+        components.into_iter().map(|(vs, clauses)| Dnf::from_parts(vs, clauses)).collect();
     if !unused.is_empty() {
         out.push(Dnf::constant_false(unused));
     }
@@ -194,14 +192,10 @@ mod tests {
         assert!(comps[1].is_false());
         assert_eq!(comps[1].num_vars(), 2);
         // Semantics preserved: disjunction of components equals the original.
-        let rebuilt = comps.iter().fold(
-            Dnf::constant_false(VarSet::empty()),
-            |acc, c| acc.or(c),
-        );
+        let rebuilt = comps.iter().fold(Dnf::constant_false(VarSet::empty()), |acc, c| acc.or(c));
         for mask in 0u32..16 {
-            let assignment = Assignment::from_true_vars(
-                (0..4).filter(|i| mask & (1 << i) != 0).map(v),
-            );
+            let assignment =
+                Assignment::from_true_vars((0..4).filter(|i| mask & (1 << i) != 0).map(v));
             assert_eq!(phi.evaluate(&assignment), rebuilt.evaluate(&assignment));
         }
     }

@@ -50,14 +50,6 @@ impl VarSet {
         VarSet { vars: Vec::new() }
     }
 
-    /// Builds a set from arbitrary (possibly unsorted, duplicated) variables.
-    pub fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
-        let mut vars: Vec<Var> = iter.into_iter().collect();
-        vars.sort_unstable();
-        vars.dedup();
-        VarSet { vars }
-    }
-
     /// Builds a set from a vector that is already sorted and deduplicated.
     ///
     /// # Panics
@@ -138,16 +130,12 @@ impl VarSet {
 
     /// Set difference `self \ other`.
     pub fn difference(&self, other: &VarSet) -> VarSet {
-        VarSet {
-            vars: self.vars.iter().copied().filter(|v| !other.contains(*v)).collect(),
-        }
+        VarSet { vars: self.vars.iter().copied().filter(|v| !other.contains(*v)).collect() }
     }
 
     /// Set intersection.
     pub fn intersection(&self, other: &VarSet) -> VarSet {
-        VarSet {
-            vars: self.vars.iter().copied().filter(|v| other.contains(*v)).collect(),
-        }
+        VarSet { vars: self.vars.iter().copied().filter(|v| other.contains(*v)).collect() }
     }
 
     /// `true` iff the two sets share no variable.
@@ -164,8 +152,12 @@ impl VarSet {
 }
 
 impl FromIterator<Var> for VarSet {
+    /// Builds a set from arbitrary (possibly unsorted, duplicated) variables.
     fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
-        VarSet::from_iter(iter)
+        let mut vars: Vec<Var> = iter.into_iter().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        VarSet { vars }
     }
 }
 

@@ -55,10 +55,7 @@ impl BoundQuad {
 /// Multiplies a signed Banzhaf interval by a non-negative factor interval,
 /// returning the resulting interval. Used for the `⊙` (factor = sibling model
 /// counts) and `⊗` (factor = sibling non-model counts) combination rules.
-fn mul_interval(
-    banzhaf: (&Int, &Int),
-    factor: (&Natural, &Natural),
-) -> (Int, Int) {
+fn mul_interval(banzhaf: (&Int, &Int), factor: (&Natural, &Natural)) -> (Int, Int) {
     let (bl, bu) = banzhaf;
     let (fl, fu) = factor;
     // factor >= 0, so: the minimum is bl*fu when bl < 0, bl*fl otherwise;
@@ -116,9 +113,7 @@ pub fn bounds_for_var(tree: &DTree, x: Var, use_opt4: bool) -> BoundQuad {
                 let b = if *v == x { Int::minus_one() } else { Int::zero() };
                 BoundQuad::exact(b, Natural::one())
             }
-            Node::Op { op, children, num_vars } => {
-                combine(*op, children, *num_vars, &quads, tree)
-            }
+            Node::Op { op, children, num_vars } => combine(*op, children, *num_vars, &quads, tree),
         };
         quads[id.index()] = Some(quad);
     }
@@ -132,7 +127,8 @@ fn combine(
     quads: &[Option<BoundQuad>],
     tree: &DTree,
 ) -> BoundQuad {
-    let child = |c: NodeId| quads[c.index()].as_ref().expect("post-order guarantees children first");
+    let child =
+        |c: NodeId| quads[c.index()].as_ref().expect("post-order guarantees children first");
     match op {
         OpKind::IndependentAnd => {
             // Counts multiply; the Banzhaf interval of each child is scaled by
@@ -160,10 +156,8 @@ fn combine(
                         sib_upper = sib_upper.mul_ref(&child(s).count_upper);
                     }
                 }
-                let (lo, up) = mul_interval(
-                    (&q.banzhaf_lower, &q.banzhaf_upper),
-                    (&sib_lower, &sib_upper),
-                );
+                let (lo, up) =
+                    mul_interval((&q.banzhaf_lower, &q.banzhaf_upper), (&sib_lower, &sib_upper));
                 banzhaf_lower += &lo;
                 banzhaf_upper += &up;
             }
@@ -197,14 +191,14 @@ fn combine(
                     if j != i {
                         let nj = tree.node(s).num_vars();
                         let sq = child(s);
-                        sib_lower = sib_lower.mul_ref(&Natural::pow2(nj).saturating_sub(&sq.count_upper));
-                        sib_upper = sib_upper.mul_ref(&Natural::pow2(nj).saturating_sub(&sq.count_lower));
+                        sib_lower =
+                            sib_lower.mul_ref(&Natural::pow2(nj).saturating_sub(&sq.count_upper));
+                        sib_upper =
+                            sib_upper.mul_ref(&Natural::pow2(nj).saturating_sub(&sq.count_lower));
                     }
                 }
-                let (lo, up) = mul_interval(
-                    (&q.banzhaf_lower, &q.banzhaf_upper),
-                    (&sib_lower, &sib_upper),
-                );
+                let (lo, up) =
+                    mul_interval((&q.banzhaf_lower, &q.banzhaf_upper), (&sib_lower, &sib_upper));
                 banzhaf_lower += &lo;
                 banzhaf_upper += &up;
             }
@@ -279,8 +273,16 @@ mod tests {
         loop {
             for (x, expected) in &exact {
                 let q = bounds_for_var(&tree, *x, true);
-                assert!(&q.banzhaf_lower <= expected, "lower bound violated at step {}", tree.expansions());
-                assert!(expected <= &q.banzhaf_upper, "upper bound violated at step {}", tree.expansions());
+                assert!(
+                    &q.banzhaf_lower <= expected,
+                    "lower bound violated at step {}",
+                    tree.expansions()
+                );
+                assert!(
+                    expected <= &q.banzhaf_upper,
+                    "upper bound violated at step {}",
+                    tree.expansions()
+                );
             }
             if !tree.expand_largest_leaf(PivotHeuristic::MostFrequent) {
                 break;
@@ -325,12 +327,7 @@ mod tests {
 
     #[test]
     fn interval_multiplication_cases() {
-        let cases = [
-            (-2i64, 3i64, 1u64, 4u64),
-            (-5, -1, 2, 3),
-            (1, 6, 0, 2),
-            (0, 0, 5, 9),
-        ];
+        let cases = [(-2i64, 3i64, 1u64, 4u64), (-5, -1, 2, 3), (1, 6, 0, 2), (0, 0, 5, 9)];
         for (bl, bu, fl, fu) in cases {
             let (lo, up) = mul_interval(
                 (&Int::from(bl), &Int::from(bu)),

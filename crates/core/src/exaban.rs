@@ -39,11 +39,8 @@ impl BanzhafResult {
 
     /// Variables sorted by decreasing Banzhaf value (ties by variable index).
     pub fn ranking(&self) -> Vec<(Var, Natural)> {
-        let mut items: Vec<(Var, Natural)> = self
-            .values
-            .iter()
-            .map(|(v, b)| (*v, b.clone()))
-            .collect();
+        let mut items: Vec<(Var, Natural)> =
+            self.values.iter().map(|(v, b)| (*v, b.clone())).collect();
         items.sort_by(|(va, ba), (vb, bb)| bb.cmp(ba).then(va.cmp(vb)));
         items
     }
@@ -204,10 +201,7 @@ pub fn exaban_single(tree: &DTree, x: Var) -> (Int, Natural) {
         banzhaf[id.index()] = b;
         contains[id.index()] = has;
     }
-    (
-        banzhaf[tree.root().index()].clone(),
-        counts[tree.root().index()].clone(),
-    )
+    (banzhaf[tree.root().index()].clone(), counts[tree.root().index()].clone())
 }
 
 /// ExaBan for all variables: one bottom-up model-count pass and one top-down
@@ -347,7 +341,11 @@ mod tests {
     #[test]
     fn matches_brute_force_on_assorted_functions() {
         let functions = vec![
-            banzhaf_boolean::Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)], vec![v(2), v(3)]]),
+            banzhaf_boolean::Dnf::from_clauses(vec![
+                vec![v(0), v(1)],
+                vec![v(1), v(2)],
+                vec![v(2), v(3)],
+            ]),
             banzhaf_boolean::Dnf::from_clauses(vec![
                 vec![v(0), v(1)],
                 vec![v(2), v(3)],
@@ -373,11 +371,7 @@ mod tests {
                 let expected = phi.brute_force_banzhaf(x);
                 let (single, _) = exaban_single(&tree, x);
                 assert_eq!(single, expected, "single {phi} {x}");
-                assert_eq!(
-                    Int::from(all.value(x).unwrap().clone()),
-                    expected,
-                    "all {phi} {x}"
-                );
+                assert_eq!(Int::from(all.value(x).unwrap().clone()), expected, "all {phi} {x}");
             }
         }
     }
@@ -403,15 +397,16 @@ mod tests {
 
     #[test]
     fn constant_functions() {
-        let t = compile(banzhaf_boolean::Dnf::constant_true(
-            banzhaf_boolean::VarSet::from_iter([v(0), v(1)]),
-        ));
+        let t = compile(banzhaf_boolean::Dnf::constant_true(banzhaf_boolean::VarSet::from_iter([
+            v(0),
+            v(1),
+        ])));
         let all = exaban_all(&t);
         assert_eq!(all.model_count.to_u64(), Some(4));
         assert_eq!(all.value(v(0)).unwrap().to_u64(), Some(0));
-        let f = compile(banzhaf_boolean::Dnf::constant_false(
-            banzhaf_boolean::VarSet::from_iter([v(0)]),
-        ));
+        let f = compile(banzhaf_boolean::Dnf::constant_false(banzhaf_boolean::VarSet::from_iter(
+            [v(0)],
+        )));
         let all = exaban_all(&f);
         assert_eq!(all.model_count.to_u64(), Some(0));
         assert_eq!(all.value(v(0)).unwrap().to_u64(), Some(0));

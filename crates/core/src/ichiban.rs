@@ -114,10 +114,7 @@ fn interval_for(tree: &DTree, x: Var, use_opt4: bool) -> ApproxInterval {
 /// bound of `x` — i.e. how many facts certainly dominate `x`.
 fn dominated_by(x: Var, intervals: &HashMap<Var, ApproxInterval>) -> usize {
     let xi = &intervals[&x];
-    intervals
-        .iter()
-        .filter(|(v, i)| **v != x && i.lower > xi.upper)
-        .count()
+    intervals.iter().filter(|(v, i)| **v != x && i.lower > xi.upper).count()
 }
 
 /// Computes the facts with the `k` largest Banzhaf values (Sec. 4.1).
@@ -145,9 +142,10 @@ pub fn ichiban_topk(
 
         let complete = tree.is_complete();
         let separated = active.len() <= k;
-        let epsilon_ok = options.epsilon.as_ref().is_some_and(|eps| {
-            active.iter().all(|x| intervals[x].meets_epsilon(eps))
-        });
+        let epsilon_ok = options
+            .epsilon
+            .as_ref()
+            .is_some_and(|eps| active.iter().all(|x| intervals[x].meets_epsilon(eps)));
         if separated || complete || epsilon_ok {
             let mut order = active.clone();
             order.sort_by(|a, b| {
@@ -198,9 +196,10 @@ pub fn ichiban_rank(
             lo.strictly_below(hi) || lo.certified_tie(hi)
         });
         let complete = tree.is_complete();
-        let epsilon_ok = options.epsilon.as_ref().is_some_and(|eps| {
-            vars.iter().all(|x| intervals[x].meets_epsilon(eps))
-        });
+        let epsilon_ok = options
+            .epsilon
+            .as_ref()
+            .is_some_and(|eps| vars.iter().all(|x| intervals[x].meets_epsilon(eps)));
         if certified || complete || epsilon_ok {
             return Ok(Ranking { order, intervals, certified: certified || complete });
         }
@@ -245,12 +244,9 @@ mod tests {
     }
 
     fn ground_truth_topk(phi: &Dnf, k: usize) -> Vec<Var> {
-        let tree = DTree::compile_full(
-            phi.clone(),
-            PivotHeuristic::MostFrequent,
-            &Budget::unlimited(),
-        )
-        .unwrap();
+        let tree =
+            DTree::compile_full(phi.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
+                .unwrap();
         exaban_all(&tree).top_k(k).into_iter().map(|(v, _)| v).collect()
     }
 
@@ -296,12 +292,9 @@ mod tests {
     #[test]
     fn certain_ranking_matches_exact_ranking_values() {
         let phi = hard_function();
-        let tree_exact = DTree::compile_full(
-            phi.clone(),
-            PivotHeuristic::MostFrequent,
-            &Budget::unlimited(),
-        )
-        .unwrap();
+        let tree_exact =
+            DTree::compile_full(phi.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
+                .unwrap();
         let exact = exaban_all(&tree_exact);
         let mut tree = DTree::from_leaf(phi.clone());
         let ranking =
@@ -310,11 +303,8 @@ mod tests {
         assert_eq!(ranking.order.len(), phi.num_vars());
         // The ranking must be consistent with the exact values: values along
         // the returned order are non-increasing.
-        let values: Vec<_> = ranking
-            .order
-            .iter()
-            .map(|x| exact.value(*x).unwrap().clone())
-            .collect();
+        let values: Vec<_> =
+            ranking.order.iter().map(|x| exact.value(*x).unwrap().clone()).collect();
         for w in values.windows(2) {
             assert!(w[0] >= w[1]);
         }
@@ -329,15 +319,13 @@ mod tests {
     fn epsilon_ranking_orders_by_midpoints() {
         let phi = hard_function();
         let mut tree = DTree::from_leaf(phi.clone());
-        let ranking = ichiban_rank(
-            &mut tree,
-            &IchiBanOptions::with_epsilon_str("0.2"),
-            &Budget::unlimited(),
-        )
-        .unwrap();
+        let ranking =
+            ichiban_rank(&mut tree, &IchiBanOptions::with_epsilon_str("0.2"), &Budget::unlimited())
+                .unwrap();
         assert_eq!(ranking.order.len(), phi.num_vars());
         // Midpoints are non-increasing along the reported order.
-        let mids: Vec<f64> = ranking.order.iter().map(|x| ranking.intervals[x].midpoint()).collect();
+        let mids: Vec<f64> =
+            ranking.order.iter().map(|x| ranking.intervals[x].midpoint()).collect();
         for w in mids.windows(2) {
             assert!(w[0] >= w[1] - 1e-9);
         }
@@ -352,7 +340,8 @@ mod tests {
             ichiban_rank(&mut tree, &IchiBanOptions::certain(), &Budget::unlimited()).unwrap();
         assert!(ranking.certified);
         assert_eq!(ranking.order.len(), 3);
-        let mut tree2 = DTree::from_leaf(Dnf::from_clauses(vec![vec![v(0)], vec![v(1)], vec![v(2)]]));
+        let mut tree2 =
+            DTree::from_leaf(Dnf::from_clauses(vec![vec![v(0)], vec![v(1)], vec![v(2)]]));
         let topk =
             ichiban_topk(&mut tree2, 2, &IchiBanOptions::certain(), &Budget::unlimited()).unwrap();
         assert_eq!(topk.members.len(), 2);

@@ -59,9 +59,7 @@ impl PartialOrd for ShapleyValue {
 impl Ord for ShapleyValue {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b vs c/d with positive denominators: compare a·d vs c·b.
-        self.numer
-            .mul_ref(&other.denom)
-            .cmp(&other.numer.mul_ref(&self.denom))
+        self.numer.mul_ref(&other.denom).cmp(&other.numer.mul_ref(&self.denom))
     }
 }
 
@@ -169,19 +167,20 @@ pub fn critical_counts_all(tree: &DTree) -> HashMap<Var, Vec<Natural>> {
     contexts[tree.root().index()] = vec![Natural::one()];
 
     let mut acc: HashMap<Var, Vec<Int>> = HashMap::new();
-    let add_contribution = |acc: &mut HashMap<Var, Vec<Int>>, v: Var, ctx: &[Natural], negate: bool| {
-        let entry = acc.entry(v).or_insert_with(|| vec![Int::zero(); n]);
-        for (k, c) in ctx.iter().enumerate() {
-            if k < entry.len() && !c.is_zero() {
-                let delta = Int::from(c.clone());
-                if negate {
-                    entry[k] -= &delta;
-                } else {
-                    entry[k] += &delta;
+    let add_contribution =
+        |acc: &mut HashMap<Var, Vec<Int>>, v: Var, ctx: &[Natural], negate: bool| {
+            let entry = acc.entry(v).or_insert_with(|| vec![Int::zero(); n]);
+            for (k, c) in ctx.iter().enumerate() {
+                if k < entry.len() && !c.is_zero() {
+                    let delta = Int::from(c.clone());
+                    if negate {
+                        entry[k] -= &delta;
+                    } else {
+                        entry[k] += &delta;
+                    }
                 }
             }
-        }
-    };
+        };
 
     for id in tree.preorder() {
         let ctx = contexts[id.index()].clone();
@@ -235,8 +234,15 @@ pub fn critical_counts_all(tree: &DTree) -> HashMap<Var, Vec<Natural>> {
             let counts: Vec<Natural> = counts
                 .into_iter()
                 .map(|c| {
-                    debug_assert!(!c.is_negative(), "critical counts of positive lineage are non-negative");
-                    if c.is_negative() { Natural::zero() } else { c.into_magnitude() }
+                    debug_assert!(
+                        !c.is_negative(),
+                        "critical counts of positive lineage are non-negative"
+                    );
+                    if c.is_negative() {
+                        Natural::zero()
+                    } else {
+                        c.into_magnitude()
+                    }
                 })
                 .collect();
             (v, counts)
@@ -272,9 +278,8 @@ pub fn shapley_all(tree: &DTree) -> HashMap<Var, ShapleyValue> {
     let n = tree.num_vars() as u64;
     let denom = Natural::factorial(n);
     // Precompute the coefficients k!·(n−1−k)! for k = 0..n−1.
-    let coeffs: Vec<Natural> = (0..n)
-        .map(|k| Natural::factorial(k).mul_ref(&Natural::factorial(n - 1 - k)))
-        .collect();
+    let coeffs: Vec<Natural> =
+        (0..n).map(|k| Natural::factorial(k).mul_ref(&Natural::factorial(n - 1 - k))).collect();
     critical
         .into_iter()
         .map(|(v, counts)| {

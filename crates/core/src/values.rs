@@ -9,30 +9,21 @@ use std::collections::HashMap;
 /// (Sec. 2 of the paper). Returned as `f64` since it is a reporting quantity.
 pub fn normalized_power(values: &HashMap<Var, Natural>, num_vars: usize) -> HashMap<Var, f64> {
     let denom = Natural::pow2(num_vars.saturating_sub(1)).to_f64();
-    values
-        .iter()
-        .map(|(v, b)| (*v, if denom == 0.0 { 0.0 } else { b.to_f64() / denom }))
-        .collect()
+    values.iter().map(|(v, b)| (*v, if denom == 0.0 { 0.0 } else { b.to_f64() / denom })).collect()
 }
 
 /// The Penrose–Banzhaf *index* of each variable: the raw Banzhaf value divided
 /// by the sum of all Banzhaf values. If all values are zero the index is zero.
 pub fn normalized_index(values: &HashMap<Var, Natural>) -> HashMap<Var, f64> {
     let total: f64 = values.values().map(Natural::to_f64).sum();
-    values
-        .iter()
-        .map(|(v, b)| (*v, if total == 0.0 { 0.0 } else { b.to_f64() / total }))
-        .collect()
+    values.iter().map(|(v, b)| (*v, if total == 0.0 { 0.0 } else { b.to_f64() / total })).collect()
 }
 
 /// ℓ1 distance between two normalized Banzhaf vectors, the accuracy measure of
 /// Table 7 in the paper: both inputs are normalized (to the Penrose–Banzhaf
 /// index) and the absolute differences are summed over the union of their
 /// variables.
-pub fn l1_distance_normalized(
-    estimate: &HashMap<Var, f64>,
-    exact: &HashMap<Var, Natural>,
-) -> f64 {
+pub fn l1_distance_normalized(estimate: &HashMap<Var, f64>, exact: &HashMap<Var, Natural>) -> f64 {
     let exact_total: f64 = exact.values().map(Natural::to_f64).sum();
     let est_total: f64 = estimate.values().map(|v| v.max(0.0)).sum();
     let mut distance = 0.0;
@@ -106,7 +97,7 @@ mod tests {
         let estimate: HashMap<Var, f64> = [(Var(0), 1.0), (Var(1), 3.0)].into_iter().collect();
         let d = l1_distance_normalized(&estimate, &exact);
         assert!((d - 1.0).abs() < 1e-12); // |0.75-0.25| + |0.25-0.75| = 1.
-        // A missing variable counts as estimate zero.
+                                          // A missing variable counts as estimate zero.
         let partial: HashMap<Var, f64> = [(Var(0), 1.0)].into_iter().collect();
         let d = l1_distance_normalized(&partial, &exact);
         assert!(d > 0.0);

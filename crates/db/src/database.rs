@@ -87,9 +87,7 @@ impl Database {
     /// controlled; a duplicate indicates a bug in workload construction).
     pub fn add_relation(&mut self, name: impl Into<String>, arity: usize) {
         let name = name.into();
-        let previous = self
-            .relations
-            .insert(name.clone(), Relation { arity, tuples: Vec::new() });
+        let previous = self.relations.insert(name.clone(), Relation { arity, tuples: Vec::new() });
         assert!(previous.is_none(), "{}", DbError::DuplicateRelation(name));
     }
 
@@ -165,10 +163,7 @@ impl Database {
 
     /// Iterates over all endogenous facts with their ids.
     pub fn endogenous_facts(&self) -> impl Iterator<Item = (FactId, &Fact)> + '_ {
-        self.endogenous
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (FactId(i as u32), f))
+        self.endogenous.iter().enumerate().map(|(i, f)| (FactId(i as u32), f))
     }
 }
 

@@ -135,9 +135,8 @@ impl DTree {
         }
 
         // Step 3: Shannon expansion φ = (y ⊙ φ[y:=1]) ⊕ (¬y ⊙ φ[y:=0]).
-        let pivot = heuristic
-            .pick(&phi)
-            .expect("a non-trivial leaf has at least one used variable");
+        let pivot =
+            heuristic.pick(&phi).expect("a non-trivial leaf has at least one used variable");
         let pos_cof = phi.condition(pivot, true);
         let neg_cof = phi.condition(pivot, false);
 
@@ -157,11 +156,10 @@ impl DTree {
             num_vars,
         });
 
-        self.replace(id, Node::Op {
-            op: OpKind::Exclusive,
-            children: vec![pos_branch, neg_branch],
-            num_vars,
-        });
+        self.replace(
+            id,
+            Node::Op { op: OpKind::Exclusive, children: vec![pos_branch, neg_branch], num_vars },
+        );
         vec![pos_leaf, neg_leaf]
     }
 }
@@ -200,7 +198,8 @@ mod tests {
     fn example9_compiles_by_factoring() {
         // (x ∧ y) ∨ (x ∧ z) = x ⊙ (y ⊗ z): no Shannon expansion needed.
         let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
-        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        let t =
+            DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
         assert!(t.is_complete());
         let s = t.stats();
         assert_eq!(s.exclusive, 0, "hierarchical-style lineage needs no Shannon step");
@@ -213,7 +212,8 @@ mod tests {
     fn non_hierarchical_lineage_needs_shannon() {
         // (x0 ∧ x1) ∨ (x1 ∧ x2) ∨ (x2 ∧ x3): connected, no common variable.
         let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)], vec![v(2), v(3)]]);
-        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        let t =
+            DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
         assert!(t.is_complete());
         assert!(t.stats().exclusive >= 1);
         assert_structure_sound(&t);
@@ -222,7 +222,8 @@ mod tests {
     #[test]
     fn single_clause_factors_to_literals() {
         let phi = Dnf::from_clauses(vec![vec![v(0), v(1), v(2)]]);
-        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        let t =
+            DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
         assert!(t.is_complete());
         let s = t.stats();
         assert_eq!(s.exclusive, 0);
@@ -237,7 +238,8 @@ mod tests {
             vec![vec![v(0), v(1)], vec![v(1), v(2)]],
             VarSet::from_iter([v(0), v(1), v(2), v(3), v(4)]),
         );
-        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        let t =
+            DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
         assert!(t.is_complete());
         assert_eq!(t.num_vars(), 5);
         assert_structure_sound(&t);
@@ -246,11 +248,11 @@ mod tests {
     #[test]
     fn budget_interrupts_compilation() {
         // A function whose compilation requires several Shannon expansions.
-        let clauses: Vec<Vec<Var>> = (0..12)
-            .map(|i| vec![v(i), v((i + 1) % 12), v((i + 5) % 12)])
-            .collect();
+        let clauses: Vec<Vec<Var>> =
+            (0..12).map(|i| vec![v(i), v((i + 1) % 12), v((i + 5) % 12)]).collect();
         let phi = Dnf::from_clauses(clauses);
-        let err = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::with_max_steps(2));
+        let err =
+            DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::with_max_steps(2));
         assert_eq!(err.unwrap_err(), Interrupted);
     }
 

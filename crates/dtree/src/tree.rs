@@ -73,12 +73,10 @@ impl DTree {
     /// iDNF bounds are typically loosest, so decomposing it tightens the
     /// overall approximation interval the most.
     pub fn largest_non_trivial_leaf(&self) -> Option<NodeId> {
-        self.non_trivial_leaves()
-            .into_iter()
-            .max_by_key(|id| match self.node(*id) {
-                Node::Leaf(dnf) => (dnf.size(), dnf.num_clauses()),
-                _ => (0, 0),
-            })
+        self.non_trivial_leaves().into_iter().max_by_key(|id| match self.node(*id) {
+            Node::Leaf(dnf) => (dnf.size(), dnf.num_clauses()),
+            _ => (0, 0),
+        })
     }
 
     /// `true` iff the d-tree is complete: every reachable leaf is a constant
@@ -259,7 +257,8 @@ mod tests {
     #[test]
     fn traversal_orders_cover_all_nodes() {
         let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(2), v(3)], vec![v(4), v(5)]]);
-        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        let t =
+            DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
         let post = t.postorder();
         let pre = t.preorder();
         assert_eq!(post.len(), t.num_nodes());
@@ -287,7 +286,8 @@ mod tests {
     #[test]
     fn stats_and_render() {
         let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
-        let t = DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        let t =
+            DTree::compile_full(phi, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
         let s = t.stats();
         assert!(s.leaves >= 2);
         assert_eq!(s.leaves, s.trivial_leaves);

@@ -169,10 +169,7 @@ impl ConjunctiveQuery {
 
     /// The existential (bound) variables: those not in the head.
     pub fn bound_variables(&self) -> Vec<String> {
-        self.variables()
-            .into_iter()
-            .filter(|v| !self.head.contains(v))
-            .collect()
+        self.variables().into_iter().filter(|v| !self.head.contains(v)).collect()
     }
 }
 

@@ -52,11 +52,7 @@ pub fn parse_program(input: &str) -> Result<UnionQuery, ParseError> {
         .filter(|line| !line.trim_start().starts_with('%'))
         .collect::<Vec<_>>()
         .join("\n");
-    let rules: Vec<&str> = stripped
-        .split('.')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect();
+    let rules: Vec<&str> = stripped.split('.').map(str::trim).filter(|s| !s.is_empty()).collect();
     if rules.is_empty() {
         return Err(ParseError::new("empty program"));
     }
@@ -113,12 +109,9 @@ fn parse_rule(rule: &str) -> Result<ConjunctiveQuery, ParseError> {
 }
 
 fn parse_head(head: &str) -> Result<(String, Vec<String>), ParseError> {
-    let open = head
-        .find('(')
-        .ok_or_else(|| ParseError::new(format!("malformed head: {head}")))?;
-    let close = head
-        .rfind(')')
-        .ok_or_else(|| ParseError::new(format!("malformed head: {head}")))?;
+    let open = head.find('(').ok_or_else(|| ParseError::new(format!("malformed head: {head}")))?;
+    let close =
+        head.rfind(')').ok_or_else(|| ParseError::new(format!("malformed head: {head}")))?;
     let name = head[..open].trim();
     if name.is_empty() {
         return Err(ParseError::new("head predicate name is empty"));
@@ -177,9 +170,8 @@ fn split_top_level(body: &str) -> Vec<String> {
 
 fn parse_atom(item: &str) -> Result<Atom, ParseError> {
     let open = item.find('(').expect("caller checked");
-    let close = item
-        .rfind(')')
-        .ok_or_else(|| ParseError::new(format!("missing ')' in atom: {item}")))?;
+    let close =
+        item.rfind(')').ok_or_else(|| ParseError::new(format!("missing ')' in atom: {item}")))?;
     let relation = item[..open].trim();
     if relation.is_empty() {
         return Err(ParseError::new(format!("missing relation name in atom: {item}")));

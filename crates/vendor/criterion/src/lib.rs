@@ -1,0 +1,234 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so this
+//! workspace-local crate provides a small wall-clock benchmarking harness with
+//! the same surface the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`bench_function`, `bench_with_input`, `sample_size`,
+//! `finish`), [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurements are simple: per sample, the closure is run once and timed
+//! with [`std::time::Instant`]; the harness reports min/mean/median over
+//! `sample_size` samples after a few warm-up runs. There is no statistical
+//! analysis, outlier detection, or HTML report. Set the environment variable
+//! `CRITERION_QUICK=1` (the CI smoke job does) to cap samples at 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier that prevents the optimizer from deleting the
+/// benchmarked computation.
+///
+/// Without inline assembly (this crate forbids `unsafe`), the strongest safe
+/// barrier is a read through a volatile-like opaque function boundary; a
+/// `#[inline(never)]` identity function is sufficient to keep the paper's
+/// workloads from being constant-folded.
+#[inline(never)]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a function name plus the input
+/// parameter it was run with.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(name: S, parameter: P) -> Self {
+        BenchmarkId { name: name.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine` by running it repeatedly and recording wall-clock
+    /// durations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run a few iterations untimed so lazy initialization and
+        // cache effects do not dominate the first sample.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher =
+            Bencher { samples: Vec::new(), sample_size: self.effective_sample_size() };
+        routine(&mut bencher);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher =
+            Bencher { samples: Vec::new(), sample_size: self.effective_sample_size() };
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Finishes the group (prints a trailing newline for readability).
+    pub fn finish(&mut self) {
+        if !self.criterion.quiet {
+            println!();
+        }
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if std::env::var_os("CRITERION_QUICK").is_some() {
+            self.sample_size.min(10)
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn report(&mut self, id: &str, samples: &[Duration]) {
+        if self.criterion.quiet || samples.is_empty() {
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{}/{:<40} min {:>12?}  mean {:>12?}  median {:>12?}  ({} samples)",
+            self.name,
+            id,
+            sorted[0],
+            mean,
+            median,
+            sorted.len()
+        );
+    }
+}
+
+/// The benchmark harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    quiet: bool,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut criterion = Criterion { quiet: true };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        // 2 warm-up runs + 5 samples.
+        assert_eq!(ran, 7);
+    }
+
+    #[test]
+    fn id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("mul", 256).to_string(), "mul/256");
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

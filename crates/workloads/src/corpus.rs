@@ -51,11 +51,7 @@ impl Corpus {
 
     /// Adds an instance.
     pub fn push(&mut self, query: impl Into<String>, answer: impl Into<String>, lineage: Dnf) {
-        self.instances.push(Instance {
-            query: query.into(),
-            answer: answer.into(),
-            lineage,
-        });
+        self.instances.push(Instance { query: query.into(), answer: answer.into(), lineage });
     }
 
     /// The distinct query names, in first-seen order.

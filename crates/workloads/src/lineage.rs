@@ -100,7 +100,8 @@ mod tests {
 
     #[test]
     fn generated_lineage_respects_shape() {
-        let shape = LineageShape { num_vars: 30, num_clauses: 12, min_width: 2, max_width: 3, skew: 0.3 };
+        let shape =
+            LineageShape { num_vars: 30, num_clauses: 12, min_width: 2, max_width: 3, skew: 0.3 };
         let generator = LineageGenerator::new(shape);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
@@ -131,13 +132,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let uniform = LineageGenerator::new(uniform_shape).generate(&mut rng);
         let skewed = LineageGenerator::new(skewed_shape).generate(&mut rng);
-        let max_occurrence = |phi: &Dnf| phi.occurrence_counts().values().copied().max().unwrap_or(0);
+        let max_occurrence =
+            |phi: &Dnf| phi.occurrence_counts().values().copied().max().unwrap_or(0);
         assert!(max_occurrence(&skewed) > max_occurrence(&uniform));
     }
 
     #[test]
     #[should_panic(expected = "clause width exceeds")]
     fn invalid_shape_panics() {
-        LineageGenerator::new(LineageShape { num_vars: 2, num_clauses: 1, min_width: 1, max_width: 5, skew: 0.0 });
+        LineageGenerator::new(LineageShape {
+            num_vars: 2,
+            num_clauses: 1,
+            min_width: 1,
+            max_width: 5,
+            skew: 0.0,
+        });
     }
 }

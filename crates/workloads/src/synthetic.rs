@@ -128,8 +128,11 @@ pub fn imdb_like(spec: &DatasetSpec) -> Corpus {
     for m in 0..movies {
         let year = 1990 + rng.gen_range(0..30) as i64;
         db.insert_endogenous("Movie", vec![Value::from(m as i64), Value::from(year)]).unwrap();
-        db.insert_exogenous("Genre", vec![Value::from(m as i64), Value::from(rng.gen_range(0..5) as i64)])
-            .unwrap();
+        db.insert_exogenous(
+            "Genre",
+            vec![Value::from(m as i64), Value::from(rng.gen_range(0..5) as i64)],
+        )
+        .unwrap();
     }
     for a in 0..actors {
         db.insert_endogenous("Actor", vec![Value::from(a as i64)]).unwrap();
@@ -168,11 +171,13 @@ pub fn imdb_like(spec: &DatasetSpec) -> Corpus {
 /// each answer accumulates a large, fairly symmetric lineage.
 pub fn tpch_like(spec: &DatasetSpec) -> Corpus {
     let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(2));
-    let nations = 5;
+    // Few nations and many line items so that same-nation joins accumulate
+    // large, fairly symmetric lineages — the TPC-H column of Table 1.
+    let nations = 4;
     let suppliers = 10 * spec.scale;
     let customers = 15 * spec.scale;
     let orders = 30 * spec.scale;
-    let lineitems = 60 * spec.scale;
+    let lineitems = 90 * spec.scale;
 
     let mut db = Database::new();
     db.add_relation("Nation", 1);
@@ -185,12 +190,18 @@ pub fn tpch_like(spec: &DatasetSpec) -> Corpus {
         db.insert_exogenous("Nation", vec![Value::from(n as i64)]).unwrap();
     }
     for s in 0..suppliers {
-        db.insert_endogenous("Supplier", vec![Value::from(s as i64), Value::from(rng.gen_range(0..nations) as i64)])
-            .unwrap();
+        db.insert_endogenous(
+            "Supplier",
+            vec![Value::from(s as i64), Value::from(rng.gen_range(0..nations) as i64)],
+        )
+        .unwrap();
     }
     for c in 0..customers {
-        db.insert_endogenous("Customer", vec![Value::from(c as i64), Value::from(rng.gen_range(0..nations) as i64)])
-            .unwrap();
+        db.insert_endogenous(
+            "Customer",
+            vec![Value::from(c as i64), Value::from(rng.gen_range(0..nations) as i64)],
+        )
+        .unwrap();
     }
     for o in 0..orders {
         let c = rng.gen_range(0..customers) as i64;

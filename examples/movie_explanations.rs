@@ -33,10 +33,8 @@ fn main() {
     }
 
     // Which directors work with actor 100 on a post-2000 movie?
-    let query = parse_program(
-        "Q(D) :- Directs(D, M), ActsIn(100, M), Movie(M, Y), Y >= 2000.",
-    )
-    .unwrap();
+    let query =
+        parse_program("Q(D) :- Directs(D, M), ActsIn(100, M), Movie(M, Y), Y >= 2000.").unwrap();
     println!("query:\n{query}");
     let result = evaluate(&query, &db);
 
@@ -58,16 +56,13 @@ fn main() {
         println!("  contributions (Banzhaf | Shapley):");
         for (var, value) in banzhaf.ranking() {
             let fact = db.fact(FactId(var.0)).unwrap();
-            println!(
-                "    {fact:<24} {value:>4}  |  {:.4}",
-                shapley[&var].to_f64()
-            );
+            println!("    {fact:<24} {value:>4}  |  {:.4}", shapley[&var].to_f64());
         }
 
         // The single most influential fact, certified without exact values.
         let mut tree = DTree::from_leaf(lineage);
-        let top = ichiban_topk(&mut tree, 1, &IchiBanOptions::certain(), &Budget::unlimited())
-            .unwrap();
+        let top =
+            ichiban_topk(&mut tree, 1, &IchiBanOptions::certain(), &Budget::unlimited()).unwrap();
         let top_fact = db.fact(FactId(top.members[0].0)).unwrap();
         println!("  most influential fact (IchiBan top-1): {top_fact}\n");
     }

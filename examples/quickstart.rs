@@ -33,8 +33,9 @@ fn main() {
     println!("\nlineage: {lineage}");
 
     // 4. Compile the lineage into a d-tree and run ExaBan.
-    let tree = DTree::compile_full(lineage.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
-        .expect("unbounded budget cannot be interrupted");
+    let tree =
+        DTree::compile_full(lineage.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
+            .expect("unbounded budget cannot be interrupted");
     println!("\nd-tree:\n{}", tree.render());
     let exact = exaban_all(&tree);
     println!("model count #φ = {}", exact.model_count);
@@ -62,8 +63,8 @@ fn main() {
 
     // 6. Top-2 facts with IchiBan (certain mode).
     let mut topk_tree = DTree::from_leaf(lineage);
-    let topk = ichiban_topk(&mut topk_tree, 2, &IchiBanOptions::certain(), &Budget::unlimited())
-        .unwrap();
+    let topk =
+        ichiban_topk(&mut topk_tree, 2, &IchiBanOptions::certain(), &Budget::unlimited()).unwrap();
     println!("\nIchiBan certified top-2 facts:");
     for var in topk.members {
         println!("  {}", db.fact(FactId(var.0)).unwrap());

@@ -44,10 +44,7 @@ fn main() {
             ranked.sort_by(|a, b| b.1.midpoint().partial_cmp(&a.1.midpoint()).unwrap());
             println!("\ntop 10 facts by approximate Banzhaf value (ε = 0.1):");
             for (var, interval) in ranked.into_iter().take(10) {
-                println!(
-                    "  fact f{:<4} Banzhaf ∈ [{}, {}]",
-                    var.0, interval.lower, interval.upper
-                );
+                println!("  fact f{:<4} Banzhaf ∈ [{}, {}]", var.0, interval.lower, interval.upper);
             }
         }
         Err(Interrupted) => {

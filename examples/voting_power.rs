@@ -21,9 +21,7 @@ fn minimal_winning_coalitions(weights: &[u64], quota: u64) -> Vec<Vec<Var>> {
             continue;
         }
         // Minimal: removing any single member drops below the quota.
-        let minimal = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .all(|i| total - weights[i] < quota);
+        let minimal = (0..n).filter(|i| mask & (1 << i) != 0).all(|i| total - weights[i] < quota);
         if minimal {
             winning.push((0..n).filter(|i| mask & (1 << i) != 0).map(|i| Var(i as u32)).collect());
         }
@@ -44,8 +42,9 @@ fn main() {
 
     // The game as a positive DNF: one clause per minimal winning coalition.
     let game = Dnf::from_clauses(coalitions);
-    let tree = DTree::compile_full(game.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
-        .expect("unbounded budget");
+    let tree =
+        DTree::compile_full(game.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
+            .expect("unbounded budget");
     let banzhaf = exaban_all(&tree);
     let shapley = shapley_all(&tree);
     let power = normalized_power(&banzhaf.values, game.num_vars());

@@ -65,8 +65,8 @@ fn full_pipeline_on_paper_running_example() {
 
     // The most influential facts are R and T (tied), certified by IchiBan.
     let mut topk_tree = DTree::from_leaf(lineage);
-    let topk = ichiban_topk(&mut topk_tree, 2, &IchiBanOptions::certain(), &Budget::unlimited())
-        .unwrap();
+    let topk =
+        ichiban_topk(&mut topk_tree, 2, &IchiBanOptions::certain(), &Budget::unlimited()).unwrap();
     assert!(topk.certified);
     assert!(topk.members.contains(&Var(r.0)));
     assert!(topk.members.contains(&Var(t.0)));
@@ -204,24 +204,57 @@ fn union_queries_and_exogenous_facts() {
     db.insert_endogenous("Directs", vec![7.into(), 1.into()]).unwrap();
     db.insert_exogenous("Genre", vec![0.into(), 1.into()]).unwrap();
 
-    let query = parse_program(
-        "Q(M) :- Movie(M, Y), Y >= 2015. Q(M) :- Directs(7, M), Movie(M, Y).",
-    )
-    .unwrap();
+    let query =
+        parse_program("Q(M) :- Movie(M, Y), Y >= 2015. Q(M) :- Directs(7, M), Movie(M, Y).")
+            .unwrap();
     let result = evaluate(&query, &db);
     assert_eq!(result.answers().len(), 2);
     // The answer produced by the second disjunct depends on two facts.
     let lineage = result.lineage_of(&[Value::from(1)]).unwrap();
     assert_eq!(lineage.num_vars(), 2);
-    let tree = DTree::compile_full(
-        lineage.clone(),
-        PivotHeuristic::MostFrequent,
-        &Budget::unlimited(),
-    )
-    .unwrap();
+    let tree =
+        DTree::compile_full(lineage.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
+            .unwrap();
     let values = exaban_all(&tree);
     for v in lineage.universe().iter() {
         assert_eq!(values.value(v).unwrap().to_u64(), Some(1));
+    }
+}
+
+#[test]
+fn exaban_and_sig22_agree_on_random_dnfs() {
+    // Regression guard for the baseline wiring: the paper's exact algorithm
+    // (DNF d-tree compilation) and the Sig22 competitor (CNF encoding + DPLL)
+    // must produce identical model counts and Banzhaf values on random small
+    // DNFs, which are also cross-checked against brute force.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for round in 0..20u64 {
+        let shape = LineageShape {
+            num_vars: 4 + (round as usize % 9),
+            num_clauses: 2 + (round as usize % 7),
+            min_width: 1,
+            max_width: 3,
+            skew: 0.5,
+        };
+        let phi = LineageGenerator::new(shape).generate(&mut rng);
+        let tree =
+            DTree::compile_full(phi.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
+                .unwrap();
+        let exact = exaban_all(&tree);
+        let sig = sig22_exact(&phi, &Budget::unlimited()).unwrap();
+        assert_eq!(exact.model_count, sig.model_count, "model counts differ on round {round}");
+        assert_eq!(exact.model_count, phi.brute_force_model_count());
+        for v in phi.universe().iter() {
+            assert_eq!(
+                exact.value(v),
+                sig.value(v),
+                "Banzhaf values differ for {v:?} on round {round}"
+            );
+            assert_eq!(Int::from(exact.value(v).unwrap().clone()), phi.brute_force_banzhaf(v));
+        }
     }
 }
 

@@ -9,10 +9,13 @@ use proptest::prelude::*;
 /// brute-force verification stays feasible.
 fn small_dnf() -> impl Strategy<Value = Dnf> {
     // Between 1 and 8 clauses, each with 1..=3 variables drawn from 8.
-    proptest::collection::vec(proptest::collection::vec(0u32..8, 1..=3), 1..=8)
-        .prop_map(|clauses| {
-            Dnf::from_clauses(clauses.into_iter().map(|c| c.into_iter().map(Var).collect::<Vec<_>>()))
-        })
+    proptest::collection::vec(proptest::collection::vec(0u32..8, 1..=3), 1..=8).prop_map(
+        |clauses| {
+            Dnf::from_clauses(
+                clauses.into_iter().map(|c| c.into_iter().map(Var).collect::<Vec<_>>()),
+            )
+        },
+    )
 }
 
 proptest! {
