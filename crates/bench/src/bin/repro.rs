@@ -8,8 +8,9 @@
 //! ```
 //!
 //! Experiments: `table1 table2 table3 table4 fig4 table5 table6 table7 fig5
-//! table8 table9 app_d ablation_heuristic ablation_adaban`.
-//! Sweep-based experiments share one sweep per invocation.
+//! table8 table9 app_d ablation_heuristic ablation_adaban engine_cache`.
+//! Sweep-based experiments share one sweep per invocation; every experiment
+//! dispatches its algorithms through `banzhaf_engine::Attributor`.
 
 use banzhaf_bench::experiments;
 use banzhaf_bench::runner::{run_sweep, HarnessConfig};
@@ -31,13 +32,14 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "app_d",
     "ablation_heuristic",
     "ablation_adaban",
+    "engine_cache",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] <experiment>... | --all");
-        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban");
+        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache");
         std::process::exit(1);
     }
 
@@ -122,6 +124,7 @@ fn main() {
             "app_d" => experiments::app_d(),
             "ablation_heuristic" => experiments::ablation_heuristic(&config),
             "ablation_adaban" => experiments::ablation_adaban(&config),
+            "engine_cache" => experiments::engine_cache(&config),
             other => unreachable!("experiment {other} was validated against KNOWN_EXPERIMENTS"),
         };
         println!("{report}");

@@ -5,18 +5,14 @@
 //! the paper-vs-measured record in EXPERIMENTS.md.
 
 use crate::report::{percent, RuntimeSummary, TextTable, PERCENTILES};
-use crate::runner::{by_corpus, run_sweep, HarnessConfig, InstanceRecord};
-use banzhaf::{
-    adaban, critical_counts_all, exaban_all, l1_distance_normalized, shapley_all, AdaBanOptions,
-    Budget, DTree, PivotHeuristic, Var,
-};
-use banzhaf_baselines::{mc_banzhaf, rank_estimates, rank_proxy, McOptions};
+use crate::runner::{by_corpus, compare_cache, run_sweep, HarnessConfig, InstanceRecord};
+use banzhaf::{critical_counts_all, l1_distance_normalized, Budget, DTree, PivotHeuristic, Var};
+use banzhaf_baselines::{rank_estimates, rank_proxy};
 use banzhaf_boolean::Dnf;
 use banzhaf_db::Database;
-use banzhaf_query::{evaluate, parse_program};
+use banzhaf_engine::{Algorithm, Engine, EngineConfig};
+use banzhaf_query::parse_program;
 use banzhaf_workloads::Corpus;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -276,34 +272,38 @@ pub fn fig5(records: &[InstanceRecord], config: &HarnessConfig) -> String {
         let target_value = target_value.to_f64().max(1e-12);
 
         let mut table = TextTable::new(["Algorithm", "Setting", "Time", "Observed error"]);
-        // AdaBan with a decreasing error schedule, reusing the same d-tree.
-        let mut tree = DTree::from_leaf(lineage.clone());
-        let mut elapsed = 0.0;
+        // AdaBan with a decreasing error schedule, targeting only the tracked
+        // variable through the engine's single-variable entry point. Each row
+        // is an independent from-scratch run, so "Time" is the cost of
+        // reaching that precision directly; the anytime property shows as the
+        // cost growing with the requested precision.
         for eps in ["0.5", "0.25", "0.1", "0.05", "0.01", "0"] {
+            let attributor =
+                EngineConfig::new(Algorithm::AdaBan).with_epsilon_str(eps).attributor();
             let start = Instant::now();
-            let options = AdaBanOptions::with_epsilon_str(eps);
-            let interval = adaban(&mut tree, target, &options, &Budget::unlimited())
+            let score = attributor
+                .attribute_var(lineage, target, &Budget::unlimited())
                 .expect("unbounded budget");
-            elapsed += start.elapsed().as_secs_f64();
-            let err = (interval.midpoint() - target_value).abs() / target_value;
+            let secs = start.elapsed().as_secs_f64();
+            let err = (score.point() - target_value).abs() / target_value;
             table.push_row([
                 "AdaBan".to_owned(),
                 format!("ε={eps}"),
-                crate::report::format_secs(elapsed),
+                crate::report::format_secs(secs),
                 format!("{err:.3e}"),
             ]);
         }
         // Monte Carlo with a growing sample schedule.
-        let mut rng = StdRng::seed_from_u64(config.seed + idx as u64);
         for samples in [10u64, 50, 250, 1000, 4000] {
+            let mut engine_config = EngineConfig::new(Algorithm::MonteCarlo)
+                .with_seed(config.seed + idx as u64 + samples);
+            engine_config.mc_samples_per_var = samples;
+            let attributor = engine_config.attributor();
             let start = Instant::now();
-            let estimates = mc_banzhaf(
-                lineage,
-                &McOptions { samples_per_var: samples },
-                &mut rng,
-                &Budget::unlimited(),
-            )
-            .expect("unbounded budget");
+            let estimates = attributor
+                .attribute(lineage, &Budget::unlimited())
+                .expect("unbounded budget")
+                .estimates();
             let secs = start.elapsed().as_secs_f64();
             let err = (estimates[&target] - target_value).abs() / target_value;
             table.push_row([
@@ -396,9 +396,9 @@ pub fn table8(records: &[InstanceRecord], config: &HarnessConfig) -> String {
 
 /// Table 9 (App. E): the certain top-k variant of IchiBan.
 pub fn table9(config: &HarnessConfig) -> String {
-    use banzhaf::{ichiban_topk, IchiBanOptions};
     let mut out = String::from("Table 9 — certain top-k (IchiBan without ε)\n");
     let mut table = TextTable::new(["Dataset", "k", "Success rate", "Mean", "p50", "p90", "Max"]);
+    let attributor = config.engine_config(Algorithm::IchiBan).certain().attributor();
     for corpus in config.corpora() {
         for k in [1usize, 3, 5, 10] {
             let mut times = Vec::new();
@@ -410,9 +410,8 @@ pub fn table9(config: &HarnessConfig) -> String {
                 }
                 total += 1;
                 let budget = Budget::with_timeout(config.timeout);
-                let mut tree = DTree::from_leaf(instance.lineage.clone());
                 let start = Instant::now();
-                let result = ichiban_topk(&mut tree, k, &IchiBanOptions::certain(), &budget);
+                let result = attributor.top_k(&instance.lineage, k, &budget);
                 let secs = start.elapsed().as_secs_f64();
                 if result.is_ok() {
                     successes += 1;
@@ -460,13 +459,18 @@ pub fn app_d() -> String {
         db.insert_endogenous("T", vec![a2.into(), b.into()]).unwrap();
     }
     let query = parse_program("Q() :- R(X), S(X, Y), T(X, Z).").unwrap();
-    let result = evaluate(&query, &db);
-    let lineage = &result.answers()[0].lineage;
+    // The engine computes both measures on one compiled d-tree; the per-size
+    // critical-count breakdown is a core-level analysis the result type does
+    // not carry, so it is recomputed from the lineage below.
+    let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_shapley(true));
+    let explained = engine.session().explain(&query, &db).expect("unbounded budget");
+    let answer = &explained.answers[0];
+    let lineage = &answer.lineage;
+    let banzhaf = answer.attribution.exact_values().expect("ExaBan is exact");
+    let shapley = answer.attribution.shapley.as_ref().expect("Shapley requested");
     let tree =
         DTree::compile_full(lineage.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
             .expect("unbounded budget");
-    let banzhaf = exaban_all(&tree);
-    let shapley = shapley_all(&tree);
     let critical = critical_counts_all(&tree);
 
     let var_r1 = Var(r1.0);
@@ -487,15 +491,14 @@ pub fn app_d() -> String {
     out.push_str(&table.render());
     out.push_str(&format!(
         "\nBanzhaf(R(a1)) = {}   Banzhaf(R(a2)) = {}\n",
-        banzhaf.value(var_r1).unwrap(),
-        banzhaf.value(var_r2).unwrap()
+        banzhaf[&var_r1], banzhaf[&var_r2]
     ));
     out.push_str(&format!(
         "Shapley(R(a1)) = {:.4}   Shapley(R(a2)) = {:.4}\n",
         shapley[&var_r1].to_f64(),
         shapley[&var_r2].to_f64()
     ));
-    let banzhaf_prefers_a1 = banzhaf.value(var_r1) > banzhaf.value(var_r2);
+    let banzhaf_prefers_a1 = banzhaf[&var_r1] > banzhaf[&var_r2];
     let shapley_prefers_a1 = shapley[&var_r1] > shapley[&var_r2];
     out.push_str(&format!(
         "Banzhaf ranks R(a1) {} R(a2); Shapley ranks R(a1) {} R(a2) — the rankings {}.\n",
@@ -515,17 +518,21 @@ pub fn ablation_heuristic(config: &HarnessConfig) -> String {
             ("most-frequent", PivotHeuristic::MostFrequent),
             ("first-variable", PivotHeuristic::FirstVariable),
         ] {
+            let attributor = {
+                let mut engine_config = config.engine_config(Algorithm::ExaBan);
+                engine_config.heuristic = heuristic;
+                engine_config.attributor()
+            };
             let mut times = Vec::new();
             let mut expansions = Vec::new();
             let mut successes = 0usize;
             for instance in &corpus.instances {
                 let budget = Budget::with_timeout(config.timeout);
                 let start = Instant::now();
-                if let Ok(tree) = DTree::compile_full(instance.lineage.clone(), heuristic, &budget)
-                {
+                if let Ok(attribution) = attributor.attribute(&instance.lineage, &budget) {
                     successes += 1;
                     times.push(start.elapsed().as_secs_f64());
-                    expansions.push(tree.expansions() as f64);
+                    expansions.push(attribution.stats.compile_steps as f64);
                 }
             }
             let mean_time =
@@ -549,7 +556,6 @@ pub fn ablation_heuristic(config: &HarnessConfig) -> String {
 
 /// Ablation: AdaBan lazy vs eager bound recomputation, and optimization (4).
 pub fn ablation_adaban(config: &HarnessConfig) -> String {
-    use banzhaf::adaban_all;
     let mut table = TextTable::new(["Dataset", "Variant", "Success rate", "Mean time"]);
     let variants: [(&str, bool, bool); 3] = [
         ("lazy + opt4 (default)", true, true),
@@ -558,17 +564,18 @@ pub fn ablation_adaban(config: &HarnessConfig) -> String {
     ];
     for corpus in config.corpora() {
         for (name, lazy, use_opt4) in variants {
+            let attributor = {
+                let mut engine_config = config.engine_config(Algorithm::AdaBan);
+                engine_config.lazy_bounds = lazy;
+                engine_config.opt4 = use_opt4;
+                engine_config.attributor()
+            };
             let mut times = Vec::new();
             let mut successes = 0usize;
             for instance in &corpus.instances {
-                let vars: Vec<Var> = instance.lineage.universe().iter().collect();
-                let mut options = AdaBanOptions::with_epsilon_str(&config.epsilon);
-                options.lazy = lazy;
-                options.use_opt4 = use_opt4;
                 let budget = Budget::with_timeout(config.timeout);
-                let mut tree = DTree::from_leaf(instance.lineage.clone());
                 let start = Instant::now();
-                if adaban_all(&mut tree, &vars, &options, &budget).is_ok() {
+                if attributor.attribute(&instance.lineage, &budget).is_ok() {
                     successes += 1;
                     times.push(start.elapsed().as_secs_f64());
                 }
@@ -584,6 +591,35 @@ pub fn ablation_adaban(config: &HarnessConfig) -> String {
         }
     }
     format!("Ablation — AdaBan optimizations (Sec. 3.2.4)\n{}", table.render())
+}
+
+/// Engine ablation: the effect of the session d-tree cache (keyed by
+/// canonical lineage) on the total knowledge-compilation work per corpus.
+pub fn engine_cache(config: &HarnessConfig) -> String {
+    let mut table = TextTable::new([
+        "Dataset",
+        "Instances",
+        "Cache hits",
+        "Steps (cached)",
+        "Steps (uncached)",
+        "Saved",
+    ]);
+    for corpus in config.corpora() {
+        let lineages: Vec<&Dnf> = corpus.instances.iter().map(|i| &i.lineage).collect();
+        let cmp = compare_cache(&lineages, config);
+        table.push_row([
+            corpus.name.clone(),
+            cmp.instances.to_string(),
+            cmp.cache_hits.to_string(),
+            cmp.cached_steps.to_string(),
+            cmp.uncached_steps.to_string(),
+            percent(
+                (cmp.uncached_steps - cmp.cached_steps.min(cmp.uncached_steps)) as usize,
+                cmp.uncached_steps.max(1) as usize,
+            ),
+        ]);
+    }
+    format!("Engine — d-tree cache effect (ExaBan, canonical-lineage keying)\n{}", table.render())
 }
 
 /// Runs the full sweep once and renders all sweep-based tables.
@@ -617,6 +653,8 @@ pub fn run_all(config: &HarnessConfig) -> String {
     out.push_str(&ablation_heuristic(config));
     out.push('\n');
     out.push_str(&ablation_adaban(config));
+    out.push('\n');
+    out.push_str(&engine_cache(config));
     out
 }
 
@@ -643,5 +681,13 @@ mod tests {
         assert!(report.contains("Banzhaf(R(a1)) = 62867"));
         assert!(report.contains("Banzhaf(R(a2)) = 60435"));
         assert!(report.contains("disagree"));
+    }
+
+    #[test]
+    fn engine_cache_report_covers_all_corpora() {
+        let report = engine_cache(&tiny_config());
+        assert!(report.contains("d-tree cache effect"));
+        assert!(report.contains("Academic-like"));
+        assert!(report.contains("TPC-H-like"));
     }
 }

@@ -1,15 +1,15 @@
 //! Shared instrumentation: run every algorithm on every instance of a corpus
 //! under a per-instance budget and record runtimes, successes and outputs.
+//!
+//! All algorithm dispatch flows through [`banzhaf_engine::Attributor`]
+//! objects built from the shared [`HarnessConfig`]; the runner never wires a
+//! d-tree compilation to an algorithm function by hand.
 
-use banzhaf::{
-    adaban_all, exaban_all, ichiban_topk, AdaBanOptions, Budget, DTree, IchiBanOptions,
-    PivotHeuristic, Var,
-};
+use banzhaf::{Budget, Var};
 use banzhaf_arith::Natural;
-use banzhaf_baselines::{cnf_proxy, mc_banzhaf, sig22_exact, McOptions};
+use banzhaf_boolean::Dnf;
+use banzhaf_engine::{Algorithm, Attribution, Engine, EngineConfig};
 use banzhaf_workloads::{academic_like, imdb_like, tpch_like, Corpus, DatasetSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -56,6 +56,17 @@ impl HarnessConfig {
         let spec = self.dataset_spec();
         vec![academic_like(&spec), imdb_like(&spec), tpch_like(&spec)]
     }
+
+    /// The [`EngineConfig`] running `algorithm` under this harness's timeout,
+    /// ε and sampling parameters. Per-instance runs measure each algorithm in
+    /// isolation, so the session cache is off by default.
+    pub fn engine_config(&self, algorithm: Algorithm) -> EngineConfig {
+        EngineConfig::new(algorithm)
+            .with_epsilon_str(&self.epsilon)
+            .with_timeout(self.timeout)
+            .with_seed(self.seed)
+            .with_cache(false)
+    }
 }
 
 /// Outcome of one algorithm on one instance.
@@ -65,6 +76,9 @@ pub struct AlgoRun {
     pub seconds: f64,
     /// Whether the algorithm finished within the budget.
     pub success: bool,
+    /// Knowledge-compilation steps reported by the engine (d-tree expansions
+    /// or DPLL nodes; 0 for compilation-free baselines and failed runs).
+    pub steps: u64,
 }
 
 /// Everything recorded about one lineage instance.
@@ -114,62 +128,61 @@ fn timed<T>(f: impl FnOnce() -> Option<T>) -> (AlgoRun, Option<T>) {
     let start = Instant::now();
     let out = f();
     let seconds = start.elapsed().as_secs_f64();
-    (AlgoRun { seconds, success: out.is_some() }, out)
+    (AlgoRun { seconds, success: out.is_some(), steps: 0 }, out)
+}
+
+fn attribution_steps(att: &Option<Attribution>) -> u64 {
+    att.as_ref().map(|a| a.stats.compile_steps).unwrap_or(0)
 }
 
 /// Runs every algorithm on one lineage and records the outcomes.
+///
+/// `instance_seed` varies the Monte Carlo sampling across instances while
+/// keeping the sweep deterministic.
 pub fn run_instance(
     corpus: &str,
     query: &str,
-    lineage: &banzhaf_boolean::Dnf,
+    lineage: &Dnf,
     config: &HarnessConfig,
-    rng: &mut StdRng,
+    instance_seed: u64,
 ) -> InstanceRecord {
-    let vars: Vec<Var> = lineage.universe().iter().collect();
+    let budget = || Budget::with_timeout(config.timeout);
 
     // ExaBan: full compilation + all-variables pass.
-    let (exaban, exact) = timed(|| {
-        let budget = Budget::with_timeout(config.timeout);
-        let tree =
-            DTree::compile_full(lineage.clone(), PivotHeuristic::MostFrequent, &budget).ok()?;
-        Some(exaban_all(&tree).values)
-    });
+    let exa = config.engine_config(Algorithm::ExaBan).attributor();
+    let (mut exaban, exa_att) = timed(|| exa.attribute(lineage, &budget()).ok());
+    exaban.steps = attribution_steps(&exa_att);
+    let exact = exa_att.as_ref().and_then(Attribution::exact_values);
 
     // Sig22 baseline.
-    let (sig22, _) = timed(|| {
-        let budget = Budget::with_timeout(config.timeout);
-        sig22_exact(lineage, &budget).ok()
-    });
+    let sig = config.engine_config(Algorithm::Sig22).attributor();
+    let (mut sig22, sig_att) = timed(|| sig.attribute(lineage, &budget()).ok());
+    sig22.steps = attribution_steps(&sig_att);
 
     // AdaBan with relative error ε over all variables.
-    let (adaban, adaban_estimates) = timed(|| {
-        let budget = Budget::with_timeout(config.timeout);
-        let options = AdaBanOptions::with_epsilon_str(&config.epsilon);
-        let mut tree = DTree::from_leaf(lineage.clone());
-        let intervals = adaban_all(&mut tree, &vars, &options, &budget).ok()?;
-        Some(
-            intervals
-                .into_iter()
-                .map(|(v, interval)| (v, interval.midpoint()))
-                .collect::<HashMap<Var, f64>>(),
-        )
-    });
+    let ada = config.engine_config(Algorithm::AdaBan).attributor();
+    let (mut adaban, ada_att) = timed(|| ada.attribute(lineage, &budget()).ok());
+    adaban.steps = attribution_steps(&ada_att);
+    let adaban_estimates = ada_att.as_ref().map(Attribution::estimates);
 
     // Monte Carlo with 50·#vars samples in total (50 per variable).
-    let (mc, mc_estimates) = timed(|| {
-        let budget = Budget::with_timeout(config.timeout);
-        let options = McOptions { samples_per_var: config.mc_samples_per_var };
-        mc_banzhaf(lineage, &options, rng, &budget).ok()
-    });
+    let mc_attr = config
+        .engine_config(Algorithm::MonteCarlo)
+        .with_seed(config.seed.wrapping_add(instance_seed))
+        .attributor();
+    let (mc, mc_att) = timed(|| mc_attr.attribute(lineage, &budget()).ok());
+    let mc_estimates = mc_att.as_ref().map(Attribution::estimates);
 
     // IchiBan-ε top-k.
-    let (ichiban, ichiban_topk) = timed(|| {
-        let budget = Budget::with_timeout(config.timeout);
-        let options = IchiBanOptions::with_epsilon_str(&config.epsilon);
-        let mut tree = DTree::from_leaf(lineage.clone());
-        let topk = ichiban_topk(&mut tree, config.topk, &options, &budget).ok()?;
-        Some(topk.members)
-    });
+    let ichi = config.engine_config(Algorithm::IchiBan).attributor();
+    let (mut ichiban, ranked) = timed(|| ichi.top_k(lineage, config.topk, &budget()).ok());
+    ichiban.steps = ranked.as_ref().map(|r| r.stats.compile_steps).unwrap_or(0);
+    let ichiban_topk = ranked.map(|r| r.order);
+
+    // CNF proxy (linear time, never budgeted out in practice).
+    let proxy = config.engine_config(Algorithm::CnfProxy).attributor();
+    let proxy_scores =
+        proxy.attribute(lineage, &Budget::unlimited()).map(|a| a.estimates()).unwrap_or_default();
 
     InstanceRecord {
         corpus: corpus.to_owned(),
@@ -184,27 +197,77 @@ pub fn run_instance(
         exact,
         adaban_estimates,
         mc_estimates,
-        proxy_scores: cnf_proxy(lineage),
+        proxy_scores,
         ichiban_topk,
     }
 }
 
 /// Runs the full sweep over all corpora and returns one record per instance.
 pub fn run_sweep(config: &HarnessConfig) -> Vec<InstanceRecord> {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED);
     let mut records = Vec::new();
+    let mut sweep_index = 0u64;
     for corpus in config.corpora() {
         for instance in &corpus.instances {
+            // A sweep-global index keeps the Monte Carlo sample streams
+            // independent across corpora (a per-corpus index would replay the
+            // same seeds for every corpus).
             records.push(run_instance(
                 &corpus.name,
                 &instance.query,
                 &instance.lineage,
                 config,
-                &mut rng,
+                sweep_index,
             ));
+            sweep_index += 1;
         }
     }
     records
+}
+
+/// Outcome of running one corpus through an engine [`banzhaf_engine::Session`]
+/// with the d-tree cache enabled vs disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheComparison {
+    /// Instances attributed (in both runs).
+    pub instances: usize,
+    /// Cache hits observed in the cached run.
+    pub cache_hits: u64,
+    /// Total compile steps with the cache enabled.
+    pub cached_steps: u64,
+    /// Total compile steps with the cache disabled.
+    pub uncached_steps: u64,
+}
+
+/// Attributes every lineage twice through engine sessions — once with the
+/// canonical-lineage d-tree cache, once without — and reports the compile
+/// work each run performed. Both sessions attribute the canonical form, so
+/// per-instance compile work is identical except where the cache elides it.
+///
+/// Every *completed* attribution is charged to its run's step total — in
+/// particular a cache miss is charged even if the uncached run timed out on
+/// the same instance, so later hits on that shape can never claim savings
+/// whose one-time compile cost was dropped (under tight budgets the bias is
+/// against the cache, never in its favour). `instances` counts the instances
+/// both runs completed.
+pub fn compare_cache(lineages: &[&Dnf], config: &HarnessConfig) -> CacheComparison {
+    let mut comparison = CacheComparison::default();
+    let base = config.engine_config(Algorithm::ExaBan);
+    let mut cached = Engine::new(base.clone().with_cache(true)).session();
+    let mut uncached = Engine::new(base.with_cache(false)).session();
+    for lineage in lineages {
+        let (a, b) = (cached.attribute(lineage), uncached.attribute(lineage));
+        if let Ok(a) = &a {
+            comparison.cache_hits += a.stats.cache_hit as u64;
+            comparison.cached_steps += a.stats.compile_steps;
+        }
+        if let Ok(b) = &b {
+            comparison.uncached_steps += b.stats.compile_steps;
+        }
+        if a.is_ok() && b.is_ok() {
+            comparison.instances += 1;
+        }
+    }
+    comparison
 }
 
 /// Groups records by corpus name (preserving first-seen corpus order).
@@ -245,7 +308,6 @@ pub fn query_success_rate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use banzhaf_boolean::Dnf;
 
     fn small_config() -> HarnessConfig {
         HarnessConfig { timeout: Duration::from_millis(200), ..Default::default() }
@@ -256,8 +318,7 @@ mod tests {
         let lineage =
             Dnf::from_clauses(vec![vec![Var(0), Var(1)], vec![Var(0), Var(2)], vec![Var(3)]]);
         let config = small_config();
-        let mut rng = StdRng::seed_from_u64(1);
-        let record = run_instance("test", "q", &lineage, &config, &mut rng);
+        let record = run_instance("test", "q", &lineage, &config, 1);
         assert!(record.exaban.success);
         assert!(record.sig22.success);
         assert!(record.adaban.success);
@@ -268,16 +329,17 @@ mod tests {
         assert_eq!(record.exact_topk(1).unwrap(), vec![Var(3)]);
         assert_eq!(record.num_vars, 4);
         assert!(!record.proxy_scores.is_empty());
+        // The Sig22 baseline explores DPLL nodes; the engine reports them.
+        assert!(record.sig22.steps > 0);
     }
 
     #[test]
     fn query_success_rate_requires_all_instances() {
         let lineage = Dnf::from_clauses(vec![vec![Var(0)]]);
         let config = small_config();
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut a = run_instance("c", "q1", &lineage, &config, &mut rng);
-        let b = run_instance("c", "q1", &lineage, &config, &mut rng);
-        let c = run_instance("c", "q2", &lineage, &config, &mut rng);
+        let mut a = run_instance("c", "q1", &lineage, &config, 1);
+        let b = run_instance("c", "q1", &lineage, &config, 2);
+        let c = run_instance("c", "q2", &lineage, &config, 3);
         a.exaban.success = false;
         let records = vec![&a, &b, &c];
         let (ok, total) = query_success_rate(&records, |r| r.exaban.success);
@@ -288,13 +350,41 @@ mod tests {
     fn grouping_by_corpus() {
         let lineage = Dnf::from_clauses(vec![vec![Var(0)]]);
         let config = small_config();
-        let mut rng = StdRng::seed_from_u64(1);
-        let a = run_instance("c1", "q", &lineage, &config, &mut rng);
-        let b = run_instance("c2", "q", &lineage, &config, &mut rng);
+        let a = run_instance("c1", "q", &lineage, &config, 1);
+        let b = run_instance("c2", "q", &lineage, &config, 2);
         let records = vec![a, b];
         let grouped = by_corpus(&records);
         assert_eq!(grouped.len(), 2);
         assert_eq!(grouped[0].0, "c1");
         assert_eq!(grouped[0].1.len(), 1);
+    }
+
+    #[test]
+    fn cache_reduces_compile_steps_on_repeated_lineages() {
+        // Six isomorphic non-hierarchical lineages (shifted variable ids):
+        // with the cache only the first one is compiled.
+        let lineages: Vec<Dnf> = (0..6u32)
+            .map(|s| {
+                let o = s * 10;
+                Dnf::from_clauses(vec![
+                    vec![Var(o), Var(o + 1)],
+                    vec![Var(o + 1), Var(o + 2)],
+                    vec![Var(o + 2), Var(o + 3)],
+                    vec![Var(o + 3), Var(o)],
+                ])
+            })
+            .collect();
+        let refs: Vec<&Dnf> = lineages.iter().collect();
+        let comparison = compare_cache(&refs, &small_config());
+        assert_eq!(comparison.instances, 6);
+        assert_eq!(comparison.cache_hits, 5);
+        assert!(
+            comparison.cached_steps < comparison.uncached_steps,
+            "cache must save compile steps: {} vs {}",
+            comparison.cached_steps,
+            comparison.uncached_steps
+        );
+        // Exactly one compilation's worth of work with the cache.
+        assert_eq!(comparison.cached_steps * 6, comparison.uncached_steps);
     }
 }

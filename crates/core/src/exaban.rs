@@ -52,9 +52,14 @@ impl BanzhafResult {
 }
 
 /// Computes the exact model count of every node of a complete d-tree,
-/// bottom-up. Shared by [`exaban_single`], [`exaban_all`] and the Shapley
-/// computation.
-pub(crate) fn model_counts(tree: &DTree) -> Vec<Natural> {
+/// bottom-up, indexed by [`NodeId::index`]. Shared by [`exaban_single`] and
+/// [`exaban_all`]; exposed so callers holding a compiled tree (notably the
+/// `banzhaf-engine` crate) can run the pass once and reuse it across
+/// variables and across algorithms via [`exaban_all_with_counts`].
+///
+/// # Panics
+/// Panics (in debug builds) if the d-tree is not complete.
+pub fn model_counts(tree: &DTree) -> Vec<Natural> {
     let mut counts: Vec<Natural> = vec![Natural::zero(); tree.num_nodes()];
     for id in tree.postorder() {
         let count = match tree.node(id) {
@@ -216,7 +221,18 @@ pub fn exaban_single(tree: &DTree, x: Var) -> (Int, Natural) {
 /// # Panics
 /// Panics (in debug builds) if the d-tree is not complete.
 pub fn exaban_all(tree: &DTree) -> BanzhafResult {
-    let counts = model_counts(tree);
+    exaban_all_with_counts(tree, &model_counts(tree))
+}
+
+/// [`exaban_all`] with a precomputed per-node model-count vector (as returned
+/// by [`model_counts`] for the same tree), so the bottom-up count pass can be
+/// shared across algorithms operating on one compiled d-tree.
+///
+/// # Panics
+/// Panics (in debug builds) if the d-tree is not complete or if `counts` does
+/// not match the tree.
+pub fn exaban_all_with_counts(tree: &DTree, counts: &[Natural]) -> BanzhafResult {
+    debug_assert_eq!(counts.len(), tree.num_nodes(), "counts vector does not match the tree");
     let mut contexts: Vec<Natural> = vec![Natural::zero(); tree.num_nodes()];
     contexts[tree.root().index()] = Natural::one();
 

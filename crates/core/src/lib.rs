@@ -48,7 +48,7 @@ pub use adaban::{adaban, adaban_all, AdaBanOptions, ApproxInterval};
 pub use banzhaf_boolean::{Dnf, Var};
 pub use banzhaf_dtree::{Budget, DTree, Interrupted, PivotHeuristic};
 pub use bounds::{bounds_for_var, BoundQuad};
-pub use exaban::{exaban_all, exaban_single, BanzhafResult};
+pub use exaban::{exaban_all, exaban_all_with_counts, exaban_single, model_counts, BanzhafResult};
 pub use ichiban::{ichiban_rank, ichiban_topk, IchiBanOptions, Ranking, TopK};
 pub use shapley::{critical_counts_all, shapley_all, ShapleyValue};
 pub use values::{l1_distance_normalized, normalized_index, normalized_power};

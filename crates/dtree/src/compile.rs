@@ -92,8 +92,11 @@ impl DTree {
     /// # Panics
     /// Panics if `id` is not a non-trivial leaf.
     pub fn expand_leaf(&mut self, id: NodeId, heuristic: PivotHeuristic) -> Vec<NodeId> {
-        let phi = match self.node(id) {
-            Node::Leaf(dnf) => dnf.clone(),
+        // Take the leaf's DNF by moving it out of the arena (the slot is
+        // overwritten below on every path), avoiding a clone of what can be a
+        // large function on the hot compile path.
+        let phi = match self.take(id) {
+            Node::Leaf(dnf) => dnf,
             other => panic!("expand_leaf called on a non-leaf node {other:?}"),
         };
         assert!(
@@ -105,6 +108,7 @@ impl DTree {
 
         // Step 1: factor out variables common to all clauses: φ = (⋀ common) ∧ rest.
         if let Some(Factored { common, rest }) = Factored::factor(&phi) {
+            let first_new = self.num_nodes();
             let mut children = Vec::with_capacity(common.len() + 1);
             for v in common.iter() {
                 children.push(self.push(Node::PosLit(v)));
@@ -114,7 +118,9 @@ impl DTree {
             if !(rest.is_true() && rest.num_vars() == 0) {
                 children.push(self.push(Node::Leaf(rest)));
             }
-            let created = children.clone();
+            // The created ids are exactly the appended arena tail, so they can
+            // be recovered without cloning the children vector.
+            let created = self.appended_since(first_new);
             if children.len() == 1 {
                 // Single child: splice it directly into place of the leaf.
                 let only = self.node(children[0]).clone();
@@ -127,9 +133,10 @@ impl DTree {
 
         // Step 2: independence partitioning (⊗ over connected components).
         if let Some(components) = independent_components(&phi) {
+            let first_new = self.num_nodes();
             let children: Vec<NodeId> =
                 components.into_iter().map(|c| self.push(Node::Leaf(c))).collect();
-            let created = children.clone();
+            let created = self.appended_since(first_new);
             self.replace(id, Node::Op { op: OpKind::IndependentOr, children, num_vars });
             return created;
         }

@@ -54,8 +54,25 @@ impl DTree {
         self.nodes[id.index()] = node;
     }
 
+    /// Moves the node out of the arena, leaving a cheap placeholder behind.
+    /// The caller must `replace` the slot before the tree is used again; the
+    /// expansion path does exactly that, which lets it take a leaf's DNF
+    /// without cloning it.
+    pub(crate) fn take(&mut self, id: NodeId) -> Node {
+        std::mem::replace(
+            &mut self.nodes[id.index()],
+            Node::Leaf(Dnf::constant_false(banzhaf_boolean::VarSet::empty())),
+        )
+    }
+
     pub(crate) fn bump_expansions(&mut self) {
         self.expansions += 1;
+    }
+
+    /// Ids of the nodes appended to the arena since it had `first` nodes —
+    /// pushes are strictly sequential, so this is the contiguous tail range.
+    pub(crate) fn appended_since(&self, first: usize) -> Vec<NodeId> {
+        (first..self.nodes.len()).map(|i| NodeId(i as u32)).collect()
     }
 
     /// Ids of all leaves that are neither constants nor literals; these are

@@ -1,0 +1,188 @@
+//! The unified result type returned by every [`crate::Attributor`].
+
+use banzhaf::{ApproxInterval, ShapleyValue};
+use banzhaf_arith::Natural;
+use banzhaf_boolean::Var;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The attribution score of one fact, at whatever precision the backend
+/// provides: an exact value, a certified interval, or a point estimate with
+/// no guarantee.
+#[derive(Clone, Debug)]
+pub enum Score {
+    /// An exact Banzhaf value (ExaBan, Sig22, AdaBan with ε = 0).
+    Exact(Natural),
+    /// A certified interval containing the exact value (AdaBan, IchiBan).
+    Interval(ApproxInterval),
+    /// A point estimate with no deterministic guarantee (MC, CNF proxy).
+    Estimate(f64),
+}
+
+impl Score {
+    /// The point value used for ranking and reporting: the exact value, the
+    /// interval midpoint, or the estimate itself.
+    pub fn point(&self) -> f64 {
+        match self {
+            Score::Exact(b) => b.to_f64(),
+            Score::Interval(i) => i.midpoint(),
+            Score::Estimate(e) => *e,
+        }
+    }
+
+    /// The exact value, if this score certifies one (an [`Score::Exact`]
+    /// value or a single-point interval).
+    pub fn exact(&self) -> Option<Natural> {
+        match self {
+            Score::Exact(b) => Some(b.clone()),
+            Score::Interval(i) if i.is_exact() => Some(i.lower.clone()),
+            _ => None,
+        }
+    }
+
+    /// Compares two scores for ranking purposes: exact values compare
+    /// precisely (no `f64` round-off on huge values), everything else falls
+    /// back to the point value.
+    pub fn cmp_points(&self, other: &Score) -> Ordering {
+        match (self, other) {
+            (Score::Exact(a), Score::Exact(b)) => a.cmp(b),
+            _ => self.point().partial_cmp(&other.point()).unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+/// Per-attribution instrumentation recorded by every backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Knowledge-compilation steps performed: d-tree expansions for the
+    /// tree-based algorithms, DPLL recursion nodes for Sig22, 0 for the
+    /// compilation-free baselines — and 0 on a cache hit.
+    pub compile_steps: u64,
+    /// Size of the (possibly partial) d-tree after the run, in nodes.
+    pub dtree_nodes: usize,
+    /// Wall-clock time spent inside the backend.
+    pub wall: Duration,
+    /// `true` iff the result was served from the session's d-tree cache.
+    pub cache_hit: bool,
+}
+
+/// The unified attribution result: one [`Score`] per fact of the lineage's
+/// universe, the model count when the backend certifies one, optional Shapley
+/// values, and per-run [`EngineStats`].
+#[derive(Clone, Debug)]
+pub struct Attribution {
+    /// The backend that produced the result (an [`crate::Algorithm`] name).
+    pub algorithm: &'static str,
+    /// One score per variable of the lineage's universe.
+    pub values: HashMap<Var, Score>,
+    /// The exact model count `#φ`, when the backend computes one.
+    pub model_count: Option<Natural>,
+    /// Exact Shapley values, when requested from an exact backend.
+    pub shapley: Option<HashMap<Var, ShapleyValue>>,
+    /// Instrumentation for this attribution.
+    pub stats: EngineStats,
+}
+
+impl Attribution {
+    /// The score of one fact, if it is in the lineage's universe.
+    pub fn value(&self, v: Var) -> Option<&Score> {
+        self.values.get(&v)
+    }
+
+    /// Facts ordered by decreasing score (ties by variable index).
+    pub fn ranking(&self) -> Vec<(Var, Score)> {
+        let mut items: Vec<(Var, Score)> =
+            self.values.iter().map(|(v, s)| (*v, s.clone())).collect();
+        items.sort_by(|(va, sa), (vb, sb)| sb.cmp_points(sa).then(va.cmp(vb)));
+        items
+    }
+
+    /// The `k` facts with the largest scores.
+    pub fn top_k(&self, k: usize) -> Vec<(Var, Score)> {
+        self.ranking().into_iter().take(k).collect()
+    }
+
+    /// All values as exact naturals, when every score certifies one.
+    pub fn exact_values(&self) -> Option<HashMap<Var, Natural>> {
+        self.values.iter().map(|(v, s)| s.exact().map(|b| (*v, b))).collect()
+    }
+
+    /// All values as `f64` point estimates (exact → lossy, interval →
+    /// midpoint), the shape the error-measurement experiments consume.
+    pub fn estimates(&self) -> HashMap<Var, f64> {
+        self.values.iter().map(|(v, s)| (*v, s.point())).collect()
+    }
+
+    /// `true` iff every score is certified exact.
+    pub fn is_exact(&self) -> bool {
+        self.values.values().all(|s| s.exact().is_some())
+    }
+}
+
+/// A ranking/top-k answer: the selected facts in decreasing order plus
+/// whether the order is certified (interval separation or exact values)
+/// rather than decided by ε-relaxed point estimates.
+#[derive(Clone, Debug)]
+pub struct Ranked {
+    /// The facts, ordered by decreasing (estimated) Banzhaf value.
+    pub order: Vec<Var>,
+    /// `true` iff the selection/order is certified.
+    pub certified: bool,
+    /// Instrumentation for this run.
+    pub stats: EngineStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn exact_attribution(pairs: &[(u32, u64)]) -> Attribution {
+        Attribution {
+            algorithm: "test",
+            values: pairs.iter().map(|&(i, b)| (v(i), Score::Exact(Natural::from(b)))).collect(),
+            model_count: None,
+            shapley: None,
+            stats: EngineStats::default(),
+        }
+    }
+
+    #[test]
+    fn ranking_orders_by_value_then_index() {
+        let att = exact_attribution(&[(0, 3), (1, 5), (2, 3), (3, 1)]);
+        let order: Vec<Var> = att.ranking().into_iter().map(|(x, _)| x).collect();
+        assert_eq!(order, vec![v(1), v(0), v(2), v(3)]);
+        assert_eq!(att.top_k(2).len(), 2);
+        assert!(att.is_exact());
+        assert_eq!(att.exact_values().unwrap()[&v(1)].to_u64(), Some(5));
+    }
+
+    #[test]
+    fn scores_expose_points_and_exactness() {
+        let exact = Score::Exact(Natural::from(4u64));
+        assert_eq!(exact.point(), 4.0);
+        assert_eq!(exact.exact().unwrap().to_u64(), Some(4));
+        let interval =
+            Score::Interval(ApproxInterval::new(Natural::from(2u64), Natural::from(6u64)));
+        assert_eq!(interval.point(), 4.0);
+        assert!(interval.exact().is_none());
+        let pinned = Score::Interval(ApproxInterval::new(Natural::from(3u64), Natural::from(3u64)));
+        assert_eq!(pinned.exact().unwrap().to_u64(), Some(3));
+        let estimate = Score::Estimate(1.5);
+        assert!(estimate.exact().is_none());
+        assert_eq!(exact.cmp_points(&estimate), Ordering::Greater);
+    }
+
+    #[test]
+    fn mixed_attribution_is_not_exact() {
+        let mut att = exact_attribution(&[(0, 3)]);
+        att.values.insert(v(1), Score::Estimate(2.0));
+        assert!(!att.is_exact());
+        assert!(att.exact_values().is_none());
+        assert_eq!(att.estimates().len(), 2);
+    }
+}

@@ -1,0 +1,465 @@
+//! The pluggable [`Attributor`] interface and its backend implementations.
+
+use crate::attribution::{Attribution, EngineStats, Ranked, Score};
+use banzhaf::{
+    adaban, adaban_all, exaban_all, exaban_all_with_counts, ichiban_rank, ichiban_topk,
+    model_counts, shapley_all, AdaBanOptions, ApproxInterval, Budget, DTree, IchiBanOptions,
+    Interrupted, PivotHeuristic,
+};
+use banzhaf_arith::Natural;
+use banzhaf_baselines::{cnf_proxy, mc_banzhaf, sig22_exact, McOptions};
+use banzhaf_boolean::{Dnf, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One attribution algorithm behind a uniform interface.
+///
+/// Implementations wrap the paper's algorithms (ExaBan, AdaBan, IchiBan) and
+/// the baselines (Sig22, Monte Carlo, CNF proxy); every new estimator —
+/// Kernel Banzhaf, aggregate-query variants — plugs into this same slot.
+/// Backends are deterministic given their configuration (the Monte Carlo
+/// baseline is deterministic given its seed), and every entry point honours
+/// the cooperative `deadline` budget.
+pub trait Attributor {
+    /// The backend's display name (matches [`crate::Algorithm::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Computes attribution scores for every fact of the lineage's universe.
+    fn attribute(&self, lineage: &Dnf, deadline: &Budget) -> Result<Attribution, Interrupted>;
+
+    /// Computes the score of a single fact. The default extracts it from a
+    /// full [`Attributor::attribute`] pass; backends that can target one
+    /// variable (AdaBan) override this with the cheaper single-variable run.
+    ///
+    /// A variable outside the lineage's universe has Banzhaf value 0 by
+    /// definition; exact backends report that zero as certified.
+    fn attribute_var(
+        &self,
+        lineage: &Dnf,
+        x: Var,
+        deadline: &Budget,
+    ) -> Result<Score, Interrupted> {
+        let attribution = self.attribute(lineage, deadline)?;
+        Ok(attribution.value(x).cloned().unwrap_or_else(|| {
+            if attribution.is_exact() {
+                Score::Exact(Natural::zero())
+            } else {
+                Score::Estimate(0.0)
+            }
+        }))
+    }
+
+    /// Ranks all facts by decreasing Banzhaf value. The default ranks the
+    /// scores of a full attribution pass; IchiBan overrides it with the
+    /// interval-separation algorithm that can stop before values converge.
+    fn rank(&self, lineage: &Dnf, deadline: &Budget) -> Result<Ranked, Interrupted> {
+        let attribution = self.attribute(lineage, deadline)?;
+        let order = attribution.ranking().into_iter().map(|(v, _)| v).collect();
+        Ok(Ranked { order, certified: attribution.is_exact(), stats: attribution.stats })
+    }
+
+    /// The `k` facts with the largest Banzhaf values, in decreasing order.
+    fn top_k(&self, lineage: &Dnf, k: usize, deadline: &Budget) -> Result<Ranked, Interrupted> {
+        let mut ranked = self.rank(lineage, deadline)?;
+        ranked.order.truncate(k);
+        Ok(ranked)
+    }
+}
+
+/// ExaBan: full d-tree compilation, then the shared two-pass exact algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct ExaBanAttributor {
+    /// Shannon pivot-selection heuristic for compilation.
+    pub heuristic: PivotHeuristic,
+    /// Also compute Shapley values on the same compiled tree.
+    pub include_shapley: bool,
+}
+
+impl Attributor for ExaBanAttributor {
+    fn name(&self) -> &'static str {
+        "ExaBan"
+    }
+
+    fn attribute(&self, lineage: &Dnf, deadline: &Budget) -> Result<Attribution, Interrupted> {
+        let start = Instant::now();
+        let tree = DTree::compile_full(lineage.clone(), self.heuristic, deadline)?;
+        // The two-pass algorithm shares one bottom-up count pass across all
+        // variables; the optional Shapley pass reuses the same compiled tree
+        // (compilation dominates, so Banzhaf + Shapley cost barely more than
+        // Banzhaf alone).
+        let result = exaban_all(&tree);
+        let shapley = self.include_shapley.then(|| shapley_all(&tree));
+        Ok(Attribution {
+            algorithm: self.name(),
+            values: result.values.into_iter().map(|(v, b)| (v, Score::Exact(b))).collect(),
+            model_count: Some(result.model_count),
+            shapley,
+            stats: EngineStats {
+                compile_steps: tree.expansions(),
+                dtree_nodes: tree.num_nodes(),
+                wall: start.elapsed(),
+                cache_hit: false,
+            },
+        })
+    }
+}
+
+/// AdaBan: anytime ε-approximation over an incrementally expanded d-tree.
+#[derive(Clone, Debug)]
+pub struct AdaBanAttributor {
+    /// The AdaBan options (ε, heuristic, optimizations).
+    pub options: AdaBanOptions,
+}
+
+impl Attributor for AdaBanAttributor {
+    fn name(&self) -> &'static str {
+        "AdaBan"
+    }
+
+    fn attribute(&self, lineage: &Dnf, deadline: &Budget) -> Result<Attribution, Interrupted> {
+        let start = Instant::now();
+        let vars: Vec<Var> = lineage.universe().iter().collect();
+        let mut tree = DTree::from_leaf(lineage.clone());
+        let intervals = adaban_all(&mut tree, &vars, &self.options, deadline)?;
+        // Cross-algorithm reuse on the shared tree: when the incremental
+        // compilation happened to complete the d-tree (ε = 0, or small
+        // lineages), one bottom-up model-count pass — the same pass ExaBan
+        // runs — pins every interval to its exact value and yields the model
+        // count, at linear cost in the tree and with zero extra compilation.
+        let (values, model_count) = if tree.is_complete() {
+            let counts = model_counts(&tree);
+            let exact = exaban_all_with_counts(&tree, &counts);
+            let values = intervals
+                .into_iter()
+                .map(|(v, _)| {
+                    let b = exact.values[&v].clone();
+                    (v, Score::Interval(ApproxInterval::new(b.clone(), b)))
+                })
+                .collect();
+            (values, Some(exact.model_count))
+        } else {
+            let values = intervals.into_iter().map(|(v, i)| (v, Score::Interval(i))).collect();
+            (values, None)
+        };
+        Ok(Attribution {
+            algorithm: self.name(),
+            values,
+            model_count,
+            shapley: None,
+            stats: EngineStats {
+                compile_steps: tree.expansions(),
+                dtree_nodes: tree.num_nodes(),
+                wall: start.elapsed(),
+                cache_hit: false,
+            },
+        })
+    }
+
+    fn attribute_var(
+        &self,
+        lineage: &Dnf,
+        x: Var,
+        deadline: &Budget,
+    ) -> Result<Score, Interrupted> {
+        let mut tree = DTree::from_leaf(lineage.clone());
+        let interval = adaban(&mut tree, x, &self.options, deadline)?;
+        Ok(Score::Interval(interval))
+    }
+}
+
+/// IchiBan: ranking/top-k by interval separation over a shared partial tree.
+#[derive(Clone, Debug)]
+pub struct IchiBanAttributor {
+    /// The IchiBan options (ε or certain mode, heuristic, batch size).
+    pub options: IchiBanOptions,
+}
+
+impl Attributor for IchiBanAttributor {
+    fn name(&self) -> &'static str {
+        "IchiBan"
+    }
+
+    fn attribute(&self, lineage: &Dnf, deadline: &Budget) -> Result<Attribution, Interrupted> {
+        let start = Instant::now();
+        let mut tree = DTree::from_leaf(lineage.clone());
+        let ranking = ichiban_rank(&mut tree, &self.options, deadline)?;
+        let values = ranking.intervals.into_iter().map(|(v, i)| (v, Score::Interval(i))).collect();
+        Ok(Attribution {
+            algorithm: self.name(),
+            values,
+            model_count: None,
+            shapley: None,
+            stats: EngineStats {
+                compile_steps: tree.expansions(),
+                dtree_nodes: tree.num_nodes(),
+                wall: start.elapsed(),
+                cache_hit: false,
+            },
+        })
+    }
+
+    fn rank(&self, lineage: &Dnf, deadline: &Budget) -> Result<Ranked, Interrupted> {
+        let start = Instant::now();
+        let mut tree = DTree::from_leaf(lineage.clone());
+        let ranking = ichiban_rank(&mut tree, &self.options, deadline)?;
+        Ok(Ranked {
+            order: ranking.order,
+            certified: ranking.certified,
+            stats: EngineStats {
+                compile_steps: tree.expansions(),
+                dtree_nodes: tree.num_nodes(),
+                wall: start.elapsed(),
+                cache_hit: false,
+            },
+        })
+    }
+
+    fn top_k(&self, lineage: &Dnf, k: usize, deadline: &Budget) -> Result<Ranked, Interrupted> {
+        let start = Instant::now();
+        let mut tree = DTree::from_leaf(lineage.clone());
+        let topk = ichiban_topk(&mut tree, k, &self.options, deadline)?;
+        Ok(Ranked {
+            order: topk.members,
+            certified: topk.certified,
+            stats: EngineStats {
+                compile_steps: tree.expansions(),
+                dtree_nodes: tree.num_nodes(),
+                wall: start.elapsed(),
+                cache_hit: false,
+            },
+        })
+    }
+}
+
+/// The Sig22 exact baseline: CNF encoding + DPLL-style compilation.
+#[derive(Clone, Copy, Debug)]
+pub struct Sig22Attributor;
+
+impl Attributor for Sig22Attributor {
+    fn name(&self) -> &'static str {
+        "Sig22"
+    }
+
+    fn attribute(&self, lineage: &Dnf, deadline: &Budget) -> Result<Attribution, Interrupted> {
+        let start = Instant::now();
+        let result = sig22_exact(lineage, deadline)?;
+        Ok(Attribution {
+            algorithm: self.name(),
+            values: result.values.into_iter().map(|(v, b)| (v, Score::Exact(b))).collect(),
+            model_count: Some(result.model_count),
+            shapley: None,
+            stats: EngineStats {
+                compile_steps: result.nodes_explored,
+                dtree_nodes: 0,
+                wall: start.elapsed(),
+                cache_hit: false,
+            },
+        })
+    }
+}
+
+/// The Monte Carlo baseline. Deterministic given its seed: the RNG is owned
+/// by the attributor and advances across calls, mirroring a sampling sweep.
+#[derive(Debug)]
+pub struct MonteCarloAttributor {
+    options: McOptions,
+    rng: RefCell<StdRng>,
+}
+
+impl MonteCarloAttributor {
+    /// A Monte Carlo attributor with the given sampling options and seed.
+    pub fn new(options: McOptions, seed: u64) -> Self {
+        MonteCarloAttributor { options, rng: RefCell::new(StdRng::seed_from_u64(seed)) }
+    }
+}
+
+impl Attributor for MonteCarloAttributor {
+    fn name(&self) -> &'static str {
+        "MC"
+    }
+
+    fn attribute(&self, lineage: &Dnf, deadline: &Budget) -> Result<Attribution, Interrupted> {
+        let start = Instant::now();
+        let estimates = mc_banzhaf(lineage, &self.options, &mut *self.rng.borrow_mut(), deadline)?;
+        Ok(Attribution {
+            algorithm: self.name(),
+            values: estimates.into_iter().map(|(v, e)| (v, Score::Estimate(e))).collect(),
+            model_count: None,
+            shapley: None,
+            stats: EngineStats { wall: start.elapsed(), ..EngineStats::default() },
+        })
+    }
+}
+
+/// The CNF-proxy ranking heuristic: linear time, no guarantees.
+#[derive(Clone, Copy, Debug)]
+pub struct CnfProxyAttributor;
+
+impl Attributor for CnfProxyAttributor {
+    fn name(&self) -> &'static str {
+        "CNFProxy"
+    }
+
+    fn attribute(&self, lineage: &Dnf, deadline: &Budget) -> Result<Attribution, Interrupted> {
+        let start = Instant::now();
+        deadline.check_deadline()?;
+        let scores = cnf_proxy(lineage);
+        Ok(Attribution {
+            algorithm: self.name(),
+            values: scores.into_iter().map(|(v, e)| (v, Score::Estimate(e))).collect(),
+            model_count: None,
+            shapley: None,
+            stats: EngineStats { wall: start.elapsed(), ..EngineStats::default() },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, EngineConfig};
+    use banzhaf::exaban_all;
+    use banzhaf_arith::Int;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    /// Example 13 of the paper: values x:3, y:1, z:1, u:5; #φ = 11.
+    fn example13() -> Dnf {
+        Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)], vec![v(3)]])
+    }
+
+    /// A connected lineage with no common variable (needs Shannon expansion).
+    fn hard_function() -> Dnf {
+        Dnf::from_clauses(vec![
+            vec![v(0), v(1)],
+            vec![v(1), v(2)],
+            vec![v(2), v(3)],
+            vec![v(3), v(4)],
+            vec![v(4), v(0)],
+        ])
+    }
+
+    #[test]
+    fn exact_backends_agree_with_ground_truth() {
+        let phi = example13();
+        for algorithm in [Algorithm::ExaBan, Algorithm::Sig22] {
+            let attributor = EngineConfig::new(algorithm).attributor();
+            let att = attributor.attribute(&phi, &Budget::unlimited()).unwrap();
+            assert!(att.is_exact(), "{algorithm}");
+            assert_eq!(att.model_count.as_ref().unwrap().to_u64(), Some(11));
+            let exact = att.exact_values().unwrap();
+            assert_eq!(exact[&v(0)].to_u64(), Some(3));
+            assert_eq!(exact[&v(3)].to_u64(), Some(5));
+            assert!(att.stats.compile_steps > 0, "{algorithm} records compile work");
+        }
+    }
+
+    #[test]
+    fn interval_backends_bracket_ground_truth() {
+        let phi = hard_function();
+        let truth = {
+            let tree = DTree::compile_full(
+                phi.clone(),
+                PivotHeuristic::MostFrequent,
+                &Budget::unlimited(),
+            )
+            .unwrap();
+            exaban_all(&tree)
+        };
+        for algorithm in [Algorithm::AdaBan, Algorithm::IchiBan] {
+            let attributor = EngineConfig::new(algorithm).attributor();
+            let att = attributor.attribute(&phi, &Budget::unlimited()).unwrap();
+            for x in phi.universe().iter() {
+                let Score::Interval(interval) = att.value(x).unwrap() else {
+                    panic!("{algorithm} returns intervals");
+                };
+                let exact = truth.value(x).unwrap();
+                assert!(&interval.lower <= exact && exact <= &interval.upper, "{algorithm} {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaban_on_a_completed_tree_pins_values_and_model_count() {
+        let phi = example13();
+        let attributor = EngineConfig::new(Algorithm::AdaBan).certain().attributor();
+        let att = attributor.attribute(&phi, &Budget::unlimited()).unwrap();
+        // ε = 0 forces every interval to a point.
+        assert!(att.is_exact());
+        let exact = att.exact_values().unwrap();
+        assert_eq!(exact[&v(0)].to_u64(), Some(3));
+        assert_eq!(exact[&v(3)].to_u64(), Some(5));
+        // When the shared tree completed, the reused count pass reports #φ.
+        if let Some(count) = &att.model_count {
+            assert_eq!(count.to_u64(), Some(11));
+        }
+    }
+
+    #[test]
+    fn adaban_single_variable_entry_point() {
+        let phi = hard_function();
+        let attributor = EngineConfig::new(Algorithm::AdaBan).certain().attributor();
+        let score = attributor.attribute_var(&phi, v(1), &Budget::unlimited()).unwrap();
+        assert_eq!(Int::from(score.exact().unwrap()), phi.brute_force_banzhaf(v(1)));
+    }
+
+    #[test]
+    fn out_of_universe_variable_scores_certified_zero_on_exact_backends() {
+        let phi = example13();
+        let exa = EngineConfig::new(Algorithm::ExaBan).attributor();
+        let score = exa.attribute_var(&phi, v(99), &Budget::unlimited()).unwrap();
+        assert_eq!(score.exact().unwrap().to_u64(), Some(0));
+        // A randomized backend reports the same zero, but uncertified.
+        let mc = EngineConfig::new(Algorithm::MonteCarlo).attributor();
+        let score = mc.attribute_var(&phi, v(99), &Budget::unlimited()).unwrap();
+        assert!(score.exact().is_none());
+        assert_eq!(score.point(), 0.0);
+    }
+
+    #[test]
+    fn ichiban_topk_certified_matches_exact_topk() {
+        let phi = example13();
+        let attributor = EngineConfig::new(Algorithm::IchiBan).certain().attributor();
+        let topk = attributor.top_k(&phi, 2, &Budget::unlimited()).unwrap();
+        assert!(topk.certified);
+        assert_eq!(topk.order, vec![v(3), v(0)]);
+    }
+
+    #[test]
+    fn default_topk_over_exact_scores_is_certified() {
+        let phi = example13();
+        let attributor = EngineConfig::new(Algorithm::ExaBan).attributor();
+        let topk = attributor.top_k(&phi, 2, &Budget::unlimited()).unwrap();
+        assert!(topk.certified);
+        assert_eq!(topk.order, vec![v(3), v(0)]);
+        // The heuristic baseline ranks but does not certify.
+        let proxy = EngineConfig::new(Algorithm::CnfProxy).attributor();
+        let ranked = proxy.rank(&phi, &Budget::unlimited()).unwrap();
+        assert!(!ranked.certified);
+        assert_eq!(ranked.order.len(), 4);
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_given_seed() {
+        let phi = example13();
+        let a = EngineConfig::new(Algorithm::MonteCarlo).with_seed(9).attributor();
+        let b = EngineConfig::new(Algorithm::MonteCarlo).with_seed(9).attributor();
+        let ea = a.attribute(&phi, &Budget::unlimited()).unwrap().estimates();
+        let eb = b.attribute(&phi, &Budget::unlimited()).unwrap().estimates();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn budget_exhaustion_propagates() {
+        let phi = hard_function();
+        for algorithm in [Algorithm::ExaBan, Algorithm::AdaBan, Algorithm::Sig22] {
+            let attributor = EngineConfig::new(algorithm).certain().attributor();
+            let result = attributor.attribute(&phi, &Budget::with_max_steps(1));
+            assert_eq!(result.unwrap_err(), Interrupted, "{algorithm}");
+        }
+    }
+}

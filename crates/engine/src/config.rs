@@ -1,0 +1,266 @@
+//! The single configuration type replacing the per-call option structs.
+
+use crate::attributor::{
+    AdaBanAttributor, Attributor, CnfProxyAttributor, ExaBanAttributor, IchiBanAttributor,
+    MonteCarloAttributor, Sig22Attributor,
+};
+use banzhaf::{AdaBanOptions, Budget, IchiBanOptions, PivotHeuristic};
+use banzhaf_arith::Ratio;
+use banzhaf_baselines::McOptions;
+use std::fmt;
+use std::time::Duration;
+
+/// The attribution algorithm an [`crate::Engine`] dispatches to.
+///
+/// The first three are the paper's contributions, the last three the
+/// baselines it compares against; all of them sit behind the same
+/// [`Attributor`] interface.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Algorithm {
+    /// ExaBan — exact values over a fully compiled d-tree (Fig. 1).
+    ExaBan,
+    /// AdaBan — anytime deterministic ε-approximation (Fig. 3).
+    AdaBan,
+    /// IchiBan — ranking/top-k by interval separation (Sec. 4.1).
+    IchiBan,
+    /// The Sig22 exact baseline (CNF encoding + DPLL compilation).
+    Sig22,
+    /// Monte Carlo estimation (randomized, no deterministic guarantee).
+    MonteCarlo,
+    /// The CNF-proxy ranking heuristic (linear time, no guarantee).
+    CnfProxy,
+}
+
+impl Algorithm {
+    /// Every algorithm the engine knows, in the paper's presentation order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::ExaBan,
+        Algorithm::AdaBan,
+        Algorithm::IchiBan,
+        Algorithm::Sig22,
+        Algorithm::MonteCarlo,
+        Algorithm::CnfProxy,
+    ];
+
+    /// `true` iff the backend is a deterministic function of the lineage, so
+    /// its results may be transferred between isomorphic lineages by the
+    /// session cache. Monte Carlo is excluded: its RNG advances across calls,
+    /// so serving one lineage's samples for another would silently correlate
+    /// estimates that are supposed to be independent.
+    pub fn cacheable(self) -> bool {
+        self != Algorithm::MonteCarlo
+    }
+
+    /// The short display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::ExaBan => "ExaBan",
+            Algorithm::AdaBan => "AdaBan",
+            Algorithm::IchiBan => "IchiBan",
+            Algorithm::Sig22 => "Sig22",
+            Algorithm::MonteCarlo => "MC",
+            Algorithm::CnfProxy => "CNFProxy",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of the attribution pipeline: algorithm choice, compilation
+/// heuristic, approximation and budget parameters, and engine features
+/// (caching, Shapley values).
+///
+/// One `EngineConfig` replaces the per-call option structs
+/// ([`AdaBanOptions`], [`IchiBanOptions`], [`McOptions`]) previously threaded
+/// through every caller; [`EngineConfig::attributor`] turns it into a
+/// ready-to-run [`Attributor`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Which algorithm to dispatch to.
+    pub algorithm: Algorithm,
+    /// Shannon pivot-selection heuristic for d-tree compilation.
+    pub heuristic: PivotHeuristic,
+    /// Relative error ε for the approximate algorithms. `None` requests the
+    /// exact/certain mode (AdaBan with ε = 0, IchiBan's certain top-k).
+    pub epsilon: Option<Ratio>,
+    /// Per-attribution wall-clock timeout (`None` = unbounded).
+    pub timeout: Option<Duration>,
+    /// Per-attribution cap on decomposition steps (`None` = unbounded).
+    pub max_steps: Option<u64>,
+    /// Monte Carlo samples per variable (the paper's `MC50#vars` is 50).
+    pub mc_samples_per_var: u64,
+    /// RNG seed for the randomized baseline.
+    pub seed: u64,
+    /// AdaBan's lazy bound recomputation (optimization (1) of Sec. 3.2.4).
+    pub lazy_bounds: bool,
+    /// AdaBan/IchiBan's tighter leaf bounds (optimization (4)).
+    pub opt4: bool,
+    /// Enable the session d-tree cache keyed by canonical lineage. Only
+    /// applies to deterministic backends ([`Algorithm::cacheable`]); the
+    /// randomized Monte Carlo baseline always resamples.
+    pub cache: bool,
+    /// Also compute exact Shapley values (exact backends only), reusing the
+    /// d-tree compiled for the Banzhaf pass.
+    pub include_shapley: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            algorithm: Algorithm::ExaBan,
+            heuristic: PivotHeuristic::MostFrequent,
+            epsilon: Some(Ratio::from_u64(1, 10)),
+            timeout: None,
+            max_steps: None,
+            mc_samples_per_var: 50,
+            seed: 0xBA27AF,
+            lazy_bounds: true,
+            opt4: true,
+            cache: true,
+            include_shapley: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A default configuration running the given algorithm.
+    pub fn new(algorithm: Algorithm) -> Self {
+        EngineConfig { algorithm, ..EngineConfig::default() }
+    }
+
+    /// Sets the algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets ε from a decimal string such as `"0.1"`.
+    ///
+    /// # Panics
+    /// Panics if the string is not a valid decimal.
+    pub fn with_epsilon_str(mut self, epsilon: &str) -> Self {
+        self.epsilon = Some(Ratio::from_decimal_str(epsilon).expect("valid ε"));
+        self
+    }
+
+    /// Requests the exact/certain mode of the approximate algorithms.
+    pub fn certain(mut self) -> Self {
+        self.epsilon = None;
+        self
+    }
+
+    /// Sets the per-attribution wall-clock timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the pivot heuristic.
+    pub fn with_heuristic(mut self, heuristic: PivotHeuristic) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Sets the RNG seed for the randomized baseline.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the session d-tree cache.
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Enables Shapley values alongside the Banzhaf pass (exact backends).
+    pub fn with_shapley(mut self, include: bool) -> Self {
+        self.include_shapley = include;
+        self
+    }
+
+    /// A fresh [`Budget`] honouring the configured timeout and step cap.
+    pub fn budget(&self) -> Budget {
+        Budget::new(self.timeout, self.max_steps)
+    }
+
+    /// The configured ε, falling back to 0 (exact) in the certain mode.
+    pub fn epsilon_or_exact(&self) -> Ratio {
+        self.epsilon.clone().unwrap_or_else(Ratio::zero)
+    }
+
+    /// Builds the [`Attributor`] this configuration describes.
+    pub fn attributor(&self) -> Box<dyn Attributor> {
+        match self.algorithm {
+            Algorithm::ExaBan => Box::new(ExaBanAttributor {
+                heuristic: self.heuristic,
+                include_shapley: self.include_shapley,
+            }),
+            Algorithm::AdaBan => {
+                let mut options = AdaBanOptions::with_epsilon(self.epsilon_or_exact());
+                options.heuristic = self.heuristic;
+                options.lazy = self.lazy_bounds;
+                options.use_opt4 = self.opt4;
+                Box::new(AdaBanAttributor { options })
+            }
+            Algorithm::IchiBan => {
+                let mut options = match &self.epsilon {
+                    Some(eps) => IchiBanOptions::with_epsilon(eps.clone()),
+                    None => IchiBanOptions::certain(),
+                };
+                options.heuristic = self.heuristic;
+                options.use_opt4 = self.opt4;
+                Box::new(IchiBanAttributor { options })
+            }
+            Algorithm::Sig22 => Box::new(Sig22Attributor),
+            Algorithm::MonteCarlo => Box::new(MonteCarloAttributor::new(
+                McOptions { samples_per_var: self.mc_samples_per_var },
+                self.seed,
+            )),
+            Algorithm::CnfProxy => Box::new(CnfProxyAttributor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_headline_setting() {
+        let config = EngineConfig::default();
+        assert_eq!(config.algorithm, Algorithm::ExaBan);
+        assert_eq!(config.epsilon_or_exact(), Ratio::from_u64(1, 10));
+        assert!(config.cache);
+        assert!(config.lazy_bounds && config.opt4);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let config = EngineConfig::new(Algorithm::AdaBan)
+            .with_epsilon_str("0.25")
+            .with_timeout(Duration::from_millis(5))
+            .with_seed(7)
+            .with_cache(false)
+            .with_shapley(true);
+        assert_eq!(config.algorithm, Algorithm::AdaBan);
+        assert_eq!(config.epsilon_or_exact(), Ratio::from_u64(1, 4));
+        assert_eq!(config.timeout, Some(Duration::from_millis(5)));
+        assert!(!config.cache && config.include_shapley);
+        // The certain mode drops ε entirely.
+        assert!(config.certain().epsilon.is_none());
+    }
+
+    #[test]
+    fn every_algorithm_builds_an_attributor() {
+        for algorithm in Algorithm::ALL {
+            let attributor = EngineConfig::new(algorithm).attributor();
+            assert_eq!(attributor.name(), algorithm.name());
+            assert!(!format!("{algorithm}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The unified attribution pipeline: one front door over every algorithm of
+//! *Banzhaf Values for Facts in Query Answering* (SIGMOD 2024) and its
+//! baselines.
+//!
+//! The repo's lower layers expose the raw machinery — lineage DNFs
+//! (`banzhaf-boolean`), d-tree compilation (`banzhaf-dtree`), the algorithms
+//! (`banzhaf`, `banzhaf-baselines`), query evaluation (`banzhaf-query`). This
+//! crate composes them behind three abstractions:
+//!
+//! * [`Attributor`] — the pluggable algorithm interface: `attribute` (all
+//!   facts), `attribute_var`, `rank` and `top_k`, each honouring a
+//!   cooperative [`Budget`] deadline and returning the unified
+//!   [`Attribution`] / [`Ranked`] result types with per-run [`EngineStats`].
+//!   Implementations exist for ExaBan, AdaBan, IchiBan, Sig22, Monte Carlo
+//!   and the CNF proxy; new estimators plug into the same slot.
+//! * [`EngineConfig`] — one configuration (algorithm, pivot heuristic, ε,
+//!   budget, seed, features) replacing the per-call option structs.
+//! * [`Engine`] / [`Session`] — the end-to-end pipeline: evaluate a UCQ over
+//!   a [`banzhaf_db::Database`], compute per-answer lineage, and batch
+//!   attribution across answers while sharing work through a d-tree cache
+//!   keyed by canonical lineage (isomorphic lineages of distinct answers are
+//!   attributed once) and through the shared bottom-up model-count pass.
+//!
+//! ```
+//! use banzhaf_engine::{Algorithm, Engine, EngineConfig};
+//! use banzhaf_boolean::{Dnf, Var};
+//!
+//! // Example 13 of the paper, attributed through the engine.
+//! let phi = Dnf::from_clauses(vec![
+//!     vec![Var(0), Var(1)],
+//!     vec![Var(0), Var(2)],
+//!     vec![Var(3)],
+//! ]);
+//! let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan));
+//! let attribution = engine.session().attribute(&phi).unwrap();
+//! assert_eq!(attribution.model_count.as_ref().unwrap().to_u64(), Some(11));
+//! assert_eq!(attribution.ranking()[0].0, Var(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attribution;
+mod attributor;
+mod config;
+mod session;
+
+pub use attribution::{Attribution, EngineStats, Ranked, Score};
+pub use attributor::{
+    AdaBanAttributor, Attributor, CnfProxyAttributor, ExaBanAttributor, IchiBanAttributor,
+    MonteCarloAttributor, Sig22Attributor,
+};
+pub use banzhaf::{Budget, Interrupted, PivotHeuristic};
+pub use config::{Algorithm, EngineConfig};
+pub use session::{AnswerAttribution, Engine, QueryAttribution, Session, SessionStats};

@@ -1,0 +1,408 @@
+//! The engine front door: query evaluation, per-answer attribution, and the
+//! cross-answer d-tree cache.
+
+use crate::attribution::{Attribution, Ranked, Score};
+use crate::attributor::Attributor;
+use crate::config::EngineConfig;
+use banzhaf::Interrupted;
+use banzhaf_boolean::{Dnf, Var, VarSet};
+use banzhaf_db::{Database, Value};
+use banzhaf_query::{evaluate, UnionQuery};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The attribution engine: owns an [`EngineConfig`] and hands out
+/// [`Session`]s that batch attribution across the answers of a query.
+///
+/// ```
+/// use banzhaf_engine::{Engine, EngineConfig};
+/// use banzhaf_db::Database;
+/// use banzhaf_query::parse_program;
+///
+/// let mut db = Database::new();
+/// db.add_relation("R", 1);
+/// db.add_relation("S", 2);
+/// db.insert_endogenous("R", vec![1.into()]).unwrap();
+/// db.insert_endogenous("S", vec![1.into(), 2.into()]).unwrap();
+/// let query = parse_program("Q() :- R(X), S(X, Y).").unwrap();
+///
+/// let engine = Engine::new(EngineConfig::default());
+/// let explained = engine.session().explain(&query, &db).unwrap();
+/// assert_eq!(explained.answers.len(), 1);
+/// let attribution = &explained.answers[0].attribution;
+/// assert_eq!(attribution.model_count.as_ref().unwrap().to_u64(), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The attributor the configuration describes (for one-off calls; use a
+    /// [`Session`] to batch attributions and share work across answers).
+    pub fn attributor(&self) -> Box<dyn Attributor> {
+        self.config.attributor()
+    }
+
+    /// Starts a session: a stateful pipeline instance holding the d-tree
+    /// cache and the accumulated [`SessionStats`].
+    pub fn session(&self) -> Session {
+        Session {
+            config: self.config.clone(),
+            attributor: self.config.attributor(),
+            cache: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+}
+
+/// Work-sharing statistics accumulated by a [`Session`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// Attributions served (cache hits included).
+    pub attributions: u64,
+    /// Attributions served from the canonical-lineage cache.
+    pub cache_hits: u64,
+    /// Total knowledge-compilation steps actually performed.
+    pub compile_steps: u64,
+    /// Total wall-clock time spent inside backends.
+    pub wall: Duration,
+}
+
+/// One answer tuple with its lineage and attribution.
+#[derive(Clone, Debug)]
+pub struct AnswerAttribution {
+    /// The answer tuple (empty for Boolean queries).
+    pub tuple: Vec<Value>,
+    /// The answer's lineage.
+    pub lineage: Dnf,
+    /// The attribution of the answer's supporting facts.
+    pub attribution: Attribution,
+}
+
+/// The result of explaining a whole query: one attribution per answer.
+#[derive(Clone, Debug)]
+pub struct QueryAttribution {
+    /// Per-answer attributions, in the evaluator's sorted answer order.
+    pub answers: Vec<AnswerAttribution>,
+}
+
+/// A stateful attribution pipeline: evaluates queries, computes per-answer
+/// lineage, and batches attribution across answers while sharing work through
+/// a d-tree cache keyed by *canonical* lineage — distinct answers frequently
+/// share isomorphic lineage in the synthetic corpora, and a hit skips
+/// compilation entirely.
+pub struct Session {
+    config: EngineConfig,
+    attributor: Box<dyn Attributor>,
+    /// Canonical lineage → attribution over canonical variables.
+    cache: HashMap<CanonicalKey, Attribution>,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// The session's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The work-sharing statistics accumulated so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Evaluates a UCQ over a database and attributes every answer.
+    pub fn explain(
+        &mut self,
+        query: &UnionQuery,
+        db: &Database,
+    ) -> Result<QueryAttribution, Interrupted> {
+        let result = evaluate(query, db);
+        let mut answers = Vec::with_capacity(result.answers().len());
+        for answer in result.into_answers() {
+            let attribution = self.attribute(&answer.lineage)?;
+            answers.push(AnswerAttribution {
+                tuple: answer.tuple,
+                lineage: answer.lineage,
+                attribution,
+            });
+        }
+        Ok(QueryAttribution { answers })
+    }
+
+    /// Attributes one lineage under the configured budget, consulting the
+    /// d-tree cache when enabled.
+    ///
+    /// The backend always runs on the *canonical* form of the lineage
+    /// (variables renamed to a dense numbering — attribution values are
+    /// invariant under renaming, and the renaming is linear in the lineage
+    /// size), so a cached and an uncached session perform identical compile
+    /// work per distinct lineage shape and their results are bit-for-bit
+    /// comparable.
+    pub fn attribute(&mut self, lineage: &Dnf) -> Result<Attribution, Interrupted> {
+        self.stats.attributions += 1;
+        let canonical = Canonicalized::of(lineage);
+        // Randomized backends are never cached: transferring one lineage's
+        // samples to another would correlate supposedly independent
+        // estimates (see [`crate::Algorithm::cacheable`]).
+        let use_cache = self.config.cache && self.config.algorithm.cacheable();
+        if use_cache {
+            if let Some(cached) = self.cache.get(&canonical.key) {
+                self.stats.cache_hits += 1;
+                let mut attribution = canonical.map_back(cached);
+                // The cached result cost nothing this time around.
+                attribution.stats.compile_steps = 0;
+                attribution.stats.wall = Duration::ZERO;
+                attribution.stats.cache_hit = true;
+                return Ok(attribution);
+            }
+        }
+        // Attribute the canonical form so isomorphic lineages later hit the
+        // same entry, then rename the result back to this answer's facts.
+        let canonical_attribution =
+            self.attributor.attribute(&canonical.dnf, &self.config.budget())?;
+        self.record(&canonical_attribution);
+        let attribution = canonical.map_back(&canonical_attribution);
+        if use_cache {
+            self.cache.insert(canonical.key, canonical_attribution);
+        }
+        Ok(attribution)
+    }
+
+    /// The `k` facts of a lineage with the largest Banzhaf values.
+    ///
+    /// Top-k runs bypass the cache: the ranking backends stop refining as
+    /// soon as the selection is decided, so their partial results are not
+    /// reusable across answers.
+    pub fn top_k(&mut self, lineage: &Dnf, k: usize) -> Result<Ranked, Interrupted> {
+        let ranked = self.attributor.top_k(lineage, k, &self.config.budget())?;
+        self.stats.compile_steps += ranked.stats.compile_steps;
+        self.stats.wall += ranked.stats.wall;
+        Ok(ranked)
+    }
+
+    fn record(&mut self, attribution: &Attribution) {
+        self.stats.compile_steps += attribution.stats.compile_steps;
+        self.stats.wall += attribution.stats.wall;
+    }
+}
+
+/// The cache key: the lineage with its variables renamed to a dense canonical
+/// numbering. Equal keys imply isomorphic lineages (the composition of the
+/// two renamings is a variable bijection), so attribution values — which are
+/// invariant under renaming — can be transferred between them.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CanonicalKey {
+    num_vars: usize,
+    clauses: Vec<Vec<u32>>,
+}
+
+/// A lineage together with its canonical renaming.
+struct Canonicalized {
+    key: CanonicalKey,
+    /// The same function over the canonical variables `0..n`.
+    dnf: Dnf,
+    /// Canonical index → original variable.
+    originals: Vec<Var>,
+}
+
+impl Canonicalized {
+    /// Renames variables to `0..n` by first occurrence across the lineage's
+    /// canonically sorted clauses (unused universe variables follow, in
+    /// ascending order). This detects the renamed-but-identically-shaped
+    /// lineages the synthetic corpora produce; lineages it maps to different
+    /// keys are simply cached separately.
+    fn of(lineage: &Dnf) -> Canonicalized {
+        let mut ids: HashMap<Var, u32> = HashMap::with_capacity(lineage.num_vars());
+        let mut originals: Vec<Var> = Vec::with_capacity(lineage.num_vars());
+        let mut rename = |v: Var, originals: &mut Vec<Var>| -> u32 {
+            *ids.entry(v).or_insert_with(|| {
+                originals.push(v);
+                (originals.len() - 1) as u32
+            })
+        };
+        let mut clauses: Vec<Vec<u32>> = lineage
+            .clauses()
+            .iter()
+            .map(|c| c.iter().map(|v| rename(v, &mut originals)).collect())
+            .collect();
+        for v in lineage.universe().iter() {
+            rename(v, &mut originals);
+        }
+        // Sort the renamed clauses so the key does not depend on which
+        // original ordering produced them.
+        for c in &mut clauses {
+            c.sort_unstable();
+        }
+        clauses.sort_unstable();
+        let universe = VarSet::from_sorted((0..originals.len() as u32).map(Var).collect());
+        let dnf = Dnf::from_clauses_with_universe(
+            clauses.iter().map(|c| c.iter().map(|&i| Var(i))),
+            universe,
+        );
+        Canonicalized { key: CanonicalKey { num_vars: originals.len(), clauses }, dnf, originals }
+    }
+
+    /// Renames a canonical-variable attribution back to the original facts.
+    fn map_back(&self, canonical: &Attribution) -> Attribution {
+        let rename = |v: &Var| self.originals[v.index()];
+        let values: HashMap<Var, Score> =
+            canonical.values.iter().map(|(v, s)| (rename(v), s.clone())).collect();
+        let shapley = canonical
+            .shapley
+            .as_ref()
+            .map(|m| m.iter().map(|(v, s)| (rename(v), s.clone())).collect());
+        Attribution {
+            algorithm: canonical.algorithm,
+            values,
+            model_count: canonical.model_count.clone(),
+            shapley,
+            stats: canonical.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use banzhaf_query::parse_program;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    /// A lineage needing Shannon expansion, shifted by a variable offset.
+    fn shifted_cycle(offset: u32) -> Dnf {
+        Dnf::from_clauses(vec![
+            vec![v(offset), v(offset + 1)],
+            vec![v(offset + 1), v(offset + 2)],
+            vec![v(offset + 2), v(offset + 3)],
+            vec![v(offset + 3), v(offset)],
+        ])
+    }
+
+    #[test]
+    fn isomorphic_lineages_share_a_cache_entry() {
+        let engine = Engine::new(EngineConfig::default());
+        let mut session = engine.session();
+        let first = session.attribute(&shifted_cycle(0)).unwrap();
+        let second = session.attribute(&shifted_cycle(10)).unwrap();
+        assert!(!first.stats.cache_hit);
+        assert!(second.stats.cache_hit);
+        assert_eq!(session.stats().cache_hits, 1);
+        // The values transfer under the variable bijection.
+        for i in 0..4 {
+            assert_eq!(
+                first.value(v(i)).unwrap().exact(),
+                second.value(v(10 + i)).unwrap().exact()
+            );
+        }
+        assert_eq!(first.model_count, second.model_count);
+    }
+
+    #[test]
+    fn cached_results_match_uncached_runs() {
+        let engine_cached = Engine::new(EngineConfig::default().with_cache(true));
+        let engine_plain = Engine::new(EngineConfig::default().with_cache(false));
+        let (mut cached, mut plain) = (engine_cached.session(), engine_plain.session());
+        for offset in [0, 5, 9] {
+            let phi = shifted_cycle(offset);
+            let a = cached.attribute(&phi).unwrap();
+            let b = plain.attribute(&phi).unwrap();
+            assert_eq!(a.exact_values().unwrap(), b.exact_values().unwrap());
+            assert_eq!(a.model_count, b.model_count);
+        }
+        // The cache saved compile work on the repeated shape.
+        assert!(cached.stats().compile_steps < plain.stats().compile_steps);
+        assert_eq!(cached.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn randomized_backends_are_never_cached() {
+        // Isomorphic lineages must get independent Monte Carlo samples, not a
+        // renamed copy of each other's estimates.
+        let engine = Engine::new(EngineConfig::new(Algorithm::MonteCarlo).with_cache(true));
+        let mut session = engine.session();
+        let first = session.attribute(&shifted_cycle(0)).unwrap();
+        let second = session.attribute(&shifted_cycle(10)).unwrap();
+        assert!(!second.stats.cache_hit);
+        assert_eq!(session.stats().cache_hits, 0);
+        // The RNG advanced between the calls, so the (canonical) estimates
+        // are drawn from different sample sets.
+        let a: Vec<f64> = (0..4).map(|i| first.value(v(i)).unwrap().point()).collect();
+        let b: Vec<f64> = (0..4).map(|i| second.value(v(10 + i)).unwrap().point()).collect();
+        assert_ne!(a, b, "independent sampling should not reproduce identical estimates");
+    }
+
+    #[test]
+    fn different_shapes_do_not_collide() {
+        let engine = Engine::new(EngineConfig::default());
+        let mut session = engine.session();
+        let path = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
+        let star = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        let a = session.attribute(&path).unwrap();
+        let b = session.attribute(&star).unwrap();
+        assert!(!b.stats.cache_hit);
+        assert_ne!(a.exact_values(), b.exact_values());
+    }
+
+    #[test]
+    fn unused_universe_variables_survive_canonicalization() {
+        let phi = Dnf::from_clauses_with_universe(
+            vec![vec![v(3), v(7)]],
+            VarSet::from_iter([v(3), v(5), v(7)]),
+        );
+        let engine = Engine::new(EngineConfig::default());
+        let mut session = engine.session();
+        let att = session.attribute(&phi).unwrap();
+        assert_eq!(att.values.len(), 3);
+        assert_eq!(att.value(v(5)).unwrap().exact().unwrap().to_u64(), Some(0));
+        assert_eq!(att.model_count.as_ref().unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn explain_attributes_every_answer() {
+        let mut db = Database::new();
+        db.add_relation("R", 2);
+        db.add_relation("S", 2);
+        for x in [1i64, 2] {
+            for y in [10i64, 20] {
+                db.insert_endogenous("R", vec![x.into(), (y + x).into()]).unwrap();
+                db.insert_endogenous("S", vec![(y + x).into(), x.into()]).unwrap();
+            }
+        }
+        let query = parse_program("Q(X) :- R(X, Y), S(Y, X).").unwrap();
+        let engine = Engine::new(EngineConfig::default().with_shapley(true));
+        let mut session = engine.session();
+        let explained = session.explain(&query, &db).unwrap();
+        assert_eq!(explained.answers.len(), 2);
+        for answer in &explained.answers {
+            assert!(answer.attribution.is_exact());
+            assert!(answer.attribution.shapley.is_some());
+            assert_eq!(answer.attribution.values.len(), answer.lineage.num_vars());
+        }
+        // The two answers have isomorphic lineages: the second is a hit.
+        assert_eq!(session.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn session_topk_dispatches_to_the_backend() {
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)], vec![v(3)]]);
+        let engine = Engine::new(EngineConfig::new(Algorithm::IchiBan).certain());
+        let mut session = engine.session();
+        let topk = session.top_k(&phi, 2).unwrap();
+        assert!(topk.certified);
+        assert_eq!(topk.order, vec![v(3), v(0)]);
+    }
+}

@@ -28,6 +28,9 @@ pub struct Answer {
 #[derive(Clone, Debug, Default)]
 pub struct QueryResult {
     answers: Vec<Answer>,
+    /// Tuple → position in `answers`, so per-answer lookups are O(1) instead
+    /// of a linear scan (query results can have many thousands of answers).
+    index: HashMap<Vec<Value>, usize>,
 }
 
 impl QueryResult {
@@ -38,7 +41,13 @@ impl QueryResult {
 
     /// Looks up the lineage of a particular answer tuple.
     pub fn lineage_of(&self, tuple: &[Value]) -> Option<&Dnf> {
-        self.answers.iter().find(|a| a.tuple == tuple).map(|a| &a.lineage)
+        self.index.get(tuple).map(|&i| &self.answers[i].lineage)
+    }
+
+    /// Consumes the result, yielding the owned answers (still sorted by
+    /// tuple) without cloning their lineages.
+    pub fn into_answers(self) -> Vec<Answer> {
+        self.answers
     }
 
     /// `true` iff the (Boolean) query is satisfied, i.e. there is at least one
@@ -71,7 +80,8 @@ pub fn evaluate(query: &UnionQuery, db: &Database) -> QueryResult {
         })
         .collect();
     answers.sort_by(|a, b| a.tuple.cmp(&b.tuple));
-    QueryResult { answers }
+    let index = answers.iter().enumerate().map(|(i, a)| (a.tuple.clone(), i)).collect();
+    QueryResult { answers, index }
 }
 
 /// Enumerates all groundings of a CQ, returning for each the answer tuple and

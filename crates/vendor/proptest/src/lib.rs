@@ -197,7 +197,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct VecStrategy<S> {
         element: S,

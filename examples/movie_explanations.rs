@@ -4,7 +4,8 @@
 //! collaborate with which actors, and for one particular answer wants to know
 //! *which facts of the database contribute most* to that answer — e.g. which
 //! casting records are the most influential, so that a data-quality effort can
-//! prioritise verifying them.
+//! prioritise verifying them. One engine session explains every answer, with
+//! Banzhaf and Shapley values computed on the same compiled d-tree.
 //!
 //! Run with `cargo run --example movie_explanations`.
 
@@ -36,34 +37,34 @@ fn main() {
     let query =
         parse_program("Q(D) :- Directs(D, M), ActsIn(100, M), Movie(M, Y), Y >= 2000.").unwrap();
     println!("query:\n{query}");
-    let result = evaluate(&query, &db);
 
-    for answer in result.answers() {
+    // One session explains all answers: exact Banzhaf plus Shapley values,
+    // sharing the d-tree cache across answers with isomorphic lineage.
+    let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_shapley(true));
+    let mut session = engine.session();
+    let explained = session.explain(&query, &db).unwrap();
+
+    for answer in &explained.answers {
         let director = &answer.tuple[0];
         println!("answer: director {director}");
-        let lineage = answer.lineage.clone();
-        println!("  lineage: {lineage}");
+        println!("  lineage: {}", answer.lineage);
 
         // Exact contributions of every supporting fact.
-        let tree = DTree::compile_full(
-            lineage.clone(),
-            PivotHeuristic::MostFrequent,
-            &Budget::unlimited(),
-        )
-        .unwrap();
-        let banzhaf = exaban_all(&tree);
-        let shapley = shapley_all(&tree);
+        let shapley = answer.attribution.shapley.as_ref().expect("Shapley requested");
         println!("  contributions (Banzhaf | Shapley):");
-        for (var, value) in banzhaf.ranking() {
+        for (var, score) in answer.attribution.ranking() {
             let fact = db.fact(FactId(var.0)).unwrap();
-            println!("    {fact:<24} {value:>4}  |  {:.4}", shapley[&var].to_f64());
+            println!(
+                "    {fact:<24} {:>4}  |  {:.4}",
+                score.exact().unwrap(),
+                shapley[&var].to_f64()
+            );
         }
 
         // The single most influential fact, certified without exact values.
-        let mut tree = DTree::from_leaf(lineage);
-        let top =
-            ichiban_topk(&mut tree, 1, &IchiBanOptions::certain(), &Budget::unlimited()).unwrap();
-        let top_fact = db.fact(FactId(top.members[0].0)).unwrap();
+        let mut ichiban = Engine::new(EngineConfig::new(Algorithm::IchiBan).certain()).session();
+        let top = ichiban.top_k(&answer.lineage, 1).unwrap();
+        let top_fact = db.fact(FactId(top.order[0].0)).unwrap();
         println!("  most influential fact (IchiBan top-1): {top_fact}\n");
     }
 }

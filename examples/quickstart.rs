@@ -1,9 +1,10 @@
 //! Quickstart: from a database and a query to ranked fact contributions.
 //!
 //! Reproduces the running example of the paper (Examples 5–7): the query
-//! `Q() :- R(X,Y,Z), S(X,Y,V), T(X,U)` over a four-fact database, computing
-//! exact Banzhaf values with ExaBan, an ε-approximation with AdaBan, and the
-//! top facts with IchiBan.
+//! `Q() :- R(X,Y,Z), S(X,Y,V), T(X,U)` over a four-fact database — exact
+//! Banzhaf values with ExaBan, an ε-approximation with AdaBan, and the top
+//! facts with IchiBan, all dispatched through the `banzhaf-engine` front
+//! door.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -27,46 +28,39 @@ fn main() {
     println!("  hierarchical:   {}", is_hierarchical(cq));
     println!("  self-join free: {}", is_self_join_free(cq));
 
-    // 3. Evaluate with provenance: the lineage of the (Boolean) answer.
-    let result = evaluate(&query, &db);
-    let lineage = result.answers()[0].lineage.clone();
-    println!("\nlineage: {lineage}");
-
-    // 4. Compile the lineage into a d-tree and run ExaBan.
-    let tree =
-        DTree::compile_full(lineage.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
-            .expect("unbounded budget cannot be interrupted");
-    println!("\nd-tree:\n{}", tree.render());
-    let exact = exaban_all(&tree);
-    println!("model count #φ = {}", exact.model_count);
+    // 3. Explain the query through the engine: evaluation, per-answer
+    //    lineage, and exact attribution in one call.
+    let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan));
+    let explained = engine.session().explain(&query, &db).unwrap();
+    let answer = &explained.answers[0];
+    println!("\nlineage: {}", answer.lineage);
+    let exact = &answer.attribution;
+    println!("model count #φ = {}", exact.model_count.as_ref().unwrap());
+    println!(
+        "({} compile steps, {}-node d-tree)",
+        exact.stats.compile_steps, exact.stats.dtree_nodes
+    );
     println!("\nexact Banzhaf values (ExaBan):");
-    for (var, value) in exact.ranking() {
+    for (var, score) in exact.ranking() {
         let fact = db.fact(FactId(var.0)).expect("lineage variables map to facts");
-        println!("  Banzhaf({fact}) = {value}");
+        println!("  Banzhaf({fact}) = {}", score.exact().unwrap());
     }
 
-    // 5. Anytime approximation with AdaBan at relative error 0.1.
-    let mut partial = DTree::from_leaf(lineage.clone());
-    let vars: Vec<Var> = lineage.universe().iter().collect();
-    let intervals = adaban_all(
-        &mut partial,
-        &vars,
-        &AdaBanOptions::with_epsilon_str("0.1"),
-        &Budget::unlimited(),
-    )
-    .unwrap();
+    // 4. Anytime approximation: the same pipeline with AdaBan at ε = 0.1.
+    let adaban = Engine::new(EngineConfig::new(Algorithm::AdaBan).with_epsilon_str("0.1"));
+    let intervals = adaban.session().attribute(&answer.lineage).unwrap();
     println!("\nAdaBan (ε = 0.1) certified intervals:");
-    for (var, interval) in intervals {
+    for (var, score) in intervals.ranking() {
+        let Score::Interval(interval) = score else { continue };
         let fact = db.fact(FactId(var.0)).unwrap();
         println!("  Banzhaf({fact}) ∈ [{}, {}]", interval.lower, interval.upper);
     }
 
-    // 6. Top-2 facts with IchiBan (certain mode).
-    let mut topk_tree = DTree::from_leaf(lineage);
-    let topk =
-        ichiban_topk(&mut topk_tree, 2, &IchiBanOptions::certain(), &Budget::unlimited()).unwrap();
-    println!("\nIchiBan certified top-2 facts:");
-    for var in topk.members {
+    // 5. Top-2 facts with IchiBan (certain mode: no ε, certified selection).
+    let ichiban = Engine::new(EngineConfig::new(Algorithm::IchiBan).certain());
+    let top2 = ichiban.session().top_k(&answer.lineage, 2).unwrap();
+    println!("\nIchiBan certified top-2 facts (certified = {}):", top2.certified);
+    for var in top2.order {
         println!("  {}", db.fact(FactId(var.0)).unwrap());
     }
 }

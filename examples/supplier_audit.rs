@@ -4,11 +4,14 @@
 //! same-nation suppliers (a classic TPC-H-style join) and then wants to know,
 //! for a given nation, which individual orders and line items drive that
 //! answer — ranked by Banzhaf value, with an anytime approximation so the
-//! analysis stays interactive even when the lineage is large.
+//! analysis stays interactive even when the lineage is large. Every
+//! algorithm runs behind the same engine configuration; only the
+//! `Algorithm` choice changes.
 //!
 //! Run with `cargo run --release --example supplier_audit`.
 
 use banzhaf_repro::prelude::*;
+use std::time::Duration;
 
 fn main() {
     // Build a synthetic TPC-H-like corpus; dimension data (nations) is
@@ -35,15 +38,14 @@ fn main() {
     );
 
     // Anytime approximation: certified intervals at ε = 0.1 within a budget.
-    let vars: Vec<Var> = instance.lineage.universe().iter().collect();
-    let mut tree = DTree::from_leaf(instance.lineage.clone());
-    let budget = Budget::with_timeout(std::time::Duration::from_secs(5));
-    match adaban_all(&mut tree, &vars, &AdaBanOptions::with_epsilon_str("0.1"), &budget) {
-        Ok(intervals) => {
-            let mut ranked = intervals;
-            ranked.sort_by(|a, b| b.1.midpoint().partial_cmp(&a.1.midpoint()).unwrap());
+    let budgeted = EngineConfig::new(Algorithm::AdaBan)
+        .with_epsilon_str("0.1")
+        .with_timeout(Duration::from_secs(5));
+    match Engine::new(budgeted.clone()).session().attribute(&instance.lineage) {
+        Ok(attribution) => {
             println!("\ntop 10 facts by approximate Banzhaf value (ε = 0.1):");
-            for (var, interval) in ranked.into_iter().take(10) {
+            for (var, score) in attribution.top_k(10) {
+                let Score::Interval(interval) = score else { continue };
                 println!("  fact f{:<4} Banzhaf ∈ [{}, {}]", var.0, interval.lower, interval.upper);
             }
         }
@@ -53,40 +55,34 @@ fn main() {
     }
 
     // Certified top-3 facts (interval separation, no ε), under a budget.
-    let mut tree = DTree::from_leaf(instance.lineage.clone());
-    let budget = Budget::with_timeout(std::time::Duration::from_secs(5));
-    match ichiban_topk(&mut tree, 3, &IchiBanOptions::certain(), &budget) {
+    let certain = budgeted.clone().with_algorithm(Algorithm::IchiBan).certain();
+    match Engine::new(certain).session().top_k(&instance.lineage, 3) {
         Ok(topk) => {
             println!(
                 "\ncertified top-3 facts: {:?} (certified = {})",
-                topk.members.iter().map(|v| format!("f{}", v.0)).collect::<Vec<_>>(),
+                topk.order.iter().map(|v| format!("f{}", v.0)).collect::<Vec<_>>(),
                 topk.certified
             );
         }
         Err(Interrupted) => {
             println!("\ncertified top-3 needs more than the 5s budget; falling back to ε-relaxed");
-            let mut tree = DTree::from_leaf(instance.lineage.clone());
-            let topk = ichiban_topk(
-                &mut tree,
-                3,
-                &IchiBanOptions::with_epsilon_str("0.1"),
-                &Budget::with_timeout(std::time::Duration::from_secs(5)),
-            );
-            if let Ok(topk) = topk {
+            let relaxed = budgeted.with_algorithm(Algorithm::IchiBan);
+            if let Ok(topk) = Engine::new(relaxed).session().top_k(&instance.lineage, 3) {
                 println!(
                     "ε-relaxed top-3 facts: {:?}",
-                    topk.members.iter().map(|v| format!("f{}", v.0)).collect::<Vec<_>>()
+                    topk.order.iter().map(|v| format!("f{}", v.0)).collect::<Vec<_>>()
                 );
             }
         }
     }
 
     // Compare against the cheap CNF-proxy heuristic ranking.
-    let proxy = cnf_proxy(&instance.lineage);
-    let mut proxy_ranked: Vec<(Var, f64)> = proxy.into_iter().collect();
-    proxy_ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let proxy = Engine::new(EngineConfig::new(Algorithm::CnfProxy))
+        .session()
+        .attribute(&instance.lineage)
+        .expect("the proxy is linear time");
     println!(
         "\nCNF-proxy top-3 (no guarantees): {:?}",
-        proxy_ranked.iter().take(3).map(|(v, _)| format!("f{}", v.0)).collect::<Vec<_>>()
+        proxy.top_k(3).iter().map(|(v, _)| format!("f{}", v.0)).collect::<Vec<_>>()
     );
 }

@@ -2,10 +2,10 @@
 //!
 //! The Banzhaf value originates in the analysis of voting power (Penrose 1946,
 //! Banzhaf 1965) — the paper's introduction cites its use for the Council of
-//! the EU. This example uses the library's Boolean-function layer directly
-//! (no database): a weighted voting game is encoded as a positive DNF whose
+//! the EU. This example feeds the engine a Boolean function directly (no
+//! database): a weighted voting game is encoded as a positive DNF whose
 //! clauses are the minimal winning coalitions, and the Banzhaf/Shapley values
-//! of the voters are computed over its d-tree.
+//! of the voters come out of one exact attribution pass.
 //!
 //! Run with `cargo run --example voting_power`.
 
@@ -41,14 +41,14 @@ fn main() {
     println!("{} minimal winning coalitions", coalitions.len());
 
     // The game as a positive DNF: one clause per minimal winning coalition.
+    // One exact engine pass yields Banzhaf and Shapley on the same d-tree.
     let game = Dnf::from_clauses(coalitions);
-    let tree =
-        DTree::compile_full(game.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
-            .expect("unbounded budget");
-    let banzhaf = exaban_all(&tree);
-    let shapley = shapley_all(&tree);
-    let power = normalized_power(&banzhaf.values, game.num_vars());
-    let index = normalized_index(&banzhaf.values);
+    let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_shapley(true));
+    let attribution = engine.session().attribute(&game).expect("unbounded budget");
+    let banzhaf = attribution.exact_values().expect("ExaBan is exact");
+    let shapley = attribution.shapley.as_ref().expect("Shapley requested");
+    let power = normalized_power(&banzhaf, game.num_vars());
+    let index = normalized_index(&banzhaf);
 
     println!(
         "\n{:<8} {:>6} {:>10} {:>16} {:>16} {:>10}",
@@ -60,7 +60,7 @@ fn main() {
             "{:<8} {:>6} {:>10} {:>16.4} {:>16.4} {:>10.4}",
             name,
             weights[i],
-            banzhaf.value(v).map(|b| b.to_string()).unwrap_or_else(|| "0".into()),
+            banzhaf.get(&v).map(|b| b.to_string()).unwrap_or_else(|| "0".into()),
             power.get(&v).copied().unwrap_or(0.0),
             index.get(&v).copied().unwrap_or(0.0),
             shapley.get(&v).map(ShapleyValue::to_f64).unwrap_or(0.0),

@@ -5,6 +5,9 @@
 //! that downstream users (and the examples and integration tests in this
 //! repository) can depend on a single crate:
 //!
+//! * [`engine`] — **the primary API**: the [`prelude::Engine`] /
+//!   [`prelude::Session`] pipeline and the pluggable [`prelude::Attributor`]
+//!   trait over every algorithm;
 //! * [`arith`] — arbitrary-precision integers and rationals;
 //! * [`boolean`] — positive DNF lineage functions;
 //! * [`dtree`] — decomposition-tree knowledge compilation;
@@ -25,10 +28,11 @@
 //! db.insert_endogenous("R", vec![1.into()]).unwrap();
 //! db.insert_endogenous("S", vec![1.into(), 2.into()]).unwrap();
 //! let query = parse_program("Q() :- R(X), S(X, Y).").unwrap();
-//! let lineage = evaluate(&query, &db).answers()[0].lineage.clone();
-//! let tree = DTree::compile_full(lineage, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
-//! let values = exaban_all(&tree);
-//! assert_eq!(values.model_count.to_u64(), Some(1));
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let explained = engine.session().explain(&query, &db).unwrap();
+//! let attribution = &explained.answers[0].attribution;
+//! assert_eq!(attribution.model_count.as_ref().unwrap().to_u64(), Some(1));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -40,11 +44,17 @@ pub use banzhaf_baselines as baselines;
 pub use banzhaf_boolean as boolean;
 pub use banzhaf_db as db;
 pub use banzhaf_dtree as dtree;
+pub use banzhaf_engine as engine;
 pub use banzhaf_query as query;
 pub use banzhaf_workloads as workloads;
 
 /// Convenient glob-import of the most frequently used items.
 pub mod prelude {
+    pub use banzhaf_engine::{
+        Algorithm, AnswerAttribution, Attribution, Attributor, Engine, EngineConfig, EngineStats,
+        QueryAttribution, Ranked, Score, Session, SessionStats,
+    };
+
     pub use banzhaf::{
         adaban, adaban_all, bounds_for_var, critical_counts_all, exaban_all, exaban_single,
         ichiban_rank, ichiban_topk, l1_distance_normalized, normalized_index, normalized_power,

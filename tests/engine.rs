@@ -1,0 +1,175 @@
+//! Engine-level integration tests: every `Attributor` implementation against
+//! the ExaBan ground truth on random lineages, and the d-tree cache against
+//! uncached runs.
+
+use banzhaf_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy generating small random positive DNFs so that the exact ground
+/// truth stays cheap to compute.
+fn small_dnf() -> impl Strategy<Value = Dnf> {
+    proptest::collection::vec(proptest::collection::vec(0u32..8, 1..=3), 1..=8).prop_map(
+        |clauses| {
+            Dnf::from_clauses(
+                clauses.into_iter().map(|c| c.into_iter().map(Var).collect::<Vec<_>>()),
+            )
+        },
+    )
+}
+
+/// Ground truth via the core two-pass algorithm on a compiled d-tree.
+fn ground_truth(phi: &Dnf) -> BanzhafResult {
+    let tree = DTree::compile_full(phi.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
+        .unwrap();
+    exaban_all(&tree)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact backends agree with `exaban_all` on every value and on the model
+    /// count; interval backends bracket every exact value.
+    #[test]
+    fn every_attributor_agrees_with_or_brackets_exaban(phi in small_dnf()) {
+        let truth = ground_truth(&phi);
+        for algorithm in [Algorithm::ExaBan, Algorithm::Sig22] {
+            let attributor = EngineConfig::new(algorithm).attributor();
+            let att = attributor.attribute(&phi, &Budget::unlimited()).unwrap();
+            prop_assert_eq!(att.model_count.as_ref().unwrap(), &truth.model_count);
+            let exact = att.exact_values().unwrap();
+            for x in phi.universe().iter() {
+                prop_assert_eq!(&exact[&x], truth.value(x).unwrap(), "{} {}", algorithm, x);
+            }
+        }
+        for algorithm in [Algorithm::AdaBan, Algorithm::IchiBan] {
+            let attributor = EngineConfig::new(algorithm).attributor();
+            let att = attributor.attribute(&phi, &Budget::unlimited()).unwrap();
+            for x in phi.universe().iter() {
+                let Some(Score::Interval(interval)) = att.value(x) else {
+                    prop_assert!(false, "{} must return an interval for {}", algorithm, x);
+                    unreachable!();
+                };
+                let exact = truth.value(x).unwrap();
+                prop_assert!(
+                    &interval.lower <= exact && exact <= &interval.upper,
+                    "{} {}: [{}, {}] must contain {}",
+                    algorithm, x, interval.lower, interval.upper, exact
+                );
+            }
+        }
+    }
+
+    /// The session's canonical-lineage d-tree cache returns exactly the same
+    /// results as an uncached session, for exact and estimate backends alike.
+    #[test]
+    fn cached_sessions_match_uncached_sessions(phi in small_dnf()) {
+        // Attribute the lineage and a renamed copy: the copy hits the cache.
+        let shifted = Dnf::from_clauses(
+            phi.clauses().iter().map(|c| c.iter().map(|v| Var(v.0 + 100)).collect::<Vec<_>>()),
+        );
+        for algorithm in [Algorithm::ExaBan, Algorithm::Sig22] {
+            let config = EngineConfig::new(algorithm);
+            let mut cached = Engine::new(config.clone().with_cache(true)).session();
+            let mut uncached = Engine::new(config.with_cache(false)).session();
+            for lineage in [&phi, &shifted] {
+                let a = cached.attribute(lineage).unwrap();
+                let b = uncached.attribute(lineage).unwrap();
+                prop_assert_eq!(a.exact_values().unwrap(), b.exact_values().unwrap());
+                prop_assert_eq!(a.model_count, b.model_count);
+            }
+            prop_assert_eq!(cached.stats().cache_hits, 1);
+            prop_assert!(cached.stats().compile_steps <= uncached.stats().compile_steps);
+        }
+    }
+}
+
+#[test]
+fn engine_explains_workload_answers_like_the_raw_pipeline() {
+    // The engine front door must agree with the hand-wired pipeline on a
+    // sample of workload lineages.
+    let corpus = academic_like(&DatasetSpec::default());
+    let engine = Engine::new(EngineConfig::default());
+    let mut session = engine.session();
+    let mut checked = 0;
+    for instance in &corpus.instances {
+        if instance.lineage.num_vars() == 0 || instance.lineage.num_vars() > 14 {
+            continue;
+        }
+        let truth = ground_truth(&instance.lineage);
+        let att = session.attribute(&instance.lineage).unwrap();
+        assert_eq!(att.model_count.as_ref(), Some(&truth.model_count));
+        for x in instance.lineage.universe().iter() {
+            assert_eq!(att.value(x).unwrap().exact().as_ref(), truth.value(x));
+        }
+        checked += 1;
+        if checked >= 25 {
+            break;
+        }
+    }
+    assert!(checked >= 10, "expected enough small instances to check, got {checked}");
+}
+
+#[test]
+fn session_cache_pays_off_on_a_corpus_with_repeated_lineages() {
+    // The acceptance check of the engine refactor: on a corpus whose answers
+    // share isomorphic lineage, the cached session performs strictly fewer
+    // compile steps than the uncached one.
+    let repeated: Vec<Dnf> = (0..8u32)
+        .map(|s| {
+            let o = s * 16;
+            Dnf::from_clauses(vec![
+                vec![Var(o), Var(o + 1)],
+                vec![Var(o + 1), Var(o + 2)],
+                vec![Var(o + 2), Var(o + 3)],
+                vec![Var(o + 3), Var(o + 4)],
+                vec![Var(o + 4), Var(o)],
+            ])
+        })
+        .collect();
+    let mut cached = Engine::new(EngineConfig::default().with_cache(true)).session();
+    let mut uncached = Engine::new(EngineConfig::default().with_cache(false)).session();
+    for lineage in &repeated {
+        let a = cached.attribute(lineage).unwrap();
+        let b = uncached.attribute(lineage).unwrap();
+        assert_eq!(a.exact_values(), b.exact_values());
+    }
+    assert_eq!(cached.stats().cache_hits, 7);
+    assert!(
+        cached.stats().compile_steps < uncached.stats().compile_steps,
+        "cache must save compile steps: {} vs {}",
+        cached.stats().compile_steps,
+        uncached.stats().compile_steps
+    );
+}
+
+#[test]
+fn engine_and_query_layer_compose_end_to_end() {
+    // Examples 5–7 of the paper, through the front door only.
+    let mut db = Database::new();
+    db.add_relation("R", 3);
+    db.add_relation("S", 3);
+    db.add_relation("T", 2);
+    let r = db.insert_endogenous("R", vec![1.into(), 2.into(), 3.into()]).unwrap();
+    let s1 = db.insert_endogenous("S", vec![1.into(), 2.into(), 4.into()]).unwrap();
+    db.insert_endogenous("S", vec![1.into(), 2.into(), 5.into()]).unwrap();
+    let t = db.insert_endogenous("T", vec![1.into(), 6.into()]).unwrap();
+    let query = parse_program("Q() :- R(X, Y, Z), S(X, Y, V), T(X, U).").unwrap();
+
+    let engine = Engine::new(EngineConfig::default().with_shapley(true));
+    let explained = engine.session().explain(&query, &db).unwrap();
+    assert_eq!(explained.answers.len(), 1);
+    let attribution = &explained.answers[0].attribution;
+    assert_eq!(attribution.model_count.as_ref().unwrap().to_u64(), Some(3));
+    let exact = attribution.exact_values().unwrap();
+    assert_eq!(exact[&Var(r.0)].to_u64(), Some(3));
+    assert_eq!(exact[&Var(s1.0)].to_u64(), Some(1));
+    assert_eq!(exact[&Var(t.0)].to_u64(), Some(3));
+    assert!(attribution.shapley.is_some());
+
+    // The certified top-2 through the IchiBan backend.
+    let mut topk_session = Engine::new(EngineConfig::new(Algorithm::IchiBan).certain()).session();
+    let top2 = topk_session.top_k(&explained.answers[0].lineage, 2).unwrap();
+    assert!(top2.certified);
+    assert!(top2.order.contains(&Var(r.0)));
+    assert!(top2.order.contains(&Var(t.0)));
+}
