@@ -10,94 +10,137 @@ const LIMB_BITS: usize = 64;
 /// Operand size (in limbs) above which multiplication switches to Karatsuba.
 const KARATSUBA_THRESHOLD: usize = 32;
 
+/// The tagged representation behind [`Natural`].
+///
+/// Model counts and Banzhaf values start tiny (leaf counts are 0, 1 or 2)
+/// and only grow large near the root of a d-tree, so the hot add/mul paths
+/// overwhelmingly see one-limb operands. `Small` keeps those inline — no
+/// heap allocation per temporary — while `Big` falls back to the limb-vector
+/// algorithms.
+///
+/// Canonical-form invariant (relied upon by the derived `PartialEq`/`Hash`):
+/// values below 2⁶⁴ are *always* `Small`; `Big` always holds at least two
+/// limbs and its last limb is non-zero. Every constructor and operation
+/// renormalizes through [`Natural::from_limbs`] or builds `Small` directly.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// A value fitting one limb, stored inline.
+    Small(u64),
+    /// Little-endian limbs; invariant: `len ≥ 2` and the last limb is
+    /// non-zero.
+    Big(Vec<u64>),
+}
+
 /// An unsigned arbitrary-precision integer.
 ///
 /// The value is stored as little-endian base-2^64 limbs with no trailing zero
-/// limbs (the canonical representation of zero is an empty limb vector).
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+/// limbs; values below 2⁶⁴ are stored inline without heap allocation (the
+/// canonical representation of zero is the inline 0).
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Natural {
-    /// Little-endian limbs; invariant: the last limb (if any) is non-zero.
-    limbs: Vec<u64>,
+    repr: Repr,
 }
 
 impl Natural {
     /// The value 0.
     pub fn zero() -> Self {
-        Natural { limbs: Vec::new() }
+        Natural { repr: Repr::Small(0) }
     }
 
     /// The value 1.
     pub fn one() -> Self {
-        Natural { limbs: vec![1] }
+        Natural { repr: Repr::Small(1) }
     }
 
     /// `2^exp`.
     pub fn pow2(exp: usize) -> Self {
+        if exp < LIMB_BITS {
+            return Natural { repr: Repr::Small(1u64 << exp) };
+        }
         let limb = exp / LIMB_BITS;
         let bit = exp % LIMB_BITS;
         let mut limbs = vec![0u64; limb + 1];
         limbs[limb] = 1u64 << bit;
-        Natural { limbs }
+        Natural { repr: Repr::Big(limbs) }
     }
 
     /// Returns `true` iff the value is 0.
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Returns `true` iff the value is 1.
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(self.repr, Repr::Small(1))
     }
 
     /// Number of significant bits (0 for the value 0).
     pub fn bit_len(&self) -> usize {
-        match self.limbs.last() {
-            None => 0,
-            Some(&hi) => (self.limbs.len() - 1) * LIMB_BITS + (64 - hi.leading_zeros() as usize),
+        match &self.repr {
+            Repr::Small(v) => (LIMB_BITS - v.leading_zeros() as usize) * usize::from(*v != 0),
+            Repr::Big(limbs) => {
+                let hi = *limbs.last().expect("Big is non-empty");
+                (limbs.len() - 1) * LIMB_BITS + (LIMB_BITS - hi.leading_zeros() as usize)
+            }
         }
     }
 
     /// Number of limbs in the canonical representation.
     pub fn limb_count(&self) -> usize {
-        self.limbs.len()
+        match &self.repr {
+            Repr::Small(0) => 0,
+            Repr::Small(_) => 1,
+            Repr::Big(limbs) => limbs.len(),
+        }
     }
 
-    /// Builds a natural from little-endian limbs, normalizing trailing zeros.
+    /// Builds a natural from little-endian limbs, normalizing trailing zeros
+    /// (and collapsing one-limb values to the inline representation).
     pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
-        Natural { limbs }
+        match limbs.len() {
+            0 => Natural::zero(),
+            1 => Natural { repr: Repr::Small(limbs[0]) },
+            _ => Natural { repr: Repr::Big(limbs) },
+        }
     }
 
     /// Returns the little-endian limbs.
     pub fn limbs(&self) -> &[u64] {
-        &self.limbs
+        match &self.repr {
+            Repr::Small(0) => &[],
+            Repr::Small(v) => std::slice::from_ref(v),
+            Repr::Big(limbs) => limbs,
+        }
     }
 
-    fn normalize(&mut self) {
-        while self.limbs.last() == Some(&0) {
-            self.limbs.pop();
+    /// Consumes the natural into an owned limb vector.
+    fn into_limbs(self) -> Vec<u64> {
+        match self.repr {
+            Repr::Small(0) => Vec::new(),
+            Repr::Small(v) => vec![v],
+            Repr::Big(limbs) => limbs,
         }
     }
 
     /// Converts to `u64` if the value fits.
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0]),
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            Repr::Big(_) => None,
         }
     }
 
     /// Converts to `u128` if the value fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => Some(*v as u128),
+            Repr::Big(limbs) if limbs.len() == 2 => {
+                Some((limbs[1] as u128) << 64 | limbs[0] as u128)
+            }
+            Repr::Big(_) => None,
         }
     }
 
@@ -106,14 +149,15 @@ impl Natural {
     /// Values larger than `f64::MAX` saturate to `f64::INFINITY`; precision is
     /// the usual 53-bit mantissa. This is only used for reporting.
     pub fn to_f64(&self) -> f64 {
-        match self.limbs.len() {
+        let limbs = self.limbs();
+        match limbs.len() {
             0 => 0.0,
-            1 => self.limbs[0] as f64,
-            2 => (self.limbs[1] as f64) * 2f64.powi(64) + self.limbs[0] as f64,
+            1 => limbs[0] as f64,
+            2 => (limbs[1] as f64) * 2f64.powi(64) + limbs[0] as f64,
             n => {
                 // Take the top 128 bits and scale by the remaining bit count.
-                let hi = self.limbs[n - 1];
-                let lo = self.limbs[n - 2];
+                let hi = limbs[n - 1];
+                let lo = limbs[n - 2];
                 let top = (hi as f64) * 2f64.powi(64) + lo as f64;
                 let shift = (n - 2) * LIMB_BITS;
                 top * 2f64.powi(shift as i32)
@@ -121,7 +165,7 @@ impl Natural {
         }
     }
 
-    /// Compares two naturals.
+    /// Compares two limb slices.
     fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
         if a.len() != b.len() {
             return a.len().cmp(&b.len());
@@ -137,19 +181,29 @@ impl Natural {
 
     /// Adds `other` into `self`.
     pub fn add_assign_ref(&mut self, other: &Natural) {
+        // Hot path: both operands fit one limb — no allocation unless the
+        // sum overflows into a second limb.
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            let (sum, carry) = a.overflowing_add(*b);
+            self.repr = if carry { Repr::Big(vec![sum, 1]) } else { Repr::Small(sum) };
+            return;
+        }
+        let mut limbs = std::mem::take(self).into_limbs();
+        let other_limbs = other.limbs();
         let mut carry = 0u64;
-        let n = self.limbs.len().max(other.limbs.len());
-        self.limbs.resize(n, 0);
-        for i in 0..n {
-            let b = other.limbs.get(i).copied().unwrap_or(0);
-            let (s1, c1) = self.limbs[i].overflowing_add(b);
+        let n = limbs.len().max(other_limbs.len());
+        limbs.resize(n, 0);
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let b = other_limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
-            self.limbs[i] = s2;
+            *limb = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         if carry != 0 {
-            self.limbs.push(carry);
+            limbs.push(carry);
         }
+        *self = Natural::from_limbs(limbs);
     }
 
     /// Subtracts `other` from `self`.
@@ -160,24 +214,37 @@ impl Natural {
     /// sub-functions), so an underflow indicates a logic error.
     pub fn sub_assign_ref(&mut self, other: &Natural) {
         debug_assert!(
-            Natural::cmp_limbs(&self.limbs, &other.limbs) != Ordering::Less,
+            Natural::cmp_limbs(self.limbs(), other.limbs()) != Ordering::Less,
             "Natural subtraction underflow"
         );
+        // Hot path: one-limb operands subtract inline.
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            let (diff, borrow) = a.overflowing_sub(*b);
+            assert!(!borrow, "Natural subtraction underflow");
+            self.repr = Repr::Small(diff);
+            return;
+        }
+        let mut limbs = std::mem::take(self).into_limbs();
+        let other_limbs = other.limbs();
+        // A longer canonical operand is strictly larger: the loop below only
+        // walks `self`'s limbs, so this case must be rejected up front or the
+        // high limbs of `other` would be silently ignored in release builds.
+        assert!(other_limbs.len() <= limbs.len(), "Natural subtraction underflow");
         let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let b = other.limbs.get(i).copied().unwrap_or(0);
-            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let b = other_limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            self.limbs[i] = d2;
+            *limb = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         assert_eq!(borrow, 0, "Natural subtraction underflow");
-        self.normalize();
+        *self = Natural::from_limbs(limbs);
     }
 
     /// Checked subtraction: returns `None` when `other > self`.
     pub fn checked_sub(&self, other: &Natural) -> Option<Natural> {
-        if Natural::cmp_limbs(&self.limbs, &other.limbs) == Ordering::Less {
+        if Natural::cmp_limbs(self.limbs(), other.limbs()) == Ordering::Less {
             None
         } else {
             let mut r = self.clone();
@@ -282,7 +349,7 @@ impl Natural {
             s.add_assign_ref(&Natural::from_limbs(b_hi.to_vec()));
             s
         };
-        let mut z1 = Natural::mul_karatsuba(&a_sum.limbs, &b_sum.limbs);
+        let mut z1 = Natural::mul_karatsuba(a_sum.limbs(), b_sum.limbs());
         // z1 = z1 - z0 - z2
         while z1.len() < z0.len().max(z2.len()) {
             z1.push(0);
@@ -298,25 +365,32 @@ impl Natural {
 
     /// Multiplies two naturals.
     pub fn mul_ref(&self, other: &Natural) -> Natural {
-        Natural::from_limbs(Natural::mul_karatsuba(&self.limbs, &other.limbs))
+        // Hot path: a one-limb product needs only a u128 widening multiply.
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return Natural::from_u128((*a as u128) * (*b as u128));
+        }
+        Natural::from_limbs(Natural::mul_karatsuba(self.limbs(), other.limbs()))
     }
 
     /// Multiplies by a `u64`.
     pub fn mul_u64(&self, m: u64) -> Natural {
-        if m == 0 || self.is_zero() {
-            return Natural::zero();
+        match &self.repr {
+            Repr::Small(v) => Natural::from_u128((*v as u128) * (m as u128)),
+            Repr::Big(_) if m == 0 => Natural::zero(),
+            Repr::Big(limbs) => {
+                let mut out = Vec::with_capacity(limbs.len() + 1);
+                let mut carry = 0u128;
+                for &l in limbs {
+                    let cur = (l as u128) * (m as u128) + carry;
+                    out.push(cur as u64);
+                    carry = cur >> 64;
+                }
+                if carry != 0 {
+                    out.push(carry as u64);
+                }
+                Natural::from_limbs(out)
+            }
         }
-        let mut out = Vec::with_capacity(self.limbs.len() + 1);
-        let mut carry = 0u128;
-        for &l in &self.limbs {
-            let cur = (l as u128) * (m as u128) + carry;
-            out.push(cur as u64);
-            carry = cur >> 64;
-        }
-        if carry != 0 {
-            out.push(carry as u64);
-        }
-        Natural::from_limbs(out)
     }
 
     /// Shifts left by `bits` bits (multiplies by 2^bits).
@@ -324,10 +398,17 @@ impl Natural {
         if self.is_zero() || bits == 0 {
             return self.clone();
         }
+        // A small value that stays within its limb shifts inline.
+        if let Repr::Small(v) = &self.repr {
+            if bits < LIMB_BITS && v.leading_zeros() as usize >= bits {
+                return Natural { repr: Repr::Small(v << bits) };
+            }
+        }
+        let limbs = self.limbs();
         let limb_shift = bits / LIMB_BITS;
         let bit_shift = bits % LIMB_BITS;
-        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
-        for (i, &l) in self.limbs.iter().enumerate() {
+        let mut out = vec![0u64; limbs.len() + limb_shift + 1];
+        for (i, &l) in limbs.iter().enumerate() {
             if bit_shift == 0 {
                 out[i + limb_shift] |= l;
             } else {
@@ -340,16 +421,20 @@ impl Natural {
 
     /// Shifts right by `bits` bits (divides by 2^bits, truncating).
     pub fn shr_bits(&self, bits: usize) -> Natural {
+        if let Repr::Small(v) = &self.repr {
+            return Natural { repr: Repr::Small(if bits < LIMB_BITS { v >> bits } else { 0 }) };
+        }
+        let limbs = self.limbs();
         let limb_shift = bits / LIMB_BITS;
         let bit_shift = bits % LIMB_BITS;
-        if limb_shift >= self.limbs.len() {
+        if limb_shift >= limbs.len() {
             return Natural::zero();
         }
-        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
-        for i in limb_shift..self.limbs.len() {
-            let mut v = self.limbs[i] >> bit_shift;
+        let mut out = Vec::with_capacity(limbs.len() - limb_shift);
+        for i in limb_shift..limbs.len() {
+            let mut v = limbs[i] >> bit_shift;
             if bit_shift != 0 {
-                if let Some(&next) = self.limbs.get(i + 1) {
+                if let Some(&next) = limbs.get(i + 1) {
                     v |= next << (LIMB_BITS - bit_shift);
                 }
             }
@@ -364,10 +449,14 @@ impl Natural {
     /// Panics if `d == 0`.
     pub fn div_rem_u64(&self, d: u64) -> (Natural, u64) {
         assert!(d != 0, "division by zero");
-        let mut quo = vec![0u64; self.limbs.len()];
+        if let Repr::Small(v) = &self.repr {
+            return (Natural { repr: Repr::Small(v / d) }, v % d);
+        }
+        let limbs = self.limbs();
+        let mut quo = vec![0u64; limbs.len()];
         let mut rem = 0u128;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | self.limbs[i] as u128;
+        for i in (0..limbs.len()).rev() {
+            let cur = (rem << 64) | limbs[i] as u128;
             quo[i] = (cur / d as u128) as u64;
             rem = cur % d as u128;
         }
@@ -408,7 +497,10 @@ impl Natural {
 
     /// Builds from a `u128`.
     pub fn from_u128(v: u128) -> Natural {
-        Natural::from_limbs(vec![v as u64, (v >> 64) as u64])
+        if v <= u64::MAX as u128 {
+            return Natural { repr: Repr::Small(v as u64) };
+        }
+        Natural { repr: Repr::Big(vec![v as u64, (v >> 64) as u64]) }
     }
 
     /// `self^exp` by binary exponentiation.
@@ -469,8 +561,8 @@ impl Natural {
 
 impl fmt::Display for Natural {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return write!(f, "0");
+        if let Repr::Small(v) = &self.repr {
+            return write!(f, "{v}");
         }
         // Repeated division by 10^19 (largest power of ten fitting in u64).
         const CHUNK: u64 = 10_000_000_000_000_000_000;
@@ -496,6 +588,12 @@ impl fmt::Debug for Natural {
     }
 }
 
+impl Default for Natural {
+    fn default() -> Self {
+        Natural::zero()
+    }
+}
+
 impl PartialOrd for Natural {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -504,7 +602,12 @@ impl PartialOrd for Natural {
 
 impl Ord for Natural {
     fn cmp(&self, other: &Self) -> Ordering {
-        Natural::cmp_limbs(&self.limbs, &other.limbs)
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            (Repr::Small(_), Repr::Big(_)) => Ordering::Less,
+            (Repr::Big(_), Repr::Small(_)) => Ordering::Greater,
+            (Repr::Big(a), Repr::Big(b)) => Natural::cmp_limbs(a, b),
+        }
     }
 }
 
@@ -512,7 +615,7 @@ macro_rules! impl_from_uint {
     ($($t:ty),*) => {
         $(impl From<$t> for Natural {
             fn from(v: $t) -> Self {
-                Natural::from_limbs(vec![v as u64])
+                Natural { repr: Repr::Small(v as u64) }
             }
         })*
     };
@@ -688,6 +791,11 @@ mod tests {
         assert_eq!(a.shl_bits(200).shr_bits(200), a);
         assert_eq!(a.shr_bits(2).to_u64(), Some(0b10));
         assert_eq!(a.shr_bits(64), Natural::zero());
+        // Shifts that cross the small/big boundary renormalize canonically.
+        let high = Natural::from(u64::MAX).shl_bits(1);
+        assert_eq!(high.limb_count(), 2);
+        assert_eq!(high.shr_bits(1), Natural::from(u64::MAX));
+        assert_eq!(high.shr_bits(1).limb_count(), 1);
     }
 
     #[test]
@@ -765,5 +873,41 @@ mod tests {
         let a = Natural::from(u64::MAX);
         let p = a.mul_u64(u64::MAX);
         assert_eq!(p.to_u128(), Some(u64::MAX as u128 * u64::MAX as u128));
+    }
+
+    #[test]
+    fn canonical_form_across_representations() {
+        // Values below 2^64 must always come out Small (limb_count ≤ 1) no
+        // matter which operation produced them — the derived Eq/Hash rely on
+        // the representation being canonical.
+        let small_via_sub = &Natural::pow2(64) - &Natural::one();
+        assert_eq!(small_via_sub.limb_count(), 1);
+        assert_eq!(small_via_sub, Natural::from(u64::MAX));
+        let small_via_div = Natural::pow2(128).div_rem(&Natural::pow2(65)).0;
+        assert_eq!(small_via_div, Natural::pow2(63));
+        assert_eq!(small_via_div.limb_count(), 1);
+        let small_via_limbs = Natural::from_limbs(vec![42, 0, 0]);
+        assert_eq!(small_via_limbs.to_u64(), Some(42));
+        assert_eq!(small_via_limbs.limbs(), &[42]);
+        assert_eq!(Natural::from_limbs(Vec::new()), Natural::zero());
+        assert!(Natural::from_limbs(vec![0, 0]).limbs().is_empty());
+    }
+
+    #[test]
+    fn small_fast_paths_agree_with_limb_algorithms() {
+        // Cross-check every inline fast path against the general path by
+        // round-tripping operands through from_limbs.
+        let pairs = [(0u64, 0u64), (1, 1), (5, 7), (u64::MAX, 1), (u64::MAX, u64::MAX)];
+        for (a, b) in pairs {
+            let (sa, sb) = (Natural::from(a), Natural::from(b));
+            let (la, lb) = (Natural::from_limbs(vec![a]), Natural::from_limbs(vec![b]));
+            assert_eq!(&sa + &sb, &la + &lb);
+            assert_eq!(&sa * &sb, &la * &lb);
+            assert_eq!(sa.mul_u64(b), la.mul_ref(&lb));
+            if a >= b {
+                assert_eq!(&sa - &sb, &la - &lb);
+            }
+            assert_eq!(sa.cmp(&sb), la.cmp(&lb));
+        }
     }
 }

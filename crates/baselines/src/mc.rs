@@ -7,11 +7,21 @@
 //! (Sec. 5.1 and Sec. 6 of the paper): it gives only probabilistic guarantees,
 //! one more sample may make the estimate worse, and it treats the lineage as a
 //! black box.
+//!
+//! Sampling is organized in **per-variable seed streams**: variable `i` draws
+//! its samples from a generator seeded by `derive(seed, i)` rather than from
+//! one RNG advancing across the whole run. The sample set is therefore a pure
+//! function of `(seed, lineage, options)` — independent of iteration order —
+//! which is what lets [`mc_banzhaf_par`] fan the per-variable loops across a
+//! [`ThreadPool`] and still return **bit-identical estimates at every thread
+//! count**.
 
 use banzhaf_arith::Natural;
 use banzhaf_boolean::{Assignment, Dnf, Var};
 use banzhaf_dtree::{Budget, Interrupted};
-use rand::Rng;
+use banzhaf_par::{seed, ThreadPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Configuration of the Monte Carlo estimator.
@@ -29,43 +39,81 @@ impl Default for McOptions {
 }
 
 /// Estimates the Banzhaf value of every variable of `phi` by Monte Carlo
-/// sampling. Returns point estimates (possibly non-integral) per variable.
-pub fn mc_banzhaf<R: Rng>(
+/// sampling on the calling thread. Returns point estimates (possibly
+/// non-integral) per variable.
+///
+/// Equivalent to [`mc_banzhaf_par`] on a sequential pool; both produce the
+/// same estimates for the same `seed`.
+pub fn mc_banzhaf(
     phi: &Dnf,
     options: &McOptions,
-    rng: &mut R,
+    seed: u64,
     budget: &Budget,
+) -> Result<HashMap<Var, f64>, Interrupted> {
+    mc_banzhaf_par(phi, options, seed, budget, &ThreadPool::sequential())
+}
+
+/// Estimates the Banzhaf value of every variable of `phi`, fanning the
+/// per-variable sampling loops across `pool`.
+///
+/// Estimates are **bit-identical to the sequential path** for any thread
+/// count: each variable's samples come from its own derived seed stream, so
+/// scheduling never changes what is sampled. The `budget` is shared by all
+/// workers (its counters are atomic); a step cap counts samples globally, so
+/// under a tight cap the parallel and sequential runs both fail with
+/// [`Interrupted`] but may interrupt while working on different variables.
+pub fn mc_banzhaf_par(
+    phi: &Dnf,
+    options: &McOptions,
+    seed: u64,
+    budget: &Budget,
+    pool: &ThreadPool,
 ) -> Result<HashMap<Var, f64>, Interrupted> {
     let vars: Vec<Var> = phi.universe().iter().collect();
     let n = vars.len();
     let scale = Natural::pow2(n.saturating_sub(1)).to_f64();
-    let mut estimates = HashMap::with_capacity(n);
-    for &x in &vars {
-        let mut positive_flips = 0u64;
-        for _ in 0..options.samples_per_var {
-            budget.step()?;
-            // Sample Y ⊆ X∖{x} uniformly.
-            let mut assignment = Assignment::empty();
-            for &y in &vars {
-                if y != x && rng.gen_bool(0.5) {
-                    assignment.set(y, true);
-                }
-            }
-            let without = phi.evaluate(&assignment);
-            if without {
-                // Monotone lineage: adding x cannot turn the query false, so
-                // the marginal contribution is 0.
-                continue;
-            }
-            assignment.set(x, true);
-            if phi.evaluate(&assignment) {
-                positive_flips += 1;
+    let estimates = pool.parallel_map(&vars, |i, &x| {
+        let mut rng = StdRng::seed_from_u64(seed::derive(seed, i as u64));
+        estimate_one(phi, &vars, x, options, &mut rng, budget).map(|mean| mean * scale)
+    });
+    vars.into_iter()
+        .zip(estimates)
+        .map(|(x, estimate)| estimate.map(|e| (x, e)))
+        .collect::<Result<HashMap<Var, f64>, Interrupted>>()
+}
+
+/// One variable's sampling loop: the mean marginal contribution of `x` over
+/// `options.samples_per_var` uniform subsets of `vars ∖ {x}`.
+fn estimate_one(
+    phi: &Dnf,
+    vars: &[Var],
+    x: Var,
+    options: &McOptions,
+    rng: &mut StdRng,
+    budget: &Budget,
+) -> Result<f64, Interrupted> {
+    let mut positive_flips = 0u64;
+    for _ in 0..options.samples_per_var {
+        budget.step()?;
+        // Sample Y ⊆ X∖{x} uniformly.
+        let mut assignment = Assignment::empty();
+        for &y in vars {
+            if y != x && rng.gen_bool(0.5) {
+                assignment.set(y, true);
             }
         }
-        let mean = positive_flips as f64 / options.samples_per_var.max(1) as f64;
-        estimates.insert(x, mean * scale);
+        let without = phi.evaluate(&assignment);
+        if without {
+            // Monotone lineage: adding x cannot turn the query false, so
+            // the marginal contribution is 0.
+            continue;
+        }
+        assignment.set(x, true);
+        if phi.evaluate(&assignment) {
+            positive_flips += 1;
+        }
     }
-    Ok(estimates)
+    Ok(positive_flips as f64 / options.samples_per_var.max(1) as f64)
 }
 
 /// Ranks variables by decreasing Monte Carlo estimate (ties by index).
@@ -80,8 +128,6 @@ pub fn rank_estimates(estimates: &HashMap<Var, f64>) -> Vec<Var> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn v(i: u32) -> Var {
         Var(i)
@@ -91,9 +137,8 @@ mod tests {
     fn converges_to_exact_values_on_small_functions() {
         // φ = (x ∧ y) ∨ (x ∧ z) ∨ u: exact values x:3, y:1, z:1, u:5.
         let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)], vec![v(3)]]);
-        let mut rng = StdRng::seed_from_u64(42);
         let options = McOptions { samples_per_var: 20_000 };
-        let estimates = mc_banzhaf(&phi, &options, &mut rng, &Budget::unlimited()).unwrap();
+        let estimates = mc_banzhaf(&phi, &options, 42, &Budget::unlimited()).unwrap();
         let exact = [(v(0), 3.0), (v(1), 1.0), (v(2), 1.0), (v(3), 5.0)];
         for (x, expected) in exact {
             let got = estimates[&x];
@@ -107,9 +152,8 @@ mod tests {
     #[test]
     fn ranking_recovers_clear_winner() {
         let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)], vec![v(3)]]);
-        let mut rng = StdRng::seed_from_u64(7);
         let options = McOptions { samples_per_var: 5_000 };
-        let estimates = mc_banzhaf(&phi, &options, &mut rng, &Budget::unlimited()).unwrap();
+        let estimates = mc_banzhaf(&phi, &options, 7, &Budget::unlimited()).unwrap();
         let ranking = rank_estimates(&estimates);
         assert_eq!(ranking[0], v(3));
     }
@@ -118,19 +162,41 @@ mod tests {
     fn deterministic_given_seed() {
         let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
         let options = McOptions { samples_per_var: 100 };
-        let a = mc_banzhaf(&phi, &options, &mut StdRng::seed_from_u64(1), &Budget::unlimited())
-            .unwrap();
-        let b = mc_banzhaf(&phi, &options, &mut StdRng::seed_from_u64(1), &Budget::unlimited())
-            .unwrap();
+        let a = mc_banzhaf(&phi, &options, 1, &Budget::unlimited()).unwrap();
+        let b = mc_banzhaf(&phi, &options, 1, &Budget::unlimited()).unwrap();
         assert_eq!(a, b);
+        let c = mc_banzhaf(&phi, &options, 2, &Budget::unlimited()).unwrap();
+        assert_ne!(a, c, "different seeds draw different sample sets");
+    }
+
+    #[test]
+    fn parallel_estimates_bit_identical_to_sequential() {
+        let phi = Dnf::from_clauses(vec![
+            vec![v(0), v(1)],
+            vec![v(1), v(2)],
+            vec![v(2), v(3)],
+            vec![v(3), v(4)],
+            vec![v(4), v(0)],
+        ]);
+        let options = McOptions { samples_per_var: 500 };
+        let sequential = mc_banzhaf(&phi, &options, 0xBA27AF, &Budget::unlimited()).unwrap();
+        for threads in [2, 3, 4] {
+            let pool = ThreadPool::new(threads);
+            let parallel =
+                mc_banzhaf_par(&phi, &options, 0xBA27AF, &Budget::unlimited(), &pool).unwrap();
+            assert_eq!(sequential, parallel, "thread count {threads} changed the sample set");
+        }
     }
 
     #[test]
     fn budget_exhaustion() {
         let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
         let options = McOptions { samples_per_var: 1_000 };
-        let result =
-            mc_banzhaf(&phi, &options, &mut StdRng::seed_from_u64(1), &Budget::with_max_steps(10));
+        let result = mc_banzhaf(&phi, &options, 1, &Budget::with_max_steps(10));
+        assert_eq!(result.unwrap_err(), Interrupted);
+        // The shared budget also interrupts the parallel path.
+        let pool = ThreadPool::new(4);
+        let result = mc_banzhaf_par(&phi, &options, 1, &Budget::with_max_steps(10), &pool);
         assert_eq!(result.unwrap_err(), Interrupted);
     }
 }

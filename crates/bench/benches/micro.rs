@@ -77,14 +77,8 @@ fn bench_mc_sampling(c: &mut Criterion) {
             &samples,
             |bench, &s| {
                 bench.iter(|| {
-                    let mut sample_rng = StdRng::seed_from_u64(7);
-                    mc_banzhaf(
-                        &phi,
-                        &McOptions { samples_per_var: s },
-                        &mut sample_rng,
-                        &Budget::unlimited(),
-                    )
-                    .unwrap()
+                    mc_banzhaf(&phi, &McOptions { samples_per_var: s }, 7, &Budget::unlimited())
+                        .unwrap()
                 });
             },
         );

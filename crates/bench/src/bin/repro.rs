@@ -3,14 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] <experiment>...
+//! repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] [--threads N] <experiment>...
 //! repro --all
 //! ```
 //!
 //! Experiments: `table1 table2 table3 table4 fig4 table5 table6 table7 fig5
-//! table8 table9 app_d ablation_heuristic ablation_adaban engine_cache`.
+//! table8 table9 app_d ablation_heuristic ablation_adaban engine_cache
+//! parallel_speedup`.
 //! Sweep-based experiments share one sweep per invocation; every experiment
 //! dispatches its algorithms through `banzhaf_engine::Attributor`.
+//! `--threads N` fans the sweep's instance loop and the engine sessions
+//! across N workers (0 = one per CPU); completed instances record identical
+//! scores at any thread count (wall-clock timeouts may cut off different
+//! borderline instances when workers contend for cores).
 
 use banzhaf_bench::experiments;
 use banzhaf_bench::runner::{run_sweep, HarnessConfig};
@@ -33,13 +38,14 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "ablation_heuristic",
     "ablation_adaban",
     "engine_cache",
+    "parallel_speedup",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] <experiment>... | --all");
-        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache");
+        eprintln!("usage: repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] [--threads N] <experiment>... | --all");
+        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache parallel_speedup");
         std::process::exit(1);
     }
 
@@ -68,6 +74,10 @@ fn main() {
             "--seed" => {
                 let value = iter.next().expect("--seed needs a value");
                 config.seed = value.parse().expect("numeric seed");
+            }
+            "--threads" => {
+                let value = iter.next().expect("--threads needs a value");
+                config.threads = value.parse().expect("numeric thread count");
             }
             other => experiments_requested.push(other.to_owned()),
         }
@@ -125,6 +135,7 @@ fn main() {
             "ablation_heuristic" => experiments::ablation_heuristic(&config),
             "ablation_adaban" => experiments::ablation_adaban(&config),
             "engine_cache" => experiments::engine_cache(&config),
+            "parallel_speedup" => experiments::parallel_speedup(&config),
             other => unreachable!("experiment {other} was validated against KNOWN_EXPERIMENTS"),
         };
         println!("{report}");

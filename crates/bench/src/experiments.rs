@@ -622,6 +622,88 @@ pub fn engine_cache(config: &HarnessConfig) -> String {
     format!("Engine — d-tree cache effect (ExaBan, canonical-lineage keying)\n{}", table.render())
 }
 
+/// Perf trajectory: wall-clock time of batch attribution per thread count.
+///
+/// Attributes one synthetic corpus of ring lineages (Shannon-expansion-hard,
+/// so there is real per-instance compile work) through
+/// [`banzhaf_engine::Session::attribute_batch`] at 1, 2 and 4 threads,
+/// verifies the per-fact scores are bit-identical across thread counts, and
+/// records the measurements to `BENCH_parallel.json` so the perf trajectory
+/// is tracked across commits. Speedup is hardware-dependent — on a
+/// single-core container the ratio is ~1 even though the fan-out works; the
+/// bit-identity column is the correctness signal.
+pub fn parallel_speedup(config: &HarnessConfig) -> String {
+    const RING_VARS: u32 = 26;
+    let instances = 12 * config.scale.max(1);
+    // Distinct variable ranges per instance; the session cache is off, so
+    // every instance costs one full compilation.
+    let ring = |offset: u32| -> Dnf {
+        Dnf::from_clauses(
+            (0..RING_VARS)
+                .map(|i| vec![Var(offset + i), Var(offset + (i + 1) % RING_VARS)])
+                .collect::<Vec<_>>(),
+        )
+    };
+    let lineages: Vec<Dnf> = (0..instances).map(|i| ring(i as u32 * (RING_VARS + 1))).collect();
+    let refs: Vec<&Dnf> = lineages.iter().collect();
+
+    let mut table = TextTable::new(["Threads", "Wall", "Speedup", "Bit-identical"]);
+    let mut runs: Vec<(usize, f64, bool)> = Vec::new();
+    let mut baseline: Option<(f64, Vec<HashMap<Var, banzhaf_arith::Natural>>)> = None;
+    for threads in [1usize, 2, 4] {
+        let engine = Engine::new(
+            EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(threads),
+        );
+        let mut session = engine.session();
+        let start = Instant::now();
+        let results = session.attribute_batch(&refs);
+        let secs = start.elapsed().as_secs_f64();
+        let values: Vec<HashMap<Var, banzhaf_arith::Natural>> = results
+            .into_iter()
+            .map(|r| r.expect("unbounded budget").exact_values().expect("ExaBan is exact"))
+            .collect();
+        let identical = match &baseline {
+            None => {
+                baseline = Some((secs, values));
+                true
+            }
+            Some((_, reference)) => reference == &values,
+        };
+        let speedup = baseline.as_ref().map(|(t1, _)| t1 / secs).unwrap_or(1.0);
+        table.push_row([
+            threads.to_string(),
+            crate::report::format_secs(secs),
+            format!("{speedup:.2}x"),
+            identical.to_string(),
+        ]);
+        runs.push((threads, secs, identical));
+    }
+
+    let bit_identical = runs.iter().all(|&(_, _, ok)| ok);
+    let t1 = runs[0].1;
+    let json = format!(
+        "{{\n  \"experiment\": \"parallel_speedup\",\n  \"algorithm\": \"ExaBan\",\n  \
+         \"instances\": {instances},\n  \"ring_vars\": {RING_VARS},\n  \
+         \"bit_identical\": {bit_identical},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs.iter()
+            .map(|&(threads, secs, _)| format!(
+                "    {{\"threads\": {threads}, \"seconds\": {secs:.6}, \"speedup\": {:.3}}}",
+                t1 / secs
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let json_note = match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => "recorded to BENCH_parallel.json".to_owned(),
+        Err(e) => format!("could not write BENCH_parallel.json: {e}"),
+    };
+    format!(
+        "Perf — batch attribution speedup by thread count ({instances} ring lineages, \
+         {RING_VARS} vars each; {json_note})\n{}",
+        table.render()
+    )
+}
+
 /// Runs the full sweep once and renders all sweep-based tables.
 pub fn run_all(config: &HarnessConfig) -> String {
     let mut out = String::new();
@@ -655,6 +737,8 @@ pub fn run_all(config: &HarnessConfig) -> String {
     out.push_str(&ablation_adaban(config));
     out.push('\n');
     out.push_str(&engine_cache(config));
+    out.push('\n');
+    out.push_str(&parallel_speedup(config));
     out
 }
 

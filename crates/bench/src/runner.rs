@@ -9,6 +9,7 @@ use banzhaf::{Budget, Var};
 use banzhaf_arith::Natural;
 use banzhaf_boolean::Dnf;
 use banzhaf_engine::{Algorithm, Attribution, Engine, EngineConfig};
+use banzhaf_par::ThreadPool;
 use banzhaf_workloads::{academic_like, imdb_like, tpch_like, Corpus, DatasetSpec};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -30,6 +31,14 @@ pub struct HarnessConfig {
     pub seed: u64,
     /// Top-k size used for the ranking experiments.
     pub topk: usize,
+    /// Worker threads for the sweep's instance loop and the engine sessions
+    /// (`1` = sequential, `0` = one per CPU). Recorded per-fact scores are
+    /// identical at every thread count for completed instances; note that
+    /// under the sweep's *wall-clock* timeouts, core contention between
+    /// parallel instances can change which instances finish in time (the
+    /// engine's bit-identity guarantee is exact for step-cap and unlimited
+    /// budgets).
+    pub threads: usize,
 }
 
 impl Default for HarnessConfig {
@@ -41,6 +50,7 @@ impl Default for HarnessConfig {
             mc_samples_per_var: 50,
             seed: 0xBA27AF,
             topk: 10,
+            threads: 1,
         }
     }
 }
@@ -66,6 +76,12 @@ impl HarnessConfig {
             .with_timeout(self.timeout)
             .with_seed(self.seed)
             .with_cache(false)
+            .with_threads(self.threads)
+    }
+
+    /// The thread pool the sweep's instance loop fans out on.
+    pub fn pool(&self) -> ThreadPool {
+        ThreadPool::new(self.threads)
     }
 }
 
@@ -165,10 +181,14 @@ pub fn run_instance(
     adaban.steps = attribution_steps(&ada_att);
     let adaban_estimates = ada_att.as_ref().map(Attribution::estimates);
 
-    // Monte Carlo with 50·#vars samples in total (50 per variable).
+    // Monte Carlo with 50·#vars samples in total (50 per variable). The
+    // sweep already parallelizes at the instance level, so the estimator
+    // keeps its per-variable loop sequential — nesting pools would
+    // oversubscribe cores without changing the (stream-seeded) estimates.
     let mc_attr = config
         .engine_config(Algorithm::MonteCarlo)
         .with_seed(config.seed.wrapping_add(instance_seed))
+        .with_threads(1)
         .attributor();
     let (mc, mc_att) = timed(|| mc_attr.attribute(lineage, &budget()).ok());
     let mc_estimates = mc_att.as_ref().map(Attribution::estimates);
@@ -203,25 +223,31 @@ pub fn run_instance(
 }
 
 /// Runs the full sweep over all corpora and returns one record per instance.
+///
+/// Instances are fanned across [`HarnessConfig::threads`] workers; the
+/// records come back in the same deterministic corpus/instance order as the
+/// sequential sweep, and every *completed* instance records identical scores
+/// at any thread count. Parallel runs contend for cores, so under the
+/// per-algorithm wall-clock timeout a borderline instance may time out at
+/// one thread count and finish at another, and per-instance timings are for
+/// trend reading, not for the paper's tables.
 pub fn run_sweep(config: &HarnessConfig) -> Vec<InstanceRecord> {
-    let mut records = Vec::new();
-    let mut sweep_index = 0u64;
-    for corpus in config.corpora() {
-        for instance in &corpus.instances {
-            // A sweep-global index keeps the Monte Carlo sample streams
-            // independent across corpora (a per-corpus index would replay the
-            // same seeds for every corpus).
-            records.push(run_instance(
-                &corpus.name,
-                &instance.query,
-                &instance.lineage,
-                config,
-                sweep_index,
-            ));
-            sweep_index += 1;
-        }
-    }
-    records
+    let corpora = config.corpora();
+    // A sweep-global index keeps the Monte Carlo sample streams independent
+    // across corpora (a per-corpus index would replay the same seeds for
+    // every corpus).
+    let work: Vec<(&str, &str, &Dnf)> = corpora
+        .iter()
+        .flat_map(|corpus| {
+            corpus
+                .instances
+                .iter()
+                .map(|instance| (corpus.name.as_str(), instance.query.as_str(), &instance.lineage))
+        })
+        .collect();
+    config.pool().parallel_map(&work, |sweep_index, &(corpus, query, lineage)| {
+        run_instance(corpus, query, lineage, config, sweep_index as u64)
+    })
 }
 
 /// Outcome of running one corpus through an engine [`banzhaf_engine::Session`]

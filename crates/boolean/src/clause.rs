@@ -54,7 +54,18 @@ impl Clause {
     /// Returns a copy of the clause with `v` removed (used when conditioning
     /// on `v := 1` or when factoring out a common variable).
     pub fn without(&self, v: Var) -> Clause {
-        Clause { vars: self.vars.iter().copied().filter(|&u| u != v).collect() }
+        // Exactly-sized copy around the removed position; removing one
+        // element from a sorted, deduplicated list preserves canonical form,
+        // so no re-sort is needed either.
+        match self.vars.binary_search(&v) {
+            Err(_) => self.clone(),
+            Ok(pos) => {
+                let mut vars = Vec::with_capacity(self.vars.len() - 1);
+                vars.extend_from_slice(&self.vars[..pos]);
+                vars.extend_from_slice(&self.vars[pos + 1..]);
+                Clause { vars }
+            }
+        }
     }
 
     /// `true` iff every variable of `self` is contained in `other`

@@ -58,8 +58,15 @@ impl Dnf {
         if clauses.iter().any(|c| c.is_empty()) {
             return Dnf { universe, clauses: vec![Clause::empty()] };
         }
-        clauses.sort_unstable();
-        clauses.dedup();
+        // Skip the O(n log n) sort when the input is provably canonical
+        // already — strictly increasing means sorted *and* deduplicated.
+        // Conditioning on `v := 0` only drops clauses from a canonical list
+        // (order and uniqueness preserved), so the hottest construction path
+        // during d-tree compilation takes this linear check alone.
+        if !clauses.windows(2).all(|w| w[0] < w[1]) {
+            clauses.sort_unstable();
+            clauses.dedup();
+        }
         Dnf { universe, clauses }
     }
 
@@ -182,7 +189,14 @@ impl Dnf {
         if self.is_true() {
             return Dnf::constant_true(universe);
         }
-        let mut clauses = Vec::with_capacity(self.clauses.len());
+        // Exact preallocation: setting `v := 1` keeps every clause (some
+        // shortened), setting `v := 0` keeps exactly the clauses avoiding v.
+        let kept = if value {
+            self.clauses.len()
+        } else {
+            self.clauses.iter().filter(|c| !c.contains(v)).count()
+        };
+        let mut clauses = Vec::with_capacity(kept);
         for c in &self.clauses {
             if c.contains(v) {
                 if value {

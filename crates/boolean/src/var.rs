@@ -130,12 +130,46 @@ impl VarSet {
 
     /// Set difference `self \ other`.
     pub fn difference(&self, other: &VarSet) -> VarSet {
-        VarSet { vars: self.vars.iter().copied().filter(|v| !other.contains(*v)).collect() }
+        // Linear merge walk with exact worst-case preallocation (the result
+        // never exceeds |self|); this is a hot operation during d-tree
+        // decomposition, where re-allocation and per-element binary searches
+        // both show up in profiles.
+        let mut out = Vec::with_capacity(self.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() && j < other.vars.len() {
+            match self.vars[i].cmp(&other.vars[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.vars[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.vars[i..]);
+        VarSet { vars: out }
     }
 
     /// Set intersection.
     pub fn intersection(&self, other: &VarSet) -> VarSet {
-        VarSet { vars: self.vars.iter().copied().filter(|v| other.contains(*v)).collect() }
+        // Linear merge walk; the result never exceeds the smaller operand.
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() && j < other.vars.len() {
+            match self.vars[i].cmp(&other.vars[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.vars[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        VarSet { vars: out }
     }
 
     /// `true` iff the two sets share no variable.

@@ -1,6 +1,7 @@
 //! Cooperative computation budgets (deadlines and step limits).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Error returned when a computation exceeds its [`Budget`].
@@ -23,83 +24,77 @@ impl std::error::Error for Interrupted {}
 /// A cooperative budget: an optional wall-clock deadline and an optional cap
 /// on the number of "steps" (decomposition/expansion operations).
 ///
-/// Budgets are cheap to clone and are checked at the granularity of
+/// The counters are atomics, so one budget can be **shared by reference
+/// across worker threads**: when a batch of parallel attributions runs under
+/// a single deadline or step cap, every worker charges the same counters and
+/// all of them observe exhaustion together — the cooperative interruption
+/// the sequential path has always used extends to fork-join execution with
+/// no extra machinery. All atomic traffic is `Relaxed`; the budget carries no
+/// data other threads need to observe in order, it only gates progress.
+///
+/// Budgets are cheap to clone (a clone snapshots the current counters and
+/// proceeds independently) and are checked at the granularity of
 /// decomposition steps, so a `check` call costs an `Instant::now` only every
-/// few hundred steps.
-#[derive(Clone, Debug)]
+/// few hundred steps per thread.
+#[derive(Debug)]
 pub struct Budget {
     deadline: Option<Instant>,
     max_steps: Option<u64>,
-    steps: std::cell::Cell<u64>,
+    steps: AtomicU64,
     /// Check the clock only every `CLOCK_PERIOD` steps to keep overhead low.
-    since_clock: std::cell::Cell<u32>,
+    since_clock: AtomicU32,
 }
 
 const CLOCK_PERIOD: u32 = 64;
 
 impl Budget {
+    fn with_counters(deadline: Option<Instant>, max_steps: Option<u64>) -> Self {
+        Budget { deadline, max_steps, steps: AtomicU64::new(0), since_clock: AtomicU32::new(0) }
+    }
+
     /// A budget that never interrupts.
     pub fn unlimited() -> Self {
-        Budget {
-            deadline: None,
-            max_steps: None,
-            steps: std::cell::Cell::new(0),
-            since_clock: std::cell::Cell::new(0),
-        }
+        Budget::with_counters(None, None)
     }
 
     /// A budget limited by wall-clock time from now.
     pub fn with_timeout(timeout: Duration) -> Self {
-        Budget {
-            deadline: Some(Instant::now() + timeout),
-            max_steps: None,
-            steps: std::cell::Cell::new(0),
-            since_clock: std::cell::Cell::new(0),
-        }
+        Budget::with_counters(Some(Instant::now() + timeout), None)
     }
 
     /// A budget limited by a number of decomposition steps.
     pub fn with_max_steps(max_steps: u64) -> Self {
-        Budget {
-            deadline: None,
-            max_steps: Some(max_steps),
-            steps: std::cell::Cell::new(0),
-            since_clock: std::cell::Cell::new(0),
-        }
+        Budget::with_counters(None, Some(max_steps))
     }
 
     /// A budget with both a deadline and a step cap.
     pub fn new(timeout: Option<Duration>, max_steps: Option<u64>) -> Self {
-        Budget {
-            deadline: timeout.map(|t| Instant::now() + t),
-            max_steps,
-            steps: std::cell::Cell::new(0),
-            since_clock: std::cell::Cell::new(0),
-        }
+        Budget::with_counters(timeout.map(|t| Instant::now() + t), max_steps)
     }
 
-    /// Number of steps consumed so far.
+    /// Number of steps consumed so far (across all threads charging this
+    /// budget).
     pub fn steps_used(&self) -> u64 {
-        self.steps.get()
+        self.steps.load(Ordering::Relaxed)
     }
 
     /// Records one step and returns `Err(Interrupted)` if the budget is
     /// exhausted.
     pub fn step(&self) -> Result<(), Interrupted> {
-        let s = self.steps.get() + 1;
-        self.steps.set(s);
+        let s = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(max) = self.max_steps {
             if s > max {
                 return Err(Interrupted);
             }
         }
         if self.deadline.is_some() {
-            let since = self.since_clock.get() + 1;
+            // Racing resets may make some threads check the clock a little
+            // early or late; the period only bounds the *amortized* clock
+            // cost, so approximate counting is fine.
+            let since = self.since_clock.fetch_add(1, Ordering::Relaxed) + 1;
             if since >= CLOCK_PERIOD {
-                self.since_clock.set(0);
+                self.since_clock.store(0, Ordering::Relaxed);
                 self.check_deadline()?;
-            } else {
-                self.since_clock.set(since);
             }
         }
         Ok(())
@@ -116,11 +111,24 @@ impl Budget {
     /// `true` iff the budget is already exhausted.
     pub fn exhausted(&self) -> bool {
         if let Some(max) = self.max_steps {
-            if self.steps.get() >= max {
+            if self.steps_used() >= max {
                 return true;
             }
         }
         self.check_deadline().is_err()
+    }
+}
+
+impl Clone for Budget {
+    /// Snapshots the budget: the clone shares the deadline and caps but
+    /// counts its further steps independently.
+    fn clone(&self) -> Self {
+        Budget {
+            deadline: self.deadline,
+            max_steps: self.max_steps,
+            steps: AtomicU64::new(self.steps_used()),
+            since_clock: AtomicU32::new(self.since_clock.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -178,5 +186,59 @@ mod tests {
         assert!(b.step().is_ok());
         assert!(b.step().is_ok());
         assert!(b.step().is_err());
+    }
+
+    #[test]
+    fn clone_snapshots_consumed_steps() {
+        let b = Budget::with_max_steps(4);
+        b.step().unwrap();
+        b.step().unwrap();
+        let c = b.clone();
+        assert_eq!(c.steps_used(), 2);
+        // The clones count independently from the snapshot onward.
+        assert!(b.step().is_ok());
+        assert!(b.step().is_ok());
+        assert!(b.step().is_err());
+        assert!(c.step().is_ok());
+        assert!(c.step().is_ok());
+        assert!(c.step().is_err());
+    }
+
+    #[test]
+    fn shared_step_cap_interrupts_all_workers() {
+        // Four threads hammer one shared budget; the cap is global, so the
+        // total number of successful steps across every worker is max_steps.
+        let b = Budget::with_max_steps(1_000);
+        let successes = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while b.step().is_ok() {
+                        successes.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(successes.load(Ordering::Relaxed), 1_000);
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn shared_deadline_interrupts_all_workers() {
+        let b = Budget::with_timeout(Duration::from_millis(5));
+        let interrupted = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| loop {
+                    if b.step().is_err() {
+                        interrupted.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    std::hint::spin_loop();
+                });
+            }
+        });
+        // Every worker observed the shared deadline.
+        assert_eq!(interrupted.load(Ordering::Relaxed), 3);
     }
 }

@@ -7,11 +7,10 @@ use banzhaf::{
     Interrupted, PivotHeuristic,
 };
 use banzhaf_arith::Natural;
-use banzhaf_baselines::{cnf_proxy, mc_banzhaf, sig22_exact, McOptions};
+use banzhaf_baselines::{cnf_proxy, mc_banzhaf_par, sig22_exact, McOptions};
 use banzhaf_boolean::{Dnf, Var};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::cell::RefCell;
+use banzhaf_par::{seed, ThreadPool};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// One attribution algorithm behind a uniform interface.
@@ -22,12 +21,35 @@ use std::time::Instant;
 /// Backends are deterministic given their configuration (the Monte Carlo
 /// baseline is deterministic given its seed), and every entry point honours
 /// the cooperative `deadline` budget.
-pub trait Attributor {
+///
+/// Attributors are `Send + Sync`: one attributor instance serves concurrent
+/// callers, which is what lets a [`crate::Session`] fan batch attribution out
+/// across a thread pool without cloning backend state.
+pub trait Attributor: Send + Sync {
     /// The backend's display name (matches [`crate::Algorithm::name`]).
     fn name(&self) -> &'static str;
 
     /// Computes attribution scores for every fact of the lineage's universe.
     fn attribute(&self, lineage: &Dnf, deadline: &Budget) -> Result<Attribution, Interrupted>;
+
+    /// [`Attributor::attribute`] with an explicit sample-stream index.
+    ///
+    /// Deterministic backends ignore `stream` (the default implementation
+    /// delegates to `attribute`). Randomized backends use it to select a
+    /// well-defined, reproducible sample stream instead of advancing internal
+    /// state — the contract batch-parallel execution relies on: when a
+    /// [`crate::Session`] assigns stream `base + i` to instance `i`, the
+    /// estimates are bit-identical no matter how many workers run the batch
+    /// or in which order the instances execute.
+    fn attribute_indexed(
+        &self,
+        lineage: &Dnf,
+        stream: u64,
+        deadline: &Budget,
+    ) -> Result<Attribution, Interrupted> {
+        let _ = stream;
+        self.attribute(lineage, deadline)
+    }
 
     /// Computes the score of a single fact. The default extracts it from a
     /// full [`Attributor::attribute`] pass; backends that can target one
@@ -260,18 +282,39 @@ impl Attributor for Sig22Attributor {
     }
 }
 
-/// The Monte Carlo baseline. Deterministic given its seed: the RNG is owned
-/// by the attributor and advances across calls, mirroring a sampling sweep.
+/// The Monte Carlo baseline. Deterministic given its seed: each call samples
+/// from a fresh stream derived from `(seed, stream index)`, where the index
+/// is taken from an internal counter (so repeated calls draw independent
+/// samples, mirroring a sampling sweep) or supplied explicitly through
+/// [`Attributor::attribute_indexed`] (so batch-parallel execution assigns
+/// instance `i` the same stream the sequential loop would).
 #[derive(Debug)]
 pub struct MonteCarloAttributor {
     options: McOptions,
-    rng: RefCell<StdRng>,
+    seed: u64,
+    /// Stream index handed to the next plain `attribute` call.
+    next_stream: AtomicU64,
+    /// Pool for the per-variable sampling loops (sequential by default).
+    pool: ThreadPool,
 }
 
 impl MonteCarloAttributor {
     /// A Monte Carlo attributor with the given sampling options and seed.
     pub fn new(options: McOptions, seed: u64) -> Self {
-        MonteCarloAttributor { options, rng: RefCell::new(StdRng::seed_from_u64(seed)) }
+        MonteCarloAttributor {
+            options,
+            seed,
+            next_stream: AtomicU64::new(0),
+            pool: ThreadPool::sequential(),
+        }
+    }
+
+    /// Fans the per-variable sampling loops across `pool`. Estimates are
+    /// bit-identical to the sequential ones at every thread count (each
+    /// variable samples from its own derived seed stream).
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
     }
 }
 
@@ -281,8 +324,19 @@ impl Attributor for MonteCarloAttributor {
     }
 
     fn attribute(&self, lineage: &Dnf, deadline: &Budget) -> Result<Attribution, Interrupted> {
+        let stream = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        self.attribute_indexed(lineage, stream, deadline)
+    }
+
+    fn attribute_indexed(
+        &self,
+        lineage: &Dnf,
+        stream: u64,
+        deadline: &Budget,
+    ) -> Result<Attribution, Interrupted> {
         let start = Instant::now();
-        let estimates = mc_banzhaf(lineage, &self.options, &mut *self.rng.borrow_mut(), deadline)?;
+        let stream_seed = seed::derive(self.seed, stream);
+        let estimates = mc_banzhaf_par(lineage, &self.options, stream_seed, deadline, &self.pool)?;
         Ok(Attribution {
             algorithm: self.name(),
             values: estimates.into_iter().map(|(v, e)| (v, Score::Estimate(e))).collect(),

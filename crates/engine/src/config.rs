@@ -7,6 +7,7 @@ use crate::attributor::{
 use banzhaf::{AdaBanOptions, Budget, IchiBanOptions, PivotHeuristic};
 use banzhaf_arith::Ratio;
 use banzhaf_baselines::McOptions;
+use banzhaf_par::ThreadPool;
 use std::fmt;
 use std::time::Duration;
 
@@ -106,6 +107,14 @@ pub struct EngineConfig {
     /// Also compute exact Shapley values (exact backends only), reusing the
     /// d-tree compiled for the Banzhaf pass.
     pub include_shapley: bool,
+    /// Worker threads for batch attribution (`Session::attribute_batch`,
+    /// `Session::explain`) and for the Monte Carlo sampling loops. `1` (the
+    /// default) runs everything on the calling thread; `0` means one worker
+    /// per available CPU. Results are bit-identical at every thread count
+    /// under step-cap or unlimited budgets; wall-clock deadlines remain
+    /// inherently timing-dependent (contending workers can shift which
+    /// borderline instances finish in time).
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +131,7 @@ impl Default for EngineConfig {
             opt4: true,
             cache: true,
             include_shapley: false,
+            threads: 1,
         }
     }
 }
@@ -183,6 +193,18 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the worker-thread count for batch attribution and Monte Carlo
+    /// sampling (`0` = one worker per available CPU).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The [`ThreadPool`] this configuration describes.
+    pub fn pool(&self) -> ThreadPool {
+        ThreadPool::new(self.threads)
+    }
+
     /// A fresh [`Budget`] honouring the configured timeout and step cap.
     pub fn budget(&self) -> Budget {
         Budget::new(self.timeout, self.max_steps)
@@ -217,10 +239,13 @@ impl EngineConfig {
                 Box::new(IchiBanAttributor { options })
             }
             Algorithm::Sig22 => Box::new(Sig22Attributor),
-            Algorithm::MonteCarlo => Box::new(MonteCarloAttributor::new(
-                McOptions { samples_per_var: self.mc_samples_per_var },
-                self.seed,
-            )),
+            Algorithm::MonteCarlo => Box::new(
+                MonteCarloAttributor::new(
+                    McOptions { samples_per_var: self.mc_samples_per_var },
+                    self.seed,
+                )
+                .with_pool(self.pool()),
+            ),
             Algorithm::CnfProxy => Box::new(CnfProxyAttributor),
         }
     }

@@ -51,5 +51,6 @@ pub use attributor::{
     MonteCarloAttributor, Sig22Attributor,
 };
 pub use banzhaf::{Budget, Interrupted, PivotHeuristic};
+pub use banzhaf_par::ThreadPool;
 pub use config::{Algorithm, EngineConfig};
 pub use session::{AnswerAttribution, Engine, QueryAttribution, Session, SessionStats};

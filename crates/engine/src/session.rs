@@ -4,10 +4,11 @@
 use crate::attribution::{Attribution, Ranked, Score};
 use crate::attributor::Attributor;
 use crate::config::EngineConfig;
-use banzhaf::Interrupted;
+use banzhaf::{Budget, Interrupted};
 use banzhaf_boolean::{Dnf, Var, VarSet};
 use banzhaf_db::{Database, Value};
 use banzhaf_query::{evaluate, UnionQuery};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -62,6 +63,7 @@ impl Engine {
             attributor: self.config.attributor(),
             cache: HashMap::new(),
             stats: SessionStats::default(),
+            next_stream: 0,
         }
     }
 }
@@ -102,12 +104,20 @@ pub struct QueryAttribution {
 /// a d-tree cache keyed by *canonical* lineage — distinct answers frequently
 /// share isomorphic lineage in the synthetic corpora, and a hit skips
 /// compilation entirely.
+///
+/// Batch entry points ([`Session::attribute_batch`], [`Session::explain`])
+/// fan the per-shape attribution across the configured thread pool
+/// ([`EngineConfig::threads`]); results are bit-identical to the sequential
+/// path at every thread count.
 pub struct Session {
     config: EngineConfig,
     attributor: Box<dyn Attributor>,
     /// Canonical lineage → attribution over canonical variables.
     cache: HashMap<CanonicalKey, Attribution>,
     stats: SessionStats,
+    /// Sample-stream index for the next attribution (randomized backends
+    /// select their RNG stream from it; deterministic backends ignore it).
+    next_stream: u64,
 }
 
 impl Session {
@@ -121,20 +131,26 @@ impl Session {
         &self.stats
     }
 
-    /// Evaluates a UCQ over a database and attributes every answer.
+    /// Evaluates a UCQ over a database and attributes every answer, fanning
+    /// the per-answer work across the configured thread pool.
+    ///
+    /// Returns the first answer's error if any attribution exceeded its
+    /// budget (matching the sequential short-circuit semantics).
     pub fn explain(
         &mut self,
         query: &UnionQuery,
         db: &Database,
     ) -> Result<QueryAttribution, Interrupted> {
         let result = evaluate(query, db);
-        let mut answers = Vec::with_capacity(result.answers().len());
-        for answer in result.into_answers() {
-            let attribution = self.attribute(&answer.lineage)?;
+        let raw: Vec<_> = result.into_answers();
+        let lineages: Vec<&Dnf> = raw.iter().map(|a| &a.lineage).collect();
+        let attributions = self.batch(&lineages, None);
+        let mut answers = Vec::with_capacity(raw.len());
+        for (answer, attribution) in raw.into_iter().zip(attributions) {
             answers.push(AnswerAttribution {
                 tuple: answer.tuple,
                 lineage: answer.lineage,
-                attribution,
+                attribution: attribution?,
             });
         }
         Ok(QueryAttribution { answers })
@@ -150,33 +166,173 @@ impl Session {
     /// work per distinct lineage shape and their results are bit-for-bit
     /// comparable.
     pub fn attribute(&mut self, lineage: &Dnf) -> Result<Attribution, Interrupted> {
-        self.stats.attributions += 1;
+        // Fast path for the common single-attribution cache hit: one lookup,
+        // none of the batch planning allocations. Mirrors the bookkeeping of
+        // `batch_canonical` exactly (attribution count, stream index, hit
+        // stats); a miss hands the already-computed canonical form down so
+        // the lineage is canonicalized exactly once either way.
         let canonical = Canonicalized::of(lineage);
+        if self.config.cache && self.config.algorithm.cacheable() {
+            if let Some(cached) = self.cache.get(&canonical.key) {
+                self.stats.attributions += 1;
+                self.next_stream += 1;
+                self.stats.cache_hits += 1;
+                return Ok(cache_hit(canonical.map_back(cached)));
+            }
+        }
+        self.batch_canonical(vec![canonical], None)
+            .pop()
+            .expect("one lineage in, one attribution out")
+    }
+
+    /// Attributes a batch of lineages, fanning the work across the
+    /// configured thread pool ([`EngineConfig::threads`]).
+    ///
+    /// Work sharing mirrors the sequential loop exactly: lineages are
+    /// grouped by canonical shape first, each *distinct* uncached shape is
+    /// compiled once (in parallel), and the freshly compiled trees are merged
+    /// into the d-tree cache by the session alone once the workers have
+    /// joined — the cache never sees concurrent writers. Every instance gets
+    /// its own fresh [`Budget`] from the configuration, exactly as repeated
+    /// [`Session::attribute`] calls would, so the per-instance results —
+    /// values, model counts, cache-hit flags, and `Interrupted` outcomes
+    /// under step caps — are **bit-identical to the sequential path at every
+    /// thread count**.
+    pub fn attribute_batch(&mut self, lineages: &[&Dnf]) -> Vec<Result<Attribution, Interrupted>> {
+        self.batch(lineages, None)
+    }
+
+    /// [`Session::attribute_batch`] under one *shared* budget.
+    ///
+    /// All workers charge the same atomic deadline/step counters, so a batch
+    /// that exceeds `budget` is interrupted cooperatively across every
+    /// worker at once: finished instances keep their results, unfinished
+    /// ones return `Interrupted`, and no worker outlives the call.
+    pub fn attribute_batch_with_budget(
+        &mut self,
+        lineages: &[&Dnf],
+        budget: &Budget,
+    ) -> Vec<Result<Attribution, Interrupted>> {
+        self.batch(lineages, Some(budget))
+    }
+
+    /// The shared batch implementation behind `attribute`/`attribute_batch`/
+    /// `explain`: canonicalize, then run.
+    fn batch(
+        &mut self,
+        lineages: &[&Dnf],
+        shared_budget: Option<&Budget>,
+    ) -> Vec<Result<Attribution, Interrupted>> {
+        let canonical = lineages.iter().map(|l| Canonicalized::of(l)).collect();
+        self.batch_canonical(canonical, shared_budget)
+    }
+
+    /// Batch attribution over already-canonicalized lineages.
+    fn batch_canonical(
+        &mut self,
+        canonical: Vec<Canonicalized>,
+        shared_budget: Option<&Budget>,
+    ) -> Vec<Result<Attribution, Interrupted>> {
+        let n = canonical.len();
+        self.stats.attributions += n as u64;
+        let stream_base = self.next_stream;
+        self.next_stream += n as u64;
+        if n == 0 {
+            return Vec::new();
+        }
         // Randomized backends are never cached: transferring one lineage's
         // samples to another would correlate supposedly independent
         // estimates (see [`crate::Algorithm::cacheable`]).
         let use_cache = self.config.cache && self.config.algorithm.cacheable();
-        if use_cache {
-            if let Some(cached) = self.cache.get(&canonical.key) {
-                self.stats.cache_hits += 1;
-                let mut attribution = canonical.map_back(cached);
-                // The cached result cost nothing this time around.
-                attribution.stats.compile_steps = 0;
-                attribution.stats.wall = Duration::ZERO;
-                attribution.stats.cache_hit = true;
-                return Ok(attribution);
+
+        // Plan: resolve pre-existing cache hits immediately; of the misses,
+        // the *first* instance of each canonical shape computes ("owns" the
+        // shape) and later instances of the same shape reuse its result —
+        // exactly the hits the sequential loop would score.
+        let mut results: Vec<Option<Result<Attribution, Interrupted>>> =
+            (0..n).map(|_| None).collect();
+        let mut owner_of_shape: HashMap<&CanonicalKey, usize> = HashMap::new();
+        let mut reuse: Vec<Option<usize>> = vec![None; n];
+        let mut jobs: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if use_cache {
+                if let Some(cached) = self.cache.get(&canonical[i].key) {
+                    self.stats.cache_hits += 1;
+                    results[i] = Some(Ok(cache_hit(canonical[i].map_back(cached))));
+                    continue;
+                }
+                match owner_of_shape.entry(&canonical[i].key) {
+                    Entry::Occupied(owner) => reuse[i] = Some(*owner.get()),
+                    Entry::Vacant(slot) => {
+                        slot.insert(i);
+                        jobs.push(i);
+                    }
+                }
+            } else {
+                jobs.push(i);
             }
         }
-        // Attribute the canonical form so isomorphic lineages later hit the
-        // same entry, then rename the result back to this answer's facts.
-        let canonical_attribution =
-            self.attributor.attribute(&canonical.dnf, &self.config.budget())?;
-        self.record(&canonical_attribution);
-        let attribution = canonical.map_back(&canonical_attribution);
-        if use_cache {
-            self.cache.insert(canonical.key, canonical_attribution);
+
+        // Compute the distinct shapes. Deterministic backends fan instances
+        // across the pool; the randomized Monte Carlo backend parallelizes
+        // *inside* each instance (per-variable seed streams), so its
+        // instance loop stays inline rather than nesting pools.
+        let attributor = self.attributor.as_ref();
+        let config = &self.config;
+        let run = |i: usize| -> Result<Attribution, Interrupted> {
+            let fresh;
+            let budget = match shared_budget {
+                Some(shared) => shared,
+                None => {
+                    fresh = config.budget();
+                    &fresh
+                }
+            };
+            attributor.attribute_indexed(&canonical[i].dnf, stream_base + i as u64, budget)
+        };
+        let computed: Vec<Result<Attribution, Interrupted>> = if config.algorithm.cacheable() {
+            config.pool().parallel_map(&jobs, |_, &i| run(i))
+        } else {
+            jobs.iter().map(|&i| run(i)).collect()
+        };
+
+        // Single-writer merge: only now — with every worker joined — does the
+        // session record stats and fold the freshly compiled results into the
+        // d-tree cache.
+        let mut canonical_outcomes: HashMap<usize, Result<Attribution, Interrupted>> =
+            HashMap::with_capacity(jobs.len());
+        for (&i, outcome) in jobs.iter().zip(computed) {
+            if let Ok(attribution) = &outcome {
+                self.record(attribution);
+                if use_cache {
+                    self.cache.insert(canonical[i].key.clone(), attribution.clone());
+                }
+            }
+            canonical_outcomes.insert(i, outcome);
         }
-        Ok(attribution)
+        (0..n)
+            .zip(results)
+            .map(|(i, early)| {
+                if let Some(resolved) = early {
+                    return resolved;
+                }
+                let owner = reuse[i];
+                match &canonical_outcomes[&owner.unwrap_or(i)] {
+                    Ok(attribution) => {
+                        let mapped = canonical[i].map_back(attribution);
+                        if owner.is_some() {
+                            // An in-batch reuse is a cache hit, same as the
+                            // sequential loop would have scored it.
+                            self.stats.cache_hits += 1;
+                            Ok(cache_hit(mapped))
+                        } else {
+                            Ok(mapped)
+                        }
+                    }
+                    Err(interrupted) => Err(*interrupted),
+                }
+            })
+            .collect()
     }
 
     /// The `k` facts of a lineage with the largest Banzhaf values.
@@ -195,6 +351,15 @@ impl Session {
         self.stats.compile_steps += attribution.stats.compile_steps;
         self.stats.wall += attribution.stats.wall;
     }
+}
+
+/// Marks an attribution as served from the cache: the result cost nothing
+/// this time around (the compiled tree's node count is kept for reporting).
+fn cache_hit(mut attribution: Attribution) -> Attribution {
+    attribution.stats.compile_steps = 0;
+    attribution.stats.wall = Duration::ZERO;
+    attribution.stats.cache_hit = true;
+    attribution
 }
 
 /// The cache key: the lineage with its variables renamed to a dense canonical
@@ -394,6 +559,106 @@ mod tests {
         }
         // The two answers have isomorphic lineages: the second is a hit.
         assert_eq!(session.stats().cache_hits, 1);
+    }
+
+    /// Lineages mixing repeated canonical shapes (shifted cycles) with
+    /// distinct ones, so batches exercise hits, in-batch reuse and misses.
+    fn mixed_batch() -> Vec<Dnf> {
+        let mut lineages: Vec<Dnf> = (0..4u32).map(|s| shifted_cycle(s * 10)).collect();
+        lineages.push(Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]));
+        lineages.push(Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)], vec![v(3)]]));
+        lineages
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential_at_every_thread_count() {
+        let lineages = mixed_batch();
+        let mut sequential = Engine::new(EngineConfig::default()).session();
+        let expected: Vec<Attribution> =
+            lineages.iter().map(|l| sequential.attribute(l).unwrap()).collect();
+        for threads in [1usize, 2, 4] {
+            let engine = Engine::new(EngineConfig::default().with_threads(threads));
+            let mut session = engine.session();
+            let refs: Vec<&Dnf> = lineages.iter().collect();
+            let got = session.attribute_batch(&refs);
+            assert_eq!(got.len(), expected.len());
+            for (want, have) in expected.iter().zip(&got) {
+                let have = have.as_ref().unwrap();
+                assert_eq!(want.exact_values().unwrap(), have.exact_values().unwrap());
+                assert_eq!(want.model_count, have.model_count);
+                assert_eq!(want.stats.cache_hit, have.stats.cache_hit, "threads={threads}");
+                assert_eq!(want.stats.compile_steps, have.stats.compile_steps);
+            }
+            assert_eq!(session.stats().cache_hits, sequential.stats().cache_hits);
+            assert_eq!(session.stats().compile_steps, sequential.stats().compile_steps);
+            assert_eq!(session.stats().attributions, sequential.stats().attributions);
+        }
+    }
+
+    #[test]
+    fn batch_monte_carlo_streams_match_the_sequential_loop() {
+        let lineages = mixed_batch();
+        let config = EngineConfig::new(Algorithm::MonteCarlo).with_seed(99);
+        let mut sequential = Engine::new(config.clone()).session();
+        let expected: Vec<Vec<f64>> = lineages
+            .iter()
+            .map(|l| {
+                let att = sequential.attribute(l).unwrap();
+                l.universe().iter().map(|x| att.value(x).unwrap().point()).collect()
+            })
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let mut session = Engine::new(config.clone().with_threads(threads)).session();
+            let refs: Vec<&Dnf> = lineages.iter().collect();
+            let got = session.attribute_batch(&refs);
+            for ((lineage, want), have) in lineages.iter().zip(&expected).zip(&got) {
+                let have = have.as_ref().unwrap();
+                let have: Vec<f64> =
+                    lineage.universe().iter().map(|x| have.value(x).unwrap().point()).collect();
+                assert_eq!(want, &have, "threads={threads} changed the MC sample set");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_budget_interrupts_unfinished_instances_across_workers() {
+        let lineages = mixed_batch();
+        let refs: Vec<&Dnf> = lineages.iter().collect();
+        let engine = Engine::new(EngineConfig::default().with_cache(false).with_threads(4));
+        // A one-step shared budget: nothing can finish, every instance
+        // reports Interrupted, and the call returns (workers joined).
+        let mut session = engine.session();
+        let starved = session.attribute_batch_with_budget(&refs, &Budget::with_max_steps(1));
+        assert!(starved.iter().all(Result::is_err));
+        // An ample shared budget completes the whole batch.
+        let mut session = engine.session();
+        let done = session.attribute_batch_with_budget(&refs, &Budget::with_max_steps(1_000_000));
+        assert!(done.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn per_instance_step_caps_interrupt_identically_in_batch_and_loop() {
+        // A step cap that lets the tiny lineages through but starves the
+        // cycles; the Ok/Err pattern must match the sequential loop.
+        let lineages = mixed_batch();
+        let config = EngineConfig::default().with_cache(false);
+        let cap = {
+            let mut probe = Engine::new(config.clone()).session();
+            // Steps the smallest lineage needs (ample budget, read stats).
+            probe.attribute(&lineages[4]).unwrap().stats.compile_steps + 1
+        };
+        let mut config = config;
+        config.max_steps = Some(cap);
+        let mut sequential = Engine::new(config.clone()).session();
+        let expected: Vec<bool> =
+            lineages.iter().map(|l| sequential.attribute(l).is_ok()).collect();
+        assert!(expected.contains(&true) && expected.contains(&false), "cap splits the batch");
+        for threads in [2usize, 4] {
+            let mut session = Engine::new(config.clone().with_threads(threads)).session();
+            let refs: Vec<&Dnf> = lineages.iter().collect();
+            let got: Vec<bool> = session.attribute_batch(&refs).iter().map(Result::is_ok).collect();
+            assert_eq!(expected, got, "threads={threads}");
+        }
     }
 
     #[test]

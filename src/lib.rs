@@ -11,6 +11,7 @@
 //! * [`arith`] — arbitrary-precision integers and rationals;
 //! * [`boolean`] — positive DNF lineage functions;
 //! * [`dtree`] — decomposition-tree knowledge compilation;
+//! * [`par`] — the scoped thread pool powering batch-parallel attribution;
 //! * [`core`] — ExaBan / AdaBan / IchiBan / Shapley (the paper's algorithms);
 //! * [`db`] — the in-memory relational database substrate;
 //! * [`query`] — UCQ parsing, analysis and provenance-aware evaluation;
@@ -45,6 +46,7 @@ pub use banzhaf_boolean as boolean;
 pub use banzhaf_db as db;
 pub use banzhaf_dtree as dtree;
 pub use banzhaf_engine as engine;
+pub use banzhaf_par as par;
 pub use banzhaf_query as query;
 pub use banzhaf_workloads as workloads;
 
@@ -62,9 +64,10 @@ pub mod prelude {
         Interrupted, PivotHeuristic, Ranking, ShapleyValue, TopK,
     };
     pub use banzhaf_arith::{Int, Natural, Ratio};
-    pub use banzhaf_baselines::{cnf_proxy, mc_banzhaf, sig22_exact, McOptions};
+    pub use banzhaf_baselines::{cnf_proxy, mc_banzhaf, mc_banzhaf_par, sig22_exact, McOptions};
     pub use banzhaf_boolean::{Assignment, Clause, Dnf, Var, VarSet};
     pub use banzhaf_db::{Database, Fact, FactId, Provenance, Value};
+    pub use banzhaf_par::ThreadPool;
     pub use banzhaf_query::{evaluate, is_hierarchical, is_self_join_free, parse_program};
     pub use banzhaf_workloads::{
         academic_like, imdb_like, tpch_like, Corpus, DatasetSpec, LineageGenerator, LineageShape,
