@@ -286,7 +286,7 @@ impl fmt::Display for Int {
 
 impl fmt::Debug for Int {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Int({})", self)
+        write!(f, "Int({self})")
     }
 }
 

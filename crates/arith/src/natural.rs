@@ -171,9 +171,9 @@ impl Natural {
             return a.len().cmp(&b.len());
         }
         for i in (0..a.len()).rev() {
-            match a[i].cmp(&b[i]) {
-                Ordering::Equal => continue,
-                other => return other,
+            let cmp = a[i].cmp(&b[i]);
+            if cmp != Ordering::Equal {
+                return cmp;
             }
         }
         Ordering::Equal
@@ -573,18 +573,17 @@ impl fmt::Display for Natural {
             parts.push(r);
             cur = q;
         }
-        let mut s = String::new();
-        s.push_str(&parts.last().unwrap().to_string());
+        write!(f, "{}", parts.last().unwrap())?;
         for p in parts.iter().rev().skip(1) {
-            s.push_str(&format!("{:019}", p));
+            write!(f, "{p:019}")?;
         }
-        write!(f, "{}", s)
+        Ok(())
     }
 }
 
 impl fmt::Debug for Natural {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Natural({})", self)
+        write!(f, "Natural({self})")
     }
 }
 

@@ -74,7 +74,7 @@ pub fn mc_banzhaf_par(
     let scale = Natural::pow2(n.saturating_sub(1)).to_f64();
     let estimates = pool.parallel_map(&vars, |i, &x| {
         let mut rng = StdRng::seed_from_u64(seed::derive(seed, i as u64));
-        estimate_one(phi, &vars, x, options, &mut rng, budget).map(|mean| mean * scale)
+        estimate_one(phi, &vars, x, *options, &mut rng, budget).map(|mean| mean * scale)
     });
     vars.into_iter()
         .zip(estimates)
@@ -88,7 +88,7 @@ fn estimate_one(
     phi: &Dnf,
     vars: &[Var],
     x: Var,
-    options: &McOptions,
+    options: McOptions,
     rng: &mut StdRng,
     budget: &Budget,
 ) -> Result<f64, Interrupted> {

@@ -1,0 +1,236 @@
+//! `bench_gate` — the CI perf-regression gate.
+//!
+//! Reads the perf artifacts the bench experiments emit (`BENCH_parallel.json`
+//! from `repro parallel_speedup`, `BENCH_serve.json` from `repro
+//! serve_throughput`) and compares them against the checked-in
+//! `BENCH_baseline.json`. Exits non-zero — failing the CI job — when:
+//!
+//! * any artifact reports `bit_identical: false` (correctness regression:
+//!   parallel or served execution diverged from the sequential reference);
+//! * the serve experiment saw no shared-cache hits;
+//! * a tracked throughput metric regressed more than the tolerance
+//!   (default 25%) against the baseline.
+//!
+//! Machine-normalized metrics are gated (`speedup` = t1/tN for the parallel
+//! experiment, `speedup_vs_cold` for the serving experiment) so the gate is
+//! stable across runner generations; raw seconds and rps are printed for
+//! trend reading but only warned about. To move the baseline intentionally,
+//! commit a new `BENCH_baseline.json` alongside the change that justifies it.
+//!
+//! ```text
+//! bench_gate [--baseline BENCH_baseline.json] [--parallel BENCH_parallel.json]
+//!            [--serve BENCH_serve.json] [--tolerance 0.25]
+//! ```
+
+use banzhaf_bench::json::Json;
+
+struct Gate {
+    failures: Vec<String>,
+    warnings: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, label: &str, detail: String) {
+        if ok {
+            println!("PASS  {label}: {detail}");
+        } else {
+            println!("FAIL  {label}: {detail}");
+            self.failures.push(format!("{label}: {detail}"));
+        }
+    }
+
+    fn warn(&mut self, label: &str, detail: String) {
+        println!("WARN  {label}: {detail}");
+        self.warnings.push(format!("{label}: {detail}"));
+    }
+}
+
+fn read_json(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn f64_at(json: &Json, path: &[&str], file: &str) -> f64 {
+    let mut node = json;
+    for key in path {
+        node = node.get(key).unwrap_or_else(|| {
+            eprintln!("bench_gate: {file} is missing \"{}\"", path.join("."));
+            std::process::exit(2);
+        });
+    }
+    node.as_f64().unwrap_or_else(|| {
+        eprintln!("bench_gate: {file} \"{}\" is not a number", path.join("."));
+        std::process::exit(2);
+    })
+}
+
+fn bool_at(json: &Json, key: &str, file: &str) -> bool {
+    json.get(key).and_then(Json::as_bool).unwrap_or_else(|| {
+        eprintln!("bench_gate: {file} is missing boolean \"{key}\"");
+        std::process::exit(2);
+    })
+}
+
+/// The measured `(speedup, effective_threads)` of the run with the given
+/// requested thread count.
+fn speedup_at_threads(parallel: &Json, threads: f64, file: &str) -> (f64, f64) {
+    let runs = parallel.get("runs").and_then(Json::as_array).unwrap_or_else(|| {
+        eprintln!("bench_gate: {file} is missing \"runs\"");
+        std::process::exit(2);
+    });
+    for run in runs {
+        if run.get("threads").and_then(Json::as_f64) == Some(threads) {
+            let effective = run.get("effective_threads").and_then(Json::as_f64).unwrap_or(threads);
+            return (f64_at(run, &["speedup"], file), effective);
+        }
+    }
+    eprintln!("bench_gate: {file} has no run with threads = {threads}");
+    std::process::exit(2);
+}
+
+struct Args {
+    baseline_path: String,
+    parallel_path: String,
+    serve_path: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        baseline_path: "BENCH_baseline.json".to_owned(),
+        parallel_path: "BENCH_parallel.json".to_owned(),
+        serve_path: "BENCH_serve.json".to_owned(),
+        tolerance: 0.25,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("bench_gate: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => parsed.baseline_path = value("--baseline"),
+            "--parallel" => parsed.parallel_path = value("--parallel"),
+            "--serve" => parsed.serve_path = value("--serve"),
+            "--tolerance" => {
+                parsed.tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_gate: --tolerance needs a number in [0, 1)");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("bench_gate: unknown argument {other}");
+                eprintln!(
+                    "usage: bench_gate [--baseline F] [--parallel F] [--serve F] [--tolerance T]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let Args { baseline_path, parallel_path, serve_path, tolerance } = parse_args();
+    let baseline = read_json(&baseline_path);
+    let parallel = read_json(&parallel_path);
+    let serve = read_json(&serve_path);
+    let floor = |base: f64| base * (1.0 - tolerance);
+    let mut gate = Gate { failures: Vec::new(), warnings: Vec::new() };
+
+    // Correctness: bit-identity is non-negotiable at any tolerance.
+    gate.check(
+        bool_at(&parallel, "bit_identical", &parallel_path),
+        "parallel.bit_identical",
+        "parallel batches must match the sequential reference bit for bit".to_owned(),
+    );
+    gate.check(
+        bool_at(&serve, "bit_identical", &serve_path),
+        "serve.bit_identical",
+        "served attributions must match a cold sequential run bit for bit".to_owned(),
+    );
+    let cache_hits = f64_at(&serve, &["cache_hits"], &serve_path);
+    gate.check(
+        cache_hits > 0.0,
+        "serve.cache_hits",
+        format!("shared cross-session cache must serve hits (got {cache_hits})"),
+    );
+
+    // Throughput vs the checked-in baseline (machine-normalized metrics).
+    // The multicore baseline applies only when the run actually had that many
+    // workers: `ThreadPool::new` clamps to the machine's cores, so on a
+    // single-core box a "2-thread" run re-measures the sequential path and is
+    // held to the degenerate floor of 1.0 instead (no parallelism ran, so no
+    // parallelism can have regressed).
+    for threads in [2.0f64, 4.0] {
+        let key = format!("speedup_{threads}");
+        let Some(multicore_base) = baseline
+            .get("parallel_speedup")
+            .and_then(|b| b.get(&format!("speedup_{}", threads as u64)))
+            .and_then(Json::as_f64)
+        else {
+            continue;
+        };
+        let (measured, effective) = speedup_at_threads(&parallel, threads, &parallel_path);
+        let clamped = effective < threads;
+        let base = if clamped { multicore_base.min(1.0) } else { multicore_base };
+        gate.check(
+            measured >= floor(base),
+            &format!("parallel.{key}"),
+            format!(
+                "measured {measured:.3} vs baseline {base:.3} (floor {:.3}{})",
+                floor(base),
+                if clamped {
+                    format!("; clamped to {effective} effective worker(s), degenerate 1.0 bar")
+                } else {
+                    String::new()
+                }
+            ),
+        );
+    }
+    if let Some(base) = baseline
+        .get("serve_throughput")
+        .and_then(|b| b.get("speedup_vs_cold"))
+        .and_then(Json::as_f64)
+    {
+        let measured = f64_at(&serve, &["speedup_vs_cold"], &serve_path);
+        gate.check(
+            measured >= floor(base),
+            "serve.speedup_vs_cold",
+            format!("measured {measured:.3} vs baseline {base:.3} (floor {:.3})", floor(base)),
+        );
+    }
+
+    // Raw rps is machine-dependent: print the comparison, warn on large
+    // drops, but do not fail CI across runner generations on it.
+    if let Some(base) =
+        baseline.get("serve_throughput").and_then(|b| b.get("rps")).and_then(Json::as_f64)
+    {
+        let measured = f64_at(&serve, &["serve_rps"], &serve_path);
+        if measured < floor(base) {
+            gate.warn(
+                "serve.rps",
+                format!("measured {measured:.1} rps vs baseline {base:.1} (machine-dependent)"),
+            );
+        } else {
+            println!("PASS  serve.rps: measured {measured:.1} rps vs baseline {base:.1}");
+        }
+    }
+
+    println!();
+    if gate.failures.is_empty() {
+        let warnings = gate.warnings.len();
+        println!("bench_gate: OK ({warnings} warning(s), tolerance {tolerance})");
+    } else {
+        println!("bench_gate: {} check(s) failed (tolerance {tolerance})", gate.failures.len());
+        std::process::exit(1);
+    }
+}

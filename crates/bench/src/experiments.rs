@@ -313,7 +313,9 @@ pub fn fig5(records: &[InstanceRecord], config: &HarnessConfig) -> String {
                 format!("{err:.3e}"),
             ]);
         }
-        out.push_str(&format!(
+        use std::fmt::Write as _;
+        write!(
+            out,
             "\nInstance {} ({}, query {}, {} vars, {} clauses):\n{}",
             idx + 1,
             record.corpus,
@@ -321,7 +323,8 @@ pub fn fig5(records: &[InstanceRecord], config: &HarnessConfig) -> String {
             record.num_vars,
             record.num_clauses,
             table.render()
-        ));
+        )
+        .expect("string write");
     }
     out
 }
@@ -389,7 +392,8 @@ pub fn table8(records: &[InstanceRecord], config: &HarnessConfig) -> String {
                 ]);
             }
         }
-        out.push_str(&format!("\nprecision@{k}:\n{}", table.render()));
+        use std::fmt::Write as _;
+        write!(out, "\nprecision@{k}:\n{}", table.render()).expect("string write");
     }
     out
 }
@@ -489,23 +493,30 @@ pub fn app_d() -> String {
         "App. D — Banzhaf vs Shapley ranking on Q() :- R(X), S(X,Y), T(X,Z) (18 facts)\n",
     );
     out.push_str(&table.render());
-    out.push_str(&format!(
-        "\nBanzhaf(R(a1)) = {}   Banzhaf(R(a2)) = {}\n",
+    use std::fmt::Write as _;
+    writeln!(
+        out,
+        "\nBanzhaf(R(a1)) = {}   Banzhaf(R(a2)) = {}",
         banzhaf[&var_r1], banzhaf[&var_r2]
-    ));
-    out.push_str(&format!(
-        "Shapley(R(a1)) = {:.4}   Shapley(R(a2)) = {:.4}\n",
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "Shapley(R(a1)) = {:.4}   Shapley(R(a2)) = {:.4}",
         shapley[&var_r1].to_f64(),
         shapley[&var_r2].to_f64()
-    ));
+    )
+    .expect("string write");
     let banzhaf_prefers_a1 = banzhaf[&var_r1] > banzhaf[&var_r2];
     let shapley_prefers_a1 = shapley[&var_r1] > shapley[&var_r2];
-    out.push_str(&format!(
-        "Banzhaf ranks R(a1) {} R(a2); Shapley ranks R(a1) {} R(a2) — the rankings {}.\n",
+    writeln!(
+        out,
+        "Banzhaf ranks R(a1) {} R(a2); Shapley ranks R(a1) {} R(a2) — the rankings {}.",
         if banzhaf_prefers_a1 { "above" } else { "below" },
         if shapley_prefers_a1 { "above" } else { "below" },
         if banzhaf_prefers_a1 != shapley_prefers_a1 { "disagree" } else { "agree" }
-    ));
+    )
+    .expect("string write");
     out
 }
 
@@ -622,6 +633,14 @@ pub fn engine_cache(config: &HarnessConfig) -> String {
     format!("Engine — d-tree cache effect (ExaBan, canonical-lineage keying)\n{}", table.render())
 }
 
+/// A ring lineage over `vars` variables starting at `offset` — connected, no
+/// common variable, so attribution needs real Shannon-expansion work.
+fn ring_lineage(offset: u32, vars: u32) -> Dnf {
+    Dnf::from_clauses(
+        (0..vars).map(|i| vec![Var(offset + i), Var(offset + (i + 1) % vars)]).collect::<Vec<_>>(),
+    )
+}
+
 /// Perf trajectory: wall-clock time of batch attribution per thread count.
 ///
 /// Attributes one synthetic corpus of ring lineages (Shannon-expansion-hard,
@@ -629,28 +648,25 @@ pub fn engine_cache(config: &HarnessConfig) -> String {
 /// [`banzhaf_engine::Session::attribute_batch`] at 1, 2 and 4 threads,
 /// verifies the per-fact scores are bit-identical across thread counts, and
 /// records the measurements to `BENCH_parallel.json` so the perf trajectory
-/// is tracked across commits. Speedup is hardware-dependent — on a
-/// single-core container the ratio is ~1 even though the fan-out works; the
-/// bit-identity column is the correctness signal.
+/// is tracked across commits (the CI `bench-regression` job gates on it).
+///
+/// Measurement hygiene: the whole batch runs once untimed to warm the page
+/// cache and allocator, then each thread count is scored by its best of
+/// [`SPEEDUP_REPEATS`] runs — per-instance cost is large enough (rings of
+/// [`SPEEDUP_RING_VARS`] variables) to dwarf the fork-join overhead that a
+/// too-small instance set previously let dominate. Speedup remains
+/// hardware-dependent: on a single-core container the honest ratio is ~1;
+/// the bit-identity column is the correctness signal everywhere.
 pub fn parallel_speedup(config: &HarnessConfig) -> String {
-    const RING_VARS: u32 = 26;
-    let instances = 12 * config.scale.max(1);
-    // Distinct variable ranges per instance; the session cache is off, so
+    let instances = SPEEDUP_INSTANCES * config.scale.max(1);
+    // Distinct variable ranges per instance; the attribution cache is off, so
     // every instance costs one full compilation.
-    let ring = |offset: u32| -> Dnf {
-        Dnf::from_clauses(
-            (0..RING_VARS)
-                .map(|i| vec![Var(offset + i), Var(offset + (i + 1) % RING_VARS)])
-                .collect::<Vec<_>>(),
-        )
-    };
-    let lineages: Vec<Dnf> = (0..instances).map(|i| ring(i as u32 * (RING_VARS + 1))).collect();
+    let lineages: Vec<Dnf> = (0..instances)
+        .map(|i| ring_lineage(i as u32 * (SPEEDUP_RING_VARS + 1), SPEEDUP_RING_VARS))
+        .collect();
     let refs: Vec<&Dnf> = lineages.iter().collect();
 
-    let mut table = TextTable::new(["Threads", "Wall", "Speedup", "Bit-identical"]);
-    let mut runs: Vec<(usize, f64, bool)> = Vec::new();
-    let mut baseline: Option<(f64, Vec<HashMap<Var, banzhaf_arith::Natural>>)> = None;
-    for threads in [1usize, 2, 4] {
+    let batch_values = |threads: usize| -> (f64, Vec<HashMap<Var, banzhaf_arith::Natural>>) {
         let engine = Engine::new(
             EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(threads),
         );
@@ -658,36 +674,60 @@ pub fn parallel_speedup(config: &HarnessConfig) -> String {
         let start = Instant::now();
         let results = session.attribute_batch(&refs);
         let secs = start.elapsed().as_secs_f64();
-        let values: Vec<HashMap<Var, banzhaf_arith::Natural>> = results
+        let values = results
             .into_iter()
             .map(|r| r.expect("unbounded budget").exact_values().expect("ExaBan is exact"))
             .collect();
-        let identical = match &baseline {
-            None => {
-                baseline = Some((secs, values));
-                true
-            }
-            Some((_, reference)) => reference == &values,
-        };
-        let speedup = baseline.as_ref().map(|(t1, _)| t1 / secs).unwrap_or(1.0);
+        (secs, values)
+    };
+
+    // Warmup: one untimed full batch so the first measured run does not pay
+    // for page faults and allocator growth.
+    let (_, reference) = batch_values(1);
+
+    // Interleaved rounds — 1, 2, 4, 1, 2, 4, … — so every thread count
+    // samples the same phases of whatever load/frequency drift the machine
+    // has; the best round per count is scored. (Measuring all repeats of one
+    // count back-to-back lets drift masquerade as speedup or regression.)
+    const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+    let mut best = [f64::INFINITY; THREAD_COUNTS.len()];
+    let mut identical = [true; THREAD_COUNTS.len()];
+    for _ in 0..SPEEDUP_REPEATS {
+        for (slot, &threads) in THREAD_COUNTS.iter().enumerate() {
+            let (secs, values) = batch_values(threads);
+            best[slot] = best[slot].min(secs);
+            identical[slot] &= values == reference;
+        }
+    }
+    let t1 = best[0];
+
+    let mut table =
+        TextTable::new(["Threads (effective)", "Wall (best)", "Speedup", "Bit-identical"]);
+    let mut runs: Vec<(usize, usize, f64, bool)> = Vec::new();
+    for (slot, &threads) in THREAD_COUNTS.iter().enumerate() {
+        // `ThreadPool::new` clamps to the machine's cores; report both the
+        // requested and the effective worker count so a single-core run is
+        // transparently a sequential re-measurement, not a fake speedup.
+        let effective = banzhaf_par::ThreadPool::new(threads).threads();
         table.push_row([
-            threads.to_string(),
-            crate::report::format_secs(secs),
-            format!("{speedup:.2}x"),
-            identical.to_string(),
+            format!("{threads} ({effective})"),
+            crate::report::format_secs(best[slot]),
+            format!("{:.2}x", t1 / best[slot]),
+            identical[slot].to_string(),
         ]);
-        runs.push((threads, secs, identical));
+        runs.push((threads, effective, best[slot], identical[slot]));
     }
 
-    let bit_identical = runs.iter().all(|&(_, _, ok)| ok);
-    let t1 = runs[0].1;
+    let bit_identical = runs.iter().all(|&(_, _, _, ok)| ok);
     let json = format!(
         "{{\n  \"experiment\": \"parallel_speedup\",\n  \"algorithm\": \"ExaBan\",\n  \
-         \"instances\": {instances},\n  \"ring_vars\": {RING_VARS},\n  \
+         \"instances\": {instances},\n  \"ring_vars\": {SPEEDUP_RING_VARS},\n  \
+         \"repeats\": {SPEEDUP_REPEATS},\n  \
          \"bit_identical\": {bit_identical},\n  \"runs\": [\n{}\n  ]\n}}\n",
         runs.iter()
-            .map(|&(threads, secs, _)| format!(
-                "    {{\"threads\": {threads}, \"seconds\": {secs:.6}, \"speedup\": {:.3}}}",
+            .map(|&(threads, effective, secs, _)| format!(
+                "    {{\"threads\": {threads}, \"effective_threads\": {effective}, \
+                 \"seconds\": {secs:.6}, \"speedup\": {:.3}}}",
                 t1 / secs
             ))
             .collect::<Vec<_>>()
@@ -699,7 +739,134 @@ pub fn parallel_speedup(config: &HarnessConfig) -> String {
     };
     format!(
         "Perf — batch attribution speedup by thread count ({instances} ring lineages, \
-         {RING_VARS} vars each; {json_note})\n{}",
+         {SPEEDUP_RING_VARS} vars each, best of {SPEEDUP_REPEATS}; {json_note})\n{}",
+        table.render()
+    )
+}
+
+/// Ring size of the speedup experiment's instances: large enough that one
+/// instance costs milliseconds of compile work, so fork-join overhead is
+/// noise rather than the signal.
+pub const SPEEDUP_RING_VARS: u32 = 30;
+/// Instances per scale unit in the speedup experiment.
+pub const SPEEDUP_INSTANCES: usize = 16;
+/// Timed repetitions per thread count (the best run is scored).
+pub const SPEEDUP_REPEATS: usize = 5;
+
+/// Serving throughput: the async front end under a concurrent request mix.
+///
+/// Builds a workload of repeated isomorphic lineage shapes (distinct variable
+/// ids per request, so only canonicalization makes them equal), drives it
+/// through an [`banzhaf_serve::AttributionService`] — bounded queue, worker
+/// sessions over the engine's shared cross-session cache — and compares
+/// against a cold sequential session with the cache disabled:
+///
+/// * `bit_identical`: every served attribution equals the cold run's.
+/// * `serve_rps` vs `sequential_rps`: requests per second with and without
+///   the serving layer; the cache makes the served run do strictly less
+///   compile work on repeated shapes.
+///
+/// Emits `BENCH_serve.json` for the CI `bench-regression` gate, which tracks
+/// the machine-normalized ratio (`speedup_vs_cold`) rather than the raw rps.
+pub fn serve_throughput(config: &HarnessConfig) -> String {
+    use banzhaf_serve::{block_on, join_all, AttributionService, ServeConfig};
+
+    const SHAPE_SIZES: [u32; 4] = [16, 18, 20, 22];
+    let reps = 8 * config.scale.max(1);
+    // Round-robin the shapes so repeats of one shape are interleaved, the
+    // way real repeated queries arrive; every request gets fresh var ids.
+    let mut lineages: Vec<Dnf> = Vec::with_capacity(SHAPE_SIZES.len() * reps);
+    let mut offset = 0u32;
+    for rep in 0..reps {
+        for s in 0..SHAPE_SIZES.len() {
+            // Rotate the shape order per repetition: still the same four
+            // shapes overall, different arrival order each round.
+            let vars = SHAPE_SIZES[(s + rep) % SHAPE_SIZES.len()];
+            lineages.push(ring_lineage(offset, vars));
+            offset += vars + 1;
+        }
+    }
+    let requests = lineages.len();
+
+    // Cold reference: a fresh cache-less sequential session per run.
+    let cold_engine =
+        Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(1));
+    let mut cold_session = cold_engine.session();
+    let cold_start = Instant::now();
+    let cold: Vec<HashMap<Var, banzhaf_arith::Natural>> = lineages
+        .iter()
+        .map(|l| {
+            cold_session
+                .attribute(l)
+                .expect("unbounded budget")
+                .exact_values()
+                .expect("ExaBan is exact")
+        })
+        .collect();
+    let sequential_seconds = cold_start.elapsed().as_secs_f64();
+
+    // Served run: all requests in flight at once, workers sharing one cache.
+    let workers = config.threads.max(2);
+    let service = AttributionService::start(
+        ServeConfig::new(EngineConfig::new(Algorithm::ExaBan))
+            .with_workers(workers)
+            .with_queue_capacity(requests),
+    );
+    let serve_start = Instant::now();
+    let tickets: Vec<_> = lineages
+        .iter()
+        .map(|l| service.submit(l.clone()).expect("queue sized to the workload"))
+        .collect();
+    let outcomes = block_on(join_all(tickets));
+    let serve_seconds = serve_start.elapsed().as_secs_f64();
+    let served: Vec<HashMap<Var, banzhaf_arith::Natural>> = outcomes
+        .into_iter()
+        .map(|o| o.expect("unbounded budgets").exact_values().expect("ExaBan is exact"))
+        .collect();
+
+    let bit_identical = served == cold;
+    let cache = service.cache_stats();
+    let stats = service.stats();
+    let serve_rps = requests as f64 / serve_seconds;
+    let sequential_rps = requests as f64 / sequential_seconds;
+    let speedup_vs_cold = sequential_seconds / serve_seconds;
+
+    let mut table = TextTable::new(["Path", "Wall", "Requests/s", "Cache hits", "Bit-identical"]);
+    table.push_row([
+        "cold sequential (no cache)".to_owned(),
+        crate::report::format_secs(sequential_seconds),
+        format!("{sequential_rps:.1}"),
+        "0".to_owned(),
+        "reference".to_owned(),
+    ]);
+    table.push_row([
+        format!("served ({workers} workers, shared cache)"),
+        crate::report::format_secs(serve_seconds),
+        format!("{serve_rps:.1}"),
+        cache.hits.to_string(),
+        bit_identical.to_string(),
+    ]);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"serve_throughput\",\n  \"algorithm\": \"ExaBan\",\n  \
+         \"requests\": {requests},\n  \"workers\": {workers},\n  \
+         \"serve_seconds\": {serve_seconds:.6},\n  \"serve_rps\": {serve_rps:.3},\n  \
+         \"sequential_seconds\": {sequential_seconds:.6},\n  \
+         \"sequential_rps\": {sequential_rps:.3},\n  \
+         \"speedup_vs_cold\": {speedup_vs_cold:.3},\n  \
+         \"cache_hits\": {},\n  \"cache_insertions\": {},\n  \"cache_evictions\": {},\n  \
+         \"completed\": {},\n  \"rejected\": {},\n  \
+         \"bit_identical\": {bit_identical}\n}}\n",
+        cache.hits, cache.insertions, cache.evictions, stats.completed, stats.rejected,
+    );
+    let json_note = match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => "recorded to BENCH_serve.json".to_owned(),
+        Err(e) => format!("could not write BENCH_serve.json: {e}"),
+    };
+    format!(
+        "Serve — async front-end throughput ({requests} requests over {} ring shapes, \
+         {json_note})\n{}",
+        SHAPE_SIZES.len(),
         table.render()
     )
 }
@@ -739,6 +906,8 @@ pub fn run_all(config: &HarnessConfig) -> String {
     out.push_str(&engine_cache(config));
     out.push('\n');
     out.push_str(&parallel_speedup(config));
+    out.push('\n');
+    out.push_str(&serve_throughput(config));
     out
 }
 
@@ -773,5 +942,20 @@ mod tests {
         assert!(report.contains("d-tree cache effect"));
         assert!(report.contains("Academic-like"));
         assert!(report.contains("TPC-H-like"));
+    }
+
+    #[test]
+    fn serve_throughput_is_bit_identical_with_cache_hits() {
+        let report = serve_throughput(&tiny_config());
+        assert!(report.contains("shared cache"));
+        assert!(report.contains("true"), "served run must match the cold run:\n{report}");
+        assert!(!report.contains("false"), "bit-identity must hold:\n{report}");
+        // The workload repeats 4 shapes 8 times (32 requests): with 2
+        // workers each shape is compiled at most twice (both workers racing
+        // it cold), leaving at least 32 - 4*2 = 24 shared-cache hits.
+        let json = std::fs::read_to_string("BENCH_serve.json").unwrap();
+        let parsed = crate::json::Json::parse(&json).unwrap();
+        assert!(parsed.get("cache_hits").unwrap().as_f64().unwrap() >= 24.0);
+        assert_eq!(parsed.get("bit_identical").unwrap().as_bool(), Some(true));
     }
 }

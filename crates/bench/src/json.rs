@@ -1,0 +1,315 @@
+//! A minimal JSON reader for the harness's own `BENCH_*.json` artifacts.
+//!
+//! The build environment has no crates.io access, so the CI regression gate
+//! (`bench_gate`) parses the perf artifacts with this ~150-line recursive
+//! descent parser instead of `serde_json`. It accepts standard JSON (objects,
+//! arrays, strings with the common escapes, numbers, booleans, null), which
+//! is a superset of what the experiment writers emit.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`, which is exact for the magnitudes the
+    /// bench artifacts contain).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Duplicate keys keep the last value, like most parsers.
+    Obj(HashMap<String, Json>),
+}
+
+/// A parse failure: byte offset and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What was expected.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed, nothing else).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("end of input"));
+        }
+        Ok(value)
+    }
+
+    /// Member access on objects (`None` on other variants or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &'static str) -> JsonError {
+        JsonError { at: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error("literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{', "'{'")?;
+        let mut members = HashMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':', "':' after object key")?;
+            self.skip_whitespace();
+            members.insert(key, self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.error("',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[', "'['")?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("closing '\"'")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| self.error("escape character"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("four hex digits"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by the bench
+                            // artifacts; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.error("a valid escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("valid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.error("a character"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("a number"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError { at: start, message: "a number" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_artifact_shape() {
+        let doc = r#"{
+          "experiment": "parallel_speedup",
+          "bit_identical": true,
+          "runs": [
+            {"threads": 1, "seconds": 0.25, "speedup": 1.0},
+            {"threads": 2, "seconds": 0.125, "speedup": 2.0}
+          ]
+        }"#;
+        let json = Json::parse(doc).unwrap();
+        assert_eq!(json.get("experiment").unwrap().as_str(), Some("parallel_speedup"));
+        assert_eq!(json.get("bit_identical").unwrap().as_bool(), Some(true));
+        let runs = json.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].get("speedup").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn parses_scalars_and_escapes() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-12.5e-1").unwrap(), Json::Num(-1.25));
+        assert_eq!(Json::parse(r#""a\"b\nA""#).unwrap(), Json::Str("a\"b\nA".to_owned()));
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(Vec::new()));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(HashMap::new()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn accessors_return_none_on_wrong_variants() {
+        let json = Json::parse("[1]").unwrap();
+        assert!(json.get("x").is_none());
+        assert!(json.as_f64().is_none());
+        assert!(json.as_bool().is_none());
+        assert!(json.as_str().is_none());
+        assert_eq!(json.as_array().unwrap().len(), 1);
+    }
+}

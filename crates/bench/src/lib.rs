@@ -10,5 +10,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod runner;

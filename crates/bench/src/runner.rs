@@ -147,8 +147,8 @@ fn timed<T>(f: impl FnOnce() -> Option<T>) -> (AlgoRun, Option<T>) {
     (AlgoRun { seconds, success: out.is_some(), steps: 0 }, out)
 }
 
-fn attribution_steps(att: &Option<Attribution>) -> u64 {
-    att.as_ref().map(|a| a.stats.compile_steps).unwrap_or(0)
+fn attribution_steps(att: Option<&Attribution>) -> u64 {
+    att.map(|a| a.stats.compile_steps).unwrap_or(0)
 }
 
 /// Runs every algorithm on one lineage and records the outcomes.
@@ -167,18 +167,18 @@ pub fn run_instance(
     // ExaBan: full compilation + all-variables pass.
     let exa = config.engine_config(Algorithm::ExaBan).attributor();
     let (mut exaban, exa_att) = timed(|| exa.attribute(lineage, &budget()).ok());
-    exaban.steps = attribution_steps(&exa_att);
+    exaban.steps = attribution_steps(exa_att.as_ref());
     let exact = exa_att.as_ref().and_then(Attribution::exact_values);
 
     // Sig22 baseline.
     let sig = config.engine_config(Algorithm::Sig22).attributor();
     let (mut sig22, sig_att) = timed(|| sig.attribute(lineage, &budget()).ok());
-    sig22.steps = attribution_steps(&sig_att);
+    sig22.steps = attribution_steps(sig_att.as_ref());
 
     // AdaBan with relative error ε over all variables.
     let ada = config.engine_config(Algorithm::AdaBan).attributor();
     let (mut adaban, ada_att) = timed(|| ada.attribute(lineage, &budget()).ok());
-    adaban.steps = attribution_steps(&ada_att);
+    adaban.steps = attribution_steps(ada_att.as_ref());
     let adaban_estimates = ada_att.as_ref().map(Attribution::estimates);
 
     // Monte Carlo with 50·#vars samples in total (50 per variable). The

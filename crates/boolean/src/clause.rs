@@ -89,7 +89,7 @@ impl fmt::Debug for Clause {
         if self.is_empty() {
             return write!(f, "⊤");
         }
-        let parts: Vec<String> = self.vars.iter().map(|v| v.to_string()).collect();
+        let parts: Vec<String> = self.vars.iter().map(ToString::to_string).collect();
         write!(f, "{}", parts.join("∧"))
     }
 }

@@ -31,7 +31,7 @@ impl Dnf {
         C: IntoIterator<Item = Var>,
     {
         let clauses: Vec<Clause> = clauses.into_iter().map(Clause::new).collect();
-        let universe = VarSet::from_iter(clauses.iter().flat_map(|c| c.iter()));
+        let universe: VarSet = clauses.iter().flat_map(Clause::iter).collect();
         Dnf::from_parts(universe, clauses)
     }
 
@@ -55,7 +55,7 @@ impl Dnf {
 
     /// Internal constructor enforcing the canonical form.
     pub(crate) fn from_parts(universe: VarSet, mut clauses: Vec<Clause>) -> Self {
-        if clauses.iter().any(|c| c.is_empty()) {
+        if clauses.iter().any(Clause::is_empty) {
             return Dnf { universe, clauses: vec![Clause::empty()] };
         }
         // Skip the O(n log n) sort when the input is provably canonical
@@ -141,7 +141,7 @@ impl Dnf {
 
     /// The set of variables that actually occur in some clause.
     pub fn used_vars(&self) -> VarSet {
-        VarSet::from_iter(self.clauses.iter().flat_map(|c| c.iter()))
+        self.clauses.iter().flat_map(Clause::iter).collect()
     }
 
     /// `true` iff the variable occurs in some clause.

@@ -208,7 +208,7 @@ mod tests {
     use super::*;
 
     fn vs(ids: &[u32]) -> VarSet {
-        VarSet::from_iter(ids.iter().map(|&i| Var(i)))
+        ids.iter().map(|&i| Var(i)).collect()
     }
 
     #[test]

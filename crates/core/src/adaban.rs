@@ -98,7 +98,7 @@ impl ApproxInterval {
     /// Midpoint of the interval as `f64`, used as the point estimate when
     /// reporting approximate values and approximate rankings.
     pub fn midpoint(&self) -> f64 {
-        (self.lower.to_f64() + self.upper.to_f64()) / 2.0
+        f64::midpoint(self.lower.to_f64(), self.upper.to_f64())
     }
 
     /// `true` iff this interval lies strictly below `other` (their closures

@@ -199,7 +199,7 @@ pub fn critical_counts_all(tree: &DTree) -> HashMap<Var, Vec<Natural>> {
             Node::Op { op, children, .. } => match op {
                 OpKind::Exclusive => {
                     for &ch in children {
-                        contexts[ch.index()] = ctx.clone();
+                        contexts[ch.index()].clone_from(&ctx);
                     }
                 }
                 OpKind::IndependentAnd | OpKind::IndependentOr => {

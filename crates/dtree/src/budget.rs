@@ -1,7 +1,7 @@
 //! Cooperative computation budgets (deadlines and step limits).
 
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Error returned when a computation exceeds its [`Budget`].
@@ -43,13 +43,22 @@ pub struct Budget {
     steps: AtomicU64,
     /// Check the clock only every `CLOCK_PERIOD` steps to keep overhead low.
     since_clock: AtomicU32,
+    /// Cooperative cancellation: once set, `step()` reports `Interrupted`
+    /// within one clock period on every thread charging this budget.
+    cancelled: AtomicBool,
 }
 
 const CLOCK_PERIOD: u32 = 64;
 
 impl Budget {
     fn with_counters(deadline: Option<Instant>, max_steps: Option<u64>) -> Self {
-        Budget { deadline, max_steps, steps: AtomicU64::new(0), since_clock: AtomicU32::new(0) }
+        Budget {
+            deadline,
+            max_steps,
+            steps: AtomicU64::new(0),
+            since_clock: AtomicU32::new(0),
+            cancelled: AtomicBool::new(false),
+        }
     }
 
     /// A budget that never interrupts.
@@ -78,6 +87,23 @@ impl Budget {
         self.steps.load(Ordering::Relaxed)
     }
 
+    /// Cancels the computation charging this budget: every thread observes
+    /// `Interrupted` from [`Budget::step`] within one clock period.
+    ///
+    /// This is how an external controller (e.g. the async serving layer)
+    /// interrupts an in-flight attribution without any backend cooperation
+    /// beyond the budget checks the backends already perform. Cancellation is
+    /// sticky and shared by reference; a [`Budget::clone`] snapshots the flag
+    /// but does not stay linked to later cancellations of the original.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` iff [`Budget::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
     /// Records one step and returns `Err(Interrupted)` if the budget is
     /// exhausted.
     pub fn step(&self) -> Result<(), Interrupted> {
@@ -87,15 +113,16 @@ impl Budget {
                 return Err(Interrupted);
             }
         }
-        if self.deadline.is_some() {
-            // Racing resets may make some threads check the clock a little
-            // early or late; the period only bounds the *amortized* clock
-            // cost, so approximate counting is fine.
-            let since = self.since_clock.fetch_add(1, Ordering::Relaxed) + 1;
-            if since >= CLOCK_PERIOD {
-                self.since_clock.store(0, Ordering::Relaxed);
-                self.check_deadline()?;
+        // Racing resets may make some threads check the clock a little
+        // early or late; the period only bounds the *amortized* clock
+        // cost, so approximate counting is fine.
+        let since = self.since_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if since >= CLOCK_PERIOD {
+            self.since_clock.store(0, Ordering::Relaxed);
+            if self.is_cancelled() {
+                return Err(Interrupted);
             }
+            self.check_deadline()?;
         }
         Ok(())
     }
@@ -108,8 +135,11 @@ impl Budget {
         }
     }
 
-    /// `true` iff the budget is already exhausted.
+    /// `true` iff the budget is already exhausted (or cancelled).
     pub fn exhausted(&self) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
         if let Some(max) = self.max_steps {
             if self.steps_used() >= max {
                 return true;
@@ -128,6 +158,7 @@ impl Clone for Budget {
             max_steps: self.max_steps,
             steps: AtomicU64::new(self.steps_used()),
             since_clock: AtomicU32::new(self.since_clock.load(Ordering::Relaxed)),
+            cancelled: AtomicBool::new(self.is_cancelled()),
         }
     }
 }
@@ -221,6 +252,50 @@ mod tests {
         });
         assert_eq!(successes.load(Ordering::Relaxed), 1_000);
         assert!(b.exhausted());
+    }
+
+    #[test]
+    fn cancellation_interrupts_within_one_clock_period() {
+        let b = Budget::unlimited();
+        assert!(!b.is_cancelled() && !b.exhausted());
+        b.cancel();
+        assert!(b.is_cancelled() && b.exhausted());
+        let mut interrupted = false;
+        for _ in 0..=CLOCK_PERIOD {
+            if b.step().is_err() {
+                interrupted = true;
+                break;
+            }
+        }
+        assert!(interrupted, "step() must observe cancellation within one clock period");
+    }
+
+    #[test]
+    fn cancellation_interrupts_all_workers_sharing_the_budget() {
+        let b = Budget::unlimited();
+        let interrupted = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| loop {
+                    if b.step().is_err() {
+                        interrupted.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                });
+            }
+            b.cancel();
+        });
+        assert_eq!(interrupted.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn clone_snapshots_the_cancellation_flag() {
+        let b = Budget::unlimited();
+        let before = b.clone();
+        b.cancel();
+        let after = b.clone();
+        assert!(!before.is_cancelled(), "clones are snapshots, not linked");
+        assert!(after.is_cancelled());
     }
 
     #[test]

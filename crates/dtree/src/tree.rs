@@ -80,7 +80,7 @@ impl DTree {
     pub fn non_trivial_leaves(&self) -> Vec<NodeId> {
         (0..self.nodes.len() as u32)
             .map(NodeId)
-            .filter(|id| self.node(*id).is_non_trivial_leaf() && self.is_reachable(*id))
+            .filter(|id| self.node(*id).is_non_trivial_leaf() && Self::is_reachable(*id))
             .collect()
     }
 
@@ -105,7 +105,7 @@ impl DTree {
     /// `true` iff `id` is reachable from the root. Replaced leaves leave no
     /// orphans behind (we replace in place), but defensive filtering keeps the
     /// invariant obvious.
-    fn is_reachable(&self, id: NodeId) -> bool {
+    fn is_reachable(id: NodeId) -> bool {
         // All nodes in the arena are reachable by construction: expansion
         // replaces a node in place and only appends children.
         let _ = id;
@@ -172,16 +172,17 @@ impl DTree {
     /// Renders the tree as an indented multi-line string (for debugging and
     /// the examples).
     pub fn render(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::new();
         let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
         while let Some((id, depth)) = stack.pop() {
             let indent = "  ".repeat(depth);
             match self.node(id) {
-                Node::Leaf(dnf) => out.push_str(&format!("{indent}leaf {dnf}\n")),
-                Node::PosLit(v) => out.push_str(&format!("{indent}{v}\n")),
-                Node::NegLit(v) => out.push_str(&format!("{indent}¬{v}\n")),
+                Node::Leaf(dnf) => writeln!(out, "{indent}leaf {dnf}").expect("string write"),
+                Node::PosLit(v) => writeln!(out, "{indent}{v}").expect("string write"),
+                Node::NegLit(v) => writeln!(out, "{indent}¬{v}").expect("string write"),
                 Node::Op { op, children, num_vars } => {
-                    out.push_str(&format!("{indent}{op} [{num_vars} vars]\n"));
+                    writeln!(out, "{indent}{op} [{num_vars} vars]").expect("string write");
                     for &c in children.iter().rev() {
                         stack.push((c, depth + 1));
                     }
@@ -268,7 +269,9 @@ mod tests {
     #[test]
     fn trivial_leaf_is_complete() {
         assert!(DTree::from_leaf(Dnf::variable(v(0))).is_complete());
-        assert!(DTree::from_leaf(Dnf::constant_false(Default::default())).is_complete());
+        assert!(
+            DTree::from_leaf(Dnf::constant_false(banzhaf_boolean::VarSet::default())).is_complete()
+        );
     }
 
     #[test]

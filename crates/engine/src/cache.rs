@@ -1,0 +1,395 @@
+//! The engine-level shared attribution cache.
+//!
+//! PR 2 introduced a per-[`crate::Session`] d-tree cache keyed by canonical
+//! lineage; this module promotes it to an **engine-level, cross-session**
+//! cache: every session of an [`crate::Engine`] (and every worker of the
+//! async serving layer on top) shares one size-bounded store, so repeated
+//! queries across sessions reuse compilations instead of redoing them.
+//!
+//! Design:
+//!
+//! * **Canonical-lineage keying** ([`CanonicalKey`]): variables renamed to a
+//!   dense numbering by first occurrence, exactly as before — equal keys imply
+//!   isomorphic lineages, so cached attributions transfer under the variable
+//!   bijection.
+//! * **Size-bounded, LRU-evicted**: the cache holds at most
+//!   [`SharedCache::capacity`] entries. Recency is tracked with a lazy LRU
+//!   queue (every touch appends a `(key, tick)` pair; eviction pops from the
+//!   front, skipping pairs whose tick is stale), so hits and inserts stay
+//!   O(1) amortized with no intrusive lists.
+//! * **Single-writer merge**: batch entry points look the cache up during
+//!   planning, compute misses on worker threads *without touching the cache*,
+//!   and merge freshly computed attributions only after the workers have
+//!   joined — concurrent sessions serialize only on the brief lock of a
+//!   lookup or merge, never for the duration of a compilation.
+//! * **Counters** ([`CacheStats`]): hits, misses, insertions and evictions
+//!   are tracked atomically and surfaced through
+//!   [`crate::Engine::cache_stats`] (and the serving layer's stats).
+
+use crate::attribution::{Attribution, Score};
+use banzhaf_boolean::{Dnf, Var, VarSet};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The cache key: the lineage with its variables renamed to a dense canonical
+/// numbering. Equal keys imply isomorphic lineages (the composition of the
+/// two renamings is a variable bijection), so attribution values — which are
+/// invariant under renaming — can be transferred between them.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct CanonicalKey {
+    pub(crate) num_vars: usize,
+    pub(crate) clauses: Vec<Vec<u32>>,
+}
+
+/// A lineage together with its canonical renaming.
+pub(crate) struct Canonicalized {
+    pub(crate) key: CanonicalKey,
+    /// The same function over the canonical variables `0..n`.
+    pub(crate) dnf: Dnf,
+    /// Canonical index → original variable.
+    originals: Vec<Var>,
+}
+
+impl Canonicalized {
+    /// Renames variables to `0..n` by first occurrence across the lineage's
+    /// canonically sorted clauses (unused universe variables follow, in
+    /// ascending order). This detects the renamed-but-identically-shaped
+    /// lineages the synthetic corpora produce; lineages it maps to different
+    /// keys are simply cached separately.
+    pub(crate) fn of(lineage: &Dnf) -> Canonicalized {
+        let mut ids: HashMap<Var, u32> = HashMap::with_capacity(lineage.num_vars());
+        let mut originals: Vec<Var> = Vec::with_capacity(lineage.num_vars());
+        let mut rename = |v: Var, originals: &mut Vec<Var>| -> u32 {
+            *ids.entry(v).or_insert_with(|| {
+                originals.push(v);
+                (originals.len() - 1) as u32
+            })
+        };
+        let mut clauses: Vec<Vec<u32>> = lineage
+            .clauses()
+            .iter()
+            .map(|c| c.iter().map(|v| rename(v, &mut originals)).collect())
+            .collect();
+        for v in lineage.universe().iter() {
+            rename(v, &mut originals);
+        }
+        // Sort the renamed clauses so the key does not depend on which
+        // original ordering produced them.
+        for c in &mut clauses {
+            c.sort_unstable();
+        }
+        clauses.sort_unstable();
+        let universe = VarSet::from_sorted((0..originals.len() as u32).map(Var).collect());
+        let dnf = Dnf::from_clauses_with_universe(
+            clauses.iter().map(|c| c.iter().map(|&i| Var(i))),
+            universe,
+        );
+        Canonicalized { key: CanonicalKey { num_vars: originals.len(), clauses }, dnf, originals }
+    }
+
+    /// Renames a canonical-variable attribution back to the original facts.
+    pub(crate) fn map_back(&self, canonical: &Attribution) -> Attribution {
+        let rename = |v: &Var| self.originals[v.index()];
+        let values: HashMap<Var, Score> =
+            canonical.values.iter().map(|(v, s)| (rename(v), s.clone())).collect();
+        let shapley = canonical
+            .shapley
+            .as_ref()
+            .map(|m| m.iter().map(|(v, s)| (rename(v), s.clone())).collect());
+        Attribution {
+            algorithm: canonical.algorithm,
+            values,
+            model_count: canonical.model_count.clone(),
+            shapley,
+            stats: canonical.stats,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the shared cache's counters and occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no entry. An instance whose shape is compiled by an
+    /// earlier instance of the *same batch* counts as a miss here (the shape
+    /// was not cached when it was looked up) even though the session scores
+    /// the shared work as a per-session hit.
+    pub misses: u64,
+    /// Attributions merged into the cache.
+    pub insertions: u64,
+    /// Entries evicted to keep the cache within its capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// The configured capacity bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// The fraction of lookups answered from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    /// `Arc`ed so a hit hands the value out with an O(1) refcount bump — the
+    /// deep copy (`Canonicalized::map_back`) happens outside the lock.
+    attribution: Arc<Attribution>,
+    /// The map key, shared with the recency queue so a touch appends an
+    /// O(1) refcount bump instead of deep-copying the clause list.
+    key: Arc<CanonicalKey>,
+    /// The tick of this entry's most recent touch; queue pairs with an older
+    /// tick are stale.
+    tick: u64,
+}
+
+struct CacheInner {
+    map: HashMap<Arc<CanonicalKey>, CacheEntry>,
+    /// Lazy LRU order: `(key, tick)` appended on every touch; a pair is live
+    /// iff its tick equals the entry's current tick.
+    recency: VecDeque<(Arc<CanonicalKey>, u64)>,
+    tick: u64,
+}
+
+/// The shared, size-bounded, canonical-lineage-keyed attribution cache.
+///
+/// Wrapped in an `Arc` by [`crate::Engine`] and handed to every
+/// [`crate::Session`]; safe to share across threads. Lookups and merges take
+/// a short internal lock; compilations never run under it.
+pub struct SharedCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedCache {
+    /// A cache bounded to `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SharedCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                recency: VecDeque::new(),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured entry-count bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks a canonical shape up, refreshing its recency on a hit.
+    ///
+    /// Returns a shared handle: the critical section is O(1) (refcount bump
+    /// plus recency bookkeeping), never a deep copy of the attribution.
+    pub(crate) fn get(&self, key: &CanonicalKey) -> Option<Arc<Attribution>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let attribution = Arc::clone(&entry.attribution);
+                let stored_key = Arc::clone(&entry.key);
+                inner.recency.push_back((stored_key, tick));
+                Self::compact(&mut inner);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(attribution)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Merges one freshly computed canonical attribution, evicting the least
+    /// recently used entries if the capacity bound is exceeded. Re-inserting
+    /// an existing shape refreshes its entry (last writer wins; both writers
+    /// computed bit-identical values on the canonical form).
+    pub(crate) fn insert(&self, key: CanonicalKey, attribution: Attribution) {
+        let attribution = Arc::new(attribution);
+        let key = Arc::new(key);
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.recency.push_back((Arc::clone(&key), tick));
+        inner.map.insert(Arc::clone(&key), CacheEntry { attribution, key, tick });
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while inner.map.len() > self.capacity {
+            let Some((victim, victim_tick)) = inner.recency.pop_front() else {
+                break;
+            };
+            let live = inner.map.get(&victim).is_some_and(|e| e.tick == victim_tick);
+            if live {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Self::compact(&mut inner);
+    }
+
+    /// Drops stale recency pairs once the queue outgrows the live entry set,
+    /// keeping the lazy-LRU bookkeeping O(1) amortized per touch.
+    fn compact(inner: &mut CacheInner) {
+        if inner.recency.len() <= inner.map.len().saturating_mul(4).max(64) {
+            return;
+        }
+        let map = &inner.map;
+        let mut seen: HashMap<&CanonicalKey, u64> = HashMap::with_capacity(map.len());
+        for (key, entry) in map {
+            seen.insert(key.as_ref(), entry.tick);
+        }
+        inner.recency.retain(|(key, tick)| seen.get(key.as_ref()) == Some(tick));
+    }
+
+    /// Removes every entry (counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.map.clear();
+        inner.recency.clear();
+    }
+
+    /// A snapshot of the cache's counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().expect("cache lock poisoned").map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl fmt::Debug for SharedCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedCache").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::EngineStats;
+    use banzhaf_arith::Natural;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn dummy_attribution(tag: u64) -> Attribution {
+        Attribution {
+            algorithm: "test",
+            values: [(v(0), Score::Exact(Natural::from(tag)))].into_iter().collect(),
+            model_count: None,
+            shapley: None,
+            stats: EngineStats::default(),
+        }
+    }
+
+    fn key_of(clause: &[u32]) -> CanonicalKey {
+        let vars: Vec<Var> = clause.iter().map(|&i| Var(i)).collect();
+        Canonicalized::of(&Dnf::from_clauses(vec![vars])).key
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_shape() {
+        let cache = SharedCache::new(2);
+        let (a, b, c) = (key_of(&[0]), key_of(&[0, 1]), key_of(&[0, 1, 2]));
+        cache.insert(a.clone(), dummy_attribution(1));
+        cache.insert(b.clone(), dummy_attribution(2));
+        // Touch `a` so `b` is the LRU victim.
+        assert!(cache.get(&a).is_some());
+        cache.insert(c.clone(), dummy_attribution(3));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.get(&a).is_some(), "recently touched entry survives");
+        assert!(cache.get(&b).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn counters_track_hits_misses_and_insertions() {
+        let cache = SharedCache::new(8);
+        let key = key_of(&[0, 1]);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), dummy_attribution(7));
+        assert!(cache.get(&key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions, stats.evictions), (1, 1, 1, 0));
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_under_repeated_hits() {
+        let cache = SharedCache::new(4);
+        let key = key_of(&[0]);
+        cache.insert(key.clone(), dummy_attribution(1));
+        for _ in 0..10_000 {
+            assert!(cache.get(&key).is_some());
+        }
+        let inner = cache.inner.lock().unwrap();
+        assert!(
+            inner.recency.len() <= 64 + 4,
+            "lazy LRU queue must be compacted, got {}",
+            inner.recency.len()
+        );
+    }
+
+    #[test]
+    fn concurrent_sessions_share_entries() {
+        let cache = std::sync::Arc::new(SharedCache::new(16));
+        let key = key_of(&[0, 1, 2]);
+        cache.insert(key.clone(), dummy_attribution(9));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        assert!(cache.get(&key).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().hits, 400);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache = SharedCache::new(4);
+        let key = key_of(&[0]);
+        cache.insert(key.clone(), dummy_attribution(1));
+        assert!(cache.get(&key).is_some());
+        cache.clear();
+        assert!(cache.get(&key).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.insertions, 1);
+    }
+}

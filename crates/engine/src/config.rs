@@ -100,10 +100,16 @@ pub struct EngineConfig {
     pub lazy_bounds: bool,
     /// AdaBan/IchiBan's tighter leaf bounds (optimization (4)).
     pub opt4: bool,
-    /// Enable the session d-tree cache keyed by canonical lineage. Only
-    /// applies to deterministic backends ([`Algorithm::cacheable`]); the
-    /// randomized Monte Carlo baseline always resamples.
+    /// Enable the engine-level shared attribution cache keyed by canonical
+    /// lineage. Only applies to deterministic backends
+    /// ([`Algorithm::cacheable`]); the randomized Monte Carlo baseline always
+    /// resamples.
     pub cache: bool,
+    /// Entry-count bound of the shared cache ([`crate::SharedCache`]); least
+    /// recently used shapes are evicted beyond it. The default (1024) keeps
+    /// worst-case memory modest while covering the repeated-shape rate of the
+    /// synthetic corpora many times over.
+    pub cache_capacity: usize,
     /// Also compute exact Shapley values (exact backends only), reusing the
     /// d-tree compiled for the Banzhaf pass.
     pub include_shapley: bool,
@@ -130,6 +136,7 @@ impl Default for EngineConfig {
             lazy_bounds: true,
             opt4: true,
             cache: true,
+            cache_capacity: 1024,
             include_shapley: false,
             threads: 1,
         }
@@ -181,9 +188,15 @@ impl EngineConfig {
         self
     }
 
-    /// Enables or disables the session d-tree cache.
+    /// Enables or disables the shared attribution cache.
     pub fn with_cache(mut self, cache: bool) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Bounds the shared cache to `capacity` entries (LRU eviction beyond).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
         self
     }
 

@@ -17,9 +17,11 @@
 //!   budget, seed, features) replacing the per-call option structs.
 //! * [`Engine`] / [`Session`] — the end-to-end pipeline: evaluate a UCQ over
 //!   a [`banzhaf_db::Database`], compute per-answer lineage, and batch
-//!   attribution across answers while sharing work through a d-tree cache
-//!   keyed by canonical lineage (isomorphic lineages of distinct answers are
-//!   attributed once) and through the shared bottom-up model-count pass.
+//!   attribution across answers while sharing work through the engine-level
+//!   [`SharedCache`] keyed by canonical lineage (isomorphic lineages of
+//!   distinct answers — and of distinct *sessions* — are attributed once;
+//!   size-bounded, LRU-evicted, hit/miss/eviction counters in [`CacheStats`])
+//!   and through the shared bottom-up model-count pass.
 //!
 //! ```
 //! use banzhaf_engine::{Algorithm, Engine, EngineConfig};
@@ -42,6 +44,7 @@
 
 mod attribution;
 mod attributor;
+mod cache;
 mod config;
 mod session;
 
@@ -52,5 +55,6 @@ pub use attributor::{
 };
 pub use banzhaf::{Budget, Interrupted, PivotHeuristic};
 pub use banzhaf_par::ThreadPool;
+pub use cache::{CacheStats, SharedCache};
 pub use config::{Algorithm, EngineConfig};
 pub use session::{AnswerAttribution, Engine, QueryAttribution, Session, SessionStats};

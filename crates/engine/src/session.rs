@@ -1,15 +1,18 @@
 //! The engine front door: query evaluation, per-answer attribution, and the
 //! cross-answer d-tree cache.
 
-use crate::attribution::{Attribution, Ranked, Score};
+use crate::attribution::{Attribution, Ranked};
 use crate::attributor::Attributor;
+use crate::cache::{CacheStats, CanonicalKey, Canonicalized, SharedCache};
 use crate::config::EngineConfig;
 use banzhaf::{Budget, Interrupted};
-use banzhaf_boolean::{Dnf, Var, VarSet};
+use banzhaf_boolean::Dnf;
 use banzhaf_db::{Database, Value};
 use banzhaf_query::{evaluate, UnionQuery};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The attribution engine: owns an [`EngineConfig`] and hands out
@@ -36,12 +39,22 @@ use std::time::Duration;
 #[derive(Clone, Debug)]
 pub struct Engine {
     config: EngineConfig,
+    /// The cross-session attribution cache: shared by every session of this
+    /// engine (and by clones of the engine, which keep pointing at the same
+    /// store), size-bounded with LRU eviction.
+    cache: Arc<SharedCache>,
+    /// Engine-global sample-stream allocator: sessions draw disjoint stream
+    /// index ranges from it, so randomized backends never replay one
+    /// another's samples (two sessions each counting from 0 with the same
+    /// seed would produce identical, perfectly correlated estimates).
+    streams: Arc<AtomicU64>,
 }
 
 impl Engine {
     /// An engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config }
+        let cache = Arc::new(SharedCache::new(config.cache_capacity));
+        Engine { config, cache, streams: Arc::new(AtomicU64::new(0)) }
     }
 
     /// The engine's configuration.
@@ -55,15 +68,30 @@ impl Engine {
         self.config.attributor()
     }
 
-    /// Starts a session: a stateful pipeline instance holding the d-tree
-    /// cache and the accumulated [`SessionStats`].
+    /// The engine's shared cross-session cache.
+    pub fn shared_cache(&self) -> &Arc<SharedCache> {
+        &self.cache
+    }
+
+    /// A snapshot of the shared cache's hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Starts a session: a stateful pipeline instance sharing the engine's
+    /// cross-session cache and accumulating its own [`SessionStats`].
+    ///
+    /// Sessions are independent (`Session` is `Send`, one per worker thread
+    /// in concurrent serving), but all of them read and merge into the same
+    /// [`SharedCache`], so a compilation performed by one session is a cache
+    /// hit for every other.
     pub fn session(&self) -> Session {
         Session {
             config: self.config.clone(),
             attributor: self.config.attributor(),
-            cache: HashMap::new(),
+            cache: Arc::clone(&self.cache),
             stats: SessionStats::default(),
-            next_stream: 0,
+            streams: Arc::clone(&self.streams),
         }
     }
 }
@@ -101,9 +129,9 @@ pub struct QueryAttribution {
 
 /// A stateful attribution pipeline: evaluates queries, computes per-answer
 /// lineage, and batches attribution across answers while sharing work through
-/// a d-tree cache keyed by *canonical* lineage — distinct answers frequently
-/// share isomorphic lineage in the synthetic corpora, and a hit skips
-/// compilation entirely.
+/// the engine's *shared* cache keyed by canonical lineage — distinct answers
+/// (and distinct sessions of the same engine) frequently share isomorphic
+/// lineage, and a hit skips compilation entirely.
 ///
 /// Batch entry points ([`Session::attribute_batch`], [`Session::explain`])
 /// fan the per-shape attribution across the configured thread pool
@@ -112,12 +140,14 @@ pub struct QueryAttribution {
 pub struct Session {
     config: EngineConfig,
     attributor: Box<dyn Attributor>,
-    /// Canonical lineage → attribution over canonical variables.
-    cache: HashMap<CanonicalKey, Attribution>,
+    /// The engine-level shared cache: canonical lineage → attribution over
+    /// canonical variables.
+    cache: Arc<SharedCache>,
     stats: SessionStats,
-    /// Sample-stream index for the next attribution (randomized backends
-    /// select their RNG stream from it; deterministic backends ignore it).
-    next_stream: u64,
+    /// The engine-global sample-stream allocator (randomized backends select
+    /// their RNG streams from it; deterministic backends ignore it). Shared
+    /// across sessions so concurrent sessions draw disjoint streams.
+    streams: Arc<AtomicU64>,
 }
 
 impl Session {
@@ -129,6 +159,13 @@ impl Session {
     /// The work-sharing statistics accumulated so far.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// A snapshot of the *shared* cache's counters (hits from every session
+    /// of the engine, not just this one; see [`SessionStats`] for the
+    /// per-session view).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Evaluates a UCQ over a database and attributes every answer, fanning
@@ -166,21 +203,11 @@ impl Session {
     /// work per distinct lineage shape and their results are bit-for-bit
     /// comparable.
     pub fn attribute(&mut self, lineage: &Dnf) -> Result<Attribution, Interrupted> {
-        // Fast path for the common single-attribution cache hit: one lookup,
-        // none of the batch planning allocations. Mirrors the bookkeeping of
-        // `batch_canonical` exactly (attribution count, stream index, hit
-        // stats); a miss hands the already-computed canonical form down so
-        // the lineage is canonicalized exactly once either way.
-        let canonical = Canonicalized::of(lineage);
-        if self.config.cache && self.config.algorithm.cacheable() {
-            if let Some(cached) = self.cache.get(&canonical.key) {
-                self.stats.attributions += 1;
-                self.next_stream += 1;
-                self.stats.cache_hits += 1;
-                return Ok(cache_hit(canonical.map_back(cached)));
-            }
-        }
-        self.batch_canonical(vec![canonical], None)
+        // Single-instance batch: the planning loop resolves a cache hit
+        // before any compile work, and the shared counters record exactly
+        // one lookup per logical attribution (a separate fast-path lookup
+        // here would double-count misses in `Engine::cache_stats`).
+        self.batch_canonical(vec![Canonicalized::of(lineage)], None)
             .pop()
             .expect("one lineage in, one attribution out")
     }
@@ -235,8 +262,10 @@ impl Session {
     ) -> Vec<Result<Attribution, Interrupted>> {
         let n = canonical.len();
         self.stats.attributions += n as u64;
-        let stream_base = self.next_stream;
-        self.next_stream += n as u64;
+        // Claim the batch's stream indices from the engine-global allocator:
+        // within one session the indices are exactly the ones the sequential
+        // loop would assign; across sessions they never collide.
+        let stream_base = self.streams.fetch_add(n as u64, Ordering::Relaxed);
         if n == 0 {
             return Vec::new();
         }
@@ -258,7 +287,7 @@ impl Session {
             if use_cache {
                 if let Some(cached) = self.cache.get(&canonical[i].key) {
                     self.stats.cache_hits += 1;
-                    results[i] = Some(Ok(cache_hit(canonical[i].map_back(cached))));
+                    results[i] = Some(Ok(cache_hit(canonical[i].map_back(&cached))));
                     continue;
                 }
                 match owner_of_shape.entry(&canonical[i].key) {
@@ -298,7 +327,8 @@ impl Session {
 
         // Single-writer merge: only now — with every worker joined — does the
         // session record stats and fold the freshly compiled results into the
-        // d-tree cache.
+        // shared cache (the merge itself is serialized by the cache's brief
+        // internal lock; no worker ever computes under it).
         let mut canonical_outcomes: HashMap<usize, Result<Attribution, Interrupted>> =
             HashMap::with_capacity(jobs.len());
         for (&i, outcome) in jobs.iter().zip(computed) {
@@ -362,85 +392,11 @@ fn cache_hit(mut attribution: Attribution) -> Attribution {
     attribution
 }
 
-/// The cache key: the lineage with its variables renamed to a dense canonical
-/// numbering. Equal keys imply isomorphic lineages (the composition of the
-/// two renamings is a variable bijection), so attribution values — which are
-/// invariant under renaming — can be transferred between them.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct CanonicalKey {
-    num_vars: usize,
-    clauses: Vec<Vec<u32>>,
-}
-
-/// A lineage together with its canonical renaming.
-struct Canonicalized {
-    key: CanonicalKey,
-    /// The same function over the canonical variables `0..n`.
-    dnf: Dnf,
-    /// Canonical index → original variable.
-    originals: Vec<Var>,
-}
-
-impl Canonicalized {
-    /// Renames variables to `0..n` by first occurrence across the lineage's
-    /// canonically sorted clauses (unused universe variables follow, in
-    /// ascending order). This detects the renamed-but-identically-shaped
-    /// lineages the synthetic corpora produce; lineages it maps to different
-    /// keys are simply cached separately.
-    fn of(lineage: &Dnf) -> Canonicalized {
-        let mut ids: HashMap<Var, u32> = HashMap::with_capacity(lineage.num_vars());
-        let mut originals: Vec<Var> = Vec::with_capacity(lineage.num_vars());
-        let mut rename = |v: Var, originals: &mut Vec<Var>| -> u32 {
-            *ids.entry(v).or_insert_with(|| {
-                originals.push(v);
-                (originals.len() - 1) as u32
-            })
-        };
-        let mut clauses: Vec<Vec<u32>> = lineage
-            .clauses()
-            .iter()
-            .map(|c| c.iter().map(|v| rename(v, &mut originals)).collect())
-            .collect();
-        for v in lineage.universe().iter() {
-            rename(v, &mut originals);
-        }
-        // Sort the renamed clauses so the key does not depend on which
-        // original ordering produced them.
-        for c in &mut clauses {
-            c.sort_unstable();
-        }
-        clauses.sort_unstable();
-        let universe = VarSet::from_sorted((0..originals.len() as u32).map(Var).collect());
-        let dnf = Dnf::from_clauses_with_universe(
-            clauses.iter().map(|c| c.iter().map(|&i| Var(i))),
-            universe,
-        );
-        Canonicalized { key: CanonicalKey { num_vars: originals.len(), clauses }, dnf, originals }
-    }
-
-    /// Renames a canonical-variable attribution back to the original facts.
-    fn map_back(&self, canonical: &Attribution) -> Attribution {
-        let rename = |v: &Var| self.originals[v.index()];
-        let values: HashMap<Var, Score> =
-            canonical.values.iter().map(|(v, s)| (rename(v), s.clone())).collect();
-        let shapley = canonical
-            .shapley
-            .as_ref()
-            .map(|m| m.iter().map(|(v, s)| (rename(v), s.clone())).collect());
-        Attribution {
-            algorithm: canonical.algorithm,
-            values,
-            model_count: canonical.model_count.clone(),
-            shapley,
-            stats: canonical.stats,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::Algorithm;
+    use banzhaf_boolean::{Var, VarSet};
     use banzhaf_query::parse_program;
 
     fn v(i: u32) -> Var {
@@ -659,6 +615,90 @@ mod tests {
             let got: Vec<bool> = session.attribute_batch(&refs).iter().map(Result::is_ok).collect();
             assert_eq!(expected, got, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn monte_carlo_sessions_of_one_engine_draw_disjoint_streams() {
+        // Two sessions of one engine attribute isomorphic lineages: with a
+        // per-session stream counter both would replay stream 0 and return
+        // identical (perfectly correlated) estimates; the engine-global
+        // allocator must hand them independent streams.
+        let engine = Engine::new(EngineConfig::new(Algorithm::MonteCarlo));
+        let first = engine.session().attribute(&shifted_cycle(0)).unwrap();
+        let second = engine.session().attribute(&shifted_cycle(10)).unwrap();
+        let a: Vec<f64> = (0..4).map(|i| first.value(v(i)).unwrap().point()).collect();
+        let b: Vec<f64> = (0..4).map(|i| second.value(v(10 + i)).unwrap().point()).collect();
+        assert_ne!(a, b, "sessions must not replay each other's sample streams");
+    }
+
+    #[test]
+    fn sessions_of_one_engine_share_the_cache() {
+        let engine = Engine::new(EngineConfig::default());
+        let mut first = engine.session();
+        let a = first.attribute(&shifted_cycle(0)).unwrap();
+        assert!(!a.stats.cache_hit);
+        // A *different* session — and a clone of the engine — both hit the
+        // compilation the first session merged.
+        let mut second = engine.session();
+        let b = second.attribute(&shifted_cycle(10)).unwrap();
+        assert!(b.stats.cache_hit, "cross-session reuse through the shared cache");
+        let mut third = engine.clone().session();
+        let c = third.attribute(&shifted_cycle(20)).unwrap();
+        assert!(c.stats.cache_hit, "engine clones point at the same cache");
+        for i in 0..4 {
+            assert_eq!(a.value(v(i)).unwrap().exact(), b.value(v(10 + i)).unwrap().exact());
+            assert_eq!(a.value(v(i)).unwrap().exact(), c.value(v(20 + i)).unwrap().exact());
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_but_stays_correct() {
+        let engine = Engine::new(EngineConfig::default().with_cache_capacity(1));
+        let mut session = engine.session();
+        let path = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
+        let cycle = shifted_cycle(0);
+        let first_path = session.attribute(&path).unwrap();
+        // The cycle displaces the path (capacity 1), so re-attributing the
+        // path recompiles — with identical values.
+        session.attribute(&cycle).unwrap();
+        let again = session.attribute(&path).unwrap();
+        assert!(!again.stats.cache_hit, "evicted shape must recompile");
+        assert_eq!(first_path.exact_values(), again.exact_values());
+        let stats = engine.cache_stats();
+        assert!(stats.evictions >= 1, "capacity 1 must evict: {stats:?}");
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn concurrent_sessions_reuse_each_others_compilations() {
+        let engine = Engine::new(EngineConfig::default());
+        // Warm the cache from one session, then hammer it from four threads
+        // with isomorphic lineages: every attribution is a hit and the values
+        // transfer correctly.
+        let expected = engine.session().attribute(&shifted_cycle(0)).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let engine = &engine;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut session = engine.session();
+                    let offset = (t + 1) * 100;
+                    let att = session.attribute(&shifted_cycle(offset)).unwrap();
+                    assert!(att.stats.cache_hit);
+                    for i in 0..4 {
+                        assert_eq!(
+                            att.value(v(offset + i)).unwrap().exact(),
+                            expected.value(v(i)).unwrap().exact()
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.cache_stats().hits, 4);
     }
 
     #[test]

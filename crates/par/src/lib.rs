@@ -15,9 +15,16 @@
 //!   and idle workers claim ("steal") the next unclaimed chunk, so a few
 //!   expensive items do not serialize the batch on its slowest worker.
 //! * [`ThreadPool::join`] — two-way fork-join for recursive splits.
+//! * [`queue::BoundedQueue`] — a bounded blocking MPMC queue with typed
+//!   full/closed rejections, the request-queue substrate reused by the async
+//!   serving layer (`banzhaf-serve`).
 //! * [`seed`] — splitmix64-style derivation of independent RNG seed streams
 //!   from a base seed and a chunk index, so randomized estimators produce
 //!   the *same* well-defined sample set at every thread count.
+//!
+//! Batches start inline and only spawn workers once their measured work
+//! crosses [`INLINE_WORK_THRESHOLD`], so a parallel pool never loses to a
+//! sequential one on batches too cheap to amortize fork-join overhead.
 //!
 //! A pool with `threads <= 1` runs everything inline on the caller's thread;
 //! parallel and sequential execution are bit-identical for deterministic
@@ -39,6 +46,17 @@
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub mod queue;
+
+/// The measured-work threshold below which [`ThreadPool::parallel_map`] stays
+/// inline: workers are spawned only once the first items of a batch have
+/// consumed this much wall-clock time on the caller's thread. Cheap batches
+/// (per-item cost far below the cost of spawning a scoped worker) therefore
+/// never pay the fork-join overhead, and expensive batches serialize at most
+/// this prefix before fanning out.
+pub const INLINE_WORK_THRESHOLD: Duration = Duration::from_micros(500);
 
 /// A scoped fork-join thread pool.
 ///
@@ -52,17 +70,32 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
-    /// A pool with the given number of worker threads.
+    /// A pool with the given number of worker threads, clamped to the
+    /// machine's available parallelism.
     ///
     /// `0` means "one worker per available CPU" (as reported by
-    /// [`std::thread::available_parallelism`], falling back to 1).
+    /// [`std::thread::available_parallelism`], falling back to 1). Requests
+    /// beyond the available CPUs are clamped down: a CPU-bound fork-join
+    /// batch can never win by timeslicing one core between two workers — it
+    /// measurably *loses* to the extra context switches and cache pressure —
+    /// so `new(4)` on a single-core container runs inline rather than
+    /// pretending to parallelize. Use [`ThreadPool::oversubscribed`] when
+    /// more workers than cores is genuinely wanted.
     pub fn new(threads: usize) -> Self {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
-        } else {
-            threads
-        };
+        let available = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        let threads = if threads == 0 { available } else { threads.min(available) };
         ThreadPool { threads }
+    }
+
+    /// A pool with exactly `threads` workers (at least 1), even beyond the
+    /// machine's available parallelism.
+    ///
+    /// Oversubscription is useful for fairness/latency (a serving layer
+    /// keeping requests independently interruptible) and for exercising the
+    /// concurrent machinery in tests on small machines; for throughput of
+    /// CPU-bound batches, prefer the clamped [`ThreadPool::new`].
+    pub fn oversubscribed(threads: usize) -> Self {
+        ThreadPool { threads: threads.max(1) }
     }
 
     /// The single-threaded pool: every batch call runs inline.
@@ -104,6 +137,13 @@ impl ThreadPool {
     /// unclaimed chunk from a shared queue. Smaller chunks balance uneven
     /// items better; larger chunks amortize the (one atomic op) claim cost.
     ///
+    /// The batch starts *inline* on the caller's thread and only spawns
+    /// workers once the measured work crosses [`INLINE_WORK_THRESHOLD`] — a
+    /// batch whose per-item cost is too small to amortize fork-join overhead
+    /// runs entirely inline (bit-identical either way, since result ordering
+    /// never depends on scheduling), and 2 threads never lose to 1 on cheap
+    /// batches just by paying thread-spawn cost.
+    ///
     /// # Panics
     /// Panics if `chunk == 0`; propagates panics raised by `f`.
     pub fn parallel_map_chunked<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<R>
@@ -117,37 +157,58 @@ impl ThreadPool {
         if self.is_sequential() || n <= 1 {
             return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
         }
-        // One write-once slot per item keeps result ordering deterministic:
-        // chunk ranges are disjoint so each slot's mutex is taken exactly
-        // once (never contended), and the caller drains the slots in input
-        // order after the scope joins every worker.
-        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(n);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    for (i, item) in
-                        items.iter().enumerate().take((start + chunk).min(n)).skip(start)
-                    {
-                        let result = f(i, item);
-                        *slots[i].lock().expect("no other thread writes this slot") = Some(result);
-                    }
-                });
+        // Adaptive inline prefix: run items on the caller's thread until the
+        // batch has demonstrated enough work to be worth spawning for. The
+        // probe is cumulative (not a single-item estimate), so one cheap
+        // leading item cannot misclassify an otherwise expensive batch.
+        let mut results: Vec<R> = Vec::with_capacity(n);
+        let probe_start = Instant::now();
+        while results.len() < n {
+            if probe_start.elapsed() >= INLINE_WORK_THRESHOLD && n - results.len() > 1 {
+                break;
             }
+            let i = results.len();
+            results.push(f(i, &items[i]));
+        }
+        let done = results.len();
+        if done == n {
+            return results;
+        }
+        // One write-once slot per remaining item keeps result ordering
+        // deterministic: chunk ranges are disjoint so each slot's mutex is
+        // taken exactly once (never contended), and the caller drains the
+        // slots in input order after the scope joins every worker.
+        let slots: Vec<Mutex<Option<R>>> = (done..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(done);
+        let workers = self.threads.min(n - done);
+        let work = || loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            for (i, item) in items.iter().enumerate().take((start + chunk).min(n)).skip(start) {
+                let result = f(i, item);
+                *slots[i - done].lock().expect("no other thread writes this slot") = Some(result);
+            }
+        };
+        std::thread::scope(|scope| {
+            // The caller claims chunks too instead of idling in the join:
+            // total concurrency stays at `workers` while one fewer OS thread
+            // is spawned per batch.
+            for _ in 1..workers {
+                // The closure only captures shared references, so it is
+                // `Copy`: each spawn gets its own copy, and the caller keeps
+                // one to run below.
+                scope.spawn(work);
+            }
+            work();
         });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("workers joined")
-                    .expect("every chunk was claimed and completed")
-            })
-            .collect()
+        results.extend(slots.into_iter().map(|slot| {
+            slot.into_inner()
+                .expect("workers joined")
+                .expect("every chunk was claimed and completed")
+        }));
+        results
     }
 
     /// Runs two closures, potentially in parallel, and returns both results.
@@ -273,7 +334,8 @@ mod tests {
     fn uneven_items_are_balanced_by_chunking() {
         // One expensive item among many cheap ones must not pin the result
         // ordering or drop items; chunk size 1 exercises the queue hardest.
-        let pool = ThreadPool::new(4);
+        // Oversubscribed so the parallel path runs even on a 1-core machine.
+        let pool = ThreadPool::oversubscribed(4);
         let items: Vec<u64> = (0..40).collect();
         let mapped = pool.parallel_map_chunked(&items, 1, |_, &x| {
             if x == 0 {
@@ -287,7 +349,7 @@ mod tests {
     #[test]
     fn every_item_computed_exactly_once() {
         let calls = AtomicU64::new(0);
-        let pool = ThreadPool::new(3);
+        let pool = ThreadPool::oversubscribed(3);
         let items: Vec<u32> = (0..97).collect();
         let mapped = pool.parallel_map(&items, |_, &x| {
             calls.fetch_add(1, Ordering::Relaxed);
@@ -300,7 +362,7 @@ mod tests {
     #[test]
     fn join_returns_both_results() {
         for threads in [1, 4] {
-            let pool = ThreadPool::new(threads);
+            let pool = ThreadPool::oversubscribed(threads);
             let (a, b) = pool.join(|| 2 + 2, || "banzhaf".len());
             assert_eq!((a, b), (4, 7));
         }
@@ -321,12 +383,51 @@ mod tests {
     }
 
     #[test]
+    fn cheap_batches_run_inline_on_the_callers_thread() {
+        // Items far below the inline threshold should not spawn workers. The
+        // probe is wall-clock driven, so a single OS preemption longer than
+        // the threshold mid-batch can legitimately trigger a fan-out; retry a
+        // few times and require one fully-inline run (the overwhelmingly
+        // common case) rather than asserting on one timing sample.
+        let pool = ThreadPool::oversubscribed(4);
+        let caller = std::thread::current().id();
+        let items: Vec<u32> = (0..16).collect();
+        let fully_inline = (0..5).any(|_| {
+            let threads: Vec<std::thread::ThreadId> =
+                pool.parallel_map(&items, |_, _| std::thread::current().id());
+            threads.iter().all(|&t| t == caller)
+        });
+        assert!(fully_inline, "a cheap batch must (at least sometimes) stay inline");
+        // The deterministic part of the contract: the probe prefix always
+        // starts on the caller's thread.
+        let threads: Vec<std::thread::ThreadId> =
+            pool.parallel_map(&items, |_, _| std::thread::current().id());
+        assert_eq!(threads[0], caller);
+    }
+
+    #[test]
+    fn expensive_batches_spawn_workers_after_the_inline_prefix() {
+        // Oversubscribed: `new` clamps to the core count, and this test must
+        // observe spawned workers even on a 1-core machine.
+        let pool = ThreadPool::oversubscribed(4);
+        let caller = std::thread::current().id();
+        let items: Vec<u32> = (0..16).collect();
+        let threads: Vec<std::thread::ThreadId> = pool.parallel_map(&items, |_, _| {
+            std::thread::sleep(Duration::from_millis(1));
+            std::thread::current().id()
+        });
+        assert!(threads.iter().any(|&t| t != caller), "expensive batch must fan out");
+        // The inline prefix ran on the caller's thread, in input order.
+        assert_eq!(threads[0], caller);
+    }
+
+    #[test]
     fn results_bit_identical_across_thread_counts() {
         let items: Vec<u64> = (0..64).collect();
         let baseline =
             ThreadPool::sequential().parallel_map(&items, |i, &x| seed::derive(x, i as u64));
         for threads in [2, 3, 4, 7] {
-            let pool = ThreadPool::new(threads);
+            let pool = ThreadPool::oversubscribed(threads);
             let mapped = pool.parallel_map(&items, |i, &x| seed::derive(x, i as u64));
             assert_eq!(mapped, baseline);
         }

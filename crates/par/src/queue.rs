@@ -1,0 +1,229 @@
+//! A bounded multi-producer/multi-consumer blocking queue.
+//!
+//! This is the request-queue substrate of the async serving layer
+//! (`banzhaf-serve`): producers get an immediate, typed *rejection* when the
+//! queue is full (backpressure instead of unbounded buffering), consumers
+//! block until an item or shutdown arrives, and closing the queue wakes every
+//! blocked consumer exactly once. Built on `Mutex` + `Condvar` only, like the
+//! rest of this crate.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`BoundedQueue::try_push`] was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed load or retry later.
+    Full {
+        /// The queue's fixed capacity.
+        capacity: usize,
+    },
+    /// The queue was closed; no further items will ever be accepted.
+    Closed,
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full { capacity } => write!(f, "queue is full (capacity {capacity})"),
+            PushError::Closed => write!(f, "queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking MPMC queue with typed full/closed rejections.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The queue's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (a racy snapshot, for reporting).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// `true` iff no items are currently queued (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, or refuses with a typed [`PushError`] when the queue
+    /// is at capacity or closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full { capacity: self.capacity });
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    ///
+    /// Returns `None` once the queue is closed *and* drained — the consumer's
+    /// signal to exit its loop. Items enqueued before the close are still
+    /// delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Dequeues the oldest item without blocking (`None` when empty).
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().expect("queue lock poisoned").items.pop_front()
+    }
+
+    /// Closes the queue: further pushes are refused with [`PushError::Closed`]
+    /// and every consumer blocked in [`BoundedQueue::pop`] wakes up. Items
+    /// already queued remain poppable (graceful drain); use
+    /// [`BoundedQueue::drain`] to reject them instead.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// `true` iff [`BoundedQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock poisoned").closed
+    }
+
+    /// Removes and returns every currently queued item (used to fail pending
+    /// requests on shutdown).
+    pub fn drain(&self) -> Vec<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.items.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full { capacity: 2 }));
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_gracefully() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = BoundedQueue::<u32>::new(1);
+        std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| q.pop());
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            q.close();
+            assert_eq!(consumer.join().unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_every_item() {
+        let q = BoundedQueue::new(8);
+        let consumed = AtomicU64::new(0);
+        const ITEMS: u64 = 200;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    while q.pop().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 0..ITEMS {
+                // Spin on backpressure: the queue is deliberately smaller
+                // than the item count.
+                loop {
+                    match q.try_push(i) {
+                        Ok(()) => break,
+                        Err(PushError::Full { .. }) => std::thread::yield_now(),
+                        Err(PushError::Closed) => panic!("queue closed early"),
+                    }
+                }
+            }
+            q.close();
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), ITEMS);
+    }
+
+    #[test]
+    fn drain_empties_the_queue() {
+        let q = BoundedQueue::new(4);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.drain(), vec![0, 1, 2]);
+        assert!(q.is_empty());
+    }
+}

@@ -74,7 +74,7 @@ pub fn evaluate(query: &UnionQuery, db: &Database) -> QueryResult {
     let mut answers: Vec<Answer> = clauses
         .into_iter()
         .map(|(tuple, clause_list)| {
-            let universe = VarSet::from_iter(clause_list.iter().flatten().copied());
+            let universe: VarSet = clause_list.iter().flatten().copied().collect();
             let lineage = Dnf::from_clauses_with_universe(clause_list, universe);
             Answer { tuple, lineage }
         })

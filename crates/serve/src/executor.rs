@@ -1,0 +1,197 @@
+//! A hand-rolled, dependency-free future executor.
+//!
+//! The serving layer's responses are plain [`std::future::Future`]s; this
+//! module provides the minimal machinery to consume them without an async
+//! runtime dependency: [`block_on`] drives one future on the current thread
+//! (parking between polls, woken through [`std::task::Wake`]), and
+//! [`join_all`] combines many futures into one that resolves when all of
+//! them have.
+
+use std::future::Future;
+use std::pin::{pin, Pin};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// Wakes a parked thread; the `notified` flag closes the race between a wake
+/// arriving just before the thread parks.
+struct ThreadUnparker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadUnparker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// Runs a future to completion on the calling thread.
+///
+/// The thread parks between polls and is unparked by the future's waker, so
+/// waiting consumes no CPU. This is the client-side half of the serving
+/// layer's executor: workers complete requests and wake the registered
+/// waker, `block_on` wakes up and observes the outcome.
+///
+/// ```
+/// let value = banzhaf_serve::block_on(async { 21 * 2 });
+/// assert_eq!(value, 42);
+/// ```
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = pin!(future);
+    let unparker = Arc::new(ThreadUnparker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&unparker));
+    let mut context = Context::from_waker(&waker);
+    loop {
+        if let Poll::Ready(value) = future.as_mut().poll(&mut context) {
+            return value;
+        }
+        while !unparker.notified.swap(false, Ordering::Acquire) {
+            std::thread::park();
+        }
+    }
+}
+
+/// A future resolving to the outputs of many futures, in input order.
+///
+/// Returned by [`join_all`]. Every still-pending inner future is polled on
+/// each wake — fine for the request-batch sizes the serving layer deals in.
+pub struct JoinAll<F: Future + Unpin> {
+    pending: Vec<Option<F>>,
+    outputs: Vec<Option<F::Output>>,
+}
+
+/// Combines `futures` into one future yielding every output, in input order.
+///
+/// The combined future resolves once *all* inputs have; outputs are not
+/// reordered by completion time. Submit-then-`block_on(join_all(tickets))` is
+/// the canonical way to drive a batch of concurrent requests from one client
+/// thread.
+pub fn join_all<F: Future + Unpin>(futures: Vec<F>) -> JoinAll<F> {
+    let outputs = futures.iter().map(|_| None).collect();
+    JoinAll { pending: futures.into_iter().map(Some).collect(), outputs }
+}
+
+// `JoinAll` holds its futures and outputs in ordinary `Vec`s and never
+// creates self-references, so it is `Unpin` whenever polling it is possible
+// at all (outputs are only moved *out*, which `Pin` does not restrict).
+impl<F: Future + Unpin> Unpin for JoinAll<F> {}
+
+impl<F: Future + Unpin> Future for JoinAll<F> {
+    type Output = Vec<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut all_done = true;
+        for (slot, output) in this.pending.iter_mut().zip(this.outputs.iter_mut()) {
+            if let Some(future) = slot {
+                match Pin::new(future).poll(cx) {
+                    Poll::Ready(value) => {
+                        *output = Some(value);
+                        *slot = None;
+                    }
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            Poll::Ready(this.outputs.iter_mut().map(|o| o.take().expect("resolved")).collect())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[derive(Default)]
+    struct FlagState {
+        ready: bool,
+        waker: Option<Waker>,
+    }
+
+    /// A future that becomes ready after an external thread flips a flag.
+    struct FlagFuture {
+        flag: Arc<std::sync::Mutex<FlagState>>,
+    }
+
+    impl FlagFuture {
+        fn new() -> (Self, impl FnOnce()) {
+            let flag = Arc::new(std::sync::Mutex::new(FlagState::default()));
+            let setter = {
+                let flag = Arc::clone(&flag);
+                move || {
+                    let waker = {
+                        let mut state = flag.lock().unwrap();
+                        state.ready = true;
+                        state.waker.take()
+                    };
+                    if let Some(waker) = waker {
+                        waker.wake();
+                    }
+                }
+            };
+            (FlagFuture { flag }, setter)
+        }
+    }
+
+    impl Future for FlagFuture {
+        type Output = u32;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+            let mut state = self.flag.lock().unwrap();
+            if state.ready {
+                Poll::Ready(7)
+            } else {
+                state.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 5 }), 5);
+    }
+
+    #[test]
+    fn block_on_parks_until_woken() {
+        let (future, set) = FlagFuture::new();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                set();
+            });
+            assert_eq!(block_on(future), 7);
+        });
+    }
+
+    #[test]
+    fn join_all_preserves_input_order() {
+        let (a, set_a) = FlagFuture::new();
+        let (b, set_b) = FlagFuture::new();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                // Resolve in reverse order; outputs must stay in input order.
+                set_b();
+                std::thread::sleep(Duration::from_millis(5));
+                set_a();
+            });
+            assert_eq!(block_on(join_all(vec![a, b])), vec![7, 7]);
+        });
+    }
+
+    #[test]
+    fn join_all_of_nothing_is_ready() {
+        let empty: Vec<FlagFuture> = Vec::new();
+        assert!(block_on(join_all(empty)).is_empty());
+    }
+}

@@ -1,0 +1,483 @@
+//! The attribution service: worker threads behind a bounded request queue.
+
+use banzhaf_boolean::Dnf;
+use banzhaf_dtree::Budget;
+use banzhaf_engine::{Attribution, CacheStats, Engine, EngineConfig};
+use banzhaf_par::queue::{BoundedQueue, PushError};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of an [`AttributionService`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The engine configuration every worker session runs (algorithm, ε,
+    /// shared-cache capacity, …). Worker sessions share one engine, hence one
+    /// cross-session cache.
+    pub engine: EngineConfig,
+    /// Worker threads draining the request queue (`0` = one per available
+    /// CPU). Each worker owns its own engine session; requests run one per
+    /// worker at a time, so this is the service's concurrency level.
+    pub workers: usize,
+    /// Capacity of the bounded request queue. A submit against a full queue
+    /// is *rejected* with [`Rejected::QueueFull`] — backpressure is explicit
+    /// and immediate, never an unbounded buffer.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// ([`RequestOptions::timeout`]). Measured from submission, so time spent
+    /// queued counts against it.
+    pub default_timeout: Option<Duration>,
+    /// Step cap applied to requests that do not carry their own.
+    pub default_max_steps: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            engine: EngineConfig::default(),
+            workers: 2,
+            queue_capacity: 64,
+            default_timeout: None,
+            default_max_steps: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A serving configuration around the given engine configuration.
+    pub fn new(engine: EngineConfig) -> Self {
+        ServeConfig { engine, ..ServeConfig::default() }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the request-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the default per-request deadline.
+    pub fn with_default_timeout(mut self, timeout: Duration) -> Self {
+        self.default_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the default per-request step cap.
+    pub fn with_default_max_steps(mut self, max_steps: u64) -> Self {
+        self.default_max_steps = Some(max_steps);
+        self
+    }
+}
+
+/// Per-request overrides of the service's default budget.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestOptions {
+    /// Deadline for this request, from submission (overrides the default).
+    pub timeout: Option<Duration>,
+    /// Step cap for this request (overrides the default).
+    pub max_steps: Option<u64>,
+}
+
+/// Why a submission was refused. Typed so callers can shed load
+/// ([`Rejected::QueueFull`]) or stop submitting ([`Rejected::ShutDown`])
+/// without string matching.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rejected {
+    /// The bounded request queue is at capacity; retry later or shed load.
+    QueueFull {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down and accepts no further requests.
+    ShutDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "request queue is full (capacity {capacity})")
+            }
+            Rejected::ShutDown => write!(f, "service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Why an accepted request failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServeError {
+    /// The request's budget (deadline or step cap) was exhausted — either
+    /// while queued or cooperatively mid-attribution. The shared cache is
+    /// never poisoned by an interrupted request: only completed attributions
+    /// are merged.
+    Interrupted,
+    /// The request was cancelled through [`Ticket::cancel`] (while queued or
+    /// cooperatively mid-compile).
+    Cancelled,
+    /// The service shut down before the request ran.
+    ShutDown,
+    /// The attribution backend panicked while serving the request. The
+    /// worker caught the panic, discarded its session, and kept serving;
+    /// nothing partial reached the shared cache.
+    Failed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Interrupted => write!(f, "request exceeded its budget"),
+            ServeError::Cancelled => write!(f, "request was cancelled"),
+            ServeError::ShutDown => write!(f, "service shut down before the request ran"),
+            ServeError::Failed => write!(f, "attribution backend panicked while serving"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The outcome a [`Ticket`] resolves to.
+pub type ServeResult = Result<Attribution, ServeError>;
+
+struct Completion {
+    outcome: Option<ServeResult>,
+    waker: Option<Waker>,
+}
+
+/// State shared between a [`Ticket`] and the worker serving its request.
+struct RequestShared {
+    /// The request's cooperative budget: deadline/step caps mapped onto the
+    /// shared atomic [`Budget`], and the cancellation flag the ticket sets.
+    budget: Budget,
+    done: Mutex<Completion>,
+}
+
+impl RequestShared {
+    fn complete(&self, outcome: ServeResult) {
+        let waker = {
+            let mut done = self.done.lock().expect("completion lock poisoned");
+            debug_assert!(done.outcome.is_none(), "request completed twice");
+            done.outcome = Some(outcome);
+            done.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// A pending response: a [`Future`] resolving to the request's
+/// [`ServeResult`], plus out-of-band cancellation.
+///
+/// Consume it with [`crate::block_on`], combine batches with
+/// [`crate::join_all`], or poll it from any executor. Dropping the ticket
+/// abandons the response (the request itself still runs unless cancelled
+/// first).
+pub struct Ticket {
+    shared: Arc<RequestShared>,
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket")
+            .field("done", &self.is_done())
+            .field("cancelled", &self.shared.budget.is_cancelled())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Cancels the request: a queued request never runs, an in-flight one is
+    /// interrupted cooperatively (its workers observe the cancellation at the
+    /// next budget check, typically within tens of microseconds). The ticket
+    /// then resolves to [`ServeError::Cancelled`].
+    ///
+    /// Cancelling a request that already completed has no effect.
+    pub fn cancel(&self) {
+        self.shared.budget.cancel();
+    }
+
+    /// `true` once the response has been produced (the future would resolve
+    /// immediately).
+    pub fn is_done(&self) -> bool {
+        self.shared.done.lock().expect("completion lock poisoned").outcome.is_some()
+    }
+
+    /// Blocks the calling thread until the response arrives.
+    pub fn wait(self) -> ServeResult {
+        crate::block_on(self)
+    }
+}
+
+impl Future for Ticket {
+    type Output = ServeResult;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<ServeResult> {
+        let mut done = self.shared.done.lock().expect("completion lock poisoned");
+        match done.outcome.take() {
+            Some(outcome) => Poll::Ready(outcome),
+            None => {
+                done.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+struct Job {
+    lineage: Dnf,
+    shared: Arc<RequestShared>,
+}
+
+#[derive(Default)]
+struct ServiceCounters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// A point-in-time snapshot of a service's request counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Submissions refused ([`Rejected::QueueFull`] backpressure).
+    pub rejected: u64,
+    /// Requests completed with an attribution.
+    pub completed: u64,
+    /// Requests failed (interrupted, cancelled, or shut down).
+    pub failed: u64,
+    /// Requests currently executing on a worker.
+    pub in_flight: u64,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// The service's worker count.
+    pub workers: usize,
+}
+
+/// The async attribution front end: a bounded request queue drained by worker
+/// threads that run engine sessions over one shared cross-session cache.
+///
+/// * **Backpressure**: [`AttributionService::submit`] never blocks and never
+///   buffers unboundedly — a full queue is a typed [`Rejected::QueueFull`].
+/// * **Budgets**: every request gets its own [`Budget`] (deadline from
+///   submission + step cap), the same cooperative mechanism the batch engine
+///   uses, so a deadline expiring mid-compile interrupts all threads working
+///   on that request at once.
+/// * **Cancellation**: [`Ticket::cancel`] flips the budget's cancellation
+///   flag; queued requests never start, in-flight ones stop at the next
+///   budget check.
+/// * **Shared cache**: workers are sessions of one [`Engine`], so a lineage
+///   shape compiled for any request is a cache hit for every later request,
+///   across all client sessions ([`AttributionService::cache_stats`]).
+///
+/// ```
+/// use banzhaf_boolean::{Dnf, Var};
+/// use banzhaf_serve::{AttributionService, ServeConfig};
+///
+/// let service = AttributionService::start(ServeConfig::default().with_workers(2));
+/// let phi = Dnf::from_clauses(vec![vec![Var(0), Var(1)], vec![Var(2)]]);
+/// let ticket = service.submit(phi).unwrap();
+/// let attribution = ticket.wait().unwrap();
+/// assert_eq!(attribution.model_count.as_ref().unwrap().to_u64(), Some(5));
+/// ```
+pub struct AttributionService {
+    engine: Engine,
+    queue: Arc<BoundedQueue<Job>>,
+    counters: Arc<ServiceCounters>,
+    workers: Vec<JoinHandle<()>>,
+    default_timeout: Option<Duration>,
+    default_max_steps: Option<u64>,
+}
+
+impl AttributionService {
+    /// Starts the service: spawns the worker threads and returns the handle
+    /// used to submit requests.
+    pub fn start(config: ServeConfig) -> Self {
+        let engine = Engine::new(config.engine.clone());
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+        let counters = Arc::new(ServiceCounters::default());
+        // Workers are deliberately *not* clamped to the core count: extra
+        // serve workers buy latency isolation (a long request does not
+        // head-of-line-block the queue), not throughput.
+        let worker_count = if config.workers == 0 {
+            banzhaf_par::ThreadPool::new(0).threads()
+        } else {
+            config.workers
+        };
+        let workers = (0..worker_count)
+            .map(|index| {
+                let queue = Arc::clone(&queue);
+                let counters = Arc::clone(&counters);
+                let worker_engine = engine.clone();
+                std::thread::Builder::new()
+                    .name(format!("banzhaf-serve-{index}"))
+                    .spawn(move || {
+                        let mut session = worker_engine.session();
+                        while let Some(job) = queue.pop() {
+                            counters.in_flight.fetch_add(1, Ordering::Relaxed);
+                            // A backend panic must not leave the ticket
+                            // unresolved (the client would park forever) or
+                            // kill the worker: catch it, fail the request,
+                            // and continue on a fresh session.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    serve_one(&mut session, &job)
+                                }))
+                                .unwrap_or_else(|_| {
+                                    session = worker_engine.session();
+                                    Err(ServeError::Failed)
+                                });
+                            counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                            match &outcome {
+                                Ok(_) => counters.completed.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => counters.failed.fetch_add(1, Ordering::Relaxed),
+                            };
+                            job.shared.complete(outcome);
+                        }
+                    })
+                    .expect("failed to spawn a serve worker")
+            })
+            .collect();
+        AttributionService {
+            engine,
+            queue,
+            counters,
+            workers,
+            default_timeout: config.default_timeout,
+            default_max_steps: config.default_max_steps,
+        }
+    }
+
+    /// Submits a lineage for attribution under the service's default budget.
+    ///
+    /// Returns immediately: the [`Ticket`] resolves when a worker has served
+    /// the request. A full queue rejects with [`Rejected::QueueFull`].
+    pub fn submit(&self, lineage: Dnf) -> Result<Ticket, Rejected> {
+        self.submit_with(lineage, RequestOptions::default())
+    }
+
+    /// [`AttributionService::submit`] with per-request budget overrides.
+    pub fn submit_with(&self, lineage: Dnf, options: RequestOptions) -> Result<Ticket, Rejected> {
+        let timeout = options.timeout.or(self.default_timeout);
+        let max_steps = options.max_steps.or(self.default_max_steps);
+        let shared = Arc::new(RequestShared {
+            budget: Budget::new(timeout, max_steps),
+            done: Mutex::new(Completion { outcome: None, waker: None }),
+        });
+        let job = Job { lineage, shared: Arc::clone(&shared) };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { shared })
+            }
+            Err(error) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(match error {
+                    PushError::Full { capacity } => Rejected::QueueFull { capacity },
+                    PushError::Closed => Rejected::ShutDown,
+                })
+            }
+        }
+    }
+
+    /// A snapshot of the service's request counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            in_flight: self.counters.in_flight.load(Ordering::Relaxed),
+            queue_depth: self.queue.len(),
+            workers: self.workers.len(),
+        }
+    }
+
+    /// A snapshot of the shared cross-session cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// The engine whose sessions the workers run (e.g. to start a
+    /// synchronous session against the same shared cache).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Shuts the service down: new submissions are rejected, *queued*
+    /// requests fail with [`ServeError::ShutDown`], in-flight requests run to
+    /// completion (cancel their tickets first to abort them), and the worker
+    /// threads are joined.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for job in self.queue.drain() {
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            job.shared.complete(Err(ServeError::ShutDown));
+        }
+        for worker in self.workers.drain(..) {
+            // Worker panics are caught per-request and surfaced as
+            // `ServeError::Failed`; a join error here means a panic outside
+            // that guard (e.g. in the completion plumbing). Swallow it
+            // rather than panic: this also runs from Drop, where a second
+            // panic during unwinding would abort the process.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for AttributionService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl fmt::Debug for AttributionService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AttributionService")
+            .field("stats", &self.stats())
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+/// Serves one request on a worker's session, mapping budget exhaustion to the
+/// typed [`ServeError`]s. The pre-run check fails queue-expired or
+/// already-cancelled requests without starting them.
+fn serve_one(session: &mut banzhaf_engine::Session, job: &Job) -> ServeResult {
+    let budget = &job.shared.budget;
+    if budget.is_cancelled() {
+        return Err(ServeError::Cancelled);
+    }
+    if budget.exhausted() {
+        return Err(ServeError::Interrupted);
+    }
+    let outcome = session
+        .attribute_batch_with_budget(&[&job.lineage], budget)
+        .pop()
+        .expect("one lineage in, one outcome out");
+    outcome.map_err(|_| {
+        if budget.is_cancelled() {
+            ServeError::Cancelled
+        } else {
+            ServeError::Interrupted
+        }
+    })
+}

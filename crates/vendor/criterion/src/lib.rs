@@ -63,6 +63,8 @@ pub struct Bencher {
 impl Bencher {
     /// Measures `routine` by running it repeatedly and recording wall-clock
     /// durations.
+    // The name mirrors the real criterion API this crate stands in for.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: run a few iterations untimed so lazy initialization and
         // cache effects do not dominate the first sample.

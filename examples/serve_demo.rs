@@ -1,0 +1,94 @@
+//! The async serving layer end to end: two concurrent client sessions drive
+//! attribution traffic through one `AttributionService` — bounded queue with
+//! typed backpressure, per-request deadlines, cooperative cancellation, and
+//! the engine's shared cross-session cache turning repeated lineage shapes
+//! into hits.
+//!
+//! Run with `cargo run --release --example serve_demo`. CI runs it as a smoke
+//! test; the final assertions are the acceptance conditions.
+
+use banzhaf_repro::prelude::*;
+use std::time::Duration;
+
+/// A ring lineage: connected, no common variable, so attribution needs real
+/// Shannon-expansion work.
+fn ring(offset: u32, len: u32) -> Dnf {
+    Dnf::from_clauses(
+        (0..len).map(|i| vec![Var(offset + i), Var(offset + (i + 1) % len)]).collect::<Vec<_>>(),
+    )
+}
+
+fn main() {
+    let service = AttributionService::start(
+        ServeConfig::new(EngineConfig::new(Algorithm::ExaBan))
+            .with_workers(2)
+            .with_queue_capacity(16)
+            .with_default_timeout(Duration::from_secs(10)),
+    );
+
+    // Two concurrent client sessions, each submitting isomorphic rings with
+    // disjoint variable ids: only canonical-lineage keying makes them equal,
+    // and whichever client compiles a shape first serves the other's hits.
+    std::thread::scope(|scope| {
+        for client in 0..2u32 {
+            let service = &service;
+            scope.spawn(move || {
+                let mut answered = 0;
+                for i in 0..8u32 {
+                    let lineage = ring(client * 10_000 + i * 100, 14 + 2 * (i % 3));
+                    // Backpressure loop: a full queue is a typed rejection,
+                    // and the client decides to retry.
+                    let ticket = loop {
+                        match service.submit(lineage.clone()) {
+                            Ok(ticket) => break ticket,
+                            Err(Rejected::QueueFull { .. }) => std::thread::yield_now(),
+                            Err(Rejected::ShutDown) => panic!("service closed mid-demo"),
+                        }
+                    };
+                    let attribution = ticket.wait().expect("ample deadline");
+                    answered += 1;
+                    assert!(attribution.is_exact());
+                }
+                println!("client {client}: {answered} attributions answered");
+            });
+        }
+    });
+
+    // Cancellation: an expensive request is interrupted mid-compile without
+    // disturbing the service.
+    let doomed = service.submit(ring(500_000, 40)).expect("queue has room");
+    doomed.cancel();
+    assert_eq!(doomed.wait().unwrap_err(), ServeError::Cancelled);
+
+    // A hopeless deadline is a typed interruption, not a hang.
+    let starved = service
+        .submit_with(
+            ring(600_000, 24),
+            RequestOptions { timeout: Some(Duration::ZERO), max_steps: None },
+        )
+        .expect("queue has room");
+    assert_eq!(starved.wait().unwrap_err(), ServeError::Interrupted);
+
+    let stats = service.stats();
+    let cache = service.cache_stats();
+    println!(
+        "service: {} submitted, {} completed, {} failed (cancelled/expired), {} rejected",
+        stats.submitted, stats.completed, stats.failed, stats.rejected
+    );
+    println!(
+        "shared cache: {} hits / {} misses ({:.0}% hit rate), {} insertions, {} evictions",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.insertions,
+        cache.evictions
+    );
+
+    // Acceptance: both clients were served, the shared cache produced hits
+    // across sessions, and every completed result was exact.
+    assert_eq!(stats.completed, 16, "both client sessions fully served");
+    assert!(cache.hits > 0, "cross-session cache hits expected");
+    assert!(cache.hits >= 10, "3 distinct shapes x 16 requests leave >= 10 hits");
+    service.shutdown();
+    println!("serve_demo: OK");
+}

@@ -60,7 +60,7 @@ fn main() {
             "{:<8} {:>6} {:>10} {:>16.4} {:>16.4} {:>10.4}",
             name,
             weights[i],
-            banzhaf.get(&v).map(|b| b.to_string()).unwrap_or_else(|| "0".into()),
+            banzhaf.get(&v).map(ToString::to_string).unwrap_or_else(|| "0".into()),
             power.get(&v).copied().unwrap_or(0.0),
             index.get(&v).copied().unwrap_or(0.0),
             shapley.get(&v).map(ShapleyValue::to_f64).unwrap_or(0.0),

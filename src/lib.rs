@@ -11,6 +11,9 @@
 //! * [`arith`] — arbitrary-precision integers and rationals;
 //! * [`boolean`] — positive DNF lineage functions;
 //! * [`dtree`] — decomposition-tree knowledge compilation;
+//! * [`serve`] — the async serving layer: a bounded request queue, worker
+//!   sessions over the engine's shared cross-session cache, per-request
+//!   budgets and cooperative cancellation;
 //! * [`par`] — the scoped thread pool powering batch-parallel attribution;
 //! * [`core`] — ExaBan / AdaBan / IchiBan / Shapley (the paper's algorithms);
 //! * [`db`] — the in-memory relational database substrate;
@@ -48,13 +51,18 @@ pub use banzhaf_dtree as dtree;
 pub use banzhaf_engine as engine;
 pub use banzhaf_par as par;
 pub use banzhaf_query as query;
+pub use banzhaf_serve as serve;
 pub use banzhaf_workloads as workloads;
 
 /// Convenient glob-import of the most frequently used items.
 pub mod prelude {
     pub use banzhaf_engine::{
-        Algorithm, AnswerAttribution, Attribution, Attributor, Engine, EngineConfig, EngineStats,
-        QueryAttribution, Ranked, Score, Session, SessionStats,
+        Algorithm, AnswerAttribution, Attribution, Attributor, CacheStats, Engine, EngineConfig,
+        EngineStats, QueryAttribution, Ranked, Score, Session, SessionStats, SharedCache,
+    };
+    pub use banzhaf_serve::{
+        block_on, join_all, AttributionService, Rejected, RequestOptions, ServeConfig, ServeError,
+        ServiceStats, Ticket,
     };
 
     pub use banzhaf::{

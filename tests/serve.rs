@@ -1,0 +1,198 @@
+//! Serving-semantics integration tests: backpressure, deadlines,
+//! cancellation, shutdown, and shared-cache bit-identity.
+
+use banzhaf_repro::prelude::*;
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+/// A ring lineage (connected, no common variable): real Shannon-expansion
+/// work, exponential in `vars`, so large rings make long-running requests.
+fn ring(offset: u32, vars: u32) -> Dnf {
+    Dnf::from_clauses(
+        (0..vars).map(|i| vec![Var(offset + i), Var(offset + (i + 1) % vars)]).collect::<Vec<_>>(),
+    )
+}
+
+/// Spins until `predicate` holds (with a generous guard against hangs).
+fn wait_for(what: &str, predicate: impl Fn() -> bool) {
+    let start = Instant::now();
+    while !predicate() {
+        assert!(start.elapsed() < Duration::from_secs(30), "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn queue_full_submissions_are_rejected_with_the_capacity() {
+    // One worker, deterministically busy: the in-flight request is a large
+    // ring under an unlimited budget, cancelled at the end of the test.
+    let service =
+        AttributionService::start(ServeConfig::default().with_workers(1).with_queue_capacity(2));
+    let busy = service.submit(ring(0, 40)).unwrap();
+    wait_for("the worker to pick up the busy request", || service.stats().in_flight == 1);
+
+    // The queue is empty again; fill it to capacity, then overflow.
+    let queued: Vec<Ticket> =
+        (0..2).map(|i| service.submit(ring(100 * (i + 1), 4)).unwrap()).collect();
+    let overflow = service.submit(ring(900, 4));
+    assert_eq!(overflow.unwrap_err(), Rejected::QueueFull { capacity: 2 });
+    assert_eq!(service.stats().rejected, 1);
+
+    // Backpressure is not a poisoned state: cancelling the busy request
+    // drains the queue and the queued work completes normally.
+    busy.cancel();
+    assert_eq!(busy.wait().unwrap_err(), ServeError::Cancelled);
+    for ticket in queued {
+        assert!(ticket.wait().is_ok());
+    }
+    assert!(service.submit(ring(950, 4)).is_ok(), "capacity is available again");
+}
+
+#[test]
+fn deadline_expired_requests_return_interrupted_without_poisoning_the_cache() {
+    let service = AttributionService::start(ServeConfig::default().with_workers(1));
+    let shape = ring(0, 24);
+
+    // A hopeless deadline: the request is interrupted (queued or
+    // mid-compile), and nothing partial may enter the shared cache.
+    let starved = service
+        .submit_with(
+            shape.clone(),
+            RequestOptions { timeout: Some(Duration::ZERO), max_steps: None },
+        )
+        .unwrap();
+    assert_eq!(starved.wait().unwrap_err(), ServeError::Interrupted);
+    assert_eq!(service.cache_stats().insertions, 0, "interrupted work must not be cached");
+
+    // A step-capped request interrupted *mid-compile* must not poison it
+    // either.
+    let step_starved = service
+        .submit_with(shape.clone(), RequestOptions { timeout: None, max_steps: Some(3) })
+        .unwrap();
+    assert_eq!(step_starved.wait().unwrap_err(), ServeError::Interrupted);
+    assert_eq!(service.cache_stats().insertions, 0);
+
+    // The same shape then succeeds under an ample budget, and its result is
+    // bit-identical to a cold single-session run.
+    let served = service.submit(shape.clone()).unwrap().wait().unwrap();
+    let cold =
+        Engine::new(EngineConfig::default().with_cache(false)).session().attribute(&shape).unwrap();
+    assert_eq!(served.exact_values().unwrap(), cold.exact_values().unwrap());
+    assert_eq!(served.model_count, cold.model_count);
+    assert_eq!(service.cache_stats().insertions, 1);
+}
+
+#[test]
+fn cancellation_interrupts_a_request_mid_compile() {
+    let service = AttributionService::start(ServeConfig::default().with_workers(1));
+    // Large enough that compilation takes far longer than the cancellation
+    // latency (one budget clock period).
+    let ticket = service.submit(ring(0, 44)).unwrap();
+    wait_for("the request to start", || service.stats().in_flight == 1);
+    let cancel_at = Instant::now();
+    ticket.cancel();
+    assert_eq!(ticket.wait().unwrap_err(), ServeError::Cancelled);
+    assert!(
+        cancel_at.elapsed() < Duration::from_secs(5),
+        "cooperative cancellation must interrupt the compile promptly"
+    );
+    // The aborted compilation never reaches the shared cache.
+    assert_eq!(service.cache_stats().insertions, 0);
+    // The worker survives and serves the next request.
+    assert!(service.submit(ring(0, 6)).unwrap().wait().is_ok());
+}
+
+#[test]
+fn cancelled_while_queued_never_runs() {
+    let service =
+        AttributionService::start(ServeConfig::default().with_workers(1).with_queue_capacity(4));
+    let busy = service.submit(ring(0, 40)).unwrap();
+    wait_for("the worker to pick up the busy request", || service.stats().in_flight == 1);
+    let queued = service.submit(ring(200, 20)).unwrap();
+    queued.cancel();
+    busy.cancel();
+    assert_eq!(queued.wait().unwrap_err(), ServeError::Cancelled);
+    // Neither the cancelled-in-queue nor the cancelled-in-flight request
+    // contributed anything to the cache.
+    assert_eq!(service.cache_stats().insertions, 0);
+}
+
+#[test]
+fn shutdown_fails_queued_requests_and_rejects_new_ones() {
+    let service =
+        AttributionService::start(ServeConfig::default().with_workers(1).with_queue_capacity(8));
+    let busy = service.submit(ring(0, 40)).unwrap();
+    wait_for("the worker to pick up the busy request", || service.stats().in_flight == 1);
+    let queued = service.submit(ring(100, 8)).unwrap();
+    // Shut down while the worker is provably busy: the queued request is
+    // failed by the drain, never served. The busy request is cancelled from
+    // a side thread so the (graceful) worker join can finish.
+    std::thread::scope(|scope| {
+        let busy = &busy;
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            busy.cancel();
+        });
+        service.shutdown();
+    });
+    assert_eq!(queued.wait().unwrap_err(), ServeError::ShutDown);
+}
+
+#[test]
+fn concurrent_clients_share_the_cache_across_sessions() {
+    let service = AttributionService::start(ServeConfig::default().with_workers(2));
+    // Two client threads submit isomorphic workloads concurrently.
+    std::thread::scope(|scope| {
+        for client in 0..2u32 {
+            let service = &service;
+            scope.spawn(move || {
+                for i in 0..6u32 {
+                    let offset = client * 1000 + i * 40;
+                    let att = service.submit(ring(offset, 18)).unwrap().wait().unwrap();
+                    assert!(att.is_exact());
+                }
+            });
+        }
+    });
+    let cache = service.cache_stats();
+    // Twelve isomorphic requests, one distinct shape: at most two compile
+    // (both workers racing the cold shape), the rest are shared-cache hits.
+    assert!(cache.hits >= 10, "cross-session reuse expected: {cache:?}");
+    assert!(cache.insertions <= 2);
+    let stats = service.stats();
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.failed, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Results served through the async layer (with its shared cache and
+    /// concurrent workers) are bit-identical to a cold per-session run with
+    /// the cache disabled.
+    #[test]
+    fn served_results_are_bit_identical_to_cold_runs(
+        clauses in proptest::collection::vec(proptest::collection::vec(0u32..8, 1..=3), 1..=8)
+    ) {
+        let phi = Dnf::from_clauses(
+            clauses.into_iter().map(|c| c.into_iter().map(Var).collect::<Vec<_>>()),
+        );
+        // A shifted copy exercises the canonicalization path on top.
+        let shifted = Dnf::from_clauses(
+            phi.clauses().iter().map(|c| c.iter().map(|v| Var(v.0 + 50)).collect::<Vec<_>>()),
+        );
+        let service = AttributionService::start(ServeConfig::default().with_workers(2));
+        let tickets: Vec<Ticket> = [&phi, &shifted, &phi]
+            .iter()
+            .map(|l| service.submit((*l).clone()).unwrap())
+            .collect();
+        let served = block_on(join_all(tickets));
+        let mut cold = Engine::new(EngineConfig::default().with_cache(false)).session();
+        for (lineage, outcome) in [&phi, &shifted, &phi].iter().zip(served) {
+            let served = outcome.expect("unbounded budget");
+            let cold = cold.attribute(lineage).expect("unbounded budget");
+            prop_assert_eq!(served.exact_values().unwrap(), cold.exact_values().unwrap());
+            prop_assert_eq!(served.model_count, cold.model_count);
+        }
+    }
+}
