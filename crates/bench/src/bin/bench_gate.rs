@@ -2,12 +2,17 @@
 //!
 //! Reads the perf artifacts the bench experiments emit (`BENCH_parallel.json`
 //! from `repro parallel_speedup`, `BENCH_serve.json` from `repro
-//! serve_throughput`) and compares them against the checked-in
-//! `BENCH_baseline.json`. Exits non-zero — failing the CI job — when:
+//! serve_throughput`, `BENCH_canon.json` from `repro canon_hit_rate`) and
+//! compares them against the checked-in `BENCH_baseline.json`. Exits
+//! non-zero — failing the CI job — when:
 //!
 //! * any artifact reports `bit_identical: false` (correctness regression:
-//!   parallel or served execution diverged from the sequential reference);
+//!   parallel, served or cached execution diverged from the sequential
+//!   reference);
 //! * the serve experiment saw no shared-cache hits;
+//! * the canonical keying's hit rate on the permuted/renamed stream fails to
+//!   strictly beat the first-occurrence keying it replaced, or drops below
+//!   the baseline floor;
 //! * a tracked throughput metric regressed more than the tolerance
 //!   (default 25%) against the baseline.
 //!
@@ -19,7 +24,8 @@
 //!
 //! ```text
 //! bench_gate [--baseline BENCH_baseline.json] [--parallel BENCH_parallel.json]
-//!            [--serve BENCH_serve.json] [--tolerance 0.25]
+//!            [--serve BENCH_serve.json] [--canon BENCH_canon.json]
+//!            [--tolerance 0.25]
 //! ```
 
 use banzhaf_bench::json::Json;
@@ -98,6 +104,7 @@ struct Args {
     baseline_path: String,
     parallel_path: String,
     serve_path: String,
+    canon_path: String,
     tolerance: f64,
 }
 
@@ -106,6 +113,7 @@ fn parse_args() -> Args {
         baseline_path: "BENCH_baseline.json".to_owned(),
         parallel_path: "BENCH_parallel.json".to_owned(),
         serve_path: "BENCH_serve.json".to_owned(),
+        canon_path: "BENCH_canon.json".to_owned(),
         tolerance: 0.25,
     };
     let mut args = std::env::args().skip(1);
@@ -120,6 +128,7 @@ fn parse_args() -> Args {
             "--baseline" => parsed.baseline_path = value("--baseline"),
             "--parallel" => parsed.parallel_path = value("--parallel"),
             "--serve" => parsed.serve_path = value("--serve"),
+            "--canon" => parsed.canon_path = value("--canon"),
             "--tolerance" => {
                 parsed.tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
                     eprintln!("bench_gate: --tolerance needs a number in [0, 1)");
@@ -129,7 +138,8 @@ fn parse_args() -> Args {
             other => {
                 eprintln!("bench_gate: unknown argument {other}");
                 eprintln!(
-                    "usage: bench_gate [--baseline F] [--parallel F] [--serve F] [--tolerance T]"
+                    "usage: bench_gate [--baseline F] [--parallel F] [--serve F] [--canon F] \
+                     [--tolerance T]"
                 );
                 std::process::exit(2);
             }
@@ -138,31 +148,80 @@ fn parse_args() -> Args {
     parsed
 }
 
-fn main() {
-    let Args { baseline_path, parallel_path, serve_path, tolerance } = parse_args();
-    let baseline = read_json(&baseline_path);
-    let parallel = read_json(&parallel_path);
-    let serve = read_json(&serve_path);
-    let floor = |base: f64| base * (1.0 - tolerance);
-    let mut gate = Gate { failures: Vec::new(), warnings: Vec::new() };
-
-    // Correctness: bit-identity is non-negotiable at any tolerance.
+/// The correctness checks: bit-identity everywhere, live cache, and the
+/// canonical keying strictly beating the first-occurrence keying it replaced
+/// on the (seeded, hence deterministic) permuted/renamed stream.
+fn check_correctness(gate: &mut Gate, artifacts: &Artifacts) {
+    let Artifacts { baseline, parallel, parallel_path, serve, serve_path, canon, canon_path } =
+        artifacts;
     gate.check(
-        bool_at(&parallel, "bit_identical", &parallel_path),
+        bool_at(parallel, "bit_identical", parallel_path),
         "parallel.bit_identical",
         "parallel batches must match the sequential reference bit for bit".to_owned(),
     );
     gate.check(
-        bool_at(&serve, "bit_identical", &serve_path),
+        bool_at(serve, "bit_identical", serve_path),
         "serve.bit_identical",
         "served attributions must match a cold sequential run bit for bit".to_owned(),
     );
-    let cache_hits = f64_at(&serve, &["cache_hits"], &serve_path);
+    gate.check(
+        bool_at(canon, "bit_identical", canon_path),
+        "canon.bit_identical",
+        "cached and served runs of the permuted stream must match the cold reference".to_owned(),
+    );
+    let cache_hits = f64_at(serve, &["cache_hits"], serve_path);
     gate.check(
         cache_hits > 0.0,
         "serve.cache_hits",
         format!("shared cross-session cache must serve hits (got {cache_hits})"),
     );
+    let canon_rate = f64_at(canon, &["canon_hit_rate"], canon_path);
+    let naive_rate = f64_at(canon, &["naive_hit_rate"], canon_path);
+    gate.check(
+        canon_rate > naive_rate,
+        "canon.hit_rate_advantage",
+        format!("canonical {canon_rate:.3} must strictly beat first-occurrence {naive_rate:.3}"),
+    );
+    if let Some(base) =
+        baseline.get("canon_hit_rate").and_then(|b| b.get("hit_rate")).and_then(Json::as_f64)
+    {
+        // Unlike the wall-clock metrics, the hit rate of the seeded stream
+        // is fully deterministic, so no machine tolerance applies: any drop
+        // beyond float formatting is a real canonicalization regression.
+        gate.check(
+            canon_rate >= base - 1e-9,
+            "canon.hit_rate",
+            format!("measured {canon_rate:.3} vs baseline {base:.3} (deterministic, 0 tolerance)"),
+        );
+    }
+}
+
+/// The parsed artifact set the gate's checks read from.
+struct Artifacts {
+    baseline: Json,
+    parallel: Json,
+    parallel_path: String,
+    serve: Json,
+    serve_path: String,
+    canon: Json,
+    canon_path: String,
+}
+
+fn main() {
+    let Args { baseline_path, parallel_path, serve_path, canon_path, tolerance } = parse_args();
+    let artifacts = Artifacts {
+        baseline: read_json(&baseline_path),
+        parallel: read_json(&parallel_path),
+        parallel_path,
+        serve: read_json(&serve_path),
+        serve_path,
+        canon: read_json(&canon_path),
+        canon_path,
+    };
+    let floor = |base: f64| base * (1.0 - tolerance);
+    let mut gate = Gate { failures: Vec::new(), warnings: Vec::new() };
+    check_correctness(&mut gate, &artifacts);
+    let Artifacts { baseline, parallel, parallel_path, serve, serve_path, .. } = &artifacts;
 
     // Throughput vs the checked-in baseline (machine-normalized metrics).
     // The multicore baseline applies only when the run actually had that many
@@ -179,7 +238,7 @@ fn main() {
         else {
             continue;
         };
-        let (measured, effective) = speedup_at_threads(&parallel, threads, &parallel_path);
+        let (measured, effective) = speedup_at_threads(parallel, threads, parallel_path);
         let clamped = effective < threads;
         let base = if clamped { multicore_base.min(1.0) } else { multicore_base };
         gate.check(
@@ -201,7 +260,7 @@ fn main() {
         .and_then(|b| b.get("speedup_vs_cold"))
         .and_then(Json::as_f64)
     {
-        let measured = f64_at(&serve, &["speedup_vs_cold"], &serve_path);
+        let measured = f64_at(serve, &["speedup_vs_cold"], serve_path);
         gate.check(
             measured >= floor(base),
             "serve.speedup_vs_cold",
@@ -214,7 +273,7 @@ fn main() {
     if let Some(base) =
         baseline.get("serve_throughput").and_then(|b| b.get("rps")).and_then(Json::as_f64)
     {
-        let measured = f64_at(&serve, &["serve_rps"], &serve_path);
+        let measured = f64_at(serve, &["serve_rps"], serve_path);
         if measured < floor(base) {
             gate.warn(
                 "serve.rps",

@@ -9,7 +9,7 @@
 //!
 //! Experiments: `table1 table2 table3 table4 fig4 table5 table6 table7 fig5
 //! table8 table9 app_d ablation_heuristic ablation_adaban engine_cache
-//! parallel_speedup serve_throughput`.
+//! parallel_speedup serve_throughput canon_hit_rate`.
 //! Sweep-based experiments share one sweep per invocation; every experiment
 //! dispatches its algorithms through `banzhaf_engine::Attributor`.
 //! `--threads N` fans the sweep's instance loop and the engine sessions
@@ -40,13 +40,14 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "engine_cache",
     "parallel_speedup",
     "serve_throughput",
+    "canon_hit_rate",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] [--threads N] <experiment>... | --all");
-        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache parallel_speedup serve_throughput");
+        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache parallel_speedup serve_throughput canon_hit_rate");
         std::process::exit(1);
     }
 
@@ -138,6 +139,7 @@ fn main() {
             "engine_cache" => experiments::engine_cache(&config),
             "parallel_speedup" => experiments::parallel_speedup(&config),
             "serve_throughput" => experiments::serve_throughput(&config),
+            "canon_hit_rate" => experiments::canon_hit_rate(&config),
             other => unreachable!("experiment {other} was validated against KNOWN_EXPERIMENTS"),
         };
         println!("{report}");

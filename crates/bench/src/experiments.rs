@@ -871,6 +871,244 @@ pub fn serve_throughput(config: &HarnessConfig) -> String {
     )
 }
 
+/// Replicates the engine's *previous* cache keying — rename variables by
+/// first occurrence across the label-sorted clause list, then sort the
+/// renamed clauses — so `canon_hit_rate` can report the hit rate that scheme
+/// would have scored on the same request stream. Kept in the bench layer
+/// only: the engine now keys by the refinement-based canonical form.
+fn first_occurrence_key(lineage: &Dnf) -> (usize, Vec<Vec<u32>>) {
+    let mut ids: HashMap<Var, u32> = HashMap::with_capacity(lineage.num_vars());
+    let mut rename = |v: Var| -> u32 {
+        let next = ids.len() as u32;
+        *ids.entry(v).or_insert(next)
+    };
+    let mut clauses: Vec<Vec<u32>> =
+        lineage.clauses().iter().map(|c| c.iter().map(&mut rename).collect()).collect();
+    for v in lineage.universe().iter() {
+        rename(v);
+    }
+    for c in &mut clauses {
+        c.sort_unstable();
+    }
+    clauses.sort_unstable();
+    (ids.len(), clauses)
+}
+
+/// A random isomorph of `phi`: every variable mapped through a random
+/// bijection onto a shuffled, strided, offset id block, and the clause order
+/// scrambled (the `Dnf` constructor re-sorts, but the sort order depends on
+/// the new labels — the exact sensitivity that defeated first-occurrence
+/// keying).
+fn random_isomorph(phi: &Dnf, seed: u64) -> Dnf {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let originals: Vec<Var> = phi.universe().iter().collect();
+    let mut targets: Vec<u32> = (0..originals.len() as u32).collect();
+    for i in (1..targets.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        targets.swap(i, j);
+    }
+    let offset: u32 = rng.gen_range(0..64);
+    let stride: u32 = rng.gen_range(1..4);
+    let map: HashMap<Var, Var> =
+        originals.iter().zip(&targets).map(|(&v, &t)| (v, Var(offset + t * stride))).collect();
+    let mut clauses: Vec<Vec<Var>> =
+        phi.clauses().iter().map(|c| c.iter().map(|v| map[&v]).collect()).collect();
+    for i in (1..clauses.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        clauses.swap(i, j);
+    }
+    Dnf::from_clauses(clauses)
+}
+
+/// The `canon_hit_rate` request stream: `reps` random isomorphs of each of a
+/// handful of label-sensitive base shapes (ring, path, star, double star,
+/// clique — shapes whose label order the replaced keying was sensitive to),
+/// round-robined the way repeated queries arrive. Returns the shape count
+/// and the stream; everything is seeded, so the stream — and therefore the
+/// gated hit rates — is deterministic.
+fn canon_request_stream(config: &HarnessConfig) -> (usize, Vec<Dnf>) {
+    let base_shapes: Vec<(&str, Dnf)> = vec![
+        ("ring10", ring_lineage(0, 10)),
+        (
+            "path12",
+            Dnf::from_clauses((0..11u32).map(|i| vec![Var(i), Var(i + 1)]).collect::<Vec<_>>()),
+        ),
+        ("star8", Dnf::from_clauses((1..8u32).map(|i| vec![Var(0), Var(i)]).collect::<Vec<_>>())),
+        (
+            "doublestar8",
+            Dnf::from_clauses(vec![
+                vec![Var(0), Var(1)],
+                vec![Var(0), Var(2)],
+                vec![Var(0), Var(3)],
+                vec![Var(3), Var(4)],
+                vec![Var(3), Var(5)],
+                vec![Var(3), Var(6)],
+            ]),
+        ),
+        (
+            "clique4",
+            Dnf::from_clauses(vec![
+                vec![Var(0), Var(1)],
+                vec![Var(0), Var(2)],
+                vec![Var(0), Var(3)],
+                vec![Var(1), Var(2)],
+                vec![Var(1), Var(3)],
+                vec![Var(2), Var(3)],
+            ]),
+        ),
+    ];
+    let reps = 6 * config.scale.max(1);
+    let mut lineages: Vec<Dnf> = Vec::with_capacity(base_shapes.len() * reps);
+    for rep in 0..reps {
+        for (shape_index, (_, shape)) in base_shapes.iter().enumerate() {
+            let seed = config
+                .seed
+                .wrapping_add(0xCA_0000)
+                .wrapping_add((rep * base_shapes.len() + shape_index) as u64);
+            lineages.push(random_isomorph(shape, seed));
+        }
+    }
+    (base_shapes.len(), lineages)
+}
+
+/// Attributes every lineage of the stream through `session` and returns the
+/// per-fact exact values, the unit of the bit-identity comparisons.
+fn exact_value_stream(
+    session: &mut banzhaf_engine::Session,
+    lineages: &[Dnf],
+) -> Vec<HashMap<Var, banzhaf_arith::Natural>> {
+    lineages
+        .iter()
+        .map(|l| {
+            session.attribute(l).expect("unbounded budget").exact_values().expect("ExaBan is exact")
+        })
+        .collect()
+}
+
+/// Canonicalization payoff: shared-cache hit rate on a permuted/renamed
+/// request stream, against the first-occurrence keying it replaced.
+///
+/// Replays the `canon_request_stream` (fresh variable bijection and clause
+/// permutation per request) three ways:
+///
+/// * a **cold** cache-less sequential session — the bit-identity reference;
+/// * a cached **engine** session — its `CacheStats` yield `canon_hit_rate`,
+///   the canonicalization cost (`canon_steps`) and the compile steps the
+///   hits saved;
+/// * an **`AttributionService`** with concurrent workers — the end-to-end
+///   serving path over the same shared cache.
+///
+/// The report contrasts `canon_hit_rate` with the rate the old
+/// first-occurrence keying would have scored on the identical stream
+/// (`naive_hit_rate`, replayed via `first_occurrence_key`); the gap is the
+/// PR's payoff. Emits `BENCH_canon.json` for the CI `bench-regression` gate,
+/// which requires `bit_identical`, a strictly higher canonical hit rate than
+/// the naive one, and the baseline floor from `BENCH_baseline.json`.
+pub fn canon_hit_rate(config: &HarnessConfig) -> String {
+    use banzhaf_serve::{block_on, join_all, AttributionService, ServeConfig};
+
+    let (shapes, lineages) = canon_request_stream(config);
+    let requests = lineages.len();
+    let reps = requests / shapes;
+
+    // What the replaced first-occurrence keying would have scored on the
+    // exact same stream.
+    let mut seen_naive: std::collections::HashSet<(usize, Vec<Vec<u32>>)> =
+        std::collections::HashSet::new();
+    let naive_hits =
+        lineages.iter().filter(|l| !seen_naive.insert(first_occurrence_key(l))).count();
+    let naive_hit_rate = naive_hits as f64 / requests as f64;
+
+    // Cold reference: cache-less sequential session.
+    let cold_engine =
+        Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(1));
+    let mut cold_session = cold_engine.session();
+    let cold = exact_value_stream(&mut cold_session, &lineages);
+    let cold_compile_steps = cold_session.stats().compile_steps;
+
+    // Cached engine session over the same stream.
+    let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_threads(1));
+    let mut session = engine.session();
+    let cached = exact_value_stream(&mut session, &lineages);
+    let canon_hits = engine.cache_stats().hits;
+    let canon_hit_rate = canon_hits as f64 / requests as f64;
+    let cached_compile_steps = session.stats().compile_steps;
+    let canon_steps = session.stats().canon_steps;
+
+    // End-to-end: the serving layer over one shared cache.
+    let workers = config.threads.max(2);
+    let service = AttributionService::start(
+        ServeConfig::new(EngineConfig::new(Algorithm::ExaBan))
+            .with_workers(workers)
+            .with_queue_capacity(requests),
+    );
+    let tickets: Vec<_> = lineages
+        .iter()
+        .map(|l| service.submit(l.clone()).expect("queue sized to the workload"))
+        .collect();
+    let served: Vec<HashMap<Var, banzhaf_arith::Natural>> = block_on(join_all(tickets))
+        .into_iter()
+        .map(|o| o.expect("unbounded budgets").exact_values().expect("ExaBan is exact"))
+        .collect();
+    let serve_stats = service.cache_stats();
+
+    let bit_identical = cached == cold && served == cold;
+
+    let mut table =
+        TextTable::new(["Keying / path", "Hits", "Hit rate", "Compile steps", "Canon steps"]);
+    table.push_row([
+        "first-occurrence (replaced)".to_owned(),
+        naive_hits.to_string(),
+        format!("{:.1}%", naive_hit_rate * 100.0),
+        "—".to_owned(),
+        "0".to_owned(),
+    ]);
+    table.push_row([
+        "canonical, engine session".to_owned(),
+        canon_hits.to_string(),
+        format!("{:.1}%", canon_hit_rate * 100.0),
+        cached_compile_steps.to_string(),
+        canon_steps.to_string(),
+    ]);
+    table.push_row([
+        format!("canonical, served ({workers} workers)"),
+        serve_stats.hits.to_string(),
+        format!("{:.1}%", serve_stats.hit_rate() * 100.0),
+        "—".to_owned(),
+        serve_stats.canon_steps.to_string(),
+    ]);
+    table.push_row([
+        "cold (no cache, reference)".to_owned(),
+        "0".to_owned(),
+        "0.0%".to_owned(),
+        cold_compile_steps.to_string(),
+        "—".to_owned(),
+    ]);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"canon_hit_rate\",\n  \"algorithm\": \"ExaBan\",\n  \
+         \"requests\": {requests},\n  \"shapes\": {},\n  \"reps\": {reps},\n  \
+         \"canon_hits\": {canon_hits},\n  \"canon_hit_rate\": {canon_hit_rate:.4},\n  \
+         \"naive_hits\": {naive_hits},\n  \"naive_hit_rate\": {naive_hit_rate:.4},\n  \
+         \"canon_steps\": {canon_steps},\n  \
+         \"cached_compile_steps\": {cached_compile_steps},\n  \
+         \"cold_compile_steps\": {cold_compile_steps},\n  \
+         \"serve_hits\": {},\n  \"serve_workers\": {workers},\n  \
+         \"bit_identical\": {bit_identical}\n}}\n",
+        shapes, serve_stats.hits,
+    );
+    let json_note = match std::fs::write("BENCH_canon.json", &json) {
+        Ok(()) => "recorded to BENCH_canon.json".to_owned(),
+        Err(e) => format!("could not write BENCH_canon.json: {e}"),
+    };
+    format!(
+        "Canon — shared-cache hit rate on a permuted/renamed request stream \
+         ({requests} requests over {shapes} shapes, {json_note})\n{}",
+        table.render()
+    )
+}
+
 /// Runs the full sweep once and renders all sweep-based tables.
 pub fn run_all(config: &HarnessConfig) -> String {
     let mut out = String::new();
@@ -908,6 +1146,8 @@ pub fn run_all(config: &HarnessConfig) -> String {
     out.push_str(&parallel_speedup(config));
     out.push('\n');
     out.push_str(&serve_throughput(config));
+    out.push('\n');
+    out.push_str(&canon_hit_rate(config));
     out
 }
 
@@ -942,6 +1182,27 @@ mod tests {
         assert!(report.contains("d-tree cache effect"));
         assert!(report.contains("Academic-like"));
         assert!(report.contains("TPC-H-like"));
+    }
+
+    #[test]
+    fn canon_hit_rate_beats_first_occurrence_keying() {
+        let report = canon_hit_rate(&tiny_config());
+        assert!(report.contains("canonical, engine session"), "{report}");
+        let json = std::fs::read_to_string("BENCH_canon.json").unwrap();
+        let parsed = crate::json::Json::parse(&json).unwrap();
+        let canon = parsed.get("canon_hit_rate").unwrap().as_f64().unwrap();
+        let naive = parsed.get("naive_hit_rate").unwrap().as_f64().unwrap();
+        assert!(
+            canon > naive,
+            "canonical keying must strictly beat first-occurrence keying: {canon} vs {naive}"
+        );
+        // Every isomorph after the first of each shape hits: the canonical
+        // key is complete on these shapes.
+        let requests = parsed.get("requests").unwrap().as_f64().unwrap();
+        let shapes = parsed.get("shapes").unwrap().as_f64().unwrap();
+        let hits = parsed.get("canon_hits").unwrap().as_f64().unwrap();
+        assert_eq!(hits, requests - shapes, "{json}");
+        assert_eq!(parsed.get("bit_identical").unwrap().as_bool(), Some(true), "{json}");
     }
 
     #[test]

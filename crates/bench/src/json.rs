@@ -304,6 +304,87 @@ mod tests {
     }
 
     #[test]
+    fn parses_exponent_forms_the_gate_depends_on() {
+        // The bench artifacts carry %.6f/%.3f-formatted floats today, but the
+        // gate must not silently misread a writer that switches to shortest
+        // round-trip formatting (which produces exponents for small ratios).
+        for (text, value) in [
+            ("1e-3", 1e-3),
+            ("2.5e-2", 2.5e-2),
+            ("-4E-7", -4e-7),
+            ("1.25e+3", 1.25e3),
+            ("9e0", 9.0),
+            ("0.000001", 1e-6),
+            ("-0.0", -0.0),
+        ] {
+            assert_eq!(Json::parse(text).unwrap(), Json::Num(value), "{text}");
+        }
+        // Exponents nested inside the artifact shape.
+        let doc = r#"{"speedup_vs_cold": 3.3e0, "noise": -1.2e-4}"#;
+        let json = Json::parse(doc).unwrap();
+        assert_eq!(json.get("speedup_vs_cold").unwrap().as_f64(), Some(3.3));
+        assert_eq!(json.get("noise").unwrap().as_f64(), Some(-1.2e-4));
+    }
+
+    #[test]
+    fn parses_escaped_strings_in_keys_and_values() {
+        let doc = r#"{"a\"b": "tab\there", "uni": "Aé", "slash": "a\/b\\c"}"#;
+        let json = Json::parse(doc).unwrap();
+        assert_eq!(json.get("a\"b").unwrap().as_str(), Some("tab\there"));
+        assert_eq!(json.get("uni").unwrap().as_str(), Some("Aé"));
+        assert_eq!(json.get("slash").unwrap().as_str(), Some("a/b\\c"));
+        // Control escapes round through.
+        assert_eq!(
+            Json::parse(r#""\b\f\n\r\t""#).unwrap(),
+            Json::Str("\u{8}\u{c}\n\r\t".to_owned())
+        );
+        // Truncated or unknown escapes are rejected, not mangled.
+        for bad in [r#""\x""#, r#""\u00""#, r#""\"#, r#""\u00zz""#] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parses_deeply_nested_arrays() {
+        // The recursive-descent parser must survive nesting far beyond
+        // anything the artifacts contain (they nest 2 deep).
+        let depth = 200;
+        let doc = format!("{}7{}", "[".repeat(depth), "]".repeat(depth));
+        let mut node = Json::parse(&doc).unwrap();
+        for _ in 0..depth {
+            let Json::Arr(items) = node else { panic!("expected an array") };
+            assert_eq!(items.len(), 1);
+            node = items.into_iter().next().unwrap();
+        }
+        assert_eq!(node, Json::Num(7.0));
+        // Mixed deep object/array nesting.
+        let doc = format!("{}[0]{}", r#"{"k":"#.repeat(50), "}".repeat(50));
+        assert!(Json::parse(&doc).is_ok());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        // A truncated artifact concatenated with a fresh write (the exact
+        // failure mode of an interrupted bench run re-appending) must fail
+        // loudly rather than silently yield the first document.
+        for bad in [
+            "{\"a\": 1}{\"a\": 2}",
+            "[1, 2] [3]",
+            "true false",
+            "1.5 2.5",
+            "{\"bit_identical\": true} garbage",
+            "null,",
+            "[]]",
+            "{} }",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        // Trailing whitespace (including newlines from `format!` writers) is
+        // fine — only non-whitespace garbage is an error.
+        assert!(Json::parse("{\"a\": 1}\n\t ").is_ok());
+    }
+
+    #[test]
     fn accessors_return_none_on_wrong_variants() {
         let json = Json::parse("[1]").unwrap();
         assert!(json.get("x").is_none());

@@ -65,6 +65,13 @@ pub struct EngineStats {
     pub wall: Duration,
     /// `true` iff the result was served from the session's d-tree cache.
     pub cache_hit: bool,
+    /// Colour-refinement work spent canonicalizing the lineage for the
+    /// shared cache's order-insensitive key (0 when the backend was invoked
+    /// directly, without a session). Unlike `compile_steps` this cost is
+    /// paid on every attribution, hit or miss — the bench layer's
+    /// `canon_hit_rate` experiment weighs it against the compile work the
+    /// extra hits save.
+    pub canon_steps: u64,
 }
 
 /// The unified attribution result: one [`Score`] per fact of the lineage's

@@ -123,6 +123,7 @@ impl Attributor for ExaBanAttributor {
                 dtree_nodes: tree.num_nodes(),
                 wall: start.elapsed(),
                 cache_hit: false,
+                canon_steps: 0,
             },
         })
     }
@@ -175,6 +176,7 @@ impl Attributor for AdaBanAttributor {
                 dtree_nodes: tree.num_nodes(),
                 wall: start.elapsed(),
                 cache_hit: false,
+                canon_steps: 0,
             },
         })
     }
@@ -218,6 +220,7 @@ impl Attributor for IchiBanAttributor {
                 dtree_nodes: tree.num_nodes(),
                 wall: start.elapsed(),
                 cache_hit: false,
+                canon_steps: 0,
             },
         })
     }
@@ -234,6 +237,7 @@ impl Attributor for IchiBanAttributor {
                 dtree_nodes: tree.num_nodes(),
                 wall: start.elapsed(),
                 cache_hit: false,
+                canon_steps: 0,
             },
         })
     }
@@ -250,6 +254,7 @@ impl Attributor for IchiBanAttributor {
                 dtree_nodes: tree.num_nodes(),
                 wall: start.elapsed(),
                 cache_hit: false,
+                canon_steps: 0,
             },
         })
     }
@@ -277,6 +282,7 @@ impl Attributor for Sig22Attributor {
                 dtree_nodes: 0,
                 wall: start.elapsed(),
                 cache_hit: false,
+                canon_steps: 0,
             },
         })
     }

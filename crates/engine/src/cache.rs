@@ -9,9 +9,11 @@
 //! Design:
 //!
 //! * **Canonical-lineage keying** ([`CanonicalKey`]): variables renamed to a
-//!   dense numbering by first occurrence, exactly as before — equal keys imply
-//!   isomorphic lineages, so cached attributions transfer under the variable
-//!   bijection.
+//!   dense numbering by the colour-refinement canonical form of
+//!   [`crate::canon`] — equal keys imply isomorphic lineages (so cached
+//!   attributions transfer under the variable bijection), and isomorphic
+//!   lineages produce equal keys under arbitrary variable renamings and
+//!   clause reorderings, not just identically-generated ones.
 //! * **Size-bounded, LRU-evicted**: the cache holds at most
 //!   [`SharedCache::capacity`] entries. Recency is tracked with a lazy LRU
 //!   queue (every touch appends a `(key, tick)` pair; eviction pops from the
@@ -27,16 +29,28 @@
 //!   [`crate::Engine::cache_stats`] (and the serving layer's stats).
 
 use crate::attribution::{Attribution, Score};
+use crate::canon::canonical_form;
 use banzhaf_boolean::{Dnf, Var, VarSet};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// The cache key: the lineage with its variables renamed to a dense canonical
-/// numbering. Equal keys imply isomorphic lineages (the composition of the
-/// two renamings is a variable bijection), so attribution values — which are
-/// invariant under renaming — can be transferred between them.
+/// The cache key: the lineage with its variables renamed to the dense
+/// colour-refinement canonical numbering of [`crate::canon`].
+///
+/// The invariant is **equal keys ⇔ isomorphic lineages, up to the
+/// refinement's power**:
+///
+/// * *Soundness is unconditional*: the key is always a true renaming of the
+///   lineage, so equal keys imply a variable bijection between the two
+///   lineages, and attribution values — which are invariant under renaming —
+///   transfer through it.
+/// * *Completeness* — isomorphic lineages (any variable bijection composed
+///   with any clause reordering) receive equal keys — holds whenever the
+///   canonicalization's backtracking search runs to exhaustion, which it
+///   does for every lineage whose refinement-invariant leaf count fits the
+///   [`crate::canon`] leaf budget; past that (astronomically symmetric)
+///   bound two copies may key apart and merely miss each other in the cache.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct CanonicalKey {
     pub(crate) num_vars: usize,
@@ -48,45 +62,58 @@ pub(crate) struct Canonicalized {
     pub(crate) key: CanonicalKey,
     /// The same function over the canonical variables `0..n`.
     pub(crate) dnf: Dnf,
+    /// Refinement work spent computing the form (see
+    /// [`crate::EngineStats::canon_steps`]).
+    pub(crate) canon_steps: u64,
     /// Canonical index → original variable.
     originals: Vec<Var>,
 }
 
 impl Canonicalized {
-    /// Renames variables to `0..n` by first occurrence across the lineage's
-    /// canonically sorted clauses (unused universe variables follow, in
-    /// ascending order). This detects the renamed-but-identically-shaped
-    /// lineages the synthetic corpora produce; lineages it maps to different
-    /// keys are simply cached separately.
+    /// Renames variables to `0..n` by the colour-refinement canonical form
+    /// over the clause–variable incidence graph (unused universe variables
+    /// follow the used ones). The resulting key is invariant under arbitrary
+    /// variable renamings and clause reorderings — see [`CanonicalKey`] for
+    /// the exact invariant. (The previous first-occurrence renaming walked
+    /// the clauses in the order the *original* labels sorted them, so a mere
+    /// relabelling of the same lineage produced a different key and a
+    /// spurious cache miss.)
     pub(crate) fn of(lineage: &Dnf) -> Canonicalized {
+        // Dense pre-renaming by first occurrence: the canonical-form search
+        // works on contiguous ids, and `dense_originals` remembers which
+        // original fact each dense id stands for.
         let mut ids: HashMap<Var, u32> = HashMap::with_capacity(lineage.num_vars());
-        let mut originals: Vec<Var> = Vec::with_capacity(lineage.num_vars());
+        let mut dense_originals: Vec<Var> = Vec::with_capacity(lineage.num_vars());
         let mut rename = |v: Var, originals: &mut Vec<Var>| -> u32 {
             *ids.entry(v).or_insert_with(|| {
                 originals.push(v);
                 (originals.len() - 1) as u32
             })
         };
-        let mut clauses: Vec<Vec<u32>> = lineage
+        let dense_clauses: Vec<Vec<u32>> = lineage
             .clauses()
             .iter()
-            .map(|c| c.iter().map(|v| rename(v, &mut originals)).collect())
+            .map(|c| c.iter().map(|v| rename(v, &mut dense_originals)).collect())
             .collect();
         for v in lineage.universe().iter() {
-            rename(v, &mut originals);
+            rename(v, &mut dense_originals);
         }
-        // Sort the renamed clauses so the key does not depend on which
-        // original ordering produced them.
-        for c in &mut clauses {
-            c.sort_unstable();
-        }
-        clauses.sort_unstable();
+        let form = canonical_form(dense_originals.len(), &dense_clauses);
+        // Compose the two renamings: canonical index i stands for the
+        // original fact behind the dense id the form placed at position i.
+        let originals: Vec<Var> =
+            form.order.iter().map(|&dense| dense_originals[dense as usize]).collect();
         let universe = VarSet::from_sorted((0..originals.len() as u32).map(Var).collect());
         let dnf = Dnf::from_clauses_with_universe(
-            clauses.iter().map(|c| c.iter().map(|&i| Var(i))),
+            form.clauses.iter().map(|c| c.iter().map(|&i| Var(i))),
             universe,
         );
-        Canonicalized { key: CanonicalKey { num_vars: originals.len(), clauses }, dnf, originals }
+        Canonicalized {
+            key: CanonicalKey { num_vars: originals.len(), clauses: form.clauses },
+            dnf,
+            canon_steps: form.steps,
+            originals,
+        }
     }
 
     /// Renames a canonical-variable attribution back to the original facts.
@@ -122,6 +149,11 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted to keep the cache within its capacity bound.
     pub evictions: u64,
+    /// Canonicalization work (colour-refinement steps) spent computing the
+    /// cache keys by the engine's sessions — the price paid for the
+    /// order-insensitive keying, to weigh against the compile steps the hits
+    /// save.
+    pub canon_steps: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// The configured capacity bound.
@@ -158,6 +190,17 @@ struct CacheInner {
     /// iff its tick equals the entry's current tick.
     recency: VecDeque<(Arc<CanonicalKey>, u64)>,
     tick: u64,
+    /// The counters live under the same lock as the map so a
+    /// [`SharedCache::stats`] snapshot is consistent: each lookup increments
+    /// exactly one of `hits`/`misses` atomically with the map access it
+    /// describes. (They used to be separate relaxed atomics bumped after the
+    /// lock was dropped, and a snapshot could observe a hit whose miss-side
+    /// context was still unrecorded — hit-rate math briefly exceeding 1.0.)
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    canon_steps: u64,
 }
 
 /// The shared, size-bounded, canonical-lineage-keyed attribution cache.
@@ -168,10 +211,6 @@ struct CacheInner {
 pub struct SharedCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl SharedCache {
@@ -183,12 +222,13 @@ impl SharedCache {
                 map: HashMap::new(),
                 recency: VecDeque::new(),
                 tick: 0,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
+                canon_steps: 0,
             }),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -211,14 +251,12 @@ impl SharedCache {
                 let attribution = Arc::clone(&entry.attribution);
                 let stored_key = Arc::clone(&entry.key);
                 inner.recency.push_back((stored_key, tick));
+                inner.hits += 1;
                 Self::compact(&mut inner);
-                drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(attribution)
             }
             None => {
-                drop(inner);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                inner.misses += 1;
                 None
             }
         }
@@ -236,7 +274,7 @@ impl SharedCache {
         let tick = inner.tick;
         inner.recency.push_back((Arc::clone(&key), tick));
         inner.map.insert(Arc::clone(&key), CacheEntry { attribution, key, tick });
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        inner.insertions += 1;
         while inner.map.len() > self.capacity {
             let Some((victim, victim_tick)) = inner.recency.pop_front() else {
                 break;
@@ -244,10 +282,17 @@ impl SharedCache {
             let live = inner.map.get(&victim).is_some_and(|e| e.tick == victim_tick);
             if live {
                 inner.map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                inner.evictions += 1;
             }
         }
         Self::compact(&mut inner);
+    }
+
+    /// Records canonicalization work performed by a session of this engine,
+    /// so [`CacheStats::canon_steps`] reports the end-to-end cost of the
+    /// order-insensitive keying next to the hits it buys.
+    pub(crate) fn record_canon(&self, steps: u64) {
+        self.inner.lock().expect("cache lock poisoned").canon_steps += steps;
     }
 
     /// Drops stale recency pairs once the queue outgrows the live entry set,
@@ -271,15 +316,20 @@ impl SharedCache {
         inner.recency.clear();
     }
 
-    /// A snapshot of the cache's counters and occupancy.
+    /// A consistent snapshot of the cache's counters and occupancy: all
+    /// fields are read under one acquisition of the inner lock, so no
+    /// concurrent lookup is ever half-reflected — in particular
+    /// `hits + misses` is exactly the number of completed lookups and the
+    /// hit rate can never exceed 1.0.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.inner.lock().expect("cache lock poisoned").map.len();
+        let inner = self.inner.lock().expect("cache lock poisoned");
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries,
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            canon_steps: inner.canon_steps,
+            entries: inner.map.len(),
             capacity: self.capacity,
         }
     }
@@ -377,6 +427,87 @@ mod tests {
             }
         });
         assert_eq!(cache.stats().hits, 400);
+    }
+
+    #[test]
+    fn snapshots_are_consistent_under_concurrent_lookups() {
+        // Every worker alternates a guaranteed miss with a guaranteed hit —
+        // miss first — so at any *consistent* point in time hits ≤ misses.
+        // With the old torn snapshot (each counter its own relaxed atomic,
+        // bumped after the lock was dropped) a reader could observe the hit
+        // of a pair whose miss was still unrecorded and see hits > misses,
+        // i.e. transient hit rates above their true value (and, with more
+        // workers than pairs, above 1.0).
+        let cache = SharedCache::new(8);
+        let present = key_of(&[0, 1]);
+        let missing = key_of(&[0, 1, 2, 3]);
+        cache.insert(present.clone(), dummy_attribution(1));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..2_000 {
+                        assert!(cache.get(&missing).is_none());
+                        assert!(cache.get(&present).is_some());
+                    }
+                });
+            }
+            for _ in 0..5_000 {
+                let stats = cache.stats();
+                assert!(
+                    stats.hits <= stats.misses,
+                    "torn snapshot: {} hits vs {} misses",
+                    stats.hits,
+                    stats.misses
+                );
+                assert!(stats.hit_rate() <= 1.0);
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 8_000);
+        assert_eq!(stats.misses, 8_000);
+    }
+
+    #[test]
+    fn relabelled_lineages_share_one_key_and_shapes_key_apart() {
+        // First-occurrence renaming keyed the 3-path by which variable held
+        // the middle label ({x,y} ∨ {y,z} vs {y,x} ∨ {y,z}): one
+        // isomorphism class, two keys, a spurious miss. The
+        // refinement-based key identifies every labelling...
+        let middle_mid =
+            Canonicalized::of(&Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]));
+        let middle_large =
+            Canonicalized::of(&Dnf::from_clauses(vec![vec![v(9), v(0)], vec![v(9), v(1)]]));
+        let middle_small =
+            Canonicalized::of(&Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]));
+        assert_eq!(middle_mid.key, middle_large.key, "isomorphic lineages must key equal");
+        assert_eq!(middle_mid.key, middle_small.key, "isomorphic lineages must key equal");
+        assert!(middle_mid.canon_steps > 0);
+        // ...while non-isomorphic shapes (different model counts) stay apart.
+        let path4 = Canonicalized::of(&Dnf::from_clauses(vec![
+            vec![v(0), v(1)],
+            vec![v(1), v(2)],
+            vec![v(2), v(3)],
+        ]));
+        let star4 = Canonicalized::of(&Dnf::from_clauses(vec![
+            vec![v(0), v(1)],
+            vec![v(0), v(2)],
+            vec![v(0), v(3)],
+        ]));
+        assert_ne!(path4.key, star4.key, "non-isomorphic shapes must key apart");
+    }
+
+    #[test]
+    fn canonical_dnf_is_isomorphic_to_the_input() {
+        // The backend runs the canonical form; it must be the same function
+        // modulo renaming — model counts are renaming-invariant.
+        let phi = Dnf::from_clauses(vec![vec![v(7), v(2)], vec![v(2), v(5)], vec![v(9)]]);
+        let canonical = Canonicalized::of(&phi);
+        assert_eq!(
+            phi.brute_force_model_count(),
+            canonical.dnf.brute_force_model_count(),
+            "canonicalization must preserve the function up to renaming"
+        );
+        assert_eq!(canonical.dnf.num_vars(), phi.num_vars());
     }
 
     #[test]

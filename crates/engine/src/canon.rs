@@ -1,0 +1,459 @@
+//! Order-insensitive canonical forms for lineages.
+//!
+//! The shared cache keys attributions by a canonical renaming of the lineage.
+//! The renaming must be a *canonical form* in the graph-isomorphism sense:
+//! two lineages receive the same key **iff** one is a variable bijection of
+//! the other (clause order is immaterial — [`banzhaf_boolean::Dnf`] already
+//! sorts clauses, but *which* order the sort produces depends on the variable
+//! names, which is exactly what a renaming changes).
+//!
+//! The previous scheme — rename variables to a dense numbering by first
+//! occurrence, then sort the renamed clauses — is sound (its key is a true
+//! renaming of the input, so equal keys do imply isomorphism) but badly
+//! incomplete: the renaming walks the clauses in the order the *original*
+//! labels sort them, so a mere relabelling changes the walk and hence the
+//! key. The 3-path `{x,y} ∨ {y,z}` keys as `{0,1} ∨ {1,2}` when `x<y<z` but
+//! as `{0,1} ∨ {0,2}` when the middle variable carries the smallest label —
+//! one isomorphism class, two keys, and a spurious cache miss for every
+//! labelling family the first-occurrence walk happens to separate.
+//!
+//! This module computes a genuinely order-insensitive form in two stages:
+//!
+//! 1. **Colour refinement** (1-dimensional Weisfeiler–Leman) over the
+//!    bipartite clause–variable *incidence graph*: variables and clauses
+//!    start with colours derived from their degrees/widths, and every round
+//!    recolours each node by the multiset of its neighbours' colours, until
+//!    the partition stabilizes. The resulting partition is isomorphism-
+//!    invariant and usually fine enough to order most variables outright.
+//! 2. **Orbit breaking with backtracking**: while some colour class still
+//!    holds several variables, the search *individualizes* each candidate of
+//!    the first such class in turn (gives it a fresh colour), re-refines, and
+//!    recurses. Each discrete leaf yields one candidate renaming; the
+//!    lexicographically smallest renamed clause list over all explored
+//!    leaves is the canonical form. Two leaves that produce the *same*
+//!    clause list witness an automorphism of the input (the composition of
+//!    their renamings); the search accumulates the orbits of the discovered
+//!    automorphisms in a union-find and skips cell members already known to
+//!    be automorphic images of an explored sibling — *before* paying for
+//!    their refinement — which collapses the factorially symmetric cases
+//!    (stars, cliques, rings, singleton batteries) to a linear number of
+//!    leaves, the same pruning that makes nauty-style canonical labelling
+//!    practical.
+//!
+//! Every leaf is a true renaming of the input, so **equal keys imply
+//! isomorphic lineages unconditionally** — soundness does not depend on the
+//! search. Completeness (isomorphic lineages ⇒ equal keys) holds whenever
+//! the search runs to exhaustion, which it does for every lineage whose
+//! refinement-invariant leaf count stays within [`MAX_LEAVES`]; past that
+//! cap exploration stops early and two differently-labelled copies of such
+//! an (astronomically symmetric) lineage may canonicalize differently and
+//! merely miss each other in the cache. In practice the heavily symmetric
+//! lineages (rings, stars, grids) are exactly the ones where all leaves are
+//! automorphic images of one another, so the first leaf already *is* the
+//! canonical form and the cap is unreachable without adversarial input.
+
+/// The canonical form of a lineage presented as dense clause lists.
+pub(crate) struct CanonicalForm {
+    /// `order[i]` is the input variable assigned canonical index `i`.
+    pub(crate) order: Vec<u32>,
+    /// The clauses renamed through `order`, each sorted, the list sorted.
+    pub(crate) clauses: Vec<Vec<u32>>,
+    /// Refinement work performed (node signatures computed), the
+    /// canonicalization analogue of `compile_steps`.
+    pub(crate) steps: u64,
+}
+
+/// Backtracking-leaf budget. Exploration past this many discrete partitions
+/// stops with the best form found so far (see the module docs for why this
+/// only ever degrades cache hit rate, never correctness).
+const MAX_LEAVES: usize = 512;
+
+/// Computes the canonical form of `clauses` over variables `0..num_vars`
+/// (variables beyond the clauses' support are degree-0 universe padding and
+/// are appended after the used variables in input order — no clause mentions
+/// them, so the key does not depend on their order).
+pub(crate) fn canonical_form(num_vars: usize, clauses: &[Vec<u32>]) -> CanonicalForm {
+    let mut searcher = Searcher::new(num_vars, clauses);
+    let initial = searcher.initial_colouring();
+    searcher.search(initial);
+    let (order, canonical_clauses) =
+        searcher.best.expect("the search visits at least one discrete leaf");
+    CanonicalForm { order, clauses: canonical_clauses, steps: searcher.steps }
+}
+
+/// One colouring of the incidence graph: `colours[node]` plus the number of
+/// distinct colours (colour ids are always the contiguous range `0..count`).
+#[derive(Clone)]
+struct Colouring {
+    colours: Vec<u32>,
+    count: u32,
+}
+
+struct Searcher<'a> {
+    num_vars: usize,
+    clauses: &'a [Vec<u32>],
+    /// Incidence adjacency: nodes `0..num_vars` are variables, nodes
+    /// `num_vars..num_vars + clauses.len()` are clauses.
+    adjacency: Vec<Vec<u32>>,
+    /// Best candidate so far: (variable order, renamed sorted clause list).
+    best: Option<(Vec<u32>, Vec<Vec<u32>>)>,
+    /// Union-find over variables: two variables share a root iff a
+    /// discovered automorphism maps one to the other. Grown lazily as leaves
+    /// collide; used to skip automorphic siblings during branching.
+    orbit: Vec<u32>,
+    leaves: usize,
+    steps: u64,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(num_vars: usize, clauses: &'a [Vec<u32>]) -> Self {
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); num_vars + clauses.len()];
+        for (c, clause) in clauses.iter().enumerate() {
+            let clause_node = (num_vars + c) as u32;
+            for &v in clause {
+                adjacency[v as usize].push(clause_node);
+                adjacency[clause_node as usize].push(v);
+            }
+        }
+        Searcher {
+            num_vars,
+            clauses,
+            adjacency,
+            best: None,
+            orbit: (0..num_vars as u32).collect(),
+            leaves: 0,
+            steps: 0,
+        }
+    }
+
+    /// Union-find root with path halving.
+    fn orbit_root(&mut self, v: u32) -> u32 {
+        let mut v = v;
+        while self.orbit[v as usize] != v {
+            let parent = self.orbit[v as usize];
+            self.orbit[v as usize] = self.orbit[parent as usize];
+            v = self.orbit[v as usize];
+        }
+        v
+    }
+
+    /// Records that an automorphism maps `a` to `b`.
+    fn orbit_union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.orbit_root(a), self.orbit_root(b));
+        if ra != rb {
+            self.orbit[ra.max(rb) as usize] = ra.min(rb);
+        }
+    }
+
+    /// The isomorphism-invariant starting partition: variables coloured by
+    /// degree (unused universe variables sort after used ones), clauses by
+    /// width. Refinement would reach the same split in one round; starting
+    /// from it just saves that round.
+    fn initial_colouring(&mut self) -> Colouring {
+        let signatures: Vec<(u32, u32)> = (0..self.adjacency.len())
+            .map(|node| {
+                let degree = self.adjacency[node].len() as u32;
+                if node < self.num_vars {
+                    // Used variables before unused ones, then by degree.
+                    (u32::from(degree == 0), degree)
+                } else {
+                    (2, degree)
+                }
+            })
+            .collect();
+        let colouring = self.colour_by_rank(&signatures);
+        self.refine(colouring)
+    }
+
+    /// Assigns contiguous colour ids by ascending signature rank. The ids are
+    /// isomorphism-invariant as long as the signatures are.
+    fn colour_by_rank<S: Ord>(&mut self, signatures: &[S]) -> Colouring {
+        self.steps += signatures.len() as u64;
+        let mut order: Vec<u32> = (0..signatures.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| signatures[a as usize].cmp(&signatures[b as usize]));
+        let mut colours = vec![0u32; signatures.len()];
+        let mut count = 0u32;
+        for pair in 0..order.len() {
+            if pair > 0 && signatures[order[pair] as usize] != signatures[order[pair - 1] as usize]
+            {
+                count += 1;
+            }
+            colours[order[pair] as usize] = count;
+        }
+        Colouring { colours, count: count + 1 }
+    }
+
+    /// Runs colour refinement to a fixpoint: recolour every node by (its
+    /// colour, the sorted colours of its neighbours) until the number of
+    /// classes stops growing (classes never merge, so equal counts mean the
+    /// partition is stable).
+    fn refine(&mut self, mut colouring: Colouring) -> Colouring {
+        loop {
+            let signatures: Vec<(u32, Vec<u32>)> = self
+                .adjacency
+                .iter()
+                .enumerate()
+                .map(|(node, neighbours)| {
+                    let mut around: Vec<u32> =
+                        neighbours.iter().map(|&n| colouring.colours[n as usize]).collect();
+                    around.sort_unstable();
+                    (colouring.colours[node], around)
+                })
+                .collect();
+            self.steps += self.adjacency.iter().map(|n| n.len() as u64 + 1).sum::<u64>();
+            let refined = self.colour_by_rank(&signatures);
+            let stable = refined.count == colouring.count;
+            colouring = refined;
+            if stable {
+                return colouring;
+            }
+        }
+    }
+
+    /// The first (lowest-colour) class holding more than one *used* variable,
+    /// if any. Unused universe variables are skipped: no clause mentions
+    /// them, so splitting their class cannot change any candidate key.
+    fn target_cell(&self, colouring: &Colouring) -> Option<Vec<u32>> {
+        let mut cells: Vec<Vec<u32>> = Vec::new();
+        let mut by_colour: Vec<Option<usize>> = vec![None; colouring.count as usize];
+        for v in 0..self.num_vars as u32 {
+            if self.adjacency[v as usize].is_empty() {
+                continue;
+            }
+            let colour = colouring.colours[v as usize] as usize;
+            match by_colour[colour] {
+                Some(slot) => cells[slot].push(v),
+                None => {
+                    by_colour[colour] = Some(cells.len());
+                    cells.push(vec![v]);
+                }
+            }
+        }
+        cells
+            .into_iter()
+            .filter(|cell| cell.len() > 1)
+            .min_by_key(|cell| colouring.colours[cell[0] as usize])
+    }
+
+    fn search(&mut self, colouring: Colouring) {
+        if self.leaves >= MAX_LEAVES {
+            return;
+        }
+        let Some(cell) = self.target_cell(&colouring) else {
+            self.leaf(&colouring);
+            return;
+        };
+        // Individualize each candidate of the cell in turn and recurse; the
+        // canonical form is the minimal leaf over every explored child, so
+        // exploring all of them is exactly the complete backtracking search.
+        //
+        // Orbit pruning — checked *before* paying for the child's refinement,
+        // which is the dominant cost on symmetric cells — skips any member
+        // already automorphic to an explored sibling (per the automorphisms
+        // the leaves have discovered so far): its subtree is an isomorphic
+        // image and can only rediscover the same candidates. This is what
+        // keeps factorially symmetric cells (stars, cliques, rings) at a
+        // linear number of leaves and refinements.
+        let mut explored: Vec<u32> = Vec::new();
+        for &v in &cell {
+            let root = self.orbit_root(v);
+            if explored.iter().any(|&u| self.orbit_root(u) == root) {
+                continue;
+            }
+            explored.push(v);
+            let mut child = colouring.clone();
+            child.colours[v as usize] = child.count;
+            child.count += 1;
+            let refined = self.refine(child);
+            self.search(refined);
+            if self.leaves >= MAX_LEAVES {
+                return;
+            }
+        }
+    }
+
+    /// A discrete leaf: every used variable has its own colour. Build the
+    /// candidate renaming and keep it if it beats the best so far.
+    fn leaf(&mut self, colouring: &Colouring) {
+        self.leaves += 1;
+        // Canonical order: used variables sorted by colour, then the unused
+        // universe block (individualized colours can grow past the unused
+        // class's, so the used/unused split is made explicit rather than
+        // left to colour order); unused variables fall back to input order,
+        // which is harmless because no clause mentions them.
+        let mut order: Vec<u32> = (0..self.num_vars as u32).collect();
+        order.sort_by_key(|&v| {
+            (self.adjacency[v as usize].is_empty(), colouring.colours[v as usize], v)
+        });
+        let mut rank = vec![0u32; self.num_vars];
+        for (index, &v) in order.iter().enumerate() {
+            rank[v as usize] = index as u32;
+        }
+        let mut renamed: Vec<Vec<u32>> = self
+            .clauses
+            .iter()
+            .map(|clause| {
+                let mut c: Vec<u32> = clause.iter().map(|&v| rank[v as usize]).collect();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        renamed.sort_unstable();
+        self.steps += self.num_vars as u64 + self.clauses.len() as u64;
+        match &self.best {
+            Some((best_order, best_clauses)) if renamed == *best_clauses => {
+                // Two renamings producing the same clause list compose to an
+                // automorphism of the input: canonical index i is variable
+                // `best_order[i]` under one and `order[i]` under the other.
+                // Feed its orbits to the branching prune.
+                let pairs: Vec<(u32, u32)> =
+                    best_order.iter().copied().zip(order.iter().copied()).collect();
+                for (a, b) in pairs {
+                    self.orbit_union(a, b);
+                }
+            }
+            Some((_, best_clauses)) if renamed < *best_clauses => {
+                self.best = Some((order, renamed));
+            }
+            None => self.best = Some((order, renamed)),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Applies `form.order` to check the form really is a renaming of the
+    /// input: renaming the input clauses through the inverse order and
+    /// sorting must reproduce `form.clauses`.
+    fn is_renaming_of(form: &CanonicalForm, num_vars: usize, clauses: &[Vec<u32>]) -> bool {
+        let mut rank = vec![0u32; num_vars];
+        for (index, &v) in form.order.iter().enumerate() {
+            rank[v as usize] = index as u32;
+        }
+        let mut renamed: Vec<Vec<u32>> = clauses
+            .iter()
+            .map(|c| {
+                let mut c: Vec<u32> = c.iter().map(|&v| rank[v as usize]).collect();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        renamed.sort_unstable();
+        renamed == form.clauses
+    }
+
+    #[test]
+    fn order_is_a_permutation_and_clauses_are_a_renaming() {
+        let clauses = vec![vec![0, 1], vec![1, 2], vec![3]];
+        let form = canonical_form(5, &clauses);
+        let mut sorted = form.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert!(is_renaming_of(&form, 5, &clauses));
+        assert!(form.steps > 0);
+    }
+
+    #[test]
+    fn relabelled_paths_share_one_form_and_stars_key_apart() {
+        // The miss that motivated this module: first-occurrence renaming
+        // keyed the 3-path differently depending on which variable carried
+        // the middle label. All labellings must now share one form...
+        let middle_label_large = vec![vec![0, 2], vec![1, 2]];
+        let middle_label_small = vec![vec![0, 1], vec![0, 2]];
+        let middle_label_mid = vec![vec![0, 1], vec![1, 2]];
+        let reference = canonical_form(3, &middle_label_mid);
+        assert_eq!(canonical_form(3, &middle_label_large).clauses, reference.clauses);
+        assert_eq!(canonical_form(3, &middle_label_small).clauses, reference.clauses);
+        // ...while genuinely non-isomorphic shapes stay apart: the 4-path
+        // vs the 3-leaf star (these have different model counts, so a
+        // collision would transfer wrong attribution values).
+        let path4 = vec![vec![0, 1], vec![1, 2], vec![2, 3]];
+        let star4 = vec![vec![0, 1], vec![0, 2], vec![0, 3]];
+        assert_ne!(canonical_form(4, &path4).clauses, canonical_form(4, &star4).clauses);
+    }
+
+    #[test]
+    fn rings_are_invariant_under_rotation_and_reflection() {
+        let ring = |perm: &[u32]| -> Vec<Vec<u32>> {
+            (0..perm.len()).map(|i| vec![perm[i], perm[(i + 1) % perm.len()]]).collect()
+        };
+        let identity: Vec<u32> = (0..8).collect();
+        let rotated: Vec<u32> = (0..8).map(|i| (i + 3) % 8).collect();
+        let reflected: Vec<u32> = (0..8).map(|i| (16 - i) % 8).collect();
+        let scrambled: Vec<u32> = vec![5, 2, 7, 0, 3, 6, 1, 4];
+        let reference = canonical_form(8, &ring(&identity));
+        for perm in [&rotated, &reflected, &scrambled] {
+            let form = canonical_form(8, &ring(perm));
+            assert_eq!(form.clauses, reference.clauses, "{perm:?}");
+        }
+    }
+
+    #[test]
+    fn fully_symmetric_singletons_stay_cheap() {
+        // n singleton clauses: every variable is automorphic to every other,
+        // so the first leaf is already canonical, every later leaf collides
+        // with it and feeds the orbit union-find, and the discovered orbits
+        // prune the n!-leaf search tree down to a linear walk.
+        let clauses: Vec<Vec<u32>> = (0..12).map(|v| vec![v]).collect();
+        let form = canonical_form(12, &clauses);
+        let expected: Vec<Vec<u32>> = (0..12).map(|v| vec![v]).collect();
+        assert_eq!(form.clauses, expected);
+        // The orbit prune caps the work far below the 512-leaf safety net:
+        // without it this input walks ~512 leaves × 12 levels of refinement.
+        assert!(
+            form.steps < 60_000,
+            "orbit pruning must collapse the symmetric search: {} steps",
+            form.steps
+        );
+    }
+
+    #[test]
+    fn unused_universe_variables_sort_last() {
+        // Variables 1 and 3 never occur in a clause; the used variables must
+        // occupy the low canonical indices regardless.
+        let clauses = vec![vec![0, 2], vec![2, 4]];
+        let form = canonical_form(5, &clauses);
+        for clause in &form.clauses {
+            for &v in clause {
+                assert!(v < 3, "used variables must map below the unused block");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // Constant false: no clauses.
+        let none = canonical_form(3, &[]);
+        assert_eq!(none.clauses, Vec::<Vec<u32>>::new());
+        assert_eq!(none.order.len(), 3);
+        // Constant true: one empty clause.
+        let all = canonical_form(0, &[vec![]]);
+        assert_eq!(all.clauses, vec![Vec::<u32>::new()]);
+        // Empty universe, no clauses.
+        let empty = canonical_form(0, &[]);
+        assert!(empty.order.is_empty());
+    }
+
+    #[test]
+    fn two_triangles_differ_from_a_hexagon() {
+        // The classic 1-WL-equivalent pair (all nodes degree 2 both sides):
+        // refinement alone cannot split them, so this exercises the
+        // individualization/backtracking stage.
+        let triangles =
+            vec![vec![0, 1], vec![1, 2], vec![2, 0], vec![3, 4], vec![4, 5], vec![5, 3]];
+        let hexagon = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![5, 0]];
+        let a = canonical_form(6, &triangles);
+        let b = canonical_form(6, &hexagon);
+        assert_ne!(a.clauses, b.clauses);
+        // Relabelled copies of each still land on their own form.
+        let triangles_relabelled =
+            vec![vec![5, 3], vec![3, 1], vec![1, 5], vec![0, 2], vec![2, 4], vec![4, 0]];
+        assert_eq!(canonical_form(6, &triangles_relabelled).clauses, a.clauses);
+        let hexagon_relabelled =
+            vec![vec![4, 2], vec![2, 0], vec![0, 3], vec![3, 5], vec![5, 1], vec![1, 4]];
+        assert_eq!(canonical_form(6, &hexagon_relabelled).clauses, b.clauses);
+    }
+}

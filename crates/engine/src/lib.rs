@@ -21,7 +21,10 @@
 //!   [`SharedCache`] keyed by canonical lineage (isomorphic lineages of
 //!   distinct answers — and of distinct *sessions* — are attributed once;
 //!   size-bounded, LRU-evicted, hit/miss/eviction counters in [`CacheStats`])
-//!   and through the shared bottom-up model-count pass.
+//!   and through the shared bottom-up model-count pass. The key is an
+//!   order-insensitive canonical form (colour refinement plus orbit-breaking
+//!   backtracking over the clause–variable incidence graph), so *any*
+//!   variable renaming or clause reordering of a cached lineage hits.
 //!
 //! ```
 //! use banzhaf_engine::{Algorithm, Engine, EngineConfig};
@@ -45,6 +48,7 @@
 mod attribution;
 mod attributor;
 mod cache;
+mod canon;
 mod config;
 mod session;
 

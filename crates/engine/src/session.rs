@@ -105,6 +105,10 @@ pub struct SessionStats {
     pub cache_hits: u64,
     /// Total knowledge-compilation steps actually performed.
     pub compile_steps: u64,
+    /// Total colour-refinement steps spent canonicalizing lineages for the
+    /// shared cache's order-insensitive keys (paid on every attribution,
+    /// hit or miss; weigh against the `compile_steps` the hits save).
+    pub canon_steps: u64,
     /// Total wall-clock time spent inside backends.
     pub wall: Duration,
 }
@@ -245,12 +249,18 @@ impl Session {
 
     /// The shared batch implementation behind `attribute`/`attribute_batch`/
     /// `explain`: canonicalize, then run.
+    ///
+    /// Canonicalization fans across the configured pool like the compile
+    /// stage does — the refinement search is a pure function of each
+    /// lineage, and `parallel_map` returns in input order, so the canonical
+    /// forms (and everything downstream) are bit-identical to the
+    /// sequential path at every thread count.
     fn batch(
         &mut self,
         lineages: &[&Dnf],
         shared_budget: Option<&Budget>,
     ) -> Vec<Result<Attribution, Interrupted>> {
-        let canonical = lineages.iter().map(|l| Canonicalized::of(l)).collect();
+        let canonical = self.config.pool().parallel_map(lineages, |_, l| Canonicalized::of(l));
         self.batch_canonical(canonical, shared_budget)
     }
 
@@ -262,6 +272,12 @@ impl Session {
     ) -> Vec<Result<Attribution, Interrupted>> {
         let n = canonical.len();
         self.stats.attributions += n as u64;
+        // Account the canonicalization work: per session (SessionStats), and
+        // per engine through the shared cache's counters so the end-to-end
+        // serving stats can weigh the keying cost against the hits it buys.
+        let canon_steps: u64 = canonical.iter().map(|c| c.canon_steps).sum();
+        self.stats.canon_steps += canon_steps;
+        self.cache.record_canon(canon_steps);
         // Claim the batch's stream indices from the engine-global allocator:
         // within one session the indices are exactly the ones the sequential
         // loop would assign; across sessions they never collide.
@@ -287,7 +303,9 @@ impl Session {
             if use_cache {
                 if let Some(cached) = self.cache.get(&canonical[i].key) {
                     self.stats.cache_hits += 1;
-                    results[i] = Some(Ok(cache_hit(canonical[i].map_back(&cached))));
+                    let mut attribution = cache_hit(canonical[i].map_back(&cached));
+                    attribution.stats.canon_steps = canonical[i].canon_steps;
+                    results[i] = Some(Ok(attribution));
                     continue;
                 }
                 match owner_of_shape.entry(&canonical[i].key) {
@@ -349,7 +367,8 @@ impl Session {
                 let owner = reuse[i];
                 match &canonical_outcomes[&owner.unwrap_or(i)] {
                     Ok(attribution) => {
-                        let mapped = canonical[i].map_back(attribution);
+                        let mut mapped = canonical[i].map_back(attribution);
+                        mapped.stats.canon_steps = canonical[i].canon_steps;
                         if owner.is_some() {
                             // An in-batch reuse is a cache hit, same as the
                             // sequential loop would have scored it.
@@ -470,12 +489,34 @@ mod tests {
     fn different_shapes_do_not_collide() {
         let engine = Engine::new(EngineConfig::default());
         let mut session = engine.session();
-        let path = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
-        let star = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        let path = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)], vec![v(2), v(3)]]);
+        let star = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)], vec![v(0), v(3)]]);
         let a = session.attribute(&path).unwrap();
         let b = session.attribute(&star).unwrap();
         assert!(!b.stats.cache_hit);
+        assert_ne!(a.model_count, b.model_count);
         assert_ne!(a.exact_values(), b.exact_values());
+    }
+
+    #[test]
+    fn relabelled_lineages_hit_regardless_of_label_order() {
+        // A 3-path whose middle variable carries the smallest label vs the
+        // middle label: first-occurrence renaming keyed these apart (the
+        // spurious miss this PR fixes); the refinement-based key must score
+        // a hit and transfer the values through the bijection.
+        let engine = Engine::new(EngineConfig::default());
+        let mut session = engine.session();
+        let middle_is_mid = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
+        let middle_is_small = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]);
+        let a = session.attribute(&middle_is_mid).unwrap();
+        let b = session.attribute(&middle_is_small).unwrap();
+        assert!(b.stats.cache_hit, "isomorphic labellings must share one cache entry");
+        assert_eq!(engine.cache_stats().insertions, 1);
+        // The bijection maps middles to middles and ends to ends.
+        assert_eq!(a.value(v(1)).unwrap().exact(), b.value(v(0)).unwrap().exact());
+        assert_eq!(a.value(v(0)).unwrap().exact(), b.value(v(1)).unwrap().exact());
+        assert_eq!(a.model_count, b.model_count);
+        assert!(b.stats.canon_steps > 0, "canonicalization cost must be reported");
     }
 
     #[test]

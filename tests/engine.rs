@@ -83,6 +83,74 @@ proptest! {
     }
 }
 
+/// Applies a random variable bijection (onto sparse, shuffled target ids) and
+/// a random clause permutation to `phi`, returning the transformed lineage
+/// and the bijection as `original -> renamed`.
+fn random_isomorph(phi: &Dnf, seed: u64) -> (Dnf, std::collections::HashMap<Var, Var>) {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shuffle = |items: &mut Vec<u32>| {
+        for i in (1..items.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    };
+    let originals: Vec<Var> = phi.universe().iter().collect();
+    // Arbitrary targets: a shuffled, strided, offset id block — nothing the
+    // first-occurrence walk could align with the original labels.
+    let mut targets: Vec<u32> = (0..originals.len() as u32).collect();
+    shuffle(&mut targets);
+    let offset = rng.gen_range(0u32..40);
+    let stride = rng.gen_range(1u32..4);
+    let bijection: std::collections::HashMap<Var, Var> =
+        originals.iter().zip(&targets).map(|(&v, &t)| (v, Var(offset + t * stride))).collect();
+    let mut clauses: Vec<Vec<Var>> =
+        phi.clauses().iter().map(|c| c.iter().map(|v| bijection[&v]).collect()).collect();
+    // Permute the clause order too (the Dnf constructor re-sorts, but the
+    // sort order itself depends on the renamed labels — exactly the
+    // sensitivity that broke the old key).
+    for i in (1..clauses.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        clauses.swap(i, j);
+    }
+    (Dnf::from_clauses(clauses), bijection)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole's acceptance property: the canonical cache key is
+    /// invariant under arbitrary variable bijections composed with clause
+    /// permutations — the original and its random isomorph occupy **one**
+    /// `SharedCache` entry, the second attribution scores a hit, and the
+    /// values transfer through the bijection.
+    #[test]
+    fn isomorphic_lineages_occupy_one_cache_entry(phi in small_dnf(), seed in any::<u64>()) {
+        let (renamed, bijection) = random_isomorph(&phi, seed);
+        let engine = Engine::new(EngineConfig::default());
+        let mut session = engine.session();
+        let first = session.attribute(&phi).unwrap();
+        let second = session.attribute(&renamed).unwrap();
+        prop_assert!(!first.stats.cache_hit);
+        prop_assert!(second.stats.cache_hit, "the isomorph must hit the first entry");
+        let stats = engine.cache_stats();
+        prop_assert_eq!(stats.insertions, 1, "one canonical shape, one entry");
+        prop_assert_eq!(stats.hits, 1);
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.entries, 1);
+        prop_assert!(stats.canon_steps > 0, "canonicalization cost must be observable");
+        // The cached values transfer through the bijection.
+        prop_assert_eq!(&first.model_count, &second.model_count);
+        for x in phi.universe().iter() {
+            prop_assert_eq!(
+                first.value(x).unwrap().exact(),
+                second.value(bijection[&x]).unwrap().exact(),
+                "{} -> {}", x, bijection[&x]
+            );
+        }
+    }
+}
+
 #[test]
 fn engine_explains_workload_answers_like_the_raw_pipeline() {
     // The engine front door must agree with the hand-wired pipeline on a
