@@ -2,7 +2,8 @@
 //!
 //! Reads the perf artifacts the bench experiments emit (`BENCH_parallel.json`
 //! from `repro parallel_speedup`, `BENCH_serve.json` from `repro
-//! serve_throughput`, `BENCH_canon.json` from `repro canon_hit_rate`) and
+//! serve_throughput`, `BENCH_canon.json` from `repro canon_hit_rate`, and —
+//! with `--update` — `BENCH_update.json` from `repro update_stream`) and
 //! compares them against the checked-in `BENCH_baseline.json`. Exits
 //! non-zero — failing the CI job — when:
 //!
@@ -13,6 +14,10 @@
 //! * the canonical keying's hit rate on the permuted/renamed stream fails to
 //!   strictly beat the first-occurrence keying it replaced, or drops below
 //!   the baseline floor;
+//! * (with `--update`) the incremental update stream diverged from the cold
+//!   re-evaluation reference, or the fraction of compile steps it saved fell
+//!   below the baseline floor (the stream is seeded, so this is
+//!   deterministic and gated with zero tolerance);
 //! * a tracked throughput metric regressed more than the tolerance
 //!   (default 25%) against the baseline.
 //!
@@ -25,7 +30,7 @@
 //! ```text
 //! bench_gate [--baseline BENCH_baseline.json] [--parallel BENCH_parallel.json]
 //!            [--serve BENCH_serve.json] [--canon BENCH_canon.json]
-//!            [--tolerance 0.25]
+//!            [--update BENCH_update.json] [--tolerance 0.25]
 //! ```
 
 use banzhaf_bench::json::Json;
@@ -105,6 +110,7 @@ struct Args {
     parallel_path: String,
     serve_path: String,
     canon_path: String,
+    update_path: Option<String>,
     tolerance: f64,
 }
 
@@ -114,6 +120,7 @@ fn parse_args() -> Args {
         parallel_path: "BENCH_parallel.json".to_owned(),
         serve_path: "BENCH_serve.json".to_owned(),
         canon_path: "BENCH_canon.json".to_owned(),
+        update_path: None,
         tolerance: 0.25,
     };
     let mut args = std::env::args().skip(1);
@@ -129,6 +136,7 @@ fn parse_args() -> Args {
             "--parallel" => parsed.parallel_path = value("--parallel"),
             "--serve" => parsed.serve_path = value("--serve"),
             "--canon" => parsed.canon_path = value("--canon"),
+            "--update" => parsed.update_path = Some(value("--update")),
             "--tolerance" => {
                 parsed.tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
                     eprintln!("bench_gate: --tolerance needs a number in [0, 1)");
@@ -139,7 +147,7 @@ fn parse_args() -> Args {
                 eprintln!("bench_gate: unknown argument {other}");
                 eprintln!(
                     "usage: bench_gate [--baseline F] [--parallel F] [--serve F] [--canon F] \
-                     [--tolerance T]"
+                     [--update F] [--tolerance T]"
                 );
                 std::process::exit(2);
             }
@@ -196,6 +204,30 @@ fn check_correctness(gate: &mut Gate, artifacts: &Artifacts) {
     }
 }
 
+/// The live-update checks (`--update`): bit-identity of the incremental
+/// stream against its per-step cold re-evaluations, and the steps-saved
+/// ratio against the baseline floor. The update stream is seeded, so both
+/// are deterministic and gated with zero tolerance.
+fn check_update_stream(gate: &mut Gate, baseline: &Json, update: &Json, update_path: &str) {
+    gate.check(
+        bool_at(update, "bit_identical", update_path),
+        "update.bit_identical",
+        "incremental updates must match a cold re-evaluation after every step".to_owned(),
+    );
+    let ratio = f64_at(update, &["steps_saved_ratio"], update_path);
+    if let Some(base) = baseline
+        .get("update_stream")
+        .and_then(|b| b.get("steps_saved_ratio"))
+        .and_then(Json::as_f64)
+    {
+        gate.check(
+            ratio >= base - 1e-9,
+            "update.steps_saved_ratio",
+            format!("measured {ratio:.3} vs baseline floor {base:.3} (deterministic, 0 tolerance)"),
+        );
+    }
+}
+
 /// The parsed artifact set the gate's checks read from.
 struct Artifacts {
     baseline: Json,
@@ -208,7 +240,8 @@ struct Artifacts {
 }
 
 fn main() {
-    let Args { baseline_path, parallel_path, serve_path, canon_path, tolerance } = parse_args();
+    let Args { baseline_path, parallel_path, serve_path, canon_path, update_path, tolerance } =
+        parse_args();
     let artifacts = Artifacts {
         baseline: read_json(&baseline_path),
         parallel: read_json(&parallel_path),
@@ -221,6 +254,10 @@ fn main() {
     let floor = |base: f64| base * (1.0 - tolerance);
     let mut gate = Gate { failures: Vec::new(), warnings: Vec::new() };
     check_correctness(&mut gate, &artifacts);
+    if let Some(update_path) = &update_path {
+        let update = read_json(update_path);
+        check_update_stream(&mut gate, &artifacts.baseline, &update, update_path);
+    }
     let Artifacts { baseline, parallel, parallel_path, serve, serve_path, .. } = &artifacts;
 
     // Throughput vs the checked-in baseline (machine-normalized metrics).

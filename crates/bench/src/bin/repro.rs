@@ -9,7 +9,7 @@
 //!
 //! Experiments: `table1 table2 table3 table4 fig4 table5 table6 table7 fig5
 //! table8 table9 app_d ablation_heuristic ablation_adaban engine_cache
-//! parallel_speedup serve_throughput canon_hit_rate`.
+//! parallel_speedup serve_throughput canon_hit_rate update_stream`.
 //! Sweep-based experiments share one sweep per invocation; every experiment
 //! dispatches its algorithms through `banzhaf_engine::Attributor`.
 //! `--threads N` fans the sweep's instance loop and the engine sessions
@@ -41,13 +41,14 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "parallel_speedup",
     "serve_throughput",
     "canon_hit_rate",
+    "update_stream",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] [--threads N] <experiment>... | --all");
-        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache parallel_speedup serve_throughput canon_hit_rate");
+        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache parallel_speedup serve_throughput canon_hit_rate update_stream");
         std::process::exit(1);
     }
 
@@ -140,6 +141,7 @@ fn main() {
             "parallel_speedup" => experiments::parallel_speedup(&config),
             "serve_throughput" => experiments::serve_throughput(&config),
             "canon_hit_rate" => experiments::canon_hit_rate(&config),
+            "update_stream" => experiments::update_stream(&config),
             other => unreachable!("experiment {other} was validated against KNOWN_EXPERIMENTS"),
         };
         println!("{report}");

@@ -10,7 +10,7 @@ use banzhaf::{critical_counts_all, l1_distance_normalized, Budget, DTree, PivotH
 use banzhaf_baselines::{rank_estimates, rank_proxy};
 use banzhaf_boolean::Dnf;
 use banzhaf_db::Database;
-use banzhaf_engine::{Algorithm, Engine, EngineConfig};
+use banzhaf_engine::{Algorithm, BatchOptions, Engine, EngineConfig};
 use banzhaf_query::parse_program;
 use banzhaf_workloads::Corpus;
 use std::collections::HashMap;
@@ -467,11 +467,12 @@ pub fn app_d() -> String {
     // critical-count breakdown is a core-level analysis the result type does
     // not carry, so it is recomputed from the lineage below.
     let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_shapley(true));
-    let explained = engine.session().explain(&query, &db).expect("unbounded budget");
+    let explained = engine.session().explain(&query, &db);
     let answer = &explained.answers[0];
     let lineage = &answer.lineage;
-    let banzhaf = answer.attribution.exact_values().expect("ExaBan is exact");
-    let shapley = answer.attribution.shapley.as_ref().expect("Shapley requested");
+    let attribution = answer.attribution().expect("unbounded budget");
+    let banzhaf = attribution.exact_values().expect("ExaBan is exact");
+    let shapley = attribution.shapley.as_ref().expect("Shapley requested");
     let tree =
         DTree::compile_full(lineage.clone(), PivotHeuristic::MostFrequent, &Budget::unlimited())
             .expect("unbounded budget");
@@ -672,7 +673,7 @@ pub fn parallel_speedup(config: &HarnessConfig) -> String {
         );
         let mut session = engine.session();
         let start = Instant::now();
-        let results = session.attribute_batch(&refs);
+        let results = session.attribute_batch(&refs, BatchOptions::default());
         let secs = start.elapsed().as_secs_f64();
         let values = results
             .into_iter()
@@ -769,7 +770,7 @@ pub const SPEEDUP_REPEATS: usize = 5;
 /// Emits `BENCH_serve.json` for the CI `bench-regression` gate, which tracks
 /// the machine-normalized ratio (`speedup_vs_cold`) rather than the raw rps.
 pub fn serve_throughput(config: &HarnessConfig) -> String {
-    use banzhaf_serve::{block_on, join_all, AttributionService, ServeConfig};
+    use banzhaf_serve::{block_on, join_all, AttributionService, RequestOptions, ServeConfig};
 
     const SHAPE_SIZES: [u32; 4] = [16, 18, 20, 22];
     let reps = 8 * config.scale.max(1);
@@ -815,7 +816,11 @@ pub fn serve_throughput(config: &HarnessConfig) -> String {
     let serve_start = Instant::now();
     let tickets: Vec<_> = lineages
         .iter()
-        .map(|l| service.submit(l.clone()).expect("queue sized to the workload"))
+        .map(|l| {
+            service
+                .submit(l.clone(), RequestOptions::default())
+                .expect("queue sized to the workload")
+        })
         .collect();
     let outcomes = block_on(join_all(tickets));
     let serve_seconds = serve_start.elapsed().as_secs_f64();
@@ -1006,7 +1011,7 @@ fn exact_value_stream(
 /// which requires `bit_identical`, a strictly higher canonical hit rate than
 /// the naive one, and the baseline floor from `BENCH_baseline.json`.
 pub fn canon_hit_rate(config: &HarnessConfig) -> String {
-    use banzhaf_serve::{block_on, join_all, AttributionService, ServeConfig};
+    use banzhaf_serve::{block_on, join_all, AttributionService, RequestOptions, ServeConfig};
 
     let (shapes, lineages) = canon_request_stream(config);
     let requests = lineages.len();
@@ -1045,7 +1050,11 @@ pub fn canon_hit_rate(config: &HarnessConfig) -> String {
     );
     let tickets: Vec<_> = lineages
         .iter()
-        .map(|l| service.submit(l.clone()).expect("queue sized to the workload"))
+        .map(|l| {
+            service
+                .submit(l.clone(), RequestOptions::default())
+                .expect("queue sized to the workload")
+        })
         .collect();
     let served: Vec<HashMap<Var, banzhaf_arith::Natural>> = block_on(join_all(tickets))
         .into_iter()
@@ -1109,6 +1118,193 @@ pub fn canon_hit_rate(config: &HarnessConfig) -> String {
     )
 }
 
+/// The live-update repro experiment: drive a seeded insert/delete stream
+/// against the mutating Academic- and IMDB-like databases through a
+/// [`banzhaf_engine::LiveSession`], check the maintained attributions against
+/// a cold re-evaluation after *every* step, and score the compile steps the
+/// delta path avoided. Writes `BENCH_update.json` (gated by
+/// `bench_gate --update`).
+#[allow(clippy::too_many_lines)]
+pub fn update_stream(config: &HarnessConfig) -> String {
+    use banzhaf_db::Update;
+    use banzhaf_workloads::{academic_workload, imdb_workload, LiveWorkload};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::fmt::Write as _;
+
+    struct FamilyOutcome {
+        name: String,
+        updates: u64,
+        touched: u64,
+        untouched: u64,
+        incremental_steps: u64,
+        cold_steps: u64,
+        cache_hits: u64,
+        bit_identical: bool,
+    }
+
+    let spec = config.dataset_spec();
+    let updates_per_family = 8 * config.scale.max(1) as u64;
+    let builders: [fn(&banzhaf_workloads::DatasetSpec) -> LiveWorkload; 2] =
+        [academic_workload, imdb_workload];
+
+    let mut families: Vec<FamilyOutcome> = Vec::new();
+    for build in builders {
+        let workload = build(&spec);
+        // Incremental path: a live session with the shared cache on. The
+        // engine's bit-identity guarantee is exact for unlimited budgets at
+        // any thread count, so `config.threads` is honoured.
+        let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_threads(config.threads));
+        let mut live = engine.live_session(workload.db.clone());
+        for (name, query) in &workload.queries {
+            live.register(name.clone(), query.clone());
+        }
+        // Cold reference: a fresh cache-less sequential session re-evaluates
+        // and re-attributes every registered query from scratch after each
+        // step — the "no delta path" cost the paper's interactive workloads
+        // would otherwise pay.
+        let cold_engine =
+            Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(1));
+
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_CAFE);
+        let mut outcome = FamilyOutcome {
+            name: workload.name.clone(),
+            updates: 0,
+            touched: 0,
+            untouched: 0,
+            incremental_steps: 0,
+            cold_steps: 0,
+            cache_hits: 0,
+            bit_identical: true,
+        };
+        // Alternate deletes and re-inserts of facts from the mutable
+        // relations: deletions exercise the condition-and-restrict path,
+        // re-insertions the pinned delta join (the re-inserted fact gets a
+        // fresh id, so its lineage variable differs from the deleted one).
+        let mut deleted: Vec<(String, Vec<banzhaf_db::Value>)> = Vec::new();
+        for step in 0..updates_per_family {
+            let update = if step % 2 == 0 {
+                let candidates: Vec<(String, Vec<banzhaf_db::Value>)> = live
+                    .db()
+                    .endogenous_facts()
+                    .filter(|(_, f)| workload.mutable_relations.iter().any(|r| r == f.relation()))
+                    .map(|(_, f)| (f.relation().to_owned(), f.values().to_vec()))
+                    .collect();
+                let (relation, values) = candidates[rng.gen_range(0..candidates.len())].clone();
+                deleted.push((relation.clone(), values.clone()));
+                Update::delete(relation, values)
+            } else {
+                let (relation, values) = deleted.pop().expect("a delete precedes every insert");
+                Update::insert(relation, values)
+            };
+            let report = live.apply_update(update).expect("stream updates address live facts");
+            outcome.updates += 1;
+            outcome.touched += report.touched.len() as u64;
+            outcome.untouched += report.untouched;
+            outcome.incremental_steps += report.compile_steps;
+            outcome.cache_hits += report.cache_hits;
+
+            // Cold re-evaluation of every registered query over the updated
+            // database; any divergence in answers, exact Banzhaf values or
+            // model counts flips the experiment's bit-identity flag.
+            let mut cold_session = cold_engine.session();
+            for (name, query) in &workload.queries {
+                let cold = cold_session.explain(query, live.db());
+                let snapshot = live.attribution(name).expect("query is registered");
+                outcome.cold_steps += cold
+                    .answers
+                    .iter()
+                    .filter_map(|a| a.attribution())
+                    .map(|a| a.stats.compile_steps)
+                    .sum::<u64>();
+                let matches = snapshot.answers.len() == cold.answers.len()
+                    && snapshot.answers.iter().zip(cold.answers.iter()).all(|(inc, ref_)| {
+                        let inc_att = inc.attribution().expect("unbounded budget");
+                        let ref_att = ref_.attribution().expect("unbounded budget");
+                        inc.tuple == ref_.tuple
+                            && inc_att.exact_values() == ref_att.exact_values()
+                            && inc_att.model_count == ref_att.model_count
+                    });
+                if !matches {
+                    outcome.bit_identical = false;
+                }
+            }
+        }
+        families.push(outcome);
+    }
+
+    let total_inc: u64 = families.iter().map(|f| f.incremental_steps).sum();
+    let total_cold: u64 = families.iter().map(|f| f.cold_steps).sum();
+    let total_updates: u64 = families.iter().map(|f| f.updates).sum();
+    let bit_identical = families.iter().all(|f| f.bit_identical);
+    let steps_saved_ratio =
+        if total_cold == 0 { 0.0 } else { 1.0 - total_inc as f64 / total_cold as f64 };
+
+    let mut table = TextTable::new([
+        "Corpus",
+        "Updates",
+        "Touched",
+        "Untouched",
+        "Incr. steps",
+        "Cold steps",
+        "Saved",
+        "Bit-identical",
+    ]);
+    let mut family_json = String::new();
+    for f in &families {
+        let saved = if f.cold_steps == 0 {
+            0.0
+        } else {
+            1.0 - f.incremental_steps as f64 / f.cold_steps as f64
+        };
+        table.push_row([
+            f.name.clone(),
+            f.updates.to_string(),
+            f.touched.to_string(),
+            f.untouched.to_string(),
+            f.incremental_steps.to_string(),
+            f.cold_steps.to_string(),
+            format!("{:.1}%", saved * 100.0),
+            f.bit_identical.to_string(),
+        ]);
+        if !family_json.is_empty() {
+            family_json.push_str(",\n");
+        }
+        write!(
+            family_json,
+            "    {{\"name\": \"{}\", \"updates\": {}, \"touched\": {}, \"untouched\": {}, \
+             \"incremental_steps\": {}, \"cold_steps\": {}, \"cache_hits\": {}, \
+             \"steps_saved_ratio\": {:.6}, \"bit_identical\": {}}}",
+            f.name,
+            f.updates,
+            f.touched,
+            f.untouched,
+            f.incremental_steps,
+            f.cold_steps,
+            f.cache_hits,
+            saved,
+            f.bit_identical,
+        )
+        .expect("writing to a String cannot fail");
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"update_stream\",\n  \"algorithm\": \"ExaBan\",\n  \
+         \"updates\": {total_updates},\n  \"incremental_steps\": {total_inc},\n  \
+         \"cold_steps\": {total_cold},\n  \"steps_saved_ratio\": {steps_saved_ratio:.6},\n  \
+         \"bit_identical\": {bit_identical},\n  \"families\": [\n{family_json}\n  ]\n}}\n"
+    );
+    let json_note = match std::fs::write("BENCH_update.json", &json) {
+        Ok(()) => "recorded to BENCH_update.json".to_owned(),
+        Err(e) => format!("could not write BENCH_update.json: {e}"),
+    };
+    format!(
+        "Live updates — incremental attribution vs cold re-evaluation \
+         ({total_updates} updates, verified bit-for-bit after every step, {json_note})\n{}",
+        table.render()
+    )
+}
+
 /// Runs the full sweep once and renders all sweep-based tables.
 pub fn run_all(config: &HarnessConfig) -> String {
     let mut out = String::new();
@@ -1148,6 +1344,8 @@ pub fn run_all(config: &HarnessConfig) -> String {
     out.push_str(&serve_throughput(config));
     out.push('\n');
     out.push_str(&canon_hit_rate(config));
+    out.push('\n');
+    out.push_str(&update_stream(config));
     out
 }
 

@@ -222,6 +222,18 @@ impl Dnf {
         Dnf { universe, clauses: self.clauses.clone() }
     }
 
+    /// The same clauses over the universe of variables that actually occur.
+    ///
+    /// [`condition`](Dnf::condition) can orphan variables: dropping the
+    /// clauses that mention `v` may leave other variables of the universe
+    /// without any occurrence. Banzhaf values and model counts scale with
+    /// `2^(unused universe variables)`, so a conditioned lineage must be
+    /// restricted to its used variables before it can be compared — or
+    /// cached — interchangeably with a lineage built fresh from its clauses.
+    pub fn restrict_to_used(&self) -> Dnf {
+        Dnf { universe: self.used_vars(), clauses: self.clauses.clone() }
+    }
+
     /// Removes clauses that are subsumed by (are supersets of) other clauses.
     ///
     /// Absorption (`x ∨ (x ∧ y) = x`) does not change the function but can
@@ -375,6 +387,21 @@ mod tests {
         assert_eq!(cond.num_vars(), 3);
         assert_eq!(cond.num_clauses(), 1);
         assert_eq!(cond.brute_force_model_count().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn restricting_to_used_drops_orphaned_variables() {
+        // φ[x := 0] = u over {y, z, u}; y and z are orphaned and inflate the
+        // model count until the universe is restricted to the used variables.
+        let phi = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)], vec![v(3)]]);
+        let cond = phi.condition(v(0), false).restrict_to_used();
+        assert_eq!(cond.num_vars(), 1);
+        assert_eq!(cond.num_clauses(), 1);
+        assert_eq!(cond.brute_force_model_count().to_u64(), Some(1));
+        assert_eq!(cond, Dnf::from_clauses(vec![vec![v(3)]]));
+        // A lineage whose universe already equals its used variables is
+        // unchanged.
+        assert_eq!(phi.restrict_to_used(), phi);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The database: relations, fact storage, endogenous/exogenous partitioning.
 
-use crate::{Fact, FactId, Provenance, Value};
+use crate::{Fact, FactId, Provenance, Update, Value};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -20,6 +20,9 @@ pub enum DbError {
     },
     /// A relation with this name already exists.
     DuplicateRelation(String),
+    /// The referenced endogenous fact does not exist (stale id, value not
+    /// present, or already deleted); carries the display form of the lookup.
+    UnknownFact(String),
 }
 
 impl fmt::Display for DbError {
@@ -30,6 +33,7 @@ impl fmt::Display for DbError {
                 write!(f, "arity mismatch for {relation}: expected {expected}, got {got}")
             }
             DbError::DuplicateRelation(r) => write!(f, "relation {r} already exists"),
+            DbError::UnknownFact(fact) => write!(f, "unknown endogenous fact {fact}"),
         }
     }
 }
@@ -70,8 +74,10 @@ impl Relation {
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     relations: HashMap<String, Relation>,
-    /// Endogenous facts indexed by their [`FactId`].
-    endogenous: Vec<Fact>,
+    /// Endogenous facts indexed by their [`FactId`]. Deleted facts leave a
+    /// tombstone (`None`) so that surviving ids — and hence the lineage
+    /// variables derived from them — stay stable across updates.
+    endogenous: Vec<Option<Fact>>,
 }
 
 impl Database {
@@ -99,13 +105,61 @@ impl Database {
     ) -> Result<FactId, DbError> {
         self.check(relation, &values)?;
         let id = FactId(self.endogenous.len() as u32);
-        self.endogenous.push(Fact::new(relation, values.clone()));
+        self.endogenous.push(Some(Fact::new(relation, values.clone())));
         self.relations
             .get_mut(relation)
             .expect("checked above")
             .tuples
             .push((values, Provenance::Endogenous(id)));
         Ok(id)
+    }
+
+    /// Deletes an endogenous fact by id, removing its tuple from the owning
+    /// relation, and returns the deleted fact.
+    ///
+    /// The id is tombstoned, never reused: every surviving fact keeps its id,
+    /// so lineage variables built before the deletion remain valid.
+    pub fn delete_endogenous(&mut self, id: FactId) -> Result<Fact, DbError> {
+        let fact = self
+            .endogenous
+            .get_mut(id.index())
+            .and_then(Option::take)
+            .ok_or_else(|| DbError::UnknownFact(id.to_string()))?;
+        let rel = self.relations.get_mut(fact.relation()).expect("live fact has a relation");
+        let pos = rel
+            .tuples
+            .iter()
+            .position(|(_, prov)| *prov == Provenance::Endogenous(id))
+            .expect("live fact has a stored tuple");
+        rel.tuples.remove(pos);
+        Ok(fact)
+    }
+
+    /// Finds a live endogenous fact by relation and values (first match when
+    /// the relation holds duplicate tuples).
+    pub fn find_endogenous(&self, relation: &str, values: &[Value]) -> Option<FactId> {
+        self.relations.get(relation)?.tuples.iter().find_map(|(vals, prov)| {
+            if vals == values {
+                prov.fact_id()
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Applies a single-fact [`Update`], returning the id of the inserted or
+    /// deleted fact. Deletions match the fact by relation and values.
+    pub fn apply_update(&mut self, update: &Update) -> Result<FactId, DbError> {
+        match update {
+            Update::Insert(fact) => self.insert_endogenous(fact.relation(), fact.values().to_vec()),
+            Update::Delete(fact) => {
+                let id = self
+                    .find_endogenous(fact.relation(), fact.values())
+                    .ok_or_else(|| DbError::UnknownFact(fact.to_string()))?;
+                self.delete_endogenous(id)?;
+                Ok(id)
+            }
+        }
     }
 
     /// Inserts an exogenous fact.
@@ -146,14 +200,14 @@ impl Database {
         names
     }
 
-    /// Looks up an endogenous fact by id.
+    /// Looks up a live endogenous fact by id (`None` for deleted facts).
     pub fn fact(&self, id: FactId) -> Option<&Fact> {
-        self.endogenous.get(id.index())
+        self.endogenous.get(id.index()).and_then(Option::as_ref)
     }
 
-    /// Number of endogenous facts.
+    /// Number of live endogenous facts (deleted facts are not counted).
     pub fn num_endogenous(&self) -> usize {
-        self.endogenous.len()
+        self.endogenous.iter().filter(|f| f.is_some()).count()
     }
 
     /// Total number of stored tuples (endogenous and exogenous).
@@ -161,9 +215,12 @@ impl Database {
         self.relations.values().map(Relation::len).sum()
     }
 
-    /// Iterates over all endogenous facts with their ids.
+    /// Iterates over all live endogenous facts with their ids.
     pub fn endogenous_facts(&self) -> impl Iterator<Item = (FactId, &Fact)> + '_ {
-        self.endogenous.iter().enumerate().map(|(i, f)| (FactId(i as u32), f))
+        self.endogenous
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|fact| (FactId(i as u32), fact)))
     }
 }
 
@@ -228,5 +285,44 @@ mod tests {
     fn duplicate_relation_panics() {
         let mut db = sample_db();
         db.add_relation("R", 1);
+    }
+
+    #[test]
+    fn deletion_tombstones_and_keeps_ids_stable() {
+        let mut db = sample_db();
+        let deleted = db.delete_endogenous(FactId(0)).unwrap();
+        assert_eq!(deleted.relation(), "R");
+        assert_eq!(db.num_endogenous(), 2);
+        assert_eq!(db.relation("R").unwrap().len(), 1);
+        assert_eq!(db.fact(FactId(0)), None);
+        // Surviving facts keep their ids; the deleted slot is never reused.
+        let ids: Vec<FactId> = db.endogenous_facts().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![FactId(1), FactId(2)]);
+        let fresh = db.insert_endogenous("R", vec![Value::from(7)]).unwrap();
+        assert_eq!(fresh, FactId(3));
+        // Deleting twice fails.
+        let err = db.delete_endogenous(FactId(0)).unwrap_err();
+        assert!(matches!(err, DbError::UnknownFact(_)));
+        assert!(err.to_string().contains("unknown endogenous fact"));
+    }
+
+    #[test]
+    fn find_endogenous_skips_exogenous_tuples() {
+        let db = sample_db();
+        assert_eq!(db.find_endogenous("R", &[Value::from(2)]), Some(FactId(1)));
+        assert_eq!(db.find_endogenous("S", &[Value::from(2), Value::from(20)]), None);
+        assert_eq!(db.find_endogenous("T", &[]), None);
+    }
+
+    #[test]
+    fn updates_apply_by_value() {
+        let mut db = sample_db();
+        let inserted = db.apply_update(&Update::insert("R", vec![Value::from(9)])).unwrap();
+        assert_eq!(db.fact(inserted).unwrap().values(), &[Value::from(9)]);
+        let removed = db.apply_update(&Update::delete("R", vec![Value::from(9)])).unwrap();
+        assert_eq!(removed, inserted);
+        assert_eq!(db.fact(inserted), None);
+        let err = db.apply_update(&Update::delete("R", vec![Value::from(9)])).unwrap_err();
+        assert_eq!(err, DbError::UnknownFact("R(9)".into()));
     }
 }

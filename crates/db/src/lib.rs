@@ -27,8 +27,10 @@
 
 mod database;
 mod fact;
+mod update;
 mod value;
 
 pub use database::{Database, DbError, Relation};
 pub use fact::{Fact, FactId, Provenance};
+pub use update::Update;
 pub use value::Value;

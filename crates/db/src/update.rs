@@ -1,0 +1,70 @@
+//! Single-fact deltas against the endogenous part of a database.
+
+use crate::{Fact, Value};
+use std::fmt;
+
+/// A single-fact update to the endogenous part of a [`Database`].
+///
+/// Updates address facts *by value* (relation plus attribute values), not by
+/// [`FactId`]: ids are an internal detail assigned at insertion time, while
+/// the update stream of a live system speaks in tuples. Deletions resolve to
+/// the first live endogenous fact with matching values.
+///
+/// [`Database`]: crate::Database
+/// [`FactId`]: crate::FactId
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Update {
+    /// Insert a new endogenous fact.
+    Insert(Fact),
+    /// Delete an existing endogenous fact (matched by relation and values).
+    Delete(Fact),
+}
+
+impl Update {
+    /// Convenience constructor for an insertion.
+    pub fn insert(relation: impl Into<String>, values: Vec<Value>) -> Self {
+        Update::Insert(Fact::new(relation, values))
+    }
+
+    /// Convenience constructor for a deletion.
+    pub fn delete(relation: impl Into<String>, values: Vec<Value>) -> Self {
+        Update::Delete(Fact::new(relation, values))
+    }
+
+    /// The fact being inserted or deleted.
+    pub fn fact(&self) -> &Fact {
+        match self {
+            Update::Insert(fact) | Update::Delete(fact) => fact,
+        }
+    }
+
+    /// `true` iff this is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert(_))
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Update::Insert(fact) => write!(f, "+{fact}"),
+            Update::Delete(fact) => write!(f, "-{fact}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        let ins = Update::insert("R", vec![Value::from(1)]);
+        let del = Update::delete("R", vec![Value::from(1)]);
+        assert!(ins.is_insert());
+        assert!(!del.is_insert());
+        assert_eq!(ins.fact(), del.fact());
+        assert_eq!(ins.to_string(), "+R(1)");
+        assert_eq!(del.to_string(), "-R(1)");
+    }
+}

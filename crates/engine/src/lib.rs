@@ -50,6 +50,7 @@ mod attributor;
 mod cache;
 mod canon;
 mod config;
+mod live;
 mod session;
 
 pub use attribution::{Attribution, EngineStats, Ranked, Score};
@@ -58,7 +59,12 @@ pub use attributor::{
     MonteCarloAttributor, Sig22Attributor,
 };
 pub use banzhaf::{Budget, Interrupted, PivotHeuristic};
+pub use banzhaf_db::{Database, Update};
 pub use banzhaf_par::ThreadPool;
+pub use banzhaf_query::{parse_program, UnionQuery};
 pub use cache::{CacheStats, SharedCache};
 pub use config::{Algorithm, EngineConfig};
-pub use session::{AnswerAttribution, Engine, QueryAttribution, Session, SessionStats};
+pub use live::{AnswerChange, LiveSession, LiveStats, TouchedAnswer, UpdateReport};
+pub use session::{
+    AnswerAttribution, BatchOptions, Engine, QueryAttribution, Session, SessionStats,
+};

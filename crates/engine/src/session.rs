@@ -31,9 +31,9 @@ use std::time::Duration;
 /// let query = parse_program("Q() :- R(X), S(X, Y).").unwrap();
 ///
 /// let engine = Engine::new(EngineConfig::default());
-/// let explained = engine.session().explain(&query, &db).unwrap();
+/// let explained = engine.session().explain(&query, &db);
 /// assert_eq!(explained.answers.len(), 1);
-/// let attribution = &explained.answers[0].attribution;
+/// let attribution = explained.answers[0].attribution().unwrap();
 /// assert_eq!(attribution.model_count.as_ref().unwrap().to_u64(), Some(1));
 /// ```
 #[derive(Clone, Debug)]
@@ -113,22 +113,79 @@ pub struct SessionStats {
     pub wall: Duration,
 }
 
-/// One answer tuple with its lineage and attribution.
+/// Options for [`Session::attribute_batch`].
+///
+/// Non-exhaustive by design, like [`EngineConfig`]: construct with
+/// [`BatchOptions::default`] (or [`BatchOptions::new`]) and refine through
+/// the `with_*` builders, so new options never break callers.
+#[derive(Clone, Copy, Debug, Default)]
+#[non_exhaustive]
+pub struct BatchOptions<'a> {
+    /// One *shared* budget charged by every instance of the batch, instead of
+    /// a fresh per-instance budget from the configuration. All workers charge
+    /// the same atomic deadline/step counters, so a batch that exceeds the
+    /// budget is interrupted cooperatively across every worker at once:
+    /// finished instances keep their results, unfinished ones return
+    /// [`Interrupted`].
+    pub shared_budget: Option<&'a Budget>,
+}
+
+impl<'a> BatchOptions<'a> {
+    /// The default options: per-instance budgets from the configuration.
+    pub fn new() -> Self {
+        BatchOptions::default()
+    }
+
+    /// Runs the whole batch under one shared budget.
+    pub fn with_shared_budget(mut self, budget: &'a Budget) -> Self {
+        self.shared_budget = Some(budget);
+        self
+    }
+}
+
+/// One answer tuple with its lineage and attribution outcome.
 #[derive(Clone, Debug)]
 pub struct AnswerAttribution {
     /// The answer tuple (empty for Boolean queries).
     pub tuple: Vec<Value>,
     /// The answer's lineage.
     pub lineage: Dnf,
-    /// The attribution of the answer's supporting facts.
-    pub attribution: Attribution,
+    /// The attribution of the answer's supporting facts, or [`Interrupted`]
+    /// if *this answer* exceeded its budget. Outcomes are per answer: one
+    /// starved answer does not discard the completed work of its siblings.
+    pub outcome: Result<Attribution, Interrupted>,
 }
 
-/// The result of explaining a whole query: one attribution per answer.
+impl AnswerAttribution {
+    /// The attribution, if this answer finished within its budget.
+    pub fn attribution(&self) -> Option<&Attribution> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// The result of explaining a whole query: one attribution outcome per
+/// answer.
 #[derive(Clone, Debug)]
 pub struct QueryAttribution {
     /// Per-answer attributions, in the evaluator's sorted answer order.
     pub answers: Vec<AnswerAttribution>,
+}
+
+impl QueryAttribution {
+    /// `true` iff every answer finished within its budget.
+    pub fn is_complete(&self) -> bool {
+        self.answers.iter().all(|a| a.outcome.is_ok())
+    }
+
+    /// The answers that finished within their budgets.
+    pub fn finished(&self) -> impl Iterator<Item = &AnswerAttribution> + '_ {
+        self.answers.iter().filter(|a| a.outcome.is_ok())
+    }
+
+    /// Number of answers whose attribution was interrupted.
+    pub fn num_starved(&self) -> usize {
+        self.answers.iter().filter(|a| a.outcome.is_err()).count()
+    }
 }
 
 /// A stateful attribution pipeline: evaluates queries, computes per-answer
@@ -175,26 +232,24 @@ impl Session {
     /// Evaluates a UCQ over a database and attributes every answer, fanning
     /// the per-answer work across the configured thread pool.
     ///
-    /// Returns the first answer's error if any attribution exceeded its
-    /// budget (matching the sequential short-circuit semantics).
-    pub fn explain(
-        &mut self,
-        query: &UnionQuery,
-        db: &Database,
-    ) -> Result<QueryAttribution, Interrupted> {
+    /// Outcomes are per answer: an answer that exceeded its budget carries
+    /// `Err(Interrupted)` in its [`AnswerAttribution::outcome`] while its
+    /// siblings keep their completed attributions.
+    pub fn explain(&mut self, query: &UnionQuery, db: &Database) -> QueryAttribution {
         let result = evaluate(query, db);
         let raw: Vec<_> = result.into_answers();
         let lineages: Vec<&Dnf> = raw.iter().map(|a| &a.lineage).collect();
-        let attributions = self.batch(&lineages, None);
-        let mut answers = Vec::with_capacity(raw.len());
-        for (answer, attribution) in raw.into_iter().zip(attributions) {
-            answers.push(AnswerAttribution {
+        let outcomes = self.attribute_batch(&lineages, BatchOptions::default());
+        let answers = raw
+            .into_iter()
+            .zip(outcomes)
+            .map(|(answer, outcome)| AnswerAttribution {
                 tuple: answer.tuple,
                 lineage: answer.lineage,
-                attribution: attribution?,
-            });
-        }
-        Ok(QueryAttribution { answers })
+                outcome,
+            })
+            .collect();
+        QueryAttribution { answers }
     }
 
     /// Attributes one lineage under the configured budget, consulting the
@@ -220,48 +275,42 @@ impl Session {
     /// configured thread pool ([`EngineConfig::threads`]).
     ///
     /// Work sharing mirrors the sequential loop exactly: lineages are
-    /// grouped by canonical shape first, each *distinct* uncached shape is
-    /// compiled once (in parallel), and the freshly compiled trees are merged
-    /// into the d-tree cache by the session alone once the workers have
-    /// joined — the cache never sees concurrent writers. Every instance gets
-    /// its own fresh [`Budget`] from the configuration, exactly as repeated
-    /// [`Session::attribute`] calls would, so the per-instance results —
-    /// values, model counts, cache-hit flags, and `Interrupted` outcomes
-    /// under step caps — are **bit-identical to the sequential path at every
-    /// thread count**.
-    pub fn attribute_batch(&mut self, lineages: &[&Dnf]) -> Vec<Result<Attribution, Interrupted>> {
-        self.batch(lineages, None)
+    /// canonicalized and grouped by canonical shape first, each *distinct*
+    /// uncached shape is compiled once (in parallel), and the freshly
+    /// compiled trees are merged into the d-tree cache by the session alone
+    /// once the workers have joined — the cache never sees concurrent
+    /// writers. By default every instance gets its own fresh [`Budget`] from
+    /// the configuration, exactly as repeated [`Session::attribute`] calls
+    /// would, so the per-instance results — values, model counts, cache-hit
+    /// flags, and `Interrupted` outcomes under step caps — are
+    /// **bit-identical to the sequential path at every thread count**;
+    /// [`BatchOptions::with_shared_budget`] charges the whole batch against
+    /// one budget instead.
+    pub fn attribute_batch(
+        &mut self,
+        lineages: &[&Dnf],
+        options: BatchOptions<'_>,
+    ) -> Vec<Result<Attribution, Interrupted>> {
+        // Canonicalization fans across the configured pool like the compile
+        // stage does — the refinement search is a pure function of each
+        // lineage, and `parallel_map` returns in input order, so the
+        // canonical forms (and everything downstream) are bit-identical to
+        // the sequential path at every thread count.
+        let canonical = self.config.pool().parallel_map(lineages, |_, l| Canonicalized::of(l));
+        self.batch_canonical(canonical, options.shared_budget)
     }
 
     /// [`Session::attribute_batch`] under one *shared* budget.
-    ///
-    /// All workers charge the same atomic deadline/step counters, so a batch
-    /// that exceeds `budget` is interrupted cooperatively across every
-    /// worker at once: finished instances keep their results, unfinished
-    /// ones return `Interrupted`, and no worker outlives the call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `attribute_batch` with `BatchOptions::new().with_shared_budget(budget)`"
+    )]
     pub fn attribute_batch_with_budget(
         &mut self,
         lineages: &[&Dnf],
         budget: &Budget,
     ) -> Vec<Result<Attribution, Interrupted>> {
-        self.batch(lineages, Some(budget))
-    }
-
-    /// The shared batch implementation behind `attribute`/`attribute_batch`/
-    /// `explain`: canonicalize, then run.
-    ///
-    /// Canonicalization fans across the configured pool like the compile
-    /// stage does — the refinement search is a pure function of each
-    /// lineage, and `parallel_map` returns in input order, so the canonical
-    /// forms (and everything downstream) are bit-identical to the
-    /// sequential path at every thread count.
-    fn batch(
-        &mut self,
-        lineages: &[&Dnf],
-        shared_budget: Option<&Budget>,
-    ) -> Vec<Result<Attribution, Interrupted>> {
-        let canonical = self.config.pool().parallel_map(lineages, |_, l| Canonicalized::of(l));
-        self.batch_canonical(canonical, shared_budget)
+        self.attribute_batch(lineages, BatchOptions::new().with_shared_budget(budget))
     }
 
     /// Batch attribution over already-canonicalized lineages.
@@ -547,15 +596,54 @@ mod tests {
         let query = parse_program("Q(X) :- R(X, Y), S(Y, X).").unwrap();
         let engine = Engine::new(EngineConfig::default().with_shapley(true));
         let mut session = engine.session();
-        let explained = session.explain(&query, &db).unwrap();
+        let explained = session.explain(&query, &db);
         assert_eq!(explained.answers.len(), 2);
+        assert!(explained.is_complete());
+        assert_eq!(explained.num_starved(), 0);
         for answer in &explained.answers {
-            assert!(answer.attribution.is_exact());
-            assert!(answer.attribution.shapley.is_some());
-            assert_eq!(answer.attribution.values.len(), answer.lineage.num_vars());
+            let attribution = answer.attribution().expect("unlimited budget");
+            assert!(attribution.is_exact());
+            assert!(attribution.shapley.is_some());
+            assert_eq!(attribution.values.len(), answer.lineage.num_vars());
         }
         // The two answers have isomorphic lineages: the second is a hit.
         assert_eq!(session.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn explain_keeps_finished_answers_when_one_starves() {
+        // Answer 1 has a one-clause lineage; answer 2 joins three R facts
+        // with three S facts (a strictly costlier compilation). A step cap
+        // between the two starves answer 2 only — the completed work of
+        // answer 1 must survive.
+        let mut db = Database::new();
+        db.add_relation("R", 2);
+        db.add_relation("S", 2);
+        db.insert_endogenous("R", vec![1.into(), 10.into()]).unwrap();
+        db.insert_endogenous("S", vec![10.into(), 0.into()]).unwrap();
+        for i in 0..3i64 {
+            db.insert_endogenous("R", vec![2.into(), (20 + i).into()]).unwrap();
+            db.insert_endogenous("S", vec![(20 + i).into(), 0.into()]).unwrap();
+        }
+        let query = parse_program("Q(X) :- R(X, Y), S(Y, Z).").unwrap();
+        // Probe the two answers' compile costs with an unlimited budget.
+        let probe =
+            Engine::new(EngineConfig::default().with_cache(false)).session().explain(&query, &db);
+        let cost = |i: usize| probe.answers[i].attribution().unwrap().stats.compile_steps;
+        assert!(cost(0) + 1 < cost(1), "the probe must order the answers by cost");
+
+        let mut config = EngineConfig::default().with_cache(false);
+        config.max_steps = Some(cost(0) + 1);
+        let explained = Engine::new(config).session().explain(&query, &db);
+        assert!(!explained.is_complete());
+        assert_eq!(explained.num_starved(), 1);
+        assert_eq!(explained.finished().count(), 1);
+        assert!(explained.answers[0].outcome.is_ok(), "cheap answer keeps its result");
+        assert!(explained.answers[1].outcome.is_err(), "costly answer reports Interrupted");
+        assert_eq!(
+            explained.answers[0].attribution().unwrap().exact_values(),
+            probe.answers[0].attribution().unwrap().exact_values()
+        );
     }
 
     /// Lineages mixing repeated canonical shapes (shifted cycles) with
@@ -577,7 +665,7 @@ mod tests {
             let engine = Engine::new(EngineConfig::default().with_threads(threads));
             let mut session = engine.session();
             let refs: Vec<&Dnf> = lineages.iter().collect();
-            let got = session.attribute_batch(&refs);
+            let got = session.attribute_batch(&refs, BatchOptions::default());
             assert_eq!(got.len(), expected.len());
             for (want, have) in expected.iter().zip(&got) {
                 let have = have.as_ref().unwrap();
@@ -607,7 +695,7 @@ mod tests {
         for threads in [1usize, 2, 4] {
             let mut session = Engine::new(config.clone().with_threads(threads)).session();
             let refs: Vec<&Dnf> = lineages.iter().collect();
-            let got = session.attribute_batch(&refs);
+            let got = session.attribute_batch(&refs, BatchOptions::default());
             for ((lineage, want), have) in lineages.iter().zip(&expected).zip(&got) {
                 let have = have.as_ref().unwrap();
                 let have: Vec<f64> =
@@ -625,12 +713,34 @@ mod tests {
         // A one-step shared budget: nothing can finish, every instance
         // reports Interrupted, and the call returns (workers joined).
         let mut session = engine.session();
-        let starved = session.attribute_batch_with_budget(&refs, &Budget::with_max_steps(1));
+        let starving = Budget::with_max_steps(1);
+        let starved =
+            session.attribute_batch(&refs, BatchOptions::new().with_shared_budget(&starving));
         assert!(starved.iter().all(Result::is_err));
         // An ample shared budget completes the whole batch.
         let mut session = engine.session();
-        let done = session.attribute_batch_with_budget(&refs, &Budget::with_max_steps(1_000_000));
+        let ample = Budget::with_max_steps(1_000_000);
+        let done = session.attribute_batch(&refs, BatchOptions::new().with_shared_budget(&ample));
         assert!(done.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shared_budget_wrapper_matches_the_options_path() {
+        let lineages = mixed_batch();
+        let refs: Vec<&Dnf> = lineages.iter().collect();
+        let engine = Engine::new(EngineConfig::default().with_cache(false));
+        let budget = Budget::with_max_steps(1_000_000);
+        let via_wrapper = engine.session().attribute_batch_with_budget(&refs, &budget);
+        let budget = Budget::with_max_steps(1_000_000);
+        let via_options = engine
+            .session()
+            .attribute_batch(&refs, BatchOptions::new().with_shared_budget(&budget));
+        for (a, b) in via_wrapper.iter().zip(&via_options) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.exact_values(), b.exact_values());
+            assert_eq!(a.model_count, b.model_count);
+        }
     }
 
     #[test]
@@ -653,7 +763,11 @@ mod tests {
         for threads in [2usize, 4] {
             let mut session = Engine::new(config.clone().with_threads(threads)).session();
             let refs: Vec<&Dnf> = lineages.iter().collect();
-            let got: Vec<bool> = session.attribute_batch(&refs).iter().map(Result::is_ok).collect();
+            let got: Vec<bool> = session
+                .attribute_batch(&refs, BatchOptions::default())
+                .iter()
+                .map(Result::is_ok)
+                .collect();
             assert_eq!(expected, got, "threads={threads}");
         }
     }

@@ -10,7 +10,7 @@
 
 use crate::{ConjunctiveQuery, Term, UnionQuery};
 use banzhaf_boolean::{Dnf, Var, VarSet};
-use banzhaf_db::{Database, Provenance, Value};
+use banzhaf_db::{Database, FactId, Provenance, Value};
 use std::collections::HashMap;
 
 /// One answer tuple with its lineage.
@@ -84,6 +84,51 @@ pub fn evaluate(query: &UnionQuery, db: &Database) -> QueryResult {
     QueryResult { answers, index }
 }
 
+/// Groundings contributed by a single endogenous fact: every homomorphism of
+/// `query` into `db` that uses the fact identified by `id` in at least one
+/// atom, as `(answer tuple, clause)` pairs. `db` must already contain the
+/// fact; an unknown or deleted id yields no groundings.
+///
+/// This is the delta rule of incremental view maintenance specialised to one
+/// inserted fact: for each disjunct and each atom position whose relation
+/// matches, the backtracking join re-runs with that position *pinned* to the
+/// new tuple while every other atom ranges over the full (already updated)
+/// database. A grounding that uses the new fact at `k` atom positions is
+/// found `k` times; the canonical DNF constructor deduplicates the repeated
+/// clauses.
+pub fn delta_groundings(
+    query: &UnionQuery,
+    db: &Database,
+    id: FactId,
+) -> Vec<(Vec<Value>, Vec<Var>)> {
+    let Some(fact) = db.fact(id) else {
+        return Vec::new();
+    };
+    let mut results = Vec::new();
+    for cq in &query.disjuncts {
+        let order = atom_order(cq);
+        for (atom_index, atom) in cq.atoms.iter().enumerate() {
+            if atom.relation != fact.relation() || atom.terms.len() != fact.values().len() {
+                continue;
+            }
+            let search = Search {
+                cq,
+                db,
+                order: &order,
+                pin: Some(Pin {
+                    atom_index,
+                    values: fact.values(),
+                    provenance: Provenance::Endogenous(id),
+                }),
+            };
+            let mut bindings: HashMap<&str, Value> = HashMap::new();
+            let mut clause: Vec<Var> = Vec::new();
+            ground_atom(&search, 0, &mut bindings, &mut clause, &mut results);
+        }
+    }
+    results
+}
+
 /// Enumerates all groundings of a CQ, returning for each the answer tuple and
 /// the clause of endogenous provenance variables it uses.
 fn enumerate_groundings(cq: &ConjunctiveQuery, db: &Database) -> Vec<(Vec<Value>, Vec<Var>)> {
@@ -91,10 +136,11 @@ fn enumerate_groundings(cq: &ConjunctiveQuery, db: &Database) -> Vec<(Vec<Value>
     // processed atoms come early (reduces the branching of the backtracking
     // join).
     let order = atom_order(cq);
+    let search = Search { cq, db, order: &order, pin: None };
     let mut results = Vec::new();
     let mut bindings: HashMap<&str, Value> = HashMap::new();
     let mut clause: Vec<Var> = Vec::new();
-    ground_atom(cq, db, &order, 0, &mut bindings, &mut clause, &mut results);
+    ground_atom(&search, 0, &mut bindings, &mut clause, &mut results);
     results
 }
 
@@ -127,16 +173,33 @@ fn atom_order(cq: &ConjunctiveQuery) -> Vec<usize> {
     chosen
 }
 
-fn ground_atom<'q>(
+/// The invariant context of one backtracking join: the query disjunct, the
+/// database, the atom visit order, and (for delta evaluation) the atom
+/// position pinned to a single tuple.
+struct Search<'q, 'd> {
     cq: &'q ConjunctiveQuery,
-    db: &Database,
-    order: &[usize],
+    db: &'d Database,
+    order: &'d [usize],
+    pin: Option<Pin<'d>>,
+}
+
+/// A pinned atom occurrence: during grounding, the atom at `atom_index` is
+/// matched only against this single tuple.
+struct Pin<'d> {
+    atom_index: usize,
+    values: &'d [Value],
+    provenance: Provenance,
+}
+
+fn ground_atom<'q>(
+    search: &Search<'q, '_>,
     depth: usize,
     bindings: &mut HashMap<&'q str, Value>,
     clause: &mut Vec<Var>,
     results: &mut Vec<(Vec<Value>, Vec<Var>)>,
 ) {
-    if depth == order.len() {
+    let cq = search.cq;
+    if depth == search.order.len() {
         // All atoms grounded; check any selection that might involve
         // variables bound only now (they were checked eagerly, but re-check
         // defensively) and emit the answer.
@@ -151,55 +214,76 @@ fn ground_atom<'q>(
         results.push((tuple, clause.clone()));
         return;
     }
-    let atom = &cq.atoms[order[depth]];
-    let Some(relation) = db.relation(&atom.relation) else {
+    let atom_index = search.order[depth];
+    if let Some(pin) = search.pin.as_ref().filter(|pin| pin.atom_index == atom_index) {
+        try_tuple(search, depth, pin.values, pin.provenance, bindings, clause, results);
+        return;
+    }
+    let atom = &cq.atoms[atom_index];
+    let Some(relation) = search.db.relation(&atom.relation) else {
         return; // Unknown relation: no groundings.
     };
-    'tuples: for (values, provenance) in relation.tuples() {
-        if values.len() != atom.terms.len() {
-            continue;
-        }
-        // Try to unify the atom's terms with the tuple.
-        let mut new_bindings: Vec<&'q str> = Vec::new();
-        for (term, value) in atom.terms.iter().zip(values.iter()) {
-            match term {
-                Term::Constant(c) => {
-                    if c != value {
-                        undo(bindings, &new_bindings);
-                        continue 'tuples;
-                    }
-                }
-                Term::Variable(name) => match bindings.get(name.as_str()) {
-                    Some(bound) if bound != value => {
-                        undo(bindings, &new_bindings);
-                        continue 'tuples;
-                    }
-                    Some(_) => {}
-                    None => {
-                        bindings.insert(name.as_str(), value.clone());
-                        new_bindings.push(name.as_str());
-                    }
-                },
-            }
-        }
-        // Apply selections whose variables are bound.
-        if !selections_hold(cq, bindings, false) {
-            undo(bindings, &new_bindings);
-            continue 'tuples;
-        }
-        let pushed_var = match provenance {
-            Provenance::Endogenous(id) => {
-                clause.push(Var(id.0));
-                true
-            }
-            Provenance::Exogenous => false,
-        };
-        ground_atom(cq, db, order, depth + 1, bindings, clause, results);
-        if pushed_var {
-            clause.pop();
-        }
-        undo(bindings, &new_bindings);
+    for (values, provenance) in relation.tuples() {
+        try_tuple(search, depth, values, provenance, bindings, clause, results);
     }
+}
+
+/// Attempts to match the atom at `search.order[depth]` against one tuple:
+/// unify, check selections, record the provenance variable and recurse.
+fn try_tuple<'q>(
+    search: &Search<'q, '_>,
+    depth: usize,
+    values: &[Value],
+    provenance: Provenance,
+    bindings: &mut HashMap<&'q str, Value>,
+    clause: &mut Vec<Var>,
+    results: &mut Vec<(Vec<Value>, Vec<Var>)>,
+) {
+    let cq = search.cq;
+    let atom = &cq.atoms[search.order[depth]];
+    if values.len() != atom.terms.len() {
+        return;
+    }
+    // Try to unify the atom's terms with the tuple.
+    let mut new_bindings: Vec<&'q str> = Vec::new();
+    for (term, value) in atom.terms.iter().zip(values.iter()) {
+        match term {
+            Term::Constant(c) => {
+                if c != value {
+                    undo(bindings, &new_bindings);
+                    return;
+                }
+            }
+            Term::Variable(name) => match bindings.get(name.as_str()) {
+                Some(bound) if bound != value => {
+                    undo(bindings, &new_bindings);
+                    return;
+                }
+                Some(_) => {}
+                None => {
+                    bindings.insert(name.as_str(), value.clone());
+                    new_bindings.push(name.as_str());
+                }
+            },
+        }
+    }
+    // Apply selections whose variables are bound.
+    if !selections_hold(cq, bindings, false) {
+        undo(bindings, &new_bindings);
+        return;
+    }
+    let pushed_var = match provenance {
+        Provenance::Endogenous(id) => {
+            clause.push(Var(id.0));
+            true
+        }
+        Provenance::Exogenous => false,
+    };
+    ground_atom(search, depth + 1, bindings, clause, results);
+    if pushed_var {
+        clause.pop();
+    }
+    undo(bindings, &new_bindings);
 }
 
 fn undo<'q>(bindings: &mut HashMap<&'q str, Value>, added: &[&'q str]) {
@@ -349,6 +433,84 @@ mod tests {
         let lineage = result.lineage_of(&[Value::from(1)]).unwrap();
         assert_eq!(lineage.num_clauses(), 2);
         assert_eq!(lineage.num_vars(), 2);
+    }
+
+    /// Merges `before`'s per-answer clauses with the delta groundings and
+    /// checks the result is identical to a fresh evaluation of the updated
+    /// database.
+    fn assert_delta_matches(query: &UnionQuery, before: &QueryResult, db: &Database, id: FactId) {
+        let after = evaluate(query, db);
+        let mut merged: HashMap<Vec<Value>, Vec<Vec<Var>>> = HashMap::new();
+        for answer in before.answers() {
+            let clauses =
+                answer.lineage.clauses().iter().map(|c| c.iter().collect()).collect::<Vec<_>>();
+            merged.insert(answer.tuple.clone(), clauses);
+        }
+        let delta = delta_groundings(query, db, id);
+        assert!(!delta.is_empty(), "the inserted fact must contribute groundings");
+        for (tuple, clause) in delta {
+            assert!(clause.contains(&Var(id.0)), "every delta clause uses the new fact");
+            merged.entry(tuple).or_default().push(clause);
+        }
+        assert_eq!(merged.len(), after.answers().len());
+        for (tuple, clauses) in merged {
+            let lineage = Dnf::from_clauses(clauses);
+            assert_eq!(Some(&lineage), after.lineage_of(&tuple), "answer {tuple:?}");
+        }
+    }
+
+    #[test]
+    fn delta_groundings_reconstruct_full_evaluation_after_insert() {
+        let mut db = Database::new();
+        db.add_relation("R", 2);
+        db.add_relation("S", 2);
+        for (a, b) in [(1, 10), (1, 20), (2, 30)] {
+            db.insert_endogenous("R", vec![a.into(), b.into()]).unwrap();
+        }
+        for (b, c) in [(10, 1), (30, 1)] {
+            db.insert_endogenous("S", vec![b.into(), c.into()]).unwrap();
+        }
+        let q = parse_program("Q(X) :- R(X, Y), S(Y, Z).").unwrap();
+        let before = evaluate(&q, &db);
+        // The new S fact joins with the existing R(1, 20) and creates a new
+        // clause for the existing answer 1.
+        let id = db.insert_endogenous("S", vec![20.into(), 2.into()]).unwrap();
+        assert_delta_matches(&q, &before, &db, id);
+        // A new R fact creates a brand-new answer tuple.
+        let before = evaluate(&q, &db);
+        let id = db.insert_endogenous("R", vec![7.into(), 30.into()]).unwrap();
+        assert_delta_matches(&q, &before, &db, id);
+    }
+
+    #[test]
+    fn delta_groundings_pin_every_self_join_position() {
+        let mut db = Database::new();
+        db.add_relation("E", 2);
+        db.insert_endogenous("E", vec![1.into(), 2.into()]).unwrap();
+        let q = parse_program("Q() :- E(X, Y), E(Y, Z).").unwrap();
+        let before = evaluate(&q, &db);
+        assert!(before.answers().is_empty());
+        // E(2, 2) matches both atom positions (joined with E(1,2) and with
+        // itself), so the pinned search finds the self-loop grounding at both
+        // pins; the canonical DNF form absorbs the duplicate.
+        let id = db.insert_endogenous("E", vec![2.into(), 2.into()]).unwrap();
+        assert_delta_matches(&q, &before, &db, id);
+    }
+
+    #[test]
+    fn delta_groundings_of_unrelated_or_missing_facts_are_empty() {
+        let mut db = Database::new();
+        db.add_relation("R", 1);
+        db.add_relation("T", 1);
+        db.insert_endogenous("R", vec![1.into()]).unwrap();
+        let q = parse_program("Q(X) :- R(X).").unwrap();
+        // A fact in a relation the query never mentions contributes nothing.
+        let id = db.insert_endogenous("T", vec![1.into()]).unwrap();
+        assert!(delta_groundings(&q, &db, id).is_empty());
+        // A deleted or unknown id contributes nothing.
+        db.delete_endogenous(id).unwrap();
+        assert!(delta_groundings(&q, &db, id).is_empty());
+        assert!(delta_groundings(&q, &db, FactId(99)).is_empty());
     }
 
     #[test]

@@ -40,5 +40,5 @@ mod parser;
 
 pub use analysis::{is_hierarchical, is_self_join_free};
 pub use ast::{Atom, Comparison, ConjunctiveQuery, Selection, Term, UnionQuery};
-pub use eval::{evaluate, Answer, QueryResult};
+pub use eval::{delta_groundings, evaluate, Answer, QueryResult};
 pub use parser::{parse_program, ParseError};

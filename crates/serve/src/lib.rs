@@ -26,12 +26,20 @@
 //!   compilations through the engine-level [`banzhaf_engine::SharedCache`]
 //!   (size-bounded, LRU-evicted, counters in
 //!   [`AttributionService::cache_stats`]).
+//! * **live updates** — a service started with
+//!   [`ServeConfig::with_live_database`] owns a
+//!   [`banzhaf_engine::LiveSession`]; [`AttributionService::submit_update`]
+//!   queues inserts/deletes whose [`UpdateTicket`]s resolve to
+//!   [`banzhaf_engine::UpdateReport`]s. Updates apply incrementally in
+//!   submission order and are serialized against snapshot reads
+//!   ([`AttributionService::live_attribution`]), so served results never
+//!   observe a half-applied update.
 //!
 //! # Example
 //!
 //! ```
 //! use banzhaf_boolean::{Dnf, Var};
-//! use banzhaf_serve::{block_on, join_all, AttributionService, ServeConfig};
+//! use banzhaf_serve::{block_on, join_all, AttributionService, RequestOptions, ServeConfig};
 //!
 //! let service = AttributionService::start(ServeConfig::default().with_workers(2));
 //! // Two isomorphic lineages: the second is served from the shared cache.
@@ -39,7 +47,7 @@
 //!     .iter()
 //!     .map(|&o| {
 //!         let phi = Dnf::from_clauses(vec![vec![Var(o), Var(o + 1)], vec![Var(o + 2)]]);
-//!         service.submit(phi).unwrap()
+//!         service.submit(phi, RequestOptions::default()).unwrap()
 //!     })
 //!     .collect();
 //! let outcomes = block_on(join_all(tickets));
@@ -58,5 +66,5 @@ mod service;
 pub use executor::{block_on, join_all, JoinAll};
 pub use service::{
     AttributionService, Rejected, RequestOptions, ServeConfig, ServeError, ServeResult,
-    ServiceStats, Ticket,
+    ServiceStats, Ticket, UpdateTicket,
 };

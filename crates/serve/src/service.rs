@@ -2,13 +2,16 @@
 
 use banzhaf_boolean::Dnf;
 use banzhaf_dtree::Budget;
-use banzhaf_engine::{Attribution, CacheStats, Engine, EngineConfig};
+use banzhaf_engine::{
+    Attribution, BatchOptions, CacheStats, Database, Engine, EngineConfig, LiveSession, LiveStats,
+    QueryAttribution, UnionQuery, Update, UpdateReport,
+};
 use banzhaf_par::queue::{BoundedQueue, PushError};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::task::{Context, Poll, Waker};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -34,6 +37,16 @@ pub struct ServeConfig {
     pub default_timeout: Option<Duration>,
     /// Step cap applied to requests that do not carry their own.
     pub default_max_steps: Option<u64>,
+    /// The database the service hosts live: when set, the service owns a
+    /// [`LiveSession`] over it (sharing the workers' engine, hence their
+    /// cache) and accepts [`AttributionService::submit_update`] requests.
+    pub live_database: Option<Database>,
+    /// Queries registered on the live session at startup, as
+    /// `(name, query)` pairs. Their attributions are maintained
+    /// incrementally across updates and served through
+    /// [`AttributionService::live_attribution`]. Requires
+    /// [`ServeConfig::live_database`].
+    pub live_queries: Vec<(String, UnionQuery)>,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +57,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             default_timeout: None,
             default_max_steps: None,
+            live_database: None,
+            live_queries: Vec::new(),
         }
     }
 }
@@ -77,15 +92,51 @@ impl ServeConfig {
         self.default_max_steps = Some(max_steps);
         self
     }
+
+    /// Hosts `database` live: the service accepts
+    /// [`AttributionService::submit_update`] requests against it.
+    pub fn with_live_database(mut self, database: Database) -> Self {
+        self.live_database = Some(database);
+        self
+    }
+
+    /// Registers `query` under `name` on the live session at startup.
+    pub fn with_live_query(mut self, name: impl Into<String>, query: UnionQuery) -> Self {
+        self.live_queries.push((name.into(), query));
+        self
+    }
 }
 
 /// Per-request overrides of the service's default budget.
+///
+/// Construct with [`RequestOptions::new`] and the `with_*` builders; the
+/// struct is `#[non_exhaustive]` so future knobs are not breaking changes.
 #[derive(Clone, Copy, Debug, Default)]
+#[non_exhaustive]
 pub struct RequestOptions {
     /// Deadline for this request, from submission (overrides the default).
     pub timeout: Option<Duration>,
     /// Step cap for this request (overrides the default).
     pub max_steps: Option<u64>,
+}
+
+impl RequestOptions {
+    /// Options inheriting every service default.
+    pub fn new() -> Self {
+        RequestOptions::default()
+    }
+
+    /// Sets this request's deadline, measured from submission.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets this request's step cap.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
 }
 
 /// Why a submission was refused. Typed so callers can shed load
@@ -100,6 +151,9 @@ pub enum Rejected {
     },
     /// The service is shutting down and accepts no further requests.
     ShutDown,
+    /// An update was submitted to a service with no live database
+    /// ([`ServeConfig::live_database`] was not set).
+    NotLive,
 }
 
 impl fmt::Display for Rejected {
@@ -109,6 +163,7 @@ impl fmt::Display for Rejected {
                 write!(f, "request queue is full (capacity {capacity})")
             }
             Rejected::ShutDown => write!(f, "service is shut down"),
+            Rejected::NotLive => write!(f, "service hosts no live database"),
         }
     }
 }
@@ -132,6 +187,10 @@ pub enum ServeError {
     /// worker caught the panic, discarded its session, and kept serving;
     /// nothing partial reached the shared cache.
     Failed,
+    /// An update did not apply: it named an unknown relation, carried the
+    /// wrong arity, or deleted a fact not present in the live database. The
+    /// live state is unchanged.
+    InvalidUpdate,
 }
 
 impl fmt::Display for ServeError {
@@ -141,30 +200,37 @@ impl fmt::Display for ServeError {
             ServeError::Cancelled => write!(f, "request was cancelled"),
             ServeError::ShutDown => write!(f, "service shut down before the request ran"),
             ServeError::Failed => write!(f, "attribution backend panicked while serving"),
+            ServeError::InvalidUpdate => {
+                write!(f, "update does not apply to the live database")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// The outcome a [`Ticket`] resolves to.
+/// The outcome an attribution [`Ticket`] resolves to.
 pub type ServeResult = Result<Attribution, ServeError>;
 
-struct Completion {
-    outcome: Option<ServeResult>,
+struct Completion<T> {
+    outcome: Option<Result<T, ServeError>>,
     waker: Option<Waker>,
 }
 
 /// State shared between a [`Ticket`] and the worker serving its request.
-struct RequestShared {
+struct RequestShared<T> {
     /// The request's cooperative budget: deadline/step caps mapped onto the
     /// shared atomic [`Budget`], and the cancellation flag the ticket sets.
     budget: Budget,
-    done: Mutex<Completion>,
+    done: Mutex<Completion<T>>,
 }
 
-impl RequestShared {
-    fn complete(&self, outcome: ServeResult) {
+impl<T> RequestShared<T> {
+    fn new(budget: Budget) -> Self {
+        RequestShared { budget, done: Mutex::new(Completion { outcome: None, waker: None }) }
+    }
+
+    fn complete(&self, outcome: Result<T, ServeError>) {
         let waker = {
             let mut done = self.done.lock().expect("completion lock poisoned");
             debug_assert!(done.outcome.is_none(), "request completed twice");
@@ -177,18 +243,23 @@ impl RequestShared {
     }
 }
 
-/// A pending response: a [`Future`] resolving to the request's
-/// [`ServeResult`], plus out-of-band cancellation.
+/// A pending response: a [`Future`] resolving to the request's outcome
+/// (`Result<T, ServeError>`), plus out-of-band cancellation.
 ///
-/// Consume it with [`crate::block_on`], combine batches with
-/// [`crate::join_all`], or poll it from any executor. Dropping the ticket
-/// abandons the response (the request itself still runs unless cancelled
-/// first).
-pub struct Ticket {
-    shared: Arc<RequestShared>,
+/// Attribution submissions yield `Ticket<Attribution>` (the default); update
+/// submissions yield [`UpdateTicket`] = `Ticket<UpdateReport>`. Consume a
+/// ticket with [`crate::block_on`], combine batches with [`crate::join_all`],
+/// or poll it from any executor. Dropping the ticket abandons the response
+/// (the request itself still runs unless cancelled first).
+pub struct Ticket<T = Attribution> {
+    shared: Arc<RequestShared<T>>,
 }
 
-impl fmt::Debug for Ticket {
+/// A pending [`UpdateReport`]: what [`AttributionService::submit_update`]
+/// returns.
+pub type UpdateTicket = Ticket<UpdateReport>;
+
+impl<T> fmt::Debug for Ticket<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Ticket")
             .field("done", &self.is_done())
@@ -197,7 +268,7 @@ impl fmt::Debug for Ticket {
     }
 }
 
-impl Ticket {
+impl<T> Ticket<T> {
     /// Cancels the request: a queued request never runs, an in-flight one is
     /// interrupted cooperatively (its workers observe the cancellation at the
     /// next budget check, typically within tens of microseconds). The ticket
@@ -215,15 +286,15 @@ impl Ticket {
     }
 
     /// Blocks the calling thread until the response arrives.
-    pub fn wait(self) -> ServeResult {
+    pub fn wait(self) -> Result<T, ServeError> {
         crate::block_on(self)
     }
 }
 
-impl Future for Ticket {
-    type Output = ServeResult;
+impl<T> Future for Ticket<T> {
+    type Output = Result<T, ServeError>;
 
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<ServeResult> {
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<T, ServeError>> {
         let mut done = self.shared.done.lock().expect("completion lock poisoned");
         match done.outcome.take() {
             Some(outcome) => Poll::Ready(outcome),
@@ -235,9 +306,54 @@ impl Future for Ticket {
     }
 }
 
-struct Job {
-    lineage: Dnf,
-    shared: Arc<RequestShared>,
+enum Job {
+    Attribute { lineage: Dnf, shared: Arc<RequestShared<Attribution>> },
+    Update { update: Update, seq: u64, shared: Arc<RequestShared<UpdateReport>> },
+}
+
+/// The live-update state shared by the service handle and its workers.
+///
+/// Updates are *totally ordered*: submission assigns each update a sequence
+/// number under [`LiveShared::next_seq`] (held across the queue push, so
+/// queue order equals sequence order), and a worker applies an update only
+/// when [`LiveShared::order`] reaches its number, waiting on
+/// [`LiveShared::turn`] otherwise. Attribution requests never wait: they only
+/// contend on the engine's shared cache. Snapshots
+/// ([`AttributionService::live_attribution`]) lock [`LiveShared::state`], the
+/// same lock updates apply under, so a served result never observes a
+/// half-applied update.
+struct LiveShared {
+    state: Mutex<LiveSession>,
+    /// The sequence number of the next update allowed to apply.
+    order: Mutex<u64>,
+    turn: Condvar,
+    /// The next sequence number to assign; doubles as the submission lock
+    /// making `seq` allocation and the queue push atomic.
+    next_seq: Mutex<u64>,
+}
+
+impl LiveShared {
+    /// Advances the turn to `seq + 1`, first waiting until it is `seq`'s
+    /// turn. Every allocated sequence number must pass through here exactly
+    /// once — applied, failed, or shut down — or later updates deadlock.
+    fn take_turn<R>(&self, seq: u64, body: impl FnOnce() -> R) -> R {
+        let mut order = self.order.lock().expect("update order lock poisoned");
+        while *order != seq {
+            order = self.turn.wait(order).expect("update order lock poisoned");
+        }
+        let outcome = body();
+        *order += 1;
+        drop(order);
+        self.turn.notify_all();
+        outcome
+    }
+}
+
+fn lock_live(state: &Mutex<LiveSession>) -> MutexGuard<'_, LiveSession> {
+    // A backend panic mid-update unwinds through the state guard and poisons
+    // the lock. The update was already failed with `ServeError::Failed`;
+    // recover the guard so snapshots and later updates keep working.
+    state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[derive(Default)]
@@ -249,16 +365,27 @@ struct ServiceCounters {
     in_flight: AtomicU64,
 }
 
+impl ServiceCounters {
+    fn finish(&self, ok: bool) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A point-in-time snapshot of a service's request counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServiceStats {
-    /// Requests accepted into the queue.
+    /// Requests accepted into the queue (attributions and updates).
     pub submitted: u64,
     /// Submissions refused ([`Rejected::QueueFull`] backpressure).
     pub rejected: u64,
-    /// Requests completed with an attribution.
+    /// Requests completed with an attribution or an update report.
     pub completed: u64,
-    /// Requests failed (interrupted, cancelled, or shut down).
+    /// Requests failed (interrupted, cancelled, invalid, or shut down).
     pub failed: u64,
     /// Requests currently executing on a worker.
     pub in_flight: u64,
@@ -283,14 +410,21 @@ pub struct ServiceStats {
 /// * **Shared cache**: workers are sessions of one [`Engine`], so a lineage
 ///   shape compiled for any request is a cache hit for every later request,
 ///   across all client sessions ([`AttributionService::cache_stats`]).
+/// * **Live updates**: a service configured with
+///   [`ServeConfig::with_live_database`] also hosts a [`LiveSession`];
+///   [`AttributionService::submit_update`] queues inserts/deletes whose
+///   tickets resolve to [`UpdateReport`]s. Updates apply in submission order
+///   and are serialized against snapshot reads, so
+///   [`AttributionService::live_attribution`] never observes a half-applied
+///   update.
 ///
 /// ```
 /// use banzhaf_boolean::{Dnf, Var};
-/// use banzhaf_serve::{AttributionService, ServeConfig};
+/// use banzhaf_serve::{AttributionService, RequestOptions, ServeConfig};
 ///
 /// let service = AttributionService::start(ServeConfig::default().with_workers(2));
 /// let phi = Dnf::from_clauses(vec![vec![Var(0), Var(1)], vec![Var(2)]]);
-/// let ticket = service.submit(phi).unwrap();
+/// let ticket = service.submit(phi, RequestOptions::default()).unwrap();
 /// let attribution = ticket.wait().unwrap();
 /// assert_eq!(attribution.model_count.as_ref().unwrap().to_u64(), Some(5));
 /// ```
@@ -298,6 +432,7 @@ pub struct AttributionService {
     engine: Engine,
     queue: Arc<BoundedQueue<Job>>,
     counters: Arc<ServiceCounters>,
+    live: Option<Arc<LiveShared>>,
     workers: Vec<JoinHandle<()>>,
     default_timeout: Option<Duration>,
     default_max_steps: Option<u64>,
@@ -305,11 +440,33 @@ pub struct AttributionService {
 
 impl AttributionService {
     /// Starts the service: spawns the worker threads and returns the handle
-    /// used to submit requests.
+    /// used to submit requests. When [`ServeConfig::live_database`] is set,
+    /// the live session is built (and its queries attributed) before any
+    /// worker starts.
+    ///
+    /// # Panics
+    /// Panics if [`ServeConfig::live_queries`] is non-empty without a
+    /// [`ServeConfig::live_database`] to register them on.
     pub fn start(config: ServeConfig) -> Self {
         let engine = Engine::new(config.engine.clone());
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
         let counters = Arc::new(ServiceCounters::default());
+        assert!(
+            config.live_queries.is_empty() || config.live_database.is_some(),
+            "live queries configured without a live database"
+        );
+        let live = config.live_database.map(|db| {
+            let mut session = engine.live_session(db);
+            for (name, query) in config.live_queries {
+                session.register(name, query);
+            }
+            Arc::new(LiveShared {
+                state: Mutex::new(session),
+                order: Mutex::new(0),
+                turn: Condvar::new(),
+                next_seq: Mutex::new(0),
+            })
+        });
         // Workers are deliberately *not* clamped to the core count: extra
         // serve workers buy latency isolation (a long request does not
         // head-of-line-block the queue), not throughput.
@@ -323,30 +480,45 @@ impl AttributionService {
                 let queue = Arc::clone(&queue);
                 let counters = Arc::clone(&counters);
                 let worker_engine = engine.clone();
+                let live = live.clone();
                 std::thread::Builder::new()
                     .name(format!("banzhaf-serve-{index}"))
                     .spawn(move || {
                         let mut session = worker_engine.session();
                         while let Some(job) = queue.pop() {
                             counters.in_flight.fetch_add(1, Ordering::Relaxed);
-                            // A backend panic must not leave the ticket
-                            // unresolved (the client would park forever) or
-                            // kill the worker: catch it, fail the request,
-                            // and continue on a fresh session.
-                            let outcome =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    serve_one(&mut session, &job)
-                                }))
-                                .unwrap_or_else(|_| {
-                                    session = worker_engine.session();
-                                    Err(ServeError::Failed)
-                                });
-                            counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-                            match &outcome {
-                                Ok(_) => counters.completed.fetch_add(1, Ordering::Relaxed),
-                                Err(_) => counters.failed.fetch_add(1, Ordering::Relaxed),
-                            };
-                            job.shared.complete(outcome);
+                            match job {
+                                Job::Attribute { lineage, shared } => {
+                                    // A backend panic must not leave the
+                                    // ticket unresolved (the client would
+                                    // park forever) or kill the worker:
+                                    // catch it, fail the request, and
+                                    // continue on a fresh session.
+                                    let outcome = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            serve_attribution(
+                                                &mut session,
+                                                &lineage,
+                                                &shared.budget,
+                                            )
+                                        }),
+                                    )
+                                    .unwrap_or_else(|_| {
+                                        session = worker_engine.session();
+                                        Err(ServeError::Failed)
+                                    });
+                                    counters.finish(outcome.is_ok());
+                                    shared.complete(outcome);
+                                }
+                                Job::Update { update, seq, shared } => {
+                                    let live = live
+                                        .as_ref()
+                                        .expect("update jobs exist only on live services");
+                                    let outcome = serve_update(live, update, seq, &shared.budget);
+                                    counters.finish(outcome.is_ok());
+                                    shared.complete(outcome);
+                                }
+                            }
                         }
                     })
                     .expect("failed to spawn a serve worker")
@@ -356,33 +528,25 @@ impl AttributionService {
             engine,
             queue,
             counters,
+            live,
             workers,
             default_timeout: config.default_timeout,
             default_max_steps: config.default_max_steps,
         }
     }
 
-    /// Submits a lineage for attribution under the service's default budget.
-    ///
-    /// Returns immediately: the [`Ticket`] resolves when a worker has served
-    /// the request. A full queue rejects with [`Rejected::QueueFull`].
-    pub fn submit(&self, lineage: Dnf) -> Result<Ticket, Rejected> {
-        self.submit_with(lineage, RequestOptions::default())
+    fn budget_for(&self, options: RequestOptions) -> Budget {
+        Budget::new(
+            options.timeout.or(self.default_timeout),
+            options.max_steps.or(self.default_max_steps),
+        )
     }
 
-    /// [`AttributionService::submit`] with per-request budget overrides.
-    pub fn submit_with(&self, lineage: Dnf, options: RequestOptions) -> Result<Ticket, Rejected> {
-        let timeout = options.timeout.or(self.default_timeout);
-        let max_steps = options.max_steps.or(self.default_max_steps);
-        let shared = Arc::new(RequestShared {
-            budget: Budget::new(timeout, max_steps),
-            done: Mutex::new(Completion { outcome: None, waker: None }),
-        });
-        let job = Job { lineage, shared: Arc::clone(&shared) };
+    fn push(&self, job: Job) -> Result<(), Rejected> {
         match self.queue.try_push(job) {
             Ok(()) => {
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(Ticket { shared })
+                Ok(())
             }
             Err(error) => {
                 self.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -392,6 +556,97 @@ impl AttributionService {
                 })
             }
         }
+    }
+
+    /// Submits a lineage for attribution. `options` overrides the service's
+    /// default budget per field ([`RequestOptions::new`] inherits all
+    /// defaults).
+    ///
+    /// Returns immediately: the [`Ticket`] resolves when a worker has served
+    /// the request. A full queue rejects with [`Rejected::QueueFull`].
+    pub fn submit(&self, lineage: Dnf, options: RequestOptions) -> Result<Ticket, Rejected> {
+        let shared = Arc::new(RequestShared::new(self.budget_for(options)));
+        let job = Job::Attribute { lineage, shared: Arc::clone(&shared) };
+        self.push(job)?;
+        Ok(Ticket { shared })
+    }
+
+    /// [`AttributionService::submit`] under another name.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit` with `RequestOptions::new()` and the `with_*` builders"
+    )]
+    pub fn submit_with(&self, lineage: Dnf, options: RequestOptions) -> Result<Ticket, Rejected> {
+        self.submit(lineage, options)
+    }
+
+    /// Submits a live-database update (insert or delete). The
+    /// [`UpdateTicket`] resolves to the [`UpdateReport`] once the update has
+    /// been applied incrementally — only answers whose lineage mentions the
+    /// touched fact are re-derived; everything else stays warm in the shared
+    /// cache.
+    ///
+    /// Updates apply in submission order, serialized against each other and
+    /// against [`AttributionService::live_attribution`] snapshots. Rejects
+    /// with [`Rejected::NotLive`] when the service was started without a
+    /// [`ServeConfig::live_database`].
+    ///
+    /// ```
+    /// use banzhaf_engine::{parse_program, Database, Update};
+    /// use banzhaf_serve::{AttributionService, RequestOptions, ServeConfig};
+    ///
+    /// let mut db = Database::new();
+    /// db.add_relation("R", 2);
+    /// db.insert_endogenous("R", vec![1.into(), 2.into()]).unwrap();
+    /// let query = parse_program("Q(X) :- R(X, Y).").unwrap();
+    /// let service = AttributionService::start(
+    ///     ServeConfig::default().with_live_database(db).with_live_query("q", query),
+    /// );
+    ///
+    /// let update = Update::insert("R", vec![3.into(), 4.into()]);
+    /// let report = service.submit_update(update, RequestOptions::default()).unwrap().wait().unwrap();
+    /// assert_eq!(report.touched.len(), 1);
+    /// assert_eq!(service.live_attribution("q").unwrap().answers.len(), 2);
+    /// ```
+    pub fn submit_update(
+        &self,
+        update: Update,
+        options: RequestOptions,
+    ) -> Result<UpdateTicket, Rejected> {
+        let live = self.live.as_ref().ok_or(Rejected::NotLive)?;
+        let shared = Arc::new(RequestShared::new(self.budget_for(options)));
+        // Holding the allocation lock across the push keeps queue order equal
+        // to sequence order, which the turn-taking in `serve_update` (and the
+        // shutdown drain) relies on. A refused push consumes no number.
+        let mut next_seq = live.next_seq.lock().expect("update submission lock poisoned");
+        let job = Job::Update { update, seq: *next_seq, shared: Arc::clone(&shared) };
+        self.push(job)?;
+        *next_seq += 1;
+        Ok(Ticket { shared })
+    }
+
+    /// `true` when the service hosts a live database and accepts
+    /// [`AttributionService::submit_update`].
+    pub fn is_live(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// The maintained attribution of the live query registered under `name`
+    /// (`None` for unknown names or a service with no live database).
+    ///
+    /// The snapshot is taken under the same lock updates apply under, so it
+    /// reflects a whole number of updates — never a half-applied one.
+    pub fn live_attribution(&self, name: &str) -> Option<QueryAttribution> {
+        let live = self.live.as_ref()?;
+        let state = lock_live(&live.state);
+        state.attribution(name)
+    }
+
+    /// Cumulative statistics of the live session (`None` when the service
+    /// hosts no live database).
+    pub fn live_stats(&self) -> Option<LiveStats> {
+        let live = self.live.as_ref()?;
+        Some(*lock_live(&live.state).stats())
     }
 
     /// A snapshot of the service's request counters.
@@ -430,7 +685,22 @@ impl AttributionService {
         self.queue.close();
         for job in self.queue.drain() {
             self.counters.failed.fetch_add(1, Ordering::Relaxed);
-            job.shared.complete(Err(ServeError::ShutDown));
+            match job {
+                Job::Attribute { shared, .. } => shared.complete(Err(ServeError::ShutDown)),
+                Job::Update { seq, shared, .. } => {
+                    shared.complete(Err(ServeError::ShutDown));
+                    // A worker may already hold a *later* update popped
+                    // before the close and be waiting its turn; every
+                    // drained sequence number must still advance the turn
+                    // counter or that worker never wakes and the join below
+                    // deadlocks. Drained updates are in sequence order, and
+                    // numbers below them are held by workers who advance on
+                    // their own, so each wait here terminates.
+                    if let Some(live) = &self.live {
+                        live.take_turn(seq, || ());
+                    }
+                }
+            }
         }
         for worker in self.workers.drain(..) {
             // Worker panics are caught per-request and surfaced as
@@ -454,15 +724,19 @@ impl fmt::Debug for AttributionService {
         f.debug_struct("AttributionService")
             .field("stats", &self.stats())
             .field("cache", &self.cache_stats())
-            .finish()
+            .field("live", &self.live.is_some())
+            .finish_non_exhaustive()
     }
 }
 
-/// Serves one request on a worker's session, mapping budget exhaustion to the
-/// typed [`ServeError`]s. The pre-run check fails queue-expired or
-/// already-cancelled requests without starting them.
-fn serve_one(session: &mut banzhaf_engine::Session, job: &Job) -> ServeResult {
-    let budget = &job.shared.budget;
+/// Serves one attribution request on a worker's session, mapping budget
+/// exhaustion to the typed [`ServeError`]s. The pre-run check fails
+/// queue-expired or already-cancelled requests without starting them.
+fn serve_attribution(
+    session: &mut banzhaf_engine::Session,
+    lineage: &Dnf,
+    budget: &Budget,
+) -> ServeResult {
     if budget.is_cancelled() {
         return Err(ServeError::Cancelled);
     }
@@ -470,7 +744,7 @@ fn serve_one(session: &mut banzhaf_engine::Session, job: &Job) -> ServeResult {
         return Err(ServeError::Interrupted);
     }
     let outcome = session
-        .attribute_batch_with_budget(&[&job.lineage], budget)
+        .attribute_batch(&[lineage], BatchOptions::new().with_shared_budget(budget))
         .pop()
         .expect("one lineage in, one outcome out");
     outcome.map_err(|_| {
@@ -478,6 +752,37 @@ fn serve_one(session: &mut banzhaf_engine::Session, job: &Job) -> ServeResult {
             ServeError::Cancelled
         } else {
             ServeError::Interrupted
+        }
+    })
+}
+
+/// Serves one update request: waits for the update's turn (submission
+/// order), applies it under the live-state lock, and advances the turn. The
+/// turn advances even for cancelled, expired, or panicking updates — every
+/// allocated sequence number passes through exactly once.
+fn serve_update(
+    live: &LiveShared,
+    update: Update,
+    seq: u64,
+    budget: &Budget,
+) -> Result<UpdateReport, ServeError> {
+    live.take_turn(seq, || {
+        if budget.is_cancelled() {
+            return Err(ServeError::Cancelled);
+        }
+        if budget.exhausted() {
+            return Err(ServeError::Interrupted);
+        }
+        // Catch backend panics *inside* the turn so the turn still advances;
+        // the state lock is poisoned by the unwind and recovered by
+        // `lock_live` everywhere it is taken.
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lock_live(&live.state).apply_update(update)
+        }));
+        match applied {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(_)) => Err(ServeError::InvalidUpdate),
+            Err(_) => Err(ServeError::Failed),
         }
     })
 }

@@ -25,4 +25,7 @@ mod synthetic;
 
 pub use corpus::{Corpus, CorpusStats, Instance};
 pub use lineage::{LineageGenerator, LineageShape};
-pub use synthetic::{academic_like, imdb_like, tpch_like, DatasetSpec};
+pub use synthetic::{
+    academic_like, academic_workload, imdb_like, imdb_workload, tpch_like, tpch_workload,
+    DatasetSpec, LiveWorkload,
+};

@@ -34,16 +34,41 @@ impl Default for DatasetSpec {
     }
 }
 
-fn run_workload(name: &str, db: &Database, queries: &[(&str, UnionQuery)]) -> Corpus {
-    let mut corpus = Corpus::new(name);
-    for (qname, query) in queries {
-        let result = evaluate(query, db);
-        for answer in result.answers() {
-            let tuple: Vec<String> = answer.tuple.iter().map(Value::to_string).collect();
-            corpus.push(*qname, tuple.join(","), answer.lineage.clone());
+/// A synthetic database together with its named query workload, *before*
+/// lineage extraction.
+///
+/// [`Corpus`] freezes per-answer lineages at build time; this keeps the
+/// database itself, which is what the live-update benchmark (and any
+/// `LiveSession`-style consumer in `banzhaf-engine`) needs — it registers
+/// the queries and then mutates the database. [`LiveWorkload::corpus`]
+/// recovers the frozen view.
+#[derive(Clone, Debug)]
+pub struct LiveWorkload {
+    /// Workload name (e.g. `"Academic-like"`).
+    pub name: String,
+    /// The synthetic database.
+    pub db: Database,
+    /// The query workload, as `(name, query)` pairs.
+    pub queries: Vec<(String, UnionQuery)>,
+    /// Relations an update stream may meaningfully insert into or delete
+    /// from: endogenous fact tables that feed the queries' joins.
+    pub mutable_relations: Vec<String>,
+}
+
+impl LiveWorkload {
+    /// Evaluates every query and freezes the per-answer lineages into a
+    /// [`Corpus`].
+    pub fn corpus(&self) -> Corpus {
+        let mut corpus = Corpus::new(self.name.clone());
+        for (qname, query) in &self.queries {
+            let result = evaluate(query, &self.db);
+            for answer in result.answers() {
+                let tuple: Vec<String> = answer.tuple.iter().map(Value::to_string).collect();
+                corpus.push(qname.clone(), tuple.join(","), answer.lineage.clone());
+            }
         }
+        corpus
     }
-    corpus
 }
 
 fn q(text: &str) -> UnionQuery {
@@ -53,6 +78,12 @@ fn q(text: &str) -> UnionQuery {
 /// Builds the Academic-like corpus: authors, papers, authorship, citations,
 /// venues; queries about co-authorship and publication activity.
 pub fn academic_like(spec: &DatasetSpec) -> Corpus {
+    academic_workload(spec).corpus()
+}
+
+/// The Academic-like database and query workload, un-frozen (see
+/// [`LiveWorkload`]); [`academic_like`] is its corpus view.
+pub fn academic_workload(spec: &DatasetSpec) -> LiveWorkload {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let authors = 30 * spec.scale;
     let papers = 40 * spec.scale;
@@ -89,24 +120,35 @@ pub fn academic_like(spec: &DatasetSpec) -> Corpus {
 
     let queries = vec![
         // Which venues does each author publish in? (hierarchical per answer)
-        ("academic_q1", q("Q(A, V) :- Writes(A, P), Paper(P, V).")),
+        ("academic_q1".into(), q("Q(A, V) :- Writes(A, P), Paper(P, V).")),
         // Authors of cited papers (non-hierarchical joins).
-        ("academic_q2", q("Q(A) :- Writes(A, P), Cites(P, P2), Paper(P2, V).")),
+        ("academic_q2".into(), q("Q(A) :- Writes(A, P), Cites(P, P2), Paper(P2, V).")),
         // Co-authors.
-        ("academic_q3", q("Q(A, B) :- Writes(A, P), Writes(B, P), A != 0.")),
+        ("academic_q3".into(), q("Q(A, B) :- Writes(A, P), Writes(B, P), A != 0.")),
         // Papers by prolific venue 0 or venue 1 (a union).
-        ("academic_q4", q("Q(P) :- Paper(P, 0). Q(P) :- Paper(P, 1).")),
+        ("academic_q4".into(), q("Q(P) :- Paper(P, 0). Q(P) :- Paper(P, 1).")),
         // Authors publishing in venue 2 together with the author relation.
-        ("academic_q5", q("Q(A) :- Author(A), Writes(A, P), Paper(P, 2).")),
+        ("academic_q5".into(), q("Q(A) :- Author(A), Writes(A, P), Paper(P, 2).")),
         // Boolean: is there a citation chain of length 2 out of venue 3?
-        ("academic_q6", q("Q() :- Paper(P, 3), Cites(P, P2), Cites(P2, P3).")),
+        ("academic_q6".into(), q("Q() :- Paper(P, 3), Cites(P, P2), Cites(P2, P3).")),
     ];
-    run_workload("Academic-like", &db, &queries)
+    LiveWorkload {
+        name: "Academic-like".into(),
+        db,
+        queries,
+        mutable_relations: vec!["Writes".into(), "Cites".into()],
+    }
 }
 
 /// Builds the IMDB-like corpus: movies, actors, directors; the popularity of
 /// movies and actors is Zipf-skewed so a few answers have very large lineages.
 pub fn imdb_like(spec: &DatasetSpec) -> Corpus {
+    imdb_workload(spec).corpus()
+}
+
+/// The IMDB-like database and query workload, un-frozen (see
+/// [`LiveWorkload`]); [`imdb_like`] is its corpus view.
+pub fn imdb_workload(spec: &DatasetSpec) -> LiveWorkload {
     let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(1));
     let movies = 50 * spec.scale;
     let actors = 60 * spec.scale;
@@ -151,25 +193,39 @@ pub fn imdb_like(spec: &DatasetSpec) -> Corpus {
 
     let queries = vec![
         // Movies with their cast (per-movie lineage; popular movies are big).
-        ("imdb_q1", q("Q(M) :- Movie(M, Y), ActsIn(A, M), Actor(A).")),
+        ("imdb_q1".into(), q("Q(M) :- Movie(M, Y), ActsIn(A, M), Actor(A).")),
         // Actors in recent movies.
-        ("imdb_q2", q("Q(A) :- Actor(A), ActsIn(A, M), Movie(M, Y), Y >= 2010.")),
+        ("imdb_q2".into(), q("Q(A) :- Actor(A), ActsIn(A, M), Movie(M, Y), Y >= 2010.")),
         // Director–actor collaborations (non-hierarchical).
-        ("imdb_q3", q("Q(D, A) :- Directs(D, M), ActsIn(A, M).")),
+        ("imdb_q3".into(), q("Q(D, A) :- Directs(D, M), ActsIn(A, M).")),
         // Co-star pairs on the same movie.
-        ("imdb_q4", q("Q(A, B) :- ActsIn(A, M), ActsIn(B, M), A != 0.")),
+        ("imdb_q4".into(), q("Q(A, B) :- ActsIn(A, M), ActsIn(B, M), A != 0.")),
         // Boolean: does some director work with some actor on an old movie?
-        ("imdb_q5", q("Q() :- Directs(D, M), ActsIn(A, M), Movie(M, Y), Y < 1995.")),
+        ("imdb_q5".into(), q("Q() :- Directs(D, M), ActsIn(A, M), Movie(M, Y), Y < 1995.")),
         // Union: movies that are either recent or directed by director 0.
-        ("imdb_q6", q("Q(M) :- Movie(M, Y), Y >= 2015. Q(M) :- Directs(0, M), Movie(M, Y).")),
+        (
+            "imdb_q6".into(),
+            q("Q(M) :- Movie(M, Y), Y >= 2015. Q(M) :- Directs(0, M), Movie(M, Y)."),
+        ),
     ];
-    run_workload("IMDB-like", &db, &queries)
+    LiveWorkload {
+        name: "IMDB-like".into(),
+        db,
+        queries,
+        mutable_relations: vec!["ActsIn".into(), "Directs".into()],
+    }
 }
 
 /// Builds the TPC-H-like corpus: a small star schema (suppliers, customers,
 /// orders, line items, nations); queries are Boolean or low-cardinality, so
 /// each answer accumulates a large, fairly symmetric lineage.
 pub fn tpch_like(spec: &DatasetSpec) -> Corpus {
+    tpch_workload(spec).corpus()
+}
+
+/// The TPC-H-like database and query workload, un-frozen (see
+/// [`LiveWorkload`]); [`tpch_like`] is its corpus view.
+pub fn tpch_workload(spec: &DatasetSpec) -> LiveWorkload {
     let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(2));
     // Few nations and many line items so that same-nation joins accumulate
     // large, fairly symmetric lineages — the TPC-H column of Table 1.
@@ -218,17 +274,28 @@ pub fn tpch_like(spec: &DatasetSpec) -> Corpus {
     let queries = vec![
         // Per-nation supplier/customer trade (few answers, large lineage).
         (
-            "tpch_q1",
+            "tpch_q1".into(),
             q("Q(N) :- Supplier(S, N), Lineitem(O, S, Qty), Orders(O, C), Customer(C, N)."),
         ),
         // Boolean: is there a large line item shipped by nation 0?
-        ("tpch_q2", q("Q() :- Supplier(S, 0), Lineitem(O, S, Qty), Qty >= 40.")),
+        ("tpch_q2".into(), q("Q() :- Supplier(S, 0), Lineitem(O, S, Qty), Qty >= 40.")),
         // Customers with pending large orders (per-customer lineage).
-        ("tpch_q3", q("Q(C) :- Customer(C, N), Orders(O, C), Lineitem(O, S, Qty), Qty >= 25.")),
+        (
+            "tpch_q3".into(),
+            q("Q(C) :- Customer(C, N), Orders(O, C), Lineitem(O, S, Qty), Qty >= 25."),
+        ),
         // Boolean: any same-nation customer/supplier pair at all?
-        ("tpch_q4", q("Q() :- Customer(C, N), Supplier(S, N), Orders(O, C), Lineitem(O, S, Qty).")),
+        (
+            "tpch_q4".into(),
+            q("Q() :- Customer(C, N), Supplier(S, N), Orders(O, C), Lineitem(O, S, Qty)."),
+        ),
     ];
-    run_workload("TPC-H-like", &db, &queries)
+    LiveWorkload {
+        name: "TPC-H-like".into(),
+        db,
+        queries,
+        mutable_relations: vec!["Lineitem".into(), "Orders".into()],
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +331,25 @@ mod tests {
         let small = academic_like(&DatasetSpec { scale: 1, seed: 3 }).stats();
         let large = academic_like(&DatasetSpec { scale: 2, seed: 3 }).stats();
         assert!(large.num_lineages >= small.num_lineages);
+    }
+
+    #[test]
+    fn live_workloads_expose_mutable_endogenous_relations() {
+        let spec = DatasetSpec::default();
+        for build in [academic_workload, imdb_workload, tpch_workload] {
+            let workload = build(&spec);
+            assert!(!workload.queries.is_empty());
+            assert!(!workload.mutable_relations.is_empty());
+            for relation in &workload.mutable_relations {
+                assert!(
+                    workload.db.endogenous_facts().any(|(_, f)| f.relation() == relation),
+                    "{}: mutable relation {relation} has no endogenous facts",
+                    workload.name
+                );
+            }
+            // The frozen view matches the classic generator.
+            assert_eq!(workload.corpus().stats(), workload.corpus().stats());
+        }
     }
 
     #[test]

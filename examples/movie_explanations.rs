@@ -42,7 +42,7 @@ fn main() {
     // sharing the d-tree cache across answers with isomorphic lineage.
     let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_shapley(true));
     let mut session = engine.session();
-    let explained = session.explain(&query, &db).unwrap();
+    let explained = session.explain(&query, &db);
 
     for answer in &explained.answers {
         let director = &answer.tuple[0];
@@ -50,9 +50,10 @@ fn main() {
         println!("  lineage: {}", answer.lineage);
 
         // Exact contributions of every supporting fact.
-        let shapley = answer.attribution.shapley.as_ref().expect("Shapley requested");
+        let attribution = answer.attribution().expect("unlimited budget");
+        let shapley = attribution.shapley.as_ref().expect("Shapley requested");
         println!("  contributions (Banzhaf | Shapley):");
-        for (var, score) in answer.attribution.ranking() {
+        for (var, score) in attribution.ranking() {
             let fact = db.fact(FactId(var.0)).unwrap();
             println!(
                 "    {fact:<24} {:>4}  |  {:.4}",

@@ -37,7 +37,7 @@ fn main() {
         );
         let mut session = engine.session();
         let start = Instant::now();
-        let results = session.attribute_batch(&refs);
+        let results = session.attribute_batch(&refs, BatchOptions::default());
         let elapsed = start.elapsed();
         let values: Vec<_> = results
             .into_iter()
@@ -61,7 +61,7 @@ fn main() {
     let mut session = engine.session();
     // Roughly enough steps for half the corpus.
     let shared = Budget::with_max_steps(4 * 1200);
-    let outcomes = session.attribute_batch_with_budget(&refs, &shared);
+    let outcomes = session.attribute_batch(&refs, BatchOptions::new().with_shared_budget(&shared));
     let finished = outcomes.iter().filter(|r| r.is_ok()).count();
     println!(
         "\nshared budget ({} steps): {finished}/{} instances finished, {} interrupted",

@@ -31,10 +31,10 @@ fn main() {
     // 3. Explain the query through the engine: evaluation, per-answer
     //    lineage, and exact attribution in one call.
     let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan));
-    let explained = engine.session().explain(&query, &db).unwrap();
+    let explained = engine.session().explain(&query, &db);
     let answer = &explained.answers[0];
     println!("\nlineage: {}", answer.lineage);
-    let exact = &answer.attribution;
+    let exact = answer.attribution().expect("unlimited budget");
     println!("model count #φ = {}", exact.model_count.as_ref().unwrap());
     println!(
         "({} compile steps, {}-node d-tree)",
@@ -63,4 +63,25 @@ fn main() {
     for var in top2.order {
         println!("  {}", db.fact(FactId(var.0)).unwrap());
     }
+
+    // 6. Keep the attribution live under updates: deleting T(1,6) kills the
+    //    only answer; re-inserting it brings the answer back, re-deriving
+    //    only the answers whose lineage mentions the touched fact.
+    let mut live = engine.live_session(db);
+    live.register("q", query);
+    for update in [
+        Update::delete("T", vec![1.into(), 6.into()]),
+        Update::insert("T", vec![1.into(), 6.into()]),
+    ] {
+        let report = live.apply_update(update).unwrap();
+        println!(
+            "\napplied {}: {} answer(s) touched, {} untouched, {} compile steps",
+            report.update,
+            report.touched.len(),
+            report.untouched,
+            report.compile_steps
+        );
+    }
+    let maintained = live.attribution("q").expect("registered");
+    println!("maintained answers after the update stream: {}", maintained.answers.len());
 }

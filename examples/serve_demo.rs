@@ -19,11 +19,25 @@ fn ring(offset: u32, len: u32) -> Dnf {
 }
 
 fn main() {
+    // A small live database rides along: updates submitted to the service
+    // are serialized against attribution traffic and maintain the
+    // registered query's attribution incrementally.
+    let mut db = Database::new();
+    db.add_relation("R", 1);
+    db.add_relation("S", 2);
+    for i in 0..3 {
+        db.insert_endogenous("R", vec![i.into()]).unwrap();
+    }
+    db.insert_endogenous("S", vec![0.into(), 0.into()]).unwrap();
+    let query = parse_program("Q(X) :- R(X), S(X, Y).").unwrap();
+
     let service = AttributionService::start(
         ServeConfig::new(EngineConfig::new(Algorithm::ExaBan))
             .with_workers(2)
             .with_queue_capacity(16)
-            .with_default_timeout(Duration::from_secs(10)),
+            .with_default_timeout(Duration::from_secs(10))
+            .with_live_database(db)
+            .with_live_query("q", query),
     );
 
     // Two concurrent client sessions, each submitting isomorphic rings with
@@ -39,10 +53,10 @@ fn main() {
                     // Backpressure loop: a full queue is a typed rejection,
                     // and the client decides to retry.
                     let ticket = loop {
-                        match service.submit(lineage.clone()) {
+                        match service.submit(lineage.clone(), RequestOptions::default()) {
                             Ok(ticket) => break ticket,
                             Err(Rejected::QueueFull { .. }) => std::thread::yield_now(),
-                            Err(Rejected::ShutDown) => panic!("service closed mid-demo"),
+                            Err(rejected) => panic!("service closed mid-demo: {rejected:?}"),
                         }
                     };
                     let attribution = ticket.wait().expect("ample deadline");
@@ -56,18 +70,40 @@ fn main() {
 
     // Cancellation: an expensive request is interrupted mid-compile without
     // disturbing the service.
-    let doomed = service.submit(ring(500_000, 40)).expect("queue has room");
+    let doomed =
+        service.submit(ring(500_000, 40), RequestOptions::default()).expect("queue has room");
     doomed.cancel();
     assert_eq!(doomed.wait().unwrap_err(), ServeError::Cancelled);
 
     // A hopeless deadline is a typed interruption, not a hang.
     let starved = service
-        .submit_with(
-            ring(600_000, 24),
-            RequestOptions { timeout: Some(Duration::ZERO), max_steps: None },
-        )
+        .submit(ring(600_000, 24), RequestOptions::new().with_timeout(Duration::ZERO))
         .expect("queue has room");
     assert_eq!(starved.wait().unwrap_err(), ServeError::Interrupted);
+
+    // Live updates through the same queue: inserting S(1,9) re-derives only
+    // the answer Q(1) whose lineage mentions the new fact; deleting it
+    // removes the answer again. Tickets resolve to per-update reports.
+    let inserted = service
+        .submit_update(Update::insert("S", vec![1.into(), 9.into()]), RequestOptions::default())
+        .expect("live service")
+        .wait()
+        .expect("valid update");
+    println!(
+        "update {}: {} answer(s) touched, {} untouched, {} compile steps",
+        inserted.update,
+        inserted.touched.len(),
+        inserted.untouched,
+        inserted.compile_steps
+    );
+    assert_eq!(service.live_attribution("q").expect("registered").answers.len(), 2);
+    let removed = service
+        .submit_update(Update::delete("S", vec![1.into(), 9.into()]), RequestOptions::default())
+        .expect("live service")
+        .wait()
+        .expect("valid update");
+    assert_eq!(removed.touched.len(), 1);
+    assert_eq!(service.live_attribution("q").expect("registered").answers.len(), 1);
 
     let stats = service.stats();
     let cache = service.cache_stats();
@@ -86,7 +122,7 @@ fn main() {
 
     // Acceptance: both clients were served, the shared cache produced hits
     // across sessions, and every completed result was exact.
-    assert_eq!(stats.completed, 16, "both client sessions fully served");
+    assert_eq!(stats.completed, 18, "both client sessions fully served, plus the two updates");
     assert!(cache.hits > 0, "cross-session cache hits expected");
     assert!(cache.hits >= 10, "3 distinct shapes x 16 requests leave >= 10 hits");
     service.shutdown();

@@ -34,9 +34,16 @@
 //! let query = parse_program("Q() :- R(X), S(X, Y).").unwrap();
 //!
 //! let engine = Engine::new(EngineConfig::default());
-//! let explained = engine.session().explain(&query, &db).unwrap();
-//! let attribution = &explained.answers[0].attribution;
+//! let explained = engine.session().explain(&query, &db);
+//! let attribution = explained.answers[0].attribution().expect("unlimited budget");
 //! assert_eq!(attribution.model_count.as_ref().unwrap().to_u64(), Some(1));
+//!
+//! // Keep attributions live under single-fact updates: only answers whose
+//! // lineage mentions the touched fact are re-derived.
+//! let mut live = engine.live_session(db);
+//! live.register("q", query);
+//! let report = live.apply_update(Update::insert("S", vec![1.into(), 3.into()])).unwrap();
+//! assert_eq!(report.touched.len(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,12 +64,13 @@ pub use banzhaf_workloads as workloads;
 /// Convenient glob-import of the most frequently used items.
 pub mod prelude {
     pub use banzhaf_engine::{
-        Algorithm, AnswerAttribution, Attribution, Attributor, CacheStats, Engine, EngineConfig,
-        EngineStats, QueryAttribution, Ranked, Score, Session, SessionStats, SharedCache,
+        Algorithm, AnswerAttribution, AnswerChange, Attribution, Attributor, BatchOptions,
+        CacheStats, Engine, EngineConfig, EngineStats, LiveSession, LiveStats, QueryAttribution,
+        Ranked, Score, Session, SessionStats, SharedCache, TouchedAnswer, UpdateReport,
     };
     pub use banzhaf_serve::{
         block_on, join_all, AttributionService, Rejected, RequestOptions, ServeConfig, ServeError,
-        ServiceStats, Ticket,
+        ServiceStats, Ticket, UpdateTicket,
     };
 
     pub use banzhaf::{
@@ -74,10 +82,13 @@ pub mod prelude {
     pub use banzhaf_arith::{Int, Natural, Ratio};
     pub use banzhaf_baselines::{cnf_proxy, mc_banzhaf, mc_banzhaf_par, sig22_exact, McOptions};
     pub use banzhaf_boolean::{Assignment, Clause, Dnf, Var, VarSet};
-    pub use banzhaf_db::{Database, Fact, FactId, Provenance, Value};
+    pub use banzhaf_db::{Database, Fact, FactId, Provenance, Update, Value};
     pub use banzhaf_par::ThreadPool;
-    pub use banzhaf_query::{evaluate, is_hierarchical, is_self_join_free, parse_program};
+    pub use banzhaf_query::{
+        evaluate, is_hierarchical, is_self_join_free, parse_program, UnionQuery,
+    };
     pub use banzhaf_workloads::{
-        academic_like, imdb_like, tpch_like, Corpus, DatasetSpec, LineageGenerator, LineageShape,
+        academic_like, academic_workload, imdb_like, imdb_workload, tpch_like, tpch_workload,
+        Corpus, DatasetSpec, LineageGenerator, LineageShape, LiveWorkload,
     };
 }

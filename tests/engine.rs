@@ -224,9 +224,9 @@ fn engine_and_query_layer_compose_end_to_end() {
     let query = parse_program("Q() :- R(X, Y, Z), S(X, Y, V), T(X, U).").unwrap();
 
     let engine = Engine::new(EngineConfig::default().with_shapley(true));
-    let explained = engine.session().explain(&query, &db).unwrap();
+    let explained = engine.session().explain(&query, &db);
     assert_eq!(explained.answers.len(), 1);
-    let attribution = &explained.answers[0].attribution;
+    let attribution = explained.answers[0].attribution().expect("unlimited budget");
     assert_eq!(attribution.model_count.as_ref().unwrap().to_u64(), Some(3));
     let exact = attribution.exact_values().unwrap();
     assert_eq!(exact[&Var(r.0)].to_u64(), Some(3));
@@ -240,4 +240,154 @@ fn engine_and_query_layer_compose_end_to_end() {
     assert!(top2.certified);
     assert!(top2.order.contains(&Var(r.0)));
     assert!(top2.order.contains(&Var(t.0)));
+}
+
+/// The live-update schema shared by the incremental tests below: a unary
+/// `R`, a binary `S`, and a join query over both.
+fn live_db(initial: &[(bool, u8, u8)]) -> Database {
+    let mut db = Database::new();
+    db.add_relation("R", 1);
+    db.add_relation("S", 2);
+    db.add_relation("T", 1);
+    for &(is_r, a, b) in initial {
+        if is_r {
+            db.insert_endogenous("R", vec![i64::from(a).into()]).unwrap();
+        } else {
+            db.insert_endogenous("S", vec![i64::from(a).into(), i64::from(b).into()]).unwrap();
+        }
+    }
+    db
+}
+
+fn live_query() -> UnionQuery {
+    parse_program("Q(X) :- R(X), S(X, Y).").unwrap()
+}
+
+/// Strategy generating initial facts as packed codes; bit 0 picks the
+/// relation, bits 1.. pick the (small-domain) attribute values.
+fn initial_facts() -> impl Strategy<Value = Vec<(bool, u8, u8)>> {
+    proptest::collection::vec(0u32..32, 1..=9).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| (c & 1 == 1, ((c >> 1) & 3) as u8, ((c >> 3) & 3) as u8))
+            .collect()
+    })
+}
+
+/// Strategy generating an insert/delete stream as packed codes; bit 0 is
+/// insert-vs-delete, bit 1 picks the relation.
+fn update_stream() -> impl Strategy<Value = Vec<(bool, bool, u8, u8)>> {
+    proptest::collection::vec(0u32..64, 1..=7).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| (c & 1 == 1, c & 2 == 2, ((c >> 2) & 3) as u8, ((c >> 4) & 3) as u8))
+            .collect()
+    })
+}
+
+/// Asserts that the live session's maintained snapshot for `name` is
+/// bit-identical to a cold, cacheless, single-threaded re-evaluation of the
+/// same query over the live session's current database.
+fn assert_matches_cold(live: &LiveSession, name: &str, query: &UnionQuery) {
+    let cold_engine =
+        Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(1));
+    let cold = cold_engine.session().explain(query, live.db());
+    let snapshot = live.attribution(name).expect("query is registered");
+    assert_eq!(snapshot.answers.len(), cold.answers.len());
+    for (incremental, cold) in snapshot.answers.iter().zip(&cold.answers) {
+        assert_eq!(&incremental.tuple, &cold.tuple);
+        let a = incremental.attribution().expect("unlimited budget");
+        let b = cold.attribution().expect("unlimited budget");
+        assert_eq!(&a.model_count, &b.model_count);
+        assert_eq!(a.exact_values().unwrap(), b.exact_values().unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole's acceptance property: a random insert/delete stream
+    /// applied incrementally through [`LiveSession::apply_update`] is
+    /// bit-identical to cold re-evaluating the registered query after every
+    /// step — across cache on/off and 1/2 worker threads.
+    #[test]
+    fn incremental_updates_match_cold_reevaluation_after_every_step(
+        initial in initial_facts(),
+        stream in update_stream(),
+    ) {
+        let db = live_db(&initial);
+        let query = live_query();
+        for (cache, threads) in [(true, 1), (true, 2), (false, 1), (false, 2)] {
+            let engine = Engine::new(
+                EngineConfig::new(Algorithm::ExaBan).with_cache(cache).with_threads(threads),
+            );
+            let mut live = engine.live_session(db.clone());
+            live.register("q", query.clone());
+            assert_matches_cold(&live, "q", &query);
+            for &(is_insert, is_r, a, b) in &stream {
+                let values = if is_r {
+                    vec![i64::from(a).into()]
+                } else {
+                    vec![i64::from(a).into(), i64::from(b).into()]
+                };
+                let relation = if is_r { "R" } else { "S" };
+                let update = if is_insert {
+                    Update::insert(relation, values)
+                } else {
+                    Update::delete(relation, values)
+                };
+                match live.apply_update(update) {
+                    // A delete of an absent tuple is rejected without
+                    // changing the database; anything else must hold the
+                    // bit-identity invariant right away.
+                    Err(_) => prop_assert!(!is_insert),
+                    Ok(report) => {
+                        // touched + untouched accounts for every answer:
+                        // the ones still live after the update, plus the
+                        // ones the update removed.
+                        let removed = report
+                            .touched
+                            .iter()
+                            .filter(|t| t.change == AnswerChange::Removed)
+                            .count();
+                        let after = live.attribution("q").expect("registered").answers.len();
+                        prop_assert_eq!(
+                            report.touched.len() + usize::try_from(report.untouched).unwrap(),
+                            after + removed,
+                        );
+                    }
+                }
+                assert_matches_cold(&live, "q", &query);
+            }
+        }
+    }
+}
+
+#[test]
+fn update_touching_no_registered_answer_compiles_nothing() {
+    // `T` exists in the schema but no registered query mentions it, and
+    // `R(3)` joins with no `S(3, _)`: neither update can touch a registered
+    // answer, so the delta path must not pay a single compile step.
+    let mut db = live_db(&[(true, 1, 0), (false, 1, 2)]);
+    db.insert_endogenous("T", vec![9.into()]).unwrap();
+    let engine = Engine::new(EngineConfig::default());
+    let mut live = engine.live_session(db);
+    let registered = live.register("q", live_query());
+    assert_eq!(registered.answers.len(), 1);
+
+    for update in [
+        Update::insert("T", vec![7.into()]),
+        Update::insert("R", vec![3.into()]),
+        Update::delete("T", vec![9.into()]),
+    ] {
+        let report = live.apply_update(update).unwrap();
+        assert!(report.touched.is_empty(), "no registered answer mentions the fact");
+        assert_eq!(report.compile_steps, 0, "untouched answers must not recompile");
+        assert_eq!(report.untouched, 1);
+    }
+    // The maintained snapshot never moved.
+    let snapshot = live.attribution("q").unwrap();
+    assert_eq!(snapshot.answers.len(), 1);
+    assert_eq!(snapshot.answers[0].tuple, vec![Value::from(1)]);
+    assert_eq!(live.stats().update_compile_steps, 0);
 }

@@ -54,7 +54,7 @@ proptest! {
             for threads in [1usize, 2, 4] {
                 let mut session = Engine::new(config.clone().with_threads(threads)).session();
                 let refs: Vec<&Dnf> = phis.iter().collect();
-                let got = session.attribute_batch(&refs);
+                let got = session.attribute_batch(&refs, BatchOptions::default());
                 prop_assert_eq!(got.len(), expected.len());
                 for ((phi, want), have) in phis.iter().zip(&expected).zip(&got) {
                     let have = have.as_ref().unwrap();
@@ -91,7 +91,7 @@ proptest! {
         for threads in [1usize, 2, 4] {
             let mut session = Engine::new(config.clone().with_threads(threads)).session();
             let refs: Vec<&Dnf> = phis.iter().collect();
-            let got = session.attribute_batch(&refs);
+            let got = session.attribute_batch(&refs, BatchOptions::default());
             for ((phi, want), have) in phis.iter().zip(&expected).zip(&got) {
                 match (want, have) {
                     (Ok(want), Ok(have)) => {
@@ -137,13 +137,14 @@ fn shared_budget_interrupts_across_workers() {
     // One shared step: nothing finishes.
     let starved = Engine::new(config.clone())
         .session()
-        .attribute_batch_with_budget(&refs, &Budget::with_max_steps(1));
+        .attribute_batch(&refs, BatchOptions::new().with_shared_budget(&Budget::with_max_steps(1)));
     assert!(starved.iter().all(Result::is_err));
     // A generous shared budget completes everything, and the per-fact scores
     // match the unbudgeted sequential loop.
-    let generous = Engine::new(config.clone())
-        .session()
-        .attribute_batch_with_budget(&refs, &Budget::with_max_steps(1_000_000));
+    let generous = Engine::new(config.clone()).session().attribute_batch(
+        &refs,
+        BatchOptions::new().with_shared_budget(&Budget::with_max_steps(1_000_000)),
+    );
     let mut sequential = Engine::new(config).session();
     for (phi, got) in phis.iter().zip(generous) {
         let got = got.expect("generous budget");

@@ -28,13 +28,14 @@ fn queue_full_submissions_are_rejected_with_the_capacity() {
     // ring under an unlimited budget, cancelled at the end of the test.
     let service =
         AttributionService::start(ServeConfig::default().with_workers(1).with_queue_capacity(2));
-    let busy = service.submit(ring(0, 40)).unwrap();
+    let busy = service.submit(ring(0, 40), RequestOptions::default()).unwrap();
     wait_for("the worker to pick up the busy request", || service.stats().in_flight == 1);
 
     // The queue is empty again; fill it to capacity, then overflow.
-    let queued: Vec<Ticket> =
-        (0..2).map(|i| service.submit(ring(100 * (i + 1), 4)).unwrap()).collect();
-    let overflow = service.submit(ring(900, 4));
+    let queued: Vec<Ticket> = (0..2)
+        .map(|i| service.submit(ring(100 * (i + 1), 4), RequestOptions::default()).unwrap())
+        .collect();
+    let overflow = service.submit(ring(900, 4), RequestOptions::default());
     assert_eq!(overflow.unwrap_err(), Rejected::QueueFull { capacity: 2 });
     assert_eq!(service.stats().rejected, 1);
 
@@ -45,7 +46,10 @@ fn queue_full_submissions_are_rejected_with_the_capacity() {
     for ticket in queued {
         assert!(ticket.wait().is_ok());
     }
-    assert!(service.submit(ring(950, 4)).is_ok(), "capacity is available again");
+    assert!(
+        service.submit(ring(950, 4), RequestOptions::default()).is_ok(),
+        "capacity is available again"
+    );
 }
 
 #[test]
@@ -55,26 +59,21 @@ fn deadline_expired_requests_return_interrupted_without_poisoning_the_cache() {
 
     // A hopeless deadline: the request is interrupted (queued or
     // mid-compile), and nothing partial may enter the shared cache.
-    let starved = service
-        .submit_with(
-            shape.clone(),
-            RequestOptions { timeout: Some(Duration::ZERO), max_steps: None },
-        )
-        .unwrap();
+    let starved =
+        service.submit(shape.clone(), RequestOptions::new().with_timeout(Duration::ZERO)).unwrap();
     assert_eq!(starved.wait().unwrap_err(), ServeError::Interrupted);
     assert_eq!(service.cache_stats().insertions, 0, "interrupted work must not be cached");
 
     // A step-capped request interrupted *mid-compile* must not poison it
     // either.
-    let step_starved = service
-        .submit_with(shape.clone(), RequestOptions { timeout: None, max_steps: Some(3) })
-        .unwrap();
+    let step_starved =
+        service.submit(shape.clone(), RequestOptions::new().with_max_steps(3)).unwrap();
     assert_eq!(step_starved.wait().unwrap_err(), ServeError::Interrupted);
     assert_eq!(service.cache_stats().insertions, 0);
 
     // The same shape then succeeds under an ample budget, and its result is
     // bit-identical to a cold single-session run.
-    let served = service.submit(shape.clone()).unwrap().wait().unwrap();
+    let served = service.submit(shape.clone(), RequestOptions::default()).unwrap().wait().unwrap();
     let cold =
         Engine::new(EngineConfig::default().with_cache(false)).session().attribute(&shape).unwrap();
     assert_eq!(served.exact_values().unwrap(), cold.exact_values().unwrap());
@@ -87,7 +86,7 @@ fn cancellation_interrupts_a_request_mid_compile() {
     let service = AttributionService::start(ServeConfig::default().with_workers(1));
     // Large enough that compilation takes far longer than the cancellation
     // latency (one budget clock period).
-    let ticket = service.submit(ring(0, 44)).unwrap();
+    let ticket = service.submit(ring(0, 44), RequestOptions::default()).unwrap();
     wait_for("the request to start", || service.stats().in_flight == 1);
     let cancel_at = Instant::now();
     ticket.cancel();
@@ -99,16 +98,16 @@ fn cancellation_interrupts_a_request_mid_compile() {
     // The aborted compilation never reaches the shared cache.
     assert_eq!(service.cache_stats().insertions, 0);
     // The worker survives and serves the next request.
-    assert!(service.submit(ring(0, 6)).unwrap().wait().is_ok());
+    assert!(service.submit(ring(0, 6), RequestOptions::default()).unwrap().wait().is_ok());
 }
 
 #[test]
 fn cancelled_while_queued_never_runs() {
     let service =
         AttributionService::start(ServeConfig::default().with_workers(1).with_queue_capacity(4));
-    let busy = service.submit(ring(0, 40)).unwrap();
+    let busy = service.submit(ring(0, 40), RequestOptions::default()).unwrap();
     wait_for("the worker to pick up the busy request", || service.stats().in_flight == 1);
-    let queued = service.submit(ring(200, 20)).unwrap();
+    let queued = service.submit(ring(200, 20), RequestOptions::default()).unwrap();
     queued.cancel();
     busy.cancel();
     assert_eq!(queued.wait().unwrap_err(), ServeError::Cancelled);
@@ -121,9 +120,9 @@ fn cancelled_while_queued_never_runs() {
 fn shutdown_fails_queued_requests_and_rejects_new_ones() {
     let service =
         AttributionService::start(ServeConfig::default().with_workers(1).with_queue_capacity(8));
-    let busy = service.submit(ring(0, 40)).unwrap();
+    let busy = service.submit(ring(0, 40), RequestOptions::default()).unwrap();
     wait_for("the worker to pick up the busy request", || service.stats().in_flight == 1);
-    let queued = service.submit(ring(100, 8)).unwrap();
+    let queued = service.submit(ring(100, 8), RequestOptions::default()).unwrap();
     // Shut down while the worker is provably busy: the queued request is
     // failed by the drain, never served. The busy request is cancelled from
     // a side thread so the (graceful) worker join can finish.
@@ -148,7 +147,11 @@ fn concurrent_clients_share_the_cache_across_sessions() {
             scope.spawn(move || {
                 for i in 0..6u32 {
                     let offset = client * 1000 + i * 40;
-                    let att = service.submit(ring(offset, 18)).unwrap().wait().unwrap();
+                    let att = service
+                        .submit(ring(offset, 18), RequestOptions::default())
+                        .unwrap()
+                        .wait()
+                        .unwrap();
                     assert!(att.is_exact());
                 }
             });
@@ -162,6 +165,111 @@ fn concurrent_clients_share_the_cache_across_sessions() {
     let stats = service.stats();
     assert_eq!(stats.completed, 12);
     assert_eq!(stats.failed, 0);
+}
+
+/// A service hosting a live database: three `R` facts, one `S` fact, and a
+/// registered join query with the single answer `Q(0)`.
+fn live_service(workers: usize) -> AttributionService {
+    let mut db = Database::new();
+    db.add_relation("R", 1);
+    db.add_relation("S", 2);
+    for i in 0..3 {
+        db.insert_endogenous("R", vec![i.into()]).unwrap();
+    }
+    db.insert_endogenous("S", vec![0.into(), 0.into()]).unwrap();
+    let query = parse_program("Q(X) :- R(X), S(X, Y).").unwrap();
+    AttributionService::start(
+        ServeConfig::default()
+            .with_workers(workers)
+            .with_live_database(db)
+            .with_live_query("q", query),
+    )
+}
+
+#[test]
+fn updates_on_a_non_live_service_are_rejected() {
+    let service = AttributionService::start(ServeConfig::default().with_workers(1));
+    assert!(!service.is_live());
+    let rejected =
+        service.submit_update(Update::insert("R", vec![1.into()]), RequestOptions::default());
+    assert_eq!(rejected.unwrap_err(), Rejected::NotLive);
+    assert!(service.live_attribution("q").is_none());
+    assert!(service.live_stats().is_none());
+}
+
+#[test]
+fn update_tickets_resolve_to_reports_and_snapshots_track_the_stream() {
+    let service = live_service(2);
+    assert!(service.is_live());
+    assert_eq!(service.live_attribution("q").unwrap().answers.len(), 1);
+
+    // A new joining fact adds the answer Q(1).
+    let report = service
+        .submit_update(Update::insert("S", vec![1.into(), 9.into()]), RequestOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(report.touched.len(), 1);
+    assert_eq!(report.touched[0].change, AnswerChange::Added);
+    assert_eq!(report.touched[0].tuple, vec![Value::from(1)]);
+    let snapshot = service.live_attribution("q").unwrap();
+    assert_eq!(snapshot.answers.len(), 2);
+
+    // Deleting a fact no registered answer mentions touches nothing.
+    let report = service
+        .submit_update(Update::delete("R", vec![2.into()]), RequestOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(report.touched.is_empty());
+    assert_eq!(report.compile_steps, 0);
+
+    // An update naming an unknown fact fails its own ticket without
+    // stalling the stream behind it.
+    let invalid = service
+        .submit_update(Update::delete("S", vec![8.into(), 8.into()]), RequestOptions::default())
+        .unwrap();
+    assert_eq!(invalid.wait().unwrap_err(), ServeError::InvalidUpdate);
+    let after = service
+        .submit_update(Update::delete("S", vec![1.into(), 9.into()]), RequestOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(after.touched[0].change, AnswerChange::Removed);
+    assert_eq!(service.live_attribution("q").unwrap().answers.len(), 1);
+    assert_eq!(service.live_stats().unwrap().updates, 3);
+}
+
+#[test]
+fn live_updates_apply_in_submission_order_even_across_workers() {
+    // Alternating insert/delete of the *same* tuple is order-sensitive:
+    // any reordering makes a delete resolve against an absent fact and fail
+    // with InvalidUpdate. With two workers racing the queue, every ticket
+    // succeeding proves updates are serialized in submission order.
+    let service = live_service(2);
+    let mut tickets = Vec::new();
+    for _ in 0..8 {
+        for update in [
+            Update::insert("S", vec![1.into(), 7.into()]),
+            Update::delete("S", vec![1.into(), 7.into()]),
+        ] {
+            tickets.push(service.submit_update(update, RequestOptions::default()).unwrap());
+        }
+    }
+    // Plain attribution traffic rides along without disturbing the stream.
+    let attribution = service.submit(ring(500, 8), RequestOptions::default()).unwrap();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let report = ticket.wait().unwrap_or_else(|e| panic!("update {i} out of order: {e:?}"));
+        let expected = if i % 2 == 0 { AnswerChange::Added } else { AnswerChange::Removed };
+        assert_eq!(report.touched[0].change, expected, "update {i}");
+    }
+    assert!(attribution.wait().is_ok());
+    let stats = service.live_stats().unwrap();
+    assert_eq!((stats.updates, stats.inserts, stats.deletes), (16, 8, 8));
+    // The stream ends on a delete: back to the single initial answer.
+    let snapshot = service.live_attribution("q").unwrap();
+    assert_eq!(snapshot.answers.len(), 1);
+    assert_eq!(snapshot.answers[0].tuple, vec![Value::from(0)]);
 }
 
 proptest! {
@@ -184,7 +292,7 @@ proptest! {
         let service = AttributionService::start(ServeConfig::default().with_workers(2));
         let tickets: Vec<Ticket> = [&phi, &shifted, &phi]
             .iter()
-            .map(|l| service.submit((*l).clone()).unwrap())
+            .map(|l| service.submit((*l).clone(), RequestOptions::default()).unwrap())
             .collect();
         let served = block_on(join_all(tickets));
         let mut cold = Engine::new(EngineConfig::default().with_cache(false)).session();
