@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the cache-keying layers: the full
+//! refinement-based canonical key (`canonical_key_probe`) against the cheap
+//! isomorphism-invariant fingerprint pre-key (`prekey_probe`) on rings,
+//! cliques and random clause soups — the pre-key is what singleton-traffic
+//! lookups pay instead of the individualization search.
+
+use banzhaf_boolean::{Dnf, Var};
+use banzhaf_engine::{canonical_key_probe, prekey_probe};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn ring(num_vars: u32) -> Dnf {
+    Dnf::from_clauses(
+        (0..num_vars).map(|i| vec![Var(i), Var((i + 1) % num_vars)]).collect::<Vec<_>>(),
+    )
+}
+
+fn clique(num_vars: u32) -> Dnf {
+    let mut clauses = Vec::new();
+    for i in 0..num_vars {
+        for j in (i + 1)..num_vars {
+            clauses.push(vec![Var(i), Var(j)]);
+        }
+    }
+    Dnf::from_clauses(clauses)
+}
+
+fn soup(num_vars: u32, seed: u64) -> Dnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clauses = (0..num_vars)
+        .map(|_| {
+            let width = rng.gen_range(1..=3usize);
+            (0..width).map(|_| Var(rng.gen_range(0..num_vars))).collect::<Vec<_>>()
+        })
+        .collect::<Vec<_>>();
+    Dnf::from_clauses(clauses)
+}
+
+fn bench_keying(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canon_keying");
+    group.sample_size(20);
+    let families: Vec<(&str, Vec<Dnf>)> = vec![
+        ("ring", [32u32, 128, 512].iter().map(|&n| ring(n)).collect()),
+        ("clique", [8u32, 16, 32].iter().map(|&n| clique(n)).collect()),
+        ("soup", [32u32, 128, 512].iter().map(|&n| soup(n, u64::from(n))).collect()),
+    ];
+    for (family, lineages) in &families {
+        for phi in lineages {
+            let vars = phi.num_vars();
+            group.bench_with_input(
+                BenchmarkId::new(format!("canonical_key/{family}"), vars),
+                phi,
+                |bench, phi| bench.iter(|| canonical_key_probe(phi)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("prekey/{family}"), vars),
+                phi,
+                |bench, phi| bench.iter(|| prekey_probe(phi)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_keying);
+criterion_main!(benches);

@@ -202,6 +202,22 @@ fn check_correctness(gate: &mut Gate, artifacts: &Artifacts) {
             format!("measured {canon_rate:.3} vs baseline {base:.3} (deterministic, 0 tolerance)"),
         );
     }
+    if let Some(ceiling) =
+        baseline.get("canon_hit_rate").and_then(|b| b.get("canon_steps")).and_then(Json::as_f64)
+    {
+        // The keying *cost* is gated too: the seeded stream performs a fixed
+        // amount of refinement work, so any count above the baseline ceiling
+        // means the worklist refiner or the fingerprint pre-key regressed.
+        let canon_steps = f64_at(canon, &["canon_steps"], canon_path);
+        gate.check(
+            canon_steps <= ceiling + 1e-9,
+            "canon.canon_steps",
+            format!(
+                "measured {canon_steps:.0} refinement steps vs baseline ceiling {ceiling:.0} \
+                 (deterministic, 0 tolerance)"
+            ),
+        );
+    }
 }
 
 /// The live-update checks (`--update`): bit-identity of the incremental

@@ -1010,6 +1010,7 @@ fn exact_value_stream(
 /// PR's payoff. Emits `BENCH_canon.json` for the CI `bench-regression` gate,
 /// which requires `bit_identical`, a strictly higher canonical hit rate than
 /// the naive one, and the baseline floor from `BENCH_baseline.json`.
+#[allow(clippy::too_many_lines)]
 pub fn canon_hit_rate(config: &HarnessConfig) -> String {
     use banzhaf_serve::{block_on, join_all, AttributionService, RequestOptions, ServeConfig};
 
@@ -1040,6 +1041,8 @@ pub fn canon_hit_rate(config: &HarnessConfig) -> String {
     let canon_hit_rate = canon_hits as f64 / requests as f64;
     let cached_compile_steps = session.stats().compile_steps;
     let canon_steps = session.stats().canon_steps;
+    let canon_searches = session.stats().canon_searches;
+    let prekey_skips = session.stats().prekey_skips;
 
     // End-to-end: the serving layer over one shared cache.
     let workers = config.threads.max(2);
@@ -1064,34 +1067,49 @@ pub fn canon_hit_rate(config: &HarnessConfig) -> String {
 
     let bit_identical = cached == cold && served == cold;
 
-    let mut table =
-        TextTable::new(["Keying / path", "Hits", "Hit rate", "Compile steps", "Canon steps"]);
+    let mut table = TextTable::new([
+        "Keying / path",
+        "Hits",
+        "Hit rate",
+        "Compile steps",
+        "Canon steps",
+        "Searches",
+        "Prekey skips",
+    ]);
     table.push_row([
         "first-occurrence (replaced)".to_owned(),
         naive_hits.to_string(),
         format!("{:.1}%", naive_hit_rate * 100.0),
         "—".to_owned(),
         "0".to_owned(),
+        "—".to_owned(),
+        "—".to_owned(),
     ]);
     table.push_row([
-        "canonical, engine session".to_owned(),
+        "fingerprint+canonical, engine session".to_owned(),
         canon_hits.to_string(),
         format!("{:.1}%", canon_hit_rate * 100.0),
         cached_compile_steps.to_string(),
         canon_steps.to_string(),
+        canon_searches.to_string(),
+        prekey_skips.to_string(),
     ]);
     table.push_row([
-        format!("canonical, served ({workers} workers)"),
+        format!("fingerprint+canonical, served ({workers} workers)"),
         serve_stats.hits.to_string(),
         format!("{:.1}%", serve_stats.hit_rate() * 100.0),
         "—".to_owned(),
         serve_stats.canon_steps.to_string(),
+        serve_stats.canon_searches.to_string(),
+        serve_stats.prekey_skips.to_string(),
     ]);
     table.push_row([
         "cold (no cache, reference)".to_owned(),
         "0".to_owned(),
         "0.0%".to_owned(),
         cold_compile_steps.to_string(),
+        "—".to_owned(),
+        "—".to_owned(),
         "—".to_owned(),
     ]);
 
@@ -1101,6 +1119,8 @@ pub fn canon_hit_rate(config: &HarnessConfig) -> String {
          \"canon_hits\": {canon_hits},\n  \"canon_hit_rate\": {canon_hit_rate:.4},\n  \
          \"naive_hits\": {naive_hits},\n  \"naive_hit_rate\": {naive_hit_rate:.4},\n  \
          \"canon_steps\": {canon_steps},\n  \
+         \"canon_searches\": {canon_searches},\n  \
+         \"prekey_skips\": {prekey_skips},\n  \
          \"cached_compile_steps\": {cached_compile_steps},\n  \
          \"cold_compile_steps\": {cold_compile_steps},\n  \
          \"serve_hits\": {},\n  \"serve_workers\": {workers},\n  \

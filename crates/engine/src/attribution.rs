@@ -72,6 +72,15 @@ pub struct EngineStats {
     /// `canon_hit_rate` experiment weighs it against the compile work the
     /// extra hits save.
     pub canon_steps: u64,
+    /// Individualization searches this attribution actually ran (its own
+    /// shape plus any still-unkeyed cache residents or in-batch mates it had
+    /// to settle against; 0 when the fingerprint pre-key resolved the
+    /// lookup, or when the backend was invoked directly).
+    pub canon_searches: u64,
+    /// 1 when the cache lookup was resolved without any canonicalization
+    /// search because the lineage's cheap isomorphism-invariant fingerprint
+    /// had no resident entry (a definite miss), 0 otherwise.
+    pub prekey_skips: u64,
 }
 
 /// The unified attribution result: one [`Score`] per fact of the lineage's

@@ -124,6 +124,8 @@ impl Attributor for ExaBanAttributor {
                 wall: start.elapsed(),
                 cache_hit: false,
                 canon_steps: 0,
+                canon_searches: 0,
+                prekey_skips: 0,
             },
         })
     }
@@ -177,6 +179,8 @@ impl Attributor for AdaBanAttributor {
                 wall: start.elapsed(),
                 cache_hit: false,
                 canon_steps: 0,
+                canon_searches: 0,
+                prekey_skips: 0,
             },
         })
     }
@@ -221,6 +225,8 @@ impl Attributor for IchiBanAttributor {
                 wall: start.elapsed(),
                 cache_hit: false,
                 canon_steps: 0,
+                canon_searches: 0,
+                prekey_skips: 0,
             },
         })
     }
@@ -238,6 +244,8 @@ impl Attributor for IchiBanAttributor {
                 wall: start.elapsed(),
                 cache_hit: false,
                 canon_steps: 0,
+                canon_searches: 0,
+                prekey_skips: 0,
             },
         })
     }
@@ -255,6 +263,8 @@ impl Attributor for IchiBanAttributor {
                 wall: start.elapsed(),
                 cache_hit: false,
                 canon_steps: 0,
+                canon_searches: 0,
+                prekey_skips: 0,
             },
         })
     }
@@ -283,6 +293,8 @@ impl Attributor for Sig22Attributor {
                 wall: start.elapsed(),
                 cache_hit: false,
                 canon_steps: 0,
+                canon_searches: 0,
+                prekey_skips: 0,
             },
         })
     }

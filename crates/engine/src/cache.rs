@@ -8,34 +8,50 @@
 //!
 //! Design:
 //!
-//! * **Canonical-lineage keying** ([`CanonicalKey`]): variables renamed to a
-//!   dense numbering by the colour-refinement canonical form of
-//!   [`crate::canon`] — equal keys imply isomorphic lineages (so cached
-//!   attributions transfer under the variable bijection), and isomorphic
-//!   lineages produce equal keys under arbitrary variable renamings and
-//!   clause reorderings, not just identically-generated ones.
+//! * **Two-level keying: fingerprint, then canonical form.** Every lookup
+//!   first computes a cheap isomorphism-invariant [`Fingerprint`]
+//!   (variable/clause counts plus hashed clause-width and variable-degree
+//!   multisets — one linear pass, no refinement). Isomorphic lineages always
+//!   share a fingerprint, so an empty fingerprint bucket is a **definite
+//!   miss**: the lineage is compiled and inserted under its fingerprint with
+//!   the canonical form left *uncomputed*. Only when a second distinct shape
+//!   arrives under the same fingerprint does anyone pay for canonicalization
+//!   — the new arrival and any still-unkeyed residents are canonicalized
+//!   ([`CanonicalKey`], the colour-refinement canonical renaming of
+//!   [`crate::canon`]) and compared exactly. Singleton fingerprints — the
+//!   common case for heterogeneous traffic — never run the
+//!   individualization search at all; the searches avoided this way are
+//!   counted as [`CacheStats::prekey_skips`].
+//! * **Exact canonical confirmation**: equal canonical keys imply isomorphic
+//!   lineages (so cached attributions transfer under the variable
+//!   bijection), and isomorphic lineages produce equal keys under arbitrary
+//!   variable renamings and clause reorderings — fingerprint collisions
+//!   between non-isomorphic shapes (e.g. two triangles vs a hexagon) are
+//!   resolved by the canonical key, never served across.
 //! * **Size-bounded, LRU-evicted**: the cache holds at most
 //!   [`SharedCache::capacity`] entries. Recency is tracked with a lazy LRU
-//!   queue (every touch appends a `(key, tick)` pair; eviction pops from the
-//!   front, skipping pairs whose tick is stale), so hits and inserts stay
-//!   O(1) amortized with no intrusive lists.
+//!   queue (every touch appends an `(entry id, tick)` pair; eviction pops
+//!   from the front, skipping pairs whose tick is stale), so hits and
+//!   inserts stay O(1) amortized with no intrusive lists.
 //! * **Single-writer merge**: batch entry points look the cache up during
 //!   planning, compute misses on worker threads *without touching the cache*,
 //!   and merge freshly computed attributions only after the workers have
 //!   joined — concurrent sessions serialize only on the brief lock of a
-//!   lookup or merge, never for the duration of a compilation.
-//! * **Counters** ([`CacheStats`]): hits, misses, insertions and evictions
-//!   are tracked atomically and surfaced through
+//!   lookup or merge, never for the duration of a compilation (or of a
+//!   canonicalization, which also runs outside the lock).
+//! * **Counters** ([`CacheStats`]): hits, misses, insertions, evictions and
+//!   the canonicalization work (`canon_steps`, `canon_searches`,
+//!   `prekey_skips`) are tracked under one lock and surfaced through
 //!   [`crate::Engine::cache_stats`] (and the serving layer's stats).
 
 use crate::attribution::{Attribution, Score};
-use crate::canon::canonical_form;
+use crate::canon::{canonical_form, fingerprint, Fingerprint};
 use banzhaf_boolean::{Dnf, Var, VarSet};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-/// The cache key: the lineage with its variables renamed to the dense
+/// The exact cache key: the lineage with its variables renamed to the dense
 /// colour-refinement canonical numbering of [`crate::canon`].
 ///
 /// The invariant is **equal keys ⇔ isomorphic lineages, up to the
@@ -57,80 +73,131 @@ pub(crate) struct CanonicalKey {
     pub(crate) clauses: Vec<Vec<u32>>,
 }
 
-/// A lineage together with its canonical renaming.
-pub(crate) struct Canonicalized {
+/// A lineage in dense first-occurrence presentation: variables renamed to
+/// `0..num_vars` in order of first occurrence, clauses sorted. This is *not*
+/// isomorphism-invariant (that is [`CanonicalKey`]'s job) — it is the stable
+/// presentation the backends run and the one the canonical form is computed
+/// from when a fingerprint collision forces it.
+#[derive(PartialEq, Eq, Debug)]
+pub(crate) struct Shape {
+    num_vars: usize,
+    clauses: Vec<Vec<u32>>,
+}
+
+impl Shape {
+    /// Runs the individualization search on this presentation. Returns the
+    /// canonical renaming and the refinement steps it cost.
+    pub(crate) fn canonicalize(&self) -> (CanonInfo, u64) {
+        let form = canonical_form(self.num_vars, &self.clauses);
+        (
+            CanonInfo {
+                key: CanonicalKey { num_vars: self.num_vars, clauses: form.clauses },
+                order: form.order,
+            },
+            form.steps,
+        )
+    }
+}
+
+/// The canonical renaming of one [`Shape`]: the exact key plus the witness
+/// order needed to transfer attribution values between isomorphic shapes.
+pub(crate) struct CanonInfo {
     pub(crate) key: CanonicalKey,
-    /// The same function over the canonical variables `0..n`.
+    /// `order[i]` is the dense variable of the owning [`Shape`] assigned
+    /// canonical index `i`.
+    order: Vec<u32>,
+}
+
+/// A lineage prepared for a cache lookup: densely renamed, fingerprinted —
+/// and *not yet canonicalized*. The individualization search only runs (via
+/// [`Shape::canonicalize`]) when the fingerprint bucket is contested.
+pub(crate) struct Prekeyed {
+    pub(crate) fingerprint: Fingerprint,
+    pub(crate) shape: Arc<Shape>,
+    /// The same function over the dense variables `0..n` — what the backends
+    /// run; results are renamed back to the original facts via
+    /// [`Prekeyed::map_back`].
     pub(crate) dnf: Dnf,
-    /// Refinement work spent computing the form (see
-    /// [`crate::EngineStats::canon_steps`]).
-    pub(crate) canon_steps: u64,
-    /// Canonical index → original variable.
+    /// Dense variable → original fact.
     originals: Vec<Var>,
 }
 
-impl Canonicalized {
-    /// Renames variables to `0..n` by the colour-refinement canonical form
-    /// over the clause–variable incidence graph (unused universe variables
-    /// follow the used ones). The resulting key is invariant under arbitrary
-    /// variable renamings and clause reorderings — see [`CanonicalKey`] for
-    /// the exact invariant. (The previous first-occurrence renaming walked
-    /// the clauses in the order the *original* labels sorted them, so a mere
-    /// relabelling of the same lineage produced a different key and a
-    /// spurious cache miss.)
-    pub(crate) fn of(lineage: &Dnf) -> Canonicalized {
-        // Dense pre-renaming by first occurrence: the canonical-form search
-        // works on contiguous ids, and `dense_originals` remembers which
-        // original fact each dense id stands for.
+impl Prekeyed {
+    /// Renames variables to `0..n` by first occurrence (clauses first, then
+    /// the unused universe padding), computes the fingerprint, and builds
+    /// the dense [`Dnf`] the backends will run. No refinement, no search —
+    /// one linear pass.
+    pub(crate) fn of(lineage: &Dnf) -> Prekeyed {
         let mut ids: HashMap<Var, u32> = HashMap::with_capacity(lineage.num_vars());
-        let mut dense_originals: Vec<Var> = Vec::with_capacity(lineage.num_vars());
+        let mut originals: Vec<Var> = Vec::with_capacity(lineage.num_vars());
         let mut rename = |v: Var, originals: &mut Vec<Var>| -> u32 {
             *ids.entry(v).or_insert_with(|| {
                 originals.push(v);
                 (originals.len() - 1) as u32
             })
         };
-        let dense_clauses: Vec<Vec<u32>> = lineage
+        let mut clauses: Vec<Vec<u32>> = lineage
             .clauses()
             .iter()
-            .map(|c| c.iter().map(|v| rename(v, &mut dense_originals)).collect())
+            .map(|c| {
+                let mut clause: Vec<u32> = c.iter().map(|v| rename(v, &mut originals)).collect();
+                clause.sort_unstable();
+                clause
+            })
             .collect();
+        clauses.sort_unstable();
         for v in lineage.universe().iter() {
-            rename(v, &mut dense_originals);
+            rename(v, &mut originals);
         }
-        let form = canonical_form(dense_originals.len(), &dense_clauses);
-        // Compose the two renamings: canonical index i stands for the
-        // original fact behind the dense id the form placed at position i.
-        let originals: Vec<Var> =
-            form.order.iter().map(|&dense| dense_originals[dense as usize]).collect();
-        let universe = VarSet::from_sorted((0..originals.len() as u32).map(Var).collect());
+        let num_vars = originals.len();
+        let universe = VarSet::from_sorted((0..num_vars as u32).map(Var).collect());
         let dnf = Dnf::from_clauses_with_universe(
-            form.clauses.iter().map(|c| c.iter().map(|&i| Var(i))),
+            clauses.iter().map(|c| c.iter().map(|&i| Var(i))),
             universe,
         );
-        Canonicalized {
-            key: CanonicalKey { num_vars: originals.len(), clauses: form.clauses },
+        Prekeyed {
+            fingerprint: fingerprint(num_vars, &clauses),
+            shape: Arc::new(Shape { num_vars, clauses }),
             dnf,
-            canon_steps: form.steps,
             originals,
         }
     }
 
-    /// Renames a canonical-variable attribution back to the original facts.
-    pub(crate) fn map_back(&self, canonical: &Attribution) -> Attribution {
-        let rename = |v: &Var| self.originals[v.index()];
+    /// Renames a dense-variable attribution (computed on [`Prekeyed::dnf`])
+    /// back to the original facts.
+    pub(crate) fn map_back(&self, dense: &Attribution) -> Attribution {
+        Self::rename_through(dense, |v| self.originals[v.index()])
+    }
+
+    /// Renames an attribution computed on *another* isomorphic shape back to
+    /// this lineage's original facts, composing the two canonical witnesses:
+    /// canonical index `i` is the owner's dense variable `owner.order[i]`
+    /// and this lineage's dense variable `mine.order[i]`.
+    pub(crate) fn map_back_via(
+        &self,
+        mine: &CanonInfo,
+        owner: &CanonInfo,
+        dense: &Attribution,
+    ) -> Attribution {
+        debug_assert_eq!(mine.key, owner.key, "witness composition requires equal keys");
+        let mut through = vec![Var(0); self.originals.len()];
+        for (&theirs, &ours) in owner.order.iter().zip(mine.order.iter()) {
+            through[theirs as usize] = self.originals[ours as usize];
+        }
+        Self::rename_through(dense, |v| through[v.index()])
+    }
+
+    fn rename_through(dense: &Attribution, rename: impl Fn(&Var) -> Var) -> Attribution {
         let values: HashMap<Var, Score> =
-            canonical.values.iter().map(|(v, s)| (rename(v), s.clone())).collect();
-        let shapley = canonical
-            .shapley
-            .as_ref()
-            .map(|m| m.iter().map(|(v, s)| (rename(v), s.clone())).collect());
+            dense.values.iter().map(|(v, s)| (rename(v), s.clone())).collect();
+        let shapley =
+            dense.shapley.as_ref().map(|m| m.iter().map(|(v, s)| (rename(v), s.clone())).collect());
         Attribution {
-            algorithm: canonical.algorithm,
+            algorithm: dense.algorithm,
             values,
-            model_count: canonical.model_count.clone(),
+            model_count: dense.model_count.clone(),
             shapley,
-            stats: canonical.stats,
+            stats: dense.stats,
         }
     }
 }
@@ -140,20 +207,30 @@ impl Canonicalized {
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that found no entry. An instance whose shape is compiled by an
-    /// earlier instance of the *same batch* counts as a miss here (the shape
-    /// was not cached when it was looked up) even though the session scores
-    /// the shared work as a per-session hit.
+    /// Lookups that found no entry — either a vacant fingerprint bucket (no
+    /// canonicalization performed) or a contested bucket whose residents all
+    /// keyed apart. An instance whose shape is compiled by an earlier
+    /// instance of the *same batch* counts as a miss here (the shape was not
+    /// cached when it was looked up) even though the session scores the
+    /// shared work as a per-session hit.
     pub misses: u64,
     /// Attributions merged into the cache.
     pub insertions: u64,
     /// Entries evicted to keep the cache within its capacity bound.
     pub evictions: u64,
     /// Canonicalization work (colour-refinement steps) spent computing the
-    /// cache keys by the engine's sessions — the price paid for the
+    /// exact cache keys by the engine's sessions — the price paid for the
     /// order-insensitive keying, to weigh against the compile steps the hits
     /// save.
     pub canon_steps: u64,
+    /// Individualization searches actually run by the engine's sessions
+    /// (one per shape canonicalized — lookups resolved by the fingerprint
+    /// alone run none).
+    pub canon_searches: u64,
+    /// Lookups resolved without any individualization search because their
+    /// fingerprint bucket was vacant (the common case for heterogeneous
+    /// traffic).
+    pub prekey_skips: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// The configured capacity bound.
@@ -172,23 +249,58 @@ impl CacheStats {
     }
 }
 
+/// The first, cheap phase of a lookup: what the fingerprint bucket holds.
+pub(crate) enum Lookup {
+    /// No resident shares the fingerprint — a definite miss, already counted;
+    /// no canonicalization is needed (insert the compiled result with
+    /// `canon: None`).
+    Vacant,
+    /// Residents share the fingerprint. Canonicalize (outside the lock!) the
+    /// probe and any resident returned with `canon: None`, then settle the
+    /// lookup with [`SharedCache::finish_lookup`].
+    Occupied(Vec<Resident>),
+}
+
+/// One cache entry visible to a contested lookup.
+pub(crate) struct Resident {
+    pub(crate) id: u64,
+    pub(crate) shape: Arc<Shape>,
+    /// The entry's canonical renaming, if some earlier contested lookup
+    /// already paid for it.
+    pub(crate) canon: Option<Arc<CanonInfo>>,
+}
+
+/// A settled cache hit: the stored dense attribution plus the owning entry's
+/// canonical witness (compose with the probe's own witness to rename the
+/// values — see [`Prekeyed::map_back_via`]).
+pub(crate) struct CacheHit {
+    pub(crate) attribution: Arc<Attribution>,
+    pub(crate) canon: Arc<CanonInfo>,
+}
+
 struct CacheEntry {
+    fingerprint: Fingerprint,
+    shape: Arc<Shape>,
     /// `Arc`ed so a hit hands the value out with an O(1) refcount bump — the
-    /// deep copy (`Canonicalized::map_back`) happens outside the lock.
+    /// deep copy (`Prekeyed::map_back_via`) happens outside the lock. The
+    /// attribution is over the entry's *dense* variables.
     attribution: Arc<Attribution>,
-    /// The map key, shared with the recency queue so a touch appends an
-    /// O(1) refcount bump instead of deep-copying the clause list.
-    key: Arc<CanonicalKey>,
+    /// Computed lazily, only once the fingerprint bucket is contested.
+    canon: Option<Arc<CanonInfo>>,
     /// The tick of this entry's most recent touch; queue pairs with an older
     /// tick are stale.
     tick: u64,
 }
 
 struct CacheInner {
-    map: HashMap<Arc<CanonicalKey>, CacheEntry>,
-    /// Lazy LRU order: `(key, tick)` appended on every touch; a pair is live
-    /// iff its tick equals the entry's current tick.
-    recency: VecDeque<(Arc<CanonicalKey>, u64)>,
+    /// Fingerprint → resident entry ids. Buckets are tiny (almost always a
+    /// singleton); an absent fingerprint is a definite miss.
+    buckets: HashMap<Fingerprint, Vec<u64>>,
+    entries: HashMap<u64, CacheEntry>,
+    /// Lazy LRU order: `(entry id, tick)` appended on every touch; a pair is
+    /// live iff its tick equals the entry's current tick.
+    recency: VecDeque<(u64, u64)>,
+    next_id: u64,
     tick: u64,
     /// The counters live under the same lock as the map so a
     /// [`SharedCache::stats`] snapshot is consistent: each lookup increments
@@ -201,13 +313,17 @@ struct CacheInner {
     insertions: u64,
     evictions: u64,
     canon_steps: u64,
+    canon_searches: u64,
+    prekey_skips: u64,
 }
 
-/// The shared, size-bounded, canonical-lineage-keyed attribution cache.
+/// The shared, size-bounded attribution cache, keyed by fingerprint first
+/// and canonical lineage second.
 ///
 /// Wrapped in an `Arc` by [`crate::Engine`] and handed to every
 /// [`crate::Session`]; safe to share across threads. Lookups and merges take
-/// a short internal lock; compilations never run under it.
+/// a short internal lock; compilations and canonicalizations never run
+/// under it.
 pub struct SharedCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
@@ -219,14 +335,18 @@ impl SharedCache {
         let capacity = capacity.max(1);
         SharedCache {
             inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
+                buckets: HashMap::new(),
+                entries: HashMap::new(),
                 recency: VecDeque::new(),
+                next_id: 0,
                 tick: 0,
                 hits: 0,
                 misses: 0,
                 insertions: 0,
                 evictions: 0,
                 canon_steps: 0,
+                canon_searches: 0,
+                prekey_skips: 0,
             }),
             capacity,
         }
@@ -237,89 +357,171 @@ impl SharedCache {
         self.capacity
     }
 
-    /// Looks a canonical shape up, refreshing its recency on a hit.
-    ///
-    /// Returns a shared handle: the critical section is O(1) (refcount bump
-    /// plus recency bookkeeping), never a deep copy of the attribution.
-    pub(crate) fn get(&self, key: &CanonicalKey) -> Option<Arc<Attribution>> {
+    /// Phase one of a lookup: inspects the fingerprint bucket. A vacant
+    /// bucket is a definite miss (counted here); an occupied one returns the
+    /// candidate residents so the caller can canonicalize outside the lock
+    /// and settle with [`SharedCache::finish_lookup`].
+    pub(crate) fn lookup(&self, fp: Fingerprint) -> Lookup {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(key) {
-            Some(entry) => {
-                entry.tick = tick;
-                let attribution = Arc::clone(&entry.attribution);
-                let stored_key = Arc::clone(&entry.key);
-                inner.recency.push_back((stored_key, tick));
-                inner.hits += 1;
-                Self::compact(&mut inner);
-                Some(attribution)
+        match inner.buckets.get(&fp) {
+            Some(ids) if !ids.is_empty() => {
+                let residents = ids
+                    .iter()
+                    .map(|&id| {
+                        let entry = &inner.entries[&id];
+                        Resident { id, shape: Arc::clone(&entry.shape), canon: entry.canon.clone() }
+                    })
+                    .collect();
+                Lookup::Occupied(residents)
             }
-            None => {
+            _ => {
                 inner.misses += 1;
-                None
+                Lookup::Vacant
             }
         }
     }
 
-    /// Merges one freshly computed canonical attribution, evicting the least
-    /// recently used entries if the capacity bound is exceeded. Re-inserting
-    /// an existing shape refreshes its entry (last writer wins; both writers
-    /// computed bit-identical values on the canonical form).
-    pub(crate) fn insert(&self, key: CanonicalKey, attribution: Attribution) {
-        let attribution = Arc::new(attribution);
-        let key = Arc::new(key);
+    /// Phase two of a contested lookup: stores the canonical renamings the
+    /// caller computed for previously-unkeyed residents (`resolved`), then
+    /// scans the bucket for an entry whose canonical key equals `key`. A
+    /// match is a hit (recency refreshed); no match is a miss. Exactly one
+    /// of `hits`/`misses` is incremented.
+    pub(crate) fn finish_lookup(
+        &self,
+        fp: Fingerprint,
+        key: &CanonicalKey,
+        resolved: &[(u64, Arc<CanonInfo>)],
+    ) -> Option<CacheHit> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        for (id, canon) in resolved {
+            if let Some(entry) = inner.entries.get_mut(id) {
+                // Keep an existing witness if another session raced us to
+                // it: canonicalization is deterministic on the entry's
+                // shape, so both computed the same renaming.
+                if entry.canon.is_none() {
+                    entry.canon = Some(Arc::clone(canon));
+                }
+            }
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let ids = inner.buckets.get(&fp).cloned().unwrap_or_default();
+        for id in ids {
+            let entry = &inner.entries[&id];
+            let matches = entry.canon.as_ref().is_some_and(|c| c.key == *key);
+            if matches {
+                let entry = inner.entries.get_mut(&id).expect("resident just seen");
+                entry.tick = tick;
+                let hit = CacheHit {
+                    attribution: Arc::clone(&entry.attribution),
+                    canon: Arc::clone(entry.canon.as_ref().expect("matched on canon")),
+                };
+                inner.recency.push_back((id, tick));
+                inner.hits += 1;
+                Self::compact(&mut inner);
+                return Some(hit);
+            }
+        }
+        inner.misses += 1;
+        None
+    }
+
+    /// Merges one freshly computed dense attribution under its fingerprint,
+    /// evicting the least recently used entries if the capacity bound is
+    /// exceeded. Re-inserting an existing shape (equal canonical key, or
+    /// equal dense presentation when a witness is missing) refreshes that
+    /// entry — last writer wins; both writers computed bit-identical values
+    /// on the same dense form.
+    pub(crate) fn insert(
+        &self,
+        fp: Fingerprint,
+        shape: &Arc<Shape>,
+        canon: Option<Arc<CanonInfo>>,
+        attribution: Arc<Attribution>,
+    ) {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         inner.tick += 1;
         let tick = inner.tick;
-        inner.recency.push_back((Arc::clone(&key), tick));
-        inner.map.insert(Arc::clone(&key), CacheEntry { attribution, key, tick });
+        let bucket = inner.buckets.get(&fp).cloned().unwrap_or_default();
+        let existing = bucket.iter().copied().find(|id| {
+            let entry = &inner.entries[id];
+            let same_key = match (&entry.canon, &canon) {
+                (Some(theirs), Some(ours)) => theirs.key == ours.key,
+                _ => false,
+            };
+            same_key || *entry.shape == **shape
+        });
+        if let Some(id) = existing {
+            let entry = inner.entries.get_mut(&id).expect("resident just seen");
+            entry.attribution = attribution;
+            if entry.canon.is_none() {
+                entry.canon = canon;
+            }
+            entry.tick = tick;
+            inner.recency.push_back((id, tick));
+        } else {
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.entries.insert(
+                id,
+                CacheEntry { fingerprint: fp, shape: Arc::clone(shape), attribution, canon, tick },
+            );
+            inner.buckets.entry(fp).or_default().push(id);
+            inner.recency.push_back((id, tick));
+        }
         inner.insertions += 1;
-        while inner.map.len() > self.capacity {
+        while inner.entries.len() > self.capacity {
             let Some((victim, victim_tick)) = inner.recency.pop_front() else {
                 break;
             };
-            let live = inner.map.get(&victim).is_some_and(|e| e.tick == victim_tick);
+            let live = inner.entries.get(&victim).is_some_and(|e| e.tick == victim_tick);
             if live {
-                inner.map.remove(&victim);
+                let entry = inner.entries.remove(&victim).expect("live victim");
+                if let Some(ids) = inner.buckets.get_mut(&entry.fingerprint) {
+                    ids.retain(|&id| id != victim);
+                    if ids.is_empty() {
+                        inner.buckets.remove(&entry.fingerprint);
+                    }
+                }
                 inner.evictions += 1;
             }
         }
         Self::compact(&mut inner);
     }
 
-    /// Records canonicalization work performed by a session of this engine,
-    /// so [`CacheStats::canon_steps`] reports the end-to-end cost of the
-    /// order-insensitive keying next to the hits it buys.
-    pub(crate) fn record_canon(&self, steps: u64) {
-        self.inner.lock().expect("cache lock poisoned").canon_steps += steps;
+    /// Records canonicalization work performed by a session of this engine —
+    /// refinement steps, individualization searches run, and searches
+    /// avoided outright by vacant fingerprints — so [`CacheStats`] reports
+    /// the end-to-end cost of the keying next to the hits it buys.
+    pub(crate) fn record_canon(&self, steps: u64, searches: u64, skips: u64) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.canon_steps += steps;
+        inner.canon_searches += searches;
+        inner.prekey_skips += skips;
     }
 
     /// Drops stale recency pairs once the queue outgrows the live entry set,
     /// keeping the lazy-LRU bookkeeping O(1) amortized per touch.
     fn compact(inner: &mut CacheInner) {
-        if inner.recency.len() <= inner.map.len().saturating_mul(4).max(64) {
+        if inner.recency.len() <= inner.entries.len().saturating_mul(4).max(64) {
             return;
         }
-        let map = &inner.map;
-        let mut seen: HashMap<&CanonicalKey, u64> = HashMap::with_capacity(map.len());
-        for (key, entry) in map {
-            seen.insert(key.as_ref(), entry.tick);
-        }
-        inner.recency.retain(|(key, tick)| seen.get(key.as_ref()) == Some(tick));
+        let entries = &inner.entries;
+        inner.recency.retain(|(id, tick)| entries.get(id).is_some_and(|e| e.tick == *tick));
     }
 
     /// Removes every entry (counters are preserved).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
-        inner.map.clear();
+        inner.entries.clear();
+        inner.buckets.clear();
         inner.recency.clear();
     }
 
     /// A consistent snapshot of the cache's counters and occupancy: all
     /// fields are read under one acquisition of the inner lock, so no
     /// concurrent lookup is ever half-reflected — in particular
-    /// `hits + misses` is exactly the number of completed lookups and the
+    /// `hits + misses` is exactly the number of settled lookups and the
     /// hit rate can never exceed 1.0.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock poisoned");
@@ -329,7 +531,9 @@ impl SharedCache {
             insertions: inner.insertions,
             evictions: inner.evictions,
             canon_steps: inner.canon_steps,
-            entries: inner.map.len(),
+            canon_searches: inner.canon_searches,
+            prekey_skips: inner.prekey_skips,
+            entries: inner.entries.len(),
             capacity: self.capacity,
         }
     }
@@ -339,6 +543,27 @@ impl fmt::Debug for SharedCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SharedCache").field("stats", &self.stats()).finish()
     }
+}
+
+/// Computes the full canonical key of `lineage` — dense renaming,
+/// fingerprint, and the individualization search — and returns the
+/// refinement steps spent. A benchmarking probe for the keying cost; not
+/// used on the serving path.
+pub fn canonical_key_probe(lineage: &Dnf) -> u64 {
+    let prekeyed = Prekeyed::of(lineage);
+    let (_, steps) = prekeyed.shape.canonicalize();
+    steps
+}
+
+/// Computes only the fingerprint pre-key of `lineage` (the work a
+/// vacant-bucket lookup pays) and returns a digest of it so the computation
+/// cannot be optimized away. A benchmarking probe.
+pub fn prekey_probe(lineage: &Dnf) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let prekeyed = Prekeyed::of(lineage);
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    prekeyed.fingerprint.hash(&mut hasher);
+    hasher.finish()
 }
 
 #[cfg(test)]
@@ -351,58 +576,87 @@ mod tests {
         Var(i)
     }
 
-    fn dummy_attribution(tag: u64) -> Attribution {
-        Attribution {
+    fn dummy_attribution(tag: u64) -> Arc<Attribution> {
+        Arc::new(Attribution {
             algorithm: "test",
             values: [(v(0), Score::Exact(Natural::from(tag)))].into_iter().collect(),
             model_count: None,
             shapley: None,
             stats: EngineStats::default(),
+        })
+    }
+
+    fn prekeyed_of(clauses: Vec<Vec<u32>>) -> Prekeyed {
+        let clauses: Vec<Vec<Var>> =
+            clauses.into_iter().map(|c| c.into_iter().map(Var).collect()).collect();
+        Prekeyed::of(&Dnf::from_clauses(clauses))
+    }
+
+    /// Runs the full two-phase lookup protocol the session uses: fingerprint
+    /// first; on contention canonicalize the probe and any unkeyed
+    /// residents, then settle.
+    fn probe(cache: &SharedCache, p: &Prekeyed) -> Option<CacheHit> {
+        match cache.lookup(p.fingerprint) {
+            Lookup::Vacant => None,
+            Lookup::Occupied(residents) => {
+                let (mine, _) = p.shape.canonicalize();
+                let resolved: Vec<(u64, Arc<CanonInfo>)> = residents
+                    .iter()
+                    .filter(|r| r.canon.is_none())
+                    .map(|r| (r.id, Arc::new(r.shape.canonicalize().0)))
+                    .collect();
+                cache.finish_lookup(p.fingerprint, &mine.key, &resolved)
+            }
         }
     }
 
-    fn key_of(clause: &[u32]) -> CanonicalKey {
-        let vars: Vec<Var> = clause.iter().map(|&i| Var(i)).collect();
-        Canonicalized::of(&Dnf::from_clauses(vec![vars])).key
+    fn insert(cache: &SharedCache, p: &Prekeyed, tag: u64) {
+        cache.insert(p.fingerprint, &p.shape, None, dummy_attribution(tag));
     }
 
     #[test]
     fn lru_evicts_the_least_recently_used_shape() {
         let cache = SharedCache::new(2);
-        let (a, b, c) = (key_of(&[0]), key_of(&[0, 1]), key_of(&[0, 1, 2]));
-        cache.insert(a.clone(), dummy_attribution(1));
-        cache.insert(b.clone(), dummy_attribution(2));
+        let a = prekeyed_of(vec![vec![0]]);
+        let b = prekeyed_of(vec![vec![0, 1]]);
+        let c = prekeyed_of(vec![vec![0, 1, 2]]);
+        insert(&cache, &a, 1);
+        insert(&cache, &b, 2);
         // Touch `a` so `b` is the LRU victim.
-        assert!(cache.get(&a).is_some());
-        cache.insert(c.clone(), dummy_attribution(3));
+        assert!(probe(&cache, &a).is_some());
+        insert(&cache, &c, 3);
         let stats = cache.stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.evictions, 1);
-        assert!(cache.get(&a).is_some(), "recently touched entry survives");
-        assert!(cache.get(&b).is_none(), "LRU entry was evicted");
-        assert!(cache.get(&c).is_some());
+        assert!(probe(&cache, &a).is_some(), "recently touched entry survives");
+        assert!(probe(&cache, &b).is_none(), "LRU entry was evicted");
+        assert!(probe(&cache, &c).is_some());
     }
 
     #[test]
     fn counters_track_hits_misses_and_insertions() {
         let cache = SharedCache::new(8);
-        let key = key_of(&[0, 1]);
-        assert!(cache.get(&key).is_none());
-        cache.insert(key.clone(), dummy_attribution(7));
-        assert!(cache.get(&key).is_some());
+        let p = prekeyed_of(vec![vec![0, 1]]);
+        assert!(probe(&cache, &p).is_none());
+        insert(&cache, &p, 7);
+        assert!(probe(&cache, &p).is_some());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.insertions, stats.evictions), (1, 1, 1, 0));
         assert_eq!(stats.entries, 1);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // Canonicalization telemetry flows through `record_canon`.
+        cache.record_canon(5, 2, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.canon_steps, stats.canon_searches, stats.prekey_skips), (5, 2, 1));
     }
 
     #[test]
     fn recency_queue_stays_bounded_under_repeated_hits() {
         let cache = SharedCache::new(4);
-        let key = key_of(&[0]);
-        cache.insert(key.clone(), dummy_attribution(1));
+        let p = prekeyed_of(vec![vec![0]]);
+        insert(&cache, &p, 1);
         for _ in 0..10_000 {
-            assert!(cache.get(&key).is_some());
+            assert!(probe(&cache, &p).is_some());
         }
         let inner = cache.inner.lock().unwrap();
         assert!(
@@ -415,13 +669,13 @@ mod tests {
     #[test]
     fn concurrent_sessions_share_entries() {
         let cache = std::sync::Arc::new(SharedCache::new(16));
-        let key = key_of(&[0, 1, 2]);
-        cache.insert(key.clone(), dummy_attribution(9));
+        let p = prekeyed_of(vec![vec![0, 1, 2]]);
+        insert(&cache, &p, 9);
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for _ in 0..100 {
-                        assert!(cache.get(&key).is_some());
+                        assert!(probe(&cache, &p).is_some());
                     }
                 });
             }
@@ -439,15 +693,15 @@ mod tests {
         // i.e. transient hit rates above their true value (and, with more
         // workers than pairs, above 1.0).
         let cache = SharedCache::new(8);
-        let present = key_of(&[0, 1]);
-        let missing = key_of(&[0, 1, 2, 3]);
-        cache.insert(present.clone(), dummy_attribution(1));
+        let present = prekeyed_of(vec![vec![0, 1]]);
+        let missing = prekeyed_of(vec![vec![0, 1, 2, 3]]);
+        insert(&cache, &present, 1);
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for _ in 0..2_000 {
-                        assert!(cache.get(&missing).is_none());
-                        assert!(cache.get(&present).is_some());
+                        assert!(probe(&cache, &missing).is_none());
+                        assert!(probe(&cache, &present).is_some());
                     }
                 });
             }
@@ -473,51 +727,107 @@ mod tests {
         // the middle label ({x,y} ∨ {y,z} vs {y,x} ∨ {y,z}): one
         // isomorphism class, two keys, a spurious miss. The
         // refinement-based key identifies every labelling...
-        let middle_mid =
-            Canonicalized::of(&Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]));
-        let middle_large =
-            Canonicalized::of(&Dnf::from_clauses(vec![vec![v(9), v(0)], vec![v(9), v(1)]]));
-        let middle_small =
-            Canonicalized::of(&Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(0), v(2)]]));
-        assert_eq!(middle_mid.key, middle_large.key, "isomorphic lineages must key equal");
-        assert_eq!(middle_mid.key, middle_small.key, "isomorphic lineages must key equal");
-        assert!(middle_mid.canon_steps > 0);
+        let middle_mid = prekeyed_of(vec![vec![0, 1], vec![1, 2]]);
+        let middle_large = prekeyed_of(vec![vec![9, 0], vec![9, 1]]);
+        let middle_small = prekeyed_of(vec![vec![0, 1], vec![0, 2]]);
+        assert_eq!(middle_mid.fingerprint, middle_large.fingerprint);
+        let (mid, steps) = middle_mid.shape.canonicalize();
+        let (large, _) = middle_large.shape.canonicalize();
+        let (small, _) = middle_small.shape.canonicalize();
+        assert_eq!(mid.key, large.key, "isomorphic lineages must key equal");
+        assert_eq!(mid.key, small.key, "isomorphic lineages must key equal");
+        assert!(steps > 0);
         // ...while non-isomorphic shapes (different model counts) stay apart.
-        let path4 = Canonicalized::of(&Dnf::from_clauses(vec![
-            vec![v(0), v(1)],
-            vec![v(1), v(2)],
-            vec![v(2), v(3)],
-        ]));
-        let star4 = Canonicalized::of(&Dnf::from_clauses(vec![
-            vec![v(0), v(1)],
-            vec![v(0), v(2)],
-            vec![v(0), v(3)],
-        ]));
-        assert_ne!(path4.key, star4.key, "non-isomorphic shapes must key apart");
+        let path4 = prekeyed_of(vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let star4 = prekeyed_of(vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
+        assert_ne!(
+            path4.shape.canonicalize().0.key,
+            star4.shape.canonicalize().0.key,
+            "non-isomorphic shapes must key apart"
+        );
+        // The path and the star already separate on the cheap pre-key (their
+        // degree multisets differ), so a cache holding one never pays a
+        // search when the other arrives.
+        assert_ne!(path4.fingerprint, star4.fingerprint);
     }
 
     #[test]
-    fn canonical_dnf_is_isomorphic_to_the_input() {
-        // The backend runs the canonical form; it must be the same function
-        // modulo renaming — model counts are renaming-invariant.
+    fn shared_fingerprint_shapes_occupy_separate_entries_via_lazy_canonicalization() {
+        // Two triangles vs a hexagon: the classic 1-WL-equivalent pair
+        // shares a fingerprint (equal counts, widths, degrees), so the
+        // second arrival forces the lazy canonicalization of both — and the
+        // exact keys must keep the entries apart.
+        let triangles = prekeyed_of(vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 0],
+            vec![3, 4],
+            vec![4, 5],
+            vec![5, 3],
+        ]);
+        let hexagon = prekeyed_of(vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![4, 5],
+            vec![5, 0],
+        ]);
+        assert_eq!(triangles.fingerprint, hexagon.fingerprint);
+        let cache = SharedCache::new(8);
+        assert!(probe(&cache, &triangles).is_none());
+        insert(&cache, &triangles, 1);
+        {
+            // The first insert is lazy: no witness computed yet.
+            let inner = cache.inner.lock().unwrap();
+            assert!(inner.entries.values().all(|e| e.canon.is_none()));
+        }
+        // The hexagon contests the bucket, canonicalizes both shapes, and
+        // still misses — non-isomorphic shapes are never served across.
+        assert!(probe(&cache, &hexagon).is_none());
+        insert(&cache, &hexagon, 2);
+        assert_eq!(cache.stats().entries, 2, "colliding fingerprints keep separate entries");
+        // Each shape now hits its own entry, with its own values.
+        let t = probe(&cache, &triangles).expect("triangles hit their entry");
+        let h = probe(&cache, &hexagon).expect("hexagon hits its entry");
+        assert_eq!(t.attribution.values[&v(0)].exact(), Some(Natural::from(1u64)));
+        assert_eq!(h.attribution.values[&v(0)].exact(), Some(Natural::from(2u64)));
+        // A relabelled copy of the triangles still lands on the triangles'
+        // entry (and transfers values through the composed witnesses).
+        let relabelled = prekeyed_of(vec![
+            vec![5, 3],
+            vec![3, 1],
+            vec![1, 5],
+            vec![0, 2],
+            vec![2, 4],
+            vec![4, 0],
+        ]);
+        let r = probe(&cache, &relabelled).expect("relabelled triangles hit");
+        assert_eq!(r.attribution.values[&v(0)].exact(), Some(Natural::from(1u64)));
+    }
+
+    #[test]
+    fn dense_dnf_is_isomorphic_to_the_input() {
+        // The backend runs the dense presentation; it must be the same
+        // function modulo renaming — model counts are renaming-invariant.
         let phi = Dnf::from_clauses(vec![vec![v(7), v(2)], vec![v(2), v(5)], vec![v(9)]]);
-        let canonical = Canonicalized::of(&phi);
+        let prekeyed = Prekeyed::of(&phi);
         assert_eq!(
             phi.brute_force_model_count(),
-            canonical.dnf.brute_force_model_count(),
-            "canonicalization must preserve the function up to renaming"
+            prekeyed.dnf.brute_force_model_count(),
+            "dense renaming must preserve the function"
         );
-        assert_eq!(canonical.dnf.num_vars(), phi.num_vars());
+        assert_eq!(prekeyed.dnf.num_vars(), phi.num_vars());
     }
 
     #[test]
     fn clear_preserves_counters() {
         let cache = SharedCache::new(4);
-        let key = key_of(&[0]);
-        cache.insert(key.clone(), dummy_attribution(1));
-        assert!(cache.get(&key).is_some());
+        let p = prekeyed_of(vec![vec![0]]);
+        insert(&cache, &p, 1);
+        assert!(probe(&cache, &p).is_some());
         cache.clear();
-        assert!(cache.get(&key).is_none());
+        assert!(probe(&cache, &p).is_none());
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.hits, 1);

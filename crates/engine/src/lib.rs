@@ -21,10 +21,14 @@
 //!   [`SharedCache`] keyed by canonical lineage (isomorphic lineages of
 //!   distinct answers — and of distinct *sessions* — are attributed once;
 //!   size-bounded, LRU-evicted, hit/miss/eviction counters in [`CacheStats`])
-//!   and through the shared bottom-up model-count pass. The key is an
-//!   order-insensitive canonical form (colour refinement plus orbit-breaking
-//!   backtracking over the clause–variable incidence graph), so *any*
-//!   variable renaming or clause reordering of a cached lineage hits.
+//!   and through the shared bottom-up model-count pass. Lookups resolve in
+//!   two levels: a cheap isomorphism-invariant *fingerprint* (clause/var
+//!   counts plus width and degree multiset hashes) settles the common case
+//!   without any search, and only contested fingerprints fall back to the
+//!   exact order-insensitive canonical form (worklist colour refinement plus
+//!   orbit-breaking backtracking over the clause–variable incidence graph),
+//!   so *any* variable renaming or clause reordering of a cached lineage
+//!   hits.
 //!
 //! ```
 //! use banzhaf_engine::{Algorithm, Engine, EngineConfig};
@@ -62,7 +66,7 @@ pub use banzhaf::{Budget, Interrupted, PivotHeuristic};
 pub use banzhaf_db::{Database, Update};
 pub use banzhaf_par::ThreadPool;
 pub use banzhaf_query::{parse_program, UnionQuery};
-pub use cache::{CacheStats, SharedCache};
+pub use cache::{canonical_key_probe, prekey_probe, CacheStats, SharedCache};
 pub use config::{Algorithm, EngineConfig};
 pub use live::{AnswerChange, LiveSession, LiveStats, TouchedAnswer, UpdateReport};
 pub use session::{

@@ -19,9 +19,11 @@
 //!   the affected answers' lineages;
 //!
 //! and re-attribution flows through the ordinary [`Session`] batch path, so
-//! every untouched canonical shape stays warm in the engine's `SharedCache`
-//! and a touched answer whose *shape* is unchanged (common under
-//! isomorphism-heavy workloads) costs a cache hit instead of a compilation.
+//! every untouched shape stays warm in the engine's `SharedCache` — resolved
+//! by its cheap isomorphism-invariant fingerprint first, with the exact
+//! canonical key only computed where fingerprints collide — and a touched
+//! answer whose *shape* is unchanged (common under isomorphism-heavy
+//! workloads) costs a cache hit instead of a compilation.
 //! Results are bit-identical to evaluating and attributing the updated
 //! database from scratch.
 

@@ -3,13 +3,13 @@
 
 use crate::attribution::{Attribution, Ranked};
 use crate::attributor::Attributor;
-use crate::cache::{CacheStats, CanonicalKey, Canonicalized, SharedCache};
+use crate::cache::{CacheStats, CanonInfo, Lookup, Prekeyed, SharedCache};
+use crate::canon::Fingerprint;
 use crate::config::EngineConfig;
 use banzhaf::{Budget, Interrupted};
 use banzhaf_boolean::Dnf;
 use banzhaf_db::{Database, Value};
 use banzhaf_query::{evaluate, UnionQuery};
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -106,9 +106,15 @@ pub struct SessionStats {
     /// Total knowledge-compilation steps actually performed.
     pub compile_steps: u64,
     /// Total colour-refinement steps spent canonicalizing lineages for the
-    /// shared cache's order-insensitive keys (paid on every attribution,
-    /// hit or miss; weigh against the `compile_steps` the hits save).
+    /// shared cache's exact keys. Only paid when a fingerprint bucket is
+    /// contested — weigh against the `compile_steps` the hits save.
     pub canon_steps: u64,
+    /// Individualization searches actually run (one per shape
+    /// canonicalized; fingerprint-resolved lookups run none).
+    pub canon_searches: u64,
+    /// Lookups resolved without any search because their cheap
+    /// isomorphism-invariant fingerprint had no resident entry.
+    pub prekey_skips: u64,
     /// Total wall-clock time spent inside backends.
     pub wall: Duration,
 }
@@ -255,18 +261,19 @@ impl Session {
     /// Attributes one lineage under the configured budget, consulting the
     /// d-tree cache when enabled.
     ///
-    /// The backend always runs on the *canonical* form of the lineage
-    /// (variables renamed to a dense numbering — attribution values are
-    /// invariant under renaming, and the renaming is linear in the lineage
-    /// size), so a cached and an uncached session perform identical compile
-    /// work per distinct lineage shape and their results are bit-for-bit
-    /// comparable.
+    /// The backend always runs on the *dense* presentation of the lineage
+    /// (variables renamed to `0..n` by first occurrence — attribution values
+    /// are invariant under renaming, and the renaming is linear in the
+    /// lineage size), so a cached and an uncached session perform identical
+    /// compile work per lineage and their results are bit-for-bit
+    /// comparable. The isomorphism-invariant canonical key is only computed
+    /// when the cache's cheap fingerprint pre-key is contested.
     pub fn attribute(&mut self, lineage: &Dnf) -> Result<Attribution, Interrupted> {
         // Single-instance batch: the planning loop resolves a cache hit
         // before any compile work, and the shared counters record exactly
         // one lookup per logical attribution (a separate fast-path lookup
         // here would double-count misses in `Engine::cache_stats`).
-        self.batch_canonical(vec![Canonicalized::of(lineage)], None)
+        self.batch_prekeyed(vec![Prekeyed::of(lineage)], None)
             .pop()
             .expect("one lineage in, one attribution out")
     }
@@ -275,7 +282,8 @@ impl Session {
     /// configured thread pool ([`EngineConfig::threads`]).
     ///
     /// Work sharing mirrors the sequential loop exactly: lineages are
-    /// canonicalized and grouped by canonical shape first, each *distinct*
+    /// fingerprinted and grouped first (with the exact canonical key
+    /// computed lazily, only where fingerprints collide), each *distinct*
     /// uncached shape is compiled once (in parallel), and the freshly
     /// compiled trees are merged into the d-tree cache by the session alone
     /// once the workers have joined — the cache never sees concurrent
@@ -291,42 +299,24 @@ impl Session {
         lineages: &[&Dnf],
         options: BatchOptions<'_>,
     ) -> Vec<Result<Attribution, Interrupted>> {
-        // Canonicalization fans across the configured pool like the compile
-        // stage does — the refinement search is a pure function of each
-        // lineage, and `parallel_map` returns in input order, so the
-        // canonical forms (and everything downstream) are bit-identical to
-        // the sequential path at every thread count.
-        let canonical = self.config.pool().parallel_map(lineages, |_, l| Canonicalized::of(l));
-        self.batch_canonical(canonical, options.shared_budget)
+        // The dense renaming and fingerprint are one linear pass per
+        // lineage; the expensive canonical search only runs inside the
+        // planning loop, where the sequential cache-state walk decides
+        // (deterministically) which instances actually need it.
+        let prekeyed = lineages.iter().map(|l| Prekeyed::of(l)).collect();
+        self.batch_prekeyed(prekeyed, options.shared_budget)
     }
 
-    /// [`Session::attribute_batch`] under one *shared* budget.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `attribute_batch` with `BatchOptions::new().with_shared_budget(budget)`"
-    )]
-    pub fn attribute_batch_with_budget(
+    /// Batch attribution over prekeyed (densely renamed + fingerprinted)
+    /// lineages.
+    #[allow(clippy::too_many_lines)]
+    fn batch_prekeyed(
         &mut self,
-        lineages: &[&Dnf],
-        budget: &Budget,
-    ) -> Vec<Result<Attribution, Interrupted>> {
-        self.attribute_batch(lineages, BatchOptions::new().with_shared_budget(budget))
-    }
-
-    /// Batch attribution over already-canonicalized lineages.
-    fn batch_canonical(
-        &mut self,
-        canonical: Vec<Canonicalized>,
+        prekeyed: Vec<Prekeyed>,
         shared_budget: Option<&Budget>,
     ) -> Vec<Result<Attribution, Interrupted>> {
-        let n = canonical.len();
+        let n = prekeyed.len();
         self.stats.attributions += n as u64;
-        // Account the canonicalization work: per session (SessionStats), and
-        // per engine through the shared cache's counters so the end-to-end
-        // serving stats can weigh the keying cost against the hits it buys.
-        let canon_steps: u64 = canonical.iter().map(|c| c.canon_steps).sum();
-        self.stats.canon_steps += canon_steps;
-        self.cache.record_canon(canon_steps);
         // Claim the batch's stream indices from the engine-global allocator:
         // within one session the indices are exactly the ones the sequential
         // loop would assign; across sessions they never collide.
@@ -339,34 +329,140 @@ impl Session {
         // estimates (see [`crate::Algorithm::cacheable`]).
         let use_cache = self.config.cache && self.config.algorithm.cacheable();
 
-        // Plan: resolve pre-existing cache hits immediately; of the misses,
-        // the *first* instance of each canonical shape computes ("owns" the
-        // shape) and later instances of the same shape reuse its result —
-        // exactly the hits the sequential loop would score.
+        // Plan, walking the instances in order exactly like the sequential
+        // loop would observe the cache. A vacant fingerprint bucket (and no
+        // earlier batch instance pending under it) is a definite miss that
+        // *skips the canonicalization search entirely*; a contested bucket
+        // canonicalizes the instance plus any still-unkeyed residents and
+        // settles on the exact key — resolving a pre-existing cache hit
+        // immediately, or matching an earlier in-batch instance ("owner")
+        // whose freshly compiled result this instance will reuse.
         let mut results: Vec<Option<Result<Attribution, Interrupted>>> =
             (0..n).map(|_| None).collect();
-        let mut owner_of_shape: HashMap<&CanonicalKey, usize> = HashMap::new();
         let mut reuse: Vec<Option<usize>> = vec![None; n];
         let mut jobs: Vec<usize> = Vec::new();
+        // The canonical witness of each instance's shape, computed at most
+        // once per batch (an instance's witness may be paid for by a *later*
+        // instance probing it as a potential in-batch owner).
+        let mut my_canon: Vec<Option<Arc<CanonInfo>>> = (0..n).map(|_| None).collect();
+        // Witnesses computed for still-unkeyed cache residents, memoized by
+        // entry id (the settle step also stores them on the entries, so
+        // other sessions never re-pay either).
+        let mut resident_canon: HashMap<u64, Arc<CanonInfo>> = HashMap::new();
+        // Earlier instances that will insert a fresh entry, by fingerprint.
+        let mut pending: HashMap<Fingerprint, Vec<usize>> = HashMap::new();
+        // Per-instance canonicalization costs: (steps, searches, skips).
+        let mut paid = vec![(0u64, 0u64, 0u64); n];
         for i in 0..n {
-            if use_cache {
-                if let Some(cached) = self.cache.get(&canonical[i].key) {
-                    self.stats.cache_hits += 1;
-                    let mut attribution = cache_hit(canonical[i].map_back(&cached));
-                    attribution.stats.canon_steps = canonical[i].canon_steps;
-                    results[i] = Some(Ok(attribution));
-                    continue;
-                }
-                match owner_of_shape.entry(&canonical[i].key) {
-                    Entry::Occupied(owner) => reuse[i] = Some(*owner.get()),
-                    Entry::Vacant(slot) => {
-                        slot.insert(i);
-                        jobs.push(i);
+            if !use_cache {
+                jobs.push(i);
+                continue;
+            }
+            let fp = prekeyed[i].fingerprint;
+            let (mut steps, mut searches, mut skips) = (0u64, 0u64, 0u64);
+            let mut plan_job = true;
+            match self.cache.lookup(fp) {
+                Lookup::Vacant => {
+                    let mates = pending.get(&fp).cloned().unwrap_or_default();
+                    if mates.is_empty() {
+                        // Definite miss, nothing in flight: compile without
+                        // ever running the individualization search.
+                        skips += 1;
+                    } else {
+                        let (info, cost) = prekeyed[i].shape.canonicalize();
+                        steps += cost;
+                        searches += 1;
+                        let mine = Arc::new(info);
+                        if let Some(j) = find_mate(
+                            &prekeyed,
+                            &mut my_canon,
+                            &mates,
+                            &mine,
+                            &mut steps,
+                            &mut searches,
+                        ) {
+                            reuse[i] = Some(j);
+                            plan_job = false;
+                        }
+                        my_canon[i] = Some(mine);
                     }
                 }
-            } else {
-                jobs.push(i);
+                Lookup::Occupied(residents) => {
+                    let (info, cost) = prekeyed[i].shape.canonicalize();
+                    steps += cost;
+                    searches += 1;
+                    let mine = Arc::new(info);
+                    // Settle against the residents in bucket order, lazily
+                    // canonicalizing the unkeyed ones and stopping at the
+                    // first exact match.
+                    let mut resolved: Vec<(u64, Arc<CanonInfo>)> = Vec::new();
+                    for r in &residents {
+                        let canon = if let Some(c) = &r.canon {
+                            Arc::clone(c)
+                        } else if let Some(c) = resident_canon.get(&r.id) {
+                            Arc::clone(c)
+                        } else {
+                            let (info, cost) = r.shape.canonicalize();
+                            steps += cost;
+                            searches += 1;
+                            let info = Arc::new(info);
+                            resident_canon.insert(r.id, Arc::clone(&info));
+                            resolved.push((r.id, Arc::clone(&info)));
+                            info
+                        };
+                        if canon.key == mine.key {
+                            break;
+                        }
+                    }
+                    match self.cache.finish_lookup(fp, &mine.key, &resolved) {
+                        Some(hit) => {
+                            self.stats.cache_hits += 1;
+                            let mut attribution = cache_hit(prekeyed[i].map_back_via(
+                                &mine,
+                                &hit.canon,
+                                &hit.attribution,
+                            ));
+                            attribution.stats.canon_steps = steps;
+                            attribution.stats.canon_searches = searches;
+                            attribution.stats.prekey_skips = skips;
+                            results[i] = Some(Ok(attribution));
+                            plan_job = false;
+                        }
+                        None => {
+                            let mates = pending.get(&fp).cloned().unwrap_or_default();
+                            if let Some(j) = find_mate(
+                                &prekeyed,
+                                &mut my_canon,
+                                &mates,
+                                &mine,
+                                &mut steps,
+                                &mut searches,
+                            ) {
+                                reuse[i] = Some(j);
+                                plan_job = false;
+                            }
+                        }
+                    }
+                    my_canon[i] = Some(mine);
+                }
             }
+            if plan_job {
+                jobs.push(i);
+                pending.entry(fp).or_default().push(i);
+            }
+            paid[i] = (steps, searches, skips);
+        }
+        // Account the canonicalization work: per session (SessionStats), and
+        // per engine through the shared cache's counters so the end-to-end
+        // serving stats can weigh the keying cost against the hits it buys.
+        let (total_steps, total_searches, total_skips) = paid
+            .iter()
+            .fold((0u64, 0u64, 0u64), |(s, q, k), &(ds, dq, dk)| (s + ds, q + dq, k + dk));
+        self.stats.canon_steps += total_steps;
+        self.stats.canon_searches += total_searches;
+        self.stats.prekey_skips += total_skips;
+        if use_cache {
+            self.cache.record_canon(total_steps, total_searches, total_skips);
         }
 
         // Compute the distinct shapes. Deterministic backends fan instances
@@ -384,7 +480,7 @@ impl Session {
                     &fresh
                 }
             };
-            attributor.attribute_indexed(&canonical[i].dnf, stream_base + i as u64, budget)
+            attributor.attribute_indexed(&prekeyed[i].dnf, stream_base + i as u64, budget)
         };
         let computed: Vec<Result<Attribution, Interrupted>> = if config.algorithm.cacheable() {
             config.pool().parallel_map(&jobs, |_, &i| run(i))
@@ -396,16 +492,21 @@ impl Session {
         // session record stats and fold the freshly compiled results into the
         // shared cache (the merge itself is serialized by the cache's brief
         // internal lock; no worker ever computes under it).
-        let mut canonical_outcomes: HashMap<usize, Result<Attribution, Interrupted>> =
+        let mut dense_outcomes: HashMap<usize, Result<Attribution, Interrupted>> =
             HashMap::with_capacity(jobs.len());
         for (&i, outcome) in jobs.iter().zip(computed) {
             if let Ok(attribution) = &outcome {
                 self.record(attribution);
                 if use_cache {
-                    self.cache.insert(canonical[i].key.clone(), attribution.clone());
+                    self.cache.insert(
+                        prekeyed[i].fingerprint,
+                        &prekeyed[i].shape,
+                        my_canon[i].clone(),
+                        Arc::new(attribution.clone()),
+                    );
                 }
             }
-            canonical_outcomes.insert(i, outcome);
+            dense_outcomes.insert(i, outcome);
         }
         (0..n)
             .zip(results)
@@ -414,10 +515,21 @@ impl Session {
                     return resolved;
                 }
                 let owner = reuse[i];
-                match &canonical_outcomes[&owner.unwrap_or(i)] {
+                match &dense_outcomes[&owner.unwrap_or(i)] {
                     Ok(attribution) => {
-                        let mut mapped = canonical[i].map_back(attribution);
-                        mapped.stats.canon_steps = canonical[i].canon_steps;
+                        let mut mapped = match owner {
+                            Some(j) => {
+                                let mine =
+                                    my_canon[i].as_ref().expect("reusing instances are keyed");
+                                let theirs = my_canon[j].as_ref().expect("reused owners are keyed");
+                                prekeyed[i].map_back_via(mine, theirs, attribution)
+                            }
+                            None => prekeyed[i].map_back(attribution),
+                        };
+                        let (steps, searches, skips) = paid[i];
+                        mapped.stats.canon_steps = steps;
+                        mapped.stats.canon_searches = searches;
+                        mapped.stats.prekey_skips = skips;
                         if owner.is_some() {
                             // An in-batch reuse is a cache hit, same as the
                             // sequential loop would have scored it.
@@ -458,6 +570,32 @@ fn cache_hit(mut attribution: Attribution) -> Attribution {
     attribution.stats.wall = Duration::ZERO;
     attribution.stats.cache_hit = true;
     attribution
+}
+
+/// Searches the earlier in-batch instances `mates` (pending under the same
+/// fingerprint) for one whose canonical key equals `mine`, lazily
+/// canonicalizing mates that have not been keyed yet and charging the work to
+/// the probing instance — exactly where the sequential loop would pay it.
+fn find_mate(
+    prekeyed: &[Prekeyed],
+    my_canon: &mut [Option<Arc<CanonInfo>>],
+    mates: &[usize],
+    mine: &CanonInfo,
+    steps: &mut u64,
+    searches: &mut u64,
+) -> Option<usize> {
+    for &j in mates {
+        if my_canon[j].is_none() {
+            let (info, cost) = prekeyed[j].shape.canonicalize();
+            *steps += cost;
+            *searches += 1;
+            my_canon[j] = Some(Arc::new(info));
+        }
+        if my_canon[j].as_ref().expect("just keyed").key == mine.key {
+            return Some(j);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -722,25 +860,6 @@ mod tests {
         let ample = Budget::with_max_steps(1_000_000);
         let done = session.attribute_batch(&refs, BatchOptions::new().with_shared_budget(&ample));
         assert!(done.iter().all(Result::is_ok));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shared_budget_wrapper_matches_the_options_path() {
-        let lineages = mixed_batch();
-        let refs: Vec<&Dnf> = lineages.iter().collect();
-        let engine = Engine::new(EngineConfig::default().with_cache(false));
-        let budget = Budget::with_max_steps(1_000_000);
-        let via_wrapper = engine.session().attribute_batch_with_budget(&refs, &budget);
-        let budget = Budget::with_max_steps(1_000_000);
-        let via_options = engine
-            .session()
-            .attribute_batch(&refs, BatchOptions::new().with_shared_budget(&budget));
-        for (a, b) in via_wrapper.iter().zip(&via_options) {
-            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
-            assert_eq!(a.exact_values(), b.exact_values());
-            assert_eq!(a.model_count, b.model_count);
-        }
     }
 
     #[test]

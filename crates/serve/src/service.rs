@@ -393,6 +393,13 @@ pub struct ServiceStats {
     pub queue_depth: usize,
     /// The service's worker count.
     pub workers: usize,
+    /// Lookups the shared cache resolved without any canonicalization
+    /// search, because the request's cheap isomorphism-invariant fingerprint
+    /// had no resident entry (mirrors [`banzhaf_engine::CacheStats`]).
+    pub prekey_skips: u64,
+    /// Individualization searches the shared cache's exact keying actually
+    /// ran, across all sessions (mirrors [`banzhaf_engine::CacheStats`]).
+    pub canon_searches: u64,
 }
 
 /// The async attribution front end: a bounded request queue drained by worker
@@ -571,15 +578,6 @@ impl AttributionService {
         Ok(Ticket { shared })
     }
 
-    /// [`AttributionService::submit`] under another name.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `submit` with `RequestOptions::new()` and the `with_*` builders"
-    )]
-    pub fn submit_with(&self, lineage: Dnf, options: RequestOptions) -> Result<Ticket, Rejected> {
-        self.submit(lineage, options)
-    }
-
     /// Submits a live-database update (insert or delete). The
     /// [`UpdateTicket`] resolves to the [`UpdateReport`] once the update has
     /// been applied incrementally — only answers whose lineage mentions the
@@ -651,6 +649,7 @@ impl AttributionService {
 
     /// A snapshot of the service's request counters.
     pub fn stats(&self) -> ServiceStats {
+        let cache = self.engine.cache_stats();
         ServiceStats {
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
@@ -659,6 +658,8 @@ impl AttributionService {
             in_flight: self.counters.in_flight.load(Ordering::Relaxed),
             queue_depth: self.queue.len(),
             workers: self.workers.len(),
+            prekey_skips: cache.prekey_skips,
+            canon_searches: cache.canon_searches,
         }
     }
 
