@@ -428,10 +428,16 @@ impl SharedCache {
 
     /// Merges one freshly computed dense attribution under its fingerprint,
     /// evicting the least recently used entries if the capacity bound is
-    /// exceeded. Re-inserting an existing shape (equal canonical key, or
-    /// equal dense presentation when a witness is missing) refreshes that
-    /// entry — last writer wins; both writers computed bit-identical values
-    /// on the same dense form.
+    /// exceeded. Re-inserting an existing shape refreshes that entry — last
+    /// writer wins. When the match is by equal *dense presentation* both
+    /// writers computed bit-identical values on the same dense form, so only
+    /// the attribution (and a missing witness) need storing; when the match
+    /// is by equal *canonical key* with a different dense presentation (two
+    /// sessions raced isomorphic lineages through different labellings), the
+    /// incoming attribution is keyed by the *inserter's* dense variables, so
+    /// shape, witness and attribution are replaced together — mixing the old
+    /// witness with the new values would silently misattribute per-variable
+    /// scores on every subsequent hit.
     pub(crate) fn insert(
         &self,
         fp: Fingerprint,
@@ -453,10 +459,21 @@ impl SharedCache {
         });
         if let Some(id) = existing {
             let entry = inner.entries.get_mut(&id).expect("resident just seen");
-            entry.attribution = attribution;
-            if entry.canon.is_none() {
+            if *entry.shape == **shape {
+                // Same dense presentation: the values are bit-identical;
+                // keep the entry's witness (adopting ours if it has none).
+                if entry.canon.is_none() {
+                    entry.canon = canon;
+                }
+            } else {
+                // Matched by canonical key across different presentations:
+                // the attribution below is keyed by *our* dense variables,
+                // so the shape and witness must switch presentation with it.
+                debug_assert!(canon.is_some(), "cross-presentation match requires a witness");
+                entry.shape = Arc::clone(shape);
                 entry.canon = canon;
             }
+            entry.attribution = attribution;
             entry.tick = tick;
             inner.recency.push_back((id, tick));
         } else {
@@ -612,6 +629,42 @@ mod tests {
 
     fn insert(cache: &SharedCache, p: &Prekeyed, tag: u64) {
         cache.insert(p.fingerprint, &p.shape, None, dummy_attribution(tag));
+    }
+
+    /// A presentation-keyed attribution for a 3-path: the middle variable
+    /// (degree 2) scores 100, the leaves 1 — asymmetric on purpose, so a
+    /// stale canonical witness composed with another presentation's values
+    /// is detectable.
+    fn path3_attribution(p: &Prekeyed) -> Arc<Attribution> {
+        let mut degree: HashMap<u32, usize> = HashMap::new();
+        for clause in &p.shape.clauses {
+            for &var in clause {
+                *degree.entry(var).or_default() += 1;
+            }
+        }
+        let values = degree
+            .into_iter()
+            .map(|(i, d)| (Var(i), Score::Exact(Natural::from(if d == 2 { 100u64 } else { 1 }))))
+            .collect();
+        Arc::new(Attribution {
+            algorithm: "test",
+            values,
+            model_count: None,
+            shapley: None,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// The original fact holding the middle (degree-2) position of a 3-path.
+    fn path3_middle(p: &Prekeyed) -> Var {
+        let mut degree: HashMap<u32, usize> = HashMap::new();
+        for clause in &p.shape.clauses {
+            for &var in clause {
+                *degree.entry(var).or_default() += 1;
+            }
+        }
+        let dense = degree.into_iter().find(|&(_, d)| d == 2).expect("3-path has a middle").0;
+        p.originals[dense as usize]
     }
 
     #[test]
@@ -804,6 +857,76 @@ mod tests {
         ]);
         let r = probe(&cache, &relabelled).expect("relabelled triangles hit");
         assert_eq!(r.attribution.values[&v(0)].exact(), Some(Natural::from(1u64)));
+    }
+
+    #[test]
+    fn cross_presentation_reinsert_replaces_shape_and_witness_together() {
+        // Two sessions race isomorphic 3-paths through *different dense
+        // presentations* of a contested bucket: both carry a witness, and
+        // the second insert matches the first by canonical key. The entry
+        // must stay internally consistent — shape, witness and attribution
+        // all in the last writer's presentation — or later hits compose the
+        // first writer's stale witness with the second writer's values and
+        // silently misattribute the middle variable.
+        let a = prekeyed_of(vec![vec![0, 1], vec![1, 2]]); // middle at dense 1
+        let b = prekeyed_of(vec![vec![0, 1], vec![0, 2]]); // middle at dense 0
+        assert_ne!(*a.shape, *b.shape, "the presentations must differ");
+        let (ca, _) = a.shape.canonicalize();
+        let (cb, _) = b.shape.canonicalize();
+        assert_eq!(ca.key, cb.key, "isomorphic shapes share one canonical key");
+        let cache = SharedCache::new(8);
+        cache.insert(a.fingerprint, &a.shape, Some(Arc::new(ca)), path3_attribution(&a));
+        cache.insert(b.fingerprint, &b.shape, Some(Arc::new(cb)), path3_attribution(&b));
+        assert_eq!(cache.stats().entries, 1, "equal canonical keys share one entry");
+        // A third labelling hits the entry and maps the values back through
+        // the composed witnesses: the middle fact must carry the middle
+        // score regardless of which writer landed last.
+        let c = prekeyed_of(vec![vec![7, 3], vec![3, 9]]); // middle fact: 3
+        let (mine, _) = c.shape.canonicalize();
+        let hit = probe(&cache, &c).expect("isomorphic probe hits the shared entry");
+        let mapped = c.map_back_via(&mine, &hit.canon, &hit.attribution);
+        assert_eq!(mapped.values[&v(3)].exact(), Some(Natural::from(100u64)));
+        assert_eq!(mapped.values[&v(7)].exact(), Some(Natural::from(1u64)));
+        assert_eq!(mapped.values[&v(9)].exact(), Some(Natural::from(1u64)));
+    }
+
+    #[test]
+    fn concurrent_cross_presentation_inserts_never_corrupt_the_entry() {
+        // The racy version of the scenario above: two threads repeatedly
+        // insert the two presentations (each with its own witness, as serve
+        // workers missing a contested bucket would) while verifying every
+        // hit they observe. Any interleaving that leaves the entry's witness
+        // and attribution in different presentations trips the middle-score
+        // assertion.
+        let cache = SharedCache::new(8);
+        let presentations =
+            [prekeyed_of(vec![vec![0, 1], vec![1, 2]]), prekeyed_of(vec![vec![0, 1], vec![0, 2]])];
+        let cache = &cache;
+        std::thread::scope(|scope| {
+            for p in &presentations {
+                scope.spawn(move || {
+                    let mine = Arc::new(p.shape.canonicalize().0);
+                    let middle = path3_middle(p);
+                    for _ in 0..500 {
+                        cache.insert(
+                            p.fingerprint,
+                            &p.shape,
+                            Some(Arc::clone(&mine)),
+                            path3_attribution(p),
+                        );
+                        if let Some(hit) = probe(cache, p) {
+                            let mapped = p.map_back_via(&mine, &hit.canon, &hit.attribution);
+                            assert_eq!(
+                                mapped.values[&middle].exact(),
+                                Some(Natural::from(100u64)),
+                                "stale witness composed with another presentation's values"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().entries, 1, "equal canonical keys share one entry");
     }
 
     #[test]
