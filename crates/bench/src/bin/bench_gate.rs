@@ -18,6 +18,12 @@
 //!   re-evaluation reference, or the fraction of compile steps it saved fell
 //!   below the baseline floor (the stream is seeded, so this is
 //!   deterministic and gated with zero tolerance);
+//! * (with `--degrade`, reading `BENCH_degrade.json` from `repro
+//!   degrade_under_pressure`) the fallback ladder failed to answer the whole
+//!   starved stream (availability floor 1.0), the workload stopped starving
+//!   strict mode of at least half its requests, an exact answer diverged
+//!   from the unbounded reference, or a degraded answer failed to bracket
+//!   (interval rung) or stay finite (estimate rung);
 //! * a tracked throughput metric regressed more than the tolerance
 //!   (default 25%) against the baseline.
 //!
@@ -30,7 +36,8 @@
 //! ```text
 //! bench_gate [--baseline BENCH_baseline.json] [--parallel BENCH_parallel.json]
 //!            [--serve BENCH_serve.json] [--canon BENCH_canon.json]
-//!            [--update BENCH_update.json] [--tolerance 0.25]
+//!            [--update BENCH_update.json] [--degrade BENCH_degrade.json]
+//!            [--tolerance 0.25]
 //! ```
 
 use banzhaf_bench::json::Json;
@@ -111,6 +118,7 @@ struct Args {
     serve_path: String,
     canon_path: String,
     update_path: Option<String>,
+    degrade_path: Option<String>,
     tolerance: f64,
 }
 
@@ -121,6 +129,7 @@ fn parse_args() -> Args {
         serve_path: "BENCH_serve.json".to_owned(),
         canon_path: "BENCH_canon.json".to_owned(),
         update_path: None,
+        degrade_path: None,
         tolerance: 0.25,
     };
     let mut args = std::env::args().skip(1);
@@ -137,6 +146,7 @@ fn parse_args() -> Args {
             "--serve" => parsed.serve_path = value("--serve"),
             "--canon" => parsed.canon_path = value("--canon"),
             "--update" => parsed.update_path = Some(value("--update")),
+            "--degrade" => parsed.degrade_path = Some(value("--degrade")),
             "--tolerance" => {
                 parsed.tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
                     eprintln!("bench_gate: --tolerance needs a number in [0, 1)");
@@ -147,7 +157,7 @@ fn parse_args() -> Args {
                 eprintln!("bench_gate: unknown argument {other}");
                 eprintln!(
                     "usage: bench_gate [--baseline F] [--parallel F] [--serve F] [--canon F] \
-                     [--update F] [--tolerance T]"
+                     [--update F] [--degrade F] [--tolerance T]"
                 );
                 std::process::exit(2);
             }
@@ -244,6 +254,51 @@ fn check_update_stream(gate: &mut Gate, baseline: &Json, update: &Json, update_p
     }
 }
 
+/// The degradation-ladder checks (`--degrade`): availability, pressure, and
+/// soundness of degraded answers. The workload is step-capped (no wall
+/// clock), so every number is deterministic and gated with zero tolerance.
+fn check_degrade(gate: &mut Gate, baseline: &Json, degrade: &Json, degrade_path: &str) {
+    let ladder = f64_at(degrade, &["ladder_availability"], degrade_path);
+    gate.check(
+        ladder >= 1.0 - 1e-9,
+        "degrade.ladder_availability",
+        format!("the fallback ladder must answer every request (got {ladder:.3}, floor 1.0)"),
+    );
+    let strict = f64_at(degrade, &["strict_availability"], degrade_path);
+    gate.check(
+        strict <= 0.5 + 1e-9,
+        "degrade.strict_pressure",
+        format!(
+            "the workload must starve strict mode of at least half its requests \
+             (strict answered {strict:.3}; above 0.5 the ladder is not being exercised)"
+        ),
+    );
+    gate.check(
+        bool_at(degrade, "exact_bit_identical", degrade_path),
+        "degrade.exact_bit_identical",
+        "answers that completed exactly must match the unbounded reference bit for bit".to_owned(),
+    );
+    gate.check(
+        bool_at(degrade, "degraded_sound", degrade_path),
+        "degrade.degraded_sound",
+        "interval-rung answers must bracket the exact value; estimate-rung answers must be finite"
+            .to_owned(),
+    );
+    if let Some(base) = baseline
+        .get("degrade_under_pressure")
+        .and_then(|b| b.get("ladder_availability"))
+        .and_then(Json::as_f64)
+    {
+        gate.check(
+            ladder >= base - 1e-9,
+            "degrade.baseline_availability",
+            format!(
+                "measured {ladder:.3} vs baseline floor {base:.3} (deterministic, 0 tolerance)"
+            ),
+        );
+    }
+}
+
 /// The parsed artifact set the gate's checks read from.
 struct Artifacts {
     baseline: Json,
@@ -256,8 +311,15 @@ struct Artifacts {
 }
 
 fn main() {
-    let Args { baseline_path, parallel_path, serve_path, canon_path, update_path, tolerance } =
-        parse_args();
+    let Args {
+        baseline_path,
+        parallel_path,
+        serve_path,
+        canon_path,
+        update_path,
+        degrade_path,
+        tolerance,
+    } = parse_args();
     let artifacts = Artifacts {
         baseline: read_json(&baseline_path),
         parallel: read_json(&parallel_path),
@@ -273,6 +335,10 @@ fn main() {
     if let Some(update_path) = &update_path {
         let update = read_json(update_path);
         check_update_stream(&mut gate, &artifacts.baseline, &update, update_path);
+    }
+    if let Some(degrade_path) = &degrade_path {
+        let degrade = read_json(degrade_path);
+        check_degrade(&mut gate, &artifacts.baseline, &degrade, degrade_path);
     }
     let Artifacts { baseline, parallel, parallel_path, serve, serve_path, .. } = &artifacts;
 

@@ -1325,6 +1325,192 @@ pub fn update_stream(config: &HarnessConfig) -> String {
     )
 }
 
+/// Ring sizes of the degradation experiment's request mix: one size that
+/// compiles comfortably under [`DEGRADE_STEP_CAP`], three that cannot.
+pub const DEGRADE_SIZES: [u32; 4] = [6, 20, 24, 28];
+/// Per-request step cap of the degradation experiment. Size-6 requests fit
+/// whether they compile cold (11 steps) or key into the shared cache (~600
+/// canonicalization steps); every larger request starves on *both* paths — a
+/// cold size-20 compile alone costs 827 steps, its canonical key 4100 — so
+/// which requests starve does not depend on how workers race the cache.
+pub const DEGRADE_STEP_CAP: u64 = 700;
+
+/// Robustness — availability under budget pressure, with and without the
+/// degradation ladder.
+///
+/// Drives the same request stream (ring lineages of [`DEGRADE_SIZES`], fresh
+/// variable ids per request, [`DEGRADE_STEP_CAP`] steps per request) through
+/// the serving stack twice:
+///
+/// * **strict** (the default [`banzhaf_engine::FallbackPolicy::Strict`]):
+///   requests whose compile exhausts the cap fail typed (`Interrupted`) —
+///   the availability is the fraction of the stream small enough to finish;
+/// * **ladder** ([`banzhaf_engine::FallbackPolicy::Ladder`], ExaBan →
+///   AdaBan interval → Monte Carlo estimate): starved requests re-attribute
+///   on the next rung under its grace budget instead of failing.
+///
+/// Every answer is checked against an unbounded exact reference: strict
+/// completions (and undegraded ladder completions) must match bit for bit,
+/// interval-rung answers must bracket the exact value, estimate-rung answers
+/// must be finite. Emits `BENCH_degrade.json` — availability per policy,
+/// degraded share, per-rung answer histogram — for the CI `bench_gate
+/// --degrade` check, which holds the ladder to an availability floor of 1.0
+/// at a pressure where strict loses at least half the stream.
+#[allow(clippy::too_many_lines)]
+pub fn degrade_under_pressure(config: &HarnessConfig) -> String {
+    use banzhaf_engine::{FallbackPolicy, Rung, Score};
+    use banzhaf_serve::{block_on, join_all, AttributionService, RequestOptions, ServeConfig};
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    let reps = 3 * config.scale.max(1);
+
+    // Exact references, one per distinct size. Requests are the same shapes
+    // shifted to fresh variable ids, so positional mapping (request var
+    // `offset + j` ↔ reference var `j`) recovers the comparison.
+    let reference: HashMap<u32, HashMap<Var, banzhaf_arith::Natural>> = DEGRADE_SIZES
+        .iter()
+        .map(|&vars| {
+            let exact = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false))
+                .session()
+                .attribute(&ring_lineage(0, vars))
+                .expect("unbounded budget")
+                .exact_values()
+                .expect("ExaBan is exact");
+            (vars, exact)
+        })
+        .collect();
+
+    let mut lineages: Vec<(u32, u32, Dnf)> = Vec::new();
+    let mut offset = 0u32;
+    for _ in 0..reps {
+        for &vars in &DEGRADE_SIZES {
+            lineages.push((vars, offset, ring_lineage(offset, vars)));
+            offset += vars + 1;
+        }
+    }
+    let submitted = lineages.len();
+
+    let run_pass = |fallback: Option<&FallbackPolicy>| {
+        let service = AttributionService::start(
+            ServeConfig::new(EngineConfig::new(Algorithm::ExaBan))
+                .with_workers(config.threads.max(2))
+                .with_queue_capacity(submitted),
+        );
+        let tickets: Vec<_> = lineages
+            .iter()
+            .map(|(_, _, l)| {
+                let mut options = RequestOptions::new().with_max_steps(DEGRADE_STEP_CAP);
+                if let Some(policy) = fallback {
+                    options = options.with_fallback(policy.clone());
+                }
+                service.submit(l.clone(), options).expect("queue sized to the workload")
+            })
+            .collect();
+        block_on(join_all(tickets))
+    };
+    let strict = run_pass(None);
+    // The stock ladder with a longer interval-rung grace: the default 50ms
+    // is sized for interactive requests, where falling through to a cheap
+    // estimate beats waiting; here the point is to exercise both rungs, so
+    // give AdaBan room to converge on the mid-size rings while the largest
+    // still fall through to the Monte Carlo estimate.
+    let policy = FallbackPolicy::Ladder(vec![
+        Rung::new(Algorithm::AdaBan).with_grace(Duration::from_millis(400)),
+        Rung::new(Algorithm::MonteCarlo),
+    ]);
+    let ladder = run_pass(Some(&policy));
+
+    // Score every answered request against its exact reference. Exact
+    // answers (strict completions, undegraded ladder completions) must match
+    // bit for bit; degraded answers must bracket (interval) or at least be a
+    // finite non-negative estimate.
+    let mut exact_bit_identical = true;
+    let mut degraded_sound = true;
+    let mut degraded = 0usize;
+    let mut rung_histogram: BTreeMap<String, u64> = BTreeMap::new();
+    for outcomes in [&strict, &ladder] {
+        for ((vars, offset, _), outcome) in lineages.iter().zip(outcomes.iter()) {
+            let Ok(att) = outcome else { continue };
+            let exact = &reference[vars];
+            let is_degraded = att.degradation.is_some();
+            for j in 0..*vars {
+                let want = &exact[&Var(j)];
+                match att.value(Var(offset + j)).expect("the universe covers the ring") {
+                    Score::Exact(got) => exact_bit_identical &= got == want,
+                    Score::Interval(i) => {
+                        degraded_sound &= is_degraded && i.lower <= *want && *want <= i.upper;
+                    }
+                    Score::Estimate(e) => {
+                        degraded_sound &= is_degraded && e.is_finite() && *e >= 0.0;
+                    }
+                }
+            }
+        }
+    }
+    for att in ladder.iter().flatten() {
+        if let Some(d) = &att.degradation {
+            degraded += 1;
+            *rung_histogram.entry(format!("{:?}", d.rung)).or_insert(0) += 1;
+        }
+    }
+
+    let strict_answered = strict.iter().filter(|o| o.is_ok()).count();
+    let ladder_answered = ladder.iter().filter(|o| o.is_ok()).count();
+    let strict_availability = strict_answered as f64 / submitted as f64;
+    let ladder_availability = ladder_answered as f64 / submitted as f64;
+    let degraded_share = degraded as f64 / submitted as f64;
+    let histogram_text = if rung_histogram.is_empty() {
+        "none".to_owned()
+    } else {
+        rung_histogram.iter().map(|(rung, n)| format!("{rung}: {n}")).collect::<Vec<_>>().join(", ")
+    };
+
+    let mut table =
+        TextTable::new(["Policy", "Answered", "Availability", "Degraded", "Rungs used"]);
+    table.push_row([
+        "strict (exact or nothing)".to_owned(),
+        format!("{strict_answered}/{submitted}"),
+        percent(strict_answered, submitted),
+        "0".to_owned(),
+        "-".to_owned(),
+    ]);
+    table.push_row([
+        "ladder (exact -> interval -> estimate)".to_owned(),
+        format!("{ladder_answered}/{submitted}"),
+        percent(ladder_answered, submitted),
+        degraded.to_string(),
+        histogram_text.clone(),
+    ]);
+
+    let rungs_json = rung_histogram
+        .iter()
+        .map(|(rung, n)| format!("    {{\"rung\": \"{rung}\", \"answers\": {n}}}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"degrade_under_pressure\",\n  \
+         \"ladder\": \"ExaBan -> AdaBan -> MonteCarlo\",\n  \
+         \"submitted\": {submitted},\n  \"step_cap\": {DEGRADE_STEP_CAP},\n  \
+         \"strict_answered\": {strict_answered},\n  \
+         \"strict_availability\": {strict_availability:.6},\n  \
+         \"ladder_answered\": {ladder_answered},\n  \
+         \"ladder_availability\": {ladder_availability:.6},\n  \
+         \"degraded\": {degraded},\n  \"degraded_share\": {degraded_share:.6},\n  \
+         \"exact_bit_identical\": {exact_bit_identical},\n  \
+         \"degraded_sound\": {degraded_sound},\n  \"rungs\": [\n{rungs_json}\n  ]\n}}\n"
+    );
+    let json_note = match std::fs::write("BENCH_degrade.json", &json) {
+        Ok(()) => "recorded to BENCH_degrade.json".to_owned(),
+        Err(e) => format!("could not write BENCH_degrade.json: {e}"),
+    };
+    format!(
+        "Robustness — availability under a {DEGRADE_STEP_CAP}-step budget, strict vs \
+         degradation ladder ({submitted} requests, {json_note})\n{}",
+        table.render()
+    )
+}
+
 /// Runs the full sweep once and renders all sweep-based tables.
 pub fn run_all(config: &HarnessConfig) -> String {
     let mut out = String::new();
@@ -1366,6 +1552,8 @@ pub fn run_all(config: &HarnessConfig) -> String {
     out.push_str(&canon_hit_rate(config));
     out.push('\n');
     out.push_str(&update_stream(config));
+    out.push('\n');
+    out.push_str(&degrade_under_pressure(config));
     out
 }
 
@@ -1421,6 +1609,22 @@ mod tests {
         let hits = parsed.get("canon_hits").unwrap().as_f64().unwrap();
         assert_eq!(hits, requests - shapes, "{json}");
         assert_eq!(parsed.get("bit_identical").unwrap().as_bool(), Some(true), "{json}");
+    }
+
+    #[test]
+    fn degrade_ladder_answers_the_whole_starved_stream() {
+        let report = degrade_under_pressure(&tiny_config());
+        assert!(report.contains("degradation ladder"), "{report}");
+        let json = std::fs::read_to_string("BENCH_degrade.json").unwrap();
+        let parsed = crate::json::Json::parse(&json).unwrap();
+        // The ladder answers everything at a pressure where strict mode
+        // loses at least half the stream.
+        assert_eq!(parsed.get("ladder_availability").unwrap().as_f64(), Some(1.0), "{json}");
+        assert!(parsed.get("strict_availability").unwrap().as_f64().unwrap() <= 0.5, "{json}");
+        // Exact answers stay bit-identical; degraded ones bracket/estimate.
+        assert_eq!(parsed.get("exact_bit_identical").unwrap().as_bool(), Some(true), "{json}");
+        assert_eq!(parsed.get("degraded_sound").unwrap().as_bool(), Some(true), "{json}");
+        assert!(parsed.get("degraded").unwrap().as_f64().unwrap() > 0.0, "{json}");
     }
 
     #[test]

@@ -127,6 +127,39 @@ impl Budget {
         Ok(())
     }
 
+    /// Records `n` steps at once — equivalent to `n` calls to
+    /// [`Budget::step`] but with one atomic update and at most one clock
+    /// check. For work whose natural unit is a batch (e.g. one refinement
+    /// round over a cell) rather than a single decomposition.
+    pub fn charge(&self, n: u64) -> Result<(), Interrupted> {
+        let s = self.steps.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(max) = self.max_steps {
+            if s > max {
+                return Err(Interrupted);
+            }
+        }
+        let bump = n.min(u64::from(u32::MAX)) as u32;
+        let since = self.since_clock.fetch_add(bump, Ordering::Relaxed).saturating_add(bump);
+        if since >= CLOCK_PERIOD {
+            self.since_clock.store(0, Ordering::Relaxed);
+            if self.is_cancelled() {
+                return Err(Interrupted);
+            }
+            self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Wall-clock time left before the deadline (`None` if the budget has no
+    /// deadline; zero once the deadline has passed).
+    ///
+    /// This is what lets a degradation ladder hand the *remainder* of an
+    /// exhausted request budget to a cheaper fallback rung instead of
+    /// discarding the request outright.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Checks only the wall-clock deadline (unconditionally).
     pub fn check_deadline(&self) -> Result<(), Interrupted> {
         match self.deadline {
@@ -208,6 +241,19 @@ mod tests {
             }
         }
         assert!(interrupted);
+    }
+
+    #[test]
+    fn lump_charges_respect_the_step_cap() {
+        let b = Budget::with_max_steps(100);
+        assert!(b.charge(60).is_ok());
+        assert!(b.charge(40).is_ok());
+        assert_eq!(b.charge(1), Err(Interrupted));
+        assert_eq!(b.steps_used(), 101);
+        // Lump charges observe cancellation like unit steps do.
+        let c = Budget::unlimited();
+        c.cancel();
+        assert_eq!(c.charge(u64::from(CLOCK_PERIOD)), Err(Interrupted));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The unified result type returned by every [`crate::Attributor`].
 
+use crate::config::Algorithm;
 use banzhaf::{ApproxInterval, ShapleyValue};
 use banzhaf_arith::Natural;
 use banzhaf_boolean::Var;
@@ -81,6 +82,37 @@ pub struct EngineStats {
     /// search because the lineage's cheap isomorphism-invariant fingerprint
     /// had no resident entry (a definite miss), 0 otherwise.
     pub prekey_skips: u64,
+    /// `true` iff the primary backend failed and this result was produced by
+    /// a fallback rung of the session's [`crate::FallbackPolicy`] ladder.
+    pub degraded: bool,
+    /// Steps charged to fallback rungs (both the failed intermediate rungs
+    /// and the one that produced this result); 0 for a primary result.
+    pub fallback_steps: u64,
+}
+
+/// Why the primary attributor failed, triggering the fallback ladder.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DegradeReason {
+    /// The primary attributor exhausted its budget (deadline or step cap).
+    BudgetExhausted,
+    /// The worker compiling the primary attribution panicked; the partial
+    /// d-tree was discarded (quarantined from the shared cache) and the
+    /// lineage re-attributed on a fallback rung.
+    WorkerPanic,
+}
+
+/// Provenance of a degraded result: which rung of the fallback ladder
+/// produced it, why the primary attributor failed, and what that failed
+/// attempt cost before the ladder took over.
+#[derive(Clone, Copy, Debug)]
+pub struct Degradation {
+    /// The algorithm of the rung that produced this result.
+    pub rung: Algorithm,
+    /// Why the primary attributor failed.
+    pub reason: DegradeReason,
+    /// Steps the failed primary attempt (plus any failed intermediate rungs)
+    /// had consumed when this rung started.
+    pub budget_spent: u64,
 }
 
 /// The unified attribution result: one [`Score`] per fact of the lineage's
@@ -98,6 +130,9 @@ pub struct Attribution {
     pub shapley: Option<HashMap<Var, ShapleyValue>>,
     /// Instrumentation for this attribution.
     pub stats: EngineStats,
+    /// `Some` iff this result came from a fallback rung rather than the
+    /// configured primary algorithm (see [`crate::FallbackPolicy`]).
+    pub degradation: Option<Degradation>,
 }
 
 impl Attribution {
@@ -164,6 +199,7 @@ mod tests {
             model_count: None,
             shapley: None,
             stats: EngineStats::default(),
+            degradation: None,
         }
     }
 

@@ -118,14 +118,12 @@ impl Attributor for ExaBanAttributor {
             values: result.values.into_iter().map(|(v, b)| (v, Score::Exact(b))).collect(),
             model_count: Some(result.model_count),
             shapley,
+            degradation: None,
             stats: EngineStats {
                 compile_steps: tree.expansions(),
                 dtree_nodes: tree.num_nodes(),
                 wall: start.elapsed(),
-                cache_hit: false,
-                canon_steps: 0,
-                canon_searches: 0,
-                prekey_skips: 0,
+                ..EngineStats::default()
             },
         })
     }
@@ -173,14 +171,12 @@ impl Attributor for AdaBanAttributor {
             values,
             model_count,
             shapley: None,
+            degradation: None,
             stats: EngineStats {
                 compile_steps: tree.expansions(),
                 dtree_nodes: tree.num_nodes(),
                 wall: start.elapsed(),
-                cache_hit: false,
-                canon_steps: 0,
-                canon_searches: 0,
-                prekey_skips: 0,
+                ..EngineStats::default()
             },
         })
     }
@@ -219,14 +215,12 @@ impl Attributor for IchiBanAttributor {
             values,
             model_count: None,
             shapley: None,
+            degradation: None,
             stats: EngineStats {
                 compile_steps: tree.expansions(),
                 dtree_nodes: tree.num_nodes(),
                 wall: start.elapsed(),
-                cache_hit: false,
-                canon_steps: 0,
-                canon_searches: 0,
-                prekey_skips: 0,
+                ..EngineStats::default()
             },
         })
     }
@@ -242,10 +236,7 @@ impl Attributor for IchiBanAttributor {
                 compile_steps: tree.expansions(),
                 dtree_nodes: tree.num_nodes(),
                 wall: start.elapsed(),
-                cache_hit: false,
-                canon_steps: 0,
-                canon_searches: 0,
-                prekey_skips: 0,
+                ..EngineStats::default()
             },
         })
     }
@@ -261,10 +252,7 @@ impl Attributor for IchiBanAttributor {
                 compile_steps: tree.expansions(),
                 dtree_nodes: tree.num_nodes(),
                 wall: start.elapsed(),
-                cache_hit: false,
-                canon_steps: 0,
-                canon_searches: 0,
-                prekey_skips: 0,
+                ..EngineStats::default()
             },
         })
     }
@@ -287,14 +275,12 @@ impl Attributor for Sig22Attributor {
             values: result.values.into_iter().map(|(v, b)| (v, Score::Exact(b))).collect(),
             model_count: Some(result.model_count),
             shapley: None,
+            degradation: None,
             stats: EngineStats {
                 compile_steps: result.nodes_explored,
                 dtree_nodes: 0,
                 wall: start.elapsed(),
-                cache_hit: false,
-                canon_steps: 0,
-                canon_searches: 0,
-                prekey_skips: 0,
+                ..EngineStats::default()
             },
         })
     }
@@ -360,6 +346,7 @@ impl Attributor for MonteCarloAttributor {
             values: estimates.into_iter().map(|(v, e)| (v, Score::Estimate(e))).collect(),
             model_count: None,
             shapley: None,
+            degradation: None,
             stats: EngineStats { wall: start.elapsed(), ..EngineStats::default() },
         })
     }
@@ -383,6 +370,7 @@ impl Attributor for CnfProxyAttributor {
             values: scores.into_iter().map(|(v, e)| (v, Score::Estimate(e))).collect(),
             model_count: None,
             shapley: None,
+            degradation: None,
             stats: EngineStats { wall: start.elapsed(), ..EngineStats::default() },
         })
     }

@@ -45,7 +45,8 @@
 //!   [`crate::Engine::cache_stats`] (and the serving layer's stats).
 
 use crate::attribution::{Attribution, Score};
-use crate::canon::{canonical_form, fingerprint, Fingerprint};
+use crate::canon::{canonical_form, canonical_form_budgeted, fingerprint, Fingerprint};
+use banzhaf::{Budget, Interrupted};
 use banzhaf_boolean::{Dnf, Var, VarSet};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -96,6 +97,23 @@ impl Shape {
             },
             form.steps,
         )
+    }
+
+    /// [`Shape::canonicalize`] under a cooperative budget: exhaustion
+    /// interrupts the descent and the caller treats the shape as unkeyable
+    /// (a definite miss) rather than stalling the planning walk.
+    pub(crate) fn canonicalize_budgeted(
+        &self,
+        budget: &Budget,
+    ) -> Result<(CanonInfo, u64), Interrupted> {
+        let form = canonical_form_budgeted(self.num_vars, &self.clauses, budget)?;
+        Ok((
+            CanonInfo {
+                key: CanonicalKey { num_vars: self.num_vars, clauses: form.clauses },
+                order: form.order,
+            },
+            form.steps,
+        ))
     }
 }
 
@@ -198,6 +216,7 @@ impl Prekeyed {
             model_count: dense.model_count.clone(),
             shapley,
             stats: dense.stats,
+            degradation: dense.degradation,
         }
     }
 }
@@ -362,6 +381,9 @@ impl SharedCache {
     /// candidate residents so the caller can canonicalize outside the lock
     /// and settle with [`SharedCache::finish_lookup`].
     pub(crate) fn lookup(&self, fp: Fingerprint) -> Lookup {
+        // Fault injection: simulate lock contention (a Sleep action stalls
+        // the caller right before the acquisition).
+        banzhaf_par::failpoint!("cache::lookup");
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         match inner.buckets.get(&fp) {
             Some(ids) if !ids.is_empty() => {
@@ -445,6 +467,12 @@ impl SharedCache {
         canon: Option<Arc<CanonInfo>>,
         attribution: Arc<Attribution>,
     ) {
+        debug_assert!(
+            attribution.degradation.is_none(),
+            "degraded results reflect a budget, not the lineage; never cache them"
+        );
+        // Fault injection: simulate lock contention on the merge side.
+        banzhaf_par::failpoint!("cache::insert");
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -504,6 +532,27 @@ impl SharedCache {
             }
         }
         Self::compact(&mut inner);
+    }
+
+    /// A non-counting view of a fingerprint bucket: the residents, without
+    /// touching the hit/miss counters or the recency queue. Batch planning
+    /// uses this to decide *speculatively* which probes will need
+    /// canonicalization (so the searches can fan out across the pool); the
+    /// authoritative [`SharedCache::lookup`] / [`SharedCache::finish_lookup`]
+    /// pair still runs for every instance, in instance order, so the
+    /// counters and recency are exactly what the sequential walk produces.
+    pub(crate) fn peek(&self, fp: Fingerprint) -> Vec<Resident> {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.buckets.get(&fp) {
+            Some(ids) => ids
+                .iter()
+                .map(|&id| {
+                    let entry = &inner.entries[&id];
+                    Resident { id, shape: Arc::clone(&entry.shape), canon: entry.canon.clone() }
+                })
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Records canonicalization work performed by a session of this engine —
@@ -600,6 +649,7 @@ mod tests {
             model_count: None,
             shapley: None,
             stats: EngineStats::default(),
+            degradation: None,
         })
     }
 
@@ -652,6 +702,7 @@ mod tests {
             model_count: None,
             shapley: None,
             stats: EngineStats::default(),
+            degradation: None,
         })
     }
 

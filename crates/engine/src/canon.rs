@@ -70,6 +70,8 @@
 //! cache miss and the canonical form only needs to be computed once a
 //! *second* distinct shape shows up under the same fingerprint.
 
+use banzhaf::{Budget, Interrupted};
+
 /// The canonical form of a lineage presented as dense clause lists.
 pub(crate) struct CanonicalForm {
     /// `order[i]` is the input variable assigned canonical index `i`.
@@ -97,6 +99,32 @@ pub(crate) fn canonical_form(num_vars: usize, clauses: &[Vec<u32>]) -> Canonical
     let (order, canonical_clauses) =
         searcher.best.expect("the search visits at least one discrete leaf");
     CanonicalForm { order, clauses: canonical_clauses, steps: searcher.steps }
+}
+
+/// [`canonical_form`] under a cooperative [`Budget`]: every refinement round
+/// charges its step lump, so a step cap or deadline interrupts the
+/// individualization descent mid-stream instead of letting a pathologically
+/// symmetric shape stall the whole batch-planning walk. With an unexhausted
+/// budget the result — form, witness order, and step count — is bit-identical
+/// to the unbudgeted path; on exhaustion the caller gets `Err` and treats the
+/// shape as unkeyable (a cache miss, never a wrong key).
+pub(crate) fn canonical_form_budgeted(
+    num_vars: usize,
+    clauses: &[Vec<u32>],
+    budget: &Budget,
+) -> Result<CanonicalForm, Interrupted> {
+    let mut searcher = Searcher::new(num_vars, clauses);
+    searcher.budget = Some(budget);
+    let initial = searcher.initial_colouring();
+    if !searcher.interrupted {
+        searcher.search(initial);
+    }
+    if searcher.interrupted {
+        return Err(Interrupted);
+    }
+    let (order, canonical_clauses) =
+        searcher.best.expect("the uninterrupted search visits at least one discrete leaf");
+    Ok(CanonicalForm { order, clauses: canonical_clauses, steps: searcher.steps })
 }
 
 /// A cheap isomorphism invariant of a lineage: any variable bijection
@@ -208,6 +236,12 @@ struct Searcher<'a> {
     leaves: usize,
     steps: u64,
     scratch: Scratch,
+    /// Cooperative budget charged per refinement round (`None` on the
+    /// unbudgeted path, which stays bit-identical to the seed).
+    budget: Option<&'a Budget>,
+    /// Set once the budget interrupts; the search unwinds without exploring
+    /// (or charging) further.
+    interrupted: bool,
 }
 
 impl<'a> Searcher<'a> {
@@ -229,6 +263,8 @@ impl<'a> Searcher<'a> {
             leaves: 0,
             steps: 0,
             scratch: Scratch::default(),
+            budget: None,
+            interrupted: false,
         }
     }
 
@@ -310,6 +346,8 @@ impl<'a> Searcher<'a> {
     /// their counts against the skipped remainder are equal too.
     #[allow(clippy::too_many_lines)]
     fn refine(&mut self, colouring: &mut Colouring, seed: Option<u32>) {
+        let budget = self.budget;
+        let mut interrupted = false;
         let adjacency = &self.adjacency;
         let Scratch {
             elems,
@@ -383,7 +421,7 @@ impl<'a> Searcher<'a> {
             }
         }
 
-        while !queue.is_empty() {
+        'rounds: while !queue.is_empty() {
             // Ascending cell order keeps `fresh_starts` sorted, which the
             // positional renumbering below relies on.
             queue.sort_unstable();
@@ -403,6 +441,18 @@ impl<'a> Searcher<'a> {
                     continue;
                 }
                 steps += (len * (deg + 1)) as u64;
+                if let Some(b) = budget {
+                    // Fault injection: simulate budget exhaustion mid-round
+                    // (only reachable on the budgeted planning path).
+                    banzhaf_par::failpoint!("canon::refine", {
+                        interrupted = true;
+                        break 'rounds;
+                    });
+                    if b.charge((len * (deg + 1)) as u64).is_err() {
+                        interrupted = true;
+                        break 'rounds;
+                    }
+                }
                 // One degree-wide sorted multiset row per member, built by
                 // counting sort — no per-node allocations.
                 arena.clear();
@@ -515,6 +565,7 @@ impl<'a> Searcher<'a> {
             }
         }
         self.steps += steps;
+        self.interrupted |= interrupted;
     }
 
     /// The first (lowest-colour) class holding more than one *used* variable,
@@ -543,7 +594,7 @@ impl<'a> Searcher<'a> {
     }
 
     fn search(&mut self, colouring: Colouring) {
-        if self.leaves >= MAX_LEAVES {
+        if self.interrupted || self.leaves >= MAX_LEAVES {
             return;
         }
         let Some(cell) = self.target_cell(&colouring) else {
@@ -573,7 +624,7 @@ impl<'a> Searcher<'a> {
             child.count += 1;
             self.refine(&mut child, Some(v));
             self.search(child);
-            if self.leaves >= MAX_LEAVES {
+            if self.interrupted || self.leaves >= MAX_LEAVES {
                 return;
             }
         }
@@ -1083,6 +1134,36 @@ mod tests {
         assert!(empty.order.is_empty());
         // Fingerprints of degenerate inputs are well-defined too.
         assert_ne!(fingerprint(3, &[]), fingerprint(0, &[]));
+    }
+
+    #[test]
+    fn step_capped_budget_interrupts_the_clique_search() {
+        // A clique is the worst case for the descent: refinement can never
+        // split its single vertex orbit, so the individualization search does
+        // all the work. A tight step cap must interrupt that descent instead
+        // of running it to exhaustion.
+        let mut clauses = Vec::new();
+        for a in 0..6u32 {
+            for b in a + 1..6 {
+                clauses.push(vec![a, b]);
+            }
+        }
+        let full = canonical_form(6, &clauses);
+        // With an unexhausted budget the budgeted path is bit-identical.
+        let unlimited =
+            canonical_form_budgeted(6, &clauses, &Budget::unlimited()).expect("unlimited");
+        assert_eq!(unlimited.clauses, full.clauses);
+        assert_eq!(unlimited.order, full.order);
+        assert_eq!(unlimited.steps, full.steps);
+        // A cap far below the full search's refinement cost interrupts it.
+        let capped = Budget::with_max_steps((full.steps / 4).max(1));
+        assert!(canonical_form_budgeted(6, &clauses, &capped).is_err());
+        assert!(
+            capped.steps_used() <= full.steps,
+            "an interrupted descent must stop charging: {} charged vs {} full",
+            capped.steps_used(),
+            full.steps
+        );
     }
 
     #[test]

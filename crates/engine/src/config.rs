@@ -71,6 +71,85 @@ impl fmt::Display for Algorithm {
     }
 }
 
+/// One rung of a degradation ladder: the fallback algorithm plus the budget
+/// it may spend re-attributing a lineage the primary algorithm failed on.
+///
+/// The rung's wall-clock allowance is whatever remains of the request's
+/// deadline, but never less than `grace` — the final (estimate) rung must be
+/// able to produce *something* even when the deadline has already passed,
+/// which is what turns a hard timeout into a degraded answer instead of an
+/// error.
+#[derive(Clone, Copy, Debug)]
+pub struct Rung {
+    /// The fallback algorithm this rung runs.
+    pub algorithm: Algorithm,
+    /// Step cap for this rung (`None` = limited only by wall clock).
+    pub max_steps: Option<u64>,
+    /// Minimum wall-clock allowance, even past the request deadline.
+    pub grace: Duration,
+}
+
+impl Rung {
+    /// A rung running `algorithm` with the default 50 ms grace allowance.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Rung { algorithm, max_steps: None, grace: Duration::from_millis(50) }
+    }
+
+    /// Sets the rung's step cap.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Sets the rung's minimum wall-clock allowance.
+    pub fn with_grace(mut self, grace: Duration) -> Self {
+        self.grace = grace;
+        self
+    }
+}
+
+/// What a session does when the primary attributor exhausts its budget (or,
+/// under a ladder, panics mid-compile).
+///
+/// The default is [`FallbackPolicy::Strict`]: budget exhaustion surfaces as
+/// an interruption error exactly as it always has, keeping results
+/// bit-identical across configurations. [`FallbackPolicy::Ladder`] instead
+/// re-attributes the *same canonical lineage* on each rung in turn —
+/// typically exact → certified interval → point estimate — so overload
+/// degrades answer precision instead of availability. Degraded results carry
+/// a [`crate::Degradation`] record and are never inserted into the shared
+/// cache (they reflect a budget, not the lineage).
+#[derive(Clone, Debug, Default)]
+pub enum FallbackPolicy {
+    /// Fail with `Interrupted` when the budget runs out (the default).
+    #[default]
+    Strict,
+    /// Walk these rungs in order until one produces a result.
+    Ladder(Vec<Rung>),
+}
+
+impl FallbackPolicy {
+    /// The standard ladder: AdaBan certified intervals, then a Monte Carlo
+    /// point estimate as the rung of last resort (Monte Carlo's cost is
+    /// linear in samples, so it always lands within the grace allowance).
+    pub fn ladder() -> Self {
+        FallbackPolicy::Ladder(vec![Rung::new(Algorithm::AdaBan), Rung::new(Algorithm::MonteCarlo)])
+    }
+
+    /// `true` iff this is the strict (fail-on-exhaustion) policy.
+    pub fn is_strict(&self) -> bool {
+        matches!(self, FallbackPolicy::Strict)
+    }
+
+    /// The ladder's rungs (empty under [`FallbackPolicy::Strict`]).
+    pub fn rungs(&self) -> &[Rung] {
+        match self {
+            FallbackPolicy::Strict => &[],
+            FallbackPolicy::Ladder(rungs) => rungs,
+        }
+    }
+}
+
 /// Configuration of the attribution pipeline: algorithm choice, compilation
 /// heuristic, approximation and budget parameters, and engine features
 /// (caching, Shapley values).
@@ -121,6 +200,10 @@ pub struct EngineConfig {
     /// inherently timing-dependent (contending workers can shift which
     /// borderline instances finish in time).
     pub threads: usize,
+    /// What to do when the primary attributor exhausts its budget: fail
+    /// strictly (the default, preserving bit-identical behaviour) or degrade
+    /// down a ladder of cheaper rungs (see [`FallbackPolicy`]).
+    pub fallback: FallbackPolicy,
 }
 
 impl Default for EngineConfig {
@@ -139,6 +222,7 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             include_shapley: false,
             threads: 1,
+            fallback: FallbackPolicy::Strict,
         }
     }
 }
@@ -210,6 +294,12 @@ impl EngineConfig {
     /// sampling (`0` = one worker per available CPU).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the budget-exhaustion fallback policy.
+    pub fn with_fallback(mut self, fallback: FallbackPolicy) -> Self {
+        self.fallback = fallback;
         self
     }
 

@@ -57,7 +57,7 @@ mod config;
 mod live;
 mod session;
 
-pub use attribution::{Attribution, EngineStats, Ranked, Score};
+pub use attribution::{Attribution, Degradation, DegradeReason, EngineStats, Ranked, Score};
 pub use attributor::{
     AdaBanAttributor, Attributor, CnfProxyAttributor, ExaBanAttributor, IchiBanAttributor,
     MonteCarloAttributor, Sig22Attributor,
@@ -67,7 +67,7 @@ pub use banzhaf_db::{Database, Update};
 pub use banzhaf_par::ThreadPool;
 pub use banzhaf_query::{parse_program, UnionQuery};
 pub use cache::{canonical_key_probe, prekey_probe, CacheStats, SharedCache};
-pub use config::{Algorithm, EngineConfig};
+pub use config::{Algorithm, EngineConfig, FallbackPolicy, Rung};
 pub use live::{AnswerChange, LiveSession, LiveStats, TouchedAnswer, UpdateReport};
 pub use session::{
     AnswerAttribution, BatchOptions, Engine, QueryAttribution, Session, SessionStats,

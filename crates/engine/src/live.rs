@@ -306,6 +306,7 @@ impl LiveSession {
     /// and attributing the updated database from scratch.
     pub fn apply_update(&mut self, update: Update) -> Result<UpdateReport, DbError> {
         let start = Instant::now();
+        banzhaf_par::failpoint!("live::apply_update");
         let steps_before = self.session.stats().compile_steps;
         let hits_before = self.session.stats().cache_hits;
         let id = self.db.apply_update(&update)?;

@@ -1,16 +1,17 @@
 //! The engine front door: query evaluation, per-answer attribution, and the
 //! cross-answer d-tree cache.
 
-use crate::attribution::{Attribution, Ranked};
+use crate::attribution::{Attribution, Degradation, DegradeReason, Ranked};
 use crate::attributor::Attributor;
-use crate::cache::{CacheStats, CanonInfo, Lookup, Prekeyed, SharedCache};
+use crate::cache::{CacheStats, CanonInfo, Lookup, Prekeyed, Resident, Shape, SharedCache};
 use crate::canon::Fingerprint;
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, FallbackPolicy, Rung};
 use banzhaf::{Budget, Interrupted};
 use banzhaf_boolean::Dnf;
 use banzhaf_db::{Database, Value};
 use banzhaf_query::{evaluate, UnionQuery};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -115,6 +116,12 @@ pub struct SessionStats {
     /// Lookups resolved without any search because their cheap
     /// isomorphism-invariant fingerprint had no resident entry.
     pub prekey_skips: u64,
+    /// Answers resolved by a fallback rung after the primary attributor
+    /// failed (see [`FallbackPolicy`]); a strict session never counts any.
+    pub degraded: u64,
+    /// Steps charged to fallback rungs while resolving degraded answers
+    /// (failed intermediate rungs included).
+    pub fallback_steps: u64,
     /// Total wall-clock time spent inside backends.
     pub wall: Duration,
 }
@@ -134,6 +141,10 @@ pub struct BatchOptions<'a> {
     /// finished instances keep their results, unfinished ones return
     /// [`Interrupted`].
     pub shared_budget: Option<&'a Budget>,
+    /// Per-call override of the configuration's [`FallbackPolicy`] (the
+    /// serving layer threads a per-request policy through here). `None`
+    /// falls back to [`EngineConfig::fallback`].
+    pub fallback: Option<&'a FallbackPolicy>,
 }
 
 impl<'a> BatchOptions<'a> {
@@ -145,6 +156,13 @@ impl<'a> BatchOptions<'a> {
     /// Runs the whole batch under one shared budget.
     pub fn with_shared_budget(mut self, budget: &'a Budget) -> Self {
         self.shared_budget = Some(budget);
+        self
+    }
+
+    /// Overrides the configuration's budget-exhaustion fallback policy for
+    /// this batch.
+    pub fn with_fallback(mut self, fallback: &'a FallbackPolicy) -> Self {
+        self.fallback = Some(fallback);
         self
     }
 }
@@ -273,7 +291,7 @@ impl Session {
         // before any compile work, and the shared counters record exactly
         // one lookup per logical attribution (a separate fast-path lookup
         // here would double-count misses in `Engine::cache_stats`).
-        self.batch_prekeyed(vec![Prekeyed::of(lineage)], None)
+        self.batch_prekeyed(vec![Prekeyed::of(lineage)], None, None)
             .pop()
             .expect("one lineage in, one attribution out")
     }
@@ -304,7 +322,7 @@ impl Session {
         // planning loop, where the sequential cache-state walk decides
         // (deterministically) which instances actually need it.
         let prekeyed = lineages.iter().map(|l| Prekeyed::of(l)).collect();
-        self.batch_prekeyed(prekeyed, options.shared_budget)
+        self.batch_prekeyed(prekeyed, options.shared_budget, options.fallback)
     }
 
     /// Batch attribution over prekeyed (densely renamed + fingerprinted)
@@ -314,6 +332,7 @@ impl Session {
         &mut self,
         prekeyed: Vec<Prekeyed>,
         shared_budget: Option<&Budget>,
+        fallback: Option<&FallbackPolicy>,
     ) -> Vec<Result<Attribution, Interrupted>> {
         let n = prekeyed.len();
         self.stats.attributions += n as u64;
@@ -353,6 +372,64 @@ impl Session {
         let mut pending: HashMap<Fingerprint, Vec<usize>> = HashMap::new();
         // Per-instance canonicalization costs: (steps, searches, skips).
         let mut paid = vec![(0u64, 0u64, 0u64); n];
+
+        // Which instances will pay the individualization search is decidable
+        // before the walk: a probe canonicalizes iff its fingerprint bucket
+        // is occupied or its fingerprint repeats within the batch, and a
+        // contested bucket's still-unkeyed residents canonicalize alongside
+        // it. Fan exactly those searches across the pool up front and let
+        // the sequential cache-state walk below consume the memoized
+        // results: the search is deterministic, so the charged costs,
+        // counters, and the resulting plan are bit-identical to computing
+        // inline. Skipped under a shared budget, where the walk must charge
+        // each descent to the budget in instance order.
+        let mut speculated: Vec<Option<(CanonInfo, u64)>> = (0..n).map(|_| None).collect();
+        let mut speculated_residents: HashMap<u64, (CanonInfo, u64)> = HashMap::new();
+        if use_cache && shared_budget.is_none() && n > 1 {
+            let mut fp_count: HashMap<Fingerprint, usize> = HashMap::new();
+            for p in &prekeyed {
+                *fp_count.entry(p.fingerprint).or_default() += 1;
+            }
+            let mut peeked: HashMap<Fingerprint, Vec<Resident>> = HashMap::new();
+            for p in &prekeyed {
+                peeked.entry(p.fingerprint).or_insert_with(|| self.cache.peek(p.fingerprint));
+            }
+            let mut probe_tasks: Vec<usize> = Vec::new();
+            let mut resident_tasks: Vec<(u64, Arc<Shape>)> = Vec::new();
+            let mut queued: HashSet<Fingerprint> = HashSet::new();
+            for (i, p) in prekeyed.iter().enumerate() {
+                let residents = &peeked[&p.fingerprint];
+                if fp_count[&p.fingerprint] > 1 || !residents.is_empty() {
+                    probe_tasks.push(i);
+                }
+                if queued.insert(p.fingerprint) {
+                    for r in residents {
+                        if r.canon.is_none() {
+                            resident_tasks.push((r.id, Arc::clone(&r.shape)));
+                        }
+                    }
+                }
+            }
+            let shapes: Vec<Arc<Shape>> = probe_tasks
+                .iter()
+                .map(|&i| Arc::clone(&prekeyed[i].shape))
+                .chain(resident_tasks.iter().map(|(_, shape)| Arc::clone(shape)))
+                .collect();
+            if shapes.len() > 1 {
+                let computed =
+                    self.config.pool().parallel_map(&shapes, |_, shape| shape.canonicalize());
+                let mut it = computed.into_iter();
+                for &i in &probe_tasks {
+                    speculated[i] = it.next();
+                }
+                for (id, _) in &resident_tasks {
+                    if let Some(pair) = it.next() {
+                        speculated_residents.insert(*id, pair);
+                    }
+                }
+            }
+        }
+
         for i in 0..n {
             if !use_cache {
                 jobs.push(i);
@@ -368,14 +445,19 @@ impl Session {
                         // Definite miss, nothing in flight: compile without
                         // ever running the individualization search.
                         skips += 1;
-                    } else {
-                        let (info, cost) = prekeyed[i].shape.canonicalize();
-                        steps += cost;
-                        searches += 1;
-                        let mine = Arc::new(info);
+                    } else if let Some(mine) = key_probe(
+                        &prekeyed,
+                        &mut speculated,
+                        shared_budget,
+                        i,
+                        &mut steps,
+                        &mut searches,
+                    ) {
                         if let Some(j) = find_mate(
                             &prekeyed,
                             &mut my_canon,
+                            &mut speculated,
+                            shared_budget,
                             &mates,
                             &mine,
                             &mut steps,
@@ -386,64 +468,87 @@ impl Session {
                         }
                         my_canon[i] = Some(mine);
                     }
+                    // An interrupted descent (shared budget already drained)
+                    // leaves the instance unkeyed: it compiles — and promptly
+                    // starves on the same exhausted budget — rather than
+                    // stalling the planning walk.
                 }
                 Lookup::Occupied(residents) => {
-                    let (info, cost) = prekeyed[i].shape.canonicalize();
-                    steps += cost;
-                    searches += 1;
-                    let mine = Arc::new(info);
-                    // Settle against the residents in bucket order, lazily
-                    // canonicalizing the unkeyed ones and stopping at the
-                    // first exact match.
-                    let mut resolved: Vec<(u64, Arc<CanonInfo>)> = Vec::new();
-                    for r in &residents {
-                        let canon = if let Some(c) = &r.canon {
-                            Arc::clone(c)
-                        } else if let Some(c) = resident_canon.get(&r.id) {
-                            Arc::clone(c)
-                        } else {
-                            let (info, cost) = r.shape.canonicalize();
-                            steps += cost;
-                            searches += 1;
-                            let info = Arc::new(info);
-                            resident_canon.insert(r.id, Arc::clone(&info));
-                            resolved.push((r.id, Arc::clone(&info)));
-                            info
-                        };
-                        if canon.key == mine.key {
-                            break;
-                        }
-                    }
-                    match self.cache.finish_lookup(fp, &mine.key, &resolved) {
-                        Some(hit) => {
-                            self.stats.cache_hits += 1;
-                            let mut attribution = cache_hit(prekeyed[i].map_back_via(
-                                &mine,
-                                &hit.canon,
-                                &hit.attribution,
-                            ));
-                            attribution.stats.canon_steps = steps;
-                            attribution.stats.canon_searches = searches;
-                            attribution.stats.prekey_skips = skips;
-                            results[i] = Some(Ok(attribution));
-                            plan_job = false;
-                        }
-                        None => {
-                            let mates = pending.get(&fp).cloned().unwrap_or_default();
-                            if let Some(j) = find_mate(
-                                &prekeyed,
-                                &mut my_canon,
-                                &mates,
-                                &mine,
-                                &mut steps,
-                                &mut searches,
-                            ) {
-                                reuse[i] = Some(j);
-                                plan_job = false;
+                    if let Some(mine) = key_probe(
+                        &prekeyed,
+                        &mut speculated,
+                        shared_budget,
+                        i,
+                        &mut steps,
+                        &mut searches,
+                    ) {
+                        // Settle against the residents in bucket order,
+                        // lazily canonicalizing the unkeyed ones and stopping
+                        // at the first exact match.
+                        let mut resolved: Vec<(u64, Arc<CanonInfo>)> = Vec::new();
+                        for r in &residents {
+                            let canon = if let Some(c) = &r.canon {
+                                Arc::clone(c)
+                            } else if let Some(c) = resident_canon.get(&r.id) {
+                                Arc::clone(c)
+                            } else {
+                                let computed = match speculated_residents.remove(&r.id) {
+                                    Some(pair) => Some(pair),
+                                    None => match shared_budget {
+                                        Some(budget) => r.shape.canonicalize_budgeted(budget).ok(),
+                                        None => Some(r.shape.canonicalize()),
+                                    },
+                                };
+                                let Some((info, cost)) = computed else {
+                                    // Budget drained mid-descent: stop
+                                    // settling; the keys resolved so far
+                                    // still count.
+                                    break;
+                                };
+                                steps += cost;
+                                searches += 1;
+                                let info = Arc::new(info);
+                                resident_canon.insert(r.id, Arc::clone(&info));
+                                resolved.push((r.id, Arc::clone(&info)));
+                                info
+                            };
+                            if canon.key == mine.key {
+                                break;
                             }
                         }
+                        match self.cache.finish_lookup(fp, &mine.key, &resolved) {
+                            Some(hit) => {
+                                self.stats.cache_hits += 1;
+                                let mut attribution = cache_hit(prekeyed[i].map_back_via(
+                                    &mine,
+                                    &hit.canon,
+                                    &hit.attribution,
+                                ));
+                                attribution.stats.canon_steps = steps;
+                                attribution.stats.canon_searches = searches;
+                                attribution.stats.prekey_skips = skips;
+                                results[i] = Some(Ok(attribution));
+                                plan_job = false;
+                            }
+                            None => {
+                                let mates = pending.get(&fp).cloned().unwrap_or_default();
+                                if let Some(j) = find_mate(
+                                    &prekeyed,
+                                    &mut my_canon,
+                                    &mut speculated,
+                                    shared_budget,
+                                    &mates,
+                                    &mine,
+                                    &mut steps,
+                                    &mut searches,
+                                ) {
+                                    reuse[i] = Some(j);
+                                    plan_job = false;
+                                }
+                            }
+                        }
+                        my_canon[i] = Some(mine);
                     }
-                    my_canon[i] = Some(mine);
                 }
             }
             if plan_job {
@@ -469,9 +574,13 @@ impl Session {
         // across the pool; the randomized Monte Carlo backend parallelizes
         // *inside* each instance (per-variable seed streams), so its
         // instance loop stays inline rather than nesting pools.
+        // The rungs are resolved up front (call override, else configuration)
+        // and copied out so the borrow of `self.config` ends before the
+        // mutable final-assembly pass.
+        let rungs: Vec<Rung> = fallback.unwrap_or(&self.config.fallback).rungs().to_vec();
         let attributor = self.attributor.as_ref();
         let config = &self.config;
-        let run = |i: usize| -> Result<Attribution, Interrupted> {
+        let run = |i: usize| -> JobOutcome {
             let fresh;
             let budget = match shared_budget {
                 Some(shared) => shared,
@@ -480,9 +589,32 @@ impl Session {
                     &fresh
                 }
             };
-            attributor.attribute_indexed(&prekeyed[i].dnf, stream_base + i as u64, budget)
+            if rungs.is_empty() {
+                // Strict: identical to the historical path — a panicking
+                // worker unwinds through the pool to the caller untouched.
+                banzhaf_par::failpoint!("session::compile");
+                match attributor.attribute_indexed(&prekeyed[i].dnf, stream_base + i as u64, budget)
+                {
+                    Ok(attribution) => JobOutcome::Done(Box::new(attribution)),
+                    Err(Interrupted) => JobOutcome::Starved(budget.steps_used()),
+                }
+            } else {
+                // Under a ladder the batch must survive a panicking worker:
+                // the partially built d-tree dies with the unwound stack (it
+                // was never shared), and the instance degrades instead of
+                // taking the whole batch down with it.
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    banzhaf_par::failpoint!("session::compile");
+                    attributor.attribute_indexed(&prekeyed[i].dnf, stream_base + i as u64, budget)
+                }));
+                match caught {
+                    Ok(Ok(attribution)) => JobOutcome::Done(Box::new(attribution)),
+                    Ok(Err(Interrupted)) => JobOutcome::Starved(budget.steps_used()),
+                    Err(_) => JobOutcome::Panicked(budget.steps_used()),
+                }
+            }
         };
-        let computed: Vec<Result<Attribution, Interrupted>> = if config.algorithm.cacheable() {
+        let computed: Vec<JobOutcome> = if config.algorithm.cacheable() {
             config.pool().parallel_map(&jobs, |_, &i| run(i))
         } else {
             jobs.iter().map(|&i| run(i)).collect()
@@ -491,18 +623,20 @@ impl Session {
         // Single-writer merge: only now — with every worker joined — does the
         // session record stats and fold the freshly compiled results into the
         // shared cache (the merge itself is serialized by the cache's brief
-        // internal lock; no worker ever computes under it).
-        let mut dense_outcomes: HashMap<usize, Result<Attribution, Interrupted>> =
-            HashMap::with_capacity(jobs.len());
+        // internal lock; no worker ever computes under it). Only *completed*
+        // compilations are inserted: a starved or panicked job's partial
+        // d-tree never reaches the cache.
+        let mut dense_outcomes: HashMap<usize, JobOutcome> = HashMap::with_capacity(jobs.len());
         for (&i, outcome) in jobs.iter().zip(computed) {
-            if let Ok(attribution) = &outcome {
+            if let JobOutcome::Done(attribution) = &outcome {
                 self.record(attribution);
                 if use_cache {
+                    banzhaf_par::failpoint!("session::merge");
                     self.cache.insert(
                         prekeyed[i].fingerprint,
                         &prekeyed[i].shape,
                         my_canon[i].clone(),
-                        Arc::new(attribution.clone()),
+                        Arc::new((**attribution).clone()),
                     );
                 }
             }
@@ -516,7 +650,7 @@ impl Session {
                 }
                 let owner = reuse[i];
                 match &dense_outcomes[&owner.unwrap_or(i)] {
-                    Ok(attribution) => {
+                    JobOutcome::Done(attribution) => {
                         let mut mapped = match owner {
                             Some(j) => {
                                 let mine =
@@ -539,10 +673,90 @@ impl Session {
                             Ok(mapped)
                         }
                     }
-                    Err(interrupted) => Err(*interrupted),
+                    JobOutcome::Starved(spent) => self.degrade(
+                        &prekeyed[i],
+                        stream_base + i as u64,
+                        shared_budget,
+                        &rungs,
+                        DegradeReason::BudgetExhausted,
+                        *spent,
+                        paid[i],
+                    ),
+                    JobOutcome::Panicked(spent) => self.degrade(
+                        &prekeyed[i],
+                        stream_base + i as u64,
+                        shared_budget,
+                        &rungs,
+                        DegradeReason::WorkerPanic,
+                        *spent,
+                        paid[i],
+                    ),
                 }
             })
             .collect()
+    }
+
+    /// Re-attributes one instance down the fallback ladder after its primary
+    /// attempt failed.
+    ///
+    /// Runs inline on the session thread during final assembly: degraded
+    /// work is a tail correction under overload, not something to schedule
+    /// more workers for. Degraded results are counted in the session stats
+    /// but **never inserted into the shared cache**, and in-batch mates never
+    /// share one (each failed instance walks its own ladder — transferring a
+    /// Monte Carlo estimate between mates would correlate supposedly
+    /// independent streams).
+    #[allow(clippy::too_many_arguments)]
+    fn degrade(
+        &mut self,
+        prekeyed: &Prekeyed,
+        stream: u64,
+        shared_budget: Option<&Budget>,
+        rungs: &[Rung],
+        reason: DegradeReason,
+        primary_spent: u64,
+        paid: (u64, u64, u64),
+    ) -> Result<Attribution, Interrupted> {
+        // An explicit cancellation is the client's word, not overload:
+        // honour it instead of degrading.
+        if rungs.is_empty() || shared_budget.is_some_and(Budget::is_cancelled) {
+            return Err(Interrupted);
+        }
+        let mut spent = primary_spent;
+        let mut fallback_steps = 0u64;
+        for rung in rungs {
+            // The rung inherits whatever wall-clock remains on the request
+            // deadline, but never less than its grace allowance — the last
+            // rung must be able to answer even when the deadline has already
+            // passed. With no deadline the grace alone bounds the rung.
+            let timeout = shared_budget
+                .and_then(Budget::remaining_time)
+                .map_or(rung.grace, |remaining| remaining.max(rung.grace));
+            let budget = Budget::new(Some(timeout), rung.max_steps);
+            let rung_config = EngineConfig { algorithm: rung.algorithm, ..self.config.clone() };
+            let rung_attributor = rung_config.attributor();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                rung_attributor.attribute_indexed(&prekeyed.dnf, stream, &budget)
+            }));
+            fallback_steps += budget.steps_used();
+            if let Ok(Ok(dense)) = outcome {
+                let mut attribution = prekeyed.map_back(&dense);
+                attribution.degradation =
+                    Some(Degradation { rung: rung.algorithm, reason, budget_spent: spent });
+                attribution.stats.degraded = true;
+                attribution.stats.fallback_steps = fallback_steps;
+                let (steps, searches, skips) = paid;
+                attribution.stats.canon_steps = steps;
+                attribution.stats.canon_searches = searches;
+                attribution.stats.prekey_skips = skips;
+                self.record(&attribution);
+                self.stats.degraded += 1;
+                self.stats.fallback_steps += fallback_steps;
+                return Ok(attribution);
+            }
+            spent += budget.steps_used();
+        }
+        Err(Interrupted)
     }
 
     /// The `k` facts of a lineage with the largest Banzhaf values.
@@ -572,13 +786,52 @@ fn cache_hit(mut attribution: Attribution) -> Attribution {
     attribution
 }
 
+/// What one compile job produced: a completed attribution (the only outcome
+/// that may enter the shared cache), or a failure with the steps the budget
+/// had recorded when it surfaced — the degradation ladder reports that spend.
+enum JobOutcome {
+    Done(Box<Attribution>),
+    Starved(u64),
+    Panicked(u64),
+}
+
+/// Canonicalizes instance `i`'s shape for the planning walk: consuming the
+/// speculative memo when the parallel pre-pass already paid for it, charging
+/// the shared budget when one is present (`None` means the descent was
+/// interrupted and the instance stays unkeyed), and charging the walk's cost
+/// counters either way.
+fn key_probe(
+    prekeyed: &[Prekeyed],
+    speculated: &mut [Option<(CanonInfo, u64)>],
+    shared_budget: Option<&Budget>,
+    i: usize,
+    steps: &mut u64,
+    searches: &mut u64,
+) -> Option<Arc<CanonInfo>> {
+    let computed = match speculated[i].take() {
+        Some(pair) => Some(pair),
+        None => match shared_budget {
+            Some(budget) => prekeyed[i].shape.canonicalize_budgeted(budget).ok(),
+            None => Some(prekeyed[i].shape.canonicalize()),
+        },
+    };
+    computed.map(|(info, cost)| {
+        *steps += cost;
+        *searches += 1;
+        Arc::new(info)
+    })
+}
+
 /// Searches the earlier in-batch instances `mates` (pending under the same
 /// fingerprint) for one whose canonical key equals `mine`, lazily
 /// canonicalizing mates that have not been keyed yet and charging the work to
 /// the probing instance — exactly where the sequential loop would pay it.
+#[allow(clippy::too_many_arguments)]
 fn find_mate(
     prekeyed: &[Prekeyed],
     my_canon: &mut [Option<Arc<CanonInfo>>],
+    speculated: &mut [Option<(CanonInfo, u64)>],
+    shared_budget: Option<&Budget>,
     mates: &[usize],
     mine: &CanonInfo,
     steps: &mut u64,
@@ -586,10 +839,11 @@ fn find_mate(
 ) -> Option<usize> {
     for &j in mates {
         if my_canon[j].is_none() {
-            let (info, cost) = prekeyed[j].shape.canonicalize();
-            *steps += cost;
-            *searches += 1;
-            my_canon[j] = Some(Arc::new(info));
+            match key_probe(prekeyed, speculated, shared_budget, j, steps, searches) {
+                Some(info) => my_canon[j] = Some(info),
+                // An unkeyable mate under a drained budget cannot match.
+                None => continue,
+            }
         }
         if my_canon[j].as_ref().expect("just keyed").key == mine.key {
             return Some(j);
@@ -983,5 +1237,107 @@ mod tests {
         let topk = session.top_k(&phi, 2).unwrap();
         assert!(topk.certified);
         assert_eq!(topk.order, vec![v(3), v(0)]);
+    }
+
+    #[test]
+    fn strict_sessions_still_starve_on_exhausted_budgets() {
+        // The default policy must keep the historical bit-identity contract:
+        // budget exhaustion is an `Err`, never a silently degraded value.
+        let config = EngineConfig { max_steps: Some(1), ..EngineConfig::default() };
+        assert!(config.fallback.is_strict());
+        let mut session = Engine::new(config).session();
+        assert!(session.attribute(&shifted_cycle(0)).is_err());
+        assert_eq!(session.stats().degraded, 0);
+    }
+
+    #[test]
+    fn ladder_degrades_starved_instances_instead_of_failing() {
+        use crate::attribution::Score;
+        let cycle = shifted_cycle(0);
+        let exact = Engine::new(EngineConfig::default()).session().attribute(&cycle).unwrap();
+        // One decomposition step starves the exact backend outright; the
+        // ladder must still produce an answer.
+        let mut config = EngineConfig::default().with_fallback(FallbackPolicy::ladder());
+        config.max_steps = Some(1);
+        let engine = Engine::new(config);
+        let mut session = engine.session();
+        let att = session.attribute(&cycle).expect("the ladder resolves what strict starves");
+        let degradation = att.degradation.expect("resolved on a fallback rung");
+        assert_eq!(degradation.reason, DegradeReason::BudgetExhausted);
+        assert!(att.stats.degraded);
+        assert_eq!(session.stats().degraded, 1);
+        assert!(session.stats().fallback_steps > 0);
+        // The degraded score still brackets (interval rung) or estimates
+        // (sampling rung) the exact value.
+        for x in cycle.universe().iter() {
+            let want = exact.value(x).unwrap().exact().unwrap();
+            match att.value(x).unwrap() {
+                Score::Exact(got) => assert_eq!(*got, want),
+                Score::Interval(i) => {
+                    assert!(
+                        i.lower <= want && want <= i.upper,
+                        "degraded interval must bracket the exact value"
+                    );
+                }
+                Score::Estimate(e) => assert!(e.is_finite() && *e >= 0.0),
+            }
+        }
+        // Neither the failed exact compile nor the degraded result may enter
+        // the shared cache; an isomorphic retry degrades again, no hit.
+        assert_eq!(engine.cache_stats().insertions, 0);
+        let again = session.attribute(&shifted_cycle(10)).unwrap();
+        assert!(again.degradation.is_some());
+        assert!(!again.stats.cache_hit);
+        assert_eq!(session.stats().degraded, 2);
+    }
+
+    #[test]
+    fn batch_ladder_degrades_only_the_starved_instances() {
+        // A per-instance cap that lets the tiny lineages through but starves
+        // the cycles: completed instances stay exact (and cacheable), the
+        // starved ones degrade, and nothing reports `Err`.
+        let lineages = mixed_batch();
+        let refs: Vec<&Dnf> = lineages.iter().collect();
+        let cap = {
+            let mut probe = Engine::new(EngineConfig::default()).session();
+            probe.attribute(&lineages[4]).unwrap().stats.compile_steps + 1
+        };
+        let mut config = EngineConfig::default().with_fallback(FallbackPolicy::ladder());
+        config.max_steps = Some(cap);
+        let mut strict_config = config.clone();
+        strict_config.fallback = FallbackPolicy::Strict;
+        let strict: Vec<bool> = {
+            let mut session = Engine::new(strict_config).session();
+            session
+                .attribute_batch(&refs, BatchOptions::default())
+                .iter()
+                .map(Result::is_ok)
+                .collect()
+        };
+        assert!(strict.contains(&false), "cap must starve part of the batch");
+        let engine = Engine::new(config);
+        let mut session = engine.session();
+        let outcomes = session.attribute_batch(&refs, BatchOptions::default());
+        for (outcome, strict_ok) in outcomes.iter().zip(&strict) {
+            let att = outcome.as_ref().expect("ladder leaves no instance unresolved");
+            assert_eq!(
+                att.degradation.is_none(),
+                *strict_ok,
+                "exactly the strict-starved instances degrade"
+            );
+        }
+        assert_eq!(session.stats().degraded, strict.iter().filter(|ok| !**ok).count() as u64);
+    }
+
+    #[test]
+    fn batch_options_override_the_configured_policy() {
+        let mut config = EngineConfig::default().with_fallback(FallbackPolicy::ladder());
+        config.max_steps = Some(1);
+        let mut session = Engine::new(config).session();
+        let cycle = shifted_cycle(0);
+        let strict = FallbackPolicy::Strict;
+        let outcomes =
+            session.attribute_batch(&[&cycle], BatchOptions::new().with_fallback(&strict));
+        assert!(outcomes[0].is_err(), "per-call override wins");
     }
 }

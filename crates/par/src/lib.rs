@@ -48,7 +48,43 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
 pub mod queue;
+
+/// Evaluate a named fault-injection site (see [`failpoints`]).
+///
+/// * `failpoint!("site")` — hit the site; an armed `Panic`/`Sleep` action
+///   takes effect here, a `Trigger` action is swallowed.
+/// * `failpoint!("site", expr)` — hit the site and evaluate `expr` when an
+///   armed `Trigger` action fires (typically an early `return`).
+///
+/// Without `--features failpoints` both forms compile to nothing, so planted
+/// sites cost zero in production builds. The feature is resolved on *this*
+/// crate: enabling `banzhaf-par/failpoints` anywhere in the build graph
+/// activates every planted site in every dependent crate (cargo feature
+/// unification), which is exactly what the chaos suite wants.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {
+        let _ = $crate::failpoints::hit($site);
+    };
+    ($site:expr, $on_trigger:expr) => {
+        if $crate::failpoints::hit($site) {
+            $on_trigger
+        }
+    };
+}
+
+/// Inert form of [`failpoint!`]: without `--features failpoints` every
+/// planted site compiles to nothing.
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {};
+    ($site:expr, $on_trigger:expr) => {};
+}
 
 /// The measured-work threshold below which [`ThreadPool::parallel_map`] stays
 /// inline: workers are spawned only once the first items of a batch have

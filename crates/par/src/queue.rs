@@ -88,6 +88,11 @@ impl<T> BoundedQueue<T> {
         if state.items.len() >= self.capacity {
             return Err(PushError::Full { capacity: self.capacity });
         }
+        // Fault injection: pretend the queue is full (tests only; compiles
+        // out without --features failpoints).
+        crate::failpoint!("queue::try_push_full", {
+            return Err(PushError::Full { capacity: self.capacity });
+        });
         state.items.push_back(item);
         drop(state);
         self.not_empty.notify_one();

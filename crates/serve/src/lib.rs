@@ -63,8 +63,9 @@
 mod executor;
 mod service;
 
+pub use banzhaf_engine::{Degradation, DegradeReason, FallbackPolicy, Rung};
 pub use executor::{block_on, join_all, JoinAll};
 pub use service::{
-    AttributionService, Rejected, RequestOptions, ServeConfig, ServeError, ServeResult,
-    ServiceStats, Ticket, UpdateTicket,
+    AttributionService, Rejected, RequestOptions, RetryPolicy, ServeConfig, ServeError,
+    ServeResult, ServiceStats, Ticket, UpdateTicket,
 };

@@ -3,8 +3,8 @@
 use banzhaf_boolean::Dnf;
 use banzhaf_dtree::Budget;
 use banzhaf_engine::{
-    Attribution, BatchOptions, CacheStats, Database, Engine, EngineConfig, LiveSession, LiveStats,
-    QueryAttribution, UnionQuery, Update, UpdateReport,
+    Attribution, BatchOptions, CacheStats, Database, Engine, EngineConfig, FallbackPolicy,
+    LiveSession, LiveStats, QueryAttribution, UnionQuery, Update, UpdateReport,
 };
 use banzhaf_par::queue::{BoundedQueue, PushError};
 use std::fmt;
@@ -111,13 +111,19 @@ impl ServeConfig {
 ///
 /// Construct with [`RequestOptions::new`] and the `with_*` builders; the
 /// struct is `#[non_exhaustive]` so future knobs are not breaking changes.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 #[non_exhaustive]
 pub struct RequestOptions {
     /// Deadline for this request, from submission (overrides the default).
     pub timeout: Option<Duration>,
     /// Step cap for this request (overrides the default).
     pub max_steps: Option<u64>,
+    /// Budget-exhaustion fallback policy for this request (overrides the
+    /// engine configuration's [`FallbackPolicy`]). With a ladder, a request
+    /// that would fail [`ServeError::Interrupted`] is instead re-attributed
+    /// on cheaper rungs within the remaining budget, and the resulting
+    /// [`Attribution`] carries its [`banzhaf_engine::Degradation`] marker.
+    pub fallback: Option<FallbackPolicy>,
 }
 
 impl RequestOptions {
@@ -135,6 +141,12 @@ impl RequestOptions {
     /// Sets this request's step cap.
     pub fn with_max_steps(mut self, max_steps: u64) -> Self {
         self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Sets this request's budget-exhaustion fallback policy.
+    pub fn with_fallback(mut self, fallback: FallbackPolicy) -> Self {
+        self.fallback = Some(fallback);
         self
     }
 }
@@ -169,6 +181,43 @@ impl fmt::Display for Rejected {
 }
 
 impl std::error::Error for Rejected {}
+
+/// Bounded deterministic backoff for [`Rejected::QueueFull`] retries
+/// ([`AttributionService::submit_with_retry`]).
+///
+/// The backoff doubles from [`RetryPolicy::base`] per attempt and saturates
+/// at [`RetryPolicy::cap`] — no jitter, so a retry schedule is reproducible:
+/// attempt `k` always sleeps `min(base · 2^k, cap)`.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = behave like plain `submit`).
+    pub attempts: u32,
+    /// Sleep before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries backing off 1 ms → 2 ms → 4 ms.
+    fn default() -> Self {
+        RetryPolicy { attempts: 3, base: Duration::from_millis(1), cap: Duration::from_millis(50) }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy retrying `attempts` times with the default backoff curve.
+    pub fn new(attempts: u32) -> Self {
+        RetryPolicy { attempts, ..RetryPolicy::default() }
+    }
+
+    /// The deterministic sleep before retry number `attempt` (0-based):
+    /// `min(base · 2^attempt, cap)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doubled = self.base.saturating_mul(2u32.saturating_pow(attempt.min(31)));
+        doubled.min(self.cap)
+    }
+}
 
 /// Why an accepted request failed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -307,8 +356,16 @@ impl<T> Future for Ticket<T> {
 }
 
 enum Job {
-    Attribute { lineage: Dnf, shared: Arc<RequestShared<Attribution>> },
-    Update { update: Update, seq: u64, shared: Arc<RequestShared<UpdateReport>> },
+    Attribute {
+        lineage: Dnf,
+        fallback: Option<FallbackPolicy>,
+        shared: Arc<RequestShared<Attribution>>,
+    },
+    Update {
+        update: Update,
+        seq: u64,
+        shared: Arc<RequestShared<UpdateReport>>,
+    },
 }
 
 /// The live-update state shared by the service handle and its workers.
@@ -336,16 +393,23 @@ impl LiveShared {
     /// Advances the turn to `seq + 1`, first waiting until it is `seq`'s
     /// turn. Every allocated sequence number must pass through here exactly
     /// once — applied, failed, or shut down — or later updates deadlock.
+    ///
+    /// The advance is unconditional: a `body` that panics still bumps the
+    /// turn (and wakes the waiters) before the panic resumes, so one bad
+    /// update can never wedge every later one behind its sequence number.
     fn take_turn<R>(&self, seq: u64, body: impl FnOnce() -> R) -> R {
-        let mut order = self.order.lock().expect("update order lock poisoned");
+        let mut order = self.order.lock().unwrap_or_else(PoisonError::into_inner);
         while *order != seq {
-            order = self.turn.wait(order).expect("update order lock poisoned");
+            order = self.turn.wait(order).unwrap_or_else(PoisonError::into_inner);
         }
-        let outcome = body();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
         *order += 1;
         drop(order);
         self.turn.notify_all();
-        outcome
+        match outcome {
+            Ok(value) => value,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
     }
 }
 
@@ -363,6 +427,8 @@ struct ServiceCounters {
     completed: AtomicU64,
     failed: AtomicU64,
     in_flight: AtomicU64,
+    degraded: AtomicU64,
+    fallback_steps: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -389,6 +455,12 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Requests currently executing on a worker.
     pub in_flight: u64,
+    /// Completed requests whose attribution was resolved by a fallback rung
+    /// rather than the primary attributor (always a subset of `completed`;
+    /// zero unless a [`FallbackPolicy::Ladder`] is in effect).
+    pub degraded: u64,
+    /// Steps the fallback rungs charged while resolving degraded requests.
+    pub fallback_steps: u64,
     /// Requests currently queued.
     pub queue_depth: usize,
     /// The service's worker count.
@@ -495,7 +567,7 @@ impl AttributionService {
                         while let Some(job) = queue.pop() {
                             counters.in_flight.fetch_add(1, Ordering::Relaxed);
                             match job {
-                                Job::Attribute { lineage, shared } => {
+                                Job::Attribute { lineage, fallback, shared } => {
                                     // A backend panic must not leave the
                                     // ticket unresolved (the client would
                                     // park forever) or kill the worker:
@@ -503,9 +575,11 @@ impl AttributionService {
                                     // continue on a fresh session.
                                     let outcome = std::panic::catch_unwind(
                                         std::panic::AssertUnwindSafe(|| {
+                                            banzhaf_par::failpoint!("serve::worker_compile");
                                             serve_attribution(
                                                 &mut session,
                                                 &lineage,
+                                                fallback.as_ref(),
                                                 &shared.budget,
                                             )
                                         }),
@@ -514,6 +588,15 @@ impl AttributionService {
                                         session = worker_engine.session();
                                         Err(ServeError::Failed)
                                     });
+                                    if let Ok(attribution) = &outcome {
+                                        if attribution.degradation.is_some() {
+                                            counters.degraded.fetch_add(1, Ordering::Relaxed);
+                                            counters.fallback_steps.fetch_add(
+                                                attribution.stats.fallback_steps,
+                                                Ordering::Relaxed,
+                                            );
+                                        }
+                                    }
                                     counters.finish(outcome.is_ok());
                                     shared.complete(outcome);
                                 }
@@ -521,7 +604,15 @@ impl AttributionService {
                                     let live = live
                                         .as_ref()
                                         .expect("update jobs exist only on live services");
-                                    let outcome = serve_update(live, update, seq, &shared.budget);
+                                    // Same guard as attributions: a panic
+                                    // escaping the turn (the turn itself has
+                                    // already advanced) fails the request
+                                    // instead of killing the worker.
+                                    let outcome =
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                            || serve_update(live, update, seq, &shared.budget),
+                                        ))
+                                        .unwrap_or(Err(ServeError::Failed));
                                     counters.finish(outcome.is_ok());
                                     shared.complete(outcome);
                                 }
@@ -542,7 +633,7 @@ impl AttributionService {
         }
     }
 
-    fn budget_for(&self, options: RequestOptions) -> Budget {
+    fn budget_for(&self, options: &RequestOptions) -> Budget {
         Budget::new(
             options.timeout.or(self.default_timeout),
             options.max_steps.or(self.default_max_steps),
@@ -572,10 +663,33 @@ impl AttributionService {
     /// Returns immediately: the [`Ticket`] resolves when a worker has served
     /// the request. A full queue rejects with [`Rejected::QueueFull`].
     pub fn submit(&self, lineage: Dnf, options: RequestOptions) -> Result<Ticket, Rejected> {
-        let shared = Arc::new(RequestShared::new(self.budget_for(options)));
-        let job = Job::Attribute { lineage, shared: Arc::clone(&shared) };
+        let shared = Arc::new(RequestShared::new(self.budget_for(&options)));
+        let job =
+            Job::Attribute { lineage, fallback: options.fallback, shared: Arc::clone(&shared) };
         self.push(job)?;
         Ok(Ticket { shared })
+    }
+
+    /// [`AttributionService::submit`], retrying [`Rejected::QueueFull`] with
+    /// the policy's bounded deterministic backoff. Any other rejection — and
+    /// success — returns immediately; after the final attempt the last
+    /// `QueueFull` is returned as-is.
+    pub fn submit_with_retry(
+        &self,
+        lineage: Dnf,
+        options: RequestOptions,
+        policy: &RetryPolicy,
+    ) -> Result<Ticket, Rejected> {
+        let mut attempt = 0;
+        loop {
+            match self.submit(lineage.clone(), options.clone()) {
+                Err(Rejected::QueueFull { .. }) if attempt < policy.attempts => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                outcome => return outcome,
+            }
+        }
     }
 
     /// Submits a live-database update (insert or delete). The
@@ -612,7 +726,7 @@ impl AttributionService {
         options: RequestOptions,
     ) -> Result<UpdateTicket, Rejected> {
         let live = self.live.as_ref().ok_or(Rejected::NotLive)?;
-        let shared = Arc::new(RequestShared::new(self.budget_for(options)));
+        let shared = Arc::new(RequestShared::new(self.budget_for(&options)));
         // Holding the allocation lock across the push keeps queue order equal
         // to sequence order, which the turn-taking in `serve_update` (and the
         // shutdown drain) relies on. A refused push consumes no number.
@@ -656,6 +770,8 @@ impl AttributionService {
             completed: self.counters.completed.load(Ordering::Relaxed),
             failed: self.counters.failed.load(Ordering::Relaxed),
             in_flight: self.counters.in_flight.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
+            fallback_steps: self.counters.fallback_steps.load(Ordering::Relaxed),
             queue_depth: self.queue.len(),
             workers: self.workers.len(),
             prekey_skips: cache.prekey_skips,
@@ -732,20 +848,29 @@ impl fmt::Debug for AttributionService {
 
 /// Serves one attribution request on a worker's session, mapping budget
 /// exhaustion to the typed [`ServeError`]s. The pre-run check fails
-/// queue-expired or already-cancelled requests without starting them.
+/// queue-expired or already-cancelled requests without starting them —
+/// except under a fallback ladder, where a queue-expired request still runs
+/// (the primary rung starves immediately and the ladder resolves it within
+/// its grace allowance instead of dropping the request).
 fn serve_attribution(
     session: &mut banzhaf_engine::Session,
     lineage: &Dnf,
+    fallback: Option<&FallbackPolicy>,
     budget: &Budget,
 ) -> ServeResult {
     if budget.is_cancelled() {
         return Err(ServeError::Cancelled);
     }
-    if budget.exhausted() {
+    let ladder = !fallback.unwrap_or_else(|| &session.config().fallback).is_strict();
+    if budget.exhausted() && !ladder {
         return Err(ServeError::Interrupted);
     }
+    let mut options = BatchOptions::new().with_shared_budget(budget);
+    if let Some(policy) = fallback {
+        options = options.with_fallback(policy);
+    }
     let outcome = session
-        .attribute_batch(&[lineage], BatchOptions::new().with_shared_budget(budget))
+        .attribute_batch(&[lineage], options)
         .pop()
         .expect("one lineage in, one outcome out");
     outcome.map_err(|_| {
@@ -768,6 +893,7 @@ fn serve_update(
     budget: &Budget,
 ) -> Result<UpdateReport, ServeError> {
     live.take_turn(seq, || {
+        banzhaf_par::failpoint!("serve::take_turn");
         if budget.is_cancelled() {
             return Err(ServeError::Cancelled);
         }

@@ -65,12 +65,13 @@ pub use banzhaf_workloads as workloads;
 pub mod prelude {
     pub use banzhaf_engine::{
         Algorithm, AnswerAttribution, AnswerChange, Attribution, Attributor, BatchOptions,
-        CacheStats, Engine, EngineConfig, EngineStats, LiveSession, LiveStats, QueryAttribution,
-        Ranked, Score, Session, SessionStats, SharedCache, TouchedAnswer, UpdateReport,
+        CacheStats, Degradation, DegradeReason, Engine, EngineConfig, EngineStats, FallbackPolicy,
+        LiveSession, LiveStats, QueryAttribution, Ranked, Rung, Score, Session, SessionStats,
+        SharedCache, TouchedAnswer, UpdateReport,
     };
     pub use banzhaf_serve::{
-        block_on, join_all, AttributionService, Rejected, RequestOptions, ServeConfig, ServeError,
-        ServiceStats, Ticket, UpdateTicket,
+        block_on, join_all, AttributionService, Rejected, RequestOptions, RetryPolicy, ServeConfig,
+        ServeError, ServiceStats, Ticket, UpdateTicket,
     };
 
     pub use banzhaf::{

@@ -272,6 +272,107 @@ fn live_updates_apply_in_submission_order_even_across_workers() {
     assert_eq!(snapshot.answers[0].tuple, vec![Value::from(0)]);
 }
 
+#[test]
+fn ladder_requests_degrade_instead_of_interrupting() {
+    let service = AttributionService::start(ServeConfig::default().with_workers(1));
+    let shape = ring(0, 10);
+    // Under the default strict policy a three-step budget is a typed error…
+    let strict = service.submit(shape.clone(), RequestOptions::new().with_max_steps(3)).unwrap();
+    assert_eq!(strict.wait().unwrap_err(), ServeError::Interrupted);
+    assert_eq!(service.cache_stats().insertions, 0);
+    // …under the ladder the same starvation produces a degraded answer.
+    let degraded = service
+        .submit(
+            shape.clone(),
+            RequestOptions::new().with_max_steps(3).with_fallback(FallbackPolicy::ladder()),
+        )
+        .unwrap()
+        .wait()
+        .expect("the ladder resolves the starved request");
+    let degradation = degraded.degradation.expect("resolved on a fallback rung");
+    assert_eq!(degradation.reason, DegradeReason::BudgetExhausted);
+    // The degraded score brackets (or estimates) the exact value, computed
+    // here by an unconstrained cold run.
+    let exact =
+        Engine::new(EngineConfig::default().with_cache(false)).session().attribute(&shape).unwrap();
+    for x in shape.universe().iter() {
+        let want = exact.value(x).unwrap().exact().unwrap();
+        match degraded.value(x).unwrap() {
+            Score::Exact(got) => assert_eq!(got, &want),
+            Score::Interval(i) => assert!(i.lower <= want && want <= i.upper),
+            Score::Estimate(e) => assert!(e.is_finite() && *e >= 0.0),
+        }
+    }
+    // Degraded work never enters the shared cache, and the counters tell the
+    // operator how much of the traffic is running degraded.
+    assert_eq!(service.cache_stats().insertions, 0);
+    let stats = service.stats();
+    assert_eq!(stats.degraded, 1);
+    assert!(stats.fallback_steps > 0);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn ladder_resolves_requests_that_expired_in_the_queue() {
+    // A zero deadline is hopeless for the primary attributor even before the
+    // worker picks the request up; the ladder's grace allowance still
+    // produces an answer instead of dropping the request.
+    let service = AttributionService::start(ServeConfig::default().with_workers(1));
+    let ticket = service
+        .submit(
+            ring(0, 24),
+            RequestOptions::new()
+                .with_timeout(Duration::ZERO)
+                .with_fallback(FallbackPolicy::ladder()),
+        )
+        .unwrap();
+    let attribution = ticket.wait().expect("grace allowance answers expired requests");
+    assert!(attribution.degradation.is_some());
+}
+
+#[test]
+fn retry_backoff_is_deterministic_and_bounded() {
+    let policy = RetryPolicy::default();
+    assert_eq!(policy.backoff(0), Duration::from_millis(1));
+    assert_eq!(policy.backoff(1), Duration::from_millis(2));
+    assert_eq!(policy.backoff(2), Duration::from_millis(4));
+    assert_eq!(policy.backoff(30), Duration::from_millis(50), "saturates at the cap");
+    assert_eq!(policy.backoff(u32::MAX), Duration::from_millis(50), "no overflow");
+}
+
+#[test]
+fn submit_with_retry_rides_out_transient_queue_full() {
+    let service =
+        AttributionService::start(ServeConfig::default().with_workers(1).with_queue_capacity(1));
+    let busy = service.submit(ring(0, 40), RequestOptions::default()).unwrap();
+    wait_for("the worker to pick up the busy request", || service.stats().in_flight == 1);
+    // Fill the queue, then free it from a side thread while the retrying
+    // submission backs off.
+    let queued = service.submit(ring(100, 4), RequestOptions::default()).unwrap();
+    let retried = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            busy.cancel();
+        });
+        // Plenty of bounded attempts: the worker needs only to notice the
+        // cancellation and drain one queue slot.
+        let policy = RetryPolicy { attempts: 2_000, ..RetryPolicy::default() };
+        service.submit_with_retry(ring(200, 4), RequestOptions::default(), &policy)
+    });
+    assert!(retried.expect("retry must outlast the transient backpressure").wait().is_ok());
+    assert!(queued.wait().is_ok());
+    // A zero-retry policy behaves like plain submit and reports QueueFull.
+    let blocker = service.submit(ring(300, 40), RequestOptions::default()).unwrap();
+    wait_for("the worker to pick up the blocker", || service.stats().in_flight == 1);
+    let full = service.submit(ring(400, 4), RequestOptions::default()).unwrap();
+    let refused =
+        service.submit_with_retry(ring(500, 4), RequestOptions::default(), &RetryPolicy::new(0));
+    assert_eq!(refused.unwrap_err(), Rejected::QueueFull { capacity: 1 });
+    blocker.cancel();
+    let _ = blocker.wait();
+    let _ = full.wait();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
