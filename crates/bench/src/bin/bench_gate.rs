@@ -3,7 +3,9 @@
 //! Reads the perf artifacts the bench experiments emit (`BENCH_parallel.json`
 //! from `repro parallel_speedup`, `BENCH_serve.json` from `repro
 //! serve_throughput`, `BENCH_canon.json` from `repro canon_hit_rate`, and —
-//! with `--update` — `BENCH_update.json` from `repro update_stream`) and
+//! with the matching flags — `BENCH_update.json` from `repro update_stream`,
+//! `BENCH_degrade.json` from `repro degrade_under_pressure`, and
+//! `BENCH_persist.json` from `repro warm_start`) and
 //! compares them against the checked-in `BENCH_baseline.json`. Exits
 //! non-zero — failing the CI job — when:
 //!
@@ -18,6 +20,11 @@
 //!   re-evaluation reference, or the fraction of compile steps it saved fell
 //!   below the baseline floor (the stream is seeded, so this is
 //!   deterministic and gated with zero tolerance);
+//! * (with `--persist`, reading `BENCH_persist.json` from `repro
+//!   warm_start`) the warm-started replay diverged from the cold run, the
+//!   snapshot saved no compile steps, a snapshot was rejected, or the
+//!   steps-saved ratio fell below the baseline floor (the stream is seeded,
+//!   so this is deterministic and gated with zero tolerance);
 //! * (with `--degrade`, reading `BENCH_degrade.json` from `repro
 //!   degrade_under_pressure`) the fallback ladder failed to answer the whole
 //!   starved stream (availability floor 1.0), the workload stopped starving
@@ -37,7 +44,7 @@
 //! bench_gate [--baseline BENCH_baseline.json] [--parallel BENCH_parallel.json]
 //!            [--serve BENCH_serve.json] [--canon BENCH_canon.json]
 //!            [--update BENCH_update.json] [--degrade BENCH_degrade.json]
-//!            [--tolerance 0.25]
+//!            [--persist BENCH_persist.json] [--tolerance 0.25]
 //! ```
 
 use banzhaf_bench::json::Json;
@@ -119,6 +126,7 @@ struct Args {
     canon_path: String,
     update_path: Option<String>,
     degrade_path: Option<String>,
+    persist_path: Option<String>,
     tolerance: f64,
 }
 
@@ -130,6 +138,7 @@ fn parse_args() -> Args {
         canon_path: "BENCH_canon.json".to_owned(),
         update_path: None,
         degrade_path: None,
+        persist_path: None,
         tolerance: 0.25,
     };
     let mut args = std::env::args().skip(1);
@@ -147,6 +156,7 @@ fn parse_args() -> Args {
             "--canon" => parsed.canon_path = value("--canon"),
             "--update" => parsed.update_path = Some(value("--update")),
             "--degrade" => parsed.degrade_path = Some(value("--degrade")),
+            "--persist" => parsed.persist_path = Some(value("--persist")),
             "--tolerance" => {
                 parsed.tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
                     eprintln!("bench_gate: --tolerance needs a number in [0, 1)");
@@ -157,7 +167,7 @@ fn parse_args() -> Args {
                 eprintln!("bench_gate: unknown argument {other}");
                 eprintln!(
                     "usage: bench_gate [--baseline F] [--parallel F] [--serve F] [--canon F] \
-                     [--update F] [--degrade F] [--tolerance T]"
+                     [--update F] [--degrade F] [--persist F] [--tolerance T]"
                 );
                 std::process::exit(2);
             }
@@ -254,6 +264,43 @@ fn check_update_stream(gate: &mut Gate, baseline: &Json, update: &Json, update_p
     }
 }
 
+/// The warm-start persistence checks (`--persist`): bit-identity of the
+/// warm-started (and sharded) replays against the cold run, real savings
+/// from the snapshot, no rejected loads, and the steps-saved ratio against
+/// the baseline floor. The stream is seeded, so every number is
+/// deterministic and gated with zero tolerance.
+fn check_persist(gate: &mut Gate, baseline: &Json, persist: &Json, persist_path: &str) {
+    gate.check(
+        bool_at(persist, "bit_identical", persist_path),
+        "persist.bit_identical",
+        "warm-started and sharded replays must match the cold run bit for bit".to_owned(),
+    );
+    let steps_saved = f64_at(persist, &["steps_saved"], persist_path);
+    gate.check(
+        steps_saved > 0.0,
+        "persist.steps_saved",
+        format!("the snapshot must save compile steps on the replay (got {steps_saved:.0})"),
+    );
+    let rejects = f64_at(persist, &["snapshot_rejects"], persist_path);
+    gate.check(
+        rejects == 0.0,
+        "persist.snapshot_rejects",
+        format!(
+            "the snapshot the experiment just wrote must load cleanly (got {rejects:.0} rejects)"
+        ),
+    );
+    let ratio = f64_at(persist, &["steps_saved_ratio"], persist_path);
+    if let Some(base) =
+        baseline.get("warm_start").and_then(|b| b.get("steps_saved_ratio")).and_then(Json::as_f64)
+    {
+        gate.check(
+            ratio >= base - 1e-9,
+            "persist.steps_saved_ratio",
+            format!("measured {ratio:.3} vs baseline floor {base:.3} (deterministic, 0 tolerance)"),
+        );
+    }
+}
+
 /// The degradation-ladder checks (`--degrade`): availability, pressure, and
 /// soundness of degraded answers. The workload is step-capped (no wall
 /// clock), so every number is deterministic and gated with zero tolerance.
@@ -318,6 +365,7 @@ fn main() {
         canon_path,
         update_path,
         degrade_path,
+        persist_path,
         tolerance,
     } = parse_args();
     let artifacts = Artifacts {
@@ -339,6 +387,10 @@ fn main() {
     if let Some(degrade_path) = &degrade_path {
         let degrade = read_json(degrade_path);
         check_degrade(&mut gate, &artifacts.baseline, &degrade, degrade_path);
+    }
+    if let Some(persist_path) = &persist_path {
+        let persist = read_json(persist_path);
+        check_persist(&mut gate, &artifacts.baseline, &persist, persist_path);
     }
     let Artifacts { baseline, parallel, parallel_path, serve, serve_path, .. } = &artifacts;
 

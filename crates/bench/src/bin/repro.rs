@@ -9,7 +9,7 @@
 //!
 //! Experiments: `table1 table2 table3 table4 fig4 table5 table6 table7 fig5
 //! table8 table9 app_d ablation_heuristic ablation_adaban engine_cache
-//! parallel_speedup serve_throughput canon_hit_rate update_stream
+//! parallel_speedup serve_throughput canon_hit_rate warm_start update_stream
 //! degrade_under_pressure`.
 //! Sweep-based experiments share one sweep per invocation; every experiment
 //! dispatches its algorithms through `banzhaf_engine::Attributor`.
@@ -42,6 +42,7 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "parallel_speedup",
     "serve_throughput",
     "canon_hit_rate",
+    "warm_start",
     "update_stream",
     "degrade_under_pressure",
 ];
@@ -50,7 +51,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] [--threads N] <experiment>... | --all");
-        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache parallel_speedup serve_throughput canon_hit_rate update_stream degrade_under_pressure");
+        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache parallel_speedup serve_throughput canon_hit_rate warm_start update_stream degrade_under_pressure");
         std::process::exit(1);
     }
 
@@ -143,6 +144,7 @@ fn main() {
             "parallel_speedup" => experiments::parallel_speedup(&config),
             "serve_throughput" => experiments::serve_throughput(&config),
             "canon_hit_rate" => experiments::canon_hit_rate(&config),
+            "warm_start" => experiments::warm_start(&config),
             "update_stream" => experiments::update_stream(&config),
             "degrade_under_pressure" => experiments::degrade_under_pressure(&config),
             other => unreachable!("experiment {other} was validated against KNOWN_EXPERIMENTS"),

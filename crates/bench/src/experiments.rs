@@ -10,7 +10,7 @@ use banzhaf::{critical_counts_all, l1_distance_normalized, Budget, DTree, PivotH
 use banzhaf_baselines::{rank_estimates, rank_proxy};
 use banzhaf_boolean::Dnf;
 use banzhaf_db::Database;
-use banzhaf_engine::{Algorithm, BatchOptions, Engine, EngineConfig};
+use banzhaf_engine::{Algorithm, BatchOptions, CacheConfig, Engine, EngineConfig};
 use banzhaf_query::parse_program;
 use banzhaf_workloads::Corpus;
 use std::collections::HashMap;
@@ -669,7 +669,9 @@ pub fn parallel_speedup(config: &HarnessConfig) -> String {
 
     let batch_values = |threads: usize| -> (f64, Vec<HashMap<Var, banzhaf_arith::Natural>>) {
         let engine = Engine::new(
-            EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(threads),
+            EngineConfig::new(Algorithm::ExaBan)
+                .with_cache_config(CacheConfig::disabled())
+                .with_threads(threads),
         );
         let mut session = engine.session();
         let start = Instant::now();
@@ -790,8 +792,11 @@ pub fn serve_throughput(config: &HarnessConfig) -> String {
     let requests = lineages.len();
 
     // Cold reference: a fresh cache-less sequential session per run.
-    let cold_engine =
-        Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(1));
+    let cold_engine = Engine::new(
+        EngineConfig::new(Algorithm::ExaBan)
+            .with_cache_config(CacheConfig::disabled())
+            .with_threads(1),
+    );
     let mut cold_session = cold_engine.session();
     let cold_start = Instant::now();
     let cold: Vec<HashMap<Var, banzhaf_arith::Natural>> = lineages
@@ -830,7 +835,7 @@ pub fn serve_throughput(config: &HarnessConfig) -> String {
         .collect();
 
     let bit_identical = served == cold;
-    let cache = service.cache_stats();
+    let cache = service.engine_stats().cache;
     let stats = service.stats();
     let serve_rps = requests as f64 / serve_seconds;
     let sequential_rps = requests as f64 / sequential_seconds;
@@ -1027,8 +1032,11 @@ pub fn canon_hit_rate(config: &HarnessConfig) -> String {
     let naive_hit_rate = naive_hits as f64 / requests as f64;
 
     // Cold reference: cache-less sequential session.
-    let cold_engine =
-        Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(1));
+    let cold_engine = Engine::new(
+        EngineConfig::new(Algorithm::ExaBan)
+            .with_cache_config(CacheConfig::disabled())
+            .with_threads(1),
+    );
     let mut cold_session = cold_engine.session();
     let cold = exact_value_stream(&mut cold_session, &lineages);
     let cold_compile_steps = cold_session.stats().compile_steps;
@@ -1037,7 +1045,7 @@ pub fn canon_hit_rate(config: &HarnessConfig) -> String {
     let engine = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_threads(1));
     let mut session = engine.session();
     let cached = exact_value_stream(&mut session, &lineages);
-    let canon_hits = engine.cache_stats().hits;
+    let canon_hits = engine.stats().cache.hits;
     let canon_hit_rate = canon_hits as f64 / requests as f64;
     let cached_compile_steps = session.stats().compile_steps;
     let canon_steps = session.stats().canon_steps;
@@ -1063,7 +1071,7 @@ pub fn canon_hit_rate(config: &HarnessConfig) -> String {
         .into_iter()
         .map(|o| o.expect("unbounded budgets").exact_values().expect("ExaBan is exact"))
         .collect();
-    let serve_stats = service.cache_stats();
+    let serve_stats = service.engine_stats().cache;
 
     let bit_identical = cached == cold && served == cold;
 
@@ -1183,8 +1191,11 @@ pub fn update_stream(config: &HarnessConfig) -> String {
         // and re-attributes every registered query from scratch after each
         // step — the "no delta path" cost the paper's interactive workloads
         // would otherwise pay.
-        let cold_engine =
-            Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(1));
+        let cold_engine = Engine::new(
+            EngineConfig::new(Algorithm::ExaBan)
+                .with_cache_config(CacheConfig::disabled())
+                .with_threads(1),
+        );
 
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_CAFE);
         let mut outcome = FamilyOutcome {
@@ -1371,12 +1382,14 @@ pub fn degrade_under_pressure(config: &HarnessConfig) -> String {
     let reference: HashMap<u32, HashMap<Var, banzhaf_arith::Natural>> = DEGRADE_SIZES
         .iter()
         .map(|&vars| {
-            let exact = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false))
-                .session()
-                .attribute(&ring_lineage(0, vars))
-                .expect("unbounded budget")
-                .exact_values()
-                .expect("ExaBan is exact");
+            let exact = Engine::new(
+                EngineConfig::new(Algorithm::ExaBan).with_cache_config(CacheConfig::disabled()),
+            )
+            .session()
+            .attribute(&ring_lineage(0, vars))
+            .expect("unbounded budget")
+            .exact_values()
+            .expect("ExaBan is exact");
             (vars, exact)
         })
         .collect();
@@ -1511,6 +1524,139 @@ pub fn degrade_under_pressure(config: &HarnessConfig) -> String {
     )
 }
 
+/// Warm-start payoff: cold-run a permuted/renamed request stream, snapshot
+/// the cache, replay the stream in a **fresh** engine warm-started from the
+/// snapshot, and score the compile steps and wall clock the snapshot saved.
+///
+/// Three runs over the identical `canon_request_stream`:
+///
+/// * a **cold** engine — compiles every distinct shape once; its cache is
+///   then written to disk via `Engine::save_cache`;
+/// * a **warm-started** fresh engine (`CacheConfig::warm_start`) — every
+///   shape in the stream must be served from the loaded snapshot, values
+///   transferring through the persisted canonical witnesses;
+/// * a warm-started **sharded** engine (2 shards) — the same snapshot
+///   re-routed across shards at load, proving snapshots are shard-count
+///   independent.
+///
+/// All three value streams must be bit-identical. Emits `BENCH_persist.json`
+/// for the CI `bench-regression` gate (`bench_gate --persist`), which
+/// requires `bit_identical`, nonzero savings, and the steps-saved floor from
+/// `BENCH_baseline.json`.
+#[allow(clippy::too_many_lines)]
+pub fn warm_start(config: &HarnessConfig) -> String {
+    let (shapes, lineages) = canon_request_stream(config);
+    let requests = lineages.len();
+    let snapshot_path = std::env::temp_dir().join(format!(
+        "banzhaf-warm-start-{}-{:x}.bzc",
+        std::process::id(),
+        config.seed
+    ));
+
+    // Cold run: a fresh engine compiles the stream, then snapshots.
+    let cold_wall = Instant::now();
+    let cold_engine = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_threads(1));
+    let mut cold_session = cold_engine.session();
+    let cold = exact_value_stream(&mut cold_session, &lineages);
+    let cold_wall = cold_wall.elapsed();
+    let cold_compile_steps = cold_session.stats().compile_steps;
+    let snapshot_entries =
+        cold_engine.save_cache(&snapshot_path).expect("snapshot written to the temp dir");
+    let snapshot_bytes = std::fs::metadata(&snapshot_path).map(|m| m.len()).unwrap_or(0);
+
+    // Warm replay: a fresh engine loads the snapshot at construction and
+    // replays the identical stream.
+    let warm_config = banzhaf_engine::CacheConfig::new().with_warm_start(&snapshot_path);
+    let warm_wall = Instant::now();
+    let warm_engine = Engine::new(
+        EngineConfig::new(Algorithm::ExaBan).with_cache_config(warm_config.clone()).with_threads(1),
+    );
+    let mut warm_session = warm_engine.session();
+    let warm = exact_value_stream(&mut warm_session, &lineages);
+    let warm_wall = warm_wall.elapsed();
+    let warm_compile_steps = warm_session.stats().compile_steps;
+    let warm_stats = warm_engine.stats().cache;
+
+    // Sharded warm replay: the same snapshot re-routed across 2 shards.
+    let sharded_engine = Engine::new(
+        EngineConfig::new(Algorithm::ExaBan)
+            .with_cache_config(warm_config.with_shards(2))
+            .with_threads(1),
+    );
+    let mut sharded_session = sharded_engine.session();
+    let sharded = exact_value_stream(&mut sharded_session, &lineages);
+    let sharded_compile_steps = sharded_session.stats().compile_steps;
+    let sharded_snapshot = sharded_engine.stats();
+
+    let _ = std::fs::remove_file(&snapshot_path);
+
+    let bit_identical = warm == cold && sharded == cold;
+    let steps_saved = cold_compile_steps.saturating_sub(warm_compile_steps);
+    let steps_saved_ratio =
+        if cold_compile_steps > 0 { steps_saved as f64 / cold_compile_steps as f64 } else { 0.0 };
+    let wall_saved_ratio = if cold_wall.as_secs_f64() > 0.0 {
+        1.0 - warm_wall.as_secs_f64() / cold_wall.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    let mut table =
+        TextTable::new(["Path", "Compile steps", "Cache hits", "Snapshot entries", "Wall"]);
+    table.push_row([
+        "cold (fresh cache, then save)".to_owned(),
+        cold_compile_steps.to_string(),
+        cold_engine.stats().cache.hits.to_string(),
+        snapshot_entries.to_string(),
+        format!("{:.1} ms", cold_wall.as_secs_f64() * 1e3),
+    ]);
+    table.push_row([
+        "warm-started fresh engine".to_owned(),
+        warm_compile_steps.to_string(),
+        warm_stats.hits.to_string(),
+        warm_stats.snapshot_entries.to_string(),
+        format!("{:.1} ms", warm_wall.as_secs_f64() * 1e3),
+    ]);
+    table.push_row([
+        format!("warm-started, {} shards", sharded_snapshot.shards.len()),
+        sharded_compile_steps.to_string(),
+        sharded_snapshot.cache.hits.to_string(),
+        sharded_snapshot.cache.snapshot_entries.to_string(),
+        "—".to_owned(),
+    ]);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"warm_start\",\n  \"algorithm\": \"ExaBan\",\n  \
+         \"requests\": {requests},\n  \"shapes\": {shapes},\n  \
+         \"cold_compile_steps\": {cold_compile_steps},\n  \
+         \"warm_compile_steps\": {warm_compile_steps},\n  \
+         \"sharded_compile_steps\": {sharded_compile_steps},\n  \
+         \"steps_saved\": {steps_saved},\n  \
+         \"steps_saved_ratio\": {steps_saved_ratio:.4},\n  \
+         \"cold_wall_ms\": {:.3},\n  \"warm_wall_ms\": {:.3},\n  \
+         \"wall_saved_ratio\": {wall_saved_ratio:.4},\n  \
+         \"snapshot_entries\": {snapshot_entries},\n  \
+         \"snapshot_bytes\": {snapshot_bytes},\n  \
+         \"snapshot_loads\": {},\n  \"snapshot_rejects\": {},\n  \
+         \"warm_hits\": {},\n  \"shards\": {},\n  \
+         \"bit_identical\": {bit_identical}\n}}\n",
+        cold_wall.as_secs_f64() * 1e3,
+        warm_wall.as_secs_f64() * 1e3,
+        warm_stats.snapshot_loads,
+        warm_stats.snapshot_rejects,
+        warm_stats.hits,
+        sharded_snapshot.shards.len(),
+    );
+    let json_note = match std::fs::write("BENCH_persist.json", &json) {
+        Ok(()) => "recorded to BENCH_persist.json".to_owned(),
+        Err(e) => format!("could not write BENCH_persist.json: {e}"),
+    };
+    format!(
+        "Warm start — snapshot/reload of the shared cache on a permuted/renamed \
+         stream ({requests} requests over {shapes} shapes, {json_note})\n{}",
+        table.render()
+    )
+}
+
 /// Runs the full sweep once and renders all sweep-based tables.
 pub fn run_all(config: &HarnessConfig) -> String {
     let mut out = String::new();
@@ -1550,6 +1696,8 @@ pub fn run_all(config: &HarnessConfig) -> String {
     out.push_str(&serve_throughput(config));
     out.push('\n');
     out.push_str(&canon_hit_rate(config));
+    out.push('\n');
+    out.push_str(&warm_start(config));
     out.push('\n');
     out.push_str(&update_stream(config));
     out.push('\n');
@@ -1609,6 +1757,24 @@ mod tests {
         let hits = parsed.get("canon_hits").unwrap().as_f64().unwrap();
         assert_eq!(hits, requests - shapes, "{json}");
         assert_eq!(parsed.get("bit_identical").unwrap().as_bool(), Some(true), "{json}");
+    }
+
+    #[test]
+    fn warm_start_saves_the_whole_replayed_stream() {
+        let report = warm_start(&tiny_config());
+        assert!(report.contains("Warm start"), "{report}");
+        let json = std::fs::read_to_string("BENCH_persist.json").unwrap();
+        let parsed = crate::json::Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("bit_identical").unwrap().as_bool(), Some(true), "{json}");
+        // Every request of the replayed stream is served from the snapshot:
+        // the warm engine compiles nothing at all.
+        assert_eq!(parsed.get("warm_compile_steps").unwrap().as_f64(), Some(0.0), "{json}");
+        assert_eq!(parsed.get("sharded_compile_steps").unwrap().as_f64(), Some(0.0), "{json}");
+        assert_eq!(parsed.get("steps_saved_ratio").unwrap().as_f64(), Some(1.0), "{json}");
+        assert_eq!(parsed.get("snapshot_rejects").unwrap().as_f64(), Some(0.0), "{json}");
+        let requests = parsed.get("requests").unwrap().as_f64().unwrap();
+        assert_eq!(parsed.get("warm_hits").unwrap().as_f64(), Some(requests), "{json}");
+        assert!(parsed.get("snapshot_bytes").unwrap().as_f64().unwrap() > 0.0, "{json}");
     }
 
     #[test]

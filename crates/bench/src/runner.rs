@@ -8,7 +8,7 @@
 use banzhaf::{Budget, Var};
 use banzhaf_arith::Natural;
 use banzhaf_boolean::Dnf;
-use banzhaf_engine::{Algorithm, Attribution, Engine, EngineConfig};
+use banzhaf_engine::{Algorithm, Attribution, CacheConfig, Engine, EngineConfig};
 use banzhaf_par::ThreadPool;
 use banzhaf_workloads::{academic_like, imdb_like, tpch_like, Corpus, DatasetSpec};
 use std::collections::HashMap;
@@ -75,7 +75,7 @@ impl HarnessConfig {
             .with_epsilon_str(&self.epsilon)
             .with_timeout(self.timeout)
             .with_seed(self.seed)
-            .with_cache(false)
+            .with_cache_config(CacheConfig::disabled())
             .with_threads(self.threads)
     }
 
@@ -278,8 +278,8 @@ pub struct CacheComparison {
 pub fn compare_cache(lineages: &[&Dnf], config: &HarnessConfig) -> CacheComparison {
     let mut comparison = CacheComparison::default();
     let base = config.engine_config(Algorithm::ExaBan);
-    let mut cached = Engine::new(base.clone().with_cache(true)).session();
-    let mut uncached = Engine::new(base.with_cache(false)).session();
+    let mut cached = Engine::new(base.clone().with_cache_config(CacheConfig::new())).session();
+    let mut uncached = Engine::new(base.with_cache_config(CacheConfig::disabled())).session();
     for lineage in lineages {
         let (a, b) = (cached.attribute(lineage), uncached.attribute(lineage));
         if let Ok(a) = &a {

@@ -142,6 +142,23 @@ pub(crate) struct Fingerprint {
     degrees: u64,
 }
 
+impl Fingerprint {
+    /// The fingerprint's raw fields, in declaration order — the stable
+    /// identity the snapshot format and the shard router hash. Kept as an
+    /// explicit tuple (not struct access) so every consumer of the raw form
+    /// breaks loudly if a field is ever added.
+    pub(crate) fn raw_parts(self) -> (u32, u32, u64, u64) {
+        (self.num_vars, self.num_clauses, self.widths, self.degrees)
+    }
+
+    /// Rebuilds a fingerprint from [`Fingerprint::raw_parts`] (snapshot
+    /// deserialization). The caller is responsible for validating that the
+    /// fingerprint matches its entry's shape — see `persist`.
+    pub(crate) fn from_raw_parts(parts: (u32, u32, u64, u64)) -> Fingerprint {
+        Fingerprint { num_vars: parts.0, num_clauses: parts.1, widths: parts.2, degrees: parts.3 }
+    }
+}
+
 /// Computes the [`Fingerprint`] of `clauses` over variables `0..num_vars` in
 /// one linear pass — no refinement, no search.
 pub(crate) fn fingerprint(num_vars: usize, clauses: &[Vec<u32>]) -> Fingerprint {

@@ -9,6 +9,7 @@ use banzhaf_arith::Ratio;
 use banzhaf_baselines::McOptions;
 use banzhaf_par::ThreadPool;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// The attribution algorithm an [`crate::Engine`] dispatches to.
@@ -150,6 +151,96 @@ impl FallbackPolicy {
     }
 }
 
+/// Configuration of the engine's shared attribution cache: whether it is on,
+/// how many entries it holds, how many independently locked shards it is
+/// split across, and an optional warm-start snapshot path.
+///
+/// Non-exhaustive by design, like [`crate::BatchOptions`]: construct with
+/// [`CacheConfig::new`] (or [`CacheConfig::disabled`]) and refine through the
+/// `with_*` builders, so new knobs never break callers. Attach to an engine
+/// with [`EngineConfig::with_cache_config`]:
+///
+/// ```
+/// use banzhaf_engine::{CacheConfig, EngineConfig};
+///
+/// let config = EngineConfig::default()
+///     .with_cache_config(CacheConfig::new().with_capacity(4096).with_shards(4));
+/// assert!(config.cache.enabled);
+/// assert_eq!(config.cache.shards, 4);
+/// ```
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct CacheConfig {
+    /// Enable the engine-level shared attribution cache keyed by canonical
+    /// lineage. Only applies to deterministic backends
+    /// ([`Algorithm::cacheable`]); the randomized Monte Carlo baseline always
+    /// resamples.
+    pub enabled: bool,
+    /// Total entry-count bound across all shards; least recently used shapes
+    /// are evicted beyond it (per shard — each shard is bounded to its share
+    /// `ceil(capacity / shards)`). The default (1024) keeps worst-case memory
+    /// modest while covering the repeated-shape rate of the synthetic corpora
+    /// many times over.
+    pub capacity: usize,
+    /// Number of independently locked cache shards (at least 1). Entries are
+    /// routed by a deterministic hash of their isomorphism-invariant
+    /// fingerprint, so the shard index doubles as the partition function for
+    /// a multi-process fleet. Results are bit-identical at every shard count;
+    /// more shards only cut lock contention (and partition eviction).
+    pub shards: usize,
+    /// Warm-start snapshot path. When set, [`crate::Engine::new`] loads the
+    /// snapshot (a corrupt or version-mismatched file is rejected with a
+    /// typed error, counted in `snapshot_rejects`, and the engine starts
+    /// cold), and the last clone of the engine writes the cache back to the
+    /// same path on drop. [`crate::Engine::save_cache`] saves on demand.
+    pub warm_start: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { enabled: true, capacity: 1024, shards: 1, warm_start: None }
+    }
+}
+
+impl CacheConfig {
+    /// The default cache configuration: enabled, 1024 entries, one shard, no
+    /// warm-start snapshot.
+    pub fn new() -> Self {
+        CacheConfig::default()
+    }
+
+    /// A configuration with the cache disabled (every attribution compiles).
+    pub fn disabled() -> Self {
+        CacheConfig { enabled: false, ..CacheConfig::default() }
+    }
+
+    /// Enables or disables the cache.
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Bounds the cache to `capacity` entries in total (LRU eviction beyond).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Splits the cache across `shards` independently locked shards
+    /// (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the warm-start snapshot path (loaded at engine construction,
+    /// written back when the last engine clone drops).
+    pub fn with_warm_start(mut self, path: impl Into<PathBuf>) -> Self {
+        self.warm_start = Some(path.into());
+        self
+    }
+}
+
 /// Configuration of the attribution pipeline: algorithm choice, compilation
 /// heuristic, approximation and budget parameters, and engine features
 /// (caching, Shapley values).
@@ -179,16 +270,10 @@ pub struct EngineConfig {
     pub lazy_bounds: bool,
     /// AdaBan/IchiBan's tighter leaf bounds (optimization (4)).
     pub opt4: bool,
-    /// Enable the engine-level shared attribution cache keyed by canonical
-    /// lineage. Only applies to deterministic backends
-    /// ([`Algorithm::cacheable`]); the randomized Monte Carlo baseline always
-    /// resamples.
-    pub cache: bool,
-    /// Entry-count bound of the shared cache ([`crate::SharedCache`]); least
-    /// recently used shapes are evicted beyond it. The default (1024) keeps
-    /// worst-case memory modest while covering the repeated-shape rate of the
-    /// synthetic corpora many times over.
-    pub cache_capacity: usize,
+    /// The shared attribution cache: enablement, capacity, shard count, and
+    /// warm-start snapshot (see [`CacheConfig`]). Replaces the old flat
+    /// `cache: bool` / `cache_capacity: usize` knobs.
+    pub cache: CacheConfig,
     /// Also compute exact Shapley values (exact backends only), reusing the
     /// d-tree compiled for the Banzhaf pass.
     pub include_shapley: bool,
@@ -218,8 +303,7 @@ impl Default for EngineConfig {
             seed: 0xBA27AF,
             lazy_bounds: true,
             opt4: true,
-            cache: true,
-            cache_capacity: 1024,
+            cache: CacheConfig::default(),
             include_shapley: false,
             threads: 1,
             fallback: FallbackPolicy::Strict,
@@ -272,15 +356,32 @@ impl EngineConfig {
         self
     }
 
-    /// Enables or disables the shared attribution cache.
-    pub fn with_cache(mut self, cache: bool) -> Self {
+    /// Sets the whole cache configuration (enablement, capacity, shards,
+    /// warm-start snapshot) in one call.
+    pub fn with_cache_config(mut self, cache: CacheConfig) -> Self {
         self.cache = cache;
         self
     }
 
+    /// Enables or disables the shared attribution cache.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `with_cache_config(CacheConfig::new().with_enabled(..))`; \
+                this thin wrapper is kept for one release"
+    )]
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache.enabled = cache;
+        self
+    }
+
     /// Bounds the shared cache to `capacity` entries (LRU eviction beyond).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `with_cache_config(CacheConfig::new().with_capacity(..))`; \
+                this thin wrapper is kept for one release"
+    )]
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache_capacity = capacity;
+        self.cache.capacity = capacity;
         self
     }
 
@@ -363,7 +464,10 @@ mod tests {
         let config = EngineConfig::default();
         assert_eq!(config.algorithm, Algorithm::ExaBan);
         assert_eq!(config.epsilon_or_exact(), Ratio::from_u64(1, 10));
-        assert!(config.cache);
+        assert!(config.cache.enabled);
+        assert_eq!(config.cache.capacity, 1024);
+        assert_eq!(config.cache.shards, 1);
+        assert!(config.cache.warm_start.is_none());
         assert!(config.lazy_bounds && config.opt4);
     }
 
@@ -373,14 +477,38 @@ mod tests {
             .with_epsilon_str("0.25")
             .with_timeout(Duration::from_millis(5))
             .with_seed(7)
-            .with_cache(false)
+            .with_cache_config(CacheConfig::disabled())
             .with_shapley(true);
         assert_eq!(config.algorithm, Algorithm::AdaBan);
         assert_eq!(config.epsilon_or_exact(), Ratio::from_u64(1, 4));
         assert_eq!(config.timeout, Some(Duration::from_millis(5)));
-        assert!(!config.cache && config.include_shapley);
+        assert!(!config.cache.enabled && config.include_shapley);
         // The certain mode drops ε entirely.
         assert!(config.certain().epsilon.is_none());
+    }
+
+    #[test]
+    fn cache_config_builders_compose() {
+        let cache = CacheConfig::new()
+            .with_capacity(16)
+            .with_shards(0) // clamped to 1
+            .with_shards(4)
+            .with_warm_start("/tmp/snapshot.bzc");
+        assert!(cache.enabled);
+        assert_eq!((cache.capacity, cache.shards), (16, 4));
+        assert_eq!(cache.warm_start.as_deref(), Some(std::path::Path::new("/tmp/snapshot.bzc")));
+        assert!(!CacheConfig::disabled().enabled);
+        assert!(!CacheConfig::new().with_enabled(false).enabled);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_cache_wrappers_still_steer_the_cache_config() {
+        // The one-release compatibility contract: the thin wrappers must
+        // keep mutating the new `CacheConfig` until they are removed.
+        let config = EngineConfig::default().with_cache(false).with_cache_capacity(7);
+        assert!(!config.cache.enabled);
+        assert_eq!(config.cache.capacity, 7);
     }
 
     #[test]

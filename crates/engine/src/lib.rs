@@ -55,6 +55,7 @@ mod cache;
 mod canon;
 mod config;
 mod live;
+mod persist;
 mod session;
 
 pub use attribution::{Attribution, Degradation, DegradeReason, EngineStats, Ranked, Score};
@@ -66,9 +67,11 @@ pub use banzhaf::{Budget, Interrupted, PivotHeuristic};
 pub use banzhaf_db::{Database, Update};
 pub use banzhaf_par::ThreadPool;
 pub use banzhaf_query::{parse_program, UnionQuery};
-pub use cache::{canonical_key_probe, prekey_probe, CacheStats, SharedCache};
-pub use config::{Algorithm, EngineConfig, FallbackPolicy, Rung};
+pub use cache::{canonical_key_probe, prekey_probe, CacheStats, ShardedCache, SharedCache};
+pub use config::{Algorithm, CacheConfig, EngineConfig, FallbackPolicy, Rung};
 pub use live::{AnswerChange, LiveSession, LiveStats, TouchedAnswer, UpdateReport};
+pub use persist::SnapshotError;
 pub use session::{
-    AnswerAttribution, BatchOptions, Engine, QueryAttribution, Session, SessionStats,
+    AnswerAttribution, BatchOptions, Engine, EngineSnapshot, QueryAttribution, Session,
+    SessionStats,
 };

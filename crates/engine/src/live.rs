@@ -438,7 +438,8 @@ mod tests {
     /// evaluation + attribution of the live session's current database.
     fn assert_matches_cold(live: &LiveSession, name: &str, query: &str) {
         let query = parse_program(query).unwrap();
-        let cold_engine = Engine::new(EngineConfig::default().with_cache(false));
+        let cold_engine =
+            Engine::new(EngineConfig::default().with_cache_config(crate::CacheConfig::disabled()));
         let cold = cold_engine.session().explain(&query, live.db());
         let snapshot = live.attribution(name).unwrap();
         assert_eq!(snapshot.answers.len(), cold.answers.len());

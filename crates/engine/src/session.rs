@@ -3,15 +3,18 @@
 
 use crate::attribution::{Attribution, Degradation, DegradeReason, Ranked};
 use crate::attributor::Attributor;
-use crate::cache::{CacheStats, CanonInfo, Lookup, Prekeyed, Resident, Shape, SharedCache};
+use crate::cache::{CacheStats, CanonInfo, Lookup, Prekeyed, Resident, Shape, ShardedCache};
 use crate::canon::Fingerprint;
 use crate::config::{EngineConfig, FallbackPolicy, Rung};
+use crate::persist::SnapshotError;
 use banzhaf::{Budget, Interrupted};
 use banzhaf_boolean::Dnf;
 use banzhaf_db::{Database, Value};
 use banzhaf_query::{evaluate, UnionQuery};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,20 +45,75 @@ pub struct Engine {
     config: EngineConfig,
     /// The cross-session attribution cache: shared by every session of this
     /// engine (and by clones of the engine, which keep pointing at the same
-    /// store), size-bounded with LRU eviction.
-    cache: Arc<SharedCache>,
+    /// store), sharded by fingerprint hash, size-bounded with per-shard LRU
+    /// eviction.
+    cache: Arc<ShardedCache>,
     /// Engine-global sample-stream allocator: sessions draw disjoint stream
     /// index ranges from it, so randomized backends never replay one
     /// another's samples (two sessions each counting from 0 with the same
     /// seed would produce identical, perfectly correlated estimates).
     streams: Arc<AtomicU64>,
+    /// Present iff [`CacheConfig::warm_start`](crate::CacheConfig) is set:
+    /// shared by every clone of the engine, and the *last* clone to drop
+    /// writes the snapshot back — sessions do not hold it, so handing out
+    /// sessions never extends the engine's persistence lifetime.
+    _warm: Option<Arc<WarmStartGuard>>,
+}
+
+/// Writes the warm-start snapshot back when the last engine clone drops.
+struct WarmStartGuard {
+    path: PathBuf,
+    cache: Arc<ShardedCache>,
+}
+
+impl Drop for WarmStartGuard {
+    fn drop(&mut self) {
+        // Drop cannot propagate an error; a failed save leaves the previous
+        // snapshot intact (the writer renames a complete temp file into
+        // place), so the next start is merely as warm as the last good save.
+        let _ = self.cache.save(&self.path);
+    }
+}
+
+impl fmt::Debug for WarmStartGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WarmStartGuard").field("path", &self.path).finish_non_exhaustive()
+    }
+}
+
+/// One consistent view of an engine's cache tier, from [`Engine::stats`]:
+/// the aggregate counters plus the per-shard breakdown.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct EngineSnapshot {
+    /// Counters summed across every shard (`entries`/`capacity` included).
+    pub cache: CacheStats,
+    /// Per-shard counters, indexed by shard (length = number of shards).
+    /// Engine-wide telemetry — canonicalization costs, snapshot
+    /// loads/rejects — is recorded on shard 0.
+    pub shards: Vec<CacheStats>,
 }
 
 impl Engine {
     /// An engine with the given configuration.
+    ///
+    /// If [`CacheConfig::warm_start`](crate::CacheConfig) names an existing
+    /// snapshot, it is loaded here — a rejected snapshot (corrupt, wrong
+    /// version) counts a `snapshot_rejects` and the engine starts cold; it
+    /// never panics and never admits a partial load. The snapshot is written
+    /// back when the last clone of the engine drops (or on demand via
+    /// [`Engine::save_cache`]).
     pub fn new(config: EngineConfig) -> Self {
-        let cache = Arc::new(SharedCache::new(config.cache_capacity));
-        Engine { config, cache, streams: Arc::new(AtomicU64::new(0)) }
+        let cache = Arc::new(ShardedCache::new(config.cache.shards, config.cache.capacity));
+        let warm = config.cache.warm_start.clone().map(|path| {
+            if path.exists() {
+                // Errors are recorded in `snapshot_rejects`; a missing or
+                // rejected snapshot is a cold start, not a failure.
+                let _ = cache.load(&path);
+            }
+            Arc::new(WarmStartGuard { path, cache: Arc::clone(&cache) })
+        });
+        Engine { config, cache, streams: Arc::new(AtomicU64::new(0)), _warm: warm }
     }
 
     /// The engine's configuration.
@@ -69,14 +127,39 @@ impl Engine {
         self.config.attributor()
     }
 
-    /// The engine's shared cross-session cache.
-    pub fn shared_cache(&self) -> &Arc<SharedCache> {
+    /// The engine's shared cross-session cache tier.
+    pub fn shared_cache(&self) -> &Arc<ShardedCache> {
         &self.cache
     }
 
-    /// A snapshot of the shared cache's hit/miss/eviction counters.
+    /// The shard that owns `lineage`'s cache entry — the fleet partition
+    /// function, stable across processes (serving layers report it per
+    /// request).
+    pub fn shard_of(&self, lineage: &Dnf) -> usize {
+        self.cache.shard_of(lineage)
+    }
+
+    /// One consistent snapshot of the cache tier: aggregate counters plus
+    /// the per-shard breakdown.
+    pub fn stats(&self) -> EngineSnapshot {
+        EngineSnapshot { cache: self.cache.stats(), shards: self.cache.shard_stats() }
+    }
+
+    /// A snapshot of the shared cache's aggregate counters.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use stats().cache; this thin wrapper is kept for one release"
+    )]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Writes the cache tier's warm-start snapshot to `path` on demand
+    /// (independent of the drop-time save wired through
+    /// [`CacheConfig::warm_start`](crate::CacheConfig)). Returns the number
+    /// of entries written.
+    pub fn save_cache(&self, path: impl AsRef<Path>) -> Result<usize, SnapshotError> {
+        self.cache.save(path)
     }
 
     /// Starts a session: a stateful pipeline instance sharing the engine's
@@ -84,7 +167,7 @@ impl Engine {
     ///
     /// Sessions are independent (`Session` is `Send`, one per worker thread
     /// in concurrent serving), but all of them read and merge into the same
-    /// [`SharedCache`], so a compilation performed by one session is a cache
+    /// [`crate::SharedCache`], so a compilation performed by one session is a cache
     /// hit for every other.
     pub fn session(&self) -> Session {
         Session {
@@ -225,9 +308,9 @@ impl QueryAttribution {
 pub struct Session {
     config: EngineConfig,
     attributor: Box<dyn Attributor>,
-    /// The engine-level shared cache: canonical lineage → attribution over
-    /// canonical variables.
-    cache: Arc<SharedCache>,
+    /// The engine-level shared cache tier: canonical lineage → attribution
+    /// over canonical variables, sharded by fingerprint hash.
+    cache: Arc<ShardedCache>,
     stats: SessionStats,
     /// The engine-global sample-stream allocator (randomized backends select
     /// their RNG streams from it; deterministic backends ignore it). Shared
@@ -246,9 +329,19 @@ impl Session {
         &self.stats
     }
 
-    /// A snapshot of the *shared* cache's counters (hits from every session
-    /// of the engine, not just this one; see [`SessionStats`] for the
-    /// per-session view).
+    /// One consistent snapshot of the *shared* cache tier (hits from every
+    /// session of the engine, not just this one; see [`SessionStats`] for
+    /// the per-session view): aggregate counters plus the per-shard
+    /// breakdown.
+    pub fn engine_stats(&self) -> EngineSnapshot {
+        EngineSnapshot { cache: self.cache.stats(), shards: self.cache.shard_stats() }
+    }
+
+    /// A snapshot of the *shared* cache's aggregate counters.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use engine_stats().cache; this thin wrapper is kept for one release"
+    )]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -290,7 +383,7 @@ impl Session {
         // Single-instance batch: the planning loop resolves a cache hit
         // before any compile work, and the shared counters record exactly
         // one lookup per logical attribution (a separate fast-path lookup
-        // here would double-count misses in `Engine::cache_stats`).
+        // here would double-count misses in `Engine::stats`).
         self.batch_prekeyed(vec![Prekeyed::of(lineage)], None, None)
             .pop()
             .expect("one lineage in, one attribution out")
@@ -346,7 +439,7 @@ impl Session {
         // Randomized backends are never cached: transferring one lineage's
         // samples to another would correlate supposedly independent
         // estimates (see [`crate::Algorithm::cacheable`]).
-        let use_cache = self.config.cache && self.config.algorithm.cacheable();
+        let use_cache = self.config.cache.enabled && self.config.algorithm.cacheable();
 
         // Plan, walking the instances in order exactly like the sequential
         // loop would observe the cache. A vacant fingerprint bucket (and no
@@ -855,7 +948,7 @@ fn find_mate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Algorithm;
+    use crate::config::{Algorithm, CacheConfig};
     use banzhaf_boolean::{Var, VarSet};
     use banzhaf_query::parse_program;
 
@@ -894,8 +987,10 @@ mod tests {
 
     #[test]
     fn cached_results_match_uncached_runs() {
-        let engine_cached = Engine::new(EngineConfig::default().with_cache(true));
-        let engine_plain = Engine::new(EngineConfig::default().with_cache(false));
+        let engine_cached =
+            Engine::new(EngineConfig::default().with_cache_config(CacheConfig::new()));
+        let engine_plain =
+            Engine::new(EngineConfig::default().with_cache_config(CacheConfig::disabled()));
         let (mut cached, mut plain) = (engine_cached.session(), engine_plain.session());
         for offset in [0, 5, 9] {
             let phi = shifted_cycle(offset);
@@ -913,7 +1008,9 @@ mod tests {
     fn randomized_backends_are_never_cached() {
         // Isomorphic lineages must get independent Monte Carlo samples, not a
         // renamed copy of each other's estimates.
-        let engine = Engine::new(EngineConfig::new(Algorithm::MonteCarlo).with_cache(true));
+        let engine = Engine::new(
+            EngineConfig::new(Algorithm::MonteCarlo).with_cache_config(CacheConfig::new()),
+        );
         let mut session = engine.session();
         let first = session.attribute(&shifted_cycle(0)).unwrap();
         let second = session.attribute(&shifted_cycle(10)).unwrap();
@@ -952,7 +1049,7 @@ mod tests {
         let a = session.attribute(&middle_is_mid).unwrap();
         let b = session.attribute(&middle_is_small).unwrap();
         assert!(b.stats.cache_hit, "isomorphic labellings must share one cache entry");
-        assert_eq!(engine.cache_stats().insertions, 1);
+        assert_eq!(engine.stats().cache.insertions, 1);
         // The bijection maps middles to middles and ends to ends.
         assert_eq!(a.value(v(1)).unwrap().exact(), b.value(v(0)).unwrap().exact());
         assert_eq!(a.value(v(0)).unwrap().exact(), b.value(v(1)).unwrap().exact());
@@ -1019,12 +1116,13 @@ mod tests {
         }
         let query = parse_program("Q(X) :- R(X, Y), S(Y, Z).").unwrap();
         // Probe the two answers' compile costs with an unlimited budget.
-        let probe =
-            Engine::new(EngineConfig::default().with_cache(false)).session().explain(&query, &db);
+        let probe = Engine::new(EngineConfig::default().with_cache_config(CacheConfig::disabled()))
+            .session()
+            .explain(&query, &db);
         let cost = |i: usize| probe.answers[i].attribution().unwrap().stats.compile_steps;
         assert!(cost(0) + 1 < cost(1), "the probe must order the answers by cost");
 
-        let mut config = EngineConfig::default().with_cache(false);
+        let mut config = EngineConfig::default().with_cache_config(CacheConfig::disabled());
         config.max_steps = Some(cost(0) + 1);
         let explained = Engine::new(config).session().explain(&query, &db);
         assert!(!explained.is_complete());
@@ -1101,7 +1199,9 @@ mod tests {
     fn shared_budget_interrupts_unfinished_instances_across_workers() {
         let lineages = mixed_batch();
         let refs: Vec<&Dnf> = lineages.iter().collect();
-        let engine = Engine::new(EngineConfig::default().with_cache(false).with_threads(4));
+        let engine = Engine::new(
+            EngineConfig::default().with_cache_config(CacheConfig::disabled()).with_threads(4),
+        );
         // A one-step shared budget: nothing can finish, every instance
         // reports Interrupted, and the call returns (workers joined).
         let mut session = engine.session();
@@ -1121,7 +1221,7 @@ mod tests {
         // A step cap that lets the tiny lineages through but starves the
         // cycles; the Ok/Err pattern must match the sequential loop.
         let lineages = mixed_batch();
-        let config = EngineConfig::default().with_cache(false);
+        let config = EngineConfig::default().with_cache_config(CacheConfig::disabled());
         let cap = {
             let mut probe = Engine::new(config.clone()).session();
             // Steps the smallest lineage needs (ample budget, read stats).
@@ -1177,7 +1277,7 @@ mod tests {
             assert_eq!(a.value(v(i)).unwrap().exact(), b.value(v(10 + i)).unwrap().exact());
             assert_eq!(a.value(v(i)).unwrap().exact(), c.value(v(20 + i)).unwrap().exact());
         }
-        let stats = engine.cache_stats();
+        let stats = engine.stats().cache;
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.insertions, 1);
         assert_eq!(stats.entries, 1);
@@ -1185,7 +1285,9 @@ mod tests {
 
     #[test]
     fn bounded_cache_evicts_but_stays_correct() {
-        let engine = Engine::new(EngineConfig::default().with_cache_capacity(1));
+        let engine = Engine::new(
+            EngineConfig::default().with_cache_config(CacheConfig::new().with_capacity(1)),
+        );
         let mut session = engine.session();
         let path = Dnf::from_clauses(vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
         let cycle = shifted_cycle(0);
@@ -1196,7 +1298,7 @@ mod tests {
         let again = session.attribute(&path).unwrap();
         assert!(!again.stats.cache_hit, "evicted shape must recompile");
         assert_eq!(first_path.exact_values(), again.exact_values());
-        let stats = engine.cache_stats();
+        let stats = engine.stats().cache;
         assert!(stats.evictions >= 1, "capacity 1 must evict: {stats:?}");
         assert_eq!(stats.entries, 1);
     }
@@ -1226,7 +1328,7 @@ mod tests {
                 });
             }
         });
-        assert_eq!(engine.cache_stats().hits, 4);
+        assert_eq!(engine.stats().cache.hits, 4);
     }
 
     #[test]
@@ -1284,7 +1386,7 @@ mod tests {
         }
         // Neither the failed exact compile nor the degraded result may enter
         // the shared cache; an isomorphic retry degrades again, no hit.
-        assert_eq!(engine.cache_stats().insertions, 0);
+        assert_eq!(engine.stats().cache.insertions, 0);
         let again = session.attribute(&shifted_cycle(10)).unwrap();
         assert!(again.degradation.is_some());
         assert!(!again.stats.cache_hit);
@@ -1339,5 +1441,134 @@ mod tests {
         let outcomes =
             session.attribute_batch(&[&cycle], BatchOptions::new().with_fallback(&strict));
         assert!(outcomes[0].is_err(), "per-call override wins");
+    }
+
+    /// A batch where *every* fingerprint bucket is contested: four isomorphic
+    /// cycles (one fingerprint, four instances) plus two isomorphic paths,
+    /// interleaved — the worst case for the speculative canonicalization
+    /// fan-out, since each instance both probes and may key its mates.
+    fn contested_heavy_batch() -> Vec<Dnf> {
+        let mut lineages = Vec::new();
+        for s in 0..4u32 {
+            lineages.push(shifted_cycle(s * 10));
+            lineages.push(Dnf::from_clauses(vec![
+                vec![v(100 + s * 10), v(101 + s * 10)],
+                vec![v(101 + s * 10), v(102 + s * 10)],
+            ]));
+        }
+        lineages
+    }
+
+    #[test]
+    fn contested_heavy_batches_fan_out_with_identical_cost_accounting() {
+        // The parallel canonicalization pre-pass must leave the plan — and
+        // every charged counter — bit-identical to the sequential walk, even
+        // when every bucket is contested and the fan-out covers the whole
+        // batch.
+        let lineages = contested_heavy_batch();
+        let refs: Vec<&Dnf> = lineages.iter().collect();
+        let mut sequential = Engine::new(EngineConfig::default().with_threads(1)).session();
+        let expected = sequential.attribute_batch(&refs, BatchOptions::default());
+        for threads in [2usize, 4] {
+            let engine = Engine::new(EngineConfig::default().with_threads(threads));
+            let mut session = engine.session();
+            let got = session.attribute_batch(&refs, BatchOptions::default());
+            for (want, have) in expected.iter().zip(&got) {
+                let (want, have) = (want.as_ref().unwrap(), have.as_ref().unwrap());
+                assert_eq!(want.exact_values().unwrap(), have.exact_values().unwrap());
+                assert_eq!(want.stats.cache_hit, have.stats.cache_hit, "threads={threads}");
+                assert_eq!(want.stats.canon_steps, have.stats.canon_steps, "threads={threads}");
+                assert_eq!(want.stats.canon_searches, have.stats.canon_searches);
+                assert_eq!(want.stats.prekey_skips, have.stats.prekey_skips);
+            }
+            assert_eq!(session.stats().cache_hits, sequential.stats().cache_hits);
+            assert_eq!(session.stats().canon_steps, sequential.stats().canon_steps);
+            assert_eq!(session.stats().canon_searches, sequential.stats().canon_searches);
+            assert_eq!(session.stats().prekey_skips, sequential.stats().prekey_skips);
+        }
+    }
+
+    #[test]
+    fn sharded_engines_are_bit_identical_to_single_shard() {
+        let lineages = mixed_batch();
+        let refs: Vec<&Dnf> = lineages.iter().collect();
+        let mut single = Engine::new(EngineConfig::default()).session();
+        let expected = single.attribute_batch(&refs, BatchOptions::default());
+        for shards in [2usize, 4] {
+            for threads in [1usize, 2] {
+                let engine = Engine::new(
+                    EngineConfig::default()
+                        .with_cache_config(CacheConfig::new().with_shards(shards))
+                        .with_threads(threads),
+                );
+                assert_eq!(engine.shared_cache().num_shards(), shards);
+                let mut session = engine.session();
+                let got = session.attribute_batch(&refs, BatchOptions::default());
+                for (want, have) in expected.iter().zip(&got) {
+                    let (want, have) = (want.as_ref().unwrap(), have.as_ref().unwrap());
+                    assert_eq!(
+                        want.exact_values().unwrap(),
+                        have.exact_values().unwrap(),
+                        "shards={shards} threads={threads}"
+                    );
+                    assert_eq!(want.model_count, have.model_count);
+                    assert_eq!(want.stats.cache_hit, have.stats.cache_hit);
+                    assert_eq!(want.stats.compile_steps, have.stats.compile_steps);
+                }
+                assert_eq!(session.stats().cache_hits, single.stats().cache_hits);
+                // The aggregate view sums the shards; hits + misses add up
+                // across the breakdown exactly as in the single-shard run.
+                let snapshot = engine.stats();
+                assert_eq!(snapshot.shards.len(), shards);
+                let summed: u64 = snapshot.shards.iter().map(|s| s.hits).sum();
+                assert_eq!(snapshot.cache.hits, summed);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_started_engines_replay_streams_from_the_snapshot() {
+        let dir = std::env::temp_dir().join(format!(
+            "banzhaf-warmstart-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.bzc");
+        let lineages = mixed_batch();
+        // Cold run, snapshot on the last engine-clone drop.
+        let cold: Vec<Attribution> = {
+            let engine = Engine::new(
+                EngineConfig::default()
+                    .with_cache_config(CacheConfig::new().with_warm_start(&path)),
+            );
+            let clone = engine.clone();
+            let mut session = clone.session();
+            let cold = lineages.iter().map(|l| session.attribute(l).unwrap()).collect();
+            drop(session);
+            drop(engine);
+            assert!(!path.exists(), "clone still alive: no snapshot yet");
+            drop(clone);
+            cold
+        };
+        assert!(path.exists(), "last engine drop writes the snapshot");
+        // A fresh engine warm-starts from it: every shape is a hit, and the
+        // values are bit-identical to the cold run.
+        let engine = Engine::new(
+            EngineConfig::default().with_cache_config(CacheConfig::new().with_warm_start(&path)),
+        );
+        let stats = engine.stats().cache;
+        assert_eq!(stats.snapshot_loads, 1);
+        assert!(stats.snapshot_entries > 0);
+        assert_eq!(stats.snapshot_rejects, 0);
+        let mut session = engine.session();
+        for (lineage, want) in lineages.iter().zip(&cold) {
+            let have = session.attribute(lineage).unwrap();
+            assert!(have.stats.cache_hit, "warm-started shape must hit");
+            assert_eq!(have.stats.compile_steps, 0);
+            assert_eq!(want.exact_values().unwrap(), have.exact_values().unwrap());
+            assert_eq!(want.model_count, have.model_count);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -23,9 +23,11 @@
 //!   budget check.
 //! * **a shared cross-session cache** — workers are sessions of one
 //!   [`banzhaf_engine::Engine`], so concurrent clients reuse each other's
-//!   compilations through the engine-level [`banzhaf_engine::SharedCache`]
-//!   (size-bounded, LRU-evicted, counters in
-//!   [`AttributionService::cache_stats`]).
+//!   compilations through the engine-level [`banzhaf_engine::ShardedCache`]
+//!   (size-bounded, per-shard LRU-evicted, optionally warm-started from a
+//!   snapshot via [`banzhaf_engine::CacheConfig`]; counters in
+//!   [`AttributionService::engine_stats`], the owning shard of a request in
+//!   [`AttributionService::shard_of`]).
 //! * **live updates** — a service started with
 //!   [`ServeConfig::with_live_database`] owns a
 //!   [`banzhaf_engine::LiveSession`]; [`AttributionService::submit_update`]
@@ -53,7 +55,7 @@
 //! let outcomes = block_on(join_all(tickets));
 //! assert!(outcomes.iter().all(Result::is_ok));
 //! // Every request was either compiled once or served from the shared cache.
-//! let cache = service.cache_stats();
+//! let cache = service.engine_stats().cache;
 //! assert_eq!(cache.hits + cache.insertions, 2);
 //! ```
 

@@ -3,8 +3,8 @@
 use banzhaf_boolean::Dnf;
 use banzhaf_dtree::Budget;
 use banzhaf_engine::{
-    Attribution, BatchOptions, CacheStats, Database, Engine, EngineConfig, FallbackPolicy,
-    LiveSession, LiveStats, QueryAttribution, UnionQuery, Update, UpdateReport,
+    Attribution, BatchOptions, CacheStats, Database, Engine, EngineConfig, EngineSnapshot,
+    FallbackPolicy, LiveSession, LiveStats, QueryAttribution, UnionQuery, Update, UpdateReport,
 };
 use banzhaf_par::queue::{BoundedQueue, PushError};
 use std::fmt;
@@ -472,6 +472,20 @@ pub struct ServiceStats {
     /// Individualization searches the shared cache's exact keying actually
     /// ran, across all sessions (mirrors [`banzhaf_engine::CacheStats`]).
     pub canon_searches: u64,
+    /// Shards of the engine's cache tier (1 unless
+    /// [`banzhaf_engine::CacheConfig::shards`] raised it); per-shard
+    /// counters are in [`AttributionService::engine_stats`].
+    pub shards: usize,
+    /// Warm-start snapshots loaded at engine construction (mirrors
+    /// [`banzhaf_engine::CacheStats`]).
+    pub snapshot_loads: u64,
+    /// Cache entries admitted from warm-start snapshots (mirrors
+    /// [`banzhaf_engine::CacheStats`]).
+    pub snapshot_entries: u64,
+    /// Warm-start snapshots rejected — corrupt, truncated, or
+    /// version-mismatched files the engine refused and degraded to a cold
+    /// start (mirrors [`banzhaf_engine::CacheStats`]).
+    pub snapshot_rejects: u64,
 }
 
 /// The async attribution front end: a bounded request queue drained by worker
@@ -488,7 +502,9 @@ pub struct ServiceStats {
 ///   budget check.
 /// * **Shared cache**: workers are sessions of one [`Engine`], so a lineage
 ///   shape compiled for any request is a cache hit for every later request,
-///   across all client sessions ([`AttributionService::cache_stats`]).
+///   across all client sessions ([`AttributionService::engine_stats`]) —
+///   sharded and optionally warm-started from a snapshot via
+///   [`banzhaf_engine::CacheConfig`].
 /// * **Live updates**: a service configured with
 ///   [`ServeConfig::with_live_database`] also hosts a [`LiveSession`];
 ///   [`AttributionService::submit_update`] queues inserts/deletes whose
@@ -763,7 +779,8 @@ impl AttributionService {
 
     /// A snapshot of the service's request counters.
     pub fn stats(&self) -> ServiceStats {
-        let cache = self.engine.cache_stats();
+        let snapshot = self.engine.stats();
+        let cache = &snapshot.cache;
         ServiceStats {
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
@@ -776,12 +793,33 @@ impl AttributionService {
             workers: self.workers.len(),
             prekey_skips: cache.prekey_skips,
             canon_searches: cache.canon_searches,
+            shards: snapshot.shards.len(),
+            snapshot_loads: cache.snapshot_loads,
+            snapshot_entries: cache.snapshot_entries,
+            snapshot_rejects: cache.snapshot_rejects,
         }
     }
 
-    /// A snapshot of the shared cross-session cache's counters.
+    /// One consistent snapshot of the engine's cache tier: aggregate
+    /// counters plus the per-shard breakdown.
+    pub fn engine_stats(&self) -> EngineSnapshot {
+        self.engine.stats()
+    }
+
+    /// The shard of the engine's cache tier that owns `lineage`'s entry —
+    /// stable across processes, so a fleet can report (and partition by) the
+    /// serving shard.
+    pub fn shard_of(&self, lineage: &Dnf) -> usize {
+        self.engine.shard_of(lineage)
+    }
+
+    /// A snapshot of the shared cross-session cache's aggregate counters.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use engine_stats().cache; this thin wrapper is kept for one release"
+    )]
     pub fn cache_stats(&self) -> CacheStats {
-        self.engine.cache_stats()
+        self.engine.stats().cache
     }
 
     /// The engine whose sessions the workers run (e.g. to start a
@@ -840,7 +878,7 @@ impl fmt::Debug for AttributionService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AttributionService")
             .field("stats", &self.stats())
-            .field("cache", &self.cache_stats())
+            .field("cache", &self.engine_stats().cache)
             .field("live", &self.live.is_some())
             .finish_non_exhaustive()
     }

@@ -33,7 +33,9 @@ fn main() {
     let mut baseline: Option<Vec<_>> = None;
     for threads in [1usize, 4] {
         let engine = Engine::new(
-            EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(threads),
+            EngineConfig::new(Algorithm::ExaBan)
+                .with_cache_config(CacheConfig::disabled())
+                .with_threads(threads),
         );
         let mut session = engine.session();
         let start = Instant::now();
@@ -56,8 +58,11 @@ fn main() {
 
     // 2. One shared budget across all workers: a cap charged globally, so
     //    the whole batch is interrupted cooperatively once it is spent.
-    let engine =
-        Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(4));
+    let engine = Engine::new(
+        EngineConfig::new(Algorithm::ExaBan)
+            .with_cache_config(CacheConfig::disabled())
+            .with_threads(4),
+    );
     let mut session = engine.session();
     // Roughly enough steps for half the corpus.
     let shared = Budget::with_max_steps(4 * 1200);

@@ -106,7 +106,7 @@ fn main() {
     assert_eq!(service.live_attribution("q").expect("registered").answers.len(), 1);
 
     let stats = service.stats();
-    let cache = service.cache_stats();
+    let cache = service.engine_stats().cache;
     println!(
         "service: {} submitted, {} completed, {} failed (cancelled/expired), {} rejected",
         stats.submitted, stats.completed, stats.failed, stats.rejected

@@ -65,9 +65,10 @@ pub use banzhaf_workloads as workloads;
 pub mod prelude {
     pub use banzhaf_engine::{
         Algorithm, AnswerAttribution, AnswerChange, Attribution, Attributor, BatchOptions,
-        CacheStats, Degradation, DegradeReason, Engine, EngineConfig, EngineStats, FallbackPolicy,
-        LiveSession, LiveStats, QueryAttribution, Ranked, Rung, Score, Session, SessionStats,
-        SharedCache, TouchedAnswer, UpdateReport,
+        CacheConfig, CacheStats, Degradation, DegradeReason, Engine, EngineConfig, EngineSnapshot,
+        EngineStats, FallbackPolicy, LiveSession, LiveStats, QueryAttribution, Ranked, Rung, Score,
+        Session, SessionStats, ShardedCache, SharedCache, SnapshotError, TouchedAnswer,
+        UpdateReport,
     };
     pub use banzhaf_serve::{
         block_on, join_all, AttributionService, Rejected, RequestOptions, RetryPolicy, ServeConfig,

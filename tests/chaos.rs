@@ -43,7 +43,10 @@ fn ring(offset: u32, vars: u32) -> Dnf {
 
 /// Exact values of `lineage` from an undisturbed, cache-free, strict run.
 fn undisturbed(lineage: &Dnf) -> Attribution {
-    Engine::new(EngineConfig::default().with_cache(false)).session().attribute(lineage).unwrap()
+    Engine::new(EngineConfig::default().with_cache_config(CacheConfig::disabled()))
+        .session()
+        .attribute(lineage)
+        .unwrap()
 }
 
 /// Invariant 5: a degraded (or exact) score agrees with the undisturbed run.
@@ -82,10 +85,10 @@ fn worker_panic_mid_compile_quarantines_instead_of_inserting() {
     }
     // Nothing half-built reached the cache, and the worker survived on a
     // fresh session: the same shape now compiles cleanly and bit-identically.
-    assert_eq!(service.cache_stats().insertions, 0);
+    assert_eq!(service.engine_stats().cache.insertions, 0);
     let served = service.submit(shape.clone(), RequestOptions::default()).unwrap().wait().unwrap();
     assert_eq!(served.exact_values().unwrap(), expected.exact_values().unwrap());
-    assert_eq!(service.cache_stats().insertions, 1);
+    assert_eq!(service.engine_stats().cache.insertions, 1);
 }
 
 #[test]
@@ -103,7 +106,7 @@ fn compile_panic_under_a_ladder_degrades_the_answer() {
     assert_eq!(degradation.reason, DegradeReason::WorkerPanic);
     assert_tracks_exact(&att, &expected, &shape);
     // The panicked compile's partial d-tree is quarantined with its stack.
-    assert_eq!(engine.cache_stats().insertions, 0);
+    assert_eq!(engine.stats().cache.insertions, 0);
     assert_eq!(session.stats().degraded, 1);
 }
 
@@ -122,12 +125,12 @@ fn merge_panic_never_tears_the_shared_cache() {
     }
     // The interrupted merge inserted nothing and poisoned nothing: a fresh
     // session compiles and caches the shape as if nothing happened.
-    let stats = engine.cache_stats();
+    let stats = engine.stats().cache;
     assert_eq!(stats.insertions, 0);
     assert_cache_consistent(&stats);
     let again = engine.session().attribute(&shape).unwrap();
     assert_eq!(again.exact_values().unwrap(), expected.exact_values().unwrap());
-    assert_eq!(engine.cache_stats().insertions, 1);
+    assert_eq!(engine.stats().cache.insertions, 1);
 }
 
 #[test]
@@ -225,7 +228,7 @@ fn interrupted_canonicalization_is_a_miss_never_a_wrong_key() {
             assert_eq!(att.value(x).unwrap().exact().unwrap(), want);
         }
     }
-    assert_cache_consistent(&engine.cache_stats());
+    assert_cache_consistent(&engine.stats().cache);
 }
 
 #[test]
@@ -252,7 +255,7 @@ fn cache_lock_contention_slows_but_never_corrupts() {
             );
         }
     }
-    let stats = service.cache_stats();
+    let stats = service.engine_stats().cache;
     assert_cache_consistent(&stats);
     assert!(stats.hits + stats.insertions >= 8, "all eight requests settled: {stats:?}");
 }
@@ -399,7 +402,7 @@ proptest! {
 
         // Invariant 2: the cache's counters are consistent under any fault
         // schedule, and the live answer count equals the applied updates.
-        let cache = service.cache_stats();
+        let cache = service.engine_stats().cache;
         prop_assert!(cache.entries <= cache.capacity);
         prop_assert!(cache.entries as u64 <= cache.insertions);
         prop_assert!(cache.evictions <= cache.insertions);

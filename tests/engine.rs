@@ -69,8 +69,8 @@ proptest! {
         );
         for algorithm in [Algorithm::ExaBan, Algorithm::Sig22] {
             let config = EngineConfig::new(algorithm);
-            let mut cached = Engine::new(config.clone().with_cache(true)).session();
-            let mut uncached = Engine::new(config.with_cache(false)).session();
+            let mut cached = Engine::new(config.clone().with_cache_config(CacheConfig::new())).session();
+            let mut uncached = Engine::new(config.with_cache_config(CacheConfig::disabled())).session();
             for lineage in [&phi, &shifted] {
                 let a = cached.attribute(lineage).unwrap();
                 let b = uncached.attribute(lineage).unwrap();
@@ -133,7 +133,7 @@ proptest! {
         let second = session.attribute(&renamed).unwrap();
         prop_assert!(!first.stats.cache_hit);
         prop_assert!(second.stats.cache_hit, "the isomorph must hit the first entry");
-        let stats = engine.cache_stats();
+        let stats = engine.stats().cache;
         prop_assert_eq!(stats.insertions, 1, "one canonical shape, one entry");
         prop_assert_eq!(stats.hits, 1);
         prop_assert_eq!(stats.misses, 1);
@@ -194,8 +194,10 @@ fn session_cache_pays_off_on_a_corpus_with_repeated_lineages() {
             ])
         })
         .collect();
-    let mut cached = Engine::new(EngineConfig::default().with_cache(true)).session();
-    let mut uncached = Engine::new(EngineConfig::default().with_cache(false)).session();
+    let mut cached =
+        Engine::new(EngineConfig::default().with_cache_config(CacheConfig::new())).session();
+    let mut uncached =
+        Engine::new(EngineConfig::default().with_cache_config(CacheConfig::disabled())).session();
     for lineage in &repeated {
         let a = cached.attribute(lineage).unwrap();
         let b = uncached.attribute(lineage).unwrap();
@@ -289,8 +291,11 @@ fn update_stream() -> impl Strategy<Value = Vec<(bool, bool, u8, u8)>> {
 /// bit-identical to a cold, cacheless, single-threaded re-evaluation of the
 /// same query over the live session's current database.
 fn assert_matches_cold(live: &LiveSession, name: &str, query: &UnionQuery) {
-    let cold_engine =
-        Engine::new(EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(1));
+    let cold_engine = Engine::new(
+        EngineConfig::new(Algorithm::ExaBan)
+            .with_cache_config(CacheConfig::disabled())
+            .with_threads(1),
+    );
     let cold = cold_engine.session().explain(query, live.db());
     let snapshot = live.attribution(name).expect("query is registered");
     assert_eq!(snapshot.answers.len(), cold.answers.len());
@@ -319,7 +324,7 @@ proptest! {
         let query = live_query();
         for (cache, threads) in [(true, 1), (true, 2), (false, 1), (false, 2)] {
             let engine = Engine::new(
-                EngineConfig::new(Algorithm::ExaBan).with_cache(cache).with_threads(threads),
+                EngineConfig::new(Algorithm::ExaBan).with_cache_config(CacheConfig::new().with_enabled(cache)).with_threads(threads),
             );
             let mut live = engine.live_session(db.clone());
             live.register("q", query.clone());

@@ -47,7 +47,7 @@ proptest! {
         cache in any::<bool>(),
     ) {
         for algorithm in [Algorithm::ExaBan, Algorithm::AdaBan, Algorithm::MonteCarlo] {
-            let config = EngineConfig::new(algorithm).with_cache(cache).with_seed(7);
+            let config = EngineConfig::new(algorithm).with_cache_config(CacheConfig::new().with_enabled(cache)).with_seed(7);
             let mut sequential = Engine::new(config.clone()).session();
             let expected: Vec<Attribution> =
                 phis.iter().map(|phi| sequential.attribute(phi).unwrap()).collect();
@@ -83,7 +83,7 @@ proptest! {
         cap in 1u64..40,
         cache in any::<bool>(),
     ) {
-        let mut config = EngineConfig::new(Algorithm::ExaBan).with_cache(cache);
+        let mut config = EngineConfig::new(Algorithm::ExaBan).with_cache_config(CacheConfig::new().with_enabled(cache));
         config.max_steps = Some(cap);
         let mut sequential = Engine::new(config.clone()).session();
         let expected: Vec<Result<Attribution, Interrupted>> =
@@ -133,7 +133,9 @@ fn shared_budget_interrupts_across_workers() {
         })
         .collect();
     let refs: Vec<&Dnf> = phis.iter().collect();
-    let config = EngineConfig::new(Algorithm::ExaBan).with_cache(false).with_threads(4);
+    let config = EngineConfig::new(Algorithm::ExaBan)
+        .with_cache_config(CacheConfig::disabled())
+        .with_threads(4);
     // One shared step: nothing finishes.
     let starved = Engine::new(config.clone())
         .session()

@@ -62,23 +62,25 @@ fn deadline_expired_requests_return_interrupted_without_poisoning_the_cache() {
     let starved =
         service.submit(shape.clone(), RequestOptions::new().with_timeout(Duration::ZERO)).unwrap();
     assert_eq!(starved.wait().unwrap_err(), ServeError::Interrupted);
-    assert_eq!(service.cache_stats().insertions, 0, "interrupted work must not be cached");
+    assert_eq!(service.engine_stats().cache.insertions, 0, "interrupted work must not be cached");
 
     // A step-capped request interrupted *mid-compile* must not poison it
     // either.
     let step_starved =
         service.submit(shape.clone(), RequestOptions::new().with_max_steps(3)).unwrap();
     assert_eq!(step_starved.wait().unwrap_err(), ServeError::Interrupted);
-    assert_eq!(service.cache_stats().insertions, 0);
+    assert_eq!(service.engine_stats().cache.insertions, 0);
 
     // The same shape then succeeds under an ample budget, and its result is
     // bit-identical to a cold single-session run.
     let served = service.submit(shape.clone(), RequestOptions::default()).unwrap().wait().unwrap();
-    let cold =
-        Engine::new(EngineConfig::default().with_cache(false)).session().attribute(&shape).unwrap();
+    let cold = Engine::new(EngineConfig::default().with_cache_config(CacheConfig::disabled()))
+        .session()
+        .attribute(&shape)
+        .unwrap();
     assert_eq!(served.exact_values().unwrap(), cold.exact_values().unwrap());
     assert_eq!(served.model_count, cold.model_count);
-    assert_eq!(service.cache_stats().insertions, 1);
+    assert_eq!(service.engine_stats().cache.insertions, 1);
 }
 
 #[test]
@@ -96,7 +98,7 @@ fn cancellation_interrupts_a_request_mid_compile() {
         "cooperative cancellation must interrupt the compile promptly"
     );
     // The aborted compilation never reaches the shared cache.
-    assert_eq!(service.cache_stats().insertions, 0);
+    assert_eq!(service.engine_stats().cache.insertions, 0);
     // The worker survives and serves the next request.
     assert!(service.submit(ring(0, 6), RequestOptions::default()).unwrap().wait().is_ok());
 }
@@ -113,7 +115,7 @@ fn cancelled_while_queued_never_runs() {
     assert_eq!(queued.wait().unwrap_err(), ServeError::Cancelled);
     // Neither the cancelled-in-queue nor the cancelled-in-flight request
     // contributed anything to the cache.
-    assert_eq!(service.cache_stats().insertions, 0);
+    assert_eq!(service.engine_stats().cache.insertions, 0);
 }
 
 #[test]
@@ -157,7 +159,7 @@ fn concurrent_clients_share_the_cache_across_sessions() {
             });
         }
     });
-    let cache = service.cache_stats();
+    let cache = service.engine_stats().cache;
     // Twelve isomorphic requests, one distinct shape: at most two compile
     // (both workers racing the cold shape), the rest are shared-cache hits.
     assert!(cache.hits >= 10, "cross-session reuse expected: {cache:?}");
@@ -279,7 +281,7 @@ fn ladder_requests_degrade_instead_of_interrupting() {
     // Under the default strict policy a three-step budget is a typed error…
     let strict = service.submit(shape.clone(), RequestOptions::new().with_max_steps(3)).unwrap();
     assert_eq!(strict.wait().unwrap_err(), ServeError::Interrupted);
-    assert_eq!(service.cache_stats().insertions, 0);
+    assert_eq!(service.engine_stats().cache.insertions, 0);
     // …under the ladder the same starvation produces a degraded answer.
     let degraded = service
         .submit(
@@ -293,8 +295,10 @@ fn ladder_requests_degrade_instead_of_interrupting() {
     assert_eq!(degradation.reason, DegradeReason::BudgetExhausted);
     // The degraded score brackets (or estimates) the exact value, computed
     // here by an unconstrained cold run.
-    let exact =
-        Engine::new(EngineConfig::default().with_cache(false)).session().attribute(&shape).unwrap();
+    let exact = Engine::new(EngineConfig::default().with_cache_config(CacheConfig::disabled()))
+        .session()
+        .attribute(&shape)
+        .unwrap();
     for x in shape.universe().iter() {
         let want = exact.value(x).unwrap().exact().unwrap();
         match degraded.value(x).unwrap() {
@@ -305,7 +309,7 @@ fn ladder_requests_degrade_instead_of_interrupting() {
     }
     // Degraded work never enters the shared cache, and the counters tell the
     // operator how much of the traffic is running degraded.
-    assert_eq!(service.cache_stats().insertions, 0);
+    assert_eq!(service.engine_stats().cache.insertions, 0);
     let stats = service.stats();
     assert_eq!(stats.degraded, 1);
     assert!(stats.fallback_steps > 0);
@@ -396,7 +400,7 @@ proptest! {
             .map(|l| service.submit((*l).clone(), RequestOptions::default()).unwrap())
             .collect();
         let served = block_on(join_all(tickets));
-        let mut cold = Engine::new(EngineConfig::default().with_cache(false)).session();
+        let mut cold = Engine::new(EngineConfig::default().with_cache_config(CacheConfig::disabled())).session();
         for (lineage, outcome) in [&phi, &shifted, &phi].iter().zip(served) {
             let served = outcome.expect("unbounded budget");
             let cold = cold.attribute(lineage).expect("unbounded budget");
