@@ -36,7 +36,9 @@
 mod int;
 mod natural;
 mod ratio;
+mod rational;
 
 pub use int::{Int, Sign};
 pub use natural::Natural;
 pub use ratio::Ratio;
+pub use rational::Rational;

@@ -17,7 +17,7 @@
 //! count**.
 
 use banzhaf_arith::Natural;
-use banzhaf_boolean::{Assignment, Dnf, Var};
+use banzhaf_boolean::{Assignment, Dnf, Var, WeightedDnf};
 use banzhaf_dtree::{Budget, Interrupted};
 use banzhaf_par::{seed, ThreadPool};
 use rand::rngs::StdRng;
@@ -116,6 +116,63 @@ fn estimate_one(
     Ok(positive_flips as f64 / options.samples_per_var.max(1) as f64)
 }
 
+/// Estimates the *aggregate* Banzhaf value of every variable of `w`, fanning
+/// the per-variable sampling loops across `pool`.
+///
+/// The scheme is [`mc_banzhaf_par`]'s, with the Boolean marginal
+/// `φ[Y∪{x}] − φ[Y]` replaced by the aggregate marginal
+/// `val(Y∪{x}) − val(Y)` evaluated through [`WeightedDnf::evaluate`] — so one
+/// sampler serves COUNT/SUM/MIN/MAX alike, signed marginals included (MIN
+/// attribution can be negative). Per-variable seed streams keep the estimates
+/// bit-identical at every thread count, exactly as in the Boolean sampler.
+pub fn mc_aggregate_banzhaf_par(
+    w: &WeightedDnf,
+    options: &McOptions,
+    seed: u64,
+    budget: &Budget,
+    pool: &ThreadPool,
+) -> Result<HashMap<Var, f64>, Interrupted> {
+    let vars: Vec<Var> = w.universe().iter().collect();
+    let n = vars.len();
+    let scale = Natural::pow2(n.saturating_sub(1)).to_f64();
+    let estimates = pool.parallel_map(&vars, |i, &x| {
+        let mut rng = StdRng::seed_from_u64(seed::derive(seed, i as u64));
+        estimate_one_aggregate(w, &vars, x, *options, &mut rng, budget).map(|mean| mean * scale)
+    });
+    vars.into_iter()
+        .zip(estimates)
+        .map(|(x, estimate)| estimate.map(|e| (x, e)))
+        .collect::<Result<HashMap<Var, f64>, Interrupted>>()
+}
+
+/// One variable's aggregate sampling loop: the mean aggregate marginal of `x`
+/// over `options.samples_per_var` uniform subsets of `vars ∖ {x}`.
+fn estimate_one_aggregate(
+    w: &WeightedDnf,
+    vars: &[Var],
+    x: Var,
+    options: McOptions,
+    rng: &mut StdRng,
+    budget: &Budget,
+) -> Result<f64, Interrupted> {
+    let mut sum = 0.0f64;
+    for _ in 0..options.samples_per_var {
+        budget.step()?;
+        // Sample Y ⊆ X∖{x} uniformly.
+        let mut assignment = Assignment::empty();
+        for &y in vars {
+            if y != x && rng.gen_bool(0.5) {
+                assignment.set(y, true);
+            }
+        }
+        let without = w.evaluate(&assignment);
+        assignment.set(x, true);
+        let with = w.evaluate(&assignment);
+        sum += (with - without).to_f64();
+    }
+    Ok(sum / options.samples_per_var.max(1) as f64)
+}
+
 /// Ranks variables by decreasing Monte Carlo estimate (ties by index).
 pub fn rank_estimates(estimates: &HashMap<Var, f64>) -> Vec<Var> {
     let mut vars: Vec<Var> = estimates.keys().copied().collect();
@@ -186,6 +243,64 @@ mod tests {
                 mc_banzhaf_par(&phi, &options, 0xBA27AF, &Budget::unlimited(), &pool).unwrap();
             assert_eq!(sequential, parallel, "thread count {threads} changed the sample set");
         }
+    }
+
+    #[test]
+    fn aggregate_estimates_converge_and_stay_thread_invariant() {
+        use banzhaf_arith::Rational;
+        use banzhaf_boolean::AggregateKind;
+        let w = WeightedDnf::from_weighted_clauses(
+            AggregateKind::Sum,
+            vec![
+                (vec![v(0), v(1)], Rational::from(3i64)),
+                (vec![v(0), v(2)], Rational::from(-2i64)),
+                (vec![v(3)], Rational::from(7i64)),
+            ],
+        );
+        let options = McOptions { samples_per_var: 20_000 };
+        let estimates = mc_aggregate_banzhaf_par(
+            &w,
+            &options,
+            42,
+            &Budget::unlimited(),
+            &ThreadPool::sequential(),
+        )
+        .unwrap();
+        for x in w.universe().iter() {
+            let exact = w.brute_force_aggregate_banzhaf(x).to_f64();
+            let got = estimates[&x];
+            assert!((got - exact).abs() < 1.5, "estimate for {x} too far off: {got} vs {exact}");
+        }
+        // Bit-identical across thread counts (per-variable seed streams).
+        for threads in [2, 4] {
+            let pool = ThreadPool::new(threads);
+            let parallel =
+                mc_aggregate_banzhaf_par(&w, &options, 42, &Budget::unlimited(), &pool).unwrap();
+            assert_eq!(estimates, parallel, "thread count {threads} changed the sample set");
+        }
+    }
+
+    #[test]
+    fn aggregate_min_marginals_can_be_negative() {
+        use banzhaf_arith::Rational;
+        use banzhaf_boolean::AggregateKind;
+        // MIN with a strongly negative clause: the fact enabling it drags the
+        // minimum down, so its attribution is negative.
+        let w = WeightedDnf::from_weighted_clauses(
+            AggregateKind::Min,
+            vec![(vec![v(0)], Rational::from(-8i64)), (vec![v(1)], Rational::from(5i64))],
+        );
+        let options = McOptions { samples_per_var: 5_000 };
+        let estimates = mc_aggregate_banzhaf_par(
+            &w,
+            &options,
+            7,
+            &Budget::unlimited(),
+            &ThreadPool::sequential(),
+        )
+        .unwrap();
+        assert!(estimates[&v(0)] < 0.0, "negative attribution survives sampling");
+        assert!(w.brute_force_aggregate_banzhaf(v(0)).is_negative());
     }
 
     #[test]

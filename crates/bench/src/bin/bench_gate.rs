@@ -5,7 +5,8 @@
 //! serve_throughput`, `BENCH_canon.json` from `repro canon_hit_rate`, and —
 //! with the matching flags — `BENCH_update.json` from `repro update_stream`,
 //! `BENCH_degrade.json` from `repro degrade_under_pressure`, and
-//! `BENCH_persist.json` from `repro warm_start`) and
+//! `BENCH_persist.json` from `repro warm_start` and `BENCH_aggregate.json`
+//! from `repro aggregate_attribution`) and
 //! compares them against the checked-in `BENCH_baseline.json`. Exits
 //! non-zero — failing the CI job — when:
 //!
@@ -31,6 +32,12 @@
 //!   strict mode of at least half its requests, an exact answer diverged
 //!   from the unbounded reference, or a degraded answer failed to bracket
 //!   (interval rung) or stay finite (estimate rung);
+//! * (with `--aggregate`, reading `BENCH_aggregate.json` from `repro
+//!   aggregate_attribution`) any exact aggregate Banzhaf value disagreed
+//!   with the brute-force definition, the four cache/thread configurations
+//!   were not bit-identical, or a SUM cache entry served a COUNT request
+//!   over the same Boolean skeleton (the workload is seeded, so this is
+//!   deterministic and gated with zero tolerance);
 //! * a tracked throughput metric regressed more than the tolerance
 //!   (default 25%) against the baseline.
 //!
@@ -44,7 +51,8 @@
 //! bench_gate [--baseline BENCH_baseline.json] [--parallel BENCH_parallel.json]
 //!            [--serve BENCH_serve.json] [--canon BENCH_canon.json]
 //!            [--update BENCH_update.json] [--degrade BENCH_degrade.json]
-//!            [--persist BENCH_persist.json] [--tolerance 0.25]
+//!            [--persist BENCH_persist.json] [--aggregate BENCH_aggregate.json]
+//!            [--tolerance 0.25]
 //! ```
 
 use banzhaf_bench::json::Json;
@@ -127,6 +135,7 @@ struct Args {
     update_path: Option<String>,
     degrade_path: Option<String>,
     persist_path: Option<String>,
+    aggregate_path: Option<String>,
     tolerance: f64,
 }
 
@@ -139,6 +148,7 @@ fn parse_args() -> Args {
         update_path: None,
         degrade_path: None,
         persist_path: None,
+        aggregate_path: None,
         tolerance: 0.25,
     };
     let mut args = std::env::args().skip(1);
@@ -157,6 +167,7 @@ fn parse_args() -> Args {
             "--update" => parsed.update_path = Some(value("--update")),
             "--degrade" => parsed.degrade_path = Some(value("--degrade")),
             "--persist" => parsed.persist_path = Some(value("--persist")),
+            "--aggregate" => parsed.aggregate_path = Some(value("--aggregate")),
             "--tolerance" => {
                 parsed.tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
                     eprintln!("bench_gate: --tolerance needs a number in [0, 1)");
@@ -167,7 +178,7 @@ fn parse_args() -> Args {
                 eprintln!("bench_gate: unknown argument {other}");
                 eprintln!(
                     "usage: bench_gate [--baseline F] [--parallel F] [--serve F] [--canon F] \
-                     [--update F] [--degrade F] [--persist F] [--tolerance T]"
+                     [--update F] [--degrade F] [--persist F] [--aggregate F] [--tolerance T]"
                 );
                 std::process::exit(2);
             }
@@ -301,6 +312,42 @@ fn check_persist(gate: &mut Gate, baseline: &Json, persist: &Json, persist_path:
     }
 }
 
+/// The aggregate-attribution checks (`--aggregate`): exact brute-force
+/// agreement, bit-identity across cache on/off x threads 1/2, and kind-aware
+/// cache keying (a SUM entry never serves a COUNT request). The workload is
+/// seeded, so every number is deterministic and gated with zero tolerance.
+fn check_aggregate(gate: &mut Gate, baseline: &Json, aggregate: &Json, aggregate_path: &str) {
+    gate.check(
+        bool_at(aggregate, "bit_identical", aggregate_path),
+        "aggregate.bit_identical",
+        "aggregate values must match across cache on/off and 1/2 threads bit for bit".to_owned(),
+    );
+    let agreement = f64_at(aggregate, &["agreement_rate"], aggregate_path);
+    let floor = baseline
+        .get("aggregate_attribution")
+        .and_then(|b| b.get("agreement_rate"))
+        .and_then(Json::as_f64)
+        .unwrap_or(1.0);
+    gate.check(
+        agreement >= floor - 1e-9,
+        "aggregate.agreement_rate",
+        format!(
+            "every per-fact value must equal the brute-force definition \
+             (got {agreement:.4}, floor {floor:.4})"
+        ),
+    );
+    gate.check(
+        bool_at(aggregate, "kind_keying_separate", aggregate_path),
+        "aggregate.kind_keying_separate",
+        "a SUM cache entry must never serve a COUNT twin of the same skeleton".to_owned(),
+    );
+    gate.check(
+        bool_at(aggregate, "count_twin_agrees", aggregate_path),
+        "aggregate.count_twin_agrees",
+        "the COUNT twin's values must match brute force after the forced miss".to_owned(),
+    );
+}
+
 /// The degradation-ladder checks (`--degrade`): availability, pressure, and
 /// soundness of degraded answers. The workload is step-capped (no wall
 /// clock), so every number is deterministic and gated with zero tolerance.
@@ -366,6 +413,7 @@ fn main() {
         update_path,
         degrade_path,
         persist_path,
+        aggregate_path,
         tolerance,
     } = parse_args();
     let artifacts = Artifacts {
@@ -391,6 +439,10 @@ fn main() {
     if let Some(persist_path) = &persist_path {
         let persist = read_json(persist_path);
         check_persist(&mut gate, &artifacts.baseline, &persist, persist_path);
+    }
+    if let Some(aggregate_path) = &aggregate_path {
+        let aggregate = read_json(aggregate_path);
+        check_aggregate(&mut gate, &artifacts.baseline, &aggregate, aggregate_path);
     }
     let Artifacts { baseline, parallel, parallel_path, serve, serve_path, .. } = &artifacts;
 

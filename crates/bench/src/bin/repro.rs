@@ -10,7 +10,7 @@
 //! Experiments: `table1 table2 table3 table4 fig4 table5 table6 table7 fig5
 //! table8 table9 app_d ablation_heuristic ablation_adaban engine_cache
 //! parallel_speedup serve_throughput canon_hit_rate warm_start update_stream
-//! degrade_under_pressure`.
+//! degrade_under_pressure aggregate_attribution`.
 //! Sweep-based experiments share one sweep per invocation; every experiment
 //! dispatches its algorithms through `banzhaf_engine::Attributor`.
 //! `--threads N` fans the sweep's instance loop and the engine sessions
@@ -45,13 +45,14 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "warm_start",
     "update_stream",
     "degrade_under_pressure",
+    "aggregate_attribution",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: repro [--timeout-ms N] [--scale N] [--epsilon E] [--topk K] [--threads N] <experiment>... | --all");
-        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache parallel_speedup serve_throughput canon_hit_rate warm_start update_stream degrade_under_pressure");
+        eprintln!("experiments: table1 table2 table3 table4 fig4 table5 table6 table7 fig5 table8 table9 app_d ablation_heuristic ablation_adaban engine_cache parallel_speedup serve_throughput canon_hit_rate warm_start update_stream degrade_under_pressure aggregate_attribution");
         std::process::exit(1);
     }
 
@@ -147,6 +148,7 @@ fn main() {
             "warm_start" => experiments::warm_start(&config),
             "update_stream" => experiments::update_stream(&config),
             "degrade_under_pressure" => experiments::degrade_under_pressure(&config),
+            "aggregate_attribution" => experiments::aggregate_attribution(&config),
             other => unreachable!("experiment {other} was validated against KNOWN_EXPERIMENTS"),
         };
         println!("{report}");

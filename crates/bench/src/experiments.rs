@@ -1457,6 +1457,10 @@ pub fn degrade_under_pressure(config: &HarnessConfig) -> String {
                     Score::Estimate(e) => {
                         degraded_sound &= is_degraded && e.is_finite() && *e >= 0.0;
                     }
+                    Score::Rational(_) => {
+                        // Boolean workloads never produce aggregate scores.
+                        exact_bit_identical = false;
+                    }
                 }
             }
         }
@@ -1657,6 +1661,186 @@ pub fn warm_start(config: &HarnessConfig) -> String {
     )
 }
 
+/// The aggregate-attribution repro experiment: exact aggregate Banzhaf
+/// values (SUM and COUNT) over a TPC-H-like supplier/lineitem workload.
+///
+/// A seeded generator fills `Supp(s, n)` / `Item(s, p, v)` relations, the
+/// query layer evaluates `SUM(V)` and `COUNT(*)` revenue queries into
+/// per-answer [`banzhaf_engine::WeightedDnf`] lineages, and the engine
+/// attributes every lineage under four configurations — cache on/off ×
+/// 1/2 threads. Three checks:
+///
+/// * **agreement** — every per-fact value equals the brute-force definition
+///   (`Σ over all 2^n worlds of val(Y ∪ {f}) − val(Y)`), so
+///   `agreement_rate` must be exactly 1.0;
+/// * **bit identity** — all four configurations produce identical rationals;
+/// * **kind keying** — re-attributing a COUNT twin of a SUM lineage (same
+///   Boolean skeleton) must *miss* the cache: a SUM entry never serves a
+///   COUNT request.
+///
+/// Emits `BENCH_aggregate.json` for the CI `bench-regression` gate
+/// (`bench_gate --aggregate`).
+#[allow(clippy::too_many_lines)]
+pub fn aggregate_attribution(config: &HarnessConfig) -> String {
+    use banzhaf_boolean::WeightedDnf;
+    use banzhaf_engine::{evaluate_aggregate, Score};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    // Seeded TPC-H-flavoured instance. Sizes are capped so the brute-force
+    // cross-check (2^n worlds per lineage) stays trivial.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA66E_CA7E);
+    let suppliers = 4 + 2 * config.scale.min(4);
+    let mut db = Database::new();
+    db.add_relation("Supp", 2);
+    db.add_relation("Item", 3);
+    for s in 0..suppliers {
+        let s = i64::try_from(s).expect("supplier count fits in i64");
+        db.insert_endogenous("Supp", vec![s.into(), format!("s{s}").into()])
+            .expect("fresh supplier row");
+        for p in 0..rng.gen_range(1..=3i64) {
+            let value = rng.gen_range(1..=20i64);
+            let row = vec![s.into(), p.into(), value.into()];
+            if rng.gen_bool(0.25) {
+                db.insert_exogenous("Item", row).expect("fresh exogenous item row");
+            } else {
+                db.insert_endogenous("Item", row).expect("fresh endogenous item row");
+            }
+        }
+    }
+
+    let sum_query = parse_program("Rev(N, SUM(V)) :- Supp(S, N), Item(S, P, V).")
+        .expect("the SUM revenue query parses");
+    let count_query = parse_program("Cnt(N, COUNT(*)) :- Supp(S, N), Item(S, P, V).")
+        .expect("the COUNT orders query parses");
+    let sum_result = evaluate_aggregate(&sum_query, &db).expect("SUM evaluation succeeds");
+    let count_result = evaluate_aggregate(&count_query, &db).expect("COUNT evaluation succeeds");
+    let lineages: Vec<WeightedDnf> = sum_result
+        .answers()
+        .iter()
+        .chain(count_result.answers())
+        .map(|a| a.lineage.clone())
+        .collect();
+    let sum_answers = sum_result.answers().len();
+    let count_answers = count_result.answers().len();
+    let refs: Vec<&WeightedDnf> = lineages.iter().collect();
+
+    // One value stream per (cache, threads) configuration; all four must be
+    // bit-identical. On this container parallelism is a plan, not extra
+    // cores, so identity across thread counts is the correctness signal.
+    let run_stream = |cache_on: bool, threads: usize| {
+        let cache = if cache_on { CacheConfig::new() } else { CacheConfig::disabled() };
+        let engine = Engine::new(
+            EngineConfig::new(Algorithm::ExaBan).with_cache_config(cache).with_threads(threads),
+        );
+        let mut session = engine.session();
+        let values: Vec<Vec<(Var, banzhaf_engine::Rational)>> = session
+            .attribute_aggregate_batch(&refs, BatchOptions::default())
+            .into_iter()
+            .map(|outcome| {
+                let attribution = outcome.expect("no budget is set in this experiment");
+                let mut scores: Vec<(Var, banzhaf_engine::Rational)> = attribution
+                    .values
+                    .into_iter()
+                    .map(|(var, score)| match score {
+                        Score::Rational(r) => (var, r),
+                        other => panic!("exact aggregate backends return rationals, got {other:?}"),
+                    })
+                    .collect();
+                scores.sort_unstable_by_key(|(var, _)| *var);
+                scores
+            })
+            .collect();
+        (values, engine)
+    };
+
+    let wall = Instant::now();
+    let (baseline, cached_engine) = run_stream(true, 1);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let variants = [run_stream(false, 1).0, run_stream(true, 2).0, run_stream(false, 2).0];
+    let bit_identical = variants.iter().all(|v| *v == baseline);
+
+    // Brute-force cross-check of the baseline stream.
+    let mut checked = 0usize;
+    let mut agreed = 0usize;
+    for (lineage, scores) in lineages.iter().zip(&baseline) {
+        for (var, value) in scores {
+            checked += 1;
+            if *value == lineage.brute_force_aggregate_banzhaf(*var) {
+                agreed += 1;
+            }
+        }
+    }
+    let agreement_rate = if checked > 0 { agreed as f64 / checked as f64 } else { 0.0 };
+
+    // Kind keying, on a fresh engine so only the SUM entry is cached: a
+    // COUNT twin of the first SUM lineage shares the Boolean skeleton but
+    // must not be served from the SUM entry (first COUNT attribution
+    // misses and inserts; the second one hits its own entry).
+    let sum_lineage = &lineages[0];
+    let count_twin =
+        WeightedDnf::from_weighted_clauses(
+            banzhaf_boolean::AggregateKind::Count,
+            sum_lineage.dnf().clauses().iter().map(|clause| {
+                (clause.iter().collect::<Vec<Var>>(), banzhaf_engine::Rational::one())
+            }),
+        );
+    let kind_engine = Engine::new(EngineConfig::new(Algorithm::ExaBan).with_threads(1));
+    let mut kind_session = kind_engine.session();
+    kind_session.attribute_aggregate(sum_lineage).expect("no budget is set");
+    let hits_before = kind_engine.stats().cache.hits;
+    let twin = kind_session.attribute_aggregate(&count_twin).expect("no budget is set");
+    let twin_missed = kind_engine.stats().cache.hits == hits_before;
+    kind_session.attribute_aggregate(&count_twin).expect("no budget is set");
+    let twin_rehits = kind_engine.stats().cache.hits == hits_before + 1;
+    let kind_keying_separate = twin_missed && twin_rehits;
+    let twin_agrees = twin.values.iter().all(|(var, score)| {
+        matches!(score, Score::Rational(r) if *r == count_twin.brute_force_aggregate_banzhaf(*var))
+    });
+
+    let cache_stats = cached_engine.stats().cache;
+    let mut table = TextTable::new(["Check", "Result"]);
+    table.push_row(["lineages (SUM + COUNT answers)".to_owned(), lineages.len().to_string()]);
+    table.push_row(["per-fact values checked".to_owned(), checked.to_string()]);
+    table.push_row(["brute-force agreement".to_owned(), format!("{agreed}/{checked}")]);
+    table.push_row([
+        "bit-identical across cache on/off × threads 1/2".to_owned(),
+        bit_identical.to_string(),
+    ]);
+    table.push_row([
+        "COUNT twin of SUM skeleton misses cache".to_owned(),
+        kind_keying_separate.to_string(),
+    ]);
+    table.push_row([
+        "cache hits / insertions".to_owned(),
+        format!("{} / {}", cache_stats.hits, cache_stats.insertions),
+    ]);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"aggregate_attribution\",\n  \"algorithm\": \"ExaBan\",\n  \
+         \"lineages\": {},\n  \"sum_answers\": {sum_answers},\n  \
+         \"count_answers\": {count_answers},\n  \"values_checked\": {checked},\n  \
+         \"agreement_rate\": {agreement_rate:.4},\n  \
+         \"bit_identical\": {bit_identical},\n  \
+         \"kind_keying_separate\": {kind_keying_separate},\n  \
+         \"count_twin_agrees\": {twin_agrees},\n  \
+         \"cache_hits\": {},\n  \"cache_insertions\": {},\n  \
+         \"wall_ms\": {wall_ms:.3}\n}}\n",
+        lineages.len(),
+        cache_stats.hits,
+        cache_stats.insertions,
+    );
+    let json_note = match std::fs::write("BENCH_aggregate.json", &json) {
+        Ok(()) => "recorded to BENCH_aggregate.json".to_owned(),
+        Err(e) => format!("could not write BENCH_aggregate.json: {e}"),
+    };
+    format!(
+        "Aggregate attribution — exact SUM/COUNT Banzhaf over a TPC-H-like \
+         workload ({} lineages, {json_note})\n{}",
+        lineages.len(),
+        table.render()
+    )
+}
+
 /// Runs the full sweep once and renders all sweep-based tables.
 pub fn run_all(config: &HarnessConfig) -> String {
     let mut out = String::new();
@@ -1702,6 +1886,8 @@ pub fn run_all(config: &HarnessConfig) -> String {
     out.push_str(&update_stream(config));
     out.push('\n');
     out.push_str(&degrade_under_pressure(config));
+    out.push('\n');
+    out.push_str(&aggregate_attribution(config));
     out
 }
 
@@ -1775,6 +1961,19 @@ mod tests {
         let requests = parsed.get("requests").unwrap().as_f64().unwrap();
         assert_eq!(parsed.get("warm_hits").unwrap().as_f64(), Some(requests), "{json}");
         assert!(parsed.get("snapshot_bytes").unwrap().as_f64().unwrap() > 0.0, "{json}");
+    }
+
+    #[test]
+    fn aggregate_attribution_agrees_with_brute_force() {
+        let report = aggregate_attribution(&tiny_config());
+        assert!(report.contains("Aggregate attribution"), "{report}");
+        let json = std::fs::read_to_string("BENCH_aggregate.json").unwrap();
+        let parsed = crate::json::Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("agreement_rate").unwrap().as_f64(), Some(1.0), "{json}");
+        assert_eq!(parsed.get("bit_identical").unwrap().as_bool(), Some(true), "{json}");
+        assert_eq!(parsed.get("kind_keying_separate").unwrap().as_bool(), Some(true), "{json}");
+        assert_eq!(parsed.get("count_twin_agrees").unwrap().as_bool(), Some(true), "{json}");
+        assert!(parsed.get("values_checked").unwrap().as_f64().unwrap() > 0.0, "{json}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod dnf;
 mod idnf;
 mod partition;
 mod var;
+mod weighted;
 
 pub use assignment::Assignment;
 pub use clause::Clause;
@@ -47,3 +48,4 @@ pub use dnf::Dnf;
 pub use idnf::{lower_bound_fn, upper_bound_fn, IdnfCounts};
 pub use partition::{common_variables, independent_components, Factored};
 pub use var::{Var, VarSet};
+pub use weighted::{AggregateKind, AggregateValue, WeightedDnf};

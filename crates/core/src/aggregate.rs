@@ -1,0 +1,287 @@
+//! Exact Banzhaf attribution for aggregate answers (COUNT/SUM/MIN/MAX).
+//!
+//! The aggregate Banzhaf value of a fact `x` generalizes Eq. (1) of the
+//! paper: it is the sum over all worlds `Y ⊆ X∖{x}` of the change in the
+//! aggregate caused by inserting `x`, `val(Y ∪ {x}) − val(Y)` (the
+//! aggregate-attribution follow-up, arXiv 2506.16923). Two exact routes,
+//! chosen by [`AggregateKind::is_linear`]:
+//!
+//! * **COUNT/SUM** are linear in their clauses: the marginal of `x` through
+//!   clause `c ∋ x` is `w_c` exactly when `c∖{x} ⊆ Y`, so
+//!   `B(x) = Σ_{c ∋ x} w_c · 2^{n−|c|}` in closed form — no d-tree needed,
+//!   which is also why linear propagation is exact here.
+//!
+//! * **MIN/MAX** are not linear; they use the **rank/threshold
+//!   decomposition**. With distinct weights `θ₁ < … < θ_k` and `φ_{≥θ}` the
+//!   Boolean sub-DNF of clauses weighing at least `θ`:
+//!
+//!   `max(Y) = θ₁·φ(Y) + Σ_{j≥2} (θ_j − θ_{j−1})·φ_{≥θ_j}(Y)`
+//!
+//!   (and dually `min(Y) = θ_k·φ(Y) − Σ_{j≥2} (θ_j − θ_{j−1})·φ_{<θ_j}(Y)`,
+//!   both with the empty-group-is-0 convention). Banzhaf is linear in the
+//!   world-value function, so the aggregate value is the same combination of
+//!   *Boolean* Banzhaf values — each computed by the existing ExaBan pass
+//!   over a compiled d-tree of the threshold sub-DNF. This is how the whole
+//!   Boolean machinery (compilation budgets, caching, parallel batches) is
+//!   reused for the non-linear aggregates.
+
+use crate::exaban::exaban_all;
+use banzhaf_arith::{Int, Natural, Rational};
+use banzhaf_boolean::{AggregateKind, Dnf, Var, WeightedDnf};
+use banzhaf_dtree::{Budget, DTree, Interrupted, PivotHeuristic};
+use std::collections::HashMap;
+
+/// Exact aggregate Banzhaf values of every universe variable.
+#[derive(Clone, Debug)]
+pub struct AggregateBanzhafResult {
+    /// The aggregate Banzhaf value of each variable (signed: MIN attribution
+    /// is negative for facts that drag the minimum down).
+    pub values: HashMap<Var, Rational>,
+    /// `Σ_Y val(Y)` over all `2^n` worlds — the aggregate analogue of the
+    /// model count.
+    pub total: Rational,
+    /// The expected aggregate over a uniformly random world, `total / 2^n`.
+    pub expected: Rational,
+}
+
+/// Work accounting for an aggregate computation (d-tree compilations of the
+/// threshold sub-DNFs; zero for the closed-form linear kinds).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AggregateCost {
+    /// Total Shannon/decomposition expansions across all compiled trees.
+    pub compile_steps: u64,
+    /// Total nodes across all compiled trees.
+    pub dtree_nodes: usize,
+}
+
+/// Computes the exact aggregate Banzhaf value of every variable of `w`.
+///
+/// The `budget` is charged for every d-tree expansion of the threshold
+/// sub-DNF compilations (MIN/MAX); the linear kinds are closed-form and only
+/// cost one budget step.
+pub fn aggregate_banzhaf_all(
+    w: &WeightedDnf,
+    heuristic: PivotHeuristic,
+    budget: &Budget,
+) -> Result<(AggregateBanzhafResult, AggregateCost), Interrupted> {
+    if w.kind().is_linear() {
+        budget.step()?;
+        Ok((linear_banzhaf_all(w), AggregateCost::default()))
+    } else {
+        threshold_banzhaf_all(w, heuristic, budget)
+    }
+}
+
+/// Closed-form SUM/COUNT attribution: `B(x) = Σ_{c ∋ x} w_c · 2^{n−|c|}` and
+/// `total = Σ_c w_c · 2^{n−|c|}`.
+fn linear_banzhaf_all(w: &WeightedDnf) -> AggregateBanzhafResult {
+    let n = w.num_vars();
+    let mut values: HashMap<Var, Rational> =
+        w.universe().iter().map(|v| (v, Rational::zero())).collect();
+    let mut total = Rational::zero();
+    for (clause, weight) in w.dnf().clauses().iter().zip(w.weights()) {
+        let contribution = weight.mul_natural(&Natural::pow2(n - clause.len()));
+        for v in clause.iter() {
+            *values.get_mut(&v).expect("clause variables are in the universe") += &contribution;
+        }
+        total += &contribution;
+    }
+    let expected = total.div_natural(&Natural::pow2(n));
+    AggregateBanzhafResult { values, total, expected }
+}
+
+/// Threshold-decomposition MIN/MAX attribution over compiled d-trees.
+fn threshold_banzhaf_all(
+    w: &WeightedDnf,
+    heuristic: PivotHeuristic,
+    budget: &Budget,
+) -> Result<(AggregateBanzhafResult, AggregateCost), Interrupted> {
+    let n = w.num_vars();
+    let mut values: HashMap<Var, Rational> =
+        w.universe().iter().map(|v| (v, Rational::zero())).collect();
+    let mut total = Rational::zero();
+    let mut cost = AggregateCost::default();
+    let thetas = w.distinct_weights();
+
+    if let Some((first, rest)) = thetas.split_first() {
+        // The base layer: the full Boolean skeleton, scaled by θ₁ (MAX) or
+        // θ_k (MIN).
+        let base = match w.kind() {
+            AggregateKind::Max => first,
+            _ => thetas.last().expect("non-empty thresholds"),
+        };
+        add_layer(&mut values, &mut total, base, w.dnf(), n, heuristic, budget, &mut cost)?;
+        // One layer per threshold step; each layer's Boolean function flips a
+        // sub-DNF of the skeleton, so every layer reuses the same machinery.
+        let mut prev = first;
+        for theta in rest {
+            let step = theta - prev;
+            let (layer, coefficient) = match w.kind() {
+                AggregateKind::Max => (w.threshold_ge(theta), step),
+                _ => (w.threshold_lt(theta), -step),
+            };
+            add_layer(
+                &mut values,
+                &mut total,
+                &coefficient,
+                &layer,
+                n,
+                heuristic,
+                budget,
+                &mut cost,
+            )?;
+            prev = theta;
+        }
+    }
+
+    let expected = total.div_natural(&Natural::pow2(n));
+    Ok((AggregateBanzhafResult { values, total, expected }, cost))
+}
+
+/// Adds `coefficient · B(x; φ)` to every variable's accumulator and
+/// `coefficient · #φ` to the running total, computing the Boolean Banzhaf
+/// values of `φ` by ExaBan over a freshly compiled d-tree.
+#[allow(clippy::too_many_arguments)]
+fn add_layer(
+    values: &mut HashMap<Var, Rational>,
+    total: &mut Rational,
+    coefficient: &Rational,
+    phi: &Dnf,
+    n: usize,
+    heuristic: PivotHeuristic,
+    budget: &Budget,
+    cost: &mut AggregateCost,
+) -> Result<(), Interrupted> {
+    if coefficient.is_zero() {
+        return Ok(());
+    }
+    if phi.is_false() {
+        return Ok(());
+    }
+    // Compile over the used variables only; Banzhaf values and counts over
+    // the full n-variable universe are the restricted ones times
+    // 2^(unused vars). Variables unused by this layer contribute nothing.
+    let restricted = phi.restrict_to_used();
+    let unused = n - restricted.num_vars();
+    let scale = Natural::pow2(unused);
+    let tree = DTree::compile_full(restricted, heuristic, budget)?;
+    cost.compile_steps += tree.expansions();
+    cost.dtree_nodes += tree.num_nodes();
+    let result = exaban_all(&tree);
+    for (v, b) in &result.values {
+        let lifted = Int::from(b.clone()).mul_natural(&scale);
+        *values.get_mut(v).expect("layer variables are in the universe") +=
+            &coefficient.mul_int(&lifted);
+    }
+    *total += &coefficient.mul_natural(&result.model_count.mul_ref(&scale));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn rat(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    fn weighted(kind: AggregateKind, clauses: Vec<(Vec<Var>, i64)>) -> WeightedDnf {
+        WeightedDnf::from_weighted_clauses(kind, clauses.into_iter().map(|(c, w)| (c, rat(w))))
+    }
+
+    fn assert_matches_brute_force(w: &WeightedDnf) {
+        let (result, _) =
+            aggregate_banzhaf_all(w, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        assert_eq!(result.total, w.brute_force_total(), "total for {w:?}");
+        for x in w.universe().iter() {
+            assert_eq!(
+                result.values[&x],
+                w.brute_force_aggregate_banzhaf(x),
+                "value of {x} for {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_kinds_match_brute_force() {
+        for kind in [AggregateKind::Count, AggregateKind::Sum] {
+            assert_matches_brute_force(&weighted(
+                kind,
+                vec![(vec![v(0), v(1)], 3), (vec![v(0), v(2)], -2), (vec![v(3)], 7)],
+            ));
+            assert_matches_brute_force(&weighted(
+                kind,
+                vec![(vec![v(0)], 1), (vec![v(0), v(1)], 1), (vec![v(1), v(2), v(3)], 5)],
+            ));
+        }
+    }
+
+    #[test]
+    fn min_max_match_brute_force() {
+        for kind in [AggregateKind::Min, AggregateKind::Max] {
+            // Distinct weights, including negatives.
+            assert_matches_brute_force(&weighted(
+                kind,
+                vec![(vec![v(0), v(1)], 3), (vec![v(0), v(2)], -2), (vec![v(3)], 7)],
+            ));
+            // Duplicate weights collapse threshold layers.
+            assert_matches_brute_force(&weighted(
+                kind,
+                vec![(vec![v(0)], 2), (vec![v(1)], 2), (vec![v(2), v(3)], 5)],
+            ));
+            // Overlapping clauses (shared variables).
+            assert_matches_brute_force(&weighted(
+                kind,
+                vec![(vec![v(0), v(1)], 1), (vec![v(1), v(2)], 4), (vec![v(2), v(0)], -3)],
+            ));
+            // A single clause.
+            assert_matches_brute_force(&weighted(kind, vec![(vec![v(0), v(1)], -9)]));
+        }
+    }
+
+    #[test]
+    fn expected_value_is_total_over_world_count() {
+        let w = weighted(AggregateKind::Sum, vec![(vec![v(0)], 4), (vec![v(1), v(2)], 8)]);
+        let (result, cost) =
+            aggregate_banzhaf_all(&w, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        // total = 4·2^2 + 8·2^1 = 32; expected = 32/8 = 4.
+        assert_eq!(result.total, rat(32));
+        assert_eq!(result.expected, rat(4));
+        // The linear route never compiles a d-tree.
+        assert_eq!(cost.compile_steps, 0);
+        assert_eq!(cost.dtree_nodes, 0);
+    }
+
+    #[test]
+    fn min_max_charge_the_budget_through_compilation() {
+        let w = weighted(
+            AggregateKind::Max,
+            vec![(vec![v(0), v(1)], 1), (vec![v(1), v(2)], 2), (vec![v(2), v(3)], 3)],
+        );
+        let (_, cost) =
+            aggregate_banzhaf_all(&w, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        assert!(cost.compile_steps > 0);
+        assert!(cost.dtree_nodes > 0);
+        // A starved budget interrupts instead of returning a wrong answer.
+        let starved =
+            aggregate_banzhaf_all(&w, PivotHeuristic::MostFrequent, &Budget::with_max_steps(1));
+        assert_eq!(starved.unwrap_err(), Interrupted);
+    }
+
+    #[test]
+    fn empty_lineage_is_all_zero() {
+        let w = WeightedDnf::from_weighted_clauses(
+            AggregateKind::Sum,
+            Vec::<(Vec<Var>, Rational)>::new(),
+        );
+        let (result, _) =
+            aggregate_banzhaf_all(&w, PivotHeuristic::MostFrequent, &Budget::unlimited()).unwrap();
+        assert!(result.values.is_empty());
+        assert!(result.total.is_zero());
+        assert!(result.expected.is_zero());
+    }
+}

@@ -60,31 +60,29 @@ impl BanzhafResult {
 /// # Panics
 /// Panics (in debug builds) if the d-tree is not complete.
 pub fn model_counts(tree: &DTree) -> Vec<Natural> {
-    let mut counts: Vec<Natural> = vec![Natural::zero(); tree.num_nodes()];
-    for id in tree.postorder() {
-        let count = match tree.node(id) {
-            Node::Leaf(dnf) => {
-                debug_assert!(
-                    dnf.is_constant() || dnf.is_single_literal().is_some(),
-                    "ExaBan requires a complete d-tree"
-                );
-                if dnf.is_false() {
-                    Natural::zero()
-                } else if dnf.is_true() {
-                    Natural::pow2(dnf.num_vars())
-                } else {
-                    // Single positive literal over a singleton universe.
-                    Natural::one()
-                }
+    // One instantiation of the generic bottom-up combine
+    // (`DTree::fold_postorder`): the Boolean counting semiring. The aggregate
+    // layer instantiates the same skeleton with weighted values.
+    tree.fold_postorder(|_, node, counts| match node {
+        Node::Leaf(dnf) => {
+            debug_assert!(
+                dnf.is_constant() || dnf.is_single_literal().is_some(),
+                "ExaBan requires a complete d-tree"
+            );
+            if dnf.is_false() {
+                Natural::zero()
+            } else if dnf.is_true() {
+                Natural::pow2(dnf.num_vars())
+            } else {
+                // Single positive literal over a singleton universe.
+                Natural::one()
             }
-            Node::PosLit(_) | Node::NegLit(_) => Natural::one(),
-            Node::Op { op, children, num_vars } => {
-                combine_counts(*op, children, *num_vars, &counts, tree)
-            }
-        };
-        counts[id.index()] = count;
-    }
-    counts
+        }
+        Node::PosLit(_) | Node::NegLit(_) => Natural::one(),
+        Node::Op { op, children, num_vars } => {
+            combine_counts(*op, children, *num_vars, counts, tree)
+        }
+    })
 }
 
 /// Combines children model counts at an inner node.

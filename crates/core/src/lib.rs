@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod adaban;
+mod aggregate;
 mod bounds;
 mod exaban;
 mod ichiban;
@@ -45,7 +46,8 @@ mod shapley;
 mod values;
 
 pub use adaban::{adaban, adaban_all, AdaBanOptions, ApproxInterval};
-pub use banzhaf_boolean::{Dnf, Var};
+pub use aggregate::{aggregate_banzhaf_all, AggregateBanzhafResult, AggregateCost};
+pub use banzhaf_boolean::{AggregateKind, AggregateValue, Dnf, Var, WeightedDnf};
 pub use banzhaf_dtree::{Budget, DTree, Interrupted, PivotHeuristic};
 pub use bounds::{bounds_for_var, BoundQuad};
 pub use exaban::{exaban_all, exaban_all_with_counts, exaban_single, model_counts, BanzhafResult};

@@ -133,6 +133,26 @@ impl DTree {
         order
     }
 
+    /// Generic bottom-up combine: evaluates `f` at every node in post-order
+    /// and returns the per-node values indexed by [`NodeId::index`].
+    ///
+    /// The closure receives the node id, the node itself, and the slice of
+    /// values computed so far — children are always finished before their
+    /// parent, so `values[child.index()]` is valid inside `f`. This is the
+    /// propagation skeleton shared by model counting and the aggregate-valued
+    /// passes: the semiring (counts, weighted sums, min/max with ±∞
+    /// identities) lives entirely in the closure.
+    pub fn fold_postorder<T: Clone + Default>(
+        &self,
+        mut f: impl FnMut(NodeId, &Node, &[T]) -> T,
+    ) -> Vec<T> {
+        let mut values = vec![T::default(); self.num_nodes()];
+        for id in self.postorder() {
+            values[id.index()] = f(id, self.node(id), &values);
+        }
+        values
+    }
+
     /// Nodes in pre-order (parents before children), computed iteratively.
     pub fn preorder(&self) -> Vec<NodeId> {
         let mut order = Vec::with_capacity(self.nodes.len());

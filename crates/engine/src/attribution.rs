@@ -2,7 +2,8 @@
 
 use crate::config::Algorithm;
 use banzhaf::{ApproxInterval, ShapleyValue};
-use banzhaf_arith::Natural;
+use banzhaf_arith::{Natural, Rational};
+use banzhaf_boolean::AggregateKind;
 use banzhaf_boolean::Var;
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -15,6 +16,9 @@ use std::time::Duration;
 pub enum Score {
     /// An exact Banzhaf value (ExaBan, Sig22, AdaBan with ε = 0).
     Exact(Natural),
+    /// An exact *aggregate* Banzhaf value — a signed rational, since SUM
+    /// weights are arbitrary and MIN attribution can be negative.
+    Rational(Rational),
     /// A certified interval containing the exact value (AdaBan, IchiBan).
     Interval(ApproxInterval),
     /// A point estimate with no deterministic guarantee (MC, CNF proxy).
@@ -27,13 +31,15 @@ impl Score {
     pub fn point(&self) -> f64 {
         match self {
             Score::Exact(b) => b.to_f64(),
+            Score::Rational(r) => r.to_f64(),
             Score::Interval(i) => i.midpoint(),
             Score::Estimate(e) => *e,
         }
     }
 
     /// The exact value, if this score certifies one (an [`Score::Exact`]
-    /// value or a single-point interval).
+    /// value or a single-point interval). Exact aggregate scores are rational
+    /// and surface through [`Score::exact_rational`] instead.
     pub fn exact(&self) -> Option<Natural> {
         match self {
             Score::Exact(b) => Some(b.clone()),
@@ -42,12 +48,27 @@ impl Score {
         }
     }
 
+    /// The exact value as a signed rational, if this score certifies one —
+    /// the common exact view across Boolean and aggregate attributions.
+    pub fn exact_rational(&self) -> Option<Rational> {
+        match self {
+            Score::Rational(r) => Some(r.clone()),
+            _ => self.exact().map(|b| Rational::from(&b)),
+        }
+    }
+
+    /// `true` iff this score certifies an exact value (Boolean or aggregate).
+    pub fn is_exact(&self) -> bool {
+        self.exact_rational().is_some()
+    }
+
     /// Compares two scores for ranking purposes: exact values compare
     /// precisely (no `f64` round-off on huge values), everything else falls
     /// back to the point value.
     pub fn cmp_points(&self, other: &Score) -> Ordering {
         match (self, other) {
             (Score::Exact(a), Score::Exact(b)) => a.cmp(b),
+            (Score::Rational(a), Score::Rational(b)) => a.cmp(b),
             _ => self.point().partial_cmp(&other.point()).unwrap_or(Ordering::Equal),
         }
     }
@@ -128,6 +149,12 @@ pub struct Attribution {
     pub model_count: Option<Natural>,
     /// Exact Shapley values, when requested from an exact backend.
     pub shapley: Option<HashMap<Var, ShapleyValue>>,
+    /// The aggregate this attribution explains, when the lineage was a
+    /// weighted aggregate lineage rather than a Boolean answer.
+    pub aggregate: Option<AggregateKind>,
+    /// `Σ_Y val(Y)` over all worlds — the aggregate analogue of the model
+    /// count, reported by the exact aggregate backends.
+    pub aggregate_total: Option<Rational>,
     /// Instrumentation for this attribution.
     pub stats: EngineStats,
     /// `Some` iff this result came from a fallback rung rather than the
@@ -167,7 +194,7 @@ impl Attribution {
 
     /// `true` iff every score is certified exact.
     pub fn is_exact(&self) -> bool {
-        self.values.values().all(|s| s.exact().is_some())
+        self.values.values().all(Score::is_exact)
     }
 }
 
@@ -198,6 +225,8 @@ mod tests {
             values: pairs.iter().map(|&(i, b)| (v(i), Score::Exact(Natural::from(b)))).collect(),
             model_count: None,
             shapley: None,
+            aggregate: None,
+            aggregate_total: None,
             stats: EngineStats::default(),
             degradation: None,
         }
@@ -227,6 +256,28 @@ mod tests {
         let estimate = Score::Estimate(1.5);
         assert!(estimate.exact().is_none());
         assert_eq!(exact.cmp_points(&estimate), Ordering::Greater);
+        // Aggregate scores are exact rationals: no `Natural` view, but the
+        // exact-rational view and the precise comparison both see them.
+        let rational =
+            Score::Rational(Rational::new(banzhaf_arith::Int::from(-3i64), Natural::from(2u64)));
+        assert!(rational.exact().is_none());
+        assert!(rational.is_exact());
+        assert_eq!(rational.point(), -1.5);
+        assert_eq!(rational.exact_rational().unwrap().to_f64(), -1.5);
+        assert_eq!(exact.exact_rational().unwrap().to_f64(), 4.0);
+        let larger = Score::Rational(Rational::from(1i64));
+        assert_eq!(rational.cmp_points(&larger), Ordering::Less);
+    }
+
+    #[test]
+    fn rational_scores_keep_the_attribution_exact() {
+        let mut att = exact_attribution(&[(0, 3)]);
+        att.values.insert(v(1), Score::Rational(Rational::from(-2i64)));
+        att.aggregate = Some(AggregateKind::Sum);
+        assert!(att.is_exact());
+        assert!(att.exact_values().is_none(), "a rational score has no Natural view");
+        let order: Vec<Var> = att.ranking().into_iter().map(|(x, _)| x).collect();
+        assert_eq!(order, vec![v(0), v(1)]);
     }
 
     #[test]

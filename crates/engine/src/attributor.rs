@@ -2,13 +2,15 @@
 
 use crate::attribution::{Attribution, EngineStats, Ranked, Score};
 use banzhaf::{
-    adaban, adaban_all, exaban_all, exaban_all_with_counts, ichiban_rank, ichiban_topk,
-    model_counts, shapley_all, AdaBanOptions, ApproxInterval, Budget, DTree, IchiBanOptions,
-    Interrupted, PivotHeuristic,
+    adaban, adaban_all, aggregate_banzhaf_all, exaban_all, exaban_all_with_counts, ichiban_rank,
+    ichiban_topk, model_counts, shapley_all, AdaBanOptions, ApproxInterval, Budget, DTree,
+    IchiBanOptions, Interrupted, PivotHeuristic,
 };
 use banzhaf_arith::Natural;
-use banzhaf_baselines::{cnf_proxy, mc_banzhaf_par, sig22_exact, McOptions};
-use banzhaf_boolean::{Dnf, Var};
+use banzhaf_baselines::{
+    cnf_proxy, mc_aggregate_banzhaf_par, mc_banzhaf_par, sig22_exact, McOptions,
+};
+use banzhaf_boolean::{Dnf, Var, WeightedDnf};
 use banzhaf_par::{seed, ThreadPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -49,6 +51,39 @@ pub trait Attributor: Send + Sync {
     ) -> Result<Attribution, Interrupted> {
         let _ = stream;
         self.attribute(lineage, deadline)
+    }
+
+    /// Computes attribution scores for an *aggregate* answer: a weighted
+    /// lineage whose clauses carry the numeric contribution of their
+    /// grounding, under the lineage's own [`banzhaf_boolean::AggregateKind`].
+    ///
+    /// Only backends whose registry descriptor declares
+    /// [`crate::Backend::aggregates`] implement this; the session consults the
+    /// registry before dispatching, so the default is an unambiguous
+    /// programming-error panic rather than a silent Boolean fallback.
+    fn attribute_aggregate(
+        &self,
+        lineage: &WeightedDnf,
+        deadline: &Budget,
+    ) -> Result<Attribution, Interrupted> {
+        let _ = (lineage, deadline);
+        panic!(
+            "{} does not support aggregate lineages; consult the backend registry's \
+             `aggregates` capability before dispatching",
+            self.name()
+        )
+    }
+
+    /// [`Attributor::attribute_aggregate`] with an explicit sample-stream
+    /// index — same contract as [`Attributor::attribute_indexed`].
+    fn attribute_aggregate_indexed(
+        &self,
+        lineage: &WeightedDnf,
+        stream: u64,
+        deadline: &Budget,
+    ) -> Result<Attribution, Interrupted> {
+        let _ = stream;
+        self.attribute_aggregate(lineage, deadline)
     }
 
     /// Computes the score of a single fact. The default extracts it from a
@@ -118,10 +153,39 @@ impl Attributor for ExaBanAttributor {
             values: result.values.into_iter().map(|(v, b)| (v, Score::Exact(b))).collect(),
             model_count: Some(result.model_count),
             shapley,
+            aggregate: None,
+            aggregate_total: None,
             degradation: None,
             stats: EngineStats {
                 compile_steps: tree.expansions(),
                 dtree_nodes: tree.num_nodes(),
+                wall: start.elapsed(),
+                ..EngineStats::default()
+            },
+        })
+    }
+
+    fn attribute_aggregate(
+        &self,
+        lineage: &WeightedDnf,
+        deadline: &Budget,
+    ) -> Result<Attribution, Interrupted> {
+        let start = Instant::now();
+        // COUNT/SUM resolve in closed form; MIN/MAX run the rank/threshold
+        // decomposition, one ExaBan pass per threshold layer (see
+        // `banzhaf::aggregate_banzhaf_all`).
+        let (result, cost) = aggregate_banzhaf_all(lineage, self.heuristic, deadline)?;
+        Ok(Attribution {
+            algorithm: self.name(),
+            values: result.values.into_iter().map(|(v, r)| (v, Score::Rational(r))).collect(),
+            model_count: None,
+            shapley: None,
+            aggregate: Some(lineage.kind()),
+            aggregate_total: Some(result.total),
+            degradation: None,
+            stats: EngineStats {
+                compile_steps: cost.compile_steps,
+                dtree_nodes: cost.dtree_nodes,
                 wall: start.elapsed(),
                 ..EngineStats::default()
             },
@@ -171,6 +235,8 @@ impl Attributor for AdaBanAttributor {
             values,
             model_count,
             shapley: None,
+            aggregate: None,
+            aggregate_total: None,
             degradation: None,
             stats: EngineStats {
                 compile_steps: tree.expansions(),
@@ -215,6 +281,8 @@ impl Attributor for IchiBanAttributor {
             values,
             model_count: None,
             shapley: None,
+            aggregate: None,
+            aggregate_total: None,
             degradation: None,
             stats: EngineStats {
                 compile_steps: tree.expansions(),
@@ -275,6 +343,8 @@ impl Attributor for Sig22Attributor {
             values: result.values.into_iter().map(|(v, b)| (v, Score::Exact(b))).collect(),
             model_count: Some(result.model_count),
             shapley: None,
+            aggregate: None,
+            aggregate_total: None,
             degradation: None,
             stats: EngineStats {
                 compile_steps: result.nodes_explored,
@@ -346,6 +416,39 @@ impl Attributor for MonteCarloAttributor {
             values: estimates.into_iter().map(|(v, e)| (v, Score::Estimate(e))).collect(),
             model_count: None,
             shapley: None,
+            aggregate: None,
+            aggregate_total: None,
+            degradation: None,
+            stats: EngineStats { wall: start.elapsed(), ..EngineStats::default() },
+        })
+    }
+
+    fn attribute_aggregate(
+        &self,
+        lineage: &WeightedDnf,
+        deadline: &Budget,
+    ) -> Result<Attribution, Interrupted> {
+        let stream = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        self.attribute_aggregate_indexed(lineage, stream, deadline)
+    }
+
+    fn attribute_aggregate_indexed(
+        &self,
+        lineage: &WeightedDnf,
+        stream: u64,
+        deadline: &Budget,
+    ) -> Result<Attribution, Interrupted> {
+        let start = Instant::now();
+        let stream_seed = seed::derive(self.seed, stream);
+        let estimates =
+            mc_aggregate_banzhaf_par(lineage, &self.options, stream_seed, deadline, &self.pool)?;
+        Ok(Attribution {
+            algorithm: self.name(),
+            values: estimates.into_iter().map(|(v, e)| (v, Score::Estimate(e))).collect(),
+            model_count: None,
+            shapley: None,
+            aggregate: Some(lineage.kind()),
+            aggregate_total: None,
             degradation: None,
             stats: EngineStats { wall: start.elapsed(), ..EngineStats::default() },
         })
@@ -370,6 +473,8 @@ impl Attributor for CnfProxyAttributor {
             values: scores.into_iter().map(|(v, e)| (v, Score::Estimate(e))).collect(),
             model_count: None,
             shapley: None,
+            aggregate: None,
+            aggregate_total: None,
             degradation: None,
             stats: EngineStats { wall: start.elapsed(), ..EngineStats::default() },
         })
@@ -521,5 +626,58 @@ mod tests {
             let result = attributor.attribute(&phi, &Budget::with_max_steps(1));
             assert_eq!(result.unwrap_err(), Interrupted, "{algorithm}");
         }
+    }
+
+    fn example_weighted(kind: banzhaf_boolean::AggregateKind) -> WeightedDnf {
+        use banzhaf_arith::Rational;
+        WeightedDnf::from_weighted_clauses(
+            kind,
+            vec![
+                (vec![v(0), v(1)], Rational::from(3i64)),
+                (vec![v(0), v(2)], Rational::from(-2i64)),
+                (vec![v(3)], Rational::from(7i64)),
+            ],
+        )
+    }
+
+    #[test]
+    fn exaban_aggregate_matches_brute_force_for_every_kind() {
+        use banzhaf_boolean::AggregateKind;
+        for kind in AggregateKind::ALL {
+            let w = example_weighted(kind);
+            let attributor = EngineConfig::new(Algorithm::ExaBan).attributor();
+            let att = attributor.attribute_aggregate(&w, &Budget::unlimited()).unwrap();
+            assert!(att.is_exact(), "{kind}");
+            assert_eq!(att.aggregate, Some(kind));
+            assert_eq!(att.aggregate_total.as_ref(), Some(&w.brute_force_total()), "{kind}");
+            for x in w.universe().iter() {
+                assert_eq!(
+                    att.value(x).unwrap().exact_rational().unwrap(),
+                    w.brute_force_aggregate_banzhaf(x),
+                    "{kind} {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mc_aggregate_is_deterministic_given_seed_and_stream() {
+        use banzhaf_boolean::AggregateKind;
+        let w = example_weighted(AggregateKind::Sum);
+        let a = EngineConfig::new(Algorithm::MonteCarlo).with_seed(9).attributor();
+        let b = EngineConfig::new(Algorithm::MonteCarlo).with_seed(9).attributor();
+        let ea = a.attribute_aggregate_indexed(&w, 0, &Budget::unlimited()).unwrap();
+        let eb = b.attribute_aggregate_indexed(&w, 0, &Budget::unlimited()).unwrap();
+        assert_eq!(ea.estimates(), eb.estimates());
+        assert_eq!(ea.aggregate, Some(AggregateKind::Sum));
+        assert!(ea.aggregate_total.is_none(), "estimates certify no exact total");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support aggregate lineages")]
+    fn non_aggregate_backend_panics_on_aggregate_dispatch() {
+        let w = example_weighted(banzhaf_boolean::AggregateKind::Count);
+        let attributor = EngineConfig::new(Algorithm::Sig22).attributor();
+        let _ = attributor.attribute_aggregate(&w, &Budget::unlimited());
     }
 }

@@ -42,13 +42,17 @@
 //! * **Counters** ([`CacheStats`]): hits, misses, insertions, evictions and
 //!   the canonicalization work (`canon_steps`, `canon_searches`,
 //!   `prekey_skips`) are tracked under one lock and surfaced through
-//!   [`crate::Engine::cache_stats`] (and the serving layer's stats).
+//!   [`crate::Engine::stats`] (and the serving layer's stats).
 
 use crate::attribution::{Attribution, Score};
-use crate::canon::{canonical_form, canonical_form_budgeted, fingerprint, Fingerprint};
+use crate::canon::{
+    canonical_form_classed, canonical_form_classed_budgeted, fingerprint, weighted_payload,
+    Fingerprint,
+};
 use crate::persist::SnapshotError;
 use banzhaf::{Budget, Interrupted};
-use banzhaf_boolean::{Dnf, Var, VarSet};
+use banzhaf_arith::Rational;
+use banzhaf_boolean::{AggregateKind, Dnf, Var, VarSet, WeightedDnf};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -73,6 +77,23 @@ use std::sync::{Arc, Mutex};
 pub(crate) struct CanonicalKey {
     pub(crate) num_vars: usize,
     pub(crate) clauses: Vec<Vec<u32>>,
+    /// The aggregate payload, `None` for Boolean lineages. Weights are
+    /// aligned with `clauses` (the canonical clause order), so two weighted
+    /// lineages key equal iff some variable bijection matches clauses *and*
+    /// their weights *and* the aggregate kind — a `SUM` lineage never serves
+    /// a `COUNT` hit, and equal Boolean skeletons with different weights key
+    /// apart.
+    pub(crate) payload: Option<WeightedInfo>,
+}
+
+/// What distinguishes a weighted aggregate lineage from its Boolean
+/// skeleton: the aggregate kind plus the per-clause weights. Attached as the
+/// `payload` of [`Shape`] (dense clause order) and [`CanonicalKey`]
+/// (canonical clause order).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct WeightedInfo {
+    pub(crate) kind: AggregateKind,
+    pub(crate) weights: Vec<Rational>,
 }
 
 /// A lineage in dense first-occurrence presentation: variables renamed to
@@ -84,16 +105,21 @@ pub(crate) struct CanonicalKey {
 pub(crate) struct Shape {
     pub(crate) num_vars: usize,
     pub(crate) clauses: Vec<Vec<u32>>,
+    /// The aggregate payload, `None` for Boolean lineages; weights aligned
+    /// with `clauses` (the dense presentation).
+    pub(crate) payload: Option<WeightedInfo>,
 }
 
 impl Shape {
     /// Runs the individualization search on this presentation. Returns the
     /// canonical renaming and the refinement steps it cost.
     pub(crate) fn canonicalize(&self) -> (CanonInfo, u64) {
-        let form = canonical_form(self.num_vars, &self.clauses);
+        let classes = self.weight_classes();
+        let form = canonical_form_classed(self.num_vars, &self.clauses, classes.as_deref());
+        let payload = self.canonical_payload(&form.order, &form.clauses);
         (
             CanonInfo {
-                key: CanonicalKey { num_vars: self.num_vars, clauses: form.clauses },
+                key: CanonicalKey { num_vars: self.num_vars, clauses: form.clauses, payload },
                 order: form.order,
             },
             form.steps,
@@ -107,14 +133,84 @@ impl Shape {
         &self,
         budget: &Budget,
     ) -> Result<(CanonInfo, u64), Interrupted> {
-        let form = canonical_form_budgeted(self.num_vars, &self.clauses, budget)?;
+        let classes = self.weight_classes();
+        let form = canonical_form_classed_budgeted(
+            self.num_vars,
+            &self.clauses,
+            classes.as_deref(),
+            budget,
+        )?;
+        let payload = self.canonical_payload(&form.order, &form.clauses);
         Ok((
             CanonInfo {
-                key: CanonicalKey { num_vars: self.num_vars, clauses: form.clauses },
+                key: CanonicalKey { num_vars: self.num_vars, clauses: form.clauses, payload },
                 order: form.order,
             },
             form.steps,
         ))
+    }
+
+    /// Per-clause class labels for the canonical search: the rank of each
+    /// clause's weight among the shape's sorted distinct weights. Ranks are
+    /// isomorphism-invariant (a weighted bijection carries each clause's
+    /// weight along, and both sides rank the same weight multiset), and they
+    /// make the canonical witness *weight-aware*: without them a symmetric
+    /// Boolean skeleton — the 3-path, say — lets the search pick either of
+    /// two automorphic witnesses, landing the weights of two isomorphic
+    /// weighted lineages in different canonical orders and splitting one
+    /// isomorphism class across two keys. `None` for Boolean shapes.
+    fn weight_classes(&self) -> Option<Vec<u32>> {
+        let payload = self.payload.as_ref()?;
+        let mut distinct: Vec<&Rational> = payload.weights.iter().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        Some(
+            payload
+                .weights
+                .iter()
+                .map(|w| {
+                    distinct.binary_search(&w).expect("every weight ranks in the distinct list")
+                        as u32
+                })
+                .collect(),
+        )
+    }
+
+    /// Permutes the shape's clause weights into the canonical clause order —
+    /// the weights of [`CanonicalKey::payload`]. Renames each dense clause
+    /// through the inverse of the canonical witness, sorts the (clause,
+    /// weight) pairs by clause; the weighted clauses are distinct (the
+    /// lineage merged duplicates), so the permutation is unambiguous and the
+    /// resulting clause list is exactly the canonical one.
+    fn canonical_payload(
+        &self,
+        order: &[u32],
+        canonical_clauses: &[Vec<u32>],
+    ) -> Option<WeightedInfo> {
+        let payload = self.payload.as_ref()?;
+        let mut inv = vec![0u32; order.len()];
+        for (i, &dense) in order.iter().enumerate() {
+            inv[dense as usize] = i as u32;
+        }
+        let mut pairs: Vec<(Vec<u32>, &Rational)> = self
+            .clauses
+            .iter()
+            .zip(&payload.weights)
+            .map(|(c, w)| {
+                let mut clause: Vec<u32> = c.iter().map(|&v| inv[v as usize]).collect();
+                clause.sort_unstable();
+                (clause, w)
+            })
+            .collect();
+        pairs.sort_by(|(a, _), (b, _)| a.cmp(b));
+        debug_assert!(
+            pairs.iter().map(|(c, _)| c).eq(canonical_clauses.iter()),
+            "renaming the clauses through the witness must reproduce the canonical form"
+        );
+        Some(WeightedInfo {
+            kind: payload.kind,
+            weights: pairs.into_iter().map(|(_, w)| w.clone()).collect(),
+        })
     }
 }
 
@@ -138,6 +234,9 @@ pub(crate) struct Prekeyed {
     /// run; results are renamed back to the original facts via
     /// [`Prekeyed::map_back`].
     pub(crate) dnf: Dnf,
+    /// For aggregate lookups ([`Prekeyed::of_weighted`]): the dense weighted
+    /// lineage the backends run, `None` for Boolean lookups.
+    pub(crate) weighted: Option<WeightedDnf>,
     /// Dense variable → original fact.
     originals: Vec<Var>,
 }
@@ -177,9 +276,68 @@ impl Prekeyed {
         );
         Prekeyed {
             fingerprint: fingerprint(num_vars, &clauses),
-            shape: Arc::new(Shape { num_vars, clauses }),
+            shape: Arc::new(Shape { num_vars, clauses, payload: None }),
             dnf,
+            weighted: None,
             originals,
+        }
+    }
+
+    /// [`Prekeyed::of`] for a weighted aggregate lineage: the Boolean
+    /// skeleton is densely renamed exactly as for a Boolean lookup, the
+    /// weights follow their clauses through the rename, and the fingerprint
+    /// gains the renaming-invariant aggregate payload digest — so weighted
+    /// lookups never even share a bucket with Boolean ones (or with a
+    /// different kind or weight multiset).
+    pub(crate) fn of_weighted(lineage: &WeightedDnf) -> Prekeyed {
+        let base = Prekeyed::of(lineage.dnf());
+        // The weighted clauses are distinct (duplicates were merged at
+        // construction), so a sorted-variable-list lookup recovers each dense
+        // clause's weight unambiguously.
+        let by_clause: HashMap<Vec<Var>, &Rational> = lineage
+            .dnf()
+            .clauses()
+            .iter()
+            .zip(lineage.weights())
+            .map(|(c, w)| {
+                let mut vars = c.vars().to_vec();
+                vars.sort_unstable();
+                (vars, w)
+            })
+            .collect();
+        let weights: Vec<Rational> = base
+            .shape
+            .clauses
+            .iter()
+            .map(|c| {
+                let mut vars: Vec<Var> = c.iter().map(|&i| base.originals[i as usize]).collect();
+                vars.sort_unstable();
+                by_clause[&vars].clone()
+            })
+            .collect();
+        let kind = lineage.kind();
+        let fingerprint =
+            base.fingerprint.with_payload(weighted_payload(kind, &base.shape.clauses, &weights));
+        let weighted = WeightedDnf::from_weighted_clauses(
+            kind,
+            base.shape
+                .clauses
+                .iter()
+                .zip(&weights)
+                .map(|(c, w)| (c.iter().map(|&i| Var(i)).collect::<Vec<Var>>(), w.clone())),
+        )
+        .widen_universe(base.dnf.universe().clone());
+        let shape = Arc::new(Shape {
+            num_vars: base.shape.num_vars,
+            clauses: base.shape.clauses.clone(),
+            payload: Some(WeightedInfo { kind, weights }),
+        });
+        Prekeyed {
+            fingerprint,
+            shape,
+            dnf: base.dnf,
+            weighted: Some(weighted),
+            originals: base.originals,
         }
     }
 
@@ -217,6 +375,8 @@ impl Prekeyed {
             values,
             model_count: dense.model_count.clone(),
             shapley,
+            aggregate: dense.aggregate,
+            aggregate_total: dense.aggregate_total.clone(),
             stats: dense.stats,
             degradation: dense.degradation,
         }
@@ -633,6 +793,12 @@ impl SharedCache {
         let mut ids: Vec<u64> = inner.entries.keys().copied().collect();
         ids.sort_unstable();
         ids.iter()
+            .filter(|id| {
+                // Weighted aggregate entries stay in memory only: the
+                // snapshot format (VERSION 1) persists Boolean shapes, whose
+                // fingerprint payload is always zero, and stays stable.
+                inner.entries[id].shape.payload.is_none()
+            })
             .map(|id| {
                 let entry = &inner.entries[id];
                 SnapshotEntry {
@@ -797,7 +963,7 @@ impl ShardedCache {
     /// the shard count. Deterministic across processes and runs — the fleet
     /// partition function.
     pub(crate) fn shard_index(&self, fp: Fingerprint) -> usize {
-        let (num_vars, num_clauses, widths, degrees) = fp.raw_parts();
+        let (num_vars, num_clauses, widths, degrees, payload) = fp.raw_parts();
         let mut hash = 0xcbf2_9ce4_8422_2325_u64;
         let mut eat = |bytes: &[u8]| {
             for &byte in bytes {
@@ -809,6 +975,7 @@ impl ShardedCache {
         eat(&num_clauses.to_le_bytes());
         eat(&widths.to_le_bytes());
         eat(&degrees.to_le_bytes());
+        eat(&payload.to_le_bytes());
         (hash % self.shards.len() as u64) as usize
     }
 
@@ -970,6 +1137,8 @@ mod tests {
             values: [(v(0), Score::Exact(Natural::from(tag)))].into_iter().collect(),
             model_count: None,
             shapley: None,
+            aggregate: None,
+            aggregate_total: None,
             stats: EngineStats::default(),
             degradation: None,
         })
@@ -1023,6 +1192,8 @@ mod tests {
             values,
             model_count: None,
             shapley: None,
+            aggregate: None,
+            aggregate_total: None,
             stats: EngineStats::default(),
             degradation: None,
         })
@@ -1328,5 +1499,120 @@ mod tests {
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.insertions, 1);
+    }
+
+    fn weighted_of(kind: AggregateKind, clauses: Vec<(Vec<u32>, i64)>) -> Prekeyed {
+        let lineage = WeightedDnf::from_weighted_clauses(
+            kind,
+            clauses
+                .into_iter()
+                .map(|(c, w)| (c.into_iter().map(Var).collect::<Vec<Var>>(), Rational::from(w))),
+        );
+        Prekeyed::of_weighted(&lineage)
+    }
+
+    #[test]
+    fn weighted_lineages_key_apart_from_their_boolean_skeleton() {
+        let boolean = prekeyed_of(vec![vec![0, 1], vec![1, 2]]);
+        let weighted = weighted_of(AggregateKind::Sum, vec![(vec![0, 1], 3), (vec![1, 2], 5)]);
+        // Even the cheap pre-key separates them: Boolean payload is 0,
+        // weighted payloads never are.
+        assert_ne!(boolean.fingerprint, weighted.fingerprint);
+        let cache = SharedCache::new(8);
+        insert(&cache, &boolean, 1);
+        assert!(probe(&cache, &weighted).is_none(), "weighted probe must not hit a Boolean entry");
+        insert(&cache, &weighted, 2);
+        assert_eq!(cache.stats().entries, 2);
+        assert!(probe(&cache, &boolean).is_some());
+        assert!(probe(&cache, &weighted).is_some());
+    }
+
+    #[test]
+    fn different_kinds_or_weights_occupy_separate_entries() {
+        let sum = weighted_of(AggregateKind::Sum, vec![(vec![0, 1], 3), (vec![1, 2], 5)]);
+        let count = weighted_of(AggregateKind::Count, vec![(vec![0, 1], 3), (vec![1, 2], 5)]);
+        let other = weighted_of(AggregateKind::Sum, vec![(vec![0, 1], 3), (vec![1, 2], 7)]);
+        assert_ne!(sum.fingerprint, count.fingerprint, "kind is part of the pre-key");
+        assert_ne!(sum.fingerprint, other.fingerprint, "weights are part of the pre-key");
+        let cache = SharedCache::new(8);
+        insert(&cache, &sum, 1);
+        assert!(probe(&cache, &count).is_none(), "a SUM lineage never serves a COUNT hit");
+        assert!(probe(&cache, &other).is_none(), "different weights never share a hit");
+        insert(&cache, &count, 2);
+        insert(&cache, &other, 3);
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn isomorphic_weighted_lineages_share_one_entry() {
+        // The same weighted 3-path under two labellings — the weight must
+        // follow its clause through the renaming for the keys to agree.
+        let a = weighted_of(AggregateKind::Max, vec![(vec![0, 1], 2), (vec![1, 2], 9)]);
+        let b = weighted_of(AggregateKind::Max, vec![(vec![7, 3], 9), (vec![3, 9], 2)]);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.shape.canonicalize().0.key, b.shape.canonicalize().0.key);
+        let cache = SharedCache::new(8);
+        insert(&cache, &a, 1);
+        assert!(probe(&cache, &b).is_some(), "isomorphic weighted lineages share an entry");
+        // Swapping the two weights *also* shares the entry — the 3-path's
+        // reflection is a genuine weighted isomorphism carrying each weight
+        // to its clause's image, so the swap is a relabelling in disguise.
+        let swapped = weighted_of(AggregateKind::Max, vec![(vec![0, 1], 9), (vec![1, 2], 2)]);
+        assert_eq!(a.shape.canonicalize().0.key, swapped.shape.canonicalize().0.key);
+        assert!(probe(&cache, &swapped).is_some(), "the reflected 3-path is the same function");
+        // On a skeleton whose automorphisms can NOT realize the move — the
+        // 4-path, whose only symmetry is the reflection fixing the middle —
+        // shifting the odd weight from the middle clause to an end clause
+        // is a different weighted function and must key apart. The pre-key
+        // cannot see the difference (equal width, degree, and
+        // (width, weight) multisets), so this resolves at the canonical key.
+        let middle = weighted_of(
+            AggregateKind::Max,
+            vec![(vec![0, 1], 2), (vec![1, 2], 9), (vec![2, 3], 2)],
+        );
+        let end = weighted_of(
+            AggregateKind::Max,
+            vec![(vec![0, 1], 9), (vec![1, 2], 2), (vec![2, 3], 2)],
+        );
+        assert_eq!(middle.fingerprint, end.fingerprint);
+        assert_ne!(middle.shape.canonicalize().0.key, end.shape.canonicalize().0.key);
+        insert(&cache, &middle, 2);
+        assert!(probe(&cache, &end).is_none(), "weight placement distinguishes entries");
+    }
+
+    #[test]
+    fn weighted_entries_stay_out_of_snapshots() {
+        let cache = SharedCache::new(8);
+        let boolean = prekeyed_of(vec![vec![0, 1]]);
+        let weighted = weighted_of(AggregateKind::Count, vec![(vec![0, 1], 1)]);
+        insert(&cache, &boolean, 1);
+        insert(&cache, &weighted, 2);
+        let exported = cache.export_entries();
+        assert_eq!(exported.len(), 1, "only the Boolean entry is persisted");
+        assert!(exported[0].shape.payload.is_none());
+    }
+
+    #[test]
+    fn dense_weighted_lineage_preserves_the_aggregate() {
+        // The backend runs the dense weighted presentation; its Banzhaf
+        // values must be those of the original modulo renaming.
+        let lineage = WeightedDnf::from_weighted_clauses(
+            AggregateKind::Sum,
+            vec![
+                (vec![Var(7), Var(2)], Rational::from(3i64)),
+                (vec![Var(2), Var(5)], Rational::from(5i64)),
+            ],
+        );
+        let prekeyed = Prekeyed::of_weighted(&lineage);
+        let dense = prekeyed.weighted.as_ref().expect("weighted lookup keeps the dense lineage");
+        assert_eq!(dense.kind(), AggregateKind::Sum);
+        assert_eq!(dense.num_vars(), lineage.num_vars());
+        for (dense_var, original_var) in prekeyed.originals.iter().enumerate() {
+            assert_eq!(
+                dense.brute_force_aggregate_banzhaf(Var(dense_var as u32)),
+                lineage.brute_force_aggregate_banzhaf(*original_var),
+                "dense renaming must preserve per-fact aggregate Banzhaf values"
+            );
+        }
     }
 }

@@ -71,6 +71,8 @@
 //! *second* distinct shape shows up under the same fingerprint.
 
 use banzhaf::{Budget, Interrupted};
+use banzhaf_arith::Rational;
+use banzhaf_boolean::AggregateKind;
 
 /// The canonical form of a lineage presented as dense clause lists.
 pub(crate) struct CanonicalForm {
@@ -91,12 +93,34 @@ const MAX_LEAVES: usize = 512;
 /// Computes the canonical form of `clauses` over variables `0..num_vars`
 /// (variables beyond the clauses' support are degree-0 universe padding and
 /// are appended after the used variables in input order — no clause mentions
-/// them, so the key does not depend on their order).
+/// them, so the key does not depend on their order). Production callers go
+/// through [`canonical_form_classed`] (the cache derives clause classes from
+/// the shape's payload); this unclassed spelling serves the oracle proptests.
+#[cfg(test)]
 pub(crate) fn canonical_form(num_vars: usize, clauses: &[Vec<u32>]) -> CanonicalForm {
-    let mut searcher = Searcher::new(num_vars, clauses);
+    canonical_form_classed(num_vars, clauses, None)
+}
+
+/// [`canonical_form`] over a *clause-classed* lineage: `classes[c]` is an
+/// isomorphism-invariant label of clause `c` (weighted lineages label each
+/// clause by the rank of its weight, see `cache::Shape::canonicalize`). The
+/// labels join the clause nodes' initial colours, so refinement separates
+/// clauses of different classes and only class-preserving renamings count as
+/// automorphisms; the candidate leaves are ordered by `(renamed clause list,
+/// induced class sequence)`, so two weighted-isomorphic lineages pick the
+/// same witness even when the Boolean skeleton alone has automorphisms that
+/// permute differently-weighted clauses (the 3-path with distinct end-clause
+/// weights is the motivating case). With `classes: None` — or all labels
+/// equal — every choice reduces to the unclassed search, bit-identically.
+pub(crate) fn canonical_form_classed(
+    num_vars: usize,
+    clauses: &[Vec<u32>],
+    classes: Option<&[u32]>,
+) -> CanonicalForm {
+    let mut searcher = Searcher::new(num_vars, clauses, classes);
     let initial = searcher.initial_colouring();
     searcher.search(initial);
-    let (order, canonical_clauses) =
+    let (order, canonical_clauses, _) =
         searcher.best.expect("the search visits at least one discrete leaf");
     CanonicalForm { order, clauses: canonical_clauses, steps: searcher.steps }
 }
@@ -108,12 +132,24 @@ pub(crate) fn canonical_form(num_vars: usize, clauses: &[Vec<u32>]) -> Canonical
 /// budget the result — form, witness order, and step count — is bit-identical
 /// to the unbudgeted path; on exhaustion the caller gets `Err` and treats the
 /// shape as unkeyable (a cache miss, never a wrong key).
+#[cfg(test)]
 pub(crate) fn canonical_form_budgeted(
     num_vars: usize,
     clauses: &[Vec<u32>],
     budget: &Budget,
 ) -> Result<CanonicalForm, Interrupted> {
-    let mut searcher = Searcher::new(num_vars, clauses);
+    canonical_form_classed_budgeted(num_vars, clauses, None, budget)
+}
+
+/// [`canonical_form_classed`] under a cooperative [`Budget`] — the weighted
+/// analogue of [`canonical_form_budgeted`], with the same interrupt contract.
+pub(crate) fn canonical_form_classed_budgeted(
+    num_vars: usize,
+    clauses: &[Vec<u32>],
+    classes: Option<&[u32]>,
+    budget: &Budget,
+) -> Result<CanonicalForm, Interrupted> {
+    let mut searcher = Searcher::new(num_vars, clauses, classes);
     searcher.budget = Some(budget);
     let initial = searcher.initial_colouring();
     if !searcher.interrupted {
@@ -122,7 +158,7 @@ pub(crate) fn canonical_form_budgeted(
     if searcher.interrupted {
         return Err(Interrupted);
     }
-    let (order, canonical_clauses) =
+    let (order, canonical_clauses, _) =
         searcher.best.expect("the uninterrupted search visits at least one discrete leaf");
     Ok(CanonicalForm { order, clauses: canonical_clauses, steps: searcher.steps })
 }
@@ -140,6 +176,11 @@ pub(crate) struct Fingerprint {
     widths: u64,
     /// FNV-1a over the sorted variable-degree multiset.
     degrees: u64,
+    /// An isomorphism-invariant digest of the clause weights and aggregate
+    /// kind for weighted (aggregate) lineages; `0` for plain Boolean ones.
+    /// Weighted shapes never share a bucket with their Boolean skeleton, and
+    /// a SUM lineage never pre-keys equal to the COUNT over the same clauses.
+    payload: u64,
 }
 
 impl Fingerprint {
@@ -147,20 +188,32 @@ impl Fingerprint {
     /// identity the snapshot format and the shard router hash. Kept as an
     /// explicit tuple (not struct access) so every consumer of the raw form
     /// breaks loudly if a field is ever added.
-    pub(crate) fn raw_parts(self) -> (u32, u32, u64, u64) {
-        (self.num_vars, self.num_clauses, self.widths, self.degrees)
+    pub(crate) fn raw_parts(self) -> (u32, u32, u64, u64, u64) {
+        (self.num_vars, self.num_clauses, self.widths, self.degrees, self.payload)
     }
 
     /// Rebuilds a fingerprint from [`Fingerprint::raw_parts`] (snapshot
     /// deserialization). The caller is responsible for validating that the
     /// fingerprint matches its entry's shape — see `persist`.
-    pub(crate) fn from_raw_parts(parts: (u32, u32, u64, u64)) -> Fingerprint {
-        Fingerprint { num_vars: parts.0, num_clauses: parts.1, widths: parts.2, degrees: parts.3 }
+    pub(crate) fn from_raw_parts(parts: (u32, u32, u64, u64, u64)) -> Fingerprint {
+        Fingerprint {
+            num_vars: parts.0,
+            num_clauses: parts.1,
+            widths: parts.2,
+            degrees: parts.3,
+            payload: parts.4,
+        }
+    }
+
+    /// This fingerprint with the given weighted-payload digest attached.
+    pub(crate) fn with_payload(self, payload: u64) -> Fingerprint {
+        Fingerprint { payload, ..self }
     }
 }
 
 /// Computes the [`Fingerprint`] of `clauses` over variables `0..num_vars` in
-/// one linear pass — no refinement, no search.
+/// one linear pass — no refinement, no search. The payload field is `0`: this
+/// is the pre-key of a plain Boolean lineage.
 pub(crate) fn fingerprint(num_vars: usize, clauses: &[Vec<u32>]) -> Fingerprint {
     let mut widths: Vec<u32> = clauses.iter().map(|c| c.len() as u32).collect();
     widths.sort_unstable();
@@ -176,7 +229,50 @@ pub(crate) fn fingerprint(num_vars: usize, clauses: &[Vec<u32>]) -> Fingerprint 
         num_clauses: clauses.len() as u32,
         widths: fnv1a(&widths),
         degrees: fnv1a(&degrees),
+        payload: 0,
     }
+}
+
+/// The isomorphism-invariant payload digest of a weighted lineage: FNV-1a
+/// over the aggregate kind and the *sorted* multiset of
+/// `(clause width, weight)` pairs. Any variable bijection preserves widths
+/// and carries each clause's weight along, so isomorphic weighted lineages
+/// always digest equal; differing weight multisets or kinds (SUM vs COUNT)
+/// almost always separate. Never `0` — the value reserved for Boolean
+/// lineages — so a weighted shape cannot land in a Boolean bucket.
+pub(crate) fn weighted_payload(
+    kind: AggregateKind,
+    clauses: &[Vec<u32>],
+    weights: &[Rational],
+) -> u64 {
+    debug_assert_eq!(clauses.len(), weights.len(), "weights align with clauses");
+    let mut items: Vec<(u32, String)> = clauses
+        .iter()
+        .zip(weights)
+        .map(|(clause, weight)| (clause.len() as u32, weight.to_string()))
+        .collect();
+    items.sort_unstable();
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    let mut eat = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    // A stable per-kind tag, independent of the enum's in-memory layout.
+    let tag: u8 = match kind {
+        AggregateKind::Count => 1,
+        AggregateKind::Sum => 2,
+        AggregateKind::Min => 3,
+        AggregateKind::Max => 4,
+    };
+    eat(&[tag]);
+    for (width, weight) in &items {
+        eat(&width.to_le_bytes());
+        eat(weight.as_bytes());
+        eat(&[0xFF]);
+    }
+    hash.max(1)
 }
 
 /// FNV-1a over the little-endian bytes of `values`.
@@ -238,14 +334,22 @@ struct Scratch {
     merged: Vec<u32>,
 }
 
+/// A leaf candidate: (variable order, renamed sorted clause list, the class
+/// labels induced on that list — empty when unclassed).
+type Candidate = (Vec<u32>, Vec<Vec<u32>>, Vec<u32>);
+
 struct Searcher<'a> {
     num_vars: usize,
     clauses: &'a [Vec<u32>],
+    /// Per-clause class labels ([`canonical_form_classed`]); `None` for
+    /// plain Boolean shapes, where every clause is interchangeable with any
+    /// other of the same width.
+    classes: Option<&'a [u32]>,
     /// Incidence adjacency: nodes `0..num_vars` are variables, nodes
     /// `num_vars..num_vars + clauses.len()` are clauses.
     adjacency: Vec<Vec<u32>>,
-    /// Best candidate so far: (variable order, renamed sorted clause list).
-    best: Option<(Vec<u32>, Vec<Vec<u32>>)>,
+    /// Best candidate so far.
+    best: Option<Candidate>,
     /// Union-find over variables: two variables share a root iff a
     /// discovered automorphism maps one to the other. Grown lazily as leaves
     /// collide; used to skip automorphic siblings during branching.
@@ -262,7 +366,11 @@ struct Searcher<'a> {
 }
 
 impl<'a> Searcher<'a> {
-    fn new(num_vars: usize, clauses: &'a [Vec<u32>]) -> Self {
+    fn new(num_vars: usize, clauses: &'a [Vec<u32>], classes: Option<&'a [u32]>) -> Self {
+        debug_assert!(
+            classes.is_none_or(|c| c.len() == clauses.len()),
+            "class labels align with clauses"
+        );
         let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); num_vars + clauses.len()];
         for (c, clause) in clauses.iter().enumerate() {
             let clause_node = (num_vars + c) as u32;
@@ -274,6 +382,7 @@ impl<'a> Searcher<'a> {
         Searcher {
             num_vars,
             clauses,
+            classes,
             adjacency,
             best: None,
             orbit: (0..num_vars as u32).collect(),
@@ -306,17 +415,19 @@ impl<'a> Searcher<'a> {
 
     /// The isomorphism-invariant starting partition: variables coloured by
     /// degree (unused universe variables sort after used ones), clauses by
-    /// width. Refinement would reach the same split in one round; starting
-    /// from it just saves that round.
+    /// width — and, when classed, by class, so differently-weighted clauses
+    /// never share a cell. Refinement would reach the degree/width split in
+    /// one round; starting from it just saves that round.
     fn initial_colouring(&mut self) -> Colouring {
-        let signatures: Vec<(u32, u32)> = (0..self.adjacency.len())
+        let signatures: Vec<(u32, u32, u32)> = (0..self.adjacency.len())
             .map(|node| {
                 let degree = self.adjacency[node].len() as u32;
                 if node < self.num_vars {
                     // Used variables before unused ones, then by degree.
-                    (u32::from(degree == 0), degree)
+                    (u32::from(degree == 0), degree, 0)
                 } else {
-                    (2, degree)
+                    let class = self.classes.map_or(0, |c| c[node - self.num_vars]);
+                    (2, degree, class)
                 }
             })
             .collect();
@@ -664,33 +775,48 @@ impl<'a> Searcher<'a> {
         for (index, &v) in order.iter().enumerate() {
             rank[v as usize] = index as u32;
         }
-        let mut renamed: Vec<Vec<u32>> = self
+        // Classes ride along with their clause through the rename-and-sort:
+        // the renamed clauses are distinct sets, so sorting the (clause,
+        // class) pairs orders exactly as the clause-only sort did — for
+        // unclassed shapes (all labels 0) the candidate comparison below is
+        // bit-identical to the classless search.
+        let mut renamed: Vec<(Vec<u32>, u32)> = self
             .clauses
             .iter()
-            .map(|clause| {
-                let mut c: Vec<u32> = clause.iter().map(|&v| rank[v as usize]).collect();
-                c.sort_unstable();
-                c
+            .enumerate()
+            .map(|(c, clause)| {
+                let mut r: Vec<u32> = clause.iter().map(|&v| rank[v as usize]).collect();
+                r.sort_unstable();
+                (r, self.classes.map_or(0, |labels| labels[c]))
             })
             .collect();
         renamed.sort_unstable();
+        let (renamed, class_seq): (Vec<Vec<u32>>, Vec<u32>) = renamed.into_iter().unzip();
         self.steps += self.num_vars as u64 + self.clauses.len() as u64;
         match &self.best {
-            Some((best_order, best_clauses)) if renamed == *best_clauses => {
-                // Two renamings producing the same clause list compose to an
-                // automorphism of the input: canonical index i is variable
-                // `best_order[i]` under one and `order[i]` under the other.
-                // Feed its orbits to the branching prune.
+            Some((best_order, best_clauses, best_classes))
+                if renamed == *best_clauses && class_seq == *best_classes =>
+            {
+                // Two renamings producing the same (clause list, class
+                // sequence) compose to a class-preserving automorphism of
+                // the input: canonical index i is variable `best_order[i]`
+                // under one and `order[i]` under the other. Feed its orbits
+                // to the branching prune. (Equal clause lists with *unequal*
+                // class sequences are a skeleton automorphism that permutes
+                // weights — not an automorphism of the weighted lineage, so
+                // it must not prune the search.)
                 let pairs: Vec<(u32, u32)> =
                     best_order.iter().copied().zip(order.iter().copied()).collect();
                 for (a, b) in pairs {
                     self.orbit_union(a, b);
                 }
             }
-            Some((_, best_clauses)) if renamed < *best_clauses => {
-                self.best = Some((order, renamed));
+            Some((_, best_clauses, best_classes))
+                if (&renamed, &class_seq) < (best_clauses, best_classes) =>
+            {
+                self.best = Some((order, renamed, class_seq));
             }
-            None => self.best = Some((order, renamed)),
+            None => self.best = Some((order, renamed, class_seq)),
             _ => {}
         }
     }
@@ -701,7 +827,7 @@ impl<'a> Searcher<'a> {
 /// full-recompute oracle.
 #[cfg(test)]
 fn refined_colours(num_vars: usize, clauses: &[Vec<u32>]) -> (Vec<u32>, u32) {
-    let mut searcher = Searcher::new(num_vars, clauses);
+    let mut searcher = Searcher::new(num_vars, clauses, None);
     let colouring = searcher.initial_colouring();
     (colouring.colours, colouring.count)
 }

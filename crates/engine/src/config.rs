@@ -1,12 +1,9 @@
 //! The single configuration type replacing the per-call option structs.
 
-use crate::attributor::{
-    AdaBanAttributor, Attributor, CnfProxyAttributor, ExaBanAttributor, IchiBanAttributor,
-    MonteCarloAttributor, Sig22Attributor,
-};
-use banzhaf::{AdaBanOptions, Budget, IchiBanOptions, PivotHeuristic};
+use crate::attributor::Attributor;
+use crate::registry::{backend, first_with, Precision};
+use banzhaf::{Budget, PivotHeuristic};
 use banzhaf_arith::Ratio;
-use banzhaf_baselines::McOptions;
 use banzhaf_par::ThreadPool;
 use std::fmt;
 use std::path::PathBuf;
@@ -48,21 +45,22 @@ impl Algorithm {
     /// its results may be transferred between isomorphic lineages by the
     /// session cache. Monte Carlo is excluded: its RNG advances across calls,
     /// so serving one lineage's samples for another would silently correlate
-    /// estimates that are supposed to be independent.
+    /// estimates that are supposed to be independent. Delegates to the
+    /// algorithm's [`crate::Backend`] descriptor.
     pub fn cacheable(self) -> bool {
-        self != Algorithm::MonteCarlo
+        backend(self).cacheable
     }
 
-    /// The short display name used in reports.
+    /// The short display name used in reports (from the algorithm's
+    /// [`crate::Backend`] descriptor).
     pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::ExaBan => "ExaBan",
-            Algorithm::AdaBan => "AdaBan",
-            Algorithm::IchiBan => "IchiBan",
-            Algorithm::Sig22 => "Sig22",
-            Algorithm::MonteCarlo => "MC",
-            Algorithm::CnfProxy => "CNFProxy",
-        }
+        backend(self).name
+    }
+
+    /// `true` iff the backend attributes weighted aggregate lineages (from
+    /// the algorithm's [`crate::Backend`] descriptor).
+    pub fn supports_aggregates(self) -> bool {
+        backend(self).aggregates
     }
 }
 
@@ -130,11 +128,19 @@ pub enum FallbackPolicy {
 }
 
 impl FallbackPolicy {
-    /// The standard ladder: AdaBan certified intervals, then a Monte Carlo
-    /// point estimate as the rung of last resort (Monte Carlo's cost is
-    /// linear in samples, so it always lands within the grace allowance).
+    /// The standard ladder, assembled from the backend registry by
+    /// capability: the first certified-interval backend, then the first
+    /// point-estimate backend as the rung of last resort (its cost is linear
+    /// in samples, so it always lands within the grace allowance). Adding an
+    /// interval or estimate backend to the registry re-ranks the ladder with
+    /// no change here.
     pub fn ladder() -> Self {
-        FallbackPolicy::Ladder(vec![Rung::new(Algorithm::AdaBan), Rung::new(Algorithm::MonteCarlo)])
+        let rungs = [Precision::Interval, Precision::Estimate]
+            .into_iter()
+            .filter_map(|precision| first_with(precision, false))
+            .map(|b| Rung::new(b.algorithm))
+            .collect();
+        FallbackPolicy::Ladder(rungs)
     }
 
     /// `true` iff this is the strict (fail-on-exhaustion) policy.
@@ -246,7 +252,7 @@ impl CacheConfig {
 /// (caching, Shapley values).
 ///
 /// One `EngineConfig` replaces the per-call option structs
-/// ([`AdaBanOptions`], [`IchiBanOptions`], [`McOptions`]) previously threaded
+/// (`AdaBanOptions`, `IchiBanOptions`, `McOptions`) previously threaded
 /// through every caller; [`EngineConfig::attributor`] turns it into a
 /// ready-to-run [`Attributor`].
 #[derive(Clone, Debug)]
@@ -363,28 +369,6 @@ impl EngineConfig {
         self
     }
 
-    /// Enables or disables the shared attribution cache.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `with_cache_config(CacheConfig::new().with_enabled(..))`; \
-                this thin wrapper is kept for one release"
-    )]
-    pub fn with_cache(mut self, cache: bool) -> Self {
-        self.cache.enabled = cache;
-        self
-    }
-
-    /// Bounds the shared cache to `capacity` entries (LRU eviction beyond).
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `with_cache_config(CacheConfig::new().with_capacity(..))`; \
-                this thin wrapper is kept for one release"
-    )]
-    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache.capacity = capacity;
-        self
-    }
-
     /// Enables Shapley values alongside the Banzhaf pass (exact backends).
     pub fn with_shapley(mut self, include: bool) -> Self {
         self.include_shapley = include;
@@ -419,39 +403,11 @@ impl EngineConfig {
         self.epsilon.clone().unwrap_or_else(Ratio::zero)
     }
 
-    /// Builds the [`Attributor`] this configuration describes.
+    /// Builds the [`Attributor`] this configuration describes, through the
+    /// algorithm's [`crate::Backend`] descriptor — the registry's `build`
+    /// function is the only construction site.
     pub fn attributor(&self) -> Box<dyn Attributor> {
-        match self.algorithm {
-            Algorithm::ExaBan => Box::new(ExaBanAttributor {
-                heuristic: self.heuristic,
-                include_shapley: self.include_shapley,
-            }),
-            Algorithm::AdaBan => {
-                let mut options = AdaBanOptions::with_epsilon(self.epsilon_or_exact());
-                options.heuristic = self.heuristic;
-                options.lazy = self.lazy_bounds;
-                options.use_opt4 = self.opt4;
-                Box::new(AdaBanAttributor { options })
-            }
-            Algorithm::IchiBan => {
-                let mut options = match &self.epsilon {
-                    Some(eps) => IchiBanOptions::with_epsilon(eps.clone()),
-                    None => IchiBanOptions::certain(),
-                };
-                options.heuristic = self.heuristic;
-                options.use_opt4 = self.opt4;
-                Box::new(IchiBanAttributor { options })
-            }
-            Algorithm::Sig22 => Box::new(Sig22Attributor),
-            Algorithm::MonteCarlo => Box::new(
-                MonteCarloAttributor::new(
-                    McOptions { samples_per_var: self.mc_samples_per_var },
-                    self.seed,
-                )
-                .with_pool(self.pool()),
-            ),
-            Algorithm::CnfProxy => Box::new(CnfProxyAttributor),
-        }
+        (backend(self.algorithm).build)(self)
     }
 }
 
@@ -502,21 +458,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_cache_wrappers_still_steer_the_cache_config() {
-        // The one-release compatibility contract: the thin wrappers must
-        // keep mutating the new `CacheConfig` until they are removed.
-        let config = EngineConfig::default().with_cache(false).with_cache_capacity(7);
-        assert!(!config.cache.enabled);
-        assert_eq!(config.cache.capacity, 7);
-    }
-
-    #[test]
     fn every_algorithm_builds_an_attributor() {
         for algorithm in Algorithm::ALL {
             let attributor = EngineConfig::new(algorithm).attributor();
             assert_eq!(attributor.name(), algorithm.name());
             assert!(!format!("{algorithm}").is_empty());
         }
+    }
+
+    #[test]
+    fn standard_ladder_is_assembled_by_capability() {
+        let rungs: Vec<Algorithm> =
+            FallbackPolicy::ladder().rungs().iter().map(|r| r.algorithm).collect();
+        assert_eq!(rungs, vec![Algorithm::AdaBan, Algorithm::MonteCarlo]);
+        assert!(FallbackPolicy::Strict.is_strict());
     }
 }

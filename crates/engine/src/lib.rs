@@ -56,6 +56,7 @@ mod canon;
 mod config;
 mod live;
 mod persist;
+mod registry;
 mod session;
 
 pub use attribution::{Attribution, Degradation, DegradeReason, EngineStats, Ranked, Score};
@@ -64,13 +65,18 @@ pub use attributor::{
     MonteCarloAttributor, Sig22Attributor,
 };
 pub use banzhaf::{Budget, Interrupted, PivotHeuristic};
+pub use banzhaf_arith::Rational;
+pub use banzhaf_boolean::{AggregateKind, WeightedDnf};
 pub use banzhaf_db::{Database, Update};
 pub use banzhaf_par::ThreadPool;
-pub use banzhaf_query::{parse_program, UnionQuery};
+pub use banzhaf_query::{
+    evaluate_aggregate, parse_program, AggregateAnswer, AggregateError, AggregateResult, UnionQuery,
+};
 pub use cache::{canonical_key_probe, prekey_probe, CacheStats, ShardedCache, SharedCache};
 pub use config::{Algorithm, CacheConfig, EngineConfig, FallbackPolicy, Rung};
 pub use live::{AnswerChange, LiveSession, LiveStats, TouchedAnswer, UpdateReport};
 pub use persist::SnapshotError;
+pub use registry::{backend, first_with, markdown_table, Backend, Precision, REGISTRY};
 pub use session::{
     AnswerAttribution, BatchOptions, Engine, EngineSnapshot, QueryAttribution, Session,
     SessionStats,

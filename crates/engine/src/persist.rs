@@ -34,7 +34,7 @@ use crate::cache::{CanonInfo, CanonicalKey, Shape, SnapshotEntry};
 use crate::canon::{fingerprint, Fingerprint};
 use crate::config::Algorithm;
 use banzhaf::{ApproxInterval, ShapleyValue};
-use banzhaf_arith::Natural;
+use banzhaf_arith::{Int, Natural, Rational, Sign};
 use banzhaf_boolean::Var;
 use std::collections::HashMap;
 use std::fmt;
@@ -169,10 +169,22 @@ impl Writer {
                 self.u8(2);
                 self.u64(e.to_bits());
             }
+            Score::Rational(r) => {
+                self.u8(3);
+                self.u8(u8::from(r.is_negative()));
+                self.natural(r.numer().magnitude());
+                self.natural(r.denom());
+            }
         }
     }
     fn entry(&mut self, entry: &SnapshotEntry) {
-        let (num_vars, num_clauses, widths, degrees) = entry.fingerprint.raw_parts();
+        let (num_vars, num_clauses, widths, degrees, payload) = entry.fingerprint.raw_parts();
+        // Weighted aggregate entries are filtered out before export; the
+        // version-1 layout persists Boolean shapes, whose payload is zero.
+        debug_assert!(
+            payload == 0 && entry.shape.payload.is_none(),
+            "snapshots persist Boolean entries only"
+        );
         self.u32(num_vars);
         self.u32(num_clauses);
         self.u64(widths);
@@ -361,16 +373,30 @@ impl<'a> Reader<'a> {
                 Ok(Score::Interval(ApproxInterval::new(lower, upper)))
             }
             2 => Ok(Score::Estimate(f64::from_bits(self.u64("estimate bits")?))),
-            _ => self.corrupt("score tag in 0..=2"),
+            3 => {
+                let negative = self.flag("rational sign")?;
+                let numer = self.natural()?;
+                let denom = self.natural()?;
+                if denom.is_zero() {
+                    return self.corrupt("non-zero rational denominator");
+                }
+                let sign = if negative { Sign::Negative } else { Sign::Positive };
+                Ok(Score::Rational(Rational::new(Int::from_sign_mag(sign, numer), denom)))
+            }
+            _ => self.corrupt("score tag in 0..=3"),
         }
     }
 
+    #[allow(clippy::too_many_lines)]
     fn entry(&mut self) -> Result<SnapshotEntry, SnapshotError> {
         let fp = Fingerprint::from_raw_parts((
             self.u32("fingerprint num_vars")?,
             self.u32("fingerprint num_clauses")?,
             self.u64("fingerprint widths")?,
             self.u64("fingerprint degrees")?,
+            // Version-1 snapshots hold Boolean entries only; their aggregate
+            // payload field is always zero.
+            0,
         ));
         let num_vars = self.u32("shape num_vars")?;
         let clauses = self.clauses(num_vars)?;
@@ -380,7 +406,7 @@ impl<'a> Reader<'a> {
         if fingerprint(num_vars as usize, &clauses) != fp {
             return self.corrupt("fingerprint matching the shape");
         }
-        let shape = Arc::new(Shape { num_vars: num_vars as usize, clauses });
+        let shape = Arc::new(Shape { num_vars: num_vars as usize, clauses, payload: None });
         let canon = if self.flag("canon flag")? {
             let len = self.u32("witness length")?;
             if len != num_vars {
@@ -400,7 +426,11 @@ impl<'a> Reader<'a> {
                 return self.corrupt("canonical key with the shape's clause count");
             }
             Some(Arc::new(CanonInfo {
-                key: CanonicalKey { num_vars: num_vars as usize, clauses: key_clauses },
+                key: CanonicalKey {
+                    num_vars: num_vars as usize,
+                    clauses: key_clauses,
+                    payload: None,
+                },
                 order,
             }))
         } else {
@@ -462,6 +492,8 @@ impl<'a> Reader<'a> {
             values,
             model_count,
             shapley,
+            aggregate: None,
+            aggregate_total: None,
             stats,
             degradation: None,
         });
@@ -521,7 +553,7 @@ mod tests {
             algorithm: Algorithm::ExaBan.name(),
             values: [
                 (Var(0), Score::Exact(Natural::from(1u64))),
-                (Var(1), Score::Exact(Natural::from(3u64))),
+                (Var(1), Score::Rational(Rational::new(Int::from(-3i64), Natural::from(4u64)))),
                 (
                     Var(2),
                     Score::Interval(ApproxInterval::new(Natural::from(1u64), Natural::from(2u64))),
@@ -535,6 +567,8 @@ mod tests {
                     .into_iter()
                     .collect(),
             ),
+            aggregate: None,
+            aggregate_total: None,
             stats: EngineStats { compile_steps: 42, dtree_nodes: 7, ..EngineStats::default() },
             degradation: None,
         });
@@ -576,6 +610,7 @@ mod tests {
                         assert_eq!((&a.lower, &a.upper), (&b.lower, &b.upper));
                     }
                     (Score::Estimate(a), Score::Estimate(b)) => assert_eq!(a, b),
+                    (Score::Rational(a), Score::Rational(b)) => assert_eq!(a, b),
                     _ => panic!("score variant changed through the round trip"),
                 }
             }
@@ -651,7 +686,7 @@ mod tests {
         // A checksum-valid file whose fingerprint disagrees with its shape
         // must still be rejected: the pre-key is re-derived, not trusted.
         let mut entries = sample_entries();
-        entries[0].fingerprint = Fingerprint::from_raw_parts((3, 2, 0xDEAD, 0xBEEF));
+        entries[0].fingerprint = Fingerprint::from_raw_parts((3, 2, 0xDEAD, 0xBEEF, 0));
         let bytes = encode(&entries);
         assert!(matches!(
             decode(&bytes),

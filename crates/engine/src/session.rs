@@ -5,10 +5,11 @@ use crate::attribution::{Attribution, Degradation, DegradeReason, Ranked};
 use crate::attributor::Attributor;
 use crate::cache::{CacheStats, CanonInfo, Lookup, Prekeyed, Resident, Shape, ShardedCache};
 use crate::canon::Fingerprint;
-use crate::config::{EngineConfig, FallbackPolicy, Rung};
+use crate::config::{Algorithm, EngineConfig, FallbackPolicy, Rung};
 use crate::persist::SnapshotError;
+use crate::registry::{first_with, Precision};
 use banzhaf::{Budget, Interrupted};
-use banzhaf_boolean::Dnf;
+use banzhaf_boolean::{Dnf, WeightedDnf};
 use banzhaf_db::{Database, Value};
 use banzhaf_query::{evaluate, UnionQuery};
 use std::collections::{HashMap, HashSet};
@@ -145,15 +146,6 @@ impl Engine {
         EngineSnapshot { cache: self.cache.stats(), shards: self.cache.shard_stats() }
     }
 
-    /// A snapshot of the shared cache's aggregate counters.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use stats().cache; this thin wrapper is kept for one release"
-    )]
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
-    }
-
     /// Writes the cache tier's warm-start snapshot to `path` on demand
     /// (independent of the drop-time save wired through
     /// [`CacheConfig::warm_start`](crate::CacheConfig)). Returns the number
@@ -173,6 +165,7 @@ impl Engine {
         Session {
             config: self.config.clone(),
             attributor: self.config.attributor(),
+            aggregate_attributor: None,
             cache: Arc::clone(&self.cache),
             stats: SessionStats::default(),
             streams: Arc::clone(&self.streams),
@@ -308,6 +301,12 @@ impl QueryAttribution {
 pub struct Session {
     config: EngineConfig,
     attributor: Box<dyn Attributor>,
+    /// Built lazily on the first aggregate attribution *iff* the configured
+    /// backend does not advertise the aggregate capability in the registry:
+    /// the session substitutes the first exact aggregate-capable backend
+    /// (ExaBan) rather than panicking, mirroring the fallback ladder's
+    /// capability-driven rung selection.
+    aggregate_attributor: Option<Box<dyn Attributor>>,
     /// The engine-level shared cache tier: canonical lineage → attribution
     /// over canonical variables, sharded by fingerprint hash.
     cache: Arc<ShardedCache>,
@@ -335,15 +334,6 @@ impl Session {
     /// breakdown.
     pub fn engine_stats(&self) -> EngineSnapshot {
         EngineSnapshot { cache: self.cache.stats(), shards: self.cache.shard_stats() }
-    }
-
-    /// A snapshot of the *shared* cache's aggregate counters.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use engine_stats().cache; this thin wrapper is kept for one release"
-    )]
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
     }
 
     /// Evaluates a UCQ over a database and attributes every answer, fanning
@@ -418,6 +408,53 @@ impl Session {
         self.batch_prekeyed(prekeyed, options.shared_budget, options.fallback)
     }
 
+    /// Attributes one weighted aggregate lineage (COUNT/SUM/MIN/MAX) under
+    /// the configured budget, through the same planning walk and shared
+    /// cache as [`Session::attribute`].
+    ///
+    /// The cache keys aggregate lineages by the canonical Boolean skeleton
+    /// *plus* the aggregate kind and the clause weights (permuted into
+    /// canonical order), so a `SUM` lineage never serves a `COUNT` hit and
+    /// weighted lineages never collide with Boolean ones. If the configured
+    /// backend does not advertise the aggregate capability in the backend
+    /// registry, the session transparently serves the request with the
+    /// registry's first exact aggregate-capable backend (ExaBan) instead of
+    /// panicking.
+    pub fn attribute_aggregate(
+        &mut self,
+        lineage: &WeightedDnf,
+    ) -> Result<Attribution, Interrupted> {
+        self.batch_prekeyed(vec![Prekeyed::of_weighted(lineage)], None, None)
+            .pop()
+            .expect("one lineage in, one attribution out")
+    }
+
+    /// Attributes a batch of weighted aggregate lineages, fanning the work
+    /// across the configured thread pool — the aggregate counterpart of
+    /// [`Session::attribute_batch`], with the same bit-identical-to-
+    /// sequential guarantee at every thread count.
+    pub fn attribute_aggregate_batch(
+        &mut self,
+        lineages: &[&WeightedDnf],
+        options: BatchOptions<'_>,
+    ) -> Vec<Result<Attribution, Interrupted>> {
+        let prekeyed = lineages.iter().map(|l| Prekeyed::of_weighted(l)).collect();
+        self.batch_prekeyed(prekeyed, options.shared_budget, options.fallback)
+    }
+
+    /// The algorithm that actually serves aggregate lineages for this
+    /// session: the configured one when the registry says it is capable,
+    /// otherwise the registry's first exact aggregate backend.
+    fn effective_aggregate_algorithm(&self) -> Algorithm {
+        if self.config.algorithm.supports_aggregates() {
+            self.config.algorithm
+        } else {
+            first_with(Precision::Exact, true)
+                .expect("the registry always lists an exact aggregate backend")
+                .algorithm
+        }
+    }
+
     /// Batch attribution over prekeyed (densely renamed + fingerprinted)
     /// lineages.
     #[allow(clippy::too_many_lines)]
@@ -436,10 +473,28 @@ impl Session {
         if n == 0 {
             return Vec::new();
         }
+        // A batch is homogeneous: either every instance is Boolean or every
+        // instance carries an aggregate payload (the public entry points
+        // build them that way). Aggregate batches may substitute the
+        // configured backend with a capable one, so every capability check
+        // below reads the *effective* algorithm.
+        let aggregate_batch = prekeyed.iter().any(|p| p.weighted.is_some());
+        let algorithm = if aggregate_batch {
+            self.effective_aggregate_algorithm()
+        } else {
+            self.config.algorithm
+        };
+        if aggregate_batch
+            && algorithm != self.config.algorithm
+            && self.aggregate_attributor.is_none()
+        {
+            self.aggregate_attributor =
+                Some(EngineConfig { algorithm, ..self.config.clone() }.attributor());
+        }
         // Randomized backends are never cached: transferring one lineage's
         // samples to another would correlate supposedly independent
         // estimates (see [`crate::Algorithm::cacheable`]).
-        let use_cache = self.config.cache.enabled && self.config.algorithm.cacheable();
+        let use_cache = self.config.cache.enabled && algorithm.cacheable();
 
         // Plan, walking the instances in order exactly like the sequential
         // loop would observe the cache. A vacant fingerprint bucket (and no
@@ -671,8 +726,17 @@ impl Session {
         // and copied out so the borrow of `self.config` ends before the
         // mutable final-assembly pass.
         let rungs: Vec<Rung> = fallback.unwrap_or(&self.config.fallback).rungs().to_vec();
-        let attributor = self.attributor.as_ref();
+        let attributor: &dyn Attributor =
+            if aggregate_batch && !self.config.algorithm.supports_aggregates() {
+                self.aggregate_attributor.as_deref().expect("substitute built above")
+            } else {
+                self.attributor.as_ref()
+            };
         let config = &self.config;
+        let attempt = |i: usize, budget: &Budget| match &prekeyed[i].weighted {
+            Some(w) => attributor.attribute_aggregate_indexed(w, stream_base + i as u64, budget),
+            None => attributor.attribute_indexed(&prekeyed[i].dnf, stream_base + i as u64, budget),
+        };
         let run = |i: usize| -> JobOutcome {
             let fresh;
             let budget = match shared_budget {
@@ -686,8 +750,7 @@ impl Session {
                 // Strict: identical to the historical path — a panicking
                 // worker unwinds through the pool to the caller untouched.
                 banzhaf_par::failpoint!("session::compile");
-                match attributor.attribute_indexed(&prekeyed[i].dnf, stream_base + i as u64, budget)
-                {
+                match attempt(i, budget) {
                     Ok(attribution) => JobOutcome::Done(Box::new(attribution)),
                     Err(Interrupted) => JobOutcome::Starved(budget.steps_used()),
                 }
@@ -698,7 +761,7 @@ impl Session {
                 // taking the whole batch down with it.
                 let caught = catch_unwind(AssertUnwindSafe(|| {
                     banzhaf_par::failpoint!("session::compile");
-                    attributor.attribute_indexed(&prekeyed[i].dnf, stream_base + i as u64, budget)
+                    attempt(i, budget)
                 }));
                 match caught {
                     Ok(Ok(attribution)) => JobOutcome::Done(Box::new(attribution)),
@@ -707,7 +770,7 @@ impl Session {
                 }
             }
         };
-        let computed: Vec<JobOutcome> = if config.algorithm.cacheable() {
+        let computed: Vec<JobOutcome> = if algorithm.cacheable() {
             config.pool().parallel_map(&jobs, |_, &i| run(i))
         } else {
             jobs.iter().map(|&i| run(i)).collect()
@@ -818,6 +881,13 @@ impl Session {
         let mut spent = primary_spent;
         let mut fallback_steps = 0u64;
         for rung in rungs {
+            // An aggregate instance only degrades onto rungs whose backend
+            // advertises the aggregate capability in the registry — the
+            // standard ladder's interval rung (AdaBan) is skipped and the
+            // estimate rung (Monte Carlo) answers.
+            if prekeyed.weighted.is_some() && !rung.algorithm.supports_aggregates() {
+                continue;
+            }
             // The rung inherits whatever wall-clock remains on the request
             // deadline, but never less than its grace allowance — the last
             // rung must be able to answer even when the deadline has already
@@ -828,8 +898,9 @@ impl Session {
             let budget = Budget::new(Some(timeout), rung.max_steps);
             let rung_config = EngineConfig { algorithm: rung.algorithm, ..self.config.clone() };
             let rung_attributor = rung_config.attributor();
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                rung_attributor.attribute_indexed(&prekeyed.dnf, stream, &budget)
+            let outcome = catch_unwind(AssertUnwindSafe(|| match &prekeyed.weighted {
+                Some(w) => rung_attributor.attribute_aggregate_indexed(w, stream, &budget),
+                None => rung_attributor.attribute_indexed(&prekeyed.dnf, stream, &budget),
             }));
             fallback_steps += budget.steps_used();
             if let Ok(Ok(dense)) = outcome {
@@ -1382,6 +1453,7 @@ mod tests {
                     );
                 }
                 Score::Estimate(e) => assert!(e.is_finite() && *e >= 0.0),
+                Score::Rational(_) => panic!("Boolean ladder rungs never score rationals"),
             }
         }
         // Neither the failed exact compile nor the degraded result may enter

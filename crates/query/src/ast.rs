@@ -1,5 +1,6 @@
 //! Abstract syntax of conjunctive queries and unions thereof.
 
+use banzhaf_boolean::AggregateKind;
 use banzhaf_db::Value;
 use std::fmt;
 
@@ -131,16 +132,43 @@ impl fmt::Display for Selection {
     }
 }
 
+/// An aggregate head term: `COUNT(*)`, `SUM(V)`, `MIN(V)`, or `MAX(V)`.
+///
+/// Written as the *last* head term in the textual syntax; the remaining head
+/// variables are the grouping keys. `COUNT(*)` takes no input; the other
+/// kinds aggregate the groundings' bindings of `input`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AggregateSpec {
+    /// Which aggregate is computed over each group's groundings.
+    pub kind: AggregateKind,
+    /// The aggregated body variable — `None` for `COUNT(*)`.
+    pub input: Option<String>,
+}
+
+impl fmt::Display for AggregateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.input {
+            Some(v) => write!(f, "{}({v})", self.kind),
+            None => write!(f, "{}(*)", self.kind),
+        }
+    }
+}
+
 /// A conjunctive query with selection predicates.
 ///
 /// `head` lists the free (output) variables; every other variable is
-/// existentially quantified. A query with an empty head is Boolean.
+/// existentially quantified. A query with an empty head is Boolean. A query
+/// with an `aggregate` groups its groundings by the head variables and
+/// aggregates each group (the head variables become grouping keys, as in
+/// SQL's `GROUP BY`).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ConjunctiveQuery {
     /// Name of the query (the head predicate in the textual syntax).
     pub name: String,
     /// The free variables, in output order.
     pub head: Vec<String>,
+    /// The aggregate computed per head-variable group, if any.
+    pub aggregate: Option<AggregateSpec>,
     /// The relational atoms.
     pub atoms: Vec<Atom>,
     /// The selection predicates.
@@ -181,7 +209,11 @@ impl fmt::Display for ConjunctiveQuery {
             let sels: Vec<String> = self.selections.iter().map(Selection::to_string).collect();
             body = format!("{}, {}", body, sels.join(", "));
         }
-        write!(f, "{}({}) :- {}.", self.name, self.head.join(", "), body)
+        let mut head_terms = self.head.clone();
+        if let Some(agg) = &self.aggregate {
+            head_terms.push(agg.to_string());
+        }
+        write!(f, "{}({}) :- {}.", self.name, head_terms.join(", "), body)
     }
 }
 
@@ -226,6 +258,7 @@ mod tests {
         ConjunctiveQuery {
             name: "Q".into(),
             head: vec!["X".into()],
+            aggregate: None,
             atoms: vec![
                 Atom::new("R", vec![Term::var("X"), Term::var("Y")]),
                 Atom::new("S", vec![Term::var("Y"), Term::constant(5)]),
@@ -236,6 +269,16 @@ mod tests {
                 constant: Value::from(3),
             }],
         }
+    }
+
+    #[test]
+    fn aggregate_heads_display() {
+        let mut cq = sample_cq();
+        cq.aggregate = Some(AggregateSpec { kind: AggregateKind::Sum, input: Some("Y".into()) });
+        assert!(cq.to_string().contains("Q(X, SUM(Y)) :-"));
+        cq.head.clear();
+        cq.aggregate = Some(AggregateSpec { kind: AggregateKind::Count, input: None });
+        assert!(cq.to_string().contains("Q(COUNT(*)) :-"));
     }
 
     #[test]

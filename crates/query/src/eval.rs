@@ -9,9 +9,11 @@
 //! grounding), exactly as defined in Sec. 2 of the paper.
 
 use crate::{ConjunctiveQuery, Term, UnionQuery};
-use banzhaf_boolean::{Dnf, Var, VarSet};
+use banzhaf_arith::Rational;
+use banzhaf_boolean::{Dnf, Var, VarSet, WeightedDnf};
 use banzhaf_db::{Database, FactId, Provenance, Value};
 use std::collections::HashMap;
+use std::fmt;
 
 /// One answer tuple with its lineage.
 #[derive(Clone, Debug)]
@@ -82,6 +84,162 @@ pub fn evaluate(query: &UnionQuery, db: &Database) -> QueryResult {
     answers.sort_by(|a, b| a.tuple.cmp(&b.tuple));
     let index = answers.iter().enumerate().map(|(i, a)| (a.tuple.clone(), i)).collect();
     QueryResult { answers, index }
+}
+
+/// One group of an aggregate query: the grouping-key tuple and the weighted
+/// lineage of its aggregate value.
+#[derive(Clone, Debug)]
+pub struct AggregateAnswer {
+    /// The values of the grouping (head) variables, in head order — empty
+    /// when the whole result is one group (`Q(COUNT(*)) :- ...`).
+    pub tuple: Vec<Value>,
+    /// The weighted lineage: one clause per grounding (the endogenous facts
+    /// it uses) carrying that grounding's numeric contribution. Groundings
+    /// over the same fact set merge kind-aware (`SUM`/`COUNT` add, `MIN`
+    /// keeps the least, `MAX` the greatest).
+    pub lineage: WeightedDnf,
+}
+
+/// The result of aggregate evaluation: one [`AggregateAnswer`] per group.
+#[derive(Clone, Debug, Default)]
+pub struct AggregateResult {
+    answers: Vec<AggregateAnswer>,
+    index: HashMap<Vec<Value>, usize>,
+}
+
+impl AggregateResult {
+    /// The groups, sorted by grouping tuple for determinism.
+    pub fn answers(&self) -> &[AggregateAnswer] {
+        &self.answers
+    }
+
+    /// Looks up the weighted lineage of a particular group.
+    pub fn lineage_of(&self, tuple: &[Value]) -> Option<&WeightedDnf> {
+        self.index.get(tuple).map(|&i| &self.answers[i].lineage)
+    }
+
+    /// Consumes the result, yielding the owned answers (still sorted by
+    /// tuple) without cloning their lineages.
+    pub fn into_answers(self) -> Vec<AggregateAnswer> {
+        self.answers
+    }
+}
+
+/// Why aggregate evaluation refused a query or database.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AggregateError {
+    /// A disjunct carries no aggregate head term — use [`evaluate`].
+    MissingAggregate,
+    /// The disjuncts disagree on the aggregate kind.
+    MixedAggregates,
+    /// A grounding bound the aggregated variable to a non-integer value.
+    NonIntegerInput {
+        /// The aggregated variable.
+        variable: String,
+        /// The offending binding.
+        value: Value,
+    },
+    /// A grounding uses only exogenous facts: its contribution would hold in
+    /// every world, which the weighted lineage (and the Banzhaf attribution
+    /// over it) cannot represent.
+    UnconditionalGrounding,
+}
+
+impl fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateError::MissingAggregate => {
+                write!(f, "the query has no aggregate head term")
+            }
+            AggregateError::MixedAggregates => {
+                write!(f, "all disjuncts must carry the same aggregate kind")
+            }
+            AggregateError::NonIntegerInput { variable, value } => {
+                write!(f, "aggregated variable {variable} bound to non-integer value {value}")
+            }
+            AggregateError::UnconditionalGrounding => {
+                write!(
+                    f,
+                    "a grounding uses only exogenous facts; its contribution is unconditional"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// Evaluates an aggregate UCQ, producing one [`WeightedDnf`] lineage per
+/// group of the head variables.
+///
+/// Every grounding contributes one weighted clause to its group: the clause
+/// is the conjunction of the endogenous facts the grounding uses (exactly as
+/// in [`evaluate`]) and the weight is the grounding's numeric contribution —
+/// `1` for `COUNT(*)`, the binding of the aggregated variable for
+/// `SUM`/`MIN`/`MAX`. The possible-world value of the group's aggregate is
+/// then the lineage's [`WeightedDnf::evaluate`] and exact attribution runs
+/// over it via the engine's aggregate backends.
+///
+/// # Errors
+/// Rejects queries without an aggregate (or with disagreeing kinds across
+/// disjuncts), groundings that bind the aggregated variable to a string, and
+/// groundings using only exogenous facts (their contribution would be
+/// unconditional, which a weighted lineage cannot represent).
+pub fn evaluate_aggregate(
+    query: &UnionQuery,
+    db: &Database,
+) -> Result<AggregateResult, AggregateError> {
+    let specs = query
+        .disjuncts
+        .iter()
+        .map(|cq| cq.aggregate.as_ref().ok_or(AggregateError::MissingAggregate))
+        .collect::<Result<Vec<_>, _>>()?;
+    let kind = specs.first().ok_or(AggregateError::MissingAggregate)?.kind;
+    if specs.iter().any(|s| s.kind != kind) {
+        return Err(AggregateError::MixedAggregates);
+    }
+    let mut weighted: HashMap<Vec<Value>, Vec<(Vec<Var>, Rational)>> = HashMap::new();
+    for (cq, spec) in query.disjuncts.iter().zip(specs) {
+        // Reuse the Boolean grounding enumeration unchanged: appending the
+        // aggregated variable to the head makes every grounding surface its
+        // binding as the tuple's last component, popped off below.
+        let mut probe = cq.clone();
+        if let Some(input) = &spec.input {
+            probe.head.push(input.clone());
+        }
+        for (mut tuple, clause) in enumerate_groundings(&probe, db) {
+            let weight = match &spec.input {
+                Some(variable) => {
+                    let value =
+                        tuple.pop().expect("the probe head appends the aggregated variable");
+                    match value.as_int() {
+                        Some(i) => Rational::from(i),
+                        None => {
+                            return Err(AggregateError::NonIntegerInput {
+                                variable: variable.clone(),
+                                value,
+                            })
+                        }
+                    }
+                }
+                None => Rational::one(),
+            };
+            if clause.is_empty() {
+                return Err(AggregateError::UnconditionalGrounding);
+            }
+            weighted.entry(tuple).or_default().push((clause, weight));
+        }
+    }
+    let mut answers: Vec<AggregateAnswer> = weighted
+        .into_iter()
+        .map(|(tuple, pairs)| {
+            let lineage = WeightedDnf::from_weighted_clauses(kind, pairs);
+            AggregateAnswer { tuple, lineage }
+        })
+        .collect();
+    answers.sort_by(|a, b| a.tuple.cmp(&b.tuple));
+    let index = answers.iter().enumerate().map(|(i, a)| (a.tuple.clone(), i)).collect();
+    Ok(AggregateResult { answers, index })
 }
 
 /// Groundings contributed by a single endogenous fact: every homomorphism of
@@ -511,6 +669,105 @@ mod tests {
         db.delete_endogenous(id).unwrap();
         assert!(delta_groundings(&q, &db, id).is_empty());
         assert!(delta_groundings(&q, &db, FactId(99)).is_empty());
+    }
+
+    #[test]
+    fn sum_aggregate_weights_groundings_by_their_binding() {
+        let mut db = Database::new();
+        db.add_relation("Supp", 2); // (supplier, nation)
+        db.add_relation("Item", 3); // (supplier, part, revenue)
+        db.insert_endogenous("Supp", vec![1.into(), 10.into()]).unwrap();
+        db.insert_endogenous("Supp", vec![2.into(), 10.into()]).unwrap();
+        db.insert_endogenous("Item", vec![1.into(), 100.into(), 7.into()]).unwrap();
+        db.insert_endogenous("Item", vec![1.into(), 101.into(), 5.into()]).unwrap();
+        db.insert_endogenous("Item", vec![2.into(), 100.into(), 11.into()]).unwrap();
+        let q = parse_program("Q(N, SUM(V)) :- Supp(S, N), Item(S, P, V).").unwrap();
+        let result = evaluate_aggregate(&q, &db).unwrap();
+        assert_eq!(result.answers().len(), 1);
+        let lineage = result.lineage_of(&[Value::from(10)]).unwrap();
+        assert_eq!(lineage.kind(), banzhaf_boolean::AggregateKind::Sum);
+        assert_eq!(lineage.num_clauses(), 3);
+        // Each clause is {supplier fact, item fact} weighted by the revenue.
+        let mut weights: Vec<Rational> = lineage.weights().to_vec();
+        weights.sort();
+        assert_eq!(
+            weights,
+            vec![Rational::from(5i64), Rational::from(7i64), Rational::from(11i64)]
+        );
+        // In the all-facts world the SUM is the plain SQL answer.
+        let world = banzhaf_boolean::Assignment::from_true_vars(lineage.universe().iter());
+        assert_eq!(lineage.evaluate(&world), Rational::from(23i64));
+    }
+
+    #[test]
+    fn count_star_groups_by_head_variables() {
+        let mut db = Database::new();
+        db.add_relation("R", 2);
+        for (a, b) in [(1, 10), (1, 20), (2, 30)] {
+            db.insert_endogenous("R", vec![a.into(), b.into()]).unwrap();
+        }
+        let q = parse_program("Q(X, COUNT(*)) :- R(X, Y).").unwrap();
+        let result = evaluate_aggregate(&q, &db).unwrap();
+        assert_eq!(result.answers().len(), 2);
+        assert_eq!(result.lineage_of(&[Value::from(1)]).unwrap().num_clauses(), 2);
+        assert_eq!(result.lineage_of(&[Value::from(2)]).unwrap().num_clauses(), 1);
+        // COUNT clauses all weigh 1.
+        let lineage = result.lineage_of(&[Value::from(1)]).unwrap();
+        assert!(lineage.weights().iter().all(|w| *w == Rational::one()));
+    }
+
+    #[test]
+    fn duplicate_fact_sets_merge_kind_aware() {
+        // Two groundings over the same endogenous fact: the exogenous side
+        // varies, so the clauses coincide and must merge per the kind.
+        let mut db = Database::new();
+        db.add_relation("R", 1);
+        db.add_relation("S", 2);
+        db.insert_endogenous("R", vec![1.into()]).unwrap();
+        db.insert_exogenous("S", vec![1.into(), 4.into()]).unwrap();
+        db.insert_exogenous("S", vec![1.into(), 9.into()]).unwrap();
+        let sum = parse_program("Q(SUM(V)) :- R(X), S(X, V).").unwrap();
+        let result = evaluate_aggregate(&sum, &db).unwrap();
+        let lineage = result.lineage_of(&[]).unwrap();
+        assert_eq!(lineage.num_clauses(), 1);
+        assert_eq!(lineage.weights(), &[Rational::from(13i64)]);
+        let max = parse_program("Q(MAX(V)) :- R(X), S(X, V).").unwrap();
+        let lineage = evaluate_aggregate(&max, &db).unwrap().into_answers().remove(0).lineage;
+        assert_eq!(lineage.weights(), &[Rational::from(9i64)]);
+        let min = parse_program("Q(MIN(V)) :- R(X), S(X, V).").unwrap();
+        let lineage = evaluate_aggregate(&min, &db).unwrap().into_answers().remove(0).lineage;
+        assert_eq!(lineage.weights(), &[Rational::from(4i64)]);
+    }
+
+    #[test]
+    fn aggregate_evaluation_rejects_unsupported_inputs() {
+        let mut db = Database::new();
+        db.add_relation("R", 2);
+        db.insert_endogenous("R", vec![1.into(), "oops".into()]).unwrap();
+        let q = parse_program("Q(SUM(V)) :- R(X, V).").unwrap();
+        assert!(matches!(evaluate_aggregate(&q, &db), Err(AggregateError::NonIntegerInput { .. })));
+        // A grounding over exogenous facts only cannot be represented.
+        let mut db2 = Database::new();
+        db2.add_relation("R", 2);
+        db2.insert_exogenous("R", vec![1.into(), 5.into()]).unwrap();
+        let q2 = parse_program("Q(SUM(V)) :- R(X, V).").unwrap();
+        assert_eq!(
+            evaluate_aggregate(&q2, &db2).unwrap_err(),
+            AggregateError::UnconditionalGrounding
+        );
+        // A plain Boolean query has no aggregate to evaluate.
+        let q3 = parse_program("Q(X) :- R(X, V).").unwrap();
+        assert_eq!(evaluate_aggregate(&q3, &db2).unwrap_err(), AggregateError::MissingAggregate);
+        // Disagreeing kinds (buildable only programmatically — the parser
+        // rejects them) are refused too.
+        let mut mixed = parse_program("Q(SUM(V)) :- R(X, V).").unwrap();
+        let mut second = mixed.disjuncts[0].clone();
+        second.aggregate = Some(crate::AggregateSpec {
+            kind: banzhaf_boolean::AggregateKind::Max,
+            input: Some("V".into()),
+        });
+        mixed.disjuncts.push(second);
+        assert_eq!(evaluate_aggregate(&mixed, &db2).unwrap_err(), AggregateError::MixedAggregates);
     }
 
     #[test]

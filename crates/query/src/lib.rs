@@ -39,6 +39,9 @@ mod eval;
 mod parser;
 
 pub use analysis::{is_hierarchical, is_self_join_free};
-pub use ast::{Atom, Comparison, ConjunctiveQuery, Selection, Term, UnionQuery};
-pub use eval::{delta_groundings, evaluate, Answer, QueryResult};
+pub use ast::{AggregateSpec, Atom, Comparison, ConjunctiveQuery, Selection, Term, UnionQuery};
+pub use eval::{
+    delta_groundings, evaluate, evaluate_aggregate, AggregateAnswer, AggregateError,
+    AggregateResult, Answer, QueryResult,
+};
 pub use parser::{parse_program, ParseError};

@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! program   := rule+
-//! rule      := HEAD "(" vars? ")" ":-" body "."
+//! rule      := HEAD "(" headterms? ")" ":-" body "."
+//! headterms := VARIABLE ("," VARIABLE)* ("," aggregate)? | aggregate
+//! aggregate := "COUNT" "(" "*" ")" | ("SUM" | "MIN" | "MAX") "(" VARIABLE ")"
 //! body      := item ("," item)*
 //! item      := atom | selection
 //! atom      := NAME "(" term ("," term)* ")"
@@ -15,8 +17,12 @@
 //!
 //! Variables start with an upper-case letter; relation names with any letter.
 //! Rules with the same head predicate form a union of conjunctive queries.
+//! An aggregate, if present, must be the last head term; the plain head
+//! variables are the grouping keys, and every rule of a union must carry the
+//! same aggregate kind.
 
-use crate::{Atom, Comparison, ConjunctiveQuery, Selection, Term, UnionQuery};
+use crate::{AggregateSpec, Atom, Comparison, ConjunctiveQuery, Selection, Term, UnionQuery};
+use banzhaf_boolean::AggregateKind;
 use banzhaf_db::Value;
 use std::fmt;
 
@@ -62,6 +68,7 @@ pub fn parse_program(input: &str) -> Result<UnionQuery, ParseError> {
     }
     let name = disjuncts[0].name.clone();
     let arity = disjuncts[0].head.len();
+    let kind = disjuncts[0].aggregate.as_ref().map(|a| a.kind);
     for cq in &disjuncts {
         if cq.name != name {
             return Err(ParseError::new(format!(
@@ -72,6 +79,9 @@ pub fn parse_program(input: &str) -> Result<UnionQuery, ParseError> {
         if cq.head.len() != arity {
             return Err(ParseError::new("all rules must have the same head arity"));
         }
+        if cq.aggregate.as_ref().map(|a| a.kind) != kind {
+            return Err(ParseError::new("all rules must carry the same aggregate"));
+        }
     }
     Ok(UnionQuery { disjuncts })
 }
@@ -80,7 +90,7 @@ fn parse_rule(rule: &str) -> Result<ConjunctiveQuery, ParseError> {
     let (head, body) = rule
         .split_once(":-")
         .ok_or_else(|| ParseError::new(format!("missing ':-' in rule: {rule}")))?;
-    let (name, head_vars) = parse_head(head.trim())?;
+    let (name, head_vars, aggregate) = parse_head(head.trim())?;
     let items = split_top_level(body.trim());
     let mut atoms = Vec::new();
     let mut selections = Vec::new();
@@ -98,17 +108,19 @@ fn parse_rule(rule: &str) -> Result<ConjunctiveQuery, ParseError> {
     if atoms.is_empty() {
         return Err(ParseError::new("a rule needs at least one relational atom"));
     }
-    // Head variables must occur in the body.
-    for hv in &head_vars {
+    // Head variables — and the aggregated variable — must occur in the body.
+    let input = aggregate.as_ref().and_then(|a| a.input.clone());
+    for hv in head_vars.iter().chain(&input) {
         let occurs = atoms.iter().any(|a| a.variables().any(|v| v == hv));
         if !occurs {
             return Err(ParseError::new(format!("head variable {hv} does not occur in the body")));
         }
     }
-    Ok(ConjunctiveQuery { name, head: head_vars, atoms, selections })
+    Ok(ConjunctiveQuery { name, head: head_vars, aggregate, atoms, selections })
 }
 
-fn parse_head(head: &str) -> Result<(String, Vec<String>), ParseError> {
+#[allow(clippy::type_complexity)]
+fn parse_head(head: &str) -> Result<(String, Vec<String>, Option<AggregateSpec>), ParseError> {
     let open = head.find('(').ok_or_else(|| ParseError::new(format!("malformed head: {head}")))?;
     let close =
         head.rfind(')').ok_or_else(|| ParseError::new(format!("malformed head: {head}")))?;
@@ -117,22 +129,58 @@ fn parse_head(head: &str) -> Result<(String, Vec<String>), ParseError> {
         return Err(ParseError::new("head predicate name is empty"));
     }
     let inner = head[open + 1..close].trim();
-    let vars = if inner.is_empty() {
-        Vec::new()
-    } else {
-        inner
-            .split(',')
-            .map(|v| {
-                let v = v.trim();
-                if is_variable(v) {
-                    Ok(v.to_owned())
-                } else {
-                    Err(ParseError::new(format!("head term {v} must be a variable")))
-                }
-            })
-            .collect::<Result<Vec<_>, _>>()?
+    let mut vars = Vec::new();
+    let mut aggregate = None;
+    if !inner.is_empty() {
+        for term in split_top_level(inner) {
+            let term = term.trim();
+            if aggregate.is_some() {
+                return Err(ParseError::new("the aggregate must be the last head term"));
+            }
+            if let Some(spec) = parse_aggregate_term(term)? {
+                aggregate = Some(spec);
+            } else if is_variable(term) {
+                vars.push(term.to_owned());
+            } else {
+                return Err(ParseError::new(format!("head term {term} must be a variable")));
+            }
+        }
+    }
+    Ok((name.to_owned(), vars, aggregate))
+}
+
+/// Parses `COUNT(*)` / `SUM(V)` / `MIN(V)` / `MAX(V)`; `Ok(None)` if the
+/// term carries no parentheses (a plain head variable).
+fn parse_aggregate_term(term: &str) -> Result<Option<AggregateSpec>, ParseError> {
+    let Some(open) = term.find('(') else {
+        return Ok(None);
     };
-    Ok((name.to_owned(), vars))
+    let inner = term[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| ParseError::new(format!("malformed aggregate head term: {term}")))?
+        .trim();
+    let kind = match term[..open].trim() {
+        "COUNT" => AggregateKind::Count,
+        "SUM" => AggregateKind::Sum,
+        "MIN" => AggregateKind::Min,
+        "MAX" => AggregateKind::Max,
+        other => {
+            return Err(ParseError::new(format!(
+                "unknown aggregate {other} (expected COUNT, SUM, MIN, or MAX)"
+            )))
+        }
+    };
+    let input = match (kind, inner) {
+        (AggregateKind::Count, "*") => None,
+        (AggregateKind::Count, other) => {
+            return Err(ParseError::new(format!("COUNT takes '*', not {other}")));
+        }
+        (_, v) if is_variable(v) => Some(v.to_owned()),
+        (_, other) => {
+            return Err(ParseError::new(format!("{kind} takes a variable, not {other}")));
+        }
+    };
+    Ok(Some(AggregateSpec { kind, input }))
 }
 
 /// Splits a rule body on commas that are not nested inside parentheses or
@@ -300,6 +348,57 @@ mod tests {
         let printed = q.to_string();
         let reparsed = parse_program(&printed).unwrap();
         assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn parses_aggregate_heads() {
+        let q = parse_program("Q(X, SUM(V)) :- R(X, Y), S(Y, V).").unwrap();
+        let cq = &q.disjuncts[0];
+        assert_eq!(cq.head, vec!["X".to_owned()]);
+        assert_eq!(
+            cq.aggregate,
+            Some(AggregateSpec { kind: AggregateKind::Sum, input: Some("V".into()) })
+        );
+        let count = parse_program("Q(COUNT(*)) :- R(X, Y).").unwrap();
+        assert_eq!(
+            count.disjuncts[0].aggregate,
+            Some(AggregateSpec { kind: AggregateKind::Count, input: None })
+        );
+        assert!(count.disjuncts[0].head.is_empty());
+        for (text, kind) in [("MIN(V)", AggregateKind::Min), ("MAX(V)", AggregateKind::Max)] {
+            let q = parse_program(&format!("Q({text}) :- R(X, V).")).unwrap();
+            assert_eq!(q.disjuncts[0].aggregate.as_ref().unwrap().kind, kind);
+        }
+    }
+
+    #[test]
+    fn aggregate_heads_display_then_reparse() {
+        for text in
+            ["Q(X, SUM(V)) :- R(X, V).", "Q(COUNT(*)) :- R(X, Y).", "Q(MAX(V)) :- R(X, V), X > 2."]
+        {
+            let q = parse_program(text).unwrap();
+            let reparsed = parse_program(&q.to_string()).unwrap();
+            assert_eq!(q, reparsed, "{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_aggregates() {
+        // The aggregate must be the last head term.
+        assert!(parse_program("Q(SUM(V), X) :- R(X, V).").is_err());
+        // At most one aggregate.
+        assert!(parse_program("Q(SUM(V), COUNT(*)) :- R(X, V).").is_err());
+        // COUNT takes '*', the others take a variable.
+        assert!(parse_program("Q(COUNT(V)) :- R(X, V).").is_err());
+        assert!(parse_program("Q(SUM(*)) :- R(X, V).").is_err());
+        assert!(parse_program("Q(SUM(3)) :- R(X, V).").is_err());
+        // Unknown aggregate name.
+        assert!(parse_program("Q(AVG(V)) :- R(X, V).").is_err());
+        // The aggregated variable must occur in the body.
+        assert!(parse_program("Q(SUM(W)) :- R(X, V).").is_err());
+        // Every rule of a union must carry the same aggregate kind.
+        assert!(parse_program("Q(X, SUM(V)) :- R(X, V).\nQ(X, MAX(V)) :- S(X, V).").is_err());
+        assert!(parse_program("Q(X, SUM(V)) :- R(X, V).\nQ(X) :- S(X, V).").is_err());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use banzhaf_boolean::Dnf;
 use banzhaf_dtree::Budget;
 use banzhaf_engine::{
-    Attribution, BatchOptions, CacheStats, Database, Engine, EngineConfig, EngineSnapshot,
-    FallbackPolicy, LiveSession, LiveStats, QueryAttribution, UnionQuery, Update, UpdateReport,
+    Attribution, BatchOptions, Database, Engine, EngineConfig, EngineSnapshot, FallbackPolicy,
+    LiveSession, LiveStats, QueryAttribution, UnionQuery, Update, UpdateReport,
 };
 use banzhaf_par::queue::{BoundedQueue, PushError};
 use std::fmt;
@@ -811,15 +811,6 @@ impl AttributionService {
     /// serving shard.
     pub fn shard_of(&self, lineage: &Dnf) -> usize {
         self.engine.shard_of(lineage)
-    }
-
-    /// A snapshot of the shared cross-session cache's aggregate counters.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use engine_stats().cache; this thin wrapper is kept for one release"
-    )]
-    pub fn cache_stats(&self) -> CacheStats {
-        self.engine.stats().cache
     }
 
     /// The engine whose sessions the workers run (e.g. to start a

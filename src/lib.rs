@@ -81,13 +81,14 @@ pub mod prelude {
         shapley_all, AdaBanOptions, ApproxInterval, BanzhafResult, Budget, DTree, IchiBanOptions,
         Interrupted, PivotHeuristic, Ranking, ShapleyValue, TopK,
     };
-    pub use banzhaf_arith::{Int, Natural, Ratio};
+    pub use banzhaf_arith::{Int, Natural, Ratio, Rational};
     pub use banzhaf_baselines::{cnf_proxy, mc_banzhaf, mc_banzhaf_par, sig22_exact, McOptions};
-    pub use banzhaf_boolean::{Assignment, Clause, Dnf, Var, VarSet};
+    pub use banzhaf_boolean::{AggregateKind, Assignment, Clause, Dnf, Var, VarSet, WeightedDnf};
     pub use banzhaf_db::{Database, Fact, FactId, Provenance, Update, Value};
     pub use banzhaf_par::ThreadPool;
     pub use banzhaf_query::{
-        evaluate, is_hierarchical, is_self_join_free, parse_program, UnionQuery,
+        evaluate, evaluate_aggregate, is_hierarchical, is_self_join_free, parse_program,
+        AggregateAnswer, AggregateError, AggregateResult, AggregateSpec, UnionQuery,
     };
     pub use banzhaf_workloads::{
         academic_like, academic_workload, imdb_like, imdb_workload, tpch_like, tpch_workload,

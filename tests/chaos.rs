@@ -59,6 +59,7 @@ fn assert_tracks_exact(served: &Attribution, exact: &Attribution, lineage: &Dnf)
                 assert!(i.lower <= want && want <= i.upper, "interval must bracket exact");
             }
             Score::Estimate(e) => assert!(e.is_finite() && *e >= 0.0, "estimate must be finite"),
+            Score::Rational(_) => panic!("Boolean rungs never return aggregate scores"),
         }
     }
 }
@@ -395,6 +396,9 @@ proptest! {
                             prop_assert!(iv.lower <= want && want <= iv.upper);
                         }
                         Score::Estimate(e) => prop_assert!(e.is_finite() && *e >= 0.0),
+                        Score::Rational(_) => {
+                            prop_assert!(false, "Boolean rungs never return aggregate scores");
+                        }
                     }
                 }
             }

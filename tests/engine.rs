@@ -396,3 +396,128 @@ fn update_touching_no_registered_answer_compiles_nothing() {
     assert_eq!(snapshot.answers[0].tuple, vec![Value::from(1)]);
     assert_eq!(live.stats().update_compile_steps, 0);
 }
+
+/// Strategy generating a random small aggregate database as packed codes:
+/// bits 0-1 pick the supplier, bits 2-3 the part, bits 4-6 the value, bit 7
+/// endogenous-vs-exogenous. Sizes keep every per-answer lineage
+/// brute-forceable (2^n worlds over n <= 8 variables).
+fn aggregate_rows() -> impl Strategy<Value = Vec<(u8, u8, i8, bool)>> {
+    proptest::collection::vec(0u32..256, 1..=7).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| {
+                ((c & 3) as u8, ((c >> 2) & 3) as u8, (1 + ((c >> 4) & 7)) as i8, c & 128 == 128)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The aggregate generalization's acceptance property: for SUM and COUNT
+    /// queries over random small databases, every per-fact value the engine
+    /// returns equals the brute-force aggregate Banzhaf value (the signed
+    /// sum of `val(Y + f) - val(Y)` over all `2^n` subsets of the other
+    /// facts) — with the cache on and off, at 1 and 2 threads.
+    #[test]
+    fn aggregate_attributions_agree_with_brute_force(
+        rows in aggregate_rows(),
+        count in any::<bool>(),
+        cache in any::<bool>(),
+        two_threads in any::<bool>(),
+    ) {
+        let mut db = Database::new();
+        db.add_relation("Supp", 1);
+        db.add_relation("Item", 3);
+        let mut seen_suppliers = std::collections::HashSet::new();
+        let mut seen_items = std::collections::HashSet::new();
+        for &(s, p, v, exo) in &rows {
+            if seen_suppliers.insert(s) {
+                db.insert_endogenous("Supp", vec![i64::from(s).into()]).unwrap();
+            }
+            if seen_items.insert((s, p)) {
+                let row = vec![i64::from(s).into(), i64::from(p).into(), i64::from(v).into()];
+                if exo {
+                    db.insert_exogenous("Item", row).unwrap();
+                } else {
+                    db.insert_endogenous("Item", row).unwrap();
+                }
+            }
+        }
+        let program = if count {
+            "Q(S, COUNT(*)) :- Supp(S), Item(S, P, V)."
+        } else {
+            "Q(S, SUM(V)) :- Supp(S), Item(S, P, V)."
+        };
+        let query = parse_program(program).unwrap();
+        let result = evaluate_aggregate(&query, &db).unwrap();
+        let config = EngineConfig::new(Algorithm::ExaBan)
+            .with_cache_config(CacheConfig::new().with_enabled(cache))
+            .with_threads(if two_threads { 2 } else { 1 });
+        let mut session = Engine::new(config).session();
+        for answer in result.answers() {
+            let attribution = session.attribute_aggregate(&answer.lineage).unwrap();
+            prop_assert_eq!(
+                attribution.aggregate,
+                Some(if count { AggregateKind::Count } else { AggregateKind::Sum })
+            );
+            for x in answer.lineage.universe().iter() {
+                let Some(Score::Rational(got)) = attribution.value(x) else {
+                    panic!("aggregate scores are exact rationals");
+                };
+                prop_assert_eq!(
+                    got,
+                    &answer.lineage.brute_force_aggregate_banzhaf(x),
+                    "cache={} threads={} var={}", cache, two_threads, x
+                );
+            }
+        }
+    }
+}
+
+/// Weighted cache keying: lineages sharing one Boolean skeleton but
+/// differing in clause weights (with no skeleton automorphism carrying one
+/// weight placement to the other) or in aggregate kind occupy **separate**
+/// cache entries, while a genuine weighted isomorph (renamed variables,
+/// weights carried along) still hits.
+#[test]
+fn weighted_lineages_key_apart_by_weights_and_kind() {
+    let path = |offset: u32, weights: [i64; 3], kind| {
+        WeightedDnf::from_weighted_clauses(
+            kind,
+            vec![
+                (vec![Var(offset), Var(offset + 1)], Rational::from(weights[0])),
+                (vec![Var(offset + 1), Var(offset + 2)], Rational::from(weights[1])),
+                (vec![Var(offset + 2), Var(offset + 3)], Rational::from(weights[2])),
+            ],
+        )
+    };
+    // Four pairwise non-isomorphic variants of the same 4-path skeleton: the
+    // odd weight in the middle vs at the end (the path's only non-trivial
+    // automorphism is the reflection, which fixes the middle clause), a
+    // COUNT twin, and a MIN twin of the first weight placement.
+    let middle = path(0, [2, 9, 2], AggregateKind::Sum);
+    let end = path(0, [9, 2, 2], AggregateKind::Sum);
+    let count = path(0, [1, 1, 1], AggregateKind::Count);
+    let min = path(0, [2, 9, 2], AggregateKind::Min);
+
+    let engine = Engine::new(EngineConfig::default());
+    let mut session = engine.session();
+    for lineage in [&middle, &end, &count, &min] {
+        let attribution = session.attribute_aggregate(lineage).unwrap();
+        assert!(!attribution.stats.cache_hit, "{:?} must get its own entry", lineage.kind());
+    }
+    // The Boolean skeleton itself keys apart from every weighted entry.
+    let skeleton = middle.dnf().clone();
+    assert!(!session.attribute(&skeleton).unwrap().stats.cache_hit);
+    let stats = engine.stats().cache;
+    assert_eq!(stats.insertions, 5, "five distinct entries, no sharing");
+    assert_eq!(stats.hits, 0);
+    // A genuine weighted isomorph — variables renamed, weights carried
+    // along — is served from `middle`'s entry.
+    let renamed = path(20, [2, 9, 2], AggregateKind::Sum);
+    assert!(session.attribute_aggregate(&renamed).unwrap().stats.cache_hit);
+    assert_eq!(engine.stats().cache.entries, 5);
+    assert_eq!(engine.stats().cache.hits, 1);
+}

@@ -154,3 +154,69 @@ fn shared_budget_interrupts_across_workers() {
         assert_eq!(want.exact_values().unwrap(), got.exact_values().unwrap());
     }
 }
+
+/// A contested-heavy *aggregate* batch: four weighted-isomorphic SUM
+/// lineages per shape (every fingerprint bucket is contested), plus a COUNT
+/// twin of the first shape so kind keying is exercised under fan-out.
+fn contested_aggregate_batch() -> Vec<WeightedDnf> {
+    let mut lineages = Vec::new();
+    for shape in 0..2u32 {
+        for rep in 0..4u32 {
+            let o = shape * 40 + rep * 10;
+            lineages.push(WeightedDnf::from_weighted_clauses(
+                AggregateKind::Sum,
+                vec![
+                    (vec![Var(o), Var(o + 1)], Rational::from(3i64 + i64::from(shape))),
+                    (vec![Var(o + 1), Var(o + 2)], Rational::from(7i64)),
+                    (vec![Var(o + 2), Var(o + 3)], Rational::from(3i64 + i64::from(shape))),
+                ],
+            ));
+        }
+    }
+    lineages.push(WeightedDnf::from_weighted_clauses(
+        AggregateKind::Count,
+        vec![
+            (vec![Var(100), Var(101)], Rational::one()),
+            (vec![Var(101), Var(102)], Rational::one()),
+            (vec![Var(102), Var(103)], Rational::one()),
+        ],
+    ));
+    lineages
+}
+
+/// Aggregate batches run through the same two-pass canonicalization plan as
+/// Boolean ones: per-fact rationals and aggregate totals are bit-identical
+/// at 1, 2 and 4 threads, cache on and off, on a contested-heavy batch.
+#[test]
+fn contested_aggregate_batches_are_thread_count_invariant() {
+    let lineages = contested_aggregate_batch();
+    let refs: Vec<&WeightedDnf> = lineages.iter().collect();
+    for cache in [true, false] {
+        let config = EngineConfig::new(Algorithm::ExaBan)
+            .with_cache_config(CacheConfig::new().with_enabled(cache))
+            .with_seed(7);
+        let mut sequential = Engine::new(config.clone()).session();
+        let expected: Vec<Attribution> = lineages
+            .iter()
+            .map(|l| sequential.attribute_aggregate(l).expect("no budget is set"))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let mut session = Engine::new(config.clone().with_threads(threads)).session();
+            let got = session.attribute_aggregate_batch(&refs, BatchOptions::default());
+            assert_eq!(got.len(), expected.len());
+            for ((lineage, want), have) in lineages.iter().zip(&expected).zip(&got) {
+                let have = have.as_ref().expect("no budget is set");
+                assert_eq!(
+                    score_fingerprint(lineage.dnf(), want),
+                    score_fingerprint(lineage.dnf(), have),
+                    "cache={cache} threads={threads}"
+                );
+                assert_eq!(
+                    want.aggregate_total, have.aggregate_total,
+                    "cache={cache} threads={threads}"
+                );
+                assert_eq!(want.aggregate, have.aggregate);
+            }
+        }
+    }
+}

@@ -305,6 +305,7 @@ fn ladder_requests_degrade_instead_of_interrupting() {
             Score::Exact(got) => assert_eq!(got, &want),
             Score::Interval(i) => assert!(i.lower <= want && want <= i.upper),
             Score::Estimate(e) => assert!(e.is_finite() && *e >= 0.0),
+            Score::Rational(_) => panic!("Boolean rungs never return aggregate scores"),
         }
     }
     // Degraded work never enters the shared cache, and the counters tell the
